@@ -1,0 +1,94 @@
+//! E1 companion bench: per-cost-model offline phase (selection +
+//! materialization) and the online phase with the resulting views.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use sofos_core::{run_offline, run_online, EngineConfig, SizedLattice};
+use sofos_cost::CostModelKind;
+use sofos_select::WorkloadProfile;
+use sofos_workload::{dbpedia, generate_workload, WorkloadConfig};
+
+fn bench_offline(c: &mut Criterion) {
+    let generated = dbpedia::generate(&dbpedia::Config::default());
+    let facet = generated.default_facet().clone();
+    let sized = SizedLattice::compute(&generated.dataset, &facet).unwrap();
+    let workload = generate_workload(
+        &generated.dataset,
+        &facet,
+        &WorkloadConfig { num_queries: 20, ..WorkloadConfig::default() },
+    );
+    let profile = WorkloadProfile::from_masks(workload.iter().map(|q| q.required));
+    let mut config = EngineConfig::default();
+    config.train.epochs = 40;
+
+    let mut group = c.benchmark_group("e1/offline");
+    group.sample_size(20);
+    for kind in [
+        CostModelKind::Random,
+        CostModelKind::Triples,
+        CostModelKind::AggValues,
+        CostModelKind::Nodes,
+        CostModelKind::Learned,
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(kind), &kind, |b, &kind| {
+            b.iter(|| {
+                let mut expanded = generated.dataset.clone();
+                let outcome =
+                    run_offline(&mut expanded, &sized, &profile, kind, &config).unwrap();
+                black_box(outcome.materialized.len())
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_online(c: &mut Criterion) {
+    let generated = dbpedia::generate(&dbpedia::Config::default());
+    let facet = generated.default_facet().clone();
+    let sized = SizedLattice::compute(&generated.dataset, &facet).unwrap();
+    let workload = generate_workload(
+        &generated.dataset,
+        &facet,
+        &WorkloadConfig { num_queries: 20, ..WorkloadConfig::default() },
+    );
+    let profile = WorkloadProfile::from_masks(workload.iter().map(|q| q.required));
+    let config = EngineConfig::default();
+
+    // Expand once with the agg-values model.
+    let mut expanded = generated.dataset.clone();
+    let offline = run_offline(
+        &mut expanded,
+        &sized,
+        &profile,
+        CostModelKind::AggValues,
+        &config,
+    )
+    .unwrap();
+    let catalog = offline.view_catalog();
+
+    let mut group = c.benchmark_group("e1/online");
+    group.sample_size(20);
+    group.bench_function("with_views", |b| {
+        b.iter(|| {
+            black_box(
+                run_online(&expanded, &facet, &catalog, &workload, 1, false)
+                    .unwrap()
+                    .summary
+                    .total_us,
+            )
+        });
+    });
+    group.bench_function("no_views", |b| {
+        b.iter(|| {
+            black_box(
+                run_online(&generated.dataset, &facet, &[], &workload, 1, false)
+                    .unwrap()
+                    .summary
+                    .total_us,
+            )
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_offline, bench_online);
+criterion_main!(benches);

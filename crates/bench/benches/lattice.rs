@@ -1,0 +1,51 @@
+//! E2 companion bench: lattice sizing and full materialization as the
+//! dimension count grows (2^d views).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use sofos_core::SizedLattice;
+use sofos_cube::Lattice;
+use sofos_materialize::materialize_view;
+use sofos_workload::synthetic;
+
+fn bench_sizing(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e2/size_lattice");
+    group.sample_size(10);
+    for dims in [2usize, 4, 6] {
+        let generated = synthetic::generate(&synthetic::Config::with_dims(dims, 300));
+        group.bench_with_input(BenchmarkId::from_parameter(dims), &generated, |b, g| {
+            b.iter(|| {
+                black_box(
+                    SizedLattice::compute(&g.dataset, g.default_facet())
+                        .unwrap()
+                        .stats
+                        .len(),
+                )
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_full_materialization(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e2/materialize_full_lattice");
+    group.sample_size(10);
+    for dims in [2usize, 4, 6] {
+        let generated = synthetic::generate(&synthetic::Config::with_dims(dims, 300));
+        let facet = generated.default_facet().clone();
+        let lattice = Lattice::new(facet.clone());
+        group.bench_with_input(BenchmarkId::from_parameter(dims), &generated, |b, g| {
+            b.iter(|| {
+                let mut ds = g.dataset.clone();
+                let mut total = 0usize;
+                for mask in lattice.views() {
+                    total += materialize_view(&mut ds, &facet, mask).unwrap().stats.triples;
+                }
+                black_box(total)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sizing, bench_full_materialization);
+criterion_main!(benches);

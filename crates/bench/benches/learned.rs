@@ -1,0 +1,50 @@
+//! E4 companion bench: learned-model training and inference throughput.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use sofos_core::SizedLattice;
+use sofos_cost::{CostModel, LearnedCostModel, TrainConfig};
+use sofos_cube::ViewMask;
+use sofos_workload::synthetic;
+
+fn bench_learned(c: &mut Criterion) {
+    let generated = synthetic::generate(&synthetic::Config::with_dims(5, 300));
+    let facet = generated.default_facet().clone();
+    let sized = SizedLattice::compute(&generated.dataset, &facet).unwrap();
+    let ctx = sized.context();
+    let samples: Vec<(ViewMask, f64)> = sized
+        .timings_us
+        .iter()
+        .map(|(&m, &us)| (m, us as f64))
+        .collect();
+
+    let mut group = c.benchmark_group("e4/learned");
+    group.sample_size(10);
+    group.bench_function("train_100_epochs", |b| {
+        b.iter(|| {
+            let mut model = LearnedCostModel::new(&facet, 1);
+            let history = model.fit(
+                &ctx,
+                &samples,
+                TrainConfig { epochs: 100, ..TrainConfig::default() },
+            );
+            black_box(history.len())
+        });
+    });
+
+    let mut trained = LearnedCostModel::new(&facet, 1);
+    trained.fit(&ctx, &samples, TrainConfig { epochs: 50, ..TrainConfig::default() });
+    group.bench_function("predict_whole_lattice", |b| {
+        b.iter(|| {
+            let total: f64 = sized
+                .lattice
+                .views()
+                .map(|v| trained.cost(&ctx, v))
+                .sum();
+            black_box(total)
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_learned);
+criterion_main!(benches);

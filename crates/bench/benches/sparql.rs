@@ -1,0 +1,55 @@
+//! SPARQL engine micro-benchmarks: parsing, BGP joins, grouped aggregation.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use sofos_sparql::{parse_query, Evaluator};
+use sofos_workload::dbpedia;
+
+fn bench_parse(c: &mut Criterion) {
+    let query = "PREFIX ex: <http://e/> \
+                 SELECT ?c (SUM(?p) AS ?total) WHERE { \
+                   ?o ex:country ?c . ?o ex:language ?l . ?o ex:pop ?p . \
+                   FILTER(?l = \"French\" && ?p > 10) } \
+                 GROUP BY ?c HAVING (SUM(?p) > 100) ORDER BY DESC(?total) LIMIT 10";
+    c.bench_function("sparql/parse", |b| {
+        b.iter(|| black_box(parse_query(black_box(query)).unwrap()));
+    });
+}
+
+fn bench_eval(c: &mut Criterion) {
+    let generated = dbpedia::generate(&dbpedia::Config::scaled(3));
+    let ds = &generated.dataset;
+    let ns = dbpedia::NS;
+    let evaluator = Evaluator::new(ds);
+
+    let mut group = c.benchmark_group("sparql/eval");
+    group.sample_size(30);
+
+    let bgp = format!(
+        "SELECT ?c ?l WHERE {{ ?o <{ns}country> ?c . ?o <{ns}language> ?l . \
+         ?c <{ns}partOf> ?r }}"
+    );
+    group.bench_function("bgp_join", |b| {
+        b.iter(|| black_box(evaluator.evaluate_str(&bgp).unwrap().len()));
+    });
+
+    let grouped = format!(
+        "SELECT ?c (SUM(?p) AS ?total) WHERE {{ \
+           ?o <{ns}country> ?c . ?o <{ns}population> ?p }} GROUP BY ?c"
+    );
+    group.bench_function("group_aggregate", |b| {
+        b.iter(|| black_box(evaluator.evaluate_str(&grouped).unwrap().len()));
+    });
+
+    let filtered = format!(
+        "SELECT ?c (SUM(?p) AS ?total) WHERE {{ \
+           ?o <{ns}country> ?c . ?o <{ns}language> ?l . ?o <{ns}population> ?p . \
+           FILTER(?l = \"Language0\") }} GROUP BY ?c ORDER BY DESC(?total)"
+    );
+    group.bench_function("filter_group_order", |b| {
+        b.iter(|| black_box(evaluator.evaluate_str(&filtered).unwrap().len()));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_parse, bench_eval);
+criterion_main!(benches);

@@ -1,0 +1,70 @@
+//! Substrate micro-benchmarks: triple-store bulk load, inserts and pattern
+//! scans across the index shapes.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use sofos_rdf::TermId;
+use sofos_store::{EncodedTriple, GraphStore, IdPattern};
+
+fn synthetic_triples(n: u32) -> Vec<EncodedTriple> {
+    // s in [0, n/8), p in [0, 16), o in [0, n/4): realistic fan-outs.
+    (0..n)
+        .map(|i| {
+            [
+                TermId(i % (n / 8).max(1)),
+                TermId(i % 16),
+                TermId((i * 7) % (n / 4).max(1)),
+            ]
+        })
+        .collect()
+}
+
+fn bench_load(c: &mut Criterion) {
+    let mut group = c.benchmark_group("store/load");
+    for &n in &[10_000u32, 100_000] {
+        let triples = synthetic_triples(n);
+        group.bench_with_input(BenchmarkId::new("bulk", n), &triples, |b, t| {
+            b.iter(|| {
+                let mut g = GraphStore::new();
+                g.bulk_load(t.clone());
+                black_box(g.len())
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("incremental", n), &triples, |b, t| {
+            b.iter(|| {
+                let mut g = GraphStore::new();
+                for &triple in t {
+                    g.insert(triple);
+                }
+                black_box(g.len())
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_scans(c: &mut Criterion) {
+    let mut group = c.benchmark_group("store/scan");
+    let triples = synthetic_triples(100_000);
+    let mut store = GraphStore::new();
+    store.bulk_load(triples);
+
+    let patterns = [
+        ("by_subject", IdPattern::new(Some(TermId(5)), None, None)),
+        ("by_predicate", IdPattern::new(None, Some(TermId(3)), None)),
+        ("by_object", IdPattern::new(None, None, Some(TermId(9)))),
+        ("by_pred_obj", IdPattern::new(None, Some(TermId(3)), Some(TermId(24)))),
+        ("full", IdPattern::ANY),
+    ];
+    for (name, pattern) in patterns {
+        group.bench_function(name, |b| {
+            b.iter(|| black_box(store.scan(black_box(pattern)).count()));
+        });
+    }
+    group.bench_function("count_by_predicate", |b| {
+        b.iter(|| black_box(store.count(IdPattern::new(None, Some(TermId(3)), None))));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_load, bench_scans);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! E1 — "Exploring Cost Models" (demo §4, Figure 3 panel ④).
+//!
+//! For each of the three demo datasets, compare all six cost models at a
+//! fixed view budget on an identical 40-query workload: selection time,
+//! materialization time, storage amplification, query latency, speedup.
+//!
+//! Run with: `cargo run -p sofos-bench --release --bin e1_cost_models`
+
+use sofos_core::{compare_cost_models, EngineConfig};
+use sofos_cost::CostModelKind;
+use sofos_workload::all_datasets;
+
+fn main() {
+    let mut config = EngineConfig::default();
+    config.workload.num_queries = 40;
+    config.workload.filter_probability = 0.4;
+    config.timing_reps = 3;
+    config.train.epochs = 120;
+
+    for generated in all_datasets() {
+        let facet = generated.default_facet();
+        println!(
+            "\n================ E1 · {} ({} triples, facet `{}`, {} dims) ================\n",
+            generated.name,
+            generated.dataset.total_triples(),
+            facet.id,
+            facet.dim_count()
+        );
+        let report = compare_cost_models(
+            generated.name,
+            &generated.dataset,
+            facet,
+            &CostModelKind::ALL,
+            &config,
+        )
+        .expect("comparison runs");
+        println!("{}", report.to_table());
+        for row in &report.models {
+            assert!(row.all_valid, "{}: invalid answers", row.model);
+            println!("  {:<12} -> {}", row.model, row.selected_views.join(", "));
+        }
+    }
+}

@@ -1,0 +1,67 @@
+//! E4 — the learned cost model (§3.1): training convergence and prediction
+//! quality (MAE + Spearman rank correlation against measured view-query
+//! times) as a function of training-set size, across the demo datasets.
+//!
+//! Run with: `cargo run -p sofos-bench --release --bin e4_learned`
+
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use sofos_core::SizedLattice;
+use sofos_cost::{regression_metrics, LearnedCostModel, TrainConfig};
+use sofos_cube::ViewMask;
+use sofos_workload::all_datasets;
+
+fn main() {
+    println!("== E4 · learned cost model: prediction quality vs training size ==\n");
+    for generated in all_datasets() {
+        let facet = generated.default_facet().clone();
+        let sized = SizedLattice::compute(&generated.dataset, &facet).expect("sizing");
+        let ctx = sized.context();
+
+        // Ground truth: measured view-query time per lattice view.
+        let mut all: Vec<(ViewMask, f64)> = sized
+            .timings_us
+            .iter()
+            .map(|(&m, &us)| (m, us as f64))
+            .collect();
+        all.sort_by_key(|(m, _)| m.0);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        all.shuffle(&mut rng);
+
+        println!(
+            "--- {} (facet `{}`, {} views) ---",
+            generated.name,
+            facet.id,
+            all.len()
+        );
+        println!(
+            "{:<10} {:>12} {:>10} {:>12}",
+            "train n", "final MSE", "MAE µs", "Spearman"
+        );
+        for fraction in [0.25, 0.5, 0.75, 1.0] {
+            let n = ((all.len() as f64) * fraction).ceil() as usize;
+            let train = &all[..n.max(2).min(all.len())];
+            let mut model = LearnedCostModel::new(&facet, 11);
+            let history = model.fit(
+                &ctx,
+                train,
+                TrainConfig { epochs: 300, ..TrainConfig::default() },
+            );
+            // Evaluate on the *whole* lattice (train ∪ held-out).
+            let predictions: Vec<f64> =
+                all.iter().map(|(m, _)| model.predict(&ctx, *m)).collect();
+            let truths: Vec<f64> = all.iter().map(|(_, t)| *t).collect();
+            let metrics = regression_metrics(&predictions, &truths);
+            println!(
+                "{:<10} {:>12.4} {:>10.1} {:>12.3}",
+                train.len(),
+                history.last().copied().unwrap_or(f64::NAN),
+                metrics.mae,
+                metrics.spearman
+            );
+        }
+        println!();
+    }
+    println!("Reading: rank correlation is what matters for selection; it should rise");
+    println!("with training size — and remains imperfect, one of the paper's pitfalls.");
+}

@@ -1,0 +1,46 @@
+//! # sofos-bench — the SOFOS experiment harness
+//!
+//! One Criterion bench and/or experiment binary per demo-scenario station
+//! (see `DESIGN.md` §3 for the experiment index and `EXPERIMENTS.md` for
+//! recorded results):
+//!
+//! | id | binary | bench |
+//! |----|--------|-------|
+//! | E1 cost-model comparison     | `e1_cost_models`  | `benches/cost_models.rs` |
+//! | E2 full-lattice exploration  | `e2_lattice`      | `benches/lattice.rs` |
+//! | E3 budget sweep / sweet spot | `e3_budget_sweep` | — |
+//! | E4 learned-model quality     | `e4_learned`      | `benches/learned.rs` |
+//! | E5 cost↛time fidelity        | `e5_fidelity`     | — |
+//! | E6 hands-on challenge oracle | `e6_challenge`    | — |
+//! | substrate micro-benches      | —                 | `benches/store.rs`, `benches/sparql.rs` |
+//!
+//! The library part hosts shared helpers for the binaries.
+
+use sofos_core::render_table;
+
+/// Print a titled table to stdout (shared by the experiment binaries).
+pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
+    println!("== {title} ==");
+    println!("{}", render_table(headers, rows));
+}
+
+/// Format microseconds as milliseconds with two decimals.
+pub fn ms(us: u64) -> String {
+    format!("{:.2}", us as f64 / 1000.0)
+}
+
+/// Format a ratio with two decimals and an `x` suffix.
+pub fn ratio(r: f64) -> String {
+    format!("{r:.2}x")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(ms(1500), "1.50");
+        assert_eq!(ratio(2.0), "2.00x");
+    }
+}

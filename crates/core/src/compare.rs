@@ -1,0 +1,144 @@
+//! The cost-model comparison runner: the heart of the SOFOS demonstration.
+//!
+//! For each requested cost model the runner: clones the base dataset,
+//! executes the offline phase (select + materialize) and the online phase
+//! (the *same* workload, timed), and tabulates the trade-off between query
+//! time and space amplification — §4's "Exploring Cost Models" station.
+
+use crate::config::EngineConfig;
+use crate::offline::{run_offline, SizedLattice};
+use crate::online::run_online;
+use crate::report::{ComparisonReport, ModelRow};
+use sofos_cost::CostModelKind;
+use sofos_cube::Facet;
+use sofos_select::{Budget, WorkloadProfile};
+use sofos_sparql::SparqlError;
+use sofos_store::Dataset;
+use sofos_workload::{generate_workload, GeneratedQuery};
+
+/// Compare cost models on one dataset + facet.
+///
+/// The lattice is sized once (shared), the workload is generated once
+/// (identical queries per model), and the no-views baseline is measured on
+/// the unexpanded dataset.
+pub fn compare_cost_models(
+    dataset_name: &str,
+    dataset: &Dataset,
+    facet: &Facet,
+    kinds: &[CostModelKind],
+    config: &EngineConfig,
+) -> Result<ComparisonReport, SparqlError> {
+    let sized = SizedLattice::compute(dataset, facet)?;
+    let workload = generate_workload(dataset, facet, &config.workload);
+    let profile = WorkloadProfile::from_masks(workload.iter().map(|q| q.required));
+
+    let baseline =
+        run_online(dataset, facet, &[], &workload, config.timing_reps, false)?.summary;
+
+    let mut models = Vec::with_capacity(kinds.len());
+    for &kind in kinds {
+        let row = run_one_model(dataset, facet, &sized, &profile, &workload, kind, config)?;
+        models.push(row.with_baseline(&baseline));
+    }
+
+    Ok(ComparisonReport {
+        dataset: dataset_name.to_string(),
+        facet: facet.id.clone(),
+        dims: facet.dim_count(),
+        budget: describe_budget(config.budget),
+        queries: workload.len(),
+        sizing_us: sized.sizing_us,
+        baseline,
+        models,
+    })
+}
+
+/// A model's measurements before the baseline speedup is attached.
+struct PendingRow {
+    offline: crate::offline::OfflineOutcome,
+    online: crate::online::OnlineOutcome,
+    view_names: Vec<String>,
+}
+
+impl PendingRow {
+    fn with_baseline(self, baseline: &crate::timing::TimeSummary) -> ModelRow {
+        ModelRow::new(&self.offline, &self.online, baseline, self.view_names)
+    }
+}
+
+fn run_one_model(
+    dataset: &Dataset,
+    facet: &Facet,
+    sized: &SizedLattice,
+    profile: &WorkloadProfile,
+    workload: &[GeneratedQuery],
+    kind: CostModelKind,
+    config: &EngineConfig,
+) -> Result<PendingRow, SparqlError> {
+    let mut expanded = dataset.clone();
+    let offline = run_offline(&mut expanded, sized, profile, kind, config)?;
+    let online = run_online(
+        &expanded,
+        facet,
+        &offline.view_catalog(),
+        workload,
+        config.timing_reps,
+        config.validate,
+    )?;
+    let view_names = offline
+        .selection
+        .selected
+        .iter()
+        .map(|&v| sized.lattice.view_name(v))
+        .collect();
+    Ok(PendingRow { offline, online, view_names })
+}
+
+fn describe_budget(budget: Budget) -> String {
+    match budget {
+        Budget::Views(k) => format!("{k} views"),
+        Budget::Bytes(b) => format!("{b} bytes"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sofos_workload::dbpedia;
+
+    #[test]
+    fn compares_static_models_end_to_end() {
+        let g = dbpedia::generate(&dbpedia::Config {
+            countries: 8,
+            years: 2,
+            ..dbpedia::Config::default()
+        });
+        let mut config = EngineConfig::default();
+        config.workload.num_queries = 10;
+        config.timing_reps = 1;
+        let kinds = [
+            CostModelKind::Random,
+            CostModelKind::Triples,
+            CostModelKind::AggValues,
+            CostModelKind::Nodes,
+        ];
+        let report =
+            compare_cost_models(g.name, &g.dataset, &g.facets[0], &kinds, &config).unwrap();
+
+        assert_eq!(report.models.len(), 4);
+        assert_eq!(report.queries, 10);
+        for row in &report.models {
+            assert!(row.all_valid, "{}: invalid view answers", row.model);
+            assert_eq!(row.selected_views.len(), 4);
+            assert!(row.storage_amplification > 1.0);
+            assert!(row.latency.total_us > 0);
+        }
+        // Rendering works and contains every model.
+        let table = report.to_table();
+        for row in &report.models {
+            assert!(table.contains(&row.model), "missing {} in table", row.model);
+        }
+        let csv = report.to_csv();
+        assert_eq!(csv.lines().count(), 1 + 1 + 4, "header + baseline + models");
+    }
+}

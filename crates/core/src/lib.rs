@@ -1,0 +1,197 @@
+//! # sofos-core — the SOFOS engine
+//!
+//! Ties the workspace together into the system of the paper's Figure 2:
+//!
+//! * the **offline module** ([`offline`]) sizes the facet's view lattice,
+//!   builds a cost model (training the learned one on measured view-query
+//!   times), runs greedy view selection under a budget, and materializes
+//!   the chosen views into the expanded graph `G+`;
+//! * the **online module** ([`online`]) answers workload queries — through
+//!   the rewriter when a materialized view covers them, from the base graph
+//!   otherwise — measuring and optionally validating each answer;
+//! * the **comparison runner** ([`compare`]) repeats offline+online for
+//!   each cost model on identical workloads and tabulates query time vs.
+//!   space amplification ([`report`]).
+//!
+//! ```
+//! use sofos_core::{EngineConfig, Sofos};
+//! use sofos_cost::CostModelKind;
+//! use sofos_workload::dbpedia;
+//!
+//! let generated = dbpedia::generate(&dbpedia::Config {
+//!     countries: 6, years: 2, ..dbpedia::Config::default()
+//! });
+//! let sofos = Sofos::from_generated(&generated);
+//! let mut config = EngineConfig::default();
+//! config.workload.num_queries = 5;
+//! config.timing_reps = 1;
+//! let report = sofos
+//!     .compare(&[CostModelKind::Triples, CostModelKind::Nodes], &config)
+//!     .unwrap();
+//! assert_eq!(report.models.len(), 2);
+//! println!("{}", report.to_table());
+//! ```
+
+pub mod compare;
+pub mod config;
+pub mod offline;
+pub mod online;
+pub mod report;
+pub mod timing;
+pub mod validate;
+
+pub use compare::compare_cost_models;
+pub use config::EngineConfig;
+pub use offline::{build_model, run_offline, OfflineOutcome, SizedLattice};
+pub use online::{run_online, OnlineOutcome, QueryRecord, Route};
+pub use report::{render_table, ComparisonReport, ModelRow};
+pub use timing::{measure_median, measure_once, TimeSummary};
+pub use validate::results_equivalent;
+
+use sofos_cost::CostModelKind;
+use sofos_cube::Facet;
+use sofos_sparql::{Evaluator, QueryResults, SparqlError};
+use sofos_store::Dataset;
+use sofos_workload::{GeneratedDataset, GeneratedQuery};
+
+/// The SOFOS system: a knowledge graph plus an analytical facet.
+///
+/// Owns the base graph `G`; [`Sofos::offline`] expands it to `G+` in place,
+/// after which [`Sofos::online`] routes queries through the views.
+/// [`Sofos::compare`] never mutates the held dataset (it clones per model).
+#[derive(Debug, Clone)]
+pub struct Sofos {
+    dataset: Dataset,
+    facet: Facet,
+}
+
+impl Sofos {
+    /// Create a system over a dataset and facet.
+    pub fn new(dataset: Dataset, facet: Facet) -> Sofos {
+        Sofos { dataset, facet }
+    }
+
+    /// Create from a generated demo dataset (uses its default facet).
+    pub fn from_generated(generated: &GeneratedDataset) -> Sofos {
+        Sofos::new(generated.dataset.clone(), generated.default_facet().clone())
+    }
+
+    /// The (possibly expanded) dataset.
+    pub fn dataset(&self) -> &Dataset {
+        &self.dataset
+    }
+
+    /// The facet.
+    pub fn facet(&self) -> &Facet {
+        &self.facet
+    }
+
+    /// Size the facet's full lattice (demo step ②).
+    pub fn size_lattice(&self) -> Result<SizedLattice, SparqlError> {
+        SizedLattice::compute(&self.dataset, &self.facet)
+    }
+
+    /// Run the offline phase with one cost model, expanding the held
+    /// dataset into `G+`. Returns the outcome; the selected views are then
+    /// live for [`Sofos::online`].
+    pub fn offline(
+        &mut self,
+        kind: CostModelKind,
+        config: &EngineConfig,
+    ) -> Result<OfflineOutcome, SparqlError> {
+        let sized = SizedLattice::compute(&self.dataset, &self.facet)?;
+        let workload =
+            sofos_workload::generate_workload(&self.dataset, &self.facet, &config.workload);
+        let profile =
+            sofos_select::WorkloadProfile::from_masks(workload.iter().map(|q| q.required));
+        run_offline(&mut self.dataset, &sized, &profile, kind, config)
+    }
+
+    /// Run a workload online against the current dataset with a view
+    /// catalog (from [`OfflineOutcome::view_catalog`]).
+    pub fn online(
+        &self,
+        views: &[(sofos_cube::ViewMask, usize)],
+        workload: &[GeneratedQuery],
+        config: &EngineConfig,
+    ) -> Result<OnlineOutcome, SparqlError> {
+        run_online(
+            &self.dataset,
+            &self.facet,
+            views,
+            workload,
+            config.timing_reps,
+            config.validate,
+        )
+    }
+
+    /// Compare cost models on identical workloads (does not mutate the
+    /// held dataset).
+    pub fn compare(
+        &self,
+        kinds: &[CostModelKind],
+        config: &EngineConfig,
+    ) -> Result<ComparisonReport, SparqlError> {
+        compare_cost_models("sofos", &self.dataset, &self.facet, kinds, config)
+    }
+
+    /// Evaluate an ad-hoc SPARQL query against the current dataset.
+    pub fn query(&self, text: &str) -> Result<QueryResults, SparqlError> {
+        Evaluator::new(&self.dataset).evaluate_str(text)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sofos_workload::{dbpedia, WorkloadConfig};
+
+    fn small() -> Sofos {
+        let g = dbpedia::generate(&dbpedia::Config {
+            countries: 8,
+            years: 2,
+            ..dbpedia::Config::default()
+        });
+        Sofos::from_generated(&g)
+    }
+
+    #[test]
+    fn offline_then_online_round_trip() {
+        let mut sofos = small();
+        let mut config = EngineConfig::default();
+        config.workload = WorkloadConfig { num_queries: 8, ..WorkloadConfig::default() };
+        config.timing_reps = 1;
+        let offline = sofos.offline(CostModelKind::AggValues, &config).unwrap();
+        assert_eq!(offline.materialized.len(), 4);
+
+        let workload = sofos_workload::generate_workload(
+            sofos.dataset(),
+            sofos.facet(),
+            &config.workload,
+        );
+        let online = sofos.online(&offline.view_catalog(), &workload, &config).unwrap();
+        assert!(online.all_valid);
+        assert!(online.view_hits > 0);
+    }
+
+    #[test]
+    fn adhoc_queries_work() {
+        let sofos = small();
+        let r = sofos
+            .query("SELECT (COUNT(*) AS ?n) WHERE { ?s ?p ?o }")
+            .unwrap();
+        assert_eq!(r.len(), 1);
+    }
+
+    #[test]
+    fn compare_does_not_mutate() {
+        let sofos = small();
+        let triples_before = sofos.dataset().total_triples();
+        let mut config = EngineConfig::default();
+        config.workload.num_queries = 5;
+        config.timing_reps = 1;
+        let _ = sofos.compare(&[CostModelKind::Triples], &config).unwrap();
+        assert_eq!(sofos.dataset().total_triples(), triples_before);
+        assert!(sofos.dataset().graph_names().is_empty());
+    }
+}

@@ -1,0 +1,280 @@
+//! The offline module: lattice sizing, cost-model construction, view
+//! selection, and materialization (Figure 2 ①).
+
+use crate::config::EngineConfig;
+use crate::timing::{measure_once, measure_median};
+use sofos_cost::{
+    build_static_model, CostContext, CostModel, CostModelKind, LearnedCostModel, UserDefinedCost,
+};
+use sofos_cube::{Facet, Lattice, ViewMask};
+use sofos_materialize::{materialize_views, MaterializedView, ViewStats};
+use sofos_rdf::FxHashMap;
+use sofos_select::{greedy_select, Budget, SelectionOutcome, WorkloadProfile};
+use sofos_sparql::SparqlError;
+use sofos_store::{Dataset, GraphStats};
+
+/// The sized lattice: per-view stats plus the measured view-query times
+/// (free training data for the learned model) and base-graph statistics.
+#[derive(Debug, Clone)]
+pub struct SizedLattice {
+    /// The lattice itself.
+    pub lattice: Lattice,
+    /// Per-view sizing (rows/triples/nodes/bytes).
+    pub stats: FxHashMap<ViewMask, ViewStats>,
+    /// Measured evaluation time of each view query (µs).
+    pub timings_us: FxHashMap<ViewMask, u64>,
+    /// Base-graph statistics.
+    pub base_stats: GraphStats,
+    /// Wall time of the whole sizing pass (µs).
+    pub sizing_us: u64,
+}
+
+impl SizedLattice {
+    /// Evaluate and size every view of the facet's lattice, timing each
+    /// view query (demo step "Exploration of the Full Lattice").
+    pub fn compute(dataset: &Dataset, facet: &Facet) -> Result<SizedLattice, SparqlError> {
+        let lattice = Lattice::new(facet.clone());
+        let (sizing_us, result) = measure_once(|| {
+            let mut stats = FxHashMap::default();
+            let mut timings = FxHashMap::default();
+            for mask in lattice.views() {
+                let (us, view_stats) = measure_once(|| {
+                    sofos_materialize::virtual_view_stats(dataset, lattice.facet(), mask)
+                });
+                stats.insert(mask, view_stats?);
+                timings.insert(mask, us);
+            }
+            Ok::<_, SparqlError>((stats, timings))
+        });
+        let (stats, timings_us) = result?;
+        let base_stats = GraphStats::compute(dataset.default_graph());
+        Ok(SizedLattice { lattice, stats, timings_us, base_stats, sizing_us })
+    }
+
+    /// A cost context over this sizing.
+    pub fn context(&self) -> CostContext<'_> {
+        CostContext {
+            facet: self.lattice.facet(),
+            view_stats: &self.stats,
+            base: &self.base_stats,
+        }
+    }
+}
+
+/// Result of the offline phase for one cost model.
+#[derive(Debug)]
+pub struct OfflineOutcome {
+    /// Cost model name.
+    pub model: String,
+    /// Selection result (views + estimated costs).
+    pub selection: SelectionOutcome,
+    /// Learned-model training history (per-epoch MSE), if applicable.
+    pub training_history: Option<Vec<f64>>,
+    /// Wall time of model preparation/training (µs).
+    pub training_us: u64,
+    /// Wall time of the selection algorithm (µs).
+    pub selection_us: u64,
+    /// Wall time of materialization (µs).
+    pub materialization_us: u64,
+    /// The materialized views (stats + graph IRIs).
+    pub materialized: Vec<MaterializedView>,
+    /// Dataset bytes before materialization.
+    pub base_bytes: usize,
+    /// Dataset bytes after materialization.
+    pub expanded_bytes: usize,
+}
+
+impl OfflineOutcome {
+    /// `expanded / base` — the demo's "space amplification".
+    pub fn storage_amplification(&self) -> f64 {
+        if self.base_bytes == 0 {
+            return 1.0;
+        }
+        self.expanded_bytes as f64 / self.base_bytes as f64
+    }
+
+    /// Selected masks paired with their materialized row counts, the shape
+    /// the rewriter's `best_view` expects.
+    pub fn view_catalog(&self) -> Vec<(ViewMask, usize)> {
+        self.materialized.iter().map(|v| (v.stats.mask, v.stats.rows)).collect()
+    }
+}
+
+/// Build the cost model for a kind; `Learned` is trained on the sizing
+/// pass's measured view-query times, `UserDefined` prefers the configured
+/// views (or the finest `k` as a default naive user).
+pub fn build_model(
+    kind: CostModelKind,
+    sized: &SizedLattice,
+    config: &EngineConfig,
+) -> (Box<dyn CostModel>, Option<Vec<f64>>, u64) {
+    match kind {
+        CostModelKind::Learned => {
+            let ctx = sized.context();
+            let samples: Vec<(ViewMask, f64)> = sized
+                .timings_us
+                .iter()
+                .map(|(&mask, &us)| (mask, us as f64))
+                .collect();
+            let mut model = LearnedCostModel::new(sized.lattice.facet(), config.seed);
+            let (training_us, history) =
+                measure_once(|| model.fit(&ctx, &samples, config.train));
+            (Box::new(model), Some(history), training_us)
+        }
+        CostModelKind::UserDefined => {
+            let views = if config.user_views.is_empty() {
+                default_user_views(&sized.lattice, config.budget)
+            } else {
+                config.user_views.clone()
+            };
+            (Box::new(UserDefinedCost::preferring(views)), None, 0)
+        }
+        other => {
+            let model = build_static_model(other, config.seed)
+                .expect("static kinds are Random/Triples/AggValues/Nodes");
+            (model, None, 0)
+        }
+    }
+}
+
+/// The "naive user" default: pick the finest views first (highest level,
+/// then larger mask) up to the view budget.
+fn default_user_views(lattice: &Lattice, budget: Budget) -> Vec<ViewMask> {
+    let k = match budget {
+        Budget::Views(k) => k,
+        Budget::Bytes(_) => lattice.num_views() as usize,
+    };
+    let mut views: Vec<ViewMask> = lattice.views().collect();
+    views.sort_by_key(|v| (std::cmp::Reverse(v.dim_count()), std::cmp::Reverse(v.0)));
+    views.truncate(k);
+    views
+}
+
+/// Run the full offline phase for one cost model: build → select →
+/// materialize into `dataset` (which becomes `G+`).
+pub fn run_offline(
+    dataset: &mut Dataset,
+    sized: &SizedLattice,
+    profile: &WorkloadProfile,
+    kind: CostModelKind,
+    config: &EngineConfig,
+) -> Result<OfflineOutcome, SparqlError> {
+    let (model, training_history, training_us) = build_model(kind, sized, config);
+    let ctx = sized.context();
+
+    let (selection_us, selection) = measure_median(1, || {
+        greedy_select(&ctx, &sized.lattice, model.as_ref(), profile, config.budget)
+    });
+
+    let base_bytes = dataset.estimated_bytes();
+    let facet = sized.lattice.facet().clone();
+    let (materialization_us, materialized) =
+        measure_once(|| materialize_views(dataset, &facet, &selection.selected));
+    let materialized = materialized?;
+    let expanded_bytes = dataset.estimated_bytes();
+
+    Ok(OfflineOutcome {
+        model: kind.name().to_string(),
+        selection,
+        training_history,
+        training_us,
+        selection_us,
+        materialization_us,
+        materialized,
+        base_bytes,
+        expanded_bytes,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sofos_workload::dbpedia;
+
+    fn setup() -> (Dataset, Facet) {
+        let g = dbpedia::generate(&dbpedia::Config {
+            countries: 10,
+            years: 3,
+            ..dbpedia::Config::default()
+        });
+        (g.dataset, g.facets[0].clone())
+    }
+
+    #[test]
+    fn sizing_covers_lattice_and_times_views() {
+        let (ds, facet) = setup();
+        let sized = SizedLattice::compute(&ds, &facet).unwrap();
+        assert_eq!(sized.stats.len() as u64, sized.lattice.num_views());
+        assert_eq!(sized.timings_us.len(), sized.stats.len());
+        assert!(sized.sizing_us > 0);
+        assert!(sized.base_stats.triples > 0);
+    }
+
+    #[test]
+    fn offline_with_each_static_model() {
+        let (ds, facet) = setup();
+        let sized = SizedLattice::compute(&ds, &facet).unwrap();
+        let profile = WorkloadProfile::uniform(&sized.lattice);
+        let config = EngineConfig::default();
+        for kind in [
+            CostModelKind::Random,
+            CostModelKind::Triples,
+            CostModelKind::AggValues,
+            CostModelKind::Nodes,
+            CostModelKind::UserDefined,
+        ] {
+            let mut expanded = ds.clone();
+            let outcome =
+                run_offline(&mut expanded, &sized, &profile, kind, &config).unwrap();
+            assert_eq!(outcome.selection.selected.len(), 4, "{kind}");
+            assert_eq!(outcome.materialized.len(), 4);
+            assert!(outcome.expanded_bytes > outcome.base_bytes);
+            assert!(outcome.storage_amplification() > 1.0);
+            assert_eq!(expanded.graph_names().len(), 4, "one graph per view");
+        }
+    }
+
+    #[test]
+    fn learned_model_trains_during_offline() {
+        let (ds, facet) = setup();
+        let sized = SizedLattice::compute(&ds, &facet).unwrap();
+        let profile = WorkloadProfile::uniform(&sized.lattice);
+        let mut config = EngineConfig::default();
+        config.train.epochs = 30; // keep the test fast
+        let mut expanded = ds.clone();
+        let outcome =
+            run_offline(&mut expanded, &sized, &profile, CostModelKind::Learned, &config)
+                .unwrap();
+        let history = outcome.training_history.expect("learned model trains");
+        assert_eq!(history.len(), 30);
+        assert!(outcome.training_us > 0);
+    }
+
+    #[test]
+    fn user_defined_defaults_to_finest_views() {
+        let (ds, facet) = setup();
+        let sized = SizedLattice::compute(&ds, &facet).unwrap();
+        let views = default_user_views(&sized.lattice, Budget::Views(3));
+        assert_eq!(views.len(), 3);
+        assert_eq!(views[0], sized.lattice.base(), "finest first");
+        assert!(views[1].dim_count() >= views[2].dim_count());
+    }
+
+    #[test]
+    fn view_catalog_matches_materialization() {
+        let (ds, facet) = setup();
+        let sized = SizedLattice::compute(&ds, &facet).unwrap();
+        let profile = WorkloadProfile::uniform(&sized.lattice);
+        let config = EngineConfig::default();
+        let mut expanded = ds.clone();
+        let outcome =
+            run_offline(&mut expanded, &sized, &profile, CostModelKind::Triples, &config)
+                .unwrap();
+        let catalog = outcome.view_catalog();
+        assert_eq!(catalog.len(), outcome.selection.selected.len());
+        for ((mask, rows), view) in catalog.iter().zip(&outcome.materialized) {
+            assert_eq!(*mask, view.stats.mask);
+            assert_eq!(*rows, view.stats.rows);
+        }
+    }
+}

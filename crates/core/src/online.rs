@@ -1,0 +1,244 @@
+//! The online module: query routing, measurement, and validation
+//! (Figure 2 ②).
+//!
+//! Each workload query is analyzed by the rewriter; if a materialized view
+//! covers it, the rewritten query runs against `G+`, otherwise the original
+//! query runs against the base graph ("or accesses the graph G if none of
+//! the views can be used", §3). Every execution is timed (median of reps)
+//! and optionally validated against the base-graph answer.
+
+use crate::timing::{measure_median, TimeSummary};
+use crate::validate::results_equivalent;
+use sofos_cube::{Facet, ViewMask};
+use sofos_rewrite::plan_rewrite;
+use sofos_sparql::{Evaluator, SparqlError};
+use sofos_store::Dataset;
+use sofos_workload::GeneratedQuery;
+
+/// Where a query was answered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Route {
+    /// Rewritten against a materialized view.
+    View(ViewMask),
+    /// Fell back to the base graph.
+    BaseGraph,
+}
+
+/// Measurement record for one workload query.
+#[derive(Debug, Clone)]
+pub struct QueryRecord {
+    /// Index in the workload.
+    pub index: usize,
+    /// SPARQL text of the original query.
+    pub text: String,
+    /// Aggregate keyword.
+    pub agg: String,
+    /// Grouping mask.
+    pub group_mask: ViewMask,
+    /// Required mask (grouping ∪ filters).
+    pub required: ViewMask,
+    /// Routing decision.
+    pub route: Route,
+    /// Median execution time (µs).
+    pub time_us: u64,
+    /// Result rows returned.
+    pub rows: usize,
+    /// `Some(true/false)` when validated against the base graph.
+    pub valid: Option<bool>,
+}
+
+/// The online phase's aggregate outcome.
+#[derive(Debug, Clone)]
+pub struct OnlineOutcome {
+    /// Per-query records, in workload order.
+    pub records: Vec<QueryRecord>,
+    /// Latency summary over all queries.
+    pub summary: TimeSummary,
+    /// Queries answered from views.
+    pub view_hits: usize,
+    /// Queries that fell back to the base graph.
+    pub fallbacks: usize,
+    /// All validated queries matched the base answer (vacuously true when
+    /// validation is off).
+    pub all_valid: bool,
+}
+
+/// Execute a workload against an expanded dataset with a view catalog.
+///
+/// `views` pairs each materialized mask with its row count (see
+/// [`sofos_rewrite::best_view`]); pass an empty slice to force every query
+/// to the base graph (the no-views baseline).
+pub fn run_online(
+    dataset: &Dataset,
+    facet: &Facet,
+    views: &[(ViewMask, usize)],
+    workload: &[GeneratedQuery],
+    timing_reps: usize,
+    validate: bool,
+) -> Result<OnlineOutcome, SparqlError> {
+    let evaluator = Evaluator::new(dataset);
+    let mut records = Vec::with_capacity(workload.len());
+    let mut samples = Vec::with_capacity(workload.len());
+    let mut view_hits = 0usize;
+    let mut fallbacks = 0usize;
+    let mut all_valid = true;
+
+    for (index, generated) in workload.iter().enumerate() {
+        let (route, time_us, results) = match plan_rewrite(facet, views, &generated.query) {
+            Ok((view, rewritten)) => {
+                let (us, results) =
+                    measure_median(timing_reps, || evaluator.evaluate(&rewritten));
+                (Route::View(view), us, results?)
+            }
+            Err(_) => {
+                let (us, results) =
+                    measure_median(timing_reps, || evaluator.evaluate(&generated.query));
+                (Route::BaseGraph, us, results?)
+            }
+        };
+        match route {
+            Route::View(_) => view_hits += 1,
+            Route::BaseGraph => fallbacks += 1,
+        }
+
+        let valid = if validate && matches!(route, Route::View(_)) {
+            let reference = evaluator.evaluate(&generated.query)?;
+            let ok = results_equivalent(&results, &reference);
+            all_valid &= ok;
+            Some(ok)
+        } else {
+            None
+        };
+
+        samples.push(time_us);
+        records.push(QueryRecord {
+            index,
+            text: generated.text.clone(),
+            agg: generated.agg.keyword().to_string(),
+            group_mask: generated.group_mask,
+            required: generated.required,
+            route,
+            time_us,
+            rows: results.len(),
+            valid,
+        });
+    }
+
+    Ok(OnlineOutcome {
+        summary: TimeSummary::from_samples(&samples),
+        records,
+        view_hits,
+        fallbacks,
+        all_valid,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::EngineConfig;
+    use crate::offline::{run_offline, SizedLattice};
+    use sofos_cost::CostModelKind;
+    use sofos_select::WorkloadProfile;
+    use sofos_workload::{dbpedia, generate_workload, WorkloadConfig};
+
+    fn setup() -> (sofos_store::Dataset, Facet, Vec<GeneratedQuery>) {
+        let g = dbpedia::generate(&dbpedia::Config {
+            countries: 10,
+            years: 3,
+            ..dbpedia::Config::default()
+        });
+        let facet = g.facets[0].clone();
+        let workload = generate_workload(
+            &g.dataset,
+            &facet,
+            &WorkloadConfig { num_queries: 12, ..WorkloadConfig::default() },
+        );
+        (g.dataset, facet, workload)
+    }
+
+    #[test]
+    fn baseline_run_uses_base_graph_only() {
+        let (ds, facet, workload) = setup();
+        let outcome = run_online(&ds, &facet, &[], &workload, 1, false).unwrap();
+        assert_eq!(outcome.records.len(), 12);
+        assert_eq!(outcome.view_hits, 0);
+        assert_eq!(outcome.fallbacks, 12);
+        assert!(outcome.all_valid);
+        assert!(outcome.summary.total_us > 0);
+    }
+
+    #[test]
+    fn views_answer_and_validate() {
+        let (ds, facet, workload) = setup();
+        let sized = SizedLattice::compute(&ds, &facet).unwrap();
+        let profile = WorkloadProfile::from_masks(workload.iter().map(|q| q.required));
+        let config = EngineConfig::default();
+        let mut expanded = ds.clone();
+        let offline = run_offline(
+            &mut expanded,
+            &sized,
+            &profile,
+            CostModelKind::AggValues,
+            &config,
+        )
+        .unwrap();
+        let outcome = run_online(
+            &expanded,
+            &facet,
+            &offline.view_catalog(),
+            &workload,
+            1,
+            true,
+        )
+        .unwrap();
+        assert!(outcome.view_hits > 0, "some queries answered from views");
+        assert!(
+            outcome.all_valid,
+            "view answers must equal base-graph answers: {:?}",
+            outcome
+                .records
+                .iter()
+                .filter(|r| r.valid == Some(false))
+                .map(|r| &r.text)
+                .collect::<Vec<_>>()
+        );
+        // Every view-answered record carries a view mask that covers it.
+        for record in &outcome.records {
+            if let Route::View(mask) = record.route {
+                assert!(mask.covers(record.required));
+                assert_eq!(record.valid, Some(true));
+            }
+        }
+    }
+
+    #[test]
+    fn full_base_view_answers_everything() {
+        let (ds, facet, workload) = setup();
+        let sized = SizedLattice::compute(&ds, &facet).unwrap();
+        let profile = WorkloadProfile::uniform(&sized.lattice);
+        let mut config = EngineConfig::default();
+        // Budget 16 = the whole 4-dim lattice: every query must hit a view.
+        config.budget = sofos_select::Budget::Views(16);
+        let mut expanded = ds.clone();
+        let offline = run_offline(
+            &mut expanded,
+            &sized,
+            &profile,
+            CostModelKind::Triples,
+            &config,
+        )
+        .unwrap();
+        let outcome = run_online(
+            &expanded,
+            &facet,
+            &offline.view_catalog(),
+            &workload,
+            1,
+            true,
+        )
+        .unwrap();
+        assert_eq!(outcome.fallbacks, 0, "full lattice covers every query");
+        assert!(outcome.all_valid);
+    }
+}

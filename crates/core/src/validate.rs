@@ -1,0 +1,115 @@
+//! Result-set equivalence: the correctness oracle for view answering.
+//!
+//! A query answered from a materialized view must return exactly the same
+//! bag of rows as the same query answered from the base graph. Cells are
+//! compared by SPARQL *value* (so `"75"^^xsd:integer` equals
+//! `"75"^^xsd:decimal` when numerically equal) because re-aggregation may
+//! legally change the numeric datatype (e.g. SUM of stored sums).
+
+use sofos_sparql::{QueryResults, Value};
+use std::cmp::Ordering;
+
+/// Are two result sets equivalent as bags of rows (column order must
+/// match; row order is ignored)?
+pub fn results_equivalent(a: &QueryResults, b: &QueryResults) -> bool {
+    if a.vars.len() != b.vars.len() || a.rows.len() != b.rows.len() {
+        return false;
+    }
+    let mut rows_a = decode(a);
+    let mut rows_b = decode(b);
+    sort_rows(&mut rows_a);
+    sort_rows(&mut rows_b);
+    rows_a.iter().zip(&rows_b).all(|(ra, rb)| {
+        ra.iter().zip(rb).all(|(ca, cb)| match (ca, cb) {
+            (None, None) => true,
+            (Some(x), Some(y)) => x.sparql_eq(y),
+            _ => false,
+        })
+    })
+}
+
+fn decode(results: &QueryResults) -> Vec<Vec<Option<Value>>> {
+    results
+        .rows
+        .iter()
+        .map(|row| row.iter().map(|cell| cell.as_ref().map(Value::from_term)).collect())
+        .collect()
+}
+
+fn sort_rows(rows: &mut [Vec<Option<Value>>]) {
+    rows.sort_by(|a, b| {
+        for (x, y) in a.iter().zip(b) {
+            let ord = match (x, y) {
+                (None, None) => Ordering::Equal,
+                (None, Some(_)) => Ordering::Less,
+                (Some(_), None) => Ordering::Greater,
+                (Some(vx), Some(vy)) => vx.total_cmp(vy),
+            };
+            if ord != Ordering::Equal {
+                return ord;
+            }
+        }
+        Ordering::Equal
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sofos_rdf::{Literal, Term};
+
+    fn results(rows: Vec<Vec<Option<Term>>>) -> QueryResults {
+        QueryResults { vars: vec!["a".into(), "b".into()], rows }
+    }
+
+    #[test]
+    fn equal_up_to_row_order() {
+        let a = results(vec![
+            vec![Some(Term::iri("x")), Some(Term::literal_int(1))],
+            vec![Some(Term::iri("y")), Some(Term::literal_int(2))],
+        ]);
+        let b = results(vec![
+            vec![Some(Term::iri("y")), Some(Term::literal_int(2))],
+            vec![Some(Term::iri("x")), Some(Term::literal_int(1))],
+        ]);
+        assert!(results_equivalent(&a, &b));
+    }
+
+    #[test]
+    fn numeric_datatype_differences_are_tolerated() {
+        let a = results(vec![vec![Some(Term::iri("x")), Some(Term::literal_int(75))]]);
+        let b = results(vec![vec![
+            Some(Term::iri("x")),
+            Some(Term::Literal(Literal::decimal("75".parse().unwrap()))),
+        ]]);
+        assert!(results_equivalent(&a, &b));
+    }
+
+    #[test]
+    fn detects_differences() {
+        let a = results(vec![vec![Some(Term::iri("x")), Some(Term::literal_int(1))]]);
+        let b = results(vec![vec![Some(Term::iri("x")), Some(Term::literal_int(2))]]);
+        assert!(!results_equivalent(&a, &b));
+        let c = results(vec![]);
+        assert!(!results_equivalent(&a, &c), "row-count mismatch");
+    }
+
+    #[test]
+    fn unbound_cells_must_match() {
+        let a = results(vec![vec![Some(Term::iri("x")), None]]);
+        let b = results(vec![vec![Some(Term::iri("x")), None]]);
+        let c = results(vec![vec![Some(Term::iri("x")), Some(Term::literal_int(0))]]);
+        assert!(results_equivalent(&a, &b));
+        assert!(!results_equivalent(&a, &c));
+    }
+
+    #[test]
+    fn duplicate_rows_respect_multiplicity() {
+        let twice = results(vec![
+            vec![Some(Term::iri("x")), Some(Term::literal_int(1))],
+            vec![Some(Term::iri("x")), Some(Term::literal_int(1))],
+        ]);
+        let once = results(vec![vec![Some(Term::iri("x")), Some(Term::literal_int(1))]]);
+        assert!(!results_equivalent(&twice, &once), "bags, not sets");
+    }
+}

@@ -1,0 +1,161 @@
+//! Engine robustness: degenerate datasets, tiny facets, determinism.
+
+use sofos_core::{run_offline, run_online, EngineConfig, SizedLattice, Sofos};
+use sofos_cost::CostModelKind;
+use sofos_cube::{AggOp, Dimension, Facet, ViewMask};
+use sofos_rdf::Term;
+use sofos_select::{Budget, WorkloadProfile};
+use sofos_sparql::{GroupPattern, PatternTerm, TriplePattern};
+use sofos_store::Dataset;
+use sofos_workload::{dbpedia, generate_workload, WorkloadConfig};
+
+fn one_dim_facet() -> Facet {
+    let pattern = GroupPattern::triples(vec![
+        TriplePattern::new(
+            PatternTerm::var("o"),
+            PatternTerm::iri("http://e/d"),
+            PatternTerm::var("d"),
+        ),
+        TriplePattern::new(
+            PatternTerm::var("o"),
+            PatternTerm::iri("http://e/m"),
+            PatternTerm::var("m"),
+        ),
+    ]);
+    Facet::new("tiny", vec![Dimension::new("d")], pattern, "m", AggOp::Sum).unwrap()
+}
+
+#[test]
+fn empty_dataset_full_pipeline() {
+    // A facet over an empty graph: lattice sizes to zero-row views, the
+    // engine still selects, materializes (empty graphs) and answers.
+    let ds = Dataset::new();
+    let facet = one_dim_facet();
+    let sized = SizedLattice::compute(&ds, &facet).unwrap();
+    assert_eq!(sized.stats[&ViewMask::APEX].rows, 1, "apex aggregates zero rows");
+    assert_eq!(sized.stats[&ViewMask::full(1)].rows, 0);
+
+    let profile = WorkloadProfile::uniform(&sized.lattice);
+    let mut config = EngineConfig::default();
+    config.budget = Budget::Views(2);
+    let mut expanded = ds.clone();
+    let offline =
+        run_offline(&mut expanded, &sized, &profile, CostModelKind::Triples, &config)
+            .unwrap();
+    assert_eq!(offline.materialized.len(), 2);
+
+    // Run a minimal workload: the apex query.
+    let query = sofos_cube::facet_query(&facet, ViewMask::APEX, AggOp::Sum, vec![]);
+    let workload = vec![sofos_workload::GeneratedQuery {
+        text: sofos_sparql::query_to_sparql(&query),
+        query,
+        group_mask: ViewMask::APEX,
+        required: ViewMask::APEX,
+        agg: AggOp::Sum,
+    }];
+    let online = run_online(
+        &expanded,
+        &facet,
+        &offline.view_catalog(),
+        &workload,
+        1,
+        true,
+    )
+    .unwrap();
+    assert!(online.all_valid);
+    assert_eq!(online.records[0].rows, 1, "SUM over empty = one 0 row");
+}
+
+#[test]
+fn single_observation_dataset() {
+    let mut ds = Dataset::new();
+    ds.insert(
+        None,
+        &Term::blank("o"),
+        &Term::iri("http://e/d"),
+        &Term::iri("http://e/v1"),
+    );
+    ds.insert(None, &Term::blank("o"), &Term::iri("http://e/m"), &Term::literal_int(5));
+    let facet = one_dim_facet();
+    let mut sofos = Sofos::new(ds, facet);
+    let mut config = EngineConfig::default();
+    config.budget = Budget::Views(2);
+    config.workload.num_queries = 4;
+    config.timing_reps = 1;
+    let offline = sofos.offline(CostModelKind::AggValues, &config).unwrap();
+    let workload =
+        generate_workload(sofos.dataset(), sofos.facet(), &config.workload);
+    let online = sofos.online(&offline.view_catalog(), &workload, &config).unwrap();
+    assert!(online.all_valid);
+}
+
+#[test]
+fn selections_are_deterministic_across_runs() {
+    let g = dbpedia::generate(&dbpedia::Config {
+        countries: 8,
+        years: 2,
+        ..dbpedia::Config::default()
+    });
+    let facet = g.facets[0].clone();
+    let config = EngineConfig::default();
+    let workload = generate_workload(
+        &g.dataset,
+        &facet,
+        &WorkloadConfig { num_queries: 10, ..WorkloadConfig::default() },
+    );
+    let profile = WorkloadProfile::from_masks(workload.iter().map(|q| q.required));
+
+    for kind in [CostModelKind::Random, CostModelKind::Triples, CostModelKind::Nodes] {
+        let sized = SizedLattice::compute(&g.dataset, &facet).unwrap();
+        let mut ds1 = g.dataset.clone();
+        let a = run_offline(&mut ds1, &sized, &profile, kind, &config).unwrap();
+        let mut ds2 = g.dataset.clone();
+        let b = run_offline(&mut ds2, &sized, &profile, kind, &config).unwrap();
+        assert_eq!(
+            a.selection.selected, b.selection.selected,
+            "{kind}: selection must be deterministic"
+        );
+    }
+}
+
+#[test]
+fn zero_budget_means_base_graph_only() {
+    let g = dbpedia::generate(&dbpedia::Config {
+        countries: 6,
+        years: 2,
+        ..dbpedia::Config::default()
+    });
+    let mut sofos = Sofos::from_generated(&g);
+    let mut config = EngineConfig::default();
+    config.budget = Budget::Views(0);
+    config.workload.num_queries = 5;
+    config.timing_reps = 1;
+    let offline = sofos.offline(CostModelKind::Triples, &config).unwrap();
+    assert!(offline.materialized.is_empty());
+    assert_eq!(offline.storage_amplification(), 1.0);
+
+    let workload =
+        generate_workload(sofos.dataset(), sofos.facet(), &config.workload);
+    let online = sofos.online(&offline.view_catalog(), &workload, &config).unwrap();
+    assert_eq!(online.view_hits, 0);
+    assert_eq!(online.fallbacks, workload.len());
+}
+
+#[test]
+fn report_rendering_is_stable_under_rerun() {
+    let g = dbpedia::generate(&dbpedia::Config {
+        countries: 6,
+        years: 2,
+        ..dbpedia::Config::default()
+    });
+    let sofos = Sofos::from_generated(&g);
+    let mut config = EngineConfig::default();
+    config.workload.num_queries = 5;
+    config.timing_reps = 1;
+    let a = sofos.compare(&[CostModelKind::Triples], &config).unwrap();
+    let b = sofos.compare(&[CostModelKind::Triples], &config).unwrap();
+    // Timings differ; structure and selections must not.
+    assert_eq!(a.models[0].selected_views, b.models[0].selected_views);
+    assert_eq!(a.models[0].view_hits, b.models[0].view_hits);
+    assert_eq!(a.models[0].storage_amplification, b.models[0].storage_amplification);
+}

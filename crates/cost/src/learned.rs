@@ -1,0 +1,282 @@
+//! Cost model #5: the learned deep-regression estimate.
+//!
+//! §3.1: "In the offline training phase, the model takes the encoding of
+//! either a given workload or randomly generated queries and their running
+//! time. In the online phase, the model receives the encoding of a query
+//! (i.e., view) Vi and outputs the estimated running time, such that
+//! C(Vi) = f(Vi)."
+//!
+//! Targets are trained in `log1p(time)` space (query times span orders of
+//! magnitude) and predictions are mapped back with `expm1`, clamped to be
+//! positive so the greedy selector can treat them as running times.
+
+use crate::context::CostContext;
+use crate::features::{feature_dim, view_features, Normalizer};
+use crate::models::CostModel;
+use crate::nn::{Mlp, TrainConfig};
+use sofos_cube::{Facet, ViewMask};
+
+/// The learned cost model: feature encoder + MLP + target transform.
+#[derive(Debug, Clone)]
+pub struct LearnedCostModel {
+    net: Mlp,
+    normalizer: Option<Normalizer>,
+    trained: bool,
+}
+
+/// A training example: a view and its measured evaluation time (µs).
+pub type TrainingSample = (ViewMask, f64);
+
+impl LearnedCostModel {
+    /// An untrained model for a facet (predictions are pessimistic until
+    /// [`LearnedCostModel::fit`] is called).
+    pub fn new(facet: &Facet, seed: u64) -> LearnedCostModel {
+        let dim = feature_dim(facet);
+        LearnedCostModel {
+            net: Mlp::new(&[dim, 32, 16, 1], seed),
+            normalizer: None,
+            trained: false,
+        }
+    }
+
+    /// Has the model been fitted?
+    pub fn is_trained(&self) -> bool {
+        self.trained
+    }
+
+    /// Fit on `(view, measured_time_us)` samples; returns per-epoch MSE in
+    /// the transformed target space.
+    pub fn fit(
+        &mut self,
+        ctx: &CostContext<'_>,
+        samples: &[TrainingSample],
+        config: TrainConfig,
+    ) -> Vec<f64> {
+        if samples.is_empty() {
+            return Vec::new();
+        }
+        let raw: Vec<Vec<f64>> =
+            samples.iter().map(|(v, _)| view_features(ctx, *v)).collect();
+        let normalizer = Normalizer::fit(&raw);
+        let features: Vec<Vec<f64>> = raw.iter().map(|r| normalizer.apply(r)).collect();
+        let targets: Vec<f64> = samples.iter().map(|(_, t)| t.max(0.0).ln_1p()).collect();
+        let history = self.net.train(&features, &targets, config);
+        self.normalizer = Some(normalizer);
+        self.trained = true;
+        history
+    }
+
+    /// Predict the running time (µs) for a view.
+    pub fn predict(&self, ctx: &CostContext<'_>, view: ViewMask) -> f64 {
+        let raw = view_features(ctx, view);
+        let features = match &self.normalizer {
+            Some(n) => n.apply(&raw),
+            None => raw,
+        };
+        self.net.predict(&features).exp_m1().max(0.0) + 1.0
+    }
+}
+
+impl CostModel for LearnedCostModel {
+    fn name(&self) -> &'static str {
+        "learned"
+    }
+
+    fn cost(&self, ctx: &CostContext<'_>, view: ViewMask) -> f64 {
+        if !self.trained {
+            return f64::INFINITY;
+        }
+        self.predict(ctx, view)
+    }
+}
+
+/// Prediction-quality metrics for E4 (learned-model evaluation).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RegressionMetrics {
+    /// Mean absolute error in the original (µs) space.
+    pub mae: f64,
+    /// Spearman rank correlation between predictions and truths.
+    pub spearman: f64,
+    /// Number of evaluation points.
+    pub n: usize,
+}
+
+/// Evaluate predictions against ground truth.
+pub fn regression_metrics(predictions: &[f64], truths: &[f64]) -> RegressionMetrics {
+    assert_eq!(predictions.len(), truths.len());
+    let n = predictions.len();
+    if n == 0 {
+        return RegressionMetrics { mae: 0.0, spearman: 0.0, n };
+    }
+    let mae = predictions
+        .iter()
+        .zip(truths)
+        .map(|(p, t)| (p - t).abs())
+        .sum::<f64>()
+        / n as f64;
+    RegressionMetrics { mae, spearman: spearman(predictions, truths), n }
+}
+
+/// Spearman rank correlation (ties get average ranks).
+pub fn spearman(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len());
+    if a.len() < 2 {
+        return 0.0;
+    }
+    let ra = ranks(a);
+    let rb = ranks(b);
+    pearson(&ra, &rb)
+}
+
+fn ranks(values: &[f64]) -> Vec<f64> {
+    let mut indexed: Vec<(usize, f64)> =
+        values.iter().copied().enumerate().collect();
+    indexed.sort_by(|x, y| x.1.partial_cmp(&y.1).unwrap_or(std::cmp::Ordering::Equal));
+    let mut out = vec![0.0; values.len()];
+    let mut i = 0;
+    while i < indexed.len() {
+        let mut j = i;
+        while j + 1 < indexed.len() && indexed[j + 1].1 == indexed[i].1 {
+            j += 1;
+        }
+        // Average rank for the tie group [i, j].
+        let rank = (i + j) as f64 / 2.0 + 1.0;
+        for item in &indexed[i..=j] {
+            out[item.0] = rank;
+        }
+        i = j + 1;
+    }
+    out
+}
+
+fn pearson(a: &[f64], b: &[f64]) -> f64 {
+    let n = a.len() as f64;
+    let ma = a.iter().sum::<f64>() / n;
+    let mb = b.iter().sum::<f64>() / n;
+    let mut cov = 0.0;
+    let mut va = 0.0;
+    let mut vb = 0.0;
+    for (x, y) in a.iter().zip(b) {
+        cov += (x - ma) * (y - mb);
+        va += (x - ma) * (x - ma);
+        vb += (y - mb) * (y - mb);
+    }
+    if va == 0.0 || vb == 0.0 {
+        return 0.0;
+    }
+    cov / (va.sqrt() * vb.sqrt())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::size_lattice;
+    use sofos_cube::{AggOp, Dimension, Lattice};
+    use sofos_rdf::Term;
+    use sofos_sparql::{GroupPattern, PatternTerm, TriplePattern};
+    use sofos_store::{Dataset, GraphStats};
+
+    fn setup() -> (Dataset, Facet) {
+        let mut ds = Dataset::new();
+        let preds: Vec<Term> =
+            (0..3).map(|i| Term::iri(format!("http://e/p{i}"))).collect();
+        let m = Term::iri("http://e/m");
+        for i in 0..60 {
+            let obs = Term::blank(format!("o{i}"));
+            ds.insert(None, &obs, &preds[0], &Term::iri(format!("http://e/A{}", i % 10)));
+            ds.insert(None, &obs, &preds[1], &Term::iri(format!("http://e/B{}", i % 4)));
+            ds.insert(None, &obs, &preds[2], &Term::iri(format!("http://e/C{}", i % 2)));
+            ds.insert(None, &obs, &m, &Term::literal_int(i));
+        }
+        let pattern = GroupPattern::triples(vec![
+            TriplePattern::new(PatternTerm::var("o"), PatternTerm::iri("http://e/p0"), PatternTerm::var("a")),
+            TriplePattern::new(PatternTerm::var("o"), PatternTerm::iri("http://e/p1"), PatternTerm::var("b")),
+            TriplePattern::new(PatternTerm::var("o"), PatternTerm::iri("http://e/p2"), PatternTerm::var("c")),
+            TriplePattern::new(PatternTerm::var("o"), PatternTerm::iri("http://e/m"), PatternTerm::var("m")),
+        ]);
+        let facet = Facet::new(
+            "t",
+            vec![Dimension::new("a"), Dimension::new("b"), Dimension::new("c")],
+            pattern,
+            "m",
+            AggOp::Sum,
+        )
+        .unwrap();
+        (ds, facet)
+    }
+
+    #[test]
+    fn untrained_model_is_pessimistic() {
+        let (ds, facet) = setup();
+        let lattice = Lattice::new(facet.clone());
+        let sized = size_lattice(&ds, &lattice).unwrap();
+        let base = GraphStats::compute(ds.default_graph());
+        let ctx = CostContext { facet: &facet, view_stats: &sized, base: &base };
+        let model = LearnedCostModel::new(&facet, 1);
+        assert!(!model.is_trained());
+        assert!(model.cost(&ctx, ViewMask::APEX).is_infinite());
+    }
+
+    #[test]
+    fn learns_row_count_as_a_time_proxy() {
+        // Synthetic "running times" proportional to view rows: the model
+        // must learn to rank views by size.
+        let (ds, facet) = setup();
+        let lattice = Lattice::new(facet.clone());
+        let sized = size_lattice(&ds, &lattice).unwrap();
+        let base = GraphStats::compute(ds.default_graph());
+        let ctx = CostContext { facet: &facet, view_stats: &sized, base: &base };
+
+        let samples: Vec<TrainingSample> = lattice
+            .views()
+            .map(|v| (v, 10.0 + 5.0 * sized[&v].rows as f64))
+            .collect();
+        let mut model = LearnedCostModel::new(&facet, 1);
+        let config = TrainConfig { epochs: 600, learning_rate: 5e-3, batch_size: 8, seed: 1 };
+        let history = model.fit(&ctx, &samples, config);
+        assert!(history.last().unwrap() < &history[0], "loss must drop");
+
+        let predictions: Vec<f64> =
+            lattice.views().map(|v| model.cost(&ctx, v)).collect();
+        let truths: Vec<f64> = samples.iter().map(|(_, t)| *t).collect();
+        let metrics = regression_metrics(&predictions, &truths);
+        assert!(
+            metrics.spearman > 0.8,
+            "rank correlation too weak: {}",
+            metrics.spearman
+        );
+    }
+
+    #[test]
+    fn spearman_corner_cases() {
+        assert!((spearman(&[1.0, 2.0, 3.0], &[10.0, 20.0, 30.0]) - 1.0).abs() < 1e-9);
+        assert!((spearman(&[1.0, 2.0, 3.0], &[30.0, 20.0, 10.0]) + 1.0).abs() < 1e-9);
+        assert_eq!(spearman(&[1.0], &[2.0]), 0.0, "degenerate input");
+        assert_eq!(spearman(&[1.0, 1.0, 1.0], &[1.0, 2.0, 3.0]), 0.0, "constant input");
+    }
+
+    #[test]
+    fn ranks_handle_ties_with_average() {
+        assert_eq!(ranks(&[10.0, 20.0, 10.0]), vec![1.5, 3.0, 1.5]);
+        assert_eq!(ranks(&[5.0]), vec![1.0]);
+    }
+
+    #[test]
+    fn metrics_on_empty_input() {
+        let m = regression_metrics(&[], &[]);
+        assert_eq!(m.n, 0);
+        assert_eq!(m.mae, 0.0);
+    }
+
+    #[test]
+    fn fit_with_no_samples_is_noop() {
+        let (ds, facet) = setup();
+        let lattice = Lattice::new(facet.clone());
+        let sized = size_lattice(&ds, &lattice).unwrap();
+        let base = GraphStats::compute(ds.default_graph());
+        let ctx = CostContext { facet: &facet, view_stats: &sized, base: &base };
+        let mut model = LearnedCostModel::new(&facet, 1);
+        assert!(model.fit(&ctx, &[], TrainConfig::default()).is_empty());
+        assert!(!model.is_trained());
+    }
+}

@@ -1,0 +1,307 @@
+//! The static cost models: Random, #Triples, #AggValues, #Nodes, UserDefined.
+//!
+//! Quoting §3.1 of the paper:
+//!
+//! * **Random** — "This cost function is constant C(Vi) = 1 … this will
+//!   output a random k-size subset of V(F)." (Implemented as a seeded hash
+//!   so that "random" is reproducible and still constant-quality: with all
+//!   costs equal the greedy selector would degenerate to an arbitrary but
+//!   fixed order; hashing the mask with a seed gives the intended random
+//!   subset while keeping experiments replayable.)
+//! * **Number of triples** — "analogous to the number of tuples in
+//!   relational databases … C(Vi) = |G_Vi|".
+//! * **Number of aggregated values** — "the number of results of the query
+//!   representing the view, C(Vi) = |Vi(G)|".
+//! * **Number of nodes** — "the number of node values in the view Vi,
+//!   C(Vi) = |Ii ∪ Bi ∪ Li|".
+//! * **User defined** — "The user acts as a cost function, selecting k
+//!   views from the lattice."
+
+use crate::context::CostContext;
+use sofos_cube::ViewMask;
+use sofos_rdf::hash::fx_hash_u64;
+use sofos_rdf::FxHashMap;
+use std::fmt;
+
+/// A cost model `C : V(F) → R+` predicting the query cost against a view.
+pub trait CostModel: Send + Sync {
+    /// Short stable name, used in reports and experiment tables.
+    fn name(&self) -> &'static str;
+
+    /// The cost of a candidate view. Views the context cannot size are
+    /// priced pessimistically (`f64::INFINITY`).
+    fn cost(&self, ctx: &CostContext<'_>, view: ViewMask) -> f64;
+}
+
+/// The six cost-model families of the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CostModelKind {
+    /// Constant cost ⇒ random k-subset.
+    Random,
+    /// `|G_Vi|` — triples of the materialized view graph.
+    Triples,
+    /// `|Vi(G)|` — result rows of the view query.
+    AggValues,
+    /// `|Ii ∪ Bi ∪ Li|` — distinct nodes of the view graph.
+    Nodes,
+    /// Learned deep-regression estimate (see [`crate::learned`]).
+    Learned,
+    /// The user picks the views (costs supplied explicitly).
+    UserDefined,
+}
+
+impl CostModelKind {
+    /// All six kinds, in the paper's order.
+    pub const ALL: [CostModelKind; 6] = [
+        CostModelKind::Random,
+        CostModelKind::Triples,
+        CostModelKind::AggValues,
+        CostModelKind::Nodes,
+        CostModelKind::Learned,
+        CostModelKind::UserDefined,
+    ];
+
+    /// Stable display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            CostModelKind::Random => "random",
+            CostModelKind::Triples => "triples",
+            CostModelKind::AggValues => "agg-values",
+            CostModelKind::Nodes => "nodes",
+            CostModelKind::Learned => "learned",
+            CostModelKind::UserDefined => "user-defined",
+        }
+    }
+}
+
+impl fmt::Display for CostModelKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Cost model #1: random (constant cost, seeded tie-breaking).
+#[derive(Debug, Clone, Copy)]
+pub struct RandomCost {
+    seed: u64,
+}
+
+impl RandomCost {
+    /// A random cost model with a reproducible seed.
+    pub fn new(seed: u64) -> RandomCost {
+        RandomCost { seed }
+    }
+}
+
+impl CostModel for RandomCost {
+    fn name(&self) -> &'static str {
+        "random"
+    }
+
+    fn cost(&self, _ctx: &CostContext<'_>, view: ViewMask) -> f64 {
+        // Uniform in (0, 1], deterministic per (seed, mask).
+        let h = fx_hash_u64(self.seed ^ view.0.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        (h >> 11) as f64 / (1u64 << 53) as f64 + f64::EPSILON
+    }
+}
+
+/// Cost model #2: number of triples `|G_Vi|`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TriplesCost;
+
+impl CostModel for TriplesCost {
+    fn name(&self) -> &'static str {
+        "triples"
+    }
+
+    fn cost(&self, ctx: &CostContext<'_>, view: ViewMask) -> f64 {
+        ctx.stats(view).map_or(f64::INFINITY, |s| s.triples as f64)
+    }
+}
+
+/// Cost model #3: number of aggregated values `|Vi(G)|`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AggValuesCost;
+
+impl CostModel for AggValuesCost {
+    fn name(&self) -> &'static str {
+        "agg-values"
+    }
+
+    fn cost(&self, ctx: &CostContext<'_>, view: ViewMask) -> f64 {
+        ctx.stats(view).map_or(f64::INFINITY, |s| s.rows as f64)
+    }
+}
+
+/// Cost model #4: number of nodes `|Ii ∪ Bi ∪ Li|`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NodesCost;
+
+impl CostModel for NodesCost {
+    fn name(&self) -> &'static str {
+        "nodes"
+    }
+
+    fn cost(&self, ctx: &CostContext<'_>, view: ViewMask) -> f64 {
+        ctx.stats(view).map_or(f64::INFINITY, |s| s.nodes as f64)
+    }
+}
+
+/// Cost model #6: user-defined costs (the demo's "User Selected Views"
+/// station — participants effectively assign their own cost function).
+#[derive(Debug, Clone, Default)]
+pub struct UserDefinedCost {
+    costs: FxHashMap<ViewMask, f64>,
+    default: f64,
+}
+
+impl UserDefinedCost {
+    /// Build from explicit `(view, cost)` pairs; unlisted views get
+    /// `default` (use `f64::INFINITY` to forbid them).
+    pub fn new(pairs: impl IntoIterator<Item = (ViewMask, f64)>, default: f64) -> UserDefinedCost {
+        UserDefinedCost { costs: pairs.into_iter().collect(), default }
+    }
+
+    /// Mark a set of views as the preferred selection (cost 0, everything
+    /// else infinite): exactly "the user acts as a cost function".
+    pub fn preferring(views: impl IntoIterator<Item = ViewMask>) -> UserDefinedCost {
+        UserDefinedCost {
+            costs: views.into_iter().map(|v| (v, 0.0)).collect(),
+            default: f64::INFINITY,
+        }
+    }
+}
+
+impl CostModel for UserDefinedCost {
+    fn name(&self) -> &'static str {
+        "user-defined"
+    }
+
+    fn cost(&self, _ctx: &CostContext<'_>, view: ViewMask) -> f64 {
+        self.costs.get(&view).copied().unwrap_or(self.default)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::size_lattice;
+    use sofos_cube::{AggOp, Dimension, Facet, Lattice};
+    use sofos_rdf::Term;
+    use sofos_sparql::{GroupPattern, PatternTerm, TriplePattern};
+    use sofos_store::{Dataset, GraphStats};
+
+    fn setup() -> (Dataset, Facet) {
+        let mut ds = Dataset::new();
+        let a = Term::iri("http://e/a");
+        let b = Term::iri("http://e/b");
+        let m = Term::iri("http://e/m");
+        for i in 0..20 {
+            let obs = Term::blank(format!("o{i}"));
+            ds.insert(None, &obs, &a, &Term::iri(format!("http://e/A{}", i % 5)));
+            ds.insert(None, &obs, &b, &Term::iri(format!("http://e/B{}", i % 2)));
+            ds.insert(None, &obs, &m, &Term::literal_int(i));
+        }
+        let pattern = GroupPattern::triples(vec![
+            TriplePattern::new(PatternTerm::var("o"), PatternTerm::iri("http://e/a"), PatternTerm::var("a")),
+            TriplePattern::new(PatternTerm::var("o"), PatternTerm::iri("http://e/b"), PatternTerm::var("b")),
+            TriplePattern::new(PatternTerm::var("o"), PatternTerm::iri("http://e/m"), PatternTerm::var("m")),
+        ]);
+        let facet = Facet::new(
+            "t",
+            vec![Dimension::new("a"), Dimension::new("b")],
+            pattern,
+            "m",
+            AggOp::Sum,
+        )
+        .unwrap();
+        (ds, facet)
+    }
+
+    fn with_ctx<R>(f: impl FnOnce(&CostContext<'_>) -> R) -> R {
+        let (ds, facet) = setup();
+        let lattice = Lattice::new(facet.clone());
+        let sized = size_lattice(&ds, &lattice).unwrap();
+        let base = GraphStats::compute(ds.default_graph());
+        let ctx = CostContext { facet: &facet, view_stats: &sized, base: &base };
+        f(&ctx)
+    }
+
+    #[test]
+    fn static_costs_match_view_stats() {
+        with_ctx(|ctx| {
+            let base = ViewMask::full(2);
+            let stats = ctx.stats(base).unwrap().clone();
+            assert_eq!(TriplesCost.cost(ctx, base), stats.triples as f64);
+            assert_eq!(AggValuesCost.cost(ctx, base), stats.rows as f64);
+            assert_eq!(NodesCost.cost(ctx, base), stats.nodes as f64);
+        });
+    }
+
+    #[test]
+    fn coarser_views_cost_less_under_all_static_models() {
+        with_ctx(|ctx| {
+            let apex = ViewMask::APEX;
+            let base = ViewMask::full(2);
+            for model in [&TriplesCost as &dyn CostModel, &AggValuesCost, &NodesCost] {
+                assert!(
+                    model.cost(ctx, apex) < model.cost(ctx, base),
+                    "{}: apex should be cheaper",
+                    model.name()
+                );
+            }
+        });
+    }
+
+    #[test]
+    fn unsized_views_are_infinite() {
+        with_ctx(|ctx| {
+            let ghost = ViewMask(0b100000);
+            assert!(TriplesCost.cost(ctx, ghost).is_infinite());
+            assert!(AggValuesCost.cost(ctx, ghost).is_infinite());
+            assert!(NodesCost.cost(ctx, ghost).is_infinite());
+        });
+    }
+
+    #[test]
+    fn random_cost_is_deterministic_per_seed_and_spread() {
+        with_ctx(|ctx| {
+            let a = RandomCost::new(1);
+            let b = RandomCost::new(1);
+            let c = RandomCost::new(2);
+            let v1 = ViewMask(1);
+            let v2 = ViewMask(2);
+            assert_eq!(a.cost(ctx, v1), b.cost(ctx, v1));
+            assert_ne!(a.cost(ctx, v1), c.cost(ctx, v1), "different seeds differ");
+            assert_ne!(a.cost(ctx, v1), a.cost(ctx, v2), "different views differ");
+            for v in 0..16u64 {
+                let cost = a.cost(ctx, ViewMask(v));
+                assert!(cost > 0.0 && cost <= 1.0, "cost {cost} out of range");
+            }
+        });
+    }
+
+    #[test]
+    fn user_defined_prefers_listed_views() {
+        with_ctx(|ctx| {
+            let favorite = ViewMask::from_dims(&[0]);
+            let model = UserDefinedCost::preferring([favorite]);
+            assert_eq!(model.cost(ctx, favorite), 0.0);
+            assert!(model.cost(ctx, ViewMask::APEX).is_infinite());
+
+            let scored = UserDefinedCost::new([(ViewMask::APEX, 5.0)], 10.0);
+            assert_eq!(scored.cost(ctx, ViewMask::APEX), 5.0);
+            assert_eq!(scored.cost(ctx, favorite), 10.0);
+        });
+    }
+
+    #[test]
+    fn kind_names_are_stable() {
+        let names: Vec<&str> = CostModelKind::ALL.iter().map(|k| k.name()).collect();
+        assert_eq!(
+            names,
+            ["random", "triples", "agg-values", "nodes", "learned", "user-defined"]
+        );
+        assert_eq!(CostModelKind::Triples.to_string(), "triples");
+    }
+}

@@ -1,0 +1,334 @@
+//! A small feed-forward neural network, implemented from scratch.
+//!
+//! The paper's learned cost model (§3.1) "adapt\[s\] a cost estimate from a
+//! learned deep regression model" (Ortiz et al.). SOFOS needs exactly that:
+//! a multilayer perceptron mapping a query/view feature vector to a running
+//! time. To keep the workspace dependency-free this module implements dense
+//! layers, ReLU, mean-squared-error loss and the Adam optimizer directly
+//! (~250 lines); at the feature dimensionalities involved (≲64) this is
+//! orders of magnitude below any performance threshold that would justify
+//! an ML framework.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One dense layer: `y = W·x + b` with optional ReLU.
+#[derive(Debug, Clone)]
+struct Dense {
+    input: usize,
+    output: usize,
+    /// Row-major `output × input`.
+    weights: Vec<f64>,
+    bias: Vec<f64>,
+    relu: bool,
+    // Adam state.
+    m_w: Vec<f64>,
+    v_w: Vec<f64>,
+    m_b: Vec<f64>,
+    v_b: Vec<f64>,
+}
+
+impl Dense {
+    fn new(input: usize, output: usize, relu: bool, rng: &mut StdRng) -> Dense {
+        // He initialization suits ReLU nets.
+        let scale = (2.0 / input as f64).sqrt();
+        let weights = (0..input * output)
+            .map(|_| (rng.gen::<f64>() * 2.0 - 1.0) * scale)
+            .collect::<Vec<f64>>();
+        Dense {
+            input,
+            output,
+            bias: vec![0.0; output],
+            m_w: vec![0.0; input * output],
+            v_w: vec![0.0; input * output],
+            m_b: vec![0.0; output],
+            v_b: vec![0.0; output],
+            weights,
+            relu,
+        }
+    }
+
+    /// Forward pass; returns pre-activation and post-activation.
+    fn forward(&self, x: &[f64]) -> (Vec<f64>, Vec<f64>) {
+        debug_assert_eq!(x.len(), self.input);
+        let mut pre = self.bias.clone();
+        for (o, pre_o) in pre.iter_mut().enumerate() {
+            let row = &self.weights[o * self.input..(o + 1) * self.input];
+            let mut acc = 0.0;
+            for (w, xi) in row.iter().zip(x) {
+                acc += w * xi;
+            }
+            *pre_o += acc;
+        }
+        let post = if self.relu {
+            pre.iter().map(|&v| v.max(0.0)).collect()
+        } else {
+            pre.clone()
+        };
+        (pre, post)
+    }
+}
+
+/// A feed-forward regression network with Adam training.
+#[derive(Debug, Clone)]
+pub struct Mlp {
+    layers: Vec<Dense>,
+    step: u64,
+}
+
+/// Training hyperparameters.
+#[derive(Debug, Clone, Copy)]
+pub struct TrainConfig {
+    /// Number of passes over the data.
+    pub epochs: usize,
+    /// Adam learning rate.
+    pub learning_rate: f64,
+    /// Mini-batch size.
+    pub batch_size: usize,
+    /// Shuffle seed.
+    pub seed: u64,
+}
+
+impl Default for TrainConfig {
+    fn default() -> Self {
+        TrainConfig { epochs: 200, learning_rate: 1e-2, batch_size: 16, seed: 7 }
+    }
+}
+
+const BETA1: f64 = 0.9;
+const BETA2: f64 = 0.999;
+const EPS: f64 = 1e-8;
+
+impl Mlp {
+    /// Build a network with the given layer widths, e.g. `[8, 16, 16, 1]`.
+    /// Hidden layers use ReLU; the output layer is linear.
+    pub fn new(widths: &[usize], seed: u64) -> Mlp {
+        assert!(widths.len() >= 2, "need at least input and output widths");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let layers = widths
+            .windows(2)
+            .enumerate()
+            .map(|(i, w)| Dense::new(w[0], w[1], i + 2 < widths.len(), &mut rng))
+            .collect();
+        Mlp { layers, step: 0 }
+    }
+
+    /// Input dimensionality.
+    pub fn input_dim(&self) -> usize {
+        self.layers.first().map_or(0, |l| l.input)
+    }
+
+    /// Predict a scalar for one feature vector.
+    pub fn predict(&self, x: &[f64]) -> f64 {
+        let mut activation = x.to_vec();
+        for layer in &self.layers {
+            activation = layer.forward(&activation).1;
+        }
+        activation[0]
+    }
+
+    /// One Adam update on a mini-batch; returns the batch MSE before the
+    /// update.
+    fn train_batch(&mut self, batch: &[(&[f64], f64)], lr: f64) -> f64 {
+        // Accumulate gradients over the batch.
+        let mut grad_w: Vec<Vec<f64>> =
+            self.layers.iter().map(|l| vec![0.0; l.weights.len()]).collect();
+        let mut grad_b: Vec<Vec<f64>> =
+            self.layers.iter().map(|l| vec![0.0; l.bias.len()]).collect();
+        let mut loss = 0.0;
+
+        for (x, target) in batch {
+            // Forward, remembering activations.
+            let mut activations: Vec<Vec<f64>> = vec![x.to_vec()];
+            let mut pre_acts: Vec<Vec<f64>> = Vec::with_capacity(self.layers.len());
+            for layer in &self.layers {
+                let (pre, post) = layer.forward(activations.last().expect("nonempty"));
+                pre_acts.push(pre);
+                activations.push(post);
+            }
+            let prediction = activations.last().expect("nonempty")[0];
+            let error = prediction - target;
+            loss += error * error;
+
+            // Backward.
+            let mut delta: Vec<f64> = vec![2.0 * error];
+            for (li, layer) in self.layers.iter().enumerate().rev() {
+                // delta is d(loss)/d(post_li); convert through ReLU.
+                let mut dpre = delta.clone();
+                if layer.relu {
+                    for (d, &p) in dpre.iter_mut().zip(&pre_acts[li]) {
+                        if p <= 0.0 {
+                            *d = 0.0;
+                        }
+                    }
+                }
+                let input_act = &activations[li];
+                for o in 0..layer.output {
+                    grad_b[li][o] += dpre[o];
+                    let row = &mut grad_w[li][o * layer.input..(o + 1) * layer.input];
+                    for (g, &a) in row.iter_mut().zip(input_act) {
+                        *g += dpre[o] * a;
+                    }
+                }
+                // Propagate to previous layer.
+                if li > 0 {
+                    let mut prev = vec![0.0; layer.input];
+                    for o in 0..layer.output {
+                        let row = &layer.weights[o * layer.input..(o + 1) * layer.input];
+                        for (p, &w) in prev.iter_mut().zip(row) {
+                            *p += dpre[o] * w;
+                        }
+                    }
+                    delta = prev;
+                }
+            }
+        }
+
+        // Adam step.
+        self.step += 1;
+        let t = self.step as f64;
+        let scale = 1.0 / batch.len() as f64;
+        for (li, layer) in self.layers.iter_mut().enumerate() {
+            for (i, g) in grad_w[li].iter().enumerate() {
+                let g = g * scale;
+                layer.m_w[i] = BETA1 * layer.m_w[i] + (1.0 - BETA1) * g;
+                layer.v_w[i] = BETA2 * layer.v_w[i] + (1.0 - BETA2) * g * g;
+                let m_hat = layer.m_w[i] / (1.0 - BETA1.powf(t));
+                let v_hat = layer.v_w[i] / (1.0 - BETA2.powf(t));
+                layer.weights[i] -= lr * m_hat / (v_hat.sqrt() + EPS);
+            }
+            for (i, g) in grad_b[li].iter().enumerate() {
+                let g = g * scale;
+                layer.m_b[i] = BETA1 * layer.m_b[i] + (1.0 - BETA1) * g;
+                layer.v_b[i] = BETA2 * layer.v_b[i] + (1.0 - BETA2) * g * g;
+                let m_hat = layer.m_b[i] / (1.0 - BETA1.powf(t));
+                let v_hat = layer.v_b[i] / (1.0 - BETA2.powf(t));
+                layer.bias[i] -= lr * m_hat / (v_hat.sqrt() + EPS);
+            }
+        }
+        loss / batch.len() as f64
+    }
+
+    /// Train on `(features, target)` pairs; returns per-epoch mean MSE.
+    pub fn train(
+        &mut self,
+        features: &[Vec<f64>],
+        targets: &[f64],
+        config: TrainConfig,
+    ) -> Vec<f64> {
+        assert_eq!(features.len(), targets.len());
+        if features.is_empty() {
+            return Vec::new();
+        }
+        let mut order: Vec<usize> = (0..features.len()).collect();
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let mut history = Vec::with_capacity(config.epochs);
+        for _ in 0..config.epochs {
+            // Fisher-Yates shuffle.
+            for i in (1..order.len()).rev() {
+                let j = rng.gen_range(0..=i);
+                order.swap(i, j);
+            }
+            let mut epoch_loss = 0.0;
+            let mut batches = 0;
+            for chunk in order.chunks(config.batch_size.max(1)) {
+                let batch: Vec<(&[f64], f64)> =
+                    chunk.iter().map(|&i| (features[i].as_slice(), targets[i])).collect();
+                epoch_loss += self.train_batch(&batch, config.learning_rate);
+                batches += 1;
+            }
+            history.push(epoch_loss / batches.max(1) as f64);
+        }
+        history
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn final_loss(history: &[f64]) -> f64 {
+        *history.last().expect("trained at least one epoch")
+    }
+
+    #[test]
+    fn fits_a_linear_function() {
+        // y = 3x + 1 on [0, 1].
+        let features: Vec<Vec<f64>> = (0..50).map(|i| vec![i as f64 / 50.0]).collect();
+        let targets: Vec<f64> = features.iter().map(|x| 3.0 * x[0] + 1.0).collect();
+        let mut net = Mlp::new(&[1, 8, 1], 42);
+        let history = net.train(&features, &targets, TrainConfig::default());
+        assert!(final_loss(&history) < 1e-2, "loss: {}", final_loss(&history));
+        assert!((net.predict(&[0.5]) - 2.5).abs() < 0.2);
+    }
+
+    #[test]
+    fn fits_xor_shape() {
+        // XOR is the canonical non-linear sanity check.
+        let features = vec![
+            vec![0.0, 0.0],
+            vec![0.0, 1.0],
+            vec![1.0, 0.0],
+            vec![1.0, 1.0],
+        ];
+        let targets = vec![0.0, 1.0, 1.0, 0.0];
+        let mut net = Mlp::new(&[2, 8, 8, 1], 3);
+        let config = TrainConfig { epochs: 2000, learning_rate: 5e-3, batch_size: 4, seed: 3 };
+        net.train(&features, &targets, config);
+        for (x, t) in features.iter().zip(&targets) {
+            let p = net.predict(x);
+            assert!((p - t).abs() < 0.25, "xor({x:?}) = {p}, want {t}");
+        }
+    }
+
+    #[test]
+    fn loss_decreases_during_training() {
+        let features: Vec<Vec<f64>> =
+            (0..40).map(|i| vec![(i as f64 / 10.0).sin(), i as f64 / 40.0]).collect();
+        let targets: Vec<f64> =
+            features.iter().map(|x| x[0] * 2.0 + x[1] * x[1]).collect();
+        let mut net = Mlp::new(&[2, 16, 1], 9);
+        let history = net.train(&features, &targets, TrainConfig::default());
+        let early: f64 = history[..10].iter().sum::<f64>() / 10.0;
+        let late: f64 = history[history.len() - 10..].iter().sum::<f64>() / 10.0;
+        assert!(late < early, "training did not reduce loss: {early} → {late}");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let features: Vec<Vec<f64>> = (0..20).map(|i| vec![i as f64]).collect();
+        let targets: Vec<f64> = (0..20).map(|i| i as f64 * 0.5).collect();
+        let mut a = Mlp::new(&[1, 4, 1], 11);
+        let mut b = Mlp::new(&[1, 4, 1], 11);
+        a.train(&features, &targets, TrainConfig::default());
+        b.train(&features, &targets, TrainConfig::default());
+        assert_eq!(a.predict(&[3.0]), b.predict(&[3.0]));
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = Mlp::new(&[2, 4, 1], 1);
+        let b = Mlp::new(&[2, 4, 1], 2);
+        assert_ne!(a.predict(&[1.0, 1.0]), b.predict(&[1.0, 1.0]));
+    }
+
+    #[test]
+    fn input_dim_reports_first_layer() {
+        assert_eq!(Mlp::new(&[7, 3, 1], 0).input_dim(), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least input and output")]
+    fn rejects_degenerate_shape() {
+        let _ = Mlp::new(&[4], 0);
+    }
+
+    #[test]
+    fn empty_training_set_is_a_no_op() {
+        let mut net = Mlp::new(&[2, 4, 1], 5);
+        let before = net.predict(&[1.0, 2.0]);
+        let history = net.train(&[], &[], TrainConfig::default());
+        assert!(history.is_empty());
+        assert_eq!(net.predict(&[1.0, 2.0]), before);
+    }
+}

@@ -1,0 +1,283 @@
+//! Facet definitions: `F = ⟨X̄, P, agg(u)⟩`.
+
+use sofos_sparql::GroupPattern;
+use std::fmt;
+
+/// One grouping dimension of a facet: a variable of the pattern `P`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Dimension {
+    /// The variable name in the facet pattern (without `?`).
+    pub var: String,
+    /// Human-readable label for reports.
+    pub label: String,
+}
+
+impl Dimension {
+    /// Create a dimension whose label equals its variable name.
+    pub fn new(var: impl Into<String>) -> Dimension {
+        let var = var.into();
+        Dimension { label: var.clone(), var }
+    }
+
+    /// Create a dimension with an explicit label.
+    pub fn labeled(var: impl Into<String>, label: impl Into<String>) -> Dimension {
+        Dimension { var: var.into(), label: label.into() }
+    }
+}
+
+/// The aggregation operators of the paper: `{SUM, AVG, COUNT, MAX, MIN}`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AggOp {
+    /// `SUM(u)`.
+    Sum,
+    /// `AVG(u)` — materialized as SUM+COUNT for exact re-aggregation.
+    Avg,
+    /// `COUNT(u)`.
+    Count,
+    /// `MIN(u)`.
+    Min,
+    /// `MAX(u)`.
+    Max,
+}
+
+impl AggOp {
+    /// All aggregation operators (for workload generators).
+    pub const ALL: [AggOp; 5] = [AggOp::Sum, AggOp::Avg, AggOp::Count, AggOp::Min, AggOp::Max];
+
+    /// SPARQL keyword.
+    pub fn keyword(self) -> &'static str {
+        match self {
+            AggOp::Sum => "SUM",
+            AggOp::Avg => "AVG",
+            AggOp::Count => "COUNT",
+            AggOp::Min => "MIN",
+            AggOp::Max => "MAX",
+        }
+    }
+
+    /// The distributive components a materialized view must store so this
+    /// aggregate can be *exactly* recomputed from coarser groups:
+    /// AVG ⇒ SUM+COUNT, everything else ⇒ itself.
+    pub fn components(self) -> &'static [MaterialComponent] {
+        match self {
+            AggOp::Sum => &[MaterialComponent::Sum],
+            AggOp::Count => &[MaterialComponent::Count],
+            AggOp::Avg => &[MaterialComponent::Sum, MaterialComponent::Count],
+            AggOp::Min => &[MaterialComponent::Min],
+            AggOp::Max => &[MaterialComponent::Max],
+        }
+    }
+}
+
+impl fmt::Display for AggOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.keyword())
+    }
+}
+
+/// A distributive component stored by the materializer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MaterialComponent {
+    /// Partial sums.
+    Sum,
+    /// Partial counts.
+    Count,
+    /// Partial minima.
+    Min,
+    /// Partial maxima.
+    Max,
+}
+
+/// Errors constructing a facet.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FacetError {
+    /// A dimension variable does not occur in the pattern.
+    UnknownDimension(String),
+    /// The measure variable does not occur in the pattern.
+    UnknownMeasure(String),
+    /// More dimensions than the lattice supports.
+    TooManyDimensions(usize),
+    /// Duplicate dimension variable.
+    DuplicateDimension(String),
+}
+
+impl fmt::Display for FacetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FacetError::UnknownDimension(v) => {
+                write!(f, "dimension variable ?{v} does not appear in the facet pattern")
+            }
+            FacetError::UnknownMeasure(v) => {
+                write!(f, "measure variable ?{v} does not appear in the facet pattern")
+            }
+            FacetError::TooManyDimensions(n) => {
+                write!(f, "{n} dimensions exceed the supported maximum of 20")
+            }
+            FacetError::DuplicateDimension(v) => {
+                write!(f, "dimension variable ?{v} is declared twice")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FacetError {}
+
+/// An analytical facet `F = ⟨X̄, P, agg(u)⟩` (§3 of the paper).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Facet {
+    /// Short identifier, used in view-graph IRIs and reports.
+    pub id: String,
+    /// The grouping dimensions `X̄` (indexable by `ViewMask` bits).
+    pub dimensions: Vec<Dimension>,
+    /// The pattern `P` binding dimensions and measure (default graph).
+    pub pattern: GroupPattern,
+    /// The measure variable `u`.
+    pub measure: String,
+    /// The facet's aggregation `agg`.
+    pub agg: AggOp,
+}
+
+impl Facet {
+    /// Maximum supported dimensions (2^20 lattice nodes ≈ 1M views).
+    pub const MAX_DIMENSIONS: usize = 20;
+
+    /// Create a validated facet.
+    pub fn new(
+        id: impl Into<String>,
+        dimensions: Vec<Dimension>,
+        pattern: GroupPattern,
+        measure: impl Into<String>,
+        agg: AggOp,
+    ) -> Result<Facet, FacetError> {
+        let measure = measure.into();
+        if dimensions.len() > Self::MAX_DIMENSIONS {
+            return Err(FacetError::TooManyDimensions(dimensions.len()));
+        }
+        let pattern_vars = pattern.pattern_variables();
+        for (i, d) in dimensions.iter().enumerate() {
+            if !pattern_vars.iter().any(|v| *v == d.var) {
+                return Err(FacetError::UnknownDimension(d.var.clone()));
+            }
+            if dimensions[..i].iter().any(|other| other.var == d.var) {
+                return Err(FacetError::DuplicateDimension(d.var.clone()));
+            }
+        }
+        if !pattern_vars.iter().any(|v| *v == measure) {
+            return Err(FacetError::UnknownMeasure(measure));
+        }
+        Ok(Facet { id: id.into(), dimensions, pattern, measure, agg })
+    }
+
+    /// Number of dimensions `|X̄|`.
+    pub fn dim_count(&self) -> usize {
+        self.dimensions.len()
+    }
+
+    /// Index of a dimension by variable name.
+    pub fn dim_index(&self, var: &str) -> Option<usize> {
+        self.dimensions.iter().position(|d| d.var == var)
+    }
+
+    /// The dimension at a mask bit.
+    pub fn dimension(&self, index: usize) -> &Dimension {
+        &self.dimensions[index]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sofos_sparql::{GroupPattern, PatternTerm, TriplePattern};
+
+    fn pattern() -> GroupPattern {
+        GroupPattern::triples(vec![
+            TriplePattern::new(PatternTerm::var("o"), PatternTerm::iri("c"), PatternTerm::var("country")),
+            TriplePattern::new(PatternTerm::var("o"), PatternTerm::iri("l"), PatternTerm::var("lang")),
+            TriplePattern::new(PatternTerm::var("o"), PatternTerm::iri("p"), PatternTerm::var("pop")),
+        ])
+    }
+
+    #[test]
+    fn valid_facet() {
+        let f = Facet::new(
+            "pop",
+            vec![Dimension::new("country"), Dimension::new("lang")],
+            pattern(),
+            "pop",
+            AggOp::Sum,
+        )
+        .expect("valid");
+        assert_eq!(f.dim_count(), 2);
+        assert_eq!(f.dim_index("lang"), Some(1));
+        assert_eq!(f.dim_index("nope"), None);
+        assert_eq!(f.dimension(0).var, "country");
+    }
+
+    #[test]
+    fn rejects_unknown_dimension() {
+        let err = Facet::new("x", vec![Dimension::new("ghost")], pattern(), "pop", AggOp::Sum)
+            .unwrap_err();
+        assert_eq!(err, FacetError::UnknownDimension("ghost".into()));
+    }
+
+    #[test]
+    fn rejects_unknown_measure() {
+        let err = Facet::new("x", vec![Dimension::new("country")], pattern(), "ghost", AggOp::Sum)
+            .unwrap_err();
+        assert_eq!(err, FacetError::UnknownMeasure("ghost".into()));
+    }
+
+    #[test]
+    fn rejects_duplicate_dimension() {
+        let err = Facet::new(
+            "x",
+            vec![Dimension::new("country"), Dimension::new("country")],
+            pattern(),
+            "pop",
+            AggOp::Sum,
+        )
+        .unwrap_err();
+        assert_eq!(err, FacetError::DuplicateDimension("country".into()));
+    }
+
+    #[test]
+    fn rejects_too_many_dimensions() {
+        // Build a pattern with 21 variables to trip the limit.
+        let mut triples = Vec::new();
+        let mut dims = Vec::new();
+        for i in 0..21 {
+            triples.push(TriplePattern::new(
+                PatternTerm::var("o"),
+                PatternTerm::iri(format!("p{i}")),
+                PatternTerm::var(format!("d{i}")),
+            ));
+            dims.push(Dimension::new(format!("d{i}")));
+        }
+        triples.push(TriplePattern::new(
+            PatternTerm::var("o"),
+            PatternTerm::iri("m"),
+            PatternTerm::var("u"),
+        ));
+        let err =
+            Facet::new("x", dims, GroupPattern::triples(triples), "u", AggOp::Sum).unwrap_err();
+        assert!(matches!(err, FacetError::TooManyDimensions(21)));
+    }
+
+    #[test]
+    fn agg_components() {
+        assert_eq!(AggOp::Sum.components(), [MaterialComponent::Sum]);
+        assert_eq!(
+            AggOp::Avg.components(),
+            [MaterialComponent::Sum, MaterialComponent::Count]
+        );
+        assert_eq!(AggOp::Min.components(), [MaterialComponent::Min]);
+        assert_eq!(AggOp::Count.components(), [MaterialComponent::Count]);
+    }
+
+    #[test]
+    fn agg_keywords() {
+        for (op, kw) in AggOp::ALL.iter().zip(["SUM", "AVG", "COUNT", "MIN", "MAX"]) {
+            assert_eq!(op.keyword(), kw);
+        }
+    }
+}

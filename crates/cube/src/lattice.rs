@@ -1,0 +1,193 @@
+//! The view lattice `V(F)` induced by a facet.
+
+use crate::facet::Facet;
+use crate::mask::ViewMask;
+
+/// The lattice of all `2^d` views of a facet, ordered by dimension-set
+/// inclusion. "Materializing the entire lattice is impractical from the
+/// memory consumption standpoint" (§3) — which is exactly why SOFOS selects
+/// a `k`-subset; this type provides the enumeration and cover structure the
+/// selectors and the GUI's "Full Lattice view" (Figure 3 ①) work over.
+#[derive(Debug, Clone)]
+pub struct Lattice {
+    facet: Facet,
+}
+
+impl Lattice {
+    /// Build the lattice of a facet.
+    pub fn new(facet: Facet) -> Lattice {
+        Lattice { facet }
+    }
+
+    /// The underlying facet.
+    pub fn facet(&self) -> &Facet {
+        &self.facet
+    }
+
+    /// Number of dimensions `d`.
+    pub fn dim_count(&self) -> usize {
+        self.facet.dim_count()
+    }
+
+    /// Number of views `2^d`.
+    pub fn num_views(&self) -> u64 {
+        1u64 << self.facet.dim_count()
+    }
+
+    /// The base view (all dimensions).
+    pub fn base(&self) -> ViewMask {
+        ViewMask::full(self.facet.dim_count())
+    }
+
+    /// The apex view (total aggregation).
+    pub fn apex(&self) -> ViewMask {
+        ViewMask::APEX
+    }
+
+    /// Enumerate all views, ascending by mask value (deterministic).
+    pub fn views(&self) -> impl Iterator<Item = ViewMask> {
+        (0..self.num_views()).map(ViewMask)
+    }
+
+    /// Enumerate views at a given level (number of retained dimensions).
+    pub fn views_at_level(&self, level: u32) -> Vec<ViewMask> {
+        self.views().filter(|v| v.dim_count() == level).collect()
+    }
+
+    /// Direct children of a view: one dimension removed (what this view can
+    /// derive in a single roll-up step).
+    pub fn children(&self, view: ViewMask) -> Vec<ViewMask> {
+        view.dims().into_iter().map(|d| view.without(d)).collect()
+    }
+
+    /// Direct parents of a view: one dimension added.
+    pub fn parents(&self, view: ViewMask) -> Vec<ViewMask> {
+        (0..self.facet.dim_count())
+            .filter(|&d| !view.contains(d))
+            .map(|d| view.with(d))
+            .collect()
+    }
+
+    /// All views that can answer a query grouped by `required` dimensions:
+    /// exactly the masks covering `required`, ascending.
+    pub fn covering_views(&self, required: ViewMask) -> Vec<ViewMask> {
+        self.views().filter(|v| v.covers(required)).collect()
+    }
+
+    /// Dimension variable names of a view, in mask-bit order.
+    pub fn view_dim_vars(&self, view: ViewMask) -> Vec<&str> {
+        view.dims()
+            .into_iter()
+            .filter(|&d| d < self.facet.dim_count())
+            .map(|d| self.facet.dimensions[d].var.as_str())
+            .collect()
+    }
+
+    /// A short human-readable name for a view (`pop{country,lang}`).
+    pub fn view_name(&self, view: ViewMask) -> String {
+        let dims: Vec<&str> = self.view_dim_vars(view);
+        format!("{}{{{}}}", self.facet.id, dims.join(","))
+    }
+
+    /// Total number of cover edges in the lattice: `d * 2^(d-1)`.
+    pub fn num_edges(&self) -> u64 {
+        let d = self.facet.dim_count() as u64;
+        if d == 0 {
+            0
+        } else {
+            d * (1u64 << (d - 1))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::facet::{AggOp, Dimension};
+    use sofos_sparql::{GroupPattern, PatternTerm, TriplePattern};
+
+    fn facet(dims: usize) -> Facet {
+        let mut triples = Vec::new();
+        let mut dimensions = Vec::new();
+        for i in 0..dims {
+            triples.push(TriplePattern::new(
+                PatternTerm::var("o"),
+                PatternTerm::iri(format!("http://e/p{i}")),
+                PatternTerm::var(format!("d{i}")),
+            ));
+            dimensions.push(Dimension::new(format!("d{i}")));
+        }
+        triples.push(TriplePattern::new(
+            PatternTerm::var("o"),
+            PatternTerm::iri("http://e/m"),
+            PatternTerm::var("u"),
+        ));
+        Facet::new("f", dimensions, GroupPattern::triples(triples), "u", AggOp::Sum).unwrap()
+    }
+
+    #[test]
+    fn lattice_sizes() {
+        for d in 0..6 {
+            let l = Lattice::new(facet(d));
+            assert_eq!(l.num_views(), 1 << d);
+            assert_eq!(l.views().count() as u64, l.num_views());
+            // Levels sum to total: Σ C(d, k) = 2^d.
+            let total: usize = (0..=d as u32).map(|k| l.views_at_level(k).len()).sum();
+            assert_eq!(total as u64, l.num_views());
+        }
+    }
+
+    #[test]
+    fn edge_count_formula() {
+        for d in 1..6 {
+            let l = Lattice::new(facet(d));
+            let edges: usize = l.views().map(|v| l.children(v).len()).sum();
+            assert_eq!(edges as u64, l.num_edges(), "d={d}");
+        }
+    }
+
+    #[test]
+    fn parents_and_children_are_inverse() {
+        let l = Lattice::new(facet(4));
+        for v in l.views() {
+            for child in l.children(v) {
+                assert!(l.parents(child).contains(&v));
+                assert_eq!(child.dim_count() + 1, v.dim_count());
+                assert!(v.covers(child));
+            }
+        }
+    }
+
+    #[test]
+    fn base_and_apex() {
+        let l = Lattice::new(facet(3));
+        assert_eq!(l.base().dim_count(), 3);
+        assert_eq!(l.apex().dim_count(), 0);
+        assert!(l.base().covers(l.apex()));
+        assert!(l.children(l.apex()).is_empty());
+        assert!(l.parents(l.base()).is_empty());
+    }
+
+    #[test]
+    fn covering_views_cover() {
+        let l = Lattice::new(facet(3));
+        let required = ViewMask::from_dims(&[1]);
+        let covering = l.covering_views(required);
+        // Half of the lattice contains dimension 1: 2^(d-1) = 4.
+        assert_eq!(covering.len(), 4);
+        assert!(covering.iter().all(|v| v.covers(required)));
+        // The base always covers; the apex never (unless required empty).
+        assert!(covering.contains(&l.base()));
+        assert!(!covering.contains(&l.apex()));
+        assert_eq!(l.covering_views(ViewMask::APEX).len(), 8);
+    }
+
+    #[test]
+    fn view_names_and_vars() {
+        let l = Lattice::new(facet(3));
+        let v = ViewMask::from_dims(&[0, 2]);
+        assert_eq!(l.view_dim_vars(v), ["d0", "d2"]);
+        assert_eq!(l.view_name(v), "f{d0,d2}");
+        assert_eq!(l.view_name(ViewMask::APEX), "f{}");
+    }
+}

@@ -1,0 +1,136 @@
+//! View identities as dimension bitmasks.
+
+use std::fmt;
+
+/// A view in a facet's lattice, identified by the set of grouping
+/// dimensions it retains (bit `i` set ⇔ dimension `i` is grouped).
+///
+/// The empty mask is the *apex* (total aggregation, one row); the full mask
+/// is the *base view* (finest granularity).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ViewMask(pub u64);
+
+impl ViewMask {
+    /// The apex view (no grouping dimensions).
+    pub const APEX: ViewMask = ViewMask(0);
+
+    /// The full mask over `dims` dimensions.
+    pub fn full(dims: usize) -> ViewMask {
+        debug_assert!(dims <= 63);
+        ViewMask((1u64 << dims) - 1)
+    }
+
+    /// Build from explicit dimension indices.
+    pub fn from_dims(dims: &[usize]) -> ViewMask {
+        let mut mask = 0u64;
+        for &d in dims {
+            debug_assert!(d < 63);
+            mask |= 1 << d;
+        }
+        ViewMask(mask)
+    }
+
+    /// Is dimension `i` retained?
+    pub fn contains(self, i: usize) -> bool {
+        self.0 & (1 << i) != 0
+    }
+
+    /// Number of retained dimensions (the view's "level" in the lattice).
+    pub fn dim_count(self) -> u32 {
+        self.0.count_ones()
+    }
+
+    /// Indices of retained dimensions, ascending.
+    pub fn dims(self) -> Vec<usize> {
+        (0..64).filter(|&i| self.contains(i)).collect()
+    }
+
+    /// Does this view retain every dimension of `other`? (⇒ this view can
+    /// answer queries grouped like `other` via re-aggregation.)
+    pub fn covers(self, other: ViewMask) -> bool {
+        self.0 & other.0 == other.0
+    }
+
+    /// Set-union of dimensions.
+    pub fn union(self, other: ViewMask) -> ViewMask {
+        ViewMask(self.0 | other.0)
+    }
+
+    /// Mask with dimension `i` added.
+    pub fn with(self, i: usize) -> ViewMask {
+        ViewMask(self.0 | (1 << i))
+    }
+
+    /// Mask with dimension `i` removed.
+    pub fn without(self, i: usize) -> ViewMask {
+        ViewMask(self.0 & !(1 << i))
+    }
+}
+
+impl fmt::Display for ViewMask {
+    /// Render as `{0,2,3}`-style dimension sets.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        let mut first = true;
+        for d in self.dims() {
+            if !first {
+                write!(f, ",")?;
+            }
+            write!(f, "{d}")?;
+            first = false;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_and_apex() {
+        assert_eq!(ViewMask::full(3).0, 0b111);
+        assert_eq!(ViewMask::APEX.dim_count(), 0);
+        assert_eq!(ViewMask::full(0), ViewMask::APEX);
+    }
+
+    #[test]
+    fn from_dims_round_trips() {
+        let m = ViewMask::from_dims(&[0, 2, 5]);
+        assert_eq!(m.dims(), [0, 2, 5]);
+        assert_eq!(m.dim_count(), 3);
+        assert!(m.contains(2));
+        assert!(!m.contains(1));
+    }
+
+    #[test]
+    fn covers_is_superset() {
+        let big = ViewMask::from_dims(&[0, 1, 2]);
+        let small = ViewMask::from_dims(&[0, 2]);
+        assert!(big.covers(small));
+        assert!(big.covers(big));
+        assert!(!small.covers(big));
+        assert!(big.covers(ViewMask::APEX), "everything covers the apex");
+    }
+
+    #[test]
+    fn with_without() {
+        let m = ViewMask::APEX.with(3).with(1);
+        assert_eq!(m.dims(), [1, 3]);
+        assert_eq!(m.without(3).dims(), [1]);
+        assert_eq!(m.with(1), m, "idempotent add");
+    }
+
+    #[test]
+    fn union() {
+        let a = ViewMask::from_dims(&[0]);
+        let b = ViewMask::from_dims(&[2]);
+        assert_eq!(a.union(b).dims(), [0, 2]);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(ViewMask::from_dims(&[0, 2]).to_string(), "{0,2}");
+        assert_eq!(ViewMask::APEX.to_string(), "{}");
+    }
+}

@@ -1,0 +1,396 @@
+//! # sofos-materialize — view materialization into the expanded graph `G+`
+//!
+//! Implements the paper's §3.1 "View materialization": for each selected
+//! view SOFOS "generat\[es\] a new graph … contain\[ing\] a set of extra blank
+//! nodes to which is attached the value of the aggregation of different
+//! bindings for the subset of the template variables in X̄" — a
+//! generalization of the MARVEL encoding.
+//!
+//! Concretely, view `V(X̄′)` of facet `F` becomes a named graph
+//! `sofos:view/<facet>/<mask>` where each result row is one observation:
+//!
+//! ```text
+//! _:obs  rdf:type     sofos:Observation .
+//! _:obs  sofos:dim3   <value of dimension 3> .      # one per dim in X̄′
+//! _:obs  sofos:sum    "123"^^xsd:integer .          # agg components
+//! _:obs  sofos:count  "4"^^xsd:integer .            # (AVG ⇒ SUM+COUNT)
+//! ```
+//!
+//! The same encoding is exposed *virtually* ([`encode_view`]) so the cost
+//! models can size a candidate view — triples, nodes, rows, bytes — without
+//! mutating the dataset.
+
+use sofos_cube::{component_alias, AggOp, Facet, MaterialComponent, ViewMask};
+use sofos_rdf::vocab::{rdf, sofos};
+use sofos_rdf::{FxHashSet, Graph, Term, Triple};
+use sofos_sparql::{Evaluator, QueryResults, SparqlError};
+use sofos_store::Dataset;
+
+/// Sizing and identity of one (possibly virtual) materialized view.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ViewStats {
+    /// Facet the view belongs to.
+    pub facet_id: String,
+    /// The view's dimension mask.
+    pub mask: ViewMask,
+    /// Result rows of the view query — the paper's cost model #3,
+    /// "number of aggregated values" `|V_i(G)|`.
+    pub rows: usize,
+    /// Triples in the encoded view graph — cost model #2, `|G_{V_i}|`.
+    pub triples: usize,
+    /// Distinct nodes (subjects ∪ objects) in the encoded view graph —
+    /// cost model #4, `|I_i ∪ B_i ∪ L_i|`.
+    pub nodes: usize,
+    /// Estimated bytes of the encoded triples (term text heap footprint).
+    pub bytes: usize,
+}
+
+/// The result of encoding a view's query results as RDF.
+#[derive(Debug, Clone)]
+pub struct EncodedView {
+    /// The triples of the view graph.
+    pub graph: Graph,
+    /// Sizing statistics.
+    pub stats: ViewStats,
+}
+
+/// A view that has been written into the dataset.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MaterializedView {
+    /// Sizing statistics at materialization time.
+    pub stats: ViewStats,
+    /// IRI of the named graph holding the view.
+    pub graph_iri: String,
+}
+
+/// Evaluate a view query over the dataset's default graph.
+pub fn evaluate_view(
+    dataset: &Dataset,
+    facet: &Facet,
+    mask: ViewMask,
+) -> Result<QueryResults, SparqlError> {
+    let query = sofos_cube::view_query(facet, mask);
+    Evaluator::new(dataset).evaluate(&query)
+}
+
+/// Encode view query results as an RDF graph (without touching the dataset).
+///
+/// Rows with unbound dimension cells contribute no triple for that dimension
+/// (facet patterns are expected to bind every dimension; this mirrors how
+/// SPARQL grouping treats unbound keys).
+pub fn encode_view(facet: &Facet, mask: ViewMask, results: &QueryResults) -> EncodedView {
+    let type_pred = Term::iri(rdf::TYPE);
+    let observation = Term::iri(sofos::OBSERVATION);
+    let component_columns: Vec<(usize, Term)> = facet
+        .agg
+        .components()
+        .iter()
+        .map(|&c| {
+            let alias = component_alias(c);
+            let column = results
+                .column(alias)
+                .expect("view query projects its component aliases");
+            (column, component_term(c))
+        })
+        .collect();
+    let dim_columns: Vec<(usize, Term)> = mask
+        .dims()
+        .into_iter()
+        .filter(|&d| d < facet.dim_count())
+        .map(|d| {
+            let var = facet.dimensions[d].var.as_str();
+            let column = results
+                .column(var)
+                .expect("view query projects its dimension variables");
+            (column, Term::iri(sofos::dim(d)))
+        })
+        .collect();
+
+    let mut graph = Graph::new();
+    let mut nodes: FxHashSet<Term> = FxHashSet::default();
+    let mut bytes = 0usize;
+    for (i, row) in results.rows.iter().enumerate() {
+        let obs = Term::blank(format!("v{}_{}_{i}", facet.id, mask.0));
+        bytes += obs.estimated_bytes();
+        nodes.insert(obs.clone());
+        nodes.insert(observation.clone());
+        graph.insert(Triple::new_unchecked(
+            obs.clone(),
+            type_pred.clone(),
+            observation.clone(),
+        ));
+        for (column, pred) in &dim_columns {
+            if let Some(value) = &row[*column] {
+                bytes += value.estimated_bytes();
+                nodes.insert(value.clone());
+                graph.insert(Triple::new_unchecked(obs.clone(), pred.clone(), value.clone()));
+            }
+        }
+        for (column, pred) in &component_columns {
+            if let Some(value) = &row[*column] {
+                bytes += value.estimated_bytes();
+                nodes.insert(value.clone());
+                graph.insert(Triple::new_unchecked(obs.clone(), pred.clone(), value.clone()));
+            }
+        }
+    }
+
+    let stats = ViewStats {
+        facet_id: facet.id.clone(),
+        mask,
+        rows: results.len(),
+        triples: graph.len(),
+        nodes: nodes.len(),
+        bytes,
+    };
+    EncodedView { graph, stats }
+}
+
+/// Evaluate + encode + insert a view into its named graph in `G+`.
+pub fn materialize_view(
+    dataset: &mut Dataset,
+    facet: &Facet,
+    mask: ViewMask,
+) -> Result<MaterializedView, SparqlError> {
+    let results = evaluate_view(dataset, facet, mask)?;
+    let encoded = encode_view(facet, mask, &results);
+    let graph_iri = sofos::view_graph(&facet.id, mask.0);
+    let name = dataset.intern_iri(&graph_iri);
+    dataset.create_graph(name);
+    dataset.load(Some(name), &encoded.graph);
+    Ok(MaterializedView { stats: encoded.stats, graph_iri })
+}
+
+/// Materialize a set of views, returning stats in input order.
+pub fn materialize_views(
+    dataset: &mut Dataset,
+    facet: &Facet,
+    masks: &[ViewMask],
+) -> Result<Vec<MaterializedView>, SparqlError> {
+    masks.iter().map(|&m| materialize_view(dataset, facet, m)).collect()
+}
+
+/// Drop a materialized view's graph; returns `true` if it existed.
+pub fn drop_view(dataset: &mut Dataset, facet: &Facet, mask: ViewMask) -> bool {
+    let graph_iri = sofos::view_graph(&facet.id, mask.0);
+    match dataset.dict().get_id(&Term::iri(&graph_iri)) {
+        Some(id) => dataset.drop_graph(id),
+        None => false,
+    }
+}
+
+/// Size a candidate view without mutating the dataset (used by the cost
+/// models and the "Full Lattice view" of the demo GUI).
+pub fn virtual_view_stats(
+    dataset: &Dataset,
+    facet: &Facet,
+    mask: ViewMask,
+) -> Result<ViewStats, SparqlError> {
+    let results = evaluate_view(dataset, facet, mask)?;
+    Ok(encode_view(facet, mask, &results).stats)
+}
+
+fn component_term(c: MaterialComponent) -> Term {
+    Term::iri(match c {
+        MaterialComponent::Sum => sofos::SUM,
+        MaterialComponent::Count => sofos::COUNT,
+        MaterialComponent::Min => sofos::MIN,
+        MaterialComponent::Max => sofos::MAX,
+    })
+}
+
+/// The component columns a query aggregate needs from a view:
+/// `(primary, secondary)` — AVG needs SUM and COUNT, the rest only
+/// themselves. Shared with the rewriter.
+pub fn final_agg_components(agg: AggOp) -> (&'static str, Option<&'static str>) {
+    use sofos_cube::{COUNT_ALIAS, MAX_ALIAS, MIN_ALIAS, SUM_ALIAS};
+    match agg {
+        AggOp::Sum => (SUM_ALIAS, None),
+        AggOp::Count => (COUNT_ALIAS, None),
+        AggOp::Avg => (SUM_ALIAS, Some(COUNT_ALIAS)),
+        AggOp::Min => (MIN_ALIAS, None),
+        AggOp::Max => (MAX_ALIAS, None),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sofos_cube::Dimension;
+    use sofos_sparql::{GroupPattern, PatternTerm, TriplePattern};
+
+    const NS: &str = "http://e/";
+
+    fn sample_dataset() -> Dataset {
+        let mut ds = Dataset::new();
+        let country = Term::iri(format!("{NS}country"));
+        let lang = Term::iri(format!("{NS}lang"));
+        let pop = Term::iri(format!("{NS}pop"));
+        let rows = [
+            ("fr", "french", 67),
+            ("de", "german", 82),
+            ("ca", "english", 20),
+            ("ca", "french", 8),
+        ];
+        for (i, (c, l, p)) in rows.iter().enumerate() {
+            let obs = Term::blank(format!("o{i}"));
+            ds.insert(None, &obs, &country, &Term::iri(format!("{NS}{c}")));
+            ds.insert(None, &obs, &lang, &Term::literal_str(*l));
+            ds.insert(None, &obs, &pop, &Term::literal_int(*p));
+        }
+        ds
+    }
+
+    fn sample_facet(agg: AggOp) -> Facet {
+        let pattern = GroupPattern::triples(vec![
+            TriplePattern::new(
+                PatternTerm::var("o"),
+                PatternTerm::iri(format!("{NS}country")),
+                PatternTerm::var("country"),
+            ),
+            TriplePattern::new(
+                PatternTerm::var("o"),
+                PatternTerm::iri(format!("{NS}lang")),
+                PatternTerm::var("lang"),
+            ),
+            TriplePattern::new(
+                PatternTerm::var("o"),
+                PatternTerm::iri(format!("{NS}pop")),
+                PatternTerm::var("pop"),
+            ),
+        ]);
+        Facet::new(
+            "pop",
+            vec![Dimension::new("country"), Dimension::new("lang")],
+            pattern,
+            "pop",
+            agg,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn materializes_base_view() {
+        let mut ds = sample_dataset();
+        let facet = sample_facet(AggOp::Sum);
+        let mask = ViewMask::full(2);
+        let view = materialize_view(&mut ds, &facet, mask).unwrap();
+        // 4 distinct (country, lang) pairs.
+        assert_eq!(view.stats.rows, 4);
+        // Each row: type + 2 dims + 1 sum component = 4 triples.
+        assert_eq!(view.stats.triples, 16);
+        let name = ds.dict().get_id(&Term::iri(&view.graph_iri)).unwrap();
+        assert_eq!(ds.graph(Some(name)).unwrap().len(), 16);
+    }
+
+    #[test]
+    fn apex_view_has_one_row() {
+        let mut ds = sample_dataset();
+        let facet = sample_facet(AggOp::Sum);
+        let view = materialize_view(&mut ds, &facet, ViewMask::APEX).unwrap();
+        assert_eq!(view.stats.rows, 1);
+        // type + sum = 2 triples.
+        assert_eq!(view.stats.triples, 2);
+    }
+
+    #[test]
+    fn avg_views_carry_sum_and_count() {
+        let mut ds = sample_dataset();
+        let facet = sample_facet(AggOp::Avg);
+        let mask = ViewMask::from_dims(&[0]); // by country
+        let view = materialize_view(&mut ds, &facet, mask).unwrap();
+        // 3 countries; each row: type + dim + sum + count = 4.
+        assert_eq!(view.stats.rows, 3);
+        assert_eq!(view.stats.triples, 12);
+        // The graph contains sofos:count triples.
+        let name = ds.dict().get_id(&Term::iri(&view.graph_iri)).unwrap();
+        let count_pred = ds.dict().get_id(&Term::iri(sofos::COUNT)).unwrap();
+        let store = ds.graph(Some(name)).unwrap();
+        let n = store
+            .scan(sofos_store::IdPattern::new(None, Some(count_pred), None))
+            .count();
+        assert_eq!(n, 3);
+    }
+
+    #[test]
+    fn view_sums_are_correct() {
+        let mut ds = sample_dataset();
+        let facet = sample_facet(AggOp::Sum);
+        let mask = ViewMask::from_dims(&[1]); // by language
+        materialize_view(&mut ds, &facet, mask).unwrap();
+        // Query the view graph directly: french = 67 + 8 = 75.
+        let graph_iri = sofos::view_graph("pop", mask.0);
+        let q = format!(
+            "SELECT ?s WHERE {{ GRAPH <{graph_iri}> {{ \
+               ?obs <{dim}> \"french\" . ?obs <{sum}> ?s }} }}",
+            dim = sofos::dim(1),
+            sum = sofos::SUM,
+        );
+        let r = Evaluator::new(&ds).evaluate_str(&q).unwrap();
+        assert_eq!(r.len(), 1);
+        let v = r.rows[0][0].as_ref().unwrap();
+        assert_eq!(v.as_literal().unwrap().numeric().unwrap().to_f64(), 75.0);
+    }
+
+    #[test]
+    fn virtual_stats_match_actual_materialization() {
+        let mut ds = sample_dataset();
+        let facet = sample_facet(AggOp::Avg);
+        for mask in [ViewMask::APEX, ViewMask::from_dims(&[0]), ViewMask::full(2)] {
+            let virtual_stats = virtual_view_stats(&ds, &facet, mask).unwrap();
+            let actual = materialize_view(&mut ds, &facet, mask).unwrap();
+            assert_eq!(virtual_stats, actual.stats, "mask {mask}");
+            drop_view(&mut ds, &facet, mask);
+        }
+    }
+
+    #[test]
+    fn drop_view_removes_graph() {
+        let mut ds = sample_dataset();
+        let facet = sample_facet(AggOp::Sum);
+        let mask = ViewMask::full(2);
+        materialize_view(&mut ds, &facet, mask).unwrap();
+        assert!(drop_view(&mut ds, &facet, mask));
+        assert!(!drop_view(&mut ds, &facet, mask), "second drop is a no-op");
+        let name = ds.dict().get_id(&Term::iri(sofos::view_graph("pop", mask.0)));
+        assert!(name.is_none() || ds.graph(name).is_none());
+    }
+
+    #[test]
+    fn materialize_views_batch() {
+        let mut ds = sample_dataset();
+        let facet = sample_facet(AggOp::Sum);
+        let masks = [ViewMask::APEX, ViewMask::from_dims(&[0])];
+        let views = materialize_views(&mut ds, &facet, &masks).unwrap();
+        assert_eq!(views.len(), 2);
+        assert_eq!(ds.graph_names().len(), 2);
+    }
+
+    #[test]
+    fn node_count_deduplicates_shared_values() {
+        let ds = sample_dataset();
+        let facet = sample_facet(AggOp::Count);
+        // Group by language: 3 languages; counts are 1, 1, 2 → values {1, 2}.
+        let stats = virtual_view_stats(&ds, &facet, ViewMask::from_dims(&[1])).unwrap();
+        assert_eq!(stats.rows, 3);
+        // Nodes: 3 blanks + Observation + 3 language strings + 2 distinct counts.
+        assert_eq!(stats.nodes, 3 + 1 + 3 + 2);
+    }
+
+    #[test]
+    fn bytes_accounting_is_positive_and_monotone() {
+        let ds = sample_dataset();
+        let facet = sample_facet(AggOp::Sum);
+        let apex = virtual_view_stats(&ds, &facet, ViewMask::APEX).unwrap();
+        let base = virtual_view_stats(&ds, &facet, ViewMask::full(2)).unwrap();
+        assert!(apex.bytes > 0);
+        assert!(base.bytes > apex.bytes, "finer views cost more bytes");
+    }
+
+    #[test]
+    fn final_components_table() {
+        assert_eq!(final_agg_components(AggOp::Sum).0, sofos_cube::SUM_ALIAS);
+        assert_eq!(final_agg_components(AggOp::Avg).1, Some(sofos_cube::COUNT_ALIAS));
+        assert_eq!(final_agg_components(AggOp::Min).1, None);
+    }
+}

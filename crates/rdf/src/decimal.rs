@@ -1,0 +1,484 @@
+//! Exact fixed-point arithmetic for `xsd:decimal` literals.
+//!
+//! SPARQL aggregate semantics over `xsd:decimal` must be exact: SOFOS
+//! re-aggregates materialized partial sums, and a float-based decimal would
+//! make "answer from view" and "answer from base graph" drift apart, breaking
+//! the golden invariant tested throughout the workspace. [`Decimal`] stores
+//! an `i128` unscaled value plus a power-of-ten scale, giving 38 significant
+//! digits — far beyond any workload generated here.
+//!
+//! All arithmetic is *checked*: on overflow the operation returns `None` and
+//! the SPARQL evaluator promotes the operands to `xsd:double`, mirroring the
+//! XPath fallback behaviour.
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::str::FromStr;
+
+/// Maximum scale we keep after division; beyond this a value is truncated.
+pub const DIV_SCALE: u32 = 18;
+
+/// Largest scale accepted when parsing / rescaling. `i128` holds ~38 digits.
+const MAX_SCALE: u32 = 30;
+
+/// An exact decimal number: `unscaled × 10^(-scale)`.
+///
+/// Invariants (maintained by every constructor):
+/// * `scale <= MAX_SCALE`;
+/// * the representation is normalized — `unscaled` is not divisible by 10
+///   unless `scale == 0`; zero is always `(0, 0)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Decimal {
+    unscaled: i128,
+    scale: u32,
+}
+
+/// `10^exp` as `i128`, or `None` if it overflows.
+#[inline]
+fn pow10(exp: u32) -> Option<i128> {
+    10i128.checked_pow(exp)
+}
+
+impl Decimal {
+    /// Zero.
+    pub const ZERO: Decimal = Decimal { unscaled: 0, scale: 0 };
+    /// One.
+    pub const ONE: Decimal = Decimal { unscaled: 1, scale: 0 };
+
+    /// Build from raw parts, normalizing. Returns `None` when `scale`
+    /// exceeds the supported range.
+    pub fn from_parts(unscaled: i128, scale: u32) -> Option<Decimal> {
+        if scale > MAX_SCALE {
+            return None;
+        }
+        Some(Decimal { unscaled, scale }.normalize())
+    }
+
+    /// The unscaled mantissa (after normalization).
+    pub fn unscaled(&self) -> i128 {
+        self.unscaled
+    }
+
+    /// The scale (number of fractional digits after normalization).
+    pub fn scale(&self) -> u32 {
+        self.scale
+    }
+
+    fn normalize(mut self) -> Decimal {
+        if self.unscaled == 0 {
+            return Decimal::ZERO;
+        }
+        while self.scale > 0 && self.unscaled % 10 == 0 {
+            self.unscaled /= 10;
+            self.scale -= 1;
+        }
+        self
+    }
+
+    /// Rescale so that both operands share a scale. Returns the common
+    /// scale's pair of unscaled values, or `None` on overflow.
+    fn align(&self, other: &Decimal) -> Option<(i128, i128, u32)> {
+        match self.scale.cmp(&other.scale) {
+            Ordering::Equal => Some((self.unscaled, other.unscaled, self.scale)),
+            Ordering::Less => {
+                let factor = pow10(other.scale - self.scale)?;
+                let lhs = self.unscaled.checked_mul(factor)?;
+                Some((lhs, other.unscaled, other.scale))
+            }
+            Ordering::Greater => {
+                let factor = pow10(self.scale - other.scale)?;
+                let rhs = other.unscaled.checked_mul(factor)?;
+                Some((self.unscaled, rhs, self.scale))
+            }
+        }
+    }
+
+    /// Checked addition.
+    pub fn checked_add(&self, other: &Decimal) -> Option<Decimal> {
+        let (a, b, scale) = self.align(other)?;
+        Decimal::from_parts(a.checked_add(b)?, scale)
+    }
+
+    /// Checked subtraction.
+    pub fn checked_sub(&self, other: &Decimal) -> Option<Decimal> {
+        let (a, b, scale) = self.align(other)?;
+        Decimal::from_parts(a.checked_sub(b)?, scale)
+    }
+
+    /// Checked multiplication.
+    pub fn checked_mul(&self, other: &Decimal) -> Option<Decimal> {
+        let unscaled = self.unscaled.checked_mul(other.unscaled)?;
+        let scale = self.scale.checked_add(other.scale)?;
+        if scale > MAX_SCALE {
+            // Try to renormalize before giving up (e.g. 0.5 * 2).
+            return Decimal { unscaled, scale }.reduce_to(MAX_SCALE);
+        }
+        Decimal::from_parts(unscaled, scale)
+    }
+
+    /// Checked division, truncating toward zero at [`DIV_SCALE`] fractional
+    /// digits. Division by zero returns `None`.
+    pub fn checked_div(&self, other: &Decimal) -> Option<Decimal> {
+        if other.unscaled == 0 {
+            return None;
+        }
+        // self / other = (a * 10^DIV_SCALE / b) * 10^-(DIV_SCALE + sa - sb)
+        let shifted = self.unscaled.checked_mul(pow10(DIV_SCALE)?)?;
+        let quotient = shifted / other.unscaled;
+        let scale_signed =
+            DIV_SCALE as i64 + self.scale as i64 - other.scale as i64;
+        if scale_signed < 0 {
+            let factor = pow10((-scale_signed) as u32)?;
+            Decimal::from_parts(quotient.checked_mul(factor)?, 0)
+        } else {
+            Decimal::from_parts(quotient, scale_signed as u32)
+        }
+    }
+
+    /// Negation (cannot overflow except at `i128::MIN`).
+    pub fn checked_neg(&self) -> Option<Decimal> {
+        Some(Decimal { unscaled: self.unscaled.checked_neg()?, scale: self.scale })
+    }
+
+    /// Absolute value.
+    pub fn checked_abs(&self) -> Option<Decimal> {
+        Some(Decimal { unscaled: self.unscaled.checked_abs()?, scale: self.scale })
+    }
+
+    /// True when the value is zero.
+    pub fn is_zero(&self) -> bool {
+        self.unscaled == 0
+    }
+
+    /// Sign: -1, 0, or 1.
+    pub fn signum(&self) -> i32 {
+        self.unscaled.signum() as i32
+    }
+
+    /// Truncate excess fractional digits down to `target` scale.
+    fn reduce_to(mut self, target: u32) -> Option<Decimal> {
+        while self.scale > target {
+            if self.unscaled % 10 != 0 {
+                return None; // would lose precision
+            }
+            self.unscaled /= 10;
+            self.scale -= 1;
+        }
+        Some(self.normalize())
+    }
+
+    /// Lossy conversion to `f64` (used when promoting to `xsd:double`).
+    pub fn to_f64(&self) -> f64 {
+        self.unscaled as f64 / 10f64.powi(self.scale as i32)
+    }
+
+    /// Exact conversion to `i64` when the value is integral and in range.
+    pub fn to_i64(&self) -> Option<i64> {
+        if self.scale != 0 {
+            return None;
+        }
+        i64::try_from(self.unscaled).ok()
+    }
+
+    /// Round half-up to the nearest integer, returning a scale-0 decimal.
+    pub fn round(&self) -> Decimal {
+        if self.scale == 0 {
+            return *self;
+        }
+        let factor = pow10(self.scale).expect("scale bounded by MAX_SCALE");
+        let half = factor / 2;
+        let adjusted = if self.unscaled >= 0 {
+            self.unscaled + half
+        } else {
+            self.unscaled - half
+        };
+        Decimal { unscaled: adjusted / factor, scale: 0 }
+    }
+
+    /// Floor toward negative infinity, returning a scale-0 decimal.
+    pub fn floor(&self) -> Decimal {
+        if self.scale == 0 {
+            return *self;
+        }
+        let factor = pow10(self.scale).expect("scale bounded by MAX_SCALE");
+        let mut q = self.unscaled / factor;
+        if self.unscaled < 0 && self.unscaled % factor != 0 {
+            q -= 1;
+        }
+        Decimal { unscaled: q, scale: 0 }
+    }
+
+    /// Ceiling toward positive infinity, returning a scale-0 decimal.
+    pub fn ceil(&self) -> Decimal {
+        if self.scale == 0 {
+            return *self;
+        }
+        let factor = pow10(self.scale).expect("scale bounded by MAX_SCALE");
+        let mut q = self.unscaled / factor;
+        if self.unscaled > 0 && self.unscaled % factor != 0 {
+            q += 1;
+        }
+        Decimal { unscaled: q, scale: 0 }
+    }
+}
+
+impl From<i64> for Decimal {
+    fn from(v: i64) -> Self {
+        Decimal { unscaled: v as i128, scale: 0 }
+    }
+}
+
+impl From<i32> for Decimal {
+    fn from(v: i32) -> Self {
+        Decimal { unscaled: v as i128, scale: 0 }
+    }
+}
+
+impl PartialOrd for Decimal {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Decimal {
+    fn cmp(&self, other: &Self) -> Ordering {
+        match self.align(other) {
+            Some((a, b, _)) => a.cmp(&b),
+            // Alignment can only overflow for astronomically different
+            // magnitudes; compare signs then magnitudes via f64.
+            None => match self.signum().cmp(&other.signum()) {
+                Ordering::Equal => self
+                    .to_f64()
+                    .partial_cmp(&other.to_f64())
+                    .unwrap_or(Ordering::Equal),
+                ord => ord,
+            },
+        }
+    }
+}
+
+impl fmt::Display for Decimal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.scale == 0 {
+            return write!(f, "{}", self.unscaled);
+        }
+        let digits = self.unscaled.unsigned_abs().to_string();
+        let sign = if self.unscaled < 0 { "-" } else { "" };
+        let scale = self.scale as usize;
+        if digits.len() > scale {
+            let (int, frac) = digits.split_at(digits.len() - scale);
+            write!(f, "{sign}{int}.{frac}")
+        } else {
+            write!(f, "{sign}0.{digits:0>scale$}")
+        }
+    }
+}
+
+impl FromStr for Decimal {
+    type Err = ();
+
+    /// Parse `[+-]?digits[.digits]` (the `xsd:decimal` lexical space).
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let s = s.trim();
+        if s.is_empty() {
+            return Err(());
+        }
+        let (sign, rest) = match s.as_bytes()[0] {
+            b'+' => (1i128, &s[1..]),
+            b'-' => (-1i128, &s[1..]),
+            _ => (1i128, s),
+        };
+        if rest.is_empty() {
+            return Err(());
+        }
+        let (int_part, frac_part) = match rest.split_once('.') {
+            // "1." is not in the xsd:decimal lexical space.
+            Some((_, "")) => return Err(()),
+            Some((i, fr)) => (i, fr),
+            None => (rest, ""),
+        };
+        if int_part.is_empty() && frac_part.is_empty() {
+            return Err(());
+        }
+        if !int_part.bytes().all(|b| b.is_ascii_digit())
+            || !frac_part.bytes().all(|b| b.is_ascii_digit())
+        {
+            return Err(());
+        }
+        if frac_part.len() as u32 > MAX_SCALE {
+            return Err(());
+        }
+        let mut unscaled: i128 = 0;
+        for b in int_part.bytes().chain(frac_part.bytes()) {
+            unscaled = unscaled
+                .checked_mul(10)
+                .and_then(|v| v.checked_add((b - b'0') as i128))
+                .ok_or(())?;
+        }
+        Decimal::from_parts(sign * unscaled, frac_part.len() as u32).ok_or(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dec(s: &str) -> Decimal {
+        s.parse().unwrap_or_else(|_| panic!("bad decimal {s}"))
+    }
+
+    #[test]
+    fn parse_and_display_round_trip() {
+        for s in ["0", "1", "-1", "2.75", "-2.5", "0.001", "12345.6789"] {
+            assert_eq!(dec(s).to_string(), s);
+        }
+    }
+
+    #[test]
+    fn parse_normalizes_trailing_zeros() {
+        assert_eq!(dec("1.50"), dec("1.5"));
+        assert_eq!(dec("1.50").to_string(), "1.5");
+        assert_eq!(dec("0.0"), Decimal::ZERO);
+        assert_eq!(dec("0.0").to_string(), "0");
+        assert_eq!(dec("+42"), Decimal::from(42i64));
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        for s in ["", ".", "-", "1.2.3", "abc", "1e5", "--1", "1.", "1. 2"] {
+            assert!(s.parse::<Decimal>().is_err(), "accepted {s:?}");
+        }
+        // A lone ".5" and "5." are not in the xsd:decimal lexical space
+        // variants we accept: ".5" parses (int part empty, frac "5").
+        assert!(".5".parse::<Decimal>().is_ok());
+    }
+
+    #[test]
+    fn addition_aligns_scales() {
+        assert_eq!(dec("1.5").checked_add(&dec("2.25")).unwrap(), dec("3.75"));
+        assert_eq!(dec("0.1").checked_add(&dec("0.2")).unwrap(), dec("0.3"));
+        assert_eq!(dec("-1").checked_add(&dec("1")).unwrap(), Decimal::ZERO);
+    }
+
+    #[test]
+    fn subtraction_and_negation() {
+        assert_eq!(dec("5").checked_sub(&dec("7.5")).unwrap(), dec("-2.5"));
+        assert_eq!(dec("-2.5").checked_neg().unwrap(), dec("2.5"));
+        assert_eq!(dec("-2.5").checked_abs().unwrap(), dec("2.5"));
+    }
+
+    #[test]
+    fn multiplication() {
+        assert_eq!(dec("1.5").checked_mul(&dec("2")).unwrap(), dec("3"));
+        assert_eq!(dec("0.5").checked_mul(&dec("0.5")).unwrap(), dec("0.25"));
+        assert_eq!(dec("-3").checked_mul(&dec("2.5")).unwrap(), dec("-7.5"));
+    }
+
+    #[test]
+    fn division_truncates_at_div_scale() {
+        assert_eq!(dec("1").checked_div(&dec("4")).unwrap(), dec("0.25"));
+        assert_eq!(dec("10").checked_div(&dec("4")).unwrap(), dec("2.5"));
+        // 1/3 truncated to 18 digits.
+        let third = dec("1").checked_div(&dec("3")).unwrap();
+        assert_eq!(third.to_string(), "0.333333333333333333");
+        assert!(dec("1").checked_div(&Decimal::ZERO).is_none());
+    }
+
+    #[test]
+    fn ordering_is_numeric() {
+        assert!(dec("1.5") < dec("1.51"));
+        assert!(dec("-2") < dec("0.001"));
+        assert!(dec("10") > dec("9.999999"));
+        assert_eq!(dec("2.0").cmp(&dec("2")), Ordering::Equal);
+    }
+
+    #[test]
+    fn rounding_modes() {
+        assert_eq!(dec("2.5").round(), dec("3"));
+        assert_eq!(dec("-2.5").round(), dec("-3"));
+        assert_eq!(dec("2.4").round(), dec("2"));
+        assert_eq!(dec("2.5").floor(), dec("2"));
+        assert_eq!(dec("-2.5").floor(), dec("-3"));
+        assert_eq!(dec("2.5").ceil(), dec("3"));
+        assert_eq!(dec("-2.5").ceil(), dec("-2"));
+        assert_eq!(dec("7").round(), dec("7"));
+    }
+
+    #[test]
+    fn conversions() {
+        assert_eq!(dec("42").to_i64(), Some(42));
+        assert_eq!(dec("42.5").to_i64(), None);
+        assert!((dec("2.75").to_f64() - 2.75).abs() < 1e-12);
+        assert_eq!(Decimal::from(7i32), dec("7"));
+    }
+
+    #[test]
+    fn overflow_is_reported_not_wrapped() {
+        let huge = Decimal::from_parts(i128::MAX, 0).unwrap();
+        assert!(huge.checked_add(&Decimal::ONE).is_none());
+        assert!(huge.checked_mul(&dec("2")).is_none());
+    }
+
+    #[test]
+    fn zero_has_canonical_form() {
+        let z = dec("0.000");
+        assert_eq!(z.scale(), 0);
+        assert_eq!(z.unscaled(), 0);
+        assert!(z.is_zero());
+        assert_eq!(z.signum(), 0);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn small_decimal() -> impl Strategy<Value = Decimal> {
+        (-1_000_000_000i64..1_000_000_000i64, 0u32..6).prop_map(|(u, s)| {
+            Decimal::from_parts(u as i128, s).expect("in range")
+        })
+    }
+
+    proptest! {
+        #[test]
+        fn display_parse_round_trip(d in small_decimal()) {
+            let s = d.to_string();
+            let back: Decimal = s.parse().expect("display must re-parse");
+            prop_assert_eq!(d, back);
+        }
+
+        #[test]
+        fn addition_commutes(a in small_decimal(), b in small_decimal()) {
+            prop_assert_eq!(a.checked_add(&b), b.checked_add(&a));
+        }
+
+        #[test]
+        fn add_then_sub_is_identity(a in small_decimal(), b in small_decimal()) {
+            let sum = a.checked_add(&b).expect("small values don't overflow");
+            prop_assert_eq!(sum.checked_sub(&b).unwrap(), a);
+        }
+
+        #[test]
+        fn ordering_agrees_with_f64(a in small_decimal(), b in small_decimal()) {
+            // f64 has 52 mantissa bits; our strategy stays well within them.
+            let expect = a.to_f64().partial_cmp(&b.to_f64()).unwrap();
+            prop_assert_eq!(a.cmp(&b), expect);
+        }
+
+        #[test]
+        fn normalization_invariant(a in small_decimal(), b in small_decimal()) {
+            for v in [a.checked_add(&b), a.checked_mul(&b)].into_iter().flatten() {
+                prop_assert!(v.scale() == 0 || v.unscaled() % 10 != 0,
+                    "not normalized: {:?}", v);
+            }
+        }
+
+        #[test]
+        fn floor_le_round_le_ceil(a in small_decimal()) {
+            prop_assert!(a.floor() <= a.ceil());
+            prop_assert!(a.floor() <= a.round());
+            prop_assert!(a.round() <= a.ceil());
+        }
+    }
+}

@@ -1,0 +1,165 @@
+//! Dictionary encoding: interning of [`Term`]s to dense [`TermId`]s.
+//!
+//! Every store and query-engine structure in SOFOS operates on 4-byte ids
+//! instead of full terms; this module is the single source of truth for the
+//! id ↔ term mapping. Ids are assigned densely in first-seen order, which
+//! makes them usable directly as indices into side tables (statistics,
+//! feature vectors for the learned cost model).
+
+use crate::error::RdfError;
+use crate::hash::FxHashMap;
+use crate::term::Term;
+
+/// A dense identifier for an interned [`Term`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TermId(pub u32);
+
+impl TermId {
+    /// The id as a `usize` index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// An append-only term dictionary.
+///
+/// Interning a term already present returns its existing id; terms are never
+/// removed (views are dropped wholesale by discarding their graphs, not by
+/// garbage-collecting terms — the same simplification production RDF stores
+/// make for their dictionaries).
+#[derive(Debug, Default, Clone)]
+pub struct Dictionary {
+    terms: Vec<Term>,
+    index: FxHashMap<Term, TermId>,
+    bytes: usize,
+}
+
+impl Dictionary {
+    /// An empty dictionary.
+    pub fn new() -> Dictionary {
+        Dictionary::default()
+    }
+
+    /// Intern a term, returning its id (existing or fresh).
+    pub fn intern(&mut self, term: &Term) -> TermId {
+        if let Some(&id) = self.index.get(term) {
+            return id;
+        }
+        let id = TermId(u32::try_from(self.terms.len()).expect("dictionary overflow: >4G terms"));
+        self.bytes += term.estimated_bytes();
+        self.terms.push(term.clone());
+        self.index.insert(term.clone(), id);
+        id
+    }
+
+    /// Intern an IRI given as a string.
+    pub fn intern_iri(&mut self, iri: &str) -> TermId {
+        self.intern(&Term::iri(iri))
+    }
+
+    /// Look up an already-interned term without inserting.
+    pub fn get_id(&self, term: &Term) -> Option<TermId> {
+        self.index.get(term).copied()
+    }
+
+    /// Resolve an id to its term.
+    pub fn term(&self, id: TermId) -> Result<&Term, RdfError> {
+        self.terms.get(id.index()).ok_or(RdfError::UnknownTermId(id.0))
+    }
+
+    /// Resolve an id, panicking on unknown ids (for internal invariant sites).
+    pub fn term_unchecked(&self, id: TermId) -> &Term {
+        &self.terms[id.index()]
+    }
+
+    /// Number of distinct interned terms.
+    pub fn len(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// True when nothing has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.terms.is_empty()
+    }
+
+    /// Estimated heap bytes of all interned terms (dictionary side of the
+    /// storage-amplification accounting).
+    pub fn estimated_bytes(&self) -> usize {
+        self.bytes
+    }
+
+    /// Iterate `(id, term)` pairs in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (TermId, &Term)> {
+        self.terms.iter().enumerate().map(|(i, t)| (TermId(i as u32), t))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::literal::Literal;
+
+    #[test]
+    fn interning_is_idempotent() {
+        let mut d = Dictionary::new();
+        let a1 = d.intern(&Term::iri("http://e/a"));
+        let b = d.intern(&Term::iri("http://e/b"));
+        let a2 = d.intern(&Term::iri("http://e/a"));
+        assert_eq!(a1, a2);
+        assert_ne!(a1, b);
+        assert_eq!(d.len(), 2);
+    }
+
+    #[test]
+    fn ids_are_dense_and_ordered_by_first_seen() {
+        let mut d = Dictionary::new();
+        assert_eq!(d.intern(&Term::iri("x")), TermId(0));
+        assert_eq!(d.intern(&Term::iri("y")), TermId(1));
+        assert_eq!(d.intern(&Term::iri("x")), TermId(0));
+        assert_eq!(d.intern(&Term::blank("b")), TermId(2));
+    }
+
+    #[test]
+    fn lookup_round_trips() {
+        let mut d = Dictionary::new();
+        let lit = Term::Literal(Literal::integer(42));
+        let id = d.intern(&lit);
+        assert_eq!(d.term(id).unwrap(), &lit);
+        assert_eq!(d.get_id(&lit), Some(id));
+        assert_eq!(d.get_id(&Term::iri("missing")), None);
+        assert!(d.term(TermId(999)).is_err());
+    }
+
+    #[test]
+    fn distinguishes_term_kinds_with_same_text() {
+        let mut d = Dictionary::new();
+        let iri = d.intern(&Term::iri("x"));
+        let blank = d.intern(&Term::blank("x"));
+        let lit = d.intern(&Term::literal_str("x"));
+        assert_ne!(iri, blank);
+        assert_ne!(blank, lit);
+        assert_ne!(iri, lit);
+    }
+
+    #[test]
+    fn byte_accounting_grows_monotonically() {
+        let mut d = Dictionary::new();
+        let before = d.estimated_bytes();
+        d.intern(&Term::iri("http://example.org/some/long/iri"));
+        assert!(d.estimated_bytes() > before);
+        let mid = d.estimated_bytes();
+        d.intern(&Term::iri("http://example.org/some/long/iri")); // duplicate
+        assert_eq!(d.estimated_bytes(), mid, "duplicates don't grow the dict");
+    }
+
+    #[test]
+    fn iter_yields_in_id_order() {
+        let mut d = Dictionary::new();
+        d.intern(&Term::iri("a"));
+        d.intern(&Term::iri("b"));
+        let pairs: Vec<(u32, String)> =
+            d.iter().map(|(id, t)| (id.0, t.to_string())).collect();
+        assert_eq!(pairs, vec![(0, "<a>".into()), (1, "<b>".into())]);
+    }
+}

@@ -1,0 +1,75 @@
+//! Error type shared by the RDF substrate.
+
+use std::fmt;
+
+/// Errors produced while constructing or parsing RDF data.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RdfError {
+    /// A syntax error in a serialized RDF document (N-Triples input).
+    Syntax {
+        /// 1-based line number of the offending input line.
+        line: usize,
+        /// Human-readable description of the problem.
+        message: String,
+    },
+    /// An IRI failed validation (empty, contains whitespace or angle brackets).
+    InvalidIri(String),
+    /// A blank-node label failed validation.
+    InvalidBlankNode(String),
+    /// A literal's lexical form is not valid for its datatype.
+    InvalidLiteral {
+        /// The lexical form that failed to parse.
+        lexical: String,
+        /// The datatype IRI it was checked against.
+        datatype: String,
+    },
+    /// A term id was looked up that is not present in the dictionary.
+    UnknownTermId(u32),
+    /// An RDF position constraint was violated (e.g. a literal subject).
+    InvalidPosition(&'static str),
+}
+
+impl fmt::Display for RdfError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RdfError::Syntax { line, message } => {
+                write!(f, "syntax error on line {line}: {message}")
+            }
+            RdfError::InvalidIri(iri) => write!(f, "invalid IRI: {iri:?}"),
+            RdfError::InvalidBlankNode(label) => {
+                write!(f, "invalid blank node label: {label:?}")
+            }
+            RdfError::InvalidLiteral { lexical, datatype } => {
+                write!(f, "invalid literal {lexical:?} for datatype <{datatype}>")
+            }
+            RdfError::UnknownTermId(id) => write!(f, "unknown term id {id}"),
+            RdfError::InvalidPosition(what) => {
+                write!(f, "term not allowed in this triple position: {what}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RdfError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats_are_stable() {
+        let e = RdfError::Syntax { line: 3, message: "bad token".into() };
+        assert_eq!(e.to_string(), "syntax error on line 3: bad token");
+        assert_eq!(
+            RdfError::InvalidIri("a b".into()).to_string(),
+            "invalid IRI: \"a b\""
+        );
+        assert_eq!(RdfError::UnknownTermId(7).to_string(), "unknown term id 7");
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn takes_err(_: &dyn std::error::Error) {}
+        takes_err(&RdfError::InvalidPosition("literal subject"));
+    }
+}

@@ -1,0 +1,560 @@
+//! A Turtle subset parser and serializer.
+//!
+//! Supports the Turtle features real KG dumps rely on day-to-day:
+//! `@prefix`/`@base`-free prefixed names, the `a` keyword, `;` predicate
+//! lists, `,` object lists, `_:` blank nodes, string literals with escapes,
+//! language tags, `^^` datatypes, and bare numeric/boolean literal
+//! shorthand. Out of scope (rejected with an error, never silently
+//! mis-parsed): collections `( … )`, anonymous blank nodes `[ … ]`, and
+//! `@base`-relative IRIs.
+
+use crate::error::RdfError;
+use crate::hash::FxHashMap;
+use crate::literal::Literal;
+use crate::term::{BlankNode, Iri, Term};
+use crate::triple::{Graph, Triple};
+use crate::vocab::{rdf, xsd};
+use std::fmt::Write as _;
+
+/// Parse a Turtle document into a [`Graph`].
+pub fn parse_turtle(input: &str) -> Result<Graph, RdfError> {
+    Parser::new(input).parse()
+}
+
+/// Serialize a graph as Turtle, grouping by subject with `;` lists and
+/// shortening IRIs under `prefixes` (pairs of `(prefix, namespace)`).
+pub fn write_turtle(graph: &Graph, prefixes: &[(&str, &str)]) -> String {
+    let mut out = String::new();
+    for (prefix, ns) in prefixes {
+        let _ = writeln!(out, "@prefix {prefix}: <{ns}> .");
+    }
+    if !prefixes.is_empty() {
+        out.push('\n');
+    }
+
+    let shorten = |term: &Term| -> String {
+        if let Term::Iri(iri) = term {
+            for (prefix, ns) in prefixes {
+                if let Some(local) = iri.as_str().strip_prefix(ns) {
+                    if !local.is_empty()
+                        && local
+                            .chars()
+                            .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '-')
+                    {
+                        return format!("{prefix}:{local}");
+                    }
+                }
+            }
+        }
+        term.to_string()
+    };
+
+    let mut last_subject: Option<&Term> = None;
+    for triple in graph.iter() {
+        let predicate = if triple.predicate.as_iri().map(Iri::as_str) == Some(rdf::TYPE) {
+            "a".to_string()
+        } else {
+            shorten(&triple.predicate)
+        };
+        if last_subject == Some(&triple.subject) {
+            let _ = write!(
+                out,
+                " ;\n    {} {}",
+                predicate,
+                shorten(&triple.object)
+            );
+        } else {
+            if last_subject.is_some() {
+                out.push_str(" .\n");
+            }
+            let _ = write!(
+                out,
+                "{} {} {}",
+                shorten(&triple.subject),
+                predicate,
+                shorten(&triple.object)
+            );
+            last_subject = Some(&triple.subject);
+        }
+    }
+    if last_subject.is_some() {
+        out.push_str(" .\n");
+    }
+    out
+}
+
+struct Parser<'a> {
+    input: &'a str,
+    bytes: &'a [u8],
+    pos: usize,
+    line: usize,
+    prefixes: FxHashMap<String, String>,
+}
+
+impl<'a> Parser<'a> {
+    fn new(input: &'a str) -> Parser<'a> {
+        Parser {
+            input,
+            bytes: input.as_bytes(),
+            pos: 0,
+            line: 1,
+            prefixes: FxHashMap::default(),
+        }
+    }
+
+    fn err(&self, message: impl Into<String>) -> RdfError {
+        RdfError::Syntax { line: self.line, message: message.into() }
+    }
+
+    fn skip_ws(&mut self) {
+        while self.pos < self.bytes.len() {
+            match self.bytes[self.pos] {
+                b'\n' => {
+                    self.line += 1;
+                    self.pos += 1;
+                }
+                b' ' | b'\t' | b'\r' => self.pos += 1,
+                b'#' => {
+                    while self.pos < self.bytes.len() && self.bytes[self.pos] != b'\n' {
+                        self.pos += 1;
+                    }
+                }
+                _ => break,
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn eat(&mut self, byte: u8) -> bool {
+        if self.peek() == Some(byte) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, byte: u8) -> Result<(), RdfError> {
+        if self.eat(byte) {
+            Ok(())
+        } else {
+            Err(self.err(format!(
+                "expected {:?}, found {:?}",
+                byte as char,
+                self.peek().map(|b| b as char)
+            )))
+        }
+    }
+
+    fn parse(mut self) -> Result<Graph, RdfError> {
+        let mut graph = Graph::new();
+        loop {
+            self.skip_ws();
+            if self.pos >= self.bytes.len() {
+                return Ok(graph);
+            }
+            if self.input[self.pos..].starts_with("@prefix") {
+                self.parse_prefix()?;
+                continue;
+            }
+            if self.input[self.pos..].starts_with("@base") {
+                return Err(self.err("@base is not supported by this Turtle subset"));
+            }
+            self.parse_statement(&mut graph)?;
+        }
+    }
+
+    fn parse_prefix(&mut self) -> Result<(), RdfError> {
+        self.pos += "@prefix".len();
+        self.skip_ws();
+        let name_start = self.pos;
+        while self
+            .peek()
+            .is_some_and(|b| b.is_ascii_alphanumeric() || b == b'_' || b == b'-')
+        {
+            self.pos += 1;
+        }
+        let prefix = self.input[name_start..self.pos].to_string();
+        self.expect(b':')?;
+        self.skip_ws();
+        let iri = match self.parse_term()? {
+            Term::Iri(iri) => iri,
+            other => return Err(self.err(format!("expected IRI in @prefix, found {other}"))),
+        };
+        self.skip_ws();
+        self.expect(b'.')?;
+        self.prefixes.insert(prefix, iri.as_str().to_string());
+        Ok(())
+    }
+
+    fn parse_statement(&mut self, graph: &mut Graph) -> Result<(), RdfError> {
+        let subject = self.parse_term()?;
+        loop {
+            self.skip_ws();
+            let predicate = if self.peek() == Some(b'a') && self.is_bare_a() {
+                self.pos += 1;
+                Term::iri(rdf::TYPE)
+            } else {
+                self.parse_term()?
+            };
+            loop {
+                self.skip_ws();
+                let object = self.parse_term()?;
+                graph.insert(Triple::new(subject.clone(), predicate.clone(), object)?);
+                self.skip_ws();
+                if !self.eat(b',') {
+                    break;
+                }
+            }
+            if !self.eat(b';') {
+                break;
+            }
+            self.skip_ws();
+            // Dangling ';' before '.' is legal Turtle.
+            if self.peek() == Some(b'.') {
+                break;
+            }
+        }
+        self.skip_ws();
+        self.expect(b'.')?;
+        Ok(())
+    }
+
+    /// Is the `a` at the cursor the bare keyword (vs. a prefixed name)?
+    fn is_bare_a(&self) -> bool {
+        matches!(
+            self.bytes.get(self.pos + 1),
+            Some(b' ') | Some(b'\t') | Some(b'\n') | Some(b'\r') | Some(b'<')
+        )
+    }
+
+    fn parse_term(&mut self) -> Result<Term, RdfError> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'<') => {
+                self.pos += 1;
+                let start = self.pos;
+                while self.peek().is_some_and(|b| b != b'>') {
+                    self.pos += 1;
+                }
+                let iri = self.input[start..self.pos].to_string();
+                self.expect(b'>')?;
+                Ok(Term::Iri(Iri::new(iri)?))
+            }
+            Some(b'_') => {
+                self.pos += 1;
+                self.expect(b':')?;
+                let start = self.pos;
+                while self
+                    .peek()
+                    .is_some_and(|b| b.is_ascii_alphanumeric() || b == b'_' || b == b'-')
+                {
+                    self.pos += 1;
+                }
+                Ok(Term::Blank(BlankNode::new(&self.input[start..self.pos])?))
+            }
+            Some(b'"') | Some(b'\'') => self.parse_literal(),
+            Some(b'[') => Err(self.err("anonymous blank nodes are not supported")),
+            Some(b'(') => Err(self.err("collections are not supported")),
+            Some(b) if b.is_ascii_digit() || b == b'-' || b == b'+' => self.parse_numeric(),
+            Some(_) => self.parse_prefixed_or_keyword(),
+            None => Err(self.err("unexpected end of input")),
+        }
+    }
+
+    fn parse_literal(&mut self) -> Result<Term, RdfError> {
+        let quote = self.bytes[self.pos];
+        self.pos += 1;
+        let mut value = String::new();
+        loop {
+            match self.peek() {
+                Some(b) if b == quote => {
+                    self.pos += 1;
+                    break;
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => value.push('"'),
+                        Some(b'\'') => value.push('\''),
+                        Some(b'\\') => value.push('\\'),
+                        Some(b'n') => value.push('\n'),
+                        Some(b't') => value.push('\t'),
+                        Some(b'r') => value.push('\r'),
+                        _ => return Err(self.err("invalid string escape")),
+                    }
+                    self.pos += 1;
+                }
+                Some(b) if b < 0x80 => {
+                    value.push(b as char);
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    let ch = self.input[self.pos..].chars().next().expect("valid utf8");
+                    value.push(ch);
+                    self.pos += ch.len_utf8();
+                }
+                None => return Err(self.err("unterminated string literal")),
+            }
+        }
+        // Lang tag or datatype.
+        if self.eat(b'@') {
+            let start = self.pos;
+            while self
+                .peek()
+                .is_some_and(|b| b.is_ascii_alphanumeric() || b == b'-')
+            {
+                self.pos += 1;
+            }
+            if self.pos == start {
+                return Err(self.err("empty language tag"));
+            }
+            return Ok(Term::Literal(Literal::lang_string(
+                value,
+                &self.input[start..self.pos],
+            )));
+        }
+        if self.peek() == Some(b'^') {
+            self.pos += 1;
+            self.expect(b'^')?;
+            let datatype = match self.parse_term()? {
+                Term::Iri(iri) => iri,
+                other => return Err(self.err(format!("expected datatype IRI, found {other}"))),
+            };
+            return Ok(Term::Literal(Literal::typed(value, datatype)));
+        }
+        Ok(Term::Literal(Literal::string(value)))
+    }
+
+    fn parse_numeric(&mut self) -> Result<Term, RdfError> {
+        let start = self.pos;
+        if matches!(self.peek(), Some(b'+') | Some(b'-')) {
+            self.pos += 1;
+        }
+        let mut saw_dot = false;
+        let mut saw_exp = false;
+        while let Some(b) = self.peek() {
+            match b {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' if !saw_dot
+                    && !saw_exp
+                    && self.bytes.get(self.pos + 1).is_some_and(u8::is_ascii_digit) =>
+                {
+                    saw_dot = true;
+                    self.pos += 1;
+                }
+                b'e' | b'E' if !saw_exp => {
+                    saw_exp = true;
+                    self.pos += 1;
+                    if matches!(self.peek(), Some(b'+') | Some(b'-')) {
+                        self.pos += 1;
+                    }
+                }
+                _ => break,
+            }
+        }
+        let text = &self.input[start..self.pos];
+        let datatype = if saw_exp {
+            xsd::DOUBLE
+        } else if saw_dot {
+            xsd::DECIMAL
+        } else {
+            xsd::INTEGER
+        };
+        Ok(Term::Literal(Literal::typed(text, Iri::new_unchecked(datatype))))
+    }
+
+    fn parse_prefixed_or_keyword(&mut self) -> Result<Term, RdfError> {
+        let start = self.pos;
+        while self
+            .peek()
+            .is_some_and(|b| b.is_ascii_alphanumeric() || b == b'_' || b == b'-')
+        {
+            self.pos += 1;
+        }
+        let word = &self.input[start..self.pos];
+        if self.eat(b':') {
+            let local_start = self.pos;
+            while self
+                .peek()
+                .is_some_and(|b| b.is_ascii_alphanumeric() || b == b'_' || b == b'-')
+            {
+                self.pos += 1;
+            }
+            let local = &self.input[local_start..self.pos];
+            let ns = self
+                .prefixes
+                .get(word)
+                .ok_or_else(|| self.err(format!("undeclared prefix {word:?}")))?;
+            return Ok(Term::iri(format!("{ns}{local}")));
+        }
+        match word {
+            "true" => Ok(Term::Literal(Literal::boolean(true))),
+            "false" => Ok(Term::Literal(Literal::boolean(false))),
+            other => Err(self.err(format!("unexpected token {other:?}"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_prefixed_document() {
+        let doc = "\
+@prefix ex: <http://e/> .
+@prefix foaf: <http://xmlns.com/foaf/0.1/> .
+
+ex:alice a foaf:Person ;
+    foaf:name \"Alice\" ;
+    foaf:knows ex:bob , ex:carol .
+ex:bob foaf:age 42 .
+";
+        let g = parse_turtle(doc).expect("parses");
+        // alice: type + name + knows×2; bob: age.
+        assert_eq!(g.len(), 5);
+        assert!(g.contains(&Triple::new_unchecked(
+            Term::iri("http://e/alice"),
+            Term::iri(rdf::TYPE),
+            Term::iri("http://xmlns.com/foaf/0.1/Person"),
+        )));
+        assert!(g.contains(&Triple::new_unchecked(
+            Term::iri("http://e/bob"),
+            Term::iri("http://xmlns.com/foaf/0.1/age"),
+            Term::Literal(Literal::typed("42", Iri::new_unchecked(xsd::INTEGER))),
+        )));
+    }
+
+    #[test]
+    fn numeric_and_boolean_shorthand() {
+        let doc = "<http://e/s> <http://e/p> 5 . \
+                   <http://e/s> <http://e/q> 2.5 . \
+                   <http://e/s> <http://e/r> 1e3 . \
+                   <http://e/s> <http://e/b> true .";
+        let g = parse_turtle(doc).unwrap();
+        assert_eq!(g.len(), 4);
+        let datatypes: Vec<String> = g
+            .iter()
+            .map(|t| t.object.as_literal().unwrap().datatype_str().to_string())
+            .collect();
+        assert!(datatypes.contains(&xsd::INTEGER.to_string()));
+        assert!(datatypes.contains(&xsd::DECIMAL.to_string()));
+        assert!(datatypes.contains(&xsd::DOUBLE.to_string()));
+        assert!(datatypes.contains(&xsd::BOOLEAN.to_string()));
+    }
+
+    #[test]
+    fn lang_and_datatype_literals() {
+        let doc = "@prefix x: <http://x/> .\n\
+                   x:s x:p \"bonjour\"@fr ; x:q \"2020\"^^x:year .";
+        let g = parse_turtle(doc).unwrap();
+        assert_eq!(g.len(), 2);
+    }
+
+    #[test]
+    fn blank_nodes_and_single_quotes() {
+        let doc = "_:b1 <http://e/p> 'single' .";
+        let g = parse_turtle(doc).unwrap();
+        let t = g.iter().next().unwrap();
+        assert!(t.subject.is_blank());
+        assert_eq!(t.object.as_literal().unwrap().lexical(), "single");
+    }
+
+    #[test]
+    fn errors_are_informative() {
+        assert!(parse_turtle("@base <http://e/> .").is_err());
+        assert!(parse_turtle("<http://e/s> <http://e/p> [ ] .").is_err());
+        assert!(parse_turtle("<http://e/s> <http://e/p> (1 2) .").is_err());
+        assert!(parse_turtle("x:s x:p x:o .").is_err(), "undeclared prefix");
+        assert!(parse_turtle("<http://e/s> <http://e/p> ").is_err());
+        // Line numbers survive multi-line documents.
+        match parse_turtle("<http://e/s> <http://e/p> <http://e/o> .\n~nonsense") {
+            Err(RdfError::Syntax { line, .. }) => assert_eq!(line, 2),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn serializer_round_trips() {
+        let doc = "\
+@prefix ex: <http://e/> .
+ex:a ex:p ex:b ;
+    ex:q \"v\" , 5 .
+ex:b a ex:C .
+";
+        let g1 = parse_turtle(doc).unwrap();
+        let out = write_turtle(&g1, &[("ex", "http://e/")]);
+        let g2 = parse_turtle(&out).unwrap_or_else(|e| panic!("{out}\n{e}"));
+        assert_eq!(g1, g2);
+    }
+
+    #[test]
+    fn serializer_handles_unprefixed_graphs() {
+        let mut g = Graph::new();
+        g.insert(Triple::new_unchecked(
+            Term::iri("http://other/s"),
+            Term::iri(rdf::TYPE),
+            Term::iri("http://other/C"),
+        ));
+        let out = write_turtle(&g, &[]);
+        assert!(out.contains("<http://other/s> a <http://other/C> ."), "{out}");
+        let back = parse_turtle(&out).unwrap();
+        assert_eq!(back, g);
+    }
+
+    #[test]
+    fn ntriples_and_turtle_agree() {
+        let nt = "\
+<http://e/s> <http://e/p> \"x\" .
+<http://e/s> <http://e/q> <http://e/o> .
+";
+        let from_nt = crate::ntriples::parse_ntriples(nt).unwrap();
+        let ttl = write_turtle(&from_nt, &[]);
+        let from_ttl = parse_turtle(&ttl).unwrap();
+        assert_eq!(from_nt, from_ttl);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn arb_term() -> impl Strategy<Value = Term> {
+        prop_oneof![
+            "[a-z]{1,8}".prop_map(|l| Term::iri(format!("http://example.org/{l}"))),
+            "[a-z][a-z0-9]{0,6}".prop_map(Term::blank),
+            "[ -~]{0,12}".prop_map(Term::literal_str),
+            any::<i64>().prop_map(Term::literal_int),
+        ]
+    }
+
+    proptest! {
+        #[test]
+        fn turtle_round_trip(
+            triples in proptest::collection::vec(
+                (arb_term(), "[a-z]{1,8}", arb_term()),
+                0..25,
+            )
+        ) {
+            let mut g1 = Graph::new();
+            for (s, p, o) in triples {
+                if !s.is_literal() {
+                    g1.insert(Triple::new_unchecked(
+                        s,
+                        Term::iri(format!("http://example.org/{p}")),
+                        o,
+                    ));
+                }
+            }
+            let text = write_turtle(&g1, &[("ex", "http://example.org/")]);
+            let g2 = parse_turtle(&text)
+                .unwrap_or_else(|e| panic!("serializer output must parse: {text}\n{e}"));
+            prop_assert_eq!(g1, g2);
+        }
+    }
+}

@@ -1,0 +1,96 @@
+//! IRI constants for the vocabularies SOFOS uses.
+//!
+//! Besides the standard RDF/RDFS/XSD namespaces this declares the `sofos:`
+//! namespace used by the materializer (§3.1 of the paper: views are encoded
+//! as "extra blank nodes to which is attached the value of the aggregation").
+
+/// The `rdf:` namespace.
+pub mod rdf {
+    /// `rdf:type` — instance-of edges (also written `a` in Turtle/SPARQL).
+    pub const TYPE: &str = "http://www.w3.org/1999/02/22-rdf-syntax-ns#type";
+}
+
+/// The `rdfs:` namespace.
+pub mod rdfs {
+    /// `rdfs:label` — human-readable names.
+    pub const LABEL: &str = "http://www.w3.org/2000/01/rdf-schema#label";
+    /// `rdfs:subClassOf` — class hierarchy edges.
+    pub const SUB_CLASS_OF: &str = "http://www.w3.org/2000/01/rdf-schema#subClassOf";
+}
+
+/// The `xsd:` datatype namespace.
+pub mod xsd {
+    /// `xsd:string`.
+    pub const STRING: &str = "http://www.w3.org/2001/XMLSchema#string";
+    /// `xsd:boolean`.
+    pub const BOOLEAN: &str = "http://www.w3.org/2001/XMLSchema#boolean";
+    /// `xsd:integer`.
+    pub const INTEGER: &str = "http://www.w3.org/2001/XMLSchema#integer";
+    /// `xsd:decimal`.
+    pub const DECIMAL: &str = "http://www.w3.org/2001/XMLSchema#decimal";
+    /// `xsd:double`.
+    pub const DOUBLE: &str = "http://www.w3.org/2001/XMLSchema#double";
+    /// `xsd:dateTime`.
+    pub const DATE_TIME: &str = "http://www.w3.org/2001/XMLSchema#dateTime";
+    /// `xsd:gYear`.
+    pub const G_YEAR: &str = "http://www.w3.org/2001/XMLSchema#gYear";
+    /// `rdf:langString` (the datatype of language-tagged strings).
+    pub const LANG_STRING: &str =
+        "http://www.w3.org/1999/02/22-rdf-syntax-ns#langString";
+}
+
+/// The SOFOS namespace: vocabulary of the materialized-view encoding.
+pub mod sofos {
+    /// Namespace prefix for everything SOFOS writes into `G+`.
+    pub const NS: &str = "http://sofos.ics.forth.gr/ns#";
+    /// Predicate attaching the SUM component of an observation.
+    pub const SUM: &str = "http://sofos.ics.forth.gr/ns#sum";
+    /// Predicate attaching the COUNT component of an observation.
+    pub const COUNT: &str = "http://sofos.ics.forth.gr/ns#count";
+    /// Predicate attaching the MIN component of an observation.
+    pub const MIN: &str = "http://sofos.ics.forth.gr/ns#min";
+    /// Predicate attaching the MAX component of an observation.
+    pub const MAX: &str = "http://sofos.ics.forth.gr/ns#max";
+    /// rdf:type object marking an observation blank node.
+    pub const OBSERVATION: &str = "http://sofos.ics.forth.gr/ns#Observation";
+
+    /// Predicate binding an observation to the value of grouping dimension
+    /// `index` (`sofos:dim0`, `sofos:dim1`, ...).
+    pub fn dim(index: usize) -> String {
+        format!("{NS}dim{index}")
+    }
+
+    /// IRI of the named graph holding the materialized view identified by
+    /// the lattice bitmask `mask` of facet `facet_id`.
+    pub fn view_graph(facet_id: &str, mask: u64) -> String {
+        format!("{NS}view/{facet_id}/{mask}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dim_iris_are_distinct_and_namespaced() {
+        assert_eq!(sofos::dim(0), "http://sofos.ics.forth.gr/ns#dim0");
+        assert_ne!(sofos::dim(1), sofos::dim(2));
+        assert!(sofos::dim(3).starts_with(sofos::NS));
+    }
+
+    #[test]
+    fn view_graph_iris_encode_facet_and_mask() {
+        let g = sofos::view_graph("pop", 5);
+        assert!(g.contains("pop"));
+        assert!(g.ends_with("/5"));
+        assert_ne!(g, sofos::view_graph("pop", 6));
+        assert_ne!(g, sofos::view_graph("other", 5));
+    }
+
+    #[test]
+    fn xsd_constants_look_like_xsd() {
+        for c in [xsd::STRING, xsd::BOOLEAN, xsd::INTEGER, xsd::DECIMAL, xsd::DOUBLE, xsd::DATE_TIME, xsd::G_YEAR] {
+            assert!(c.starts_with("http://www.w3.org/2001/XMLSchema#"), "{c}");
+        }
+    }
+}

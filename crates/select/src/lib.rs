@@ -1,0 +1,600 @@
+//! # sofos-select — view-selection algorithms
+//!
+//! "To select the best set of views, we adopt a greedy approach \[7\]. Given a
+//! set of selected views, the greedy approach exploits the estimated time
+//! from the cost function and compares the expected running time of a set of
+//! queries with and without including the candidate view Vi" (§3). This is
+//! the classic Harinarayan–Rajaraman–Ullman (HRU'96) benefit greedy, here
+//! parameterized by any of the six [`sofos_cost::CostModel`]s.
+//!
+//! Also provided:
+//! * [`exhaustive_select`] — the optimal subset by enumeration (the oracle
+//!   for the demo's "Hands-on Challenge", E6);
+//! * [`random_select`] — an explicit random `k`-subset (equivalent to
+//!   greedy under the constant cost model, §3.1);
+//! * [`Budget::Bytes`] — the paper's "instead of selecting k views, select
+//!   up to k views up to a certain memory budget" variant;
+//! * [`WorkloadProfile`] — the query-demand distribution the greedy
+//!   optimizes for (which grouping masks arrive, with what frequency).
+
+use sofos_cost::{CostContext, CostModel};
+use sofos_cube::{Lattice, ViewMask};
+use sofos_rdf::FxHashSet;
+
+/// How much may be materialized.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Budget {
+    /// At most this many views (the paper's primary budget: "a constraint
+    /// on the number of views to materialize").
+    Views(usize),
+    /// Any number of views whose *encoded bytes* fit this budget.
+    Bytes(usize),
+}
+
+/// The anticipated query demand: `(required mask, weight)` pairs. A query
+/// requiring mask `m` can be answered by any selected view covering `m`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkloadProfile {
+    /// Demands with relative frequencies (need not be normalized).
+    pub demands: Vec<(ViewMask, f64)>,
+}
+
+impl WorkloadProfile {
+    /// Uniform demand over every view of the lattice (the default when the
+    /// workload is unknown).
+    pub fn uniform(lattice: &Lattice) -> WorkloadProfile {
+        WorkloadProfile { demands: lattice.views().map(|v| (v, 1.0)).collect() }
+    }
+
+    /// Demand from an observed/generated list of required masks.
+    pub fn from_masks(masks: impl IntoIterator<Item = ViewMask>) -> WorkloadProfile {
+        let mut demands: Vec<(ViewMask, f64)> = Vec::new();
+        for mask in masks {
+            match demands.iter_mut().find(|(m, _)| *m == mask) {
+                Some((_, w)) => *w += 1.0,
+                None => demands.push((mask, 1.0)),
+            }
+        }
+        WorkloadProfile { demands }
+    }
+
+    /// Total demand weight.
+    pub fn total_weight(&self) -> f64 {
+        self.demands.iter().map(|(_, w)| w).sum()
+    }
+}
+
+/// The result of a selection run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SelectionOutcome {
+    /// Selected views, in pick order.
+    pub selected: Vec<ViewMask>,
+    /// Estimated workload cost with the selection in place.
+    pub estimated_cost: f64,
+    /// Estimated workload cost with no views at all (base graph only).
+    pub baseline_cost: f64,
+}
+
+impl SelectionOutcome {
+    /// Estimated speedup factor (`baseline / with-views`).
+    pub fn estimated_speedup(&self) -> f64 {
+        if self.estimated_cost > 0.0 {
+            self.baseline_cost / self.estimated_cost
+        } else {
+            f64::INFINITY
+        }
+    }
+}
+
+/// Cost of answering the raw graph `G` (no views). Answering a facet query
+/// from `G` must reassemble each observation from the `|P|` triple patterns
+/// of the facet; we charge the finest view's cost times the pattern count —
+/// the same statistic every model uses, kept consistent across models.
+pub fn base_graph_cost(ctx: &CostContext<'_>, model: &dyn CostModel) -> f64 {
+    let base_mask = ViewMask::full(ctx.facet.dim_count());
+    let pattern_cost = pattern_count(ctx).max(1) as f64;
+    let view_cost = model.cost(ctx, base_mask);
+    if view_cost.is_finite() {
+        view_cost * pattern_cost
+    } else {
+        f64::MAX / 4.0
+    }
+}
+
+fn pattern_count(ctx: &CostContext<'_>) -> usize {
+    ctx.facet
+        .pattern
+        .elements
+        .iter()
+        .map(|e| match e {
+            sofos_sparql::PatternElement::Triples { patterns, .. } => patterns.len(),
+            _ => 0,
+        })
+        .sum()
+}
+
+/// Expected cost of one demand under a selection: the cheapest covering
+/// view, or the base graph when none covers.
+fn demand_cost(
+    ctx: &CostContext<'_>,
+    model: &dyn CostModel,
+    selected: &[ViewMask],
+    demand: ViewMask,
+    base_cost: f64,
+) -> f64 {
+    selected
+        .iter()
+        .filter(|v| v.covers(demand))
+        .map(|&v| model.cost(ctx, v))
+        .fold(base_cost, f64::min)
+}
+
+/// Expected total workload cost under a selection (the quantity the greedy
+/// minimizes and E6 compares against the oracle).
+pub fn workload_cost(
+    ctx: &CostContext<'_>,
+    model: &dyn CostModel,
+    profile: &WorkloadProfile,
+    selected: &[ViewMask],
+) -> f64 {
+    let base_cost = base_graph_cost(ctx, model);
+    profile
+        .demands
+        .iter()
+        .map(|&(demand, weight)| weight * demand_cost(ctx, model, selected, demand, base_cost))
+        .sum()
+}
+
+/// HRU-style benefit greedy under an arbitrary cost model and budget.
+///
+/// Each round picks the candidate with the largest total benefit
+/// `Σ_q w_q · (cost(q | S) − cost(q | S ∪ {v}))`; ties break toward the
+/// smaller mask for determinism. When every remaining candidate has zero
+/// benefit the algorithm keeps filling the budget with the cheapest
+/// remaining candidates (so that a `k`-view budget always yields `k` views,
+/// matching the demo's fixed-budget comparisons).
+pub fn greedy_select(
+    ctx: &CostContext<'_>,
+    lattice: &Lattice,
+    model: &dyn CostModel,
+    profile: &WorkloadProfile,
+    budget: Budget,
+) -> SelectionOutcome {
+    let base_cost = base_graph_cost(ctx, model);
+    let baseline_cost = workload_cost(ctx, model, profile, &[]);
+
+    // Current best cost per demand.
+    let mut current: Vec<f64> = vec![base_cost; profile.demands.len()];
+    let mut selected: Vec<ViewMask> = Vec::new();
+    let mut remaining: Vec<ViewMask> = lattice.views().collect();
+    let mut bytes_left = match budget {
+        Budget::Bytes(b) => b as isize,
+        Budget::Views(_) => isize::MAX,
+    };
+    let target_views = match budget {
+        Budget::Views(k) => k.min(remaining.len()),
+        Budget::Bytes(_) => remaining.len(),
+    };
+
+    while selected.len() < target_views {
+        let mut best: Option<(usize, f64, f64)> = None; // (index, benefit, cost)
+        for (i, &candidate) in remaining.iter().enumerate() {
+            if let Budget::Bytes(_) = budget {
+                let size = ctx.stats(candidate).map_or(usize::MAX, |s| s.bytes);
+                if size as isize > bytes_left {
+                    continue;
+                }
+            }
+            let candidate_cost = model.cost(ctx, candidate);
+            if !candidate_cost.is_finite() {
+                continue;
+            }
+            let mut benefit = 0.0;
+            for (d, &(demand, weight)) in profile.demands.iter().enumerate() {
+                if candidate.covers(demand) && candidate_cost < current[d] {
+                    benefit += weight * (current[d] - candidate_cost);
+                }
+            }
+            let better = match best {
+                None => true,
+                Some((bi, bb, bc)) => {
+                    benefit > bb
+                        || (benefit == bb
+                            && (candidate_cost < bc
+                                || (candidate_cost == bc && candidate.0 < remaining[bi].0)))
+                }
+            };
+            if better {
+                best = Some((i, benefit, candidate_cost));
+            }
+        }
+        let Some((index, _benefit, cost)) = best else {
+            break; // nothing affordable / priceable
+        };
+        let view = remaining.swap_remove(index);
+        if let Budget::Bytes(_) = budget {
+            bytes_left -= ctx.stats(view).map_or(0, |s| s.bytes) as isize;
+        }
+        for (d, &(demand, _)) in profile.demands.iter().enumerate() {
+            if view.covers(demand) && cost < current[d] {
+                current[d] = cost;
+            }
+        }
+        selected.push(view);
+    }
+
+    let estimated_cost = workload_cost(ctx, model, profile, &selected);
+    SelectionOutcome { selected, estimated_cost, baseline_cost }
+}
+
+/// Optimal `k`-subset by exhaustive enumeration. Panics if `C(n, k)` would
+/// exceed `limit` combinations (caller guards; the E6 oracle uses small
+/// lattices). Ties break toward the lexicographically smaller subset.
+pub fn exhaustive_select(
+    ctx: &CostContext<'_>,
+    lattice: &Lattice,
+    model: &dyn CostModel,
+    profile: &WorkloadProfile,
+    k: usize,
+    limit: u64,
+) -> SelectionOutcome {
+    let views: Vec<ViewMask> = lattice.views().collect();
+    let k = k.min(views.len());
+    assert!(
+        combinations(views.len() as u64, k as u64) <= limit,
+        "exhaustive search over C({}, {k}) exceeds limit {limit}",
+        views.len()
+    );
+    let baseline_cost = workload_cost(ctx, model, profile, &[]);
+
+    let mut best_subset: Vec<ViewMask> = Vec::new();
+    let mut best_cost = baseline_cost;
+    let mut indices: Vec<usize> = (0..k).collect();
+    if k > 0 {
+        loop {
+            let subset: Vec<ViewMask> = indices.iter().map(|&i| views[i]).collect();
+            let cost = workload_cost(ctx, model, profile, &subset);
+            if cost < best_cost {
+                best_cost = cost;
+                best_subset = subset;
+            }
+            // Next combination.
+            let mut i = k;
+            loop {
+                if i == 0 {
+                    break;
+                }
+                i -= 1;
+                if indices[i] != i + views.len() - k {
+                    indices[i] += 1;
+                    for j in i + 1..k {
+                        indices[j] = indices[j - 1] + 1;
+                    }
+                    break;
+                }
+                if i == 0 {
+                    return SelectionOutcome {
+                        selected: best_subset,
+                        estimated_cost: best_cost,
+                        baseline_cost,
+                    };
+                }
+            }
+        }
+    }
+    SelectionOutcome { selected: best_subset, estimated_cost: best_cost, baseline_cost }
+}
+
+fn combinations(n: u64, k: u64) -> u64 {
+    if k > n {
+        return 0;
+    }
+    let k = k.min(n - k);
+    let mut result: u64 = 1;
+    for i in 0..k {
+        result = result.saturating_mul(n - i) / (i + 1);
+    }
+    result
+}
+
+/// A random `k`-subset (deterministic per seed) — the behavioural
+/// equivalent of greedy + the constant cost model.
+pub fn random_select(
+    ctx: &CostContext<'_>,
+    lattice: &Lattice,
+    model: &dyn CostModel,
+    profile: &WorkloadProfile,
+    k: usize,
+    seed: u64,
+) -> SelectionOutcome {
+    use rand::seq::SliceRandom;
+    use rand::SeedableRng;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let mut views: Vec<ViewMask> = lattice.views().collect();
+    views.shuffle(&mut rng);
+    views.truncate(k);
+    let estimated_cost = workload_cost(ctx, model, profile, &views);
+    let baseline_cost = workload_cost(ctx, model, profile, &[]);
+    SelectionOutcome { selected: views, estimated_cost, baseline_cost }
+}
+
+/// Validate and wrap a user's explicit pick (the "User Selected Views" demo
+/// station): views must exist in the lattice and be distinct.
+pub fn user_select(
+    ctx: &CostContext<'_>,
+    lattice: &Lattice,
+    model: &dyn CostModel,
+    profile: &WorkloadProfile,
+    views: &[ViewMask],
+) -> Result<SelectionOutcome, String> {
+    let mut seen: FxHashSet<ViewMask> = FxHashSet::default();
+    for &v in views {
+        if v.0 >= lattice.num_views() {
+            return Err(format!("view {v} is not in the lattice"));
+        }
+        if !seen.insert(v) {
+            return Err(format!("view {v} selected twice"));
+        }
+    }
+    let estimated_cost = workload_cost(ctx, model, profile, views);
+    let baseline_cost = workload_cost(ctx, model, profile, &[]);
+    Ok(SelectionOutcome { selected: views.to_vec(), estimated_cost, baseline_cost })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sofos_cost::{size_lattice, AggValuesCost, TriplesCost, UserDefinedCost};
+    use sofos_cube::{AggOp, Dimension, Facet};
+    use sofos_rdf::{FxHashMap, Term};
+    use sofos_sparql::{GroupPattern, PatternTerm, TriplePattern};
+    use sofos_store::{Dataset, GraphStats};
+
+    fn setup(dims: usize, rows: usize) -> (Dataset, Facet) {
+        let mut ds = Dataset::new();
+        let m = Term::iri("http://e/m");
+        for i in 0..rows {
+            let obs = Term::blank(format!("o{i}"));
+            for d in 0..dims {
+                ds.insert(
+                    None,
+                    &obs,
+                    &Term::iri(format!("http://e/p{d}")),
+                    &Term::iri(format!("http://e/D{d}_{}", i % (d + 2))),
+                );
+            }
+            ds.insert(None, &obs, &m, &Term::literal_int(i as i64));
+        }
+        let mut triples = Vec::new();
+        let mut dimensions = Vec::new();
+        for d in 0..dims {
+            triples.push(TriplePattern::new(
+                PatternTerm::var("o"),
+                PatternTerm::iri(format!("http://e/p{d}")),
+                PatternTerm::var(format!("d{d}")),
+            ));
+            dimensions.push(Dimension::new(format!("d{d}")));
+        }
+        triples.push(TriplePattern::new(
+            PatternTerm::var("o"),
+            PatternTerm::iri("http://e/m"),
+            PatternTerm::var("u"),
+        ));
+        let facet =
+            Facet::new("t", dimensions, GroupPattern::triples(triples), "u", AggOp::Sum)
+                .unwrap();
+        (ds, facet)
+    }
+
+    fn with_ctx<R>(
+        dims: usize,
+        rows: usize,
+        f: impl FnOnce(&CostContext<'_>, &Lattice) -> R,
+    ) -> R {
+        let (ds, facet) = setup(dims, rows);
+        let lattice = Lattice::new(facet.clone());
+        let sized = size_lattice(&ds, &lattice).unwrap();
+        let base = GraphStats::compute(ds.default_graph());
+        let ctx = CostContext { facet: &facet, view_stats: &sized, base: &base };
+        f(&ctx, &lattice)
+    }
+
+    #[test]
+    fn greedy_respects_view_budget() {
+        with_ctx(3, 24, |ctx, lattice| {
+            let profile = WorkloadProfile::uniform(lattice);
+            for k in 0..=4 {
+                let outcome =
+                    greedy_select(ctx, lattice, &TriplesCost, &profile, Budget::Views(k));
+                assert_eq!(outcome.selected.len(), k, "k={k}");
+            }
+        });
+    }
+
+    #[test]
+    fn greedy_improves_over_baseline() {
+        with_ctx(3, 24, |ctx, lattice| {
+            let profile = WorkloadProfile::uniform(lattice);
+            let outcome =
+                greedy_select(ctx, lattice, &TriplesCost, &profile, Budget::Views(3));
+            assert!(outcome.estimated_cost < outcome.baseline_cost);
+            assert!(outcome.estimated_speedup() > 1.0);
+        });
+    }
+
+    #[test]
+    fn greedy_is_deterministic() {
+        with_ctx(3, 24, |ctx, lattice| {
+            let profile = WorkloadProfile::uniform(lattice);
+            let a = greedy_select(ctx, lattice, &AggValuesCost, &profile, Budget::Views(3));
+            let b = greedy_select(ctx, lattice, &AggValuesCost, &profile, Budget::Views(3));
+            assert_eq!(a, b);
+        });
+    }
+
+    #[test]
+    fn greedy_prefers_views_that_cover_demands() {
+        with_ctx(2, 12, |ctx, lattice| {
+            // Only demand: grouping by dim 0.
+            let profile = WorkloadProfile::from_masks([ViewMask::from_dims(&[0])]);
+            let outcome =
+                greedy_select(ctx, lattice, &AggValuesCost, &profile, Budget::Views(1));
+            let v = outcome.selected[0];
+            assert!(v.covers(ViewMask::from_dims(&[0])), "picked {v}");
+        });
+    }
+
+    #[test]
+    fn byte_budget_is_respected() {
+        with_ctx(3, 24, |ctx, lattice| {
+            let profile = WorkloadProfile::uniform(lattice);
+            // Find a budget that fits roughly two cheap views.
+            let apex_bytes = ctx.stats(ViewMask::APEX).unwrap().bytes;
+            let budget = apex_bytes * 3;
+            let outcome = greedy_select(
+                ctx,
+                lattice,
+                &TriplesCost,
+                &profile,
+                Budget::Bytes(budget),
+            );
+            let used: usize = outcome
+                .selected
+                .iter()
+                .map(|v| ctx.stats(*v).unwrap().bytes)
+                .sum();
+            assert!(used <= budget, "used {used} of {budget}");
+            assert!(!outcome.selected.is_empty());
+        });
+    }
+
+    #[test]
+    fn exhaustive_never_worse_than_greedy() {
+        with_ctx(3, 24, |ctx, lattice| {
+            let profile = WorkloadProfile::uniform(lattice);
+            for k in 1..=3 {
+                let greedy =
+                    greedy_select(ctx, lattice, &AggValuesCost, &profile, Budget::Views(k));
+                let optimal = exhaustive_select(
+                    ctx,
+                    lattice,
+                    &AggValuesCost,
+                    &profile,
+                    k,
+                    1_000_000,
+                );
+                assert!(
+                    optimal.estimated_cost <= greedy.estimated_cost + 1e-9,
+                    "k={k}: optimal {} > greedy {}",
+                    optimal.estimated_cost,
+                    greedy.estimated_cost
+                );
+            }
+        });
+    }
+
+    #[test]
+    fn greedy_matches_oracle_on_user_defined_costs() {
+        with_ctx(2, 12, |ctx, lattice| {
+            // Craft costs where the best 1-view choice is obvious: the base
+            // view is cheap and covers everything.
+            let mut costs: FxHashMap<ViewMask, f64> = FxHashMap::default();
+            for v in lattice.views() {
+                costs.insert(v, 100.0);
+            }
+            costs.insert(lattice.base(), 1.0);
+            let model = UserDefinedCost::new(costs, f64::INFINITY);
+            let profile = WorkloadProfile::uniform(lattice);
+            let greedy = greedy_select(ctx, lattice, &model, &profile, Budget::Views(1));
+            assert_eq!(greedy.selected, vec![lattice.base()]);
+            let oracle = exhaustive_select(ctx, lattice, &model, &profile, 1, 10_000);
+            assert_eq!(oracle.selected, vec![lattice.base()]);
+        });
+    }
+
+    #[test]
+    fn random_select_is_seeded_and_sized() {
+        with_ctx(3, 24, |ctx, lattice| {
+            let profile = WorkloadProfile::uniform(lattice);
+            let a = random_select(ctx, lattice, &TriplesCost, &profile, 3, 7);
+            let b = random_select(ctx, lattice, &TriplesCost, &profile, 3, 7);
+            let c = random_select(ctx, lattice, &TriplesCost, &profile, 3, 8);
+            assert_eq!(a, b);
+            assert_eq!(a.selected.len(), 3);
+            assert_ne!(a.selected, c.selected, "different seeds pick differently");
+        });
+    }
+
+    #[test]
+    fn user_select_validates() {
+        with_ctx(2, 12, |ctx, lattice| {
+            let profile = WorkloadProfile::uniform(lattice);
+            let ok = user_select(
+                ctx,
+                lattice,
+                &TriplesCost,
+                &profile,
+                &[ViewMask::APEX, lattice.base()],
+            );
+            assert!(ok.is_ok());
+            let dup = user_select(
+                ctx,
+                lattice,
+                &TriplesCost,
+                &profile,
+                &[ViewMask::APEX, ViewMask::APEX],
+            );
+            assert!(dup.is_err());
+            let out_of_range =
+                user_select(ctx, lattice, &TriplesCost, &profile, &[ViewMask(99)]);
+            assert!(out_of_range.is_err());
+        });
+    }
+
+    #[test]
+    fn workload_cost_monotone_in_selection() {
+        with_ctx(3, 24, |ctx, lattice| {
+            let profile = WorkloadProfile::uniform(lattice);
+            let none = workload_cost(ctx, &TriplesCost, &profile, &[]);
+            let some = workload_cost(ctx, &TriplesCost, &profile, &[lattice.base()]);
+            let more = workload_cost(
+                ctx,
+                &TriplesCost,
+                &profile,
+                &[lattice.base(), ViewMask::APEX],
+            );
+            assert!(some <= none);
+            assert!(more <= some, "adding views never hurts the estimate");
+        });
+    }
+
+    #[test]
+    fn profile_from_masks_accumulates_weights() {
+        let p = WorkloadProfile::from_masks([
+            ViewMask(1),
+            ViewMask(1),
+            ViewMask(2),
+        ]);
+        assert_eq!(p.demands.len(), 2);
+        assert_eq!(p.total_weight(), 3.0);
+        let w1 = p.demands.iter().find(|(m, _)| *m == ViewMask(1)).unwrap().1;
+        assert_eq!(w1, 2.0);
+    }
+
+    #[test]
+    fn combinations_formula() {
+        assert_eq!(combinations(8, 3), 56);
+        assert_eq!(combinations(5, 0), 1);
+        assert_eq!(combinations(5, 5), 1);
+        assert_eq!(combinations(3, 5), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds limit")]
+    fn exhaustive_guards_explosion() {
+        with_ctx(3, 8, |ctx, lattice| {
+            let profile = WorkloadProfile::uniform(lattice);
+            let _ = exhaustive_select(ctx, lattice, &TriplesCost, &profile, 4, 2);
+        });
+    }
+}

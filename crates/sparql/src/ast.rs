@@ -1,0 +1,570 @@
+//! Abstract syntax for the SPARQL subset.
+//!
+//! The AST is fully public and constructible programmatically: the SOFOS
+//! cube builder (`sofos-cube`) generates view queries and the rewriter
+//! (`sofos-rewrite`) emits rewritten queries directly as ASTs, bypassing
+//! text. The paper's analytical query form (§3) —
+//! `SELECT X̄ agg(u) WHERE P GROUP BY X̄` — maps onto [`Query`] with
+//! aggregate [`Expr::Aggregate`] select items.
+
+use sofos_rdf::{Iri, Term};
+use std::fmt;
+
+/// A parsed (or programmatically built) SELECT query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Query {
+    /// Projected items; empty together with `wildcard` = `SELECT *`.
+    pub select: Vec<SelectItem>,
+    /// `SELECT *`.
+    pub wildcard: bool,
+    /// `SELECT DISTINCT`.
+    pub distinct: bool,
+    /// The WHERE clause.
+    pub pattern: GroupPattern,
+    /// `GROUP BY` variables (this subset groups by variables only).
+    pub group_by: Vec<String>,
+    /// `HAVING` constraint over aggregates.
+    pub having: Option<Expr>,
+    /// `ORDER BY` conditions, applied in sequence.
+    pub order_by: Vec<OrderCond>,
+    /// `LIMIT`.
+    pub limit: Option<usize>,
+    /// `OFFSET`.
+    pub offset: Option<usize>,
+}
+
+impl Query {
+    /// A minimal query skeleton with the given pattern (used by builders).
+    pub fn select_all(pattern: GroupPattern) -> Query {
+        Query {
+            select: Vec::new(),
+            wildcard: true,
+            distinct: false,
+            pattern,
+            group_by: Vec::new(),
+            having: None,
+            order_by: Vec::new(),
+            limit: None,
+            offset: None,
+        }
+    }
+}
+
+/// One item of the SELECT clause.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SelectItem {
+    /// A plain variable: `?x`.
+    Var(String),
+    /// `(expr AS ?alias)` — includes aggregate expressions.
+    Expr {
+        /// The computed expression.
+        expr: Expr,
+        /// The output variable name.
+        alias: String,
+    },
+}
+
+impl SelectItem {
+    /// The output column name of this item.
+    pub fn name(&self) -> &str {
+        match self {
+            SelectItem::Var(v) => v,
+            SelectItem::Expr { alias, .. } => alias,
+        }
+    }
+}
+
+/// A `{ ... }` group: triples blocks, filters, optionals.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct GroupPattern {
+    /// Elements in syntactic order; evaluation folds them left to right.
+    pub elements: Vec<PatternElement>,
+}
+
+impl GroupPattern {
+    /// Group with a single triples block on the default graph.
+    pub fn triples(patterns: Vec<TriplePattern>) -> GroupPattern {
+        GroupPattern {
+            elements: vec![PatternElement::Triples { graph: GraphSpec::Default, patterns }],
+        }
+    }
+
+    /// All variable names mentioned in triple patterns (not filters), in
+    /// first-occurrence order.
+    pub fn pattern_variables(&self) -> Vec<String> {
+        fn push(out: &mut Vec<String>, t: &PatternTerm) {
+            if let PatternTerm::Var(v) = t {
+                if !out.iter().any(|x| x == v) {
+                    out.push(v.clone());
+                }
+            }
+        }
+        let mut out: Vec<String> = Vec::new();
+        for el in &self.elements {
+            match el {
+                PatternElement::Triples { patterns, .. } => {
+                    for p in patterns {
+                        push(&mut out, &p.subject);
+                        push(&mut out, &p.predicate);
+                        push(&mut out, &p.object);
+                    }
+                }
+                PatternElement::Optional(inner) => {
+                    for v in inner.pattern_variables() {
+                        if !out.iter().any(|x| *x == v) {
+                            out.push(v);
+                        }
+                    }
+                }
+                PatternElement::Union(left, right) => {
+                    for v in left.pattern_variables().into_iter().chain(right.pattern_variables()) {
+                        if !out.iter().any(|x| *x == v) {
+                            out.push(v);
+                        }
+                    }
+                }
+                PatternElement::Bind { var, .. } => {
+                    if !out.iter().any(|x| x == var) {
+                        out.push(var.clone());
+                    }
+                }
+                PatternElement::Values { vars, .. } => {
+                    for v in vars {
+                        if !out.iter().any(|x| x == v) {
+                            out.push(v.clone());
+                        }
+                    }
+                }
+                PatternElement::Filter(_) => {}
+            }
+        }
+        out
+    }
+}
+
+/// One element of a group pattern.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PatternElement {
+    /// A basic graph pattern, scoped to a graph.
+    Triples {
+        /// Which graph the patterns match against.
+        graph: GraphSpec,
+        /// The triple patterns (joined).
+        patterns: Vec<TriplePattern>,
+    },
+    /// `FILTER (expr)`.
+    Filter(Expr),
+    /// `OPTIONAL { ... }` (left join).
+    Optional(GroupPattern),
+    /// `{ A } UNION { B }` — branch disjunction.
+    Union(GroupPattern, GroupPattern),
+    /// `BIND (expr AS ?v)` — computed binding.
+    Bind {
+        /// The computed expression.
+        expr: Expr,
+        /// The variable to bind (must be unbound at this point).
+        var: String,
+    },
+    /// `VALUES (?v ...) { (t ...) ... }` — inline data joined in.
+    Values {
+        /// The bound variables.
+        vars: Vec<String>,
+        /// Rows of constants; `None` is `UNDEF`.
+        rows: Vec<Vec<Option<Term>>>,
+    },
+}
+
+/// Which graph a triples block targets.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GraphSpec {
+    /// The dataset's default graph (the base KG).
+    Default,
+    /// A named graph — SOFOS materialized views live here.
+    Named(Iri),
+}
+
+/// A triple pattern: each position is a variable or a constant term.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TriplePattern {
+    /// Subject position.
+    pub subject: PatternTerm,
+    /// Predicate position.
+    pub predicate: PatternTerm,
+    /// Object position.
+    pub object: PatternTerm,
+}
+
+impl TriplePattern {
+    /// Convenience constructor.
+    pub fn new(subject: PatternTerm, predicate: PatternTerm, object: PatternTerm) -> Self {
+        TriplePattern { subject, predicate, object }
+    }
+}
+
+/// A variable or constant in a triple pattern.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PatternTerm {
+    /// `?name`.
+    Var(String),
+    /// A constant RDF term.
+    Const(Term),
+}
+
+impl PatternTerm {
+    /// Shorthand for a variable.
+    pub fn var(name: impl Into<String>) -> PatternTerm {
+        PatternTerm::Var(name.into())
+    }
+
+    /// Shorthand for an IRI constant.
+    pub fn iri(iri: impl Into<String>) -> PatternTerm {
+        PatternTerm::Const(Term::iri(iri))
+    }
+
+    /// The variable name, if this is a variable.
+    pub fn as_var(&self) -> Option<&str> {
+        match self {
+            PatternTerm::Var(v) => Some(v),
+            PatternTerm::Const(_) => None,
+        }
+    }
+}
+
+/// An `ORDER BY` condition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OrderCond {
+    /// Sort key expression.
+    pub expr: Expr,
+    /// `DESC` when true.
+    pub descending: bool,
+}
+
+/// Expressions of the subset: boolean algebra, comparisons, arithmetic,
+/// a library of built-in functions, and aggregates (only valid in SELECT /
+/// HAVING / ORDER BY; the planner extracts them).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Variable reference.
+    Var(String),
+    /// Constant term (literal, IRI, ...).
+    Const(Term),
+    /// `||`.
+    Or(Box<Expr>, Box<Expr>),
+    /// `&&`.
+    And(Box<Expr>, Box<Expr>),
+    /// `!`.
+    Not(Box<Expr>),
+    /// Comparison.
+    Compare(CompareOp, Box<Expr>, Box<Expr>),
+    /// `IN` list membership.
+    In(Box<Expr>, Vec<Expr>),
+    /// Binary arithmetic.
+    Arith(ArithOp, Box<Expr>, Box<Expr>),
+    /// Unary minus.
+    Neg(Box<Expr>),
+    /// Built-in function call.
+    Call(Func, Vec<Expr>),
+    /// Aggregate (extracted by the planner before row-level evaluation).
+    Aggregate(Aggregate),
+}
+
+impl Expr {
+    /// Integer constant shorthand.
+    pub fn int(v: i64) -> Expr {
+        Expr::Const(Term::literal_int(v))
+    }
+
+    /// Variable shorthand.
+    pub fn var(name: impl Into<String>) -> Expr {
+        Expr::Var(name.into())
+    }
+
+    /// Does this expression (transitively) contain an aggregate?
+    pub fn has_aggregate(&self) -> bool {
+        match self {
+            Expr::Aggregate(_) => true,
+            Expr::Var(_) | Expr::Const(_) => false,
+            Expr::Not(e) | Expr::Neg(e) => e.has_aggregate(),
+            Expr::Or(a, b) | Expr::And(a, b) | Expr::Compare(_, a, b) | Expr::Arith(_, a, b) => {
+                a.has_aggregate() || b.has_aggregate()
+            }
+            Expr::In(e, list) => e.has_aggregate() || list.iter().any(Expr::has_aggregate),
+            Expr::Call(_, args) => args.iter().any(Expr::has_aggregate),
+        }
+    }
+
+    /// Variables referenced (outside aggregates), first-occurrence order.
+    pub fn variables(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        self.collect_variables(&mut out);
+        out
+    }
+
+    fn collect_variables(&self, out: &mut Vec<String>) {
+        match self {
+            Expr::Var(v) => {
+                if !out.iter().any(|x| x == v) {
+                    out.push(v.clone());
+                }
+            }
+            Expr::Const(_) => {}
+            Expr::Not(e) | Expr::Neg(e) => e.collect_variables(out),
+            Expr::Or(a, b) | Expr::And(a, b) | Expr::Compare(_, a, b) | Expr::Arith(_, a, b) => {
+                a.collect_variables(out);
+                b.collect_variables(out);
+            }
+            Expr::In(e, list) => {
+                e.collect_variables(out);
+                for item in list {
+                    item.collect_variables(out);
+                }
+            }
+            Expr::Call(_, args) => {
+                for a in args {
+                    a.collect_variables(out);
+                }
+            }
+            Expr::Aggregate(agg) => {
+                if let Some(e) = agg.expr() {
+                    e.collect_variables(out);
+                }
+            }
+        }
+    }
+}
+
+/// Comparison operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CompareOp {
+    /// `=`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+/// Arithmetic operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ArithOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+}
+
+/// Built-in functions of the subset.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Func {
+    /// `BOUND(?v)`
+    Bound,
+    /// `STR(x)`
+    Str,
+    /// `LANG(x)`
+    Lang,
+    /// `DATATYPE(x)`
+    Datatype,
+    /// `isIRI(x)`
+    IsIri,
+    /// `isBLANK(x)`
+    IsBlank,
+    /// `isLITERAL(x)`
+    IsLiteral,
+    /// `isNUMERIC(x)`
+    IsNumeric,
+    /// `ABS(x)`
+    Abs,
+    /// `CEIL(x)`
+    Ceil,
+    /// `FLOOR(x)`
+    Floor,
+    /// `ROUND(x)`
+    Round,
+    /// `STRLEN(x)`
+    StrLen,
+    /// `CONTAINS(h, n)`
+    Contains,
+    /// `STRSTARTS(h, n)`
+    StrStarts,
+    /// `STRENDS(h, n)`
+    StrEnds,
+    /// `UCASE(x)`
+    UCase,
+    /// `LCASE(x)`
+    LCase,
+    /// `YEAR(x)`
+    Year,
+    /// `MONTH(x)`
+    Month,
+    /// `DAY(x)`
+    Day,
+    /// `REGEX(text, pattern)` (subset: `^`, `$`, `.`, `.*`)
+    Regex,
+    /// `COALESCE(...)`
+    Coalesce,
+    /// `IF(c, t, e)`
+    If,
+}
+
+/// Aggregation functions of the paper's analytic query form:
+/// `{SUM, AVG, COUNT, MAX, MIN}` (§3), plus `COUNT(*)`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Aggregate {
+    /// `COUNT(*)` or `COUNT(expr)`; `distinct` applies to the expr form.
+    Count {
+        /// `COUNT(DISTINCT ...)`.
+        distinct: bool,
+        /// `None` = `COUNT(*)`.
+        expr: Option<Box<Expr>>,
+    },
+    /// `SUM(expr)`.
+    Sum {
+        /// `SUM(DISTINCT ...)`.
+        distinct: bool,
+        /// Summed expression.
+        expr: Box<Expr>,
+    },
+    /// `AVG(expr)`.
+    Avg {
+        /// `AVG(DISTINCT ...)`.
+        distinct: bool,
+        /// Averaged expression.
+        expr: Box<Expr>,
+    },
+    /// `MIN(expr)`.
+    Min {
+        /// Minimized expression.
+        expr: Box<Expr>,
+    },
+    /// `MAX(expr)`.
+    Max {
+        /// Maximized expression.
+        expr: Box<Expr>,
+    },
+}
+
+impl Aggregate {
+    /// The aggregated expression, if any (`COUNT(*)` has none).
+    pub fn expr(&self) -> Option<&Expr> {
+        match self {
+            Aggregate::Count { expr, .. } => expr.as_deref(),
+            Aggregate::Sum { expr, .. }
+            | Aggregate::Avg { expr, .. }
+            | Aggregate::Min { expr }
+            | Aggregate::Max { expr } => Some(expr),
+        }
+    }
+
+    /// The SPARQL keyword for this aggregate.
+    pub fn keyword(&self) -> &'static str {
+        match self {
+            Aggregate::Count { .. } => "COUNT",
+            Aggregate::Sum { .. } => "SUM",
+            Aggregate::Avg { .. } => "AVG",
+            Aggregate::Min { .. } => "MIN",
+            Aggregate::Max { .. } => "MAX",
+        }
+    }
+}
+
+impl fmt::Display for CompareOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            CompareOp::Eq => "=",
+            CompareOp::Ne => "!=",
+            CompareOp::Lt => "<",
+            CompareOp::Le => "<=",
+            CompareOp::Gt => ">",
+            CompareOp::Ge => ">=",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pattern_variables_deduplicate_in_order() {
+        let gp = GroupPattern::triples(vec![
+            TriplePattern::new(PatternTerm::var("a"), PatternTerm::iri("p"), PatternTerm::var("b")),
+            TriplePattern::new(PatternTerm::var("b"), PatternTerm::iri("q"), PatternTerm::var("c")),
+        ]);
+        assert_eq!(gp.pattern_variables(), ["a", "b", "c"]);
+    }
+
+    #[test]
+    fn pattern_variables_see_into_optionals() {
+        let inner = GroupPattern::triples(vec![TriplePattern::new(
+            PatternTerm::var("a"),
+            PatternTerm::iri("p"),
+            PatternTerm::var("d"),
+        )]);
+        let gp = GroupPattern {
+            elements: vec![
+                PatternElement::Triples {
+                    graph: GraphSpec::Default,
+                    patterns: vec![TriplePattern::new(
+                        PatternTerm::var("a"),
+                        PatternTerm::iri("p"),
+                        PatternTerm::var("b"),
+                    )],
+                },
+                PatternElement::Optional(inner),
+            ],
+        };
+        assert_eq!(gp.pattern_variables(), ["a", "b", "d"]);
+    }
+
+    #[test]
+    fn has_aggregate_traverses() {
+        let agg = Expr::Aggregate(Aggregate::Sum {
+            distinct: false,
+            expr: Box::new(Expr::var("x")),
+        });
+        let wrapped = Expr::Arith(ArithOp::Add, Box::new(agg), Box::new(Expr::int(1)));
+        assert!(wrapped.has_aggregate());
+        assert!(!Expr::var("x").has_aggregate());
+    }
+
+    #[test]
+    fn expr_variables_include_aggregate_args() {
+        let e = Expr::Compare(
+            CompareOp::Gt,
+            Box::new(Expr::Aggregate(Aggregate::Sum {
+                distinct: false,
+                expr: Box::new(Expr::var("pop")),
+            })),
+            Box::new(Expr::int(10)),
+        );
+        assert_eq!(e.variables(), ["pop"]);
+    }
+
+    #[test]
+    fn select_item_names() {
+        assert_eq!(SelectItem::Var("x".into()).name(), "x");
+        let item = SelectItem::Expr { expr: Expr::int(1), alias: "one".into() };
+        assert_eq!(item.name(), "one");
+    }
+
+    #[test]
+    fn aggregate_keywords() {
+        let sum = Aggregate::Sum { distinct: false, expr: Box::new(Expr::var("x")) };
+        assert_eq!(sum.keyword(), "SUM");
+        let count = Aggregate::Count { distinct: false, expr: None };
+        assert_eq!(count.keyword(), "COUNT");
+        assert!(count.expr().is_none());
+        assert!(sum.expr().is_some());
+    }
+}

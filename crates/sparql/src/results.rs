@@ -1,0 +1,150 @@
+//! Query result sets.
+
+use sofos_rdf::Term;
+use std::fmt;
+
+/// A SELECT result: column names plus rows of optional terms.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryResults {
+    /// Projected column names (without `?`).
+    pub vars: Vec<String>,
+    /// Result rows; `None` cells are unbound.
+    pub rows: Vec<Vec<Option<Term>>>,
+}
+
+impl QueryResults {
+    /// An empty result with the given columns.
+    pub fn empty(vars: Vec<String>) -> QueryResults {
+        QueryResults { vars, rows: Vec::new() }
+    }
+
+    /// Number of rows (the paper's "number of aggregated values" when the
+    /// query is a view query, cost model #3).
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when there are no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// The index of a column by name.
+    pub fn column(&self, name: &str) -> Option<usize> {
+        self.vars.iter().position(|v| v == name)
+    }
+
+    /// All values of one column (unbound cells skipped).
+    pub fn column_values(&self, name: &str) -> Vec<&Term> {
+        match self.column(name) {
+            Some(idx) => self.rows.iter().filter_map(|r| r[idx].as_ref()).collect(),
+            None => Vec::new(),
+        }
+    }
+
+    /// A canonically sorted copy — rows ordered by term order — for
+    /// result-set comparison in tests and the rewrite-equivalence checker.
+    pub fn sorted(&self) -> QueryResults {
+        let mut rows = self.rows.clone();
+        rows.sort_by(|a, b| {
+            for (x, y) in a.iter().zip(b.iter()) {
+                let ord = match (x, y) {
+                    (None, None) => std::cmp::Ordering::Equal,
+                    (None, Some(_)) => std::cmp::Ordering::Less,
+                    (Some(_), None) => std::cmp::Ordering::Greater,
+                    (Some(x), Some(y)) => x.cmp(y),
+                };
+                if ord != std::cmp::Ordering::Equal {
+                    return ord;
+                }
+            }
+            std::cmp::Ordering::Equal
+        });
+        QueryResults { vars: self.vars.clone(), rows }
+    }
+
+    /// Render as a compact text table (used by examples and experiments).
+    pub fn to_table(&self) -> String {
+        let mut widths: Vec<usize> = self.vars.iter().map(|v| v.len() + 1).collect();
+        let rendered: Vec<Vec<String>> = self
+            .rows
+            .iter()
+            .map(|row| {
+                row.iter()
+                    .enumerate()
+                    .map(|(i, cell)| {
+                        let text = match cell {
+                            Some(t) => t.to_string(),
+                            None => "—".to_string(),
+                        };
+                        widths[i] = widths[i].max(text.chars().count());
+                        text
+                    })
+                    .collect()
+            })
+            .collect();
+        let mut out = String::new();
+        for (i, v) in self.vars.iter().enumerate() {
+            out.push_str(&format!("{:<w$}  ", format!("?{v}"), w = widths[i]));
+        }
+        out.push('\n');
+        for row in rendered {
+            for (i, cell) in row.iter().enumerate() {
+                out.push_str(&format!("{:<w$}  ", cell, w = widths[i]));
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl fmt::Display for QueryResults {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.to_table())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn results() -> QueryResults {
+        QueryResults {
+            vars: vec!["x".into(), "n".into()],
+            rows: vec![
+                vec![Some(Term::iri("b")), Some(Term::literal_int(2))],
+                vec![Some(Term::iri("a")), None],
+            ],
+        }
+    }
+
+    #[test]
+    fn column_lookup() {
+        let r = results();
+        assert_eq!(r.column("x"), Some(0));
+        assert_eq!(r.column("n"), Some(1));
+        assert_eq!(r.column("missing"), None);
+        assert_eq!(r.column_values("n").len(), 1, "unbound cells skipped");
+    }
+
+    #[test]
+    fn sorted_orders_rows() {
+        let r = results().sorted();
+        assert_eq!(r.rows[0][0], Some(Term::iri("a")));
+        assert_eq!(r.rows[1][0], Some(Term::iri("b")));
+    }
+
+    #[test]
+    fn table_rendering_includes_headers_and_unbound() {
+        let t = results().to_table();
+        assert!(t.contains("?x"));
+        assert!(t.contains("?n"));
+        assert!(t.contains("—"));
+    }
+
+    #[test]
+    fn len_and_empty() {
+        assert_eq!(results().len(), 2);
+        assert!(QueryResults::empty(vec!["a".into()]).is_empty());
+    }
+}

@@ -1,0 +1,267 @@
+//! Rendering a [`Query`] AST back to SPARQL text.
+//!
+//! SOFOS builds view queries and rewritten queries programmatically; this
+//! module lets experiments and examples display them, and round-trips
+//! through the parser (property-tested in the integration suite).
+
+use crate::ast::*;
+use sofos_rdf::Term;
+use std::fmt::Write as _;
+
+/// Render a query as SPARQL text.
+pub fn query_to_sparql(query: &Query) -> String {
+    let mut out = String::from("SELECT ");
+    if query.distinct {
+        out.push_str("DISTINCT ");
+    }
+    if query.wildcard {
+        out.push('*');
+    } else {
+        let items: Vec<String> = query.select.iter().map(select_item_to_text).collect();
+        out.push_str(&items.join(" "));
+    }
+    out.push_str(" WHERE ");
+    group_to_text(&query.pattern, &mut out);
+    if !query.group_by.is_empty() {
+        out.push_str(" GROUP BY");
+        for v in &query.group_by {
+            let _ = write!(out, " ?{v}");
+        }
+    }
+    if let Some(h) = &query.having {
+        let _ = write!(out, " HAVING ({})", expr_to_text(h));
+    }
+    if !query.order_by.is_empty() {
+        out.push_str(" ORDER BY");
+        for cond in &query.order_by {
+            if cond.descending {
+                let _ = write!(out, " DESC({})", expr_to_text(&cond.expr));
+            } else {
+                let _ = write!(out, " ASC({})", expr_to_text(&cond.expr));
+            }
+        }
+    }
+    if let Some(l) = query.limit {
+        let _ = write!(out, " LIMIT {l}");
+    }
+    if let Some(o) = query.offset {
+        let _ = write!(out, " OFFSET {o}");
+    }
+    out
+}
+
+fn select_item_to_text(item: &SelectItem) -> String {
+    match item {
+        SelectItem::Var(v) => format!("?{v}"),
+        SelectItem::Expr { expr, alias } => format!("({} AS ?{alias})", expr_to_text(expr)),
+    }
+}
+
+fn group_to_text(group: &GroupPattern, out: &mut String) {
+    out.push_str("{ ");
+    for element in &group.elements {
+        match element {
+            PatternElement::Triples { graph, patterns } => match graph {
+                GraphSpec::Default => triples_to_text(patterns, out),
+                GraphSpec::Named(iri) => {
+                    let _ = write!(out, "GRAPH {iri} {{ ");
+                    triples_to_text(patterns, out);
+                    out.push_str("} ");
+                }
+            },
+            PatternElement::Filter(expr) => {
+                let _ = write!(out, "FILTER ({}) ", expr_to_text(expr));
+            }
+            PatternElement::Optional(inner) => {
+                out.push_str("OPTIONAL ");
+                group_to_text(inner, out);
+                out.push(' ');
+            }
+            PatternElement::Union(left, right) => {
+                group_to_text(left, out);
+                out.push_str(" UNION ");
+                group_to_text(right, out);
+                out.push(' ');
+            }
+            PatternElement::Bind { expr, var } => {
+                let _ = write!(out, "BIND ({} AS ?{var}) ", expr_to_text(expr));
+            }
+            PatternElement::Values { vars, rows } => {
+                let names: Vec<String> = vars.iter().map(|v| format!("?{v}")).collect();
+                let _ = write!(out, "VALUES ({}) {{ ", names.join(" "));
+                for row in rows {
+                    out.push('(');
+                    let cells: Vec<String> = row
+                        .iter()
+                        .map(|c| match c {
+                            Some(t) => term_to_text(t),
+                            None => "UNDEF".to_string(),
+                        })
+                        .collect();
+                    out.push_str(&cells.join(" "));
+                    out.push_str(") ");
+                }
+                out.push_str("} ");
+            }
+        }
+    }
+    out.push('}');
+}
+
+fn triples_to_text(patterns: &[TriplePattern], out: &mut String) {
+    for p in patterns {
+        let _ = write!(
+            out,
+            "{} {} {} . ",
+            pattern_term_to_text(&p.subject),
+            pattern_term_to_text(&p.predicate),
+            pattern_term_to_text(&p.object)
+        );
+    }
+}
+
+fn pattern_term_to_text(t: &PatternTerm) -> String {
+    match t {
+        PatternTerm::Var(v) => format!("?{v}"),
+        PatternTerm::Const(term) => term_to_text(term),
+    }
+}
+
+fn term_to_text(t: &Term) -> String {
+    // Term's Display is already SPARQL-compatible (N-Triples syntax).
+    t.to_string()
+}
+
+/// Render an expression as SPARQL text (fully parenthesized where needed).
+pub fn expr_to_text(expr: &Expr) -> String {
+    match expr {
+        Expr::Var(v) => format!("?{v}"),
+        Expr::Const(t) => term_to_text(t),
+        Expr::Or(a, b) => format!("({} || {})", expr_to_text(a), expr_to_text(b)),
+        Expr::And(a, b) => format!("({} && {})", expr_to_text(a), expr_to_text(b)),
+        Expr::Not(e) => format!("!({})", expr_to_text(e)),
+        Expr::Compare(op, a, b) => {
+            format!("({} {} {})", expr_to_text(a), op, expr_to_text(b))
+        }
+        Expr::In(e, list) => {
+            let items: Vec<String> = list.iter().map(expr_to_text).collect();
+            format!("({} IN ({}))", expr_to_text(e), items.join(", "))
+        }
+        Expr::Arith(op, a, b) => {
+            let sym = match op {
+                ArithOp::Add => "+",
+                ArithOp::Sub => "-",
+                ArithOp::Mul => "*",
+                ArithOp::Div => "/",
+            };
+            format!("({} {} {})", expr_to_text(a), sym, expr_to_text(b))
+        }
+        Expr::Neg(e) => format!("(-{})", expr_to_text(e)),
+        Expr::Call(func, args) => {
+            let name = match func {
+                Func::Bound => "BOUND",
+                Func::Str => "STR",
+                Func::Lang => "LANG",
+                Func::Datatype => "DATATYPE",
+                Func::IsIri => "isIRI",
+                Func::IsBlank => "isBLANK",
+                Func::IsLiteral => "isLITERAL",
+                Func::IsNumeric => "isNUMERIC",
+                Func::Abs => "ABS",
+                Func::Ceil => "CEIL",
+                Func::Floor => "FLOOR",
+                Func::Round => "ROUND",
+                Func::StrLen => "STRLEN",
+                Func::Contains => "CONTAINS",
+                Func::StrStarts => "STRSTARTS",
+                Func::StrEnds => "STRENDS",
+                Func::UCase => "UCASE",
+                Func::LCase => "LCASE",
+                Func::Year => "YEAR",
+                Func::Month => "MONTH",
+                Func::Day => "DAY",
+                Func::Regex => "REGEX",
+                Func::Coalesce => "COALESCE",
+                Func::If => "IF",
+            };
+            let rendered: Vec<String> = args.iter().map(expr_to_text).collect();
+            format!("{name}({})", rendered.join(", "))
+        }
+        Expr::Aggregate(agg) => match agg {
+            Aggregate::Count { distinct, expr: None } => {
+                format!("COUNT({}*)", if *distinct { "DISTINCT " } else { "" })
+            }
+            Aggregate::Count { distinct, expr: Some(e) } => format!(
+                "COUNT({}{})",
+                if *distinct { "DISTINCT " } else { "" },
+                expr_to_text(e)
+            ),
+            Aggregate::Sum { distinct, expr } => format!(
+                "SUM({}{})",
+                if *distinct { "DISTINCT " } else { "" },
+                expr_to_text(expr)
+            ),
+            Aggregate::Avg { distinct, expr } => format!(
+                "AVG({}{})",
+                if *distinct { "DISTINCT " } else { "" },
+                expr_to_text(expr)
+            ),
+            Aggregate::Min { expr } => format!("MIN({})", expr_to_text(expr)),
+            Aggregate::Max { expr } => format!("MAX({})", expr_to_text(expr)),
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse_query;
+
+    fn round_trip(text: &str) {
+        let q1 = parse_query(text).expect("first parse");
+        let rendered = query_to_sparql(&q1);
+        let q2 = parse_query(&rendered)
+            .unwrap_or_else(|e| panic!("rendered query must re-parse: {rendered}\n{e}"));
+        assert_eq!(q1, q2, "round trip changed the AST:\n{rendered}");
+    }
+
+    #[test]
+    fn round_trips_analytical_query() {
+        round_trip(
+            "SELECT ?c (SUM(?p) AS ?t) WHERE { ?o <http://e/c> ?c . ?o <http://e/p> ?p . \
+             FILTER ((?p > 10)) } GROUP BY ?c HAVING ((SUM(?p) > 100)) ORDER BY DESC(?t) LIMIT 5",
+        );
+    }
+
+    #[test]
+    fn round_trips_graph_and_optional() {
+        round_trip(
+            "SELECT * WHERE { GRAPH <http://g/1> { ?s <http://e/p> ?v . } \
+             OPTIONAL { ?s <http://e/q> ?w . } }",
+        );
+    }
+
+    #[test]
+    fn round_trips_functions_and_literals() {
+        round_trip(
+            "SELECT ?s WHERE { ?s <http://e/p> ?v . \
+             FILTER ((CONTAINS(STR(?v), \"x\") && (?v != \"a\"@en))) }",
+        );
+    }
+
+    #[test]
+    fn round_trips_aggregates() {
+        round_trip(
+            "SELECT (COUNT(*) AS ?n) (AVG(?v) AS ?a) (MIN(?v) AS ?lo) (MAX(?v) AS ?hi) \
+             (COUNT(DISTINCT ?v) AS ?d) WHERE { ?s <http://e/p> ?v . }",
+        );
+    }
+
+    #[test]
+    fn renders_distinct_and_offset() {
+        let q = parse_query("SELECT DISTINCT ?s WHERE { ?s ?p ?o } OFFSET 3").unwrap();
+        let text = query_to_sparql(&q);
+        assert!(text.contains("DISTINCT"));
+        assert!(text.contains("OFFSET 3"));
+    }
+}

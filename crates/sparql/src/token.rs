@@ -1,0 +1,580 @@
+//! Tokenizer for the SPARQL subset.
+//!
+//! Produces a flat token stream consumed by the recursive-descent parser in
+//! [`crate::parse`]. Keywords are recognized case-insensitively and
+//! normalized to uppercase; prefixed names are kept split so the parser can
+//! expand them against the prologue's `PREFIX` table.
+
+use crate::error::{Result, SparqlError};
+
+/// A lexical token with its byte position (for error messages).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// The token kind/payload.
+    pub kind: TokenKind,
+    /// Byte offset of the token start in the query text.
+    pub position: usize,
+}
+
+/// Token kinds of the SPARQL subset grammar.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    /// `<http://...>`.
+    Iri(String),
+    /// `prefix:local` (either part may be empty).
+    PrefixedName(String, String),
+    /// `?name` or `$name`.
+    Var(String),
+    /// `_:label`.
+    BlankNode(String),
+    /// String literal body (unescaped), without tag/datatype.
+    String(String),
+    /// `@tag` following a string.
+    LangTag(String),
+    /// Integer literal text.
+    Integer(String),
+    /// Decimal literal text (contains `.`).
+    Decimal(String),
+    /// Double literal text (contains exponent).
+    Double(String),
+    /// An uppercased keyword (`SELECT`, `WHERE`, `SUM`, ...) or bare word.
+    Keyword(String),
+    /// Punctuation / operators: `{ } ( ) . ; , * = != < <= > >= + - / && || ! ^^ a`.
+    Punct(&'static str),
+    /// End of input.
+    Eof,
+}
+
+/// The words the tokenizer treats as keywords (uppercased).
+const KEYWORDS: &[&str] = &[
+    "SELECT", "DISTINCT", "WHERE", "FILTER", "OPTIONAL", "GRAPH", "GROUP", "BY", "HAVING",
+    "ORDER", "ASC", "DESC", "LIMIT", "OFFSET", "AS", "PREFIX", "BASE", "UNION", "SUM", "AVG",
+    "COUNT", "MIN", "MAX", "TRUE", "FALSE", "BOUND", "STR", "LANG", "DATATYPE", "ISIRI",
+    "ISURI", "ISBLANK", "ISLITERAL", "ISNUMERIC", "ABS", "CEIL", "FLOOR", "ROUND", "STRLEN",
+    "CONTAINS", "STRSTARTS", "STRENDS", "UCASE", "LCASE", "YEAR", "MONTH", "DAY", "REGEX",
+    "COALESCE", "IF", "IN", "VALUES", "BIND", "UNDEF",
+];
+
+/// Tokenize a query string.
+pub fn tokenize(input: &str) -> Result<Vec<Token>> {
+    let bytes = input.as_bytes();
+    let mut tokens = Vec::new();
+    let mut pos = 0usize;
+
+    macro_rules! err {
+        ($p:expr, $($arg:tt)*) => {
+            return Err(SparqlError::Parse { position: $p, message: format!($($arg)*) })
+        };
+    }
+
+    while pos < bytes.len() {
+        let start = pos;
+        let b = bytes[pos];
+        match b {
+            b' ' | b'\t' | b'\r' | b'\n' => {
+                pos += 1;
+            }
+            b'#' => {
+                while pos < bytes.len() && bytes[pos] != b'\n' {
+                    pos += 1;
+                }
+            }
+            b'<' => {
+                // Either an IRI or the '<'/'<=' operator. IRIs never contain
+                // spaces; scan ahead to a '>' before any whitespace.
+                let mut end = pos + 1;
+                let mut is_iri = false;
+                while end < bytes.len() {
+                    match bytes[end] {
+                        b'>' => {
+                            is_iri = true;
+                            break;
+                        }
+                        b' ' | b'\t' | b'\r' | b'\n' | b'"' => break,
+                        _ => end += 1,
+                    }
+                }
+                if is_iri {
+                    let text = std::str::from_utf8(&bytes[pos + 1..end])
+                        .map_err(|_| SparqlError::Parse {
+                            position: pos,
+                            message: "invalid UTF-8 in IRI".into(),
+                        })?
+                        .to_string();
+                    tokens.push(Token { kind: TokenKind::Iri(text), position: start });
+                    pos = end + 1;
+                } else if bytes.get(pos + 1) == Some(&b'=') {
+                    tokens.push(Token { kind: TokenKind::Punct("<="), position: start });
+                    pos += 2;
+                } else {
+                    tokens.push(Token { kind: TokenKind::Punct("<"), position: start });
+                    pos += 1;
+                }
+            }
+            b'?' | b'$' => {
+                pos += 1;
+                let name_start = pos;
+                while pos < bytes.len()
+                    && (bytes[pos].is_ascii_alphanumeric() || bytes[pos] == b'_')
+                {
+                    pos += 1;
+                }
+                if pos == name_start {
+                    err!(start, "empty variable name");
+                }
+                let name = input[name_start..pos].to_string();
+                tokens.push(Token { kind: TokenKind::Var(name), position: start });
+            }
+            b'"' | b'\'' => {
+                let quote = b;
+                pos += 1;
+                let mut value = String::new();
+                loop {
+                    if pos >= bytes.len() {
+                        err!(start, "unterminated string literal");
+                    }
+                    let c = bytes[pos];
+                    if c == quote {
+                        pos += 1;
+                        break;
+                    }
+                    if c == b'\\' {
+                        pos += 1;
+                        match bytes.get(pos) {
+                            Some(b'"') => value.push('"'),
+                            Some(b'\'') => value.push('\''),
+                            Some(b'\\') => value.push('\\'),
+                            Some(b'n') => value.push('\n'),
+                            Some(b't') => value.push('\t'),
+                            Some(b'r') => value.push('\r'),
+                            _ => err!(pos, "invalid string escape"),
+                        }
+                        pos += 1;
+                    } else if c < 0x80 {
+                        value.push(c as char);
+                        pos += 1;
+                    } else {
+                        // Copy the full UTF-8 sequence.
+                        let ch_start = pos;
+                        let ch = input[ch_start..].chars().next().expect("valid utf8");
+                        value.push(ch);
+                        pos += ch.len_utf8();
+                    }
+                }
+                tokens.push(Token { kind: TokenKind::String(value), position: start });
+            }
+            b'@' => {
+                pos += 1;
+                let tag_start = pos;
+                while pos < bytes.len()
+                    && (bytes[pos].is_ascii_alphanumeric() || bytes[pos] == b'-')
+                {
+                    pos += 1;
+                }
+                if pos == tag_start {
+                    err!(start, "empty language tag");
+                }
+                tokens.push(Token {
+                    kind: TokenKind::LangTag(input[tag_start..pos].to_string()),
+                    position: start,
+                });
+            }
+            b'^' => {
+                if bytes.get(pos + 1) == Some(&b'^') {
+                    tokens.push(Token { kind: TokenKind::Punct("^^"), position: start });
+                    pos += 2;
+                } else {
+                    err!(start, "lone '^'");
+                }
+            }
+            b'0'..=b'9' => {
+                let (kind, len) = scan_number(&input[pos..]);
+                tokens.push(Token { kind, position: start });
+                pos += len;
+            }
+            b'.' => {
+                // Could start a decimal like ".5" — only when followed by a digit.
+                if bytes.get(pos + 1).is_some_and(|c| c.is_ascii_digit()) {
+                    let (kind, len) = scan_number(&input[pos..]);
+                    tokens.push(Token { kind, position: start });
+                    pos += len;
+                } else {
+                    tokens.push(Token { kind: TokenKind::Punct("."), position: start });
+                    pos += 1;
+                }
+            }
+            b'{' | b'}' | b'(' | b')' | b';' | b',' | b'*' | b'/' | b'+' => {
+                let p: &'static str = match b {
+                    b'{' => "{",
+                    b'}' => "}",
+                    b'(' => "(",
+                    b')' => ")",
+                    b';' => ";",
+                    b',' => ",",
+                    b'*' => "*",
+                    b'/' => "/",
+                    _ => "+",
+                };
+                tokens.push(Token { kind: TokenKind::Punct(p), position: start });
+                pos += 1;
+            }
+            b'-' => {
+                tokens.push(Token { kind: TokenKind::Punct("-"), position: start });
+                pos += 1;
+            }
+            b'=' => {
+                tokens.push(Token { kind: TokenKind::Punct("="), position: start });
+                pos += 1;
+            }
+            b'!' => {
+                if bytes.get(pos + 1) == Some(&b'=') {
+                    tokens.push(Token { kind: TokenKind::Punct("!="), position: start });
+                    pos += 2;
+                } else {
+                    tokens.push(Token { kind: TokenKind::Punct("!"), position: start });
+                    pos += 1;
+                }
+            }
+            b'>' => {
+                if bytes.get(pos + 1) == Some(&b'=') {
+                    tokens.push(Token { kind: TokenKind::Punct(">="), position: start });
+                    pos += 2;
+                } else {
+                    tokens.push(Token { kind: TokenKind::Punct(">"), position: start });
+                    pos += 1;
+                }
+            }
+            b'&' => {
+                if bytes.get(pos + 1) == Some(&b'&') {
+                    tokens.push(Token { kind: TokenKind::Punct("&&"), position: start });
+                    pos += 2;
+                } else {
+                    err!(start, "lone '&'");
+                }
+            }
+            b'|' => {
+                if bytes.get(pos + 1) == Some(&b'|') {
+                    tokens.push(Token { kind: TokenKind::Punct("||"), position: start });
+                    pos += 2;
+                } else {
+                    err!(start, "lone '|'");
+                }
+            }
+            b'_' if bytes.get(pos + 1) == Some(&b':') => {
+                pos += 2;
+                let label_start = pos;
+                while pos < bytes.len()
+                    && (bytes[pos].is_ascii_alphanumeric() || bytes[pos] == b'_' || bytes[pos] == b'-')
+                {
+                    pos += 1;
+                }
+                if pos == label_start {
+                    err!(start, "empty blank node label");
+                }
+                tokens.push(Token {
+                    kind: TokenKind::BlankNode(input[label_start..pos].to_string()),
+                    position: start,
+                });
+            }
+            _ if b.is_ascii_alphabetic() || b == b'_' => {
+                // Bare word: keyword, `a`, or a prefixed name.
+                let word_start = pos;
+                while pos < bytes.len()
+                    && (bytes[pos].is_ascii_alphanumeric() || bytes[pos] == b'_' || bytes[pos] == b'-')
+                {
+                    pos += 1;
+                }
+                let word = &input[word_start..pos];
+                if bytes.get(pos) == Some(&b':') {
+                    // Prefixed name: prefix ':' local
+                    pos += 1;
+                    let local_start = pos;
+                    while pos < bytes.len()
+                        && (bytes[pos].is_ascii_alphanumeric()
+                            || bytes[pos] == b'_'
+                            || bytes[pos] == b'-'
+                            || bytes[pos] == b'.')
+                    {
+                        pos += 1;
+                    }
+                    // A trailing '.' terminates the statement, not the name.
+                    let mut local_end = pos;
+                    while local_end > local_start && bytes[local_end - 1] == b'.' {
+                        local_end -= 1;
+                        pos -= 1;
+                    }
+                    tokens.push(Token {
+                        kind: TokenKind::PrefixedName(
+                            word.to_string(),
+                            input[local_start..local_end].to_string(),
+                        ),
+                        position: start,
+                    });
+                } else if word == "a" {
+                    tokens.push(Token { kind: TokenKind::Punct("a"), position: start });
+                } else {
+                    let upper = word.to_ascii_uppercase();
+                    if KEYWORDS.contains(&upper.as_str()) {
+                        tokens.push(Token { kind: TokenKind::Keyword(upper), position: start });
+                    } else {
+                        err!(start, "unexpected word {word:?}");
+                    }
+                }
+            }
+            b':' => {
+                // Prefixed name with empty prefix.
+                pos += 1;
+                let local_start = pos;
+                while pos < bytes.len()
+                    && (bytes[pos].is_ascii_alphanumeric()
+                        || bytes[pos] == b'_'
+                        || bytes[pos] == b'-'
+                        || bytes[pos] == b'.')
+                {
+                    pos += 1;
+                }
+                let mut local_end = pos;
+                while local_end > local_start && bytes[local_end - 1] == b'.' {
+                    local_end -= 1;
+                    pos -= 1;
+                }
+                tokens.push(Token {
+                    kind: TokenKind::PrefixedName(
+                        String::new(),
+                        input[local_start..local_end].to_string(),
+                    ),
+                    position: start,
+                });
+            }
+            _ => err!(start, "unexpected character {:?}", b as char),
+        }
+    }
+
+    tokens.push(Token { kind: TokenKind::Eof, position: input.len() });
+    Ok(tokens)
+}
+
+/// Scan a numeric token, returning its kind and consumed byte length.
+fn scan_number(text: &str) -> (TokenKind, usize) {
+    let bytes = text.as_bytes();
+    let mut pos = 0;
+    let mut saw_dot = false;
+    let mut saw_exp = false;
+    while pos < bytes.len() {
+        match bytes[pos] {
+            b'0'..=b'9' => pos += 1,
+            b'.' if !saw_dot && !saw_exp
+                // '.' only counts as part of the number if a digit follows;
+                // "1." at statement end must leave the dot as punctuation.
+                && bytes.get(pos + 1).is_some_and(|c| c.is_ascii_digit()) =>
+            {
+                saw_dot = true;
+                pos += 1;
+            }
+            b'e' | b'E' if !saw_exp => {
+                // Exponent: optional sign then digits.
+                let mut look = pos + 1;
+                if matches!(bytes.get(look), Some(b'+') | Some(b'-')) {
+                    look += 1;
+                }
+                if bytes.get(look).is_some_and(|c| c.is_ascii_digit()) {
+                    saw_exp = true;
+                    pos = look + 1;
+                    while pos < bytes.len() && bytes[pos].is_ascii_digit() {
+                        pos += 1;
+                    }
+                } else {
+                    break;
+                }
+            }
+            _ => break,
+        }
+    }
+    let lexical = text[..pos].to_string();
+    let kind = if saw_exp {
+        TokenKind::Double(lexical)
+    } else if saw_dot {
+        TokenKind::Decimal(lexical)
+    } else {
+        TokenKind::Integer(lexical)
+    };
+    (kind, pos)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(input: &str) -> Vec<TokenKind> {
+        tokenize(input).expect("tokenizes").into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn basic_select() {
+        let ks = kinds("SELECT ?x WHERE { ?x <http://e/p> 5 . }");
+        assert_eq!(
+            ks,
+            vec![
+                TokenKind::Keyword("SELECT".into()),
+                TokenKind::Var("x".into()),
+                TokenKind::Keyword("WHERE".into()),
+                TokenKind::Punct("{"),
+                TokenKind::Var("x".into()),
+                TokenKind::Iri("http://e/p".into()),
+                TokenKind::Integer("5".into()),
+                TokenKind::Punct("."),
+                TokenKind::Punct("}"),
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn keywords_are_case_insensitive() {
+        assert_eq!(kinds("select Select SELECT")[..3].iter().filter(|k| matches!(k, TokenKind::Keyword(w) if w == "SELECT")).count(), 3);
+    }
+
+    #[test]
+    fn numbers() {
+        assert_eq!(
+            kinds("1 2.5 3e4 1.5E-2 .5"),
+            vec![
+                TokenKind::Integer("1".into()),
+                TokenKind::Decimal("2.5".into()),
+                TokenKind::Double("3e4".into()),
+                TokenKind::Double("1.5E-2".into()),
+                TokenKind::Decimal(".5".into()),
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn statement_dot_is_not_swallowed_by_number() {
+        // "5 ." vs "5." — both must yield Integer then Punct('.').
+        assert_eq!(
+            kinds("5."),
+            vec![TokenKind::Integer("5".into()), TokenKind::Punct("."), TokenKind::Eof]
+        );
+    }
+
+    #[test]
+    fn operators() {
+        assert_eq!(
+            kinds("= != < <= > >= && || ! + - * /"),
+            vec![
+                TokenKind::Punct("="),
+                TokenKind::Punct("!="),
+                TokenKind::Punct("<"),
+                TokenKind::Punct("<="),
+                TokenKind::Punct(">"),
+                TokenKind::Punct(">="),
+                TokenKind::Punct("&&"),
+                TokenKind::Punct("||"),
+                TokenKind::Punct("!"),
+                TokenKind::Punct("+"),
+                TokenKind::Punct("-"),
+                TokenKind::Punct("*"),
+                TokenKind::Punct("/"),
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn less_than_vs_iri() {
+        // '<' followed by a space is an operator; '<x>' is an IRI.
+        assert_eq!(
+            kinds("?a < 5"),
+            vec![
+                TokenKind::Var("a".into()),
+                TokenKind::Punct("<"),
+                TokenKind::Integer("5".into()),
+                TokenKind::Eof
+            ]
+        );
+        assert_eq!(kinds("<http://e/x>")[0], TokenKind::Iri("http://e/x".into()));
+    }
+
+    #[test]
+    fn strings_with_escapes_and_tags() {
+        assert_eq!(
+            kinds(r#""a\"b" "x"@en "5"^^<http://t>"#),
+            vec![
+                TokenKind::String("a\"b".into()),
+                TokenKind::String("x".into()),
+                TokenKind::LangTag("en".into()),
+                TokenKind::String("5".into()),
+                TokenKind::Punct("^^"),
+                TokenKind::Iri("http://t".into()),
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn prefixed_names() {
+        assert_eq!(
+            kinds("foaf:name :local rdf:type ."),
+            vec![
+                TokenKind::PrefixedName("foaf".into(), "name".into()),
+                TokenKind::PrefixedName("".into(), "local".into()),
+                TokenKind::PrefixedName("rdf".into(), "type".into()),
+                TokenKind::Punct("."),
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn prefixed_name_does_not_eat_statement_dot() {
+        assert_eq!(
+            kinds("?s a ex:Thing."),
+            vec![
+                TokenKind::Var("s".into()),
+                TokenKind::Punct("a"),
+                TokenKind::PrefixedName("ex".into(), "Thing".into()),
+                TokenKind::Punct("."),
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        assert_eq!(
+            kinds("SELECT # comment here\n ?x"),
+            vec![
+                TokenKind::Keyword("SELECT".into()),
+                TokenKind::Var("x".into()),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn blank_nodes() {
+        assert_eq!(kinds("_:b1")[0], TokenKind::BlankNode("b1".into()));
+    }
+
+    #[test]
+    fn the_a_keyword() {
+        assert_eq!(kinds("a")[0], TokenKind::Punct("a"));
+    }
+
+    #[test]
+    fn error_positions() {
+        match tokenize("SELECT ~") {
+            Err(SparqlError::Parse { position, .. }) => assert_eq!(position, 7),
+            other => panic!("expected parse error, got {other:?}"),
+        }
+        assert!(tokenize("\"unterminated").is_err());
+        assert!(tokenize("@").is_err());
+        assert!(tokenize("?").is_err());
+    }
+
+    #[test]
+    fn unicode_in_strings() {
+        assert_eq!(kinds("\"café 日本\"")[0], TokenKind::String("café 日本".into()));
+    }
+}

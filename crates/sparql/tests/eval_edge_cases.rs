@@ -1,0 +1,237 @@
+//! Evaluator edge cases: error propagation in filters and aggregates,
+//! OPTIONAL scoping, mixed-type ordering, and modifier interactions.
+
+use sofos_rdf::{Literal, Term};
+use sofos_sparql::{Evaluator, QueryResults};
+use sofos_store::Dataset;
+
+const NS: &str = "http://edge.example/";
+
+fn iri(local: &str) -> Term {
+    Term::iri(format!("{NS}{local}"))
+}
+
+/// A graph with deliberately messy data: numbers, strings and IRIs under
+/// the same predicate, plus partially-attributed entities.
+fn messy() -> Dataset {
+    let mut ds = Dataset::new();
+    let value = iri("value");
+    let label = iri("label");
+    ds.insert(None, &iri("a"), &value, &Term::literal_int(10));
+    ds.insert(None, &iri("b"), &value, &Term::literal_str("not-a-number"));
+    ds.insert(None, &iri("c"), &value, &iri("other-entity"));
+    ds.insert(None, &iri("d"), &value, &Term::literal_int(-5));
+    ds.insert(
+        None,
+        &iri("e"),
+        &value,
+        &Term::Literal(Literal::typed("3.5", sofos_rdf::Iri::new_unchecked(
+            sofos_rdf::vocab::xsd::DECIMAL,
+        ))),
+    );
+    // Only some entities have labels.
+    ds.insert(None, &iri("a"), &label, &Term::literal_str("Alpha"));
+    ds.insert(None, &iri("d"), &label, &Term::literal_str("Delta"));
+    ds
+}
+
+fn run(ds: &Dataset, q: &str) -> QueryResults {
+    Evaluator::new(ds).evaluate_str(q).unwrap_or_else(|e| panic!("{e}\n{q}"))
+}
+
+#[test]
+fn type_errors_in_filters_drop_rows_silently() {
+    let ds = messy();
+    // ?v > 0 errors on the string and the IRI: those rows are filtered out,
+    // not fatal.
+    let r = run(&ds, &format!("SELECT ?s WHERE {{ ?s <{NS}value> ?v FILTER(?v > 0) }}"));
+    assert_eq!(r.len(), 2, "10 and 3.5 pass; -5 fails; string/IRI error out");
+}
+
+#[test]
+fn negated_comparison_still_excludes_error_rows() {
+    let ds = messy();
+    // !(?v > 0) is an error for non-numerics too — they stay excluded, which
+    // is exactly SPARQL's (sometimes surprising) three-valued behaviour.
+    let r = run(&ds, &format!("SELECT ?s WHERE {{ ?s <{NS}value> ?v FILTER(!(?v > 0)) }}"));
+    assert_eq!(r.len(), 1, "only -5");
+}
+
+#[test]
+fn sum_over_mixed_types_is_unbound_count_still_works() {
+    let ds = messy();
+    let r = run(
+        &ds,
+        &format!("SELECT (SUM(?v) AS ?s) (COUNT(?v) AS ?n) WHERE {{ ?x <{NS}value> ?v }}"),
+    );
+    assert_eq!(r.len(), 1);
+    assert!(r.rows[0][0].is_none(), "SUM poisoned by non-numeric input");
+    let n = r.rows[0][1].as_ref().unwrap().as_literal().unwrap().numeric().unwrap();
+    assert_eq!(n.to_f64(), 5.0, "COUNT counts all bound values");
+}
+
+#[test]
+fn min_max_over_mixed_types_use_total_order() {
+    let ds = messy();
+    let r = run(
+        &ds,
+        &format!("SELECT (MIN(?v) AS ?lo) (MAX(?v) AS ?hi) WHERE {{ ?x <{NS}value> ?v }}"),
+    );
+    // Total order: IRI < numeric < string ⇒ MIN is the IRI, MAX the string.
+    assert!(r.rows[0][0].as_ref().unwrap().is_iri());
+    assert_eq!(
+        r.rows[0][1].as_ref().unwrap().as_literal().unwrap().lexical(),
+        "not-a-number"
+    );
+}
+
+#[test]
+fn order_by_mixed_types_is_deterministic() {
+    let ds = messy();
+    let q = format!("SELECT ?v WHERE {{ ?x <{NS}value> ?v }} ORDER BY ?v");
+    let a = run(&ds, &q);
+    let b = run(&ds, &q);
+    assert_eq!(a, b);
+    // IRIs first, then numerics ascending, then strings.
+    assert!(a.rows[0][0].as_ref().unwrap().is_iri());
+    let second = a.rows[1][0].as_ref().unwrap().as_literal().unwrap();
+    assert_eq!(second.lexical(), "-5");
+}
+
+#[test]
+fn optional_filter_scopes_to_inner_group() {
+    let ds = messy();
+    // The FILTER inside OPTIONAL constrains only the optional part: rows
+    // without labels survive with the label unbound.
+    let r = run(
+        &ds,
+        &format!(
+            "SELECT ?s ?l WHERE {{ ?s <{NS}value> ?v . \
+               OPTIONAL {{ ?s <{NS}label> ?l FILTER(?l != \"Alpha\") }} }} ORDER BY ?s"
+        ),
+    );
+    assert_eq!(r.len(), 5);
+    let bound: Vec<&str> = r
+        .rows
+        .iter()
+        .filter_map(|row| row[1].as_ref())
+        .map(|t| t.as_literal().unwrap().lexical())
+        .collect();
+    assert_eq!(bound, ["Delta"], "Alpha is filtered inside the OPTIONAL");
+}
+
+#[test]
+fn nested_optionals() {
+    let mut ds = messy();
+    ds.insert(None, &iri("a"), &iri("extra"), &Term::literal_int(1));
+    let r = run(
+        &ds,
+        &format!(
+            "SELECT ?s ?l ?x WHERE {{ ?s <{NS}value> ?v . \
+               OPTIONAL {{ ?s <{NS}label> ?l OPTIONAL {{ ?s <{NS}extra> ?x }} }} }}"
+        ),
+    );
+    assert_eq!(r.len(), 5);
+    let a_row = r
+        .rows
+        .iter()
+        .find(|row| {
+            row[0].as_ref().and_then(Term::as_iri).map(|i| i.as_str().ends_with("/a"))
+                == Some(true)
+        })
+        .unwrap();
+    assert!(a_row[1].is_some() && a_row[2].is_some());
+}
+
+#[test]
+fn having_without_group_by() {
+    let ds = messy();
+    // Aggregate + HAVING over the implicit single group.
+    let r = run(
+        &ds,
+        &format!(
+            "SELECT (COUNT(*) AS ?n) WHERE {{ ?x <{NS}value> ?v }} HAVING (COUNT(*) > 3)"
+        ),
+    );
+    assert_eq!(r.len(), 1);
+    let none = run(
+        &ds,
+        &format!(
+            "SELECT (COUNT(*) AS ?n) WHERE {{ ?x <{NS}value> ?v }} HAVING (COUNT(*) > 99)"
+        ),
+    );
+    assert_eq!(none.len(), 0);
+}
+
+#[test]
+fn distinct_interacts_with_order_and_limit() {
+    let mut ds = Dataset::new();
+    for i in 0..6 {
+        ds.insert(
+            None,
+            &iri(&format!("s{i}")),
+            &iri("p"),
+            &Term::literal_int(i % 3),
+        );
+    }
+    let r = run(
+        &ds,
+        &format!("SELECT DISTINCT ?v WHERE {{ ?s <{NS}p> ?v }} ORDER BY DESC(?v) LIMIT 2"),
+    );
+    assert_eq!(r.len(), 2);
+    let values: Vec<String> = r
+        .rows
+        .iter()
+        .map(|row| row[0].as_ref().unwrap().as_literal().unwrap().lexical().to_string())
+        .collect();
+    assert_eq!(values, ["2", "1"]);
+}
+
+#[test]
+fn offset_beyond_results_is_empty() {
+    let ds = messy();
+    let r = run(&ds, &format!("SELECT ?s WHERE {{ ?s <{NS}value> ?v }} OFFSET 100"));
+    assert!(r.is_empty());
+    let r = run(&ds, &format!("SELECT ?s WHERE {{ ?s <{NS}value> ?v }} LIMIT 0"));
+    assert!(r.is_empty());
+}
+
+#[test]
+fn coalesce_rescues_optional_unbound() {
+    let ds = messy();
+    let r = run(
+        &ds,
+        &format!(
+            "SELECT ?s (COALESCE(?l, \"(unnamed)\") AS ?name) WHERE {{ \
+               ?s <{NS}value> ?v OPTIONAL {{ ?s <{NS}label> ?l }} }} ORDER BY ?s"
+        ),
+    );
+    assert_eq!(r.len(), 5);
+    let names: Vec<&str> = r
+        .rows
+        .iter()
+        .map(|row| row[1].as_ref().unwrap().as_literal().unwrap().lexical())
+        .collect();
+    assert_eq!(names, ["Alpha", "(unnamed)", "(unnamed)", "Delta", "(unnamed)"]);
+}
+
+#[test]
+fn aggregates_in_order_by() {
+    let mut ds = Dataset::new();
+    for (s, v) in [("x", 1), ("x", 2), ("y", 10), ("z", 5)] {
+        ds.insert(None, &iri(s), &iri("p"), &Term::literal_int(v));
+    }
+    let r = run(
+        &ds,
+        &format!(
+            "SELECT ?s WHERE {{ ?s <{NS}p> ?v }} GROUP BY ?s ORDER BY DESC(SUM(?v))"
+        ),
+    );
+    let order: Vec<String> = r
+        .rows
+        .iter()
+        .map(|row| row[0].as_ref().unwrap().as_iri().unwrap().as_str().to_string())
+        .collect();
+    assert!(order[0].ends_with("/y"), "y has the largest sum: {order:?}");
+    assert!(order[2].ends_with("/x"), "x has the smallest sum");
+}

@@ -1,0 +1,103 @@
+//! Parser robustness: random and adversarial inputs must produce errors,
+//! never panics; structured random queries must round-trip.
+
+use proptest::prelude::*;
+use sofos_sparql::{parse_query, query_to_sparql};
+
+#[test]
+fn adversarial_inputs_error_cleanly() {
+    let cases = [
+        "",
+        "SELECT",
+        "SELECT *",
+        "SELECT * WHERE",
+        "SELECT * WHERE {",
+        "SELECT * WHERE { ?s ?p ?o",
+        "SELECT * WHERE { ?s ?p ?o } GROUP",
+        "SELECT * WHERE { ?s ?p ?o } GROUP BY",
+        "SELECT * WHERE { ?s ?p ?o } ORDER BY",
+        "SELECT * WHERE { ?s ?p ?o } LIMIT",
+        "SELECT * WHERE { ?s ?p ?o } LIMIT -1",
+        "SELECT () WHERE { ?s ?p ?o }",
+        "SELECT (?x) WHERE { ?s ?p ?o }",
+        "SELECT (SUM() AS ?x) WHERE { ?s ?p ?o }",
+        "SELECT ?x WHERE { FILTER() }",
+        "SELECT ?x WHERE { BIND() }",
+        "SELECT ?x WHERE { BIND(1 AS 2) }",
+        "SELECT ?x WHERE { VALUES { } }",
+        "SELECT ?x WHERE { VALUES ?v { ?not_allowed } }",
+        "SELECT ?x WHERE { { ?s ?p ?o } UNION }",
+        "SELECT ?x WHERE { OPTIONAL }",
+        "SELECT ?x WHERE { GRAPH { ?s ?p ?o } }",
+        "SELECT ?x WHERE { GRAPH ?g { ?s ?p ?o } }",
+        "PREFIX SELECT ?x WHERE { ?s ?p ?o }",
+        "SELECT ?x WHERE { ?s ?p \"unterminated }",
+        "SELECT ?x WHERE { ?s ?p ?o . } HAVING",
+        "SELECT ?x WHERE { ?s ?p ?o } }",
+        "}{",
+        "\u{0}\u{1}\u{2}",
+        "SELECT ?x WHERE { ?s ?p ?o FILTER(1 +) }",
+        "SELECT ?x WHERE { ?s ?p ?o FILTER((1) }",
+    ];
+    for case in cases {
+        assert!(
+            parse_query(case).is_err(),
+            "expected parse error for {case:?}"
+        );
+    }
+}
+
+#[test]
+fn deeply_nested_expressions_parse() {
+    // 64 levels of parentheses: recursion depth stays manageable.
+    let mut expr = String::from("1");
+    for _ in 0..64 {
+        expr = format!("({expr} + 1)");
+    }
+    let q = format!("SELECT ?x WHERE {{ ?x ?p ?o FILTER({expr} > 0) }}");
+    parse_query(&q).expect("deep expression parses");
+}
+
+proptest! {
+    /// Arbitrary byte soup never panics the tokenizer/parser.
+    #[test]
+    fn random_strings_never_panic(input in "[ -~\\n\\t]{0,200}") {
+        let _ = parse_query(&input);
+    }
+
+    /// Structured random analytical queries round-trip through text.
+    #[test]
+    fn random_analytical_queries_round_trip(
+        dims in proptest::collection::vec("[a-z]{1,6}", 1..4),
+        agg_idx in 0usize..5,
+        limit in proptest::option::of(0usize..100),
+        desc in any::<bool>(),
+    ) {
+        let aggs = ["SUM", "AVG", "COUNT", "MIN", "MAX"];
+        let agg = aggs[agg_idx];
+        let mut unique = dims.clone();
+        unique.sort();
+        unique.dedup();
+        let select: Vec<String> = unique.iter().map(|d| format!("?{d}")).collect();
+        let patterns: Vec<String> = unique
+            .iter()
+            .map(|d| format!("?o <http://e/{d}> ?{d} ."))
+            .collect();
+        let mut q = format!(
+            "SELECT {} ({agg}(?m) AS ?value) WHERE {{ {} ?o <http://e/m> ?m }} GROUP BY {}",
+            select.join(" "),
+            patterns.join(" "),
+            select.join(" "),
+        );
+        if desc {
+            q.push_str(" ORDER BY DESC(?value)");
+        }
+        if let Some(l) = limit {
+            q.push_str(&format!(" LIMIT {l}"));
+        }
+        let ast = parse_query(&q).expect("generated query parses");
+        let text = query_to_sparql(&ast);
+        let back = parse_query(&text).expect("rendered query reparses");
+        prop_assert_eq!(ast, back);
+    }
+}

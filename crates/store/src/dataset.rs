@@ -1,0 +1,238 @@
+//! The [`Dataset`]: one dictionary, a default graph, and named graphs.
+//!
+//! This is the paper's expanded graph `G+` (§3.1): after materialization the
+//! base knowledge graph is augmented with one named graph per view. Sharing
+//! a single dictionary across graphs means query evaluation joins on ids
+//! regardless of which graph a pattern targets.
+
+use crate::index::GraphStore;
+use crate::pattern::EncodedTriple;
+use sofos_rdf::{Dictionary, FxHashMap, Graph, Term, TermId};
+
+/// Identifies a graph inside a [`Dataset`]: `None` is the default graph,
+/// `Some(id)` a named graph keyed by the interned IRI of its name.
+pub type GraphName = Option<TermId>;
+
+/// An RDF dataset: default graph + named graphs over a shared dictionary.
+#[derive(Debug, Default, Clone)]
+pub struct Dataset {
+    dict: Dictionary,
+    default_graph: GraphStore,
+    named: FxHashMap<TermId, GraphStore>,
+}
+
+impl Dataset {
+    /// An empty dataset.
+    pub fn new() -> Dataset {
+        Dataset::default()
+    }
+
+    /// Shared term dictionary (read access).
+    pub fn dict(&self) -> &Dictionary {
+        &self.dict
+    }
+
+    /// Shared term dictionary (intern access).
+    pub fn dict_mut(&mut self) -> &mut Dictionary {
+        &mut self.dict
+    }
+
+    /// Intern a term into the shared dictionary.
+    pub fn intern(&mut self, term: &Term) -> TermId {
+        self.dict.intern(term)
+    }
+
+    /// Intern an IRI string (typical for graph names and predicates).
+    pub fn intern_iri(&mut self, iri: &str) -> TermId {
+        self.dict.intern_iri(iri)
+    }
+
+    /// Resolve an id to its term (panics on ids from another dictionary).
+    pub fn term(&self, id: TermId) -> &Term {
+        self.dict.term_unchecked(id)
+    }
+
+    /// Insert an encoded triple into a graph, creating the graph if needed.
+    pub fn insert_encoded(&mut self, graph: GraphName, triple: EncodedTriple) -> bool {
+        match graph {
+            None => self.default_graph.insert(triple),
+            Some(name) => self.named.entry(name).or_default().insert(triple),
+        }
+    }
+
+    /// Intern three terms and insert the triple into a graph.
+    pub fn insert(&mut self, graph: GraphName, s: &Term, p: &Term, o: &Term) -> bool {
+        let triple = [self.dict.intern(s), self.dict.intern(p), self.dict.intern(o)];
+        self.insert_encoded(graph, triple)
+    }
+
+    /// Load a term-level [`Graph`] into a dataset graph (bulk path).
+    pub fn load(&mut self, graph: GraphName, data: &Graph) {
+        let mut encoded: Vec<EncodedTriple> = Vec::with_capacity(data.len());
+        for t in data.iter() {
+            encoded.push([
+                self.dict.intern(&t.subject),
+                self.dict.intern(&t.predicate),
+                self.dict.intern(&t.object),
+            ]);
+        }
+        let store = match graph {
+            None => &mut self.default_graph,
+            Some(name) => self.named.entry(name).or_default(),
+        };
+        if store.is_empty() {
+            store.bulk_load(encoded);
+        } else {
+            for t in encoded {
+                store.insert(t);
+            }
+        }
+    }
+
+    /// The default graph (the paper's base knowledge graph `G`).
+    pub fn default_graph(&self) -> &GraphStore {
+        &self.default_graph
+    }
+
+    /// Resolve a graph name to its store, if present.
+    pub fn graph(&self, name: GraphName) -> Option<&GraphStore> {
+        match name {
+            None => Some(&self.default_graph),
+            Some(id) => self.named.get(&id),
+        }
+    }
+
+    /// Create an empty named graph (no-op if it exists).
+    pub fn create_graph(&mut self, name: TermId) {
+        self.named.entry(name).or_default();
+    }
+
+    /// Drop a named graph; returns `true` if it existed. The dictionary is
+    /// intentionally not garbage-collected (see `Dictionary` docs).
+    pub fn drop_graph(&mut self, name: TermId) -> bool {
+        self.named.remove(&name).is_some()
+    }
+
+    /// Iterate the names of all named graphs (deterministic: sorted by id).
+    pub fn graph_names(&self) -> Vec<TermId> {
+        let mut names: Vec<TermId> = self.named.keys().copied().collect();
+        names.sort_unstable();
+        names
+    }
+
+    /// Total triples across the default and all named graphs.
+    pub fn total_triples(&self) -> usize {
+        self.default_graph.len() + self.named.values().map(GraphStore::len).sum::<usize>()
+    }
+
+    /// Estimated heap bytes: dictionary + all graph indexes. This is the
+    /// figure the experiments report as storage / space amplification.
+    pub fn estimated_bytes(&self) -> usize {
+        self.dict.estimated_bytes()
+            + self.default_graph.estimated_bytes()
+            + self.named.values().map(GraphStore::estimated_bytes).sum::<usize>()
+    }
+
+    /// Force-merge all graphs' index deltas.
+    pub fn optimize(&mut self) {
+        self.default_graph.optimize();
+        for store in self.named.values_mut() {
+            store.optimize();
+        }
+    }
+
+    /// Materialize the RDFS closure of the default graph in place
+    /// (see [`crate::inference`]).
+    pub fn materialize_rdfs(&mut self) -> crate::inference::InferenceStats {
+        crate::inference::materialize_rdfs(&mut self.default_graph, &self.dict)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pattern::IdPattern;
+
+    fn term(s: &str) -> Term {
+        Term::iri(format!("http://e/{s}"))
+    }
+
+    #[test]
+    fn default_and_named_graphs_are_disjoint() {
+        let mut ds = Dataset::new();
+        ds.insert(None, &term("s"), &term("p"), &term("o"));
+        let g1 = ds.intern_iri("http://e/g1");
+        ds.insert(Some(g1), &term("s"), &term("p"), &term("o2"));
+
+        assert_eq!(ds.default_graph().len(), 1);
+        assert_eq!(ds.graph(Some(g1)).unwrap().len(), 1);
+        assert_eq!(ds.total_triples(), 2);
+        // Same dictionary: the subject id is shared.
+        let s_id = ds.dict().get_id(&term("s")).unwrap();
+        assert_eq!(ds.default_graph().scan(IdPattern::new(Some(s_id), None, None)).count(), 1);
+        assert_eq!(
+            ds.graph(Some(g1)).unwrap().scan(IdPattern::new(Some(s_id), None, None)).count(),
+            1
+        );
+    }
+
+    #[test]
+    fn load_bulk_and_incremental_agree() {
+        use sofos_rdf::{Triple, Graph};
+        let mut g = Graph::new();
+        for i in 0..20 {
+            g.insert(Triple::new_unchecked(
+                term(&format!("s{i}")),
+                term("p"),
+                Term::literal_int(i),
+            ));
+        }
+        let mut ds1 = Dataset::new();
+        ds1.load(None, &g);
+        let mut ds2 = Dataset::new();
+        for t in g.iter() {
+            ds2.insert(None, &t.subject, &t.predicate, &t.object);
+        }
+        assert_eq!(ds1.default_graph().len(), 20);
+        assert_eq!(ds2.default_graph().len(), 20);
+    }
+
+    #[test]
+    fn drop_graph_removes_content() {
+        let mut ds = Dataset::new();
+        let g1 = ds.intern_iri("http://e/g1");
+        ds.insert(Some(g1), &term("s"), &term("p"), &term("o"));
+        assert!(ds.graph(Some(g1)).is_some());
+        assert!(ds.drop_graph(g1));
+        assert!(ds.graph(Some(g1)).is_none());
+        assert!(!ds.drop_graph(g1), "second drop is a no-op");
+        assert_eq!(ds.total_triples(), 0);
+    }
+
+    #[test]
+    fn graph_names_are_sorted() {
+        let mut ds = Dataset::new();
+        let b = ds.intern_iri("http://e/b");
+        let a = ds.intern_iri("http://e/a");
+        ds.create_graph(b);
+        ds.create_graph(a);
+        let names = ds.graph_names();
+        assert_eq!(names.len(), 2);
+        assert!(names[0] < names[1]);
+    }
+
+    #[test]
+    fn bytes_include_dictionary_and_indexes() {
+        let mut ds = Dataset::new();
+        let before = ds.estimated_bytes();
+        ds.insert(None, &term("subject"), &term("predicate"), &term("object"));
+        assert!(ds.estimated_bytes() > before);
+    }
+
+    #[test]
+    fn missing_named_graph_is_none() {
+        let mut ds = Dataset::new();
+        let ghost = ds.intern_iri("http://e/ghost");
+        assert!(ds.graph(Some(ghost)).is_none());
+    }
+}

@@ -1,0 +1,658 @@
+//! Permutation indexes and the per-graph store.
+//!
+//! Each [`PermIndex`] keeps the graph's triples in one of three sort orders
+//! (SPO, POS, OSP) as an LSM-lite pair: a large sorted *run* (`Vec`) plus a
+//! small *delta* (`BTreeSet`) absorbing inserts. When the delta outgrows a
+//! threshold it is merged into the run. Prefix range scans over both halves
+//! are merged on the fly, so readers always see one sorted stream.
+//!
+//! The three orders cover all eight triple-pattern shapes exactly (no
+//! residual filtering):
+//!
+//! | bound      | index | prefix      |
+//! |------------|-------|-------------|
+//! | s p o      | SPO   | `[s, p, o]` |
+//! | s p ?      | SPO   | `[s, p]`    |
+//! | s ? ?      | SPO   | `[s]`       |
+//! | ? p o      | POS   | `[p, o]`    |
+//! | ? p ?      | POS   | `[p]`       |
+//! | ? ? o      | OSP   | `[o]`       |
+//! | s ? o      | OSP   | `[o, s]`    |
+//! | ? ? ?      | SPO   | `[]`        |
+
+use crate::pattern::{EncodedTriple, IdPattern};
+use sofos_rdf::TermId;
+use std::collections::BTreeSet;
+
+/// Delta is merged into the run once it exceeds
+/// `max(MERGE_MIN, run.len() / MERGE_RATIO)` entries.
+const MERGE_MIN: usize = 4096;
+const MERGE_RATIO: usize = 8;
+
+/// The three triple orderings kept by a [`GraphStore`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Perm {
+    /// Subject, predicate, object.
+    Spo,
+    /// Predicate, object, subject.
+    Pos,
+    /// Object, subject, predicate.
+    Osp,
+}
+
+impl Perm {
+    /// Reorder an `(s,p,o)` triple into this permutation's key order.
+    #[inline]
+    pub fn permute(self, t: EncodedTriple) -> EncodedTriple {
+        match self {
+            Perm::Spo => t,
+            Perm::Pos => [t[1], t[2], t[0]],
+            Perm::Osp => [t[2], t[0], t[1]],
+        }
+    }
+
+    /// Restore an `(s,p,o)` triple from this permutation's key order.
+    #[inline]
+    pub fn invert(self, k: EncodedTriple) -> EncodedTriple {
+        match self {
+            Perm::Spo => k,
+            Perm::Pos => [k[2], k[0], k[1]],
+            Perm::Osp => [k[1], k[2], k[0]],
+        }
+    }
+}
+
+/// One sort order over the graph's triples: sorted run + B-tree delta,
+/// plus a tombstone set masking deletions from the run until the next
+/// merge folds them away (classic LSM delete handling).
+#[derive(Debug, Clone)]
+pub struct PermIndex {
+    perm: Perm,
+    run: Vec<EncodedTriple>,
+    delta: BTreeSet<EncodedTriple>,
+    tombstones: BTreeSet<EncodedTriple>,
+}
+
+impl PermIndex {
+    /// An empty index with the given ordering.
+    pub fn new(perm: Perm) -> PermIndex {
+        PermIndex {
+            perm,
+            run: Vec::new(),
+            delta: BTreeSet::new(),
+            tombstones: BTreeSet::new(),
+        }
+    }
+
+    /// This index's ordering.
+    pub fn perm(&self) -> Perm {
+        self.perm
+    }
+
+    /// Insert an `(s,p,o)` triple. The caller (the [`GraphStore`]) is
+    /// responsible for cross-structure duplicate checks.
+    fn insert(&mut self, triple: EncodedTriple) {
+        let key = self.perm.permute(triple);
+        self.tombstones.remove(&key);
+        if self.run.binary_search(&key).is_err() {
+            self.delta.insert(key);
+        }
+        if self.delta.len() >= MERGE_MIN.max(self.run.len() / MERGE_RATIO) {
+            self.merge();
+        }
+    }
+
+    /// Remove an `(s,p,o)` triple: drop it from the delta, or tombstone it
+    /// when it lives in the run.
+    fn remove(&mut self, triple: &EncodedTriple) {
+        let key = self.perm.permute(*triple);
+        if !self.delta.remove(&key) && self.run.binary_search(&key).is_ok() {
+            self.tombstones.insert(key);
+        }
+    }
+
+    /// Membership test for an `(s,p,o)` triple.
+    fn contains(&self, triple: &EncodedTriple) -> bool {
+        let key = self.perm.permute(*triple);
+        if self.tombstones.contains(&key) {
+            return false;
+        }
+        self.delta.contains(&key) || self.run.binary_search(&key).is_ok()
+    }
+
+    /// Fold the delta into the run and drop tombstoned entries
+    /// (single merge pass, preserves order).
+    pub fn merge(&mut self) {
+        if self.delta.is_empty() && self.tombstones.is_empty() {
+            return;
+        }
+        let delta = std::mem::take(&mut self.delta);
+        let tombstones = std::mem::take(&mut self.tombstones);
+        let old_run = std::mem::take(&mut self.run);
+        let mut merged = Vec::with_capacity(old_run.len() + delta.len());
+        let mut run_iter = old_run.into_iter().peekable();
+        let mut delta_iter = delta.into_iter().peekable();
+        loop {
+            let next = match (run_iter.peek(), delta_iter.peek()) {
+                (Some(a), Some(b)) => {
+                    if a <= b {
+                        run_iter.next().expect("peeked")
+                    } else {
+                        delta_iter.next().expect("peeked")
+                    }
+                }
+                (Some(_), None) => run_iter.next().expect("peeked"),
+                (None, Some(_)) => delta_iter.next().expect("peeked"),
+                (None, None) => break,
+            };
+            if !tombstones.contains(&next) {
+                merged.push(next);
+            }
+        }
+        self.run = merged;
+    }
+
+    /// Bulk-build from already-deduplicated triples (generator fast path).
+    fn bulk_load(&mut self, triples: &[EncodedTriple]) {
+        let mut keys: Vec<EncodedTriple> =
+            triples.iter().map(|t| self.perm.permute(*t)).collect();
+        keys.sort_unstable();
+        self.run = keys;
+        self.delta.clear();
+        self.tombstones.clear();
+    }
+
+    /// The `(low, high)` key bounds matching a prefix of bound values.
+    fn prefix_bounds(prefix: &[TermId]) -> (EncodedTriple, EncodedTriple) {
+        let mut low = [TermId(0); 3];
+        let mut high = [TermId(u32::MAX); 3];
+        for (i, &v) in prefix.iter().enumerate() {
+            low[i] = v;
+            high[i] = v;
+        }
+        (low, high)
+    }
+
+    /// Scan all triples whose permuted key starts with `prefix`, yielding
+    /// `(s,p,o)` triples in permuted-key order.
+    pub fn scan_prefix(&self, prefix: &[TermId]) -> PrefixScan<'_> {
+        debug_assert!(prefix.len() <= 3);
+        let (low, high) = Self::prefix_bounds(prefix);
+        let start = self.run.partition_point(|k| *k < low);
+        let end = self.run.partition_point(|k| *k <= high);
+        PrefixScan {
+            perm: self.perm,
+            run: &self.run[start..end],
+            run_pos: 0,
+            delta: self.delta.range(low..=high),
+            delta_next: None,
+            tombstones: &self.tombstones,
+        }
+    }
+
+    /// Number of triples whose key starts with `prefix` (without yielding).
+    pub fn count_prefix(&self, prefix: &[TermId]) -> usize {
+        let (low, high) = Self::prefix_bounds(prefix);
+        let start = self.run.partition_point(|k| *k < low);
+        let end = self.run.partition_point(|k| *k <= high);
+        (end - start) + self.delta.range(low..=high).count()
+            - self.tombstones.range(low..=high).count()
+    }
+
+    /// Heap footprint estimate: 12 bytes per run entry, ~48 per delta /
+    /// tombstone entry (B-tree node overhead).
+    pub fn estimated_bytes(&self) -> usize {
+        self.run.len() * 12 + (self.delta.len() + self.tombstones.len()) * 48
+    }
+}
+
+/// Sorted merge of the run slice and the delta range for one prefix scan.
+pub struct PrefixScan<'a> {
+    perm: Perm,
+    run: &'a [EncodedTriple],
+    run_pos: usize,
+    delta: std::collections::btree_set::Range<'a, EncodedTriple>,
+    delta_next: Option<&'a EncodedTriple>,
+    tombstones: &'a BTreeSet<EncodedTriple>,
+}
+
+impl<'a> Iterator for PrefixScan<'a> {
+    type Item = EncodedTriple;
+
+    fn next(&mut self) -> Option<EncodedTriple> {
+        loop {
+            if self.delta_next.is_none() {
+                self.delta_next = self.delta.next();
+            }
+            let run_head = self.run.get(self.run_pos);
+            let key = match (run_head, self.delta_next) {
+                (Some(r), Some(d)) => {
+                    if r <= d {
+                        self.run_pos += 1;
+                        *r
+                    } else {
+                        self.delta_next = None;
+                        *d
+                    }
+                }
+                (Some(r), None) => {
+                    self.run_pos += 1;
+                    *r
+                }
+                (None, Some(d)) => {
+                    self.delta_next = None;
+                    *d
+                }
+                (None, None) => return None,
+            };
+            if !self.tombstones.contains(&key) {
+                return Some(self.perm.invert(key));
+            }
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let lower = self.run.len() - self.run_pos;
+        (lower, None)
+    }
+}
+
+/// One RDF graph: three permutation indexes plus a triple count.
+#[derive(Debug, Clone)]
+pub struct GraphStore {
+    spo: PermIndex,
+    pos: PermIndex,
+    osp: PermIndex,
+    len: usize,
+}
+
+impl Default for GraphStore {
+    fn default() -> Self {
+        GraphStore::new()
+    }
+}
+
+impl GraphStore {
+    /// An empty graph store.
+    pub fn new() -> GraphStore {
+        GraphStore {
+            spo: PermIndex::new(Perm::Spo),
+            pos: PermIndex::new(Perm::Pos),
+            osp: PermIndex::new(Perm::Osp),
+            len: 0,
+        }
+    }
+
+    /// Insert an encoded triple; returns `true` if it was new.
+    pub fn insert(&mut self, triple: EncodedTriple) -> bool {
+        if self.spo.contains(&triple) {
+            return false;
+        }
+        self.spo.insert(triple);
+        self.pos.insert(triple);
+        self.osp.insert(triple);
+        self.len += 1;
+        true
+    }
+
+    /// Remove a triple; returns `true` if it was present.
+    pub fn remove(&mut self, triple: &EncodedTriple) -> bool {
+        if !self.spo.contains(triple) {
+            return false;
+        }
+        self.spo.remove(triple);
+        self.pos.remove(triple);
+        self.osp.remove(triple);
+        self.len -= 1;
+        true
+    }
+
+    /// Replace the contents from a batch (deduplicates; fastest load path).
+    pub fn bulk_load(&mut self, mut triples: Vec<EncodedTriple>) {
+        triples.sort_unstable();
+        triples.dedup();
+        self.len = triples.len();
+        self.spo.bulk_load(&triples);
+        self.pos.bulk_load(&triples);
+        self.osp.bulk_load(&triples);
+    }
+
+    /// Membership test.
+    pub fn contains(&self, triple: &EncodedTriple) -> bool {
+        self.spo.contains(triple)
+    }
+
+    /// Number of triples (the paper's `|G_Vi|` for cost model #2).
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when the graph is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Force-merge all deltas (called after bulk insert phases).
+    pub fn optimize(&mut self) {
+        self.spo.merge();
+        self.pos.merge();
+        self.osp.merge();
+    }
+
+    /// Scan triples matching an [`IdPattern`], dispatching to the index
+    /// that turns the bound positions into a key prefix.
+    pub fn scan(&self, pattern: IdPattern) -> PrefixScan<'_> {
+        match (pattern.s, pattern.p, pattern.o) {
+            (Some(s), Some(p), Some(o)) => self.spo.scan_prefix(&[s, p, o]),
+            (Some(s), Some(p), None) => self.spo.scan_prefix(&[s, p]),
+            (Some(s), None, Some(o)) => self.osp.scan_prefix(&[o, s]),
+            (Some(s), None, None) => self.spo.scan_prefix(&[s]),
+            (None, Some(p), Some(o)) => self.pos.scan_prefix(&[p, o]),
+            (None, Some(p), None) => self.pos.scan_prefix(&[p]),
+            (None, None, Some(o)) => self.osp.scan_prefix(&[o]),
+            (None, None, None) => self.spo.scan_prefix(&[]),
+        }
+    }
+
+    /// Exact number of matches for a pattern, computed from index ranges
+    /// without materializing results.
+    pub fn count(&self, pattern: IdPattern) -> usize {
+        match (pattern.s, pattern.p, pattern.o) {
+            (Some(s), Some(p), Some(o)) => self.spo.count_prefix(&[s, p, o]),
+            (Some(s), Some(p), None) => self.spo.count_prefix(&[s, p]),
+            (Some(s), None, Some(o)) => self.osp.count_prefix(&[o, s]),
+            (Some(s), None, None) => self.spo.count_prefix(&[s]),
+            (None, Some(p), Some(o)) => self.pos.count_prefix(&[p, o]),
+            (None, Some(p), None) => self.pos.count_prefix(&[p]),
+            (None, None, Some(o)) => self.osp.count_prefix(&[o]),
+            (None, None, None) => self.len,
+        }
+    }
+
+    /// Iterate every triple in SPO order.
+    pub fn iter(&self) -> PrefixScan<'_> {
+        self.scan(IdPattern::ANY)
+    }
+
+    /// Heap footprint estimate across the three indexes (index side of the
+    /// storage-amplification accounting).
+    pub fn estimated_bytes(&self) -> usize {
+        self.spo.estimated_bytes() + self.pos.estimated_bytes() + self.osp.estimated_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: u32, p: u32, o: u32) -> EncodedTriple {
+        [TermId(s), TermId(p), TermId(o)]
+    }
+
+    #[test]
+    fn permutations_invert() {
+        let triple = t(1, 2, 3);
+        for perm in [Perm::Spo, Perm::Pos, Perm::Osp] {
+            assert_eq!(perm.invert(perm.permute(triple)), triple);
+        }
+        assert_eq!(Perm::Pos.permute(t(1, 2, 3)), t(2, 3, 1));
+        assert_eq!(Perm::Osp.permute(t(1, 2, 3)), t(3, 1, 2));
+    }
+
+    #[test]
+    fn insert_and_contains() {
+        let mut g = GraphStore::new();
+        assert!(g.insert(t(1, 2, 3)));
+        assert!(!g.insert(t(1, 2, 3)), "duplicate rejected");
+        assert!(g.contains(&t(1, 2, 3)));
+        assert!(!g.contains(&t(1, 2, 4)));
+        assert_eq!(g.len(), 1);
+    }
+
+    #[test]
+    fn all_eight_pattern_shapes() {
+        let mut g = GraphStore::new();
+        for (s, p, o) in [(1, 10, 100), (1, 10, 101), (1, 11, 100), (2, 10, 100), (2, 11, 102)] {
+            g.insert(t(s, p, o));
+        }
+        let pat = |s: Option<u32>, p: Option<u32>, o: Option<u32>| IdPattern {
+            s: s.map(TermId),
+            p: p.map(TermId),
+            o: o.map(TermId),
+        };
+        let collect = |p: IdPattern| -> Vec<EncodedTriple> { g.scan(p).collect() };
+
+        assert_eq!(collect(pat(None, None, None)).len(), 5);
+        assert_eq!(collect(pat(Some(1), None, None)).len(), 3);
+        assert_eq!(collect(pat(None, Some(10), None)).len(), 3);
+        assert_eq!(collect(pat(None, None, Some(100))).len(), 3);
+        assert_eq!(collect(pat(Some(1), Some(10), None)).len(), 2);
+        assert_eq!(collect(pat(Some(1), None, Some(100))).len(), 2);
+        assert_eq!(collect(pat(None, Some(10), Some(100))).len(), 2);
+        assert_eq!(collect(pat(Some(2), Some(11), Some(102))).len(), 1);
+        assert_eq!(collect(pat(Some(9), None, None)).len(), 0);
+    }
+
+    #[test]
+    fn counts_match_scans() {
+        let mut g = GraphStore::new();
+        for i in 0..100u32 {
+            g.insert(t(i % 7, i % 3, i));
+        }
+        for s in [None, Some(1u32)] {
+            for p in [None, Some(2u32)] {
+                for o in [None, Some(9u32)] {
+                    let pat = IdPattern {
+                        s: s.map(TermId),
+                        p: p.map(TermId),
+                        o: o.map(TermId),
+                    };
+                    assert_eq!(g.count(pat), g.scan(pat).count(), "pattern {pat:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn scan_yields_sorted_unique_triples() {
+        let mut g = GraphStore::new();
+        // Insert in reverse to exercise delta ordering.
+        for i in (0..50u32).rev() {
+            g.insert(t(i, 1, 2));
+        }
+        let all: Vec<EncodedTriple> = g.iter().collect();
+        assert_eq!(all.len(), 50);
+        let mut sorted = all.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(all, sorted, "scan output is sorted and duplicate-free");
+    }
+
+    #[test]
+    fn merge_preserves_content() {
+        let mut idx = PermIndex::new(Perm::Spo);
+        for i in 0..10 {
+            idx.insert(t(i, 0, 0));
+        }
+        idx.merge();
+        for i in 10..20 {
+            idx.insert(t(i, 0, 0));
+        }
+        let seen: Vec<EncodedTriple> = idx.scan_prefix(&[]).collect();
+        assert_eq!(seen.len(), 20);
+        for i in 0..20 {
+            assert!(idx.contains(&t(i, 0, 0)));
+        }
+    }
+
+    #[test]
+    fn bulk_load_deduplicates() {
+        let mut g = GraphStore::new();
+        g.bulk_load(vec![t(1, 2, 3), t(1, 2, 3), t(4, 5, 6)]);
+        assert_eq!(g.len(), 2);
+        assert!(g.contains(&t(1, 2, 3)));
+        assert!(g.contains(&t(4, 5, 6)));
+        // Inserts still work after a bulk load.
+        assert!(g.insert(t(7, 8, 9)));
+        assert_eq!(g.len(), 3);
+    }
+
+    #[test]
+    fn optimize_is_transparent() {
+        let mut g = GraphStore::new();
+        for i in 0..100u32 {
+            g.insert(t(i, i % 5, i % 11));
+        }
+        let before: Vec<EncodedTriple> = g.iter().collect();
+        g.optimize();
+        let after: Vec<EncodedTriple> = g.iter().collect();
+        assert_eq!(before, after);
+    }
+
+    #[test]
+    fn remove_from_delta_and_run() {
+        let mut g = GraphStore::new();
+        // Goes to the delta.
+        g.insert(t(1, 2, 3));
+        assert!(g.remove(&t(1, 2, 3)));
+        assert!(!g.contains(&t(1, 2, 3)));
+        assert_eq!(g.len(), 0);
+        assert!(!g.remove(&t(1, 2, 3)), "double remove is a no-op");
+
+        // Goes to the run, then tombstoned.
+        g.insert(t(4, 5, 6));
+        g.optimize();
+        assert!(g.remove(&t(4, 5, 6)));
+        assert!(!g.contains(&t(4, 5, 6)));
+        assert_eq!(g.scan(IdPattern::ANY).count(), 0);
+        assert_eq!(g.count(IdPattern::ANY), 0);
+
+        // Merge folds the tombstone away; reinsertion works.
+        g.optimize();
+        assert!(g.insert(t(4, 5, 6)));
+        assert!(g.contains(&t(4, 5, 6)));
+        assert_eq!(g.len(), 1);
+    }
+
+    #[test]
+    fn reinsert_after_tombstone_without_merge() {
+        let mut g = GraphStore::new();
+        g.insert(t(1, 1, 1));
+        g.optimize(); // into the run
+        g.remove(&t(1, 1, 1)); // tombstone
+        assert!(g.insert(t(1, 1, 1)), "reinsert clears the tombstone");
+        assert!(g.contains(&t(1, 1, 1)));
+        assert_eq!(g.scan(IdPattern::ANY).count(), 1);
+        assert_eq!(g.count(IdPattern::ANY), 1);
+        assert_eq!(g.len(), 1);
+    }
+
+    #[test]
+    fn bytes_scale_with_size() {
+        let mut g = GraphStore::new();
+        let empty = g.estimated_bytes();
+        for i in 0..1000u32 {
+            g.insert(t(i, 0, 0));
+        }
+        assert!(g.estimated_bytes() > empty);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn arb_triple() -> impl Strategy<Value = EncodedTriple> {
+        (0u32..20, 0u32..6, 0u32..20).prop_map(|(s, p, o)| [TermId(s), TermId(p), TermId(o)])
+    }
+
+    fn arb_pattern() -> impl Strategy<Value = IdPattern> {
+        (
+            proptest::option::of(0u32..20),
+            proptest::option::of(0u32..6),
+            proptest::option::of(0u32..20),
+        )
+            .prop_map(|(s, p, o)| IdPattern {
+                s: s.map(TermId),
+                p: p.map(TermId),
+                o: o.map(TermId),
+            })
+    }
+
+    proptest! {
+        /// The golden store invariant: index-dispatched scans agree with a
+        /// naive filter over the full triple set, for every pattern shape.
+        #[test]
+        fn scan_agrees_with_naive_filter(
+            triples in proptest::collection::vec(arb_triple(), 0..200),
+            pattern in arb_pattern(),
+        ) {
+            let mut g = GraphStore::new();
+            let mut reference: Vec<EncodedTriple> = Vec::new();
+            for tr in &triples {
+                if g.insert(*tr) {
+                    reference.push(*tr);
+                }
+            }
+            reference.sort_unstable();
+            let expected: Vec<EncodedTriple> =
+                reference.iter().copied().filter(|t| pattern.matches(t)).collect();
+            let mut actual: Vec<EncodedTriple> = g.scan(pattern).collect();
+            actual.sort_unstable();
+            prop_assert_eq!(actual, expected);
+            prop_assert_eq!(g.count(pattern), g.scan(pattern).count());
+        }
+
+        /// Mixed inserts and removes: the store agrees with a reference
+        /// set model on contains / scan / count, across merges.
+        #[test]
+        fn deletes_agree_with_set_model(
+            ops in proptest::collection::vec(
+                (proptest::bool::weighted(0.7), arb_triple(), proptest::bool::ANY),
+                0..300,
+            ),
+            pattern in arb_pattern(),
+        ) {
+            let mut g = GraphStore::new();
+            let mut model: std::collections::BTreeSet<EncodedTriple> =
+                std::collections::BTreeSet::new();
+            for (is_insert, triple, merge_after) in ops {
+                if is_insert {
+                    prop_assert_eq!(g.insert(triple), model.insert(triple));
+                } else {
+                    prop_assert_eq!(g.remove(&triple), model.remove(&triple));
+                }
+                if merge_after {
+                    g.optimize();
+                }
+            }
+            prop_assert_eq!(g.len(), model.len());
+            let expected: Vec<EncodedTriple> =
+                model.iter().copied().filter(|t| pattern.matches(t)).collect();
+            // Scans yield in the dispatched index's key order (SPO/POS/OSP
+            // depending on the pattern shape), so compare as sorted sets.
+            let mut actual: Vec<EncodedTriple> = g.scan(pattern).collect();
+            actual.sort_unstable();
+            prop_assert_eq!(&actual, &expected);
+            prop_assert_eq!(g.count(pattern), expected.len());
+        }
+
+        /// Bulk load and incremental insert build identical stores.
+        #[test]
+        fn bulk_load_equals_incremental(
+            triples in proptest::collection::vec(arb_triple(), 0..200),
+        ) {
+            let mut incremental = GraphStore::new();
+            for tr in &triples {
+                incremental.insert(*tr);
+            }
+            let mut bulk = GraphStore::new();
+            bulk.bulk_load(triples);
+            prop_assert_eq!(incremental.len(), bulk.len());
+            let a: Vec<EncodedTriple> = incremental.iter().collect();
+            let b: Vec<EncodedTriple> = bulk.iter().collect();
+            prop_assert_eq!(a, b);
+        }
+    }
+}

@@ -1,0 +1,269 @@
+//! RDFS forward-chaining inference (subclass / subproperty / domain / range).
+//!
+//! The paper singles out "the intricacies of the RDF model, e.g., complex
+//! schema, entailment, and blank nodes" (§1) as what breaks relational
+//! intuitions on KGs. This module provides the entailment half: a
+//! forward-chaining materializer for the four core RDFS rules, so facets
+//! can be defined over *inferred* types (e.g. a LUBM facet over `Professor`
+//! answering for `FullProfessor` instances):
+//!
+//! * **rdfs9**  `(x type C1), (C1 subClassOf C2) ⇒ (x type C2)`
+//! * **rdfs11** `(C1 subClassOf C2), (C2 subClassOf C3) ⇒ (C1 subClassOf C3)`
+//! * **rdfs7**  `(x p y), (p subPropertyOf q) ⇒ (x q y)`
+//! * **rdfs2/3** `(x p y), (p domain C) ⇒ (x type C)`;
+//!   `(p range C) ⇒ (y type C)`
+//!
+//! Inference runs to fixpoint and inserts into the same graph (the closure
+//! is itself a kind of materialized view — computed once offline, queried
+//! many times — which is exactly SOFOS's trade-off story).
+
+use crate::index::GraphStore;
+use crate::pattern::IdPattern;
+use sofos_rdf::vocab::rdf;
+use sofos_rdf::{Dictionary, FxHashMap, FxHashSet, Term, TermId};
+
+/// The RDFS schema vocabulary ids present in a dictionary (if interned).
+struct SchemaIds {
+    type_p: Option<TermId>,
+    sub_class_of: Option<TermId>,
+    sub_property_of: Option<TermId>,
+    domain: Option<TermId>,
+    range: Option<TermId>,
+}
+
+const SUB_PROPERTY_OF: &str = "http://www.w3.org/2000/01/rdf-schema#subPropertyOf";
+const DOMAIN: &str = "http://www.w3.org/2000/01/rdf-schema#domain";
+const RANGE: &str = "http://www.w3.org/2000/01/rdf-schema#range";
+
+impl SchemaIds {
+    fn resolve(dict: &Dictionary) -> SchemaIds {
+        let get = |iri: &str| dict.get_id(&Term::iri(iri));
+        SchemaIds {
+            type_p: get(rdf::TYPE),
+            sub_class_of: get(sofos_rdf::vocab::rdfs::SUB_CLASS_OF),
+            sub_property_of: get(SUB_PROPERTY_OF),
+            domain: get(DOMAIN),
+            range: get(RANGE),
+        }
+    }
+}
+
+/// Statistics of one inference run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct InferenceStats {
+    /// Triples added by the closure.
+    pub inferred: usize,
+    /// Fixpoint iterations executed.
+    pub iterations: usize,
+}
+
+/// Materialize the RDFS closure of `store` in place. The dictionary is only
+/// read — the rules produce no new terms. Returns how much was added.
+pub fn materialize_rdfs(store: &mut GraphStore, dict: &Dictionary) -> InferenceStats {
+    let ids = SchemaIds::resolve(dict);
+    let mut stats = InferenceStats::default();
+
+    // Transitive-closure tables, rebuilt per iteration from the store.
+    loop {
+        stats.iterations += 1;
+        let mut fresh: Vec<[TermId; 3]> = Vec::new();
+
+        // rdfs11: subClassOf transitivity (and the same shape for
+        // subPropertyOf, which rdfs5 defines).
+        for rel in [ids.sub_class_of, ids.sub_property_of].into_iter().flatten() {
+            let edges: Vec<(TermId, TermId)> = store
+                .scan(IdPattern::new(None, Some(rel), None))
+                .map(|[s, _, o]| (s, o))
+                .collect();
+            let mut successors: FxHashMap<TermId, Vec<TermId>> = FxHashMap::default();
+            for &(a, b) in &edges {
+                successors.entry(a).or_default().push(b);
+            }
+            for &(a, b) in &edges {
+                for &c in successors.get(&b).into_iter().flatten() {
+                    if a != c {
+                        fresh.push([a, rel, c]);
+                    }
+                }
+            }
+        }
+
+        // rdfs9: type inheritance along subClassOf.
+        if let (Some(type_p), Some(sub_class)) = (ids.type_p, ids.sub_class_of) {
+            let superclasses: Vec<(TermId, TermId)> = store
+                .scan(IdPattern::new(None, Some(sub_class), None))
+                .map(|[s, _, o]| (s, o))
+                .collect();
+            for (class, superclass) in superclasses {
+                let instances: Vec<TermId> = store
+                    .scan(IdPattern::new(None, Some(type_p), Some(class)))
+                    .map(|[s, _, _]| s)
+                    .collect();
+                for x in instances {
+                    fresh.push([x, type_p, superclass]);
+                }
+            }
+        }
+
+        // rdfs7: property inheritance along subPropertyOf.
+        if let Some(sub_prop) = ids.sub_property_of {
+            let pairs: Vec<(TermId, TermId)> = store
+                .scan(IdPattern::new(None, Some(sub_prop), None))
+                .map(|[s, _, o]| (s, o))
+                .collect();
+            for (p, q) in pairs {
+                let uses: Vec<[TermId; 3]> =
+                    store.scan(IdPattern::new(None, Some(p), None)).collect();
+                for [x, _, y] in uses {
+                    fresh.push([x, q, y]);
+                }
+            }
+        }
+
+        // rdfs2/rdfs3: domain and range typing.
+        if let Some(type_p) = ids.type_p {
+            for (rel, position) in [(ids.domain, 0usize), (ids.range, 2usize)] {
+                let Some(rel) = rel else { continue };
+                let declarations: Vec<(TermId, TermId)> = store
+                    .scan(IdPattern::new(None, Some(rel), None))
+                    .map(|[p, _, c]| (p, c))
+                    .collect();
+                for (p, class) in declarations {
+                    let uses: Vec<[TermId; 3]> =
+                        store.scan(IdPattern::new(None, Some(p), None)).collect();
+                    for t in uses {
+                        let node = t[position];
+                        // Literals cannot be typed subjects; the store layer
+                        // does not know term kinds, so check the dictionary.
+                        if position == 2 {
+                            if let Term::Literal(_) = dict.term_unchecked(node) {
+                                continue;
+                            }
+                        }
+                        fresh.push([node, type_p, class]);
+                    }
+                }
+            }
+        }
+
+        let mut added_this_round = 0usize;
+        let mut seen: FxHashSet<[TermId; 3]> = FxHashSet::default();
+        for t in fresh {
+            if seen.insert(t) && store.insert(t) {
+                added_this_round += 1;
+            }
+        }
+        stats.inferred += added_this_round;
+        if added_this_round == 0 {
+            return stats;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::Dataset;
+
+    fn iri(s: &str) -> Term {
+        Term::iri(format!("http://e/{s}"))
+    }
+
+    fn setup() -> Dataset {
+        let mut ds = Dataset::new();
+        let type_p = Term::iri(rdf::TYPE);
+        let sub_class = Term::iri(sofos_rdf::vocab::rdfs::SUB_CLASS_OF);
+        let sub_prop = Term::iri(SUB_PROPERTY_OF);
+        let domain = Term::iri(DOMAIN);
+        let range = Term::iri(RANGE);
+
+        // Schema: FullProfessor ⊑ Professor ⊑ Faculty; headOf ⊑ worksFor;
+        // worksFor domain Person, range Organization.
+        ds.insert(None, &iri("FullProfessor"), &sub_class, &iri("Professor"));
+        ds.insert(None, &iri("Professor"), &sub_class, &iri("Faculty"));
+        ds.insert(None, &iri("headOf"), &sub_prop, &iri("worksFor"));
+        ds.insert(None, &iri("worksFor"), &domain, &iri("Person"));
+        ds.insert(None, &iri("worksFor"), &range, &iri("Organization"));
+
+        // Data.
+        ds.insert(None, &iri("ann"), &type_p, &iri("FullProfessor"));
+        ds.insert(None, &iri("ann"), &iri("headOf"), &iri("cs"));
+        ds
+    }
+
+    fn has(ds: &Dataset, s: &str, p: &str, o: &str) -> bool {
+        let get = |t: &Term| ds.dict().get_id(t);
+        let (Some(s), Some(p), Some(o)) = (
+            get(&iri(s)),
+            get(&if p == "type" { Term::iri(rdf::TYPE) } else { iri(p) }),
+            get(&iri(o)),
+        ) else {
+            return false;
+        };
+        ds.default_graph().contains(&[s, p, o])
+    }
+
+    #[test]
+    fn subclass_transitivity_and_type_inheritance() {
+        let mut ds = setup();
+        let stats = ds.materialize_rdfs();
+        assert!(stats.inferred > 0);
+
+        assert!(has(&ds, "ann", "type", "Professor"), "rdfs9 one level");
+        assert!(has(&ds, "ann", "type", "Faculty"), "rdfs9 + rdfs11 two levels");
+        // Direct check of the closure edge.
+        let sub_class = ds.dict().get_id(&Term::iri(sofos_rdf::vocab::rdfs::SUB_CLASS_OF)).unwrap();
+        let fp = ds.dict().get_id(&iri("FullProfessor")).unwrap();
+        let fac = ds.dict().get_id(&iri("Faculty")).unwrap();
+        assert!(ds.default_graph().contains(&[fp, sub_class, fac]), "rdfs11");
+    }
+
+    #[test]
+    fn subproperty_and_domain_range() {
+        let mut ds = setup();
+        ds.materialize_rdfs();
+
+        assert!(has(&ds, "ann", "worksFor", "cs"), "rdfs7");
+        assert!(has(&ds, "ann", "type", "Person"), "rdfs2 (domain via inferred use)");
+        assert!(has(&ds, "cs", "type", "Organization"), "rdfs3 (range)");
+    }
+
+    #[test]
+    fn closure_is_idempotent() {
+        let mut ds = setup();
+        let first = ds.materialize_rdfs();
+        let len_after = ds.default_graph().len();
+        let second = ds.materialize_rdfs();
+        assert!(first.inferred > 0);
+        assert_eq!(second.inferred, 0, "fixpoint reached");
+        assert_eq!(ds.default_graph().len(), len_after);
+    }
+
+    #[test]
+    fn range_never_types_literals() {
+        let mut ds = Dataset::new();
+        let range = Term::iri(RANGE);
+        ds.insert(None, &iri("age"), &range, &iri("Number"));
+        ds.insert(None, &iri("bob"), &iri("age"), &Term::literal_int(7));
+        ds.materialize_rdfs();
+        // The literal 7 must not receive a type triple.
+        if let Some(type_p) = ds.dict().get_id(&Term::iri(rdf::TYPE)) {
+            let seven = ds.dict().get_id(&Term::literal_int(7)).unwrap();
+            assert_eq!(
+                ds.default_graph()
+                    .scan(IdPattern::new(Some(seven), Some(type_p), None))
+                    .count(),
+                0
+            );
+        }
+    }
+
+    #[test]
+    fn graphs_without_schema_are_untouched() {
+        let mut ds = Dataset::new();
+        ds.insert(None, &iri("a"), &iri("p"), &iri("b"));
+        let stats = ds.materialize_rdfs();
+        assert_eq!(stats.inferred, 0);
+        assert_eq!(ds.default_graph().len(), 1);
+    }
+}

@@ -1,0 +1,27 @@
+//! # sofos-store — dictionary-encoded indexed triple store
+//!
+//! The storage substrate SOFOS runs on (the paper assumes "any RDF triple
+//! store with SPARQL query processing"; we build one). Architecture:
+//!
+//! * terms are interned to dense `u32` ids by `sofos_rdf::Dictionary`;
+//! * a [`GraphStore`] holds one RDF graph as three *permutation indexes*
+//!   ([`index::PermIndex`]) — SPO, POS and OSP orderings — each an LSM-lite
+//!   pair of a sorted run plus a B-tree delta, merged when the delta grows.
+//!   Together they answer all eight triple-pattern binding shapes with
+//!   prefix range scans (see [`pattern`]);
+//! * a [`Dataset`] is the paper's expanded graph `G+`: the base graph plus
+//!   one named graph per materialized view, all sharing one dictionary;
+//! * [`stats::GraphStats`] aggregates per-predicate cardinalities used by
+//!   the cost models and the query planner's join ordering.
+
+pub mod dataset;
+pub mod index;
+pub mod inference;
+pub mod pattern;
+pub mod stats;
+
+pub use dataset::{Dataset, GraphName};
+pub use index::{GraphStore, Perm};
+pub use inference::{materialize_rdfs, InferenceStats};
+pub use pattern::{EncodedTriple, IdPattern};
+pub use stats::{GraphStats, PredicateStats};

@@ -1,0 +1,74 @@
+//! Encoded triples and id-level triple patterns.
+
+use sofos_rdf::TermId;
+
+/// A dictionary-encoded triple in `(s, p, o)` order.
+pub type EncodedTriple = [TermId; 3];
+
+/// A triple pattern at the id level: each position is either bound to a
+/// term id or a wildcard. This is what reaches the store; variable names
+/// live one layer up in `sofos-sparql`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct IdPattern {
+    /// Subject constraint.
+    pub s: Option<TermId>,
+    /// Predicate constraint.
+    pub p: Option<TermId>,
+    /// Object constraint.
+    pub o: Option<TermId>,
+}
+
+impl IdPattern {
+    /// The match-everything pattern.
+    pub const ANY: IdPattern = IdPattern { s: None, p: None, o: None };
+
+    /// Construct from options.
+    pub fn new(s: Option<TermId>, p: Option<TermId>, o: Option<TermId>) -> IdPattern {
+        IdPattern { s, p, o }
+    }
+
+    /// Number of bound positions (0–3); used as a crude selectivity proxy.
+    pub fn bound_count(&self) -> u32 {
+        self.s.is_some() as u32 + self.p.is_some() as u32 + self.o.is_some() as u32
+    }
+
+    /// Does a concrete triple match this pattern?
+    #[inline]
+    pub fn matches(&self, t: &EncodedTriple) -> bool {
+        self.s.map_or(true, |s| s == t[0])
+            && self.p.map_or(true, |p| p == t[1])
+            && self.o.map_or(true, |o| o == t[2])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn id(v: u32) -> TermId {
+        TermId(v)
+    }
+
+    #[test]
+    fn any_matches_everything() {
+        assert!(IdPattern::ANY.matches(&[id(1), id(2), id(3)]));
+        assert_eq!(IdPattern::ANY.bound_count(), 0);
+    }
+
+    #[test]
+    fn bound_positions_filter() {
+        let p = IdPattern::new(Some(id(1)), None, Some(id(3)));
+        assert!(p.matches(&[id(1), id(9), id(3)]));
+        assert!(!p.matches(&[id(2), id(9), id(3)]));
+        assert!(!p.matches(&[id(1), id(9), id(4)]));
+        assert_eq!(p.bound_count(), 2);
+    }
+
+    #[test]
+    fn fully_bound_matches_exactly_one_shape() {
+        let p = IdPattern::new(Some(id(1)), Some(id(2)), Some(id(3)));
+        assert!(p.matches(&[id(1), id(2), id(3)]));
+        assert!(!p.matches(&[id(1), id(2), id(4)]));
+        assert_eq!(p.bound_count(), 3);
+    }
+}

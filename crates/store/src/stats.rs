@@ -1,0 +1,200 @@
+//! Graph statistics: cardinalities feeding the cost models and the planner.
+//!
+//! Three of the paper's cost models are direct statistics of a (view) graph:
+//! `#triples` (`|G_Vi|`), `#nodes` (`|I_i ∪ B_i ∪ L_i|`), and
+//! `#aggregated values` (result count, computed by the evaluator). The
+//! learned cost model additionally consumes per-predicate frequencies
+//! ("statistics about the relationship frequency and the attribute
+//! frequency", §3.1), which [`GraphStats`] provides. The SPARQL planner uses
+//! [`GraphStats::estimate_pattern`] for join ordering.
+
+use crate::index::GraphStore;
+use crate::pattern::IdPattern;
+use sofos_rdf::{FxHashMap, FxHashSet, TermId};
+
+/// Per-predicate cardinalities.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PredicateStats {
+    /// Number of triples with this predicate.
+    pub count: usize,
+    /// Distinct subjects appearing with this predicate.
+    pub distinct_subjects: usize,
+    /// Distinct objects appearing with this predicate.
+    pub distinct_objects: usize,
+}
+
+/// Whole-graph statistics snapshot.
+#[derive(Debug, Clone, Default)]
+pub struct GraphStats {
+    /// Total triples.
+    pub triples: usize,
+    /// Distinct subject terms.
+    pub distinct_subjects: usize,
+    /// Distinct object terms.
+    pub distinct_objects: usize,
+    /// Distinct *node* terms (subjects ∪ objects) — the paper's
+    /// `|I ∪ B ∪ L|`; predicates are edge labels and not counted.
+    pub distinct_nodes: usize,
+    /// Distinct predicates.
+    pub distinct_predicates: usize,
+    /// Per-predicate breakdown.
+    pub predicates: FxHashMap<TermId, PredicateStats>,
+}
+
+impl GraphStats {
+    /// Compute statistics with one pass over the graph.
+    pub fn compute(store: &GraphStore) -> GraphStats {
+        let mut subjects: FxHashSet<TermId> = FxHashSet::default();
+        let mut objects: FxHashSet<TermId> = FxHashSet::default();
+        let mut per_pred: FxHashMap<TermId, (usize, FxHashSet<TermId>, FxHashSet<TermId>)> =
+            FxHashMap::default();
+
+        for [s, p, o] in store.iter() {
+            subjects.insert(s);
+            objects.insert(o);
+            let entry = per_pred.entry(p).or_default();
+            entry.0 += 1;
+            entry.1.insert(s);
+            entry.2.insert(o);
+        }
+
+        let distinct_nodes = subjects.union(&objects).count();
+        let predicates = per_pred
+            .into_iter()
+            .map(|(p, (count, subj, obj))| {
+                (
+                    p,
+                    PredicateStats {
+                        count,
+                        distinct_subjects: subj.len(),
+                        distinct_objects: obj.len(),
+                    },
+                )
+            })
+            .collect::<FxHashMap<_, _>>();
+
+        GraphStats {
+            triples: store.len(),
+            distinct_subjects: subjects.len(),
+            distinct_objects: objects.len(),
+            distinct_nodes,
+            distinct_predicates: predicates.len(),
+            predicates,
+        }
+    }
+
+    /// Frequency of a predicate (0 when absent) — a learned-model feature.
+    pub fn predicate_count(&self, p: TermId) -> usize {
+        self.predicates.get(&p).map_or(0, |s| s.count)
+    }
+
+    /// Estimated result cardinality of a triple pattern, for join ordering.
+    ///
+    /// Uses the classic independence heuristics: a bound predicate narrows
+    /// to its frequency; bound subject/object divide by the corresponding
+    /// distinct counts (uniformity assumption).
+    pub fn estimate_pattern(&self, pattern: IdPattern) -> f64 {
+        if self.triples == 0 {
+            return 0.0;
+        }
+        let mut estimate = match pattern.p {
+            Some(p) => self.predicate_count(p) as f64,
+            None => self.triples as f64,
+        };
+        if pattern.s.is_some() {
+            let denom = match pattern.p {
+                Some(p) => self
+                    .predicates
+                    .get(&p)
+                    .map_or(1, |st| st.distinct_subjects.max(1)),
+                None => self.distinct_subjects.max(1),
+            };
+            estimate /= denom as f64;
+        }
+        if pattern.o.is_some() {
+            let denom = match pattern.p {
+                Some(p) => self
+                    .predicates
+                    .get(&p)
+                    .map_or(1, |st| st.distinct_objects.max(1)),
+                None => self.distinct_objects.max(1),
+            };
+            estimate /= denom as f64;
+        }
+        estimate
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: u32, p: u32, o: u32) -> [TermId; 3] {
+        [TermId(s), TermId(p), TermId(o)]
+    }
+
+    fn sample_store() -> GraphStore {
+        let mut g = GraphStore::new();
+        // Predicate 10: star around subjects 1,2 (4 triples).
+        g.insert(t(1, 10, 100));
+        g.insert(t(1, 10, 101));
+        g.insert(t(2, 10, 100));
+        g.insert(t(2, 10, 102));
+        // Predicate 11: single triple.
+        g.insert(t(3, 11, 100));
+        g
+    }
+
+    #[test]
+    fn totals() {
+        let stats = GraphStats::compute(&sample_store());
+        assert_eq!(stats.triples, 5);
+        assert_eq!(stats.distinct_subjects, 3); // 1,2,3
+        assert_eq!(stats.distinct_objects, 3); // 100,101,102
+        assert_eq!(stats.distinct_predicates, 2);
+        // Nodes: {1,2,3} ∪ {100,101,102} = 6 (disjoint here).
+        assert_eq!(stats.distinct_nodes, 6);
+    }
+
+    #[test]
+    fn per_predicate_breakdown() {
+        let stats = GraphStats::compute(&sample_store());
+        let p10 = &stats.predicates[&TermId(10)];
+        assert_eq!(p10.count, 4);
+        assert_eq!(p10.distinct_subjects, 2);
+        assert_eq!(p10.distinct_objects, 3);
+        let p11 = &stats.predicates[&TermId(11)];
+        assert_eq!(p11.count, 1);
+        assert_eq!(stats.predicate_count(TermId(99)), 0);
+    }
+
+    #[test]
+    fn nodes_count_shared_terms_once() {
+        let mut g = GraphStore::new();
+        // 1 appears both as subject and object.
+        g.insert(t(1, 10, 2));
+        g.insert(t(2, 10, 1));
+        let stats = GraphStats::compute(&g);
+        assert_eq!(stats.distinct_nodes, 2);
+    }
+
+    #[test]
+    fn estimates_shrink_with_bound_positions() {
+        let stats = GraphStats::compute(&sample_store());
+        let all = stats.estimate_pattern(IdPattern::ANY);
+        let by_p = stats.estimate_pattern(IdPattern::new(None, Some(TermId(10)), None));
+        let by_ps = stats.estimate_pattern(IdPattern::new(Some(TermId(1)), Some(TermId(10)), None));
+        assert_eq!(all, 5.0);
+        assert_eq!(by_p, 4.0);
+        assert!(by_ps < by_p);
+        assert!(by_ps > 0.0);
+    }
+
+    #[test]
+    fn empty_graph_estimates_zero() {
+        let stats = GraphStats::compute(&GraphStore::new());
+        assert_eq!(stats.estimate_pattern(IdPattern::ANY), 0.0);
+        assert_eq!(stats.triples, 0);
+        assert_eq!(stats.distinct_nodes, 0);
+    }
+}

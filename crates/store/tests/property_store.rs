@@ -1,0 +1,116 @@
+//! Property tests across the store's public API: statistics agree with
+//! naive recomputation; inference is monotone and idempotent on random
+//! schema graphs.
+
+use proptest::prelude::*;
+use sofos_rdf::vocab::{rdf, rdfs};
+use sofos_rdf::{FxHashSet, Term};
+use sofos_store::{Dataset, GraphStats};
+
+proptest! {
+    /// GraphStats must agree with a naive single-pass recomputation.
+    #[test]
+    fn stats_agree_with_naive(
+        triples in proptest::collection::vec((0u32..12, 0u32..5, 0u32..12), 0..120)
+    ) {
+        let mut ds = Dataset::new();
+        for (s, p, o) in &triples {
+            ds.insert(
+                None,
+                &Term::iri(format!("http://e/s{s}")),
+                &Term::iri(format!("http://e/p{p}")),
+                &Term::iri(format!("http://e/o{o}")),
+            );
+        }
+        let stats = GraphStats::compute(ds.default_graph());
+
+        // Naive recomputation at the term level.
+        let mut subjects = FxHashSet::default();
+        let mut objects = FxHashSet::default();
+        let mut preds = FxHashSet::default();
+        let mut distinct = FxHashSet::default();
+        for (s, p, o) in &triples {
+            distinct.insert((*s, *p, *o));
+        }
+        for (s, p, o) in &distinct {
+            subjects.insert(format!("s{s}"));
+            preds.insert(format!("p{p}"));
+            objects.insert(format!("o{o}"));
+        }
+        prop_assert_eq!(stats.triples, distinct.len());
+        prop_assert_eq!(stats.distinct_subjects, subjects.len());
+        prop_assert_eq!(stats.distinct_objects, objects.len());
+        prop_assert_eq!(stats.distinct_predicates, preds.len());
+        // Subject IRIs (s*) and object IRIs (o*) never collide here.
+        prop_assert_eq!(stats.distinct_nodes, subjects.len() + objects.len());
+    }
+
+    /// RDFS closure on random class hierarchies: monotone, idempotent, and
+    /// complete for reachability (every instance is typed with every
+    /// superclass reachable from its direct type).
+    #[test]
+    fn rdfs_closure_matches_reachability(
+        edges in proptest::collection::vec((0u32..8, 0u32..8), 0..16),
+        typings in proptest::collection::vec((0u32..10, 0u32..8), 0..20),
+    ) {
+        let mut ds = Dataset::new();
+        let sub_class = Term::iri(rdfs::SUB_CLASS_OF);
+        let type_p = Term::iri(rdf::TYPE);
+        for (a, b) in &edges {
+            ds.insert(
+                None,
+                &Term::iri(format!("http://e/C{a}")),
+                &sub_class,
+                &Term::iri(format!("http://e/C{b}")),
+            );
+        }
+        for (x, c) in &typings {
+            ds.insert(
+                None,
+                &Term::iri(format!("http://e/x{x}")),
+                &type_p,
+                &Term::iri(format!("http://e/C{c}")),
+            );
+        }
+        let before = ds.default_graph().len();
+        let first = ds.materialize_rdfs();
+        let after = ds.default_graph().len();
+        prop_assert_eq!(after, before + first.inferred);
+
+        // Idempotent.
+        let second = ds.materialize_rdfs();
+        prop_assert_eq!(second.inferred, 0);
+
+        // Reachability check: BFS over the subclass graph.
+        let mut reach: Vec<FxHashSet<u32>> = (0..8)
+            .map(|c| {
+                let mut seen = FxHashSet::default();
+                let mut stack = vec![c];
+                while let Some(cur) = stack.pop() {
+                    for &(a, b) in &edges {
+                        if a == cur && seen.insert(b) {
+                            stack.push(b);
+                        }
+                    }
+                }
+                seen
+            })
+            .collect();
+        for (x, c) in &typings {
+            let expected: &mut FxHashSet<u32> = &mut reach[*c as usize];
+            expected.insert(*c);
+            for target in expected.iter() {
+                let s = ds.dict().get_id(&Term::iri(format!("http://e/x{x}")));
+                let p = ds.dict().get_id(&type_p);
+                let o = ds.dict().get_id(&Term::iri(format!("http://e/C{target}")));
+                let (Some(s), Some(p), Some(o)) = (s, p, o) else {
+                    return Err(TestCaseError::fail("terms must be interned"));
+                };
+                prop_assert!(
+                    ds.default_graph().contains(&[s, p, o]),
+                    "x{x} must be typed C{target} (direct type C{c})"
+                );
+            }
+        }
+    }
+}

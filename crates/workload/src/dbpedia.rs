@@ -1,0 +1,275 @@
+//! DBpedia-like generator: the paper's Figure 1 / Example 1.1 world.
+//!
+//! Countries belong to regions (`partOf`), speak languages, and carry
+//! yearly population observations. The generated facet asks the paper's own
+//! motivating questions: "in how many countries is French an official
+//! language?", "what is the total amount of French-speaking population …?"
+//!
+//! Substitution note (`DESIGN.md` §4): we cannot ship the DBpedia dump; the
+//! generator reproduces the *schema shape* of the running example with
+//! Zipf-skewed language popularity and log-normal-ish populations, which is
+//! what exercises the cost models.
+
+use crate::zipf::Zipf;
+use crate::GeneratedDataset;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sofos_cube::{AggOp, Dimension, Facet};
+use sofos_rdf::{Literal, Term};
+use sofos_sparql::{GroupPattern, PatternTerm, TriplePattern};
+use sofos_store::Dataset;
+
+/// Namespace of the generated data.
+pub const NS: &str = "http://sofos.example/dbpedia/";
+
+/// Generator parameters.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Number of regions (continents / unions).
+    pub regions: usize,
+    /// Number of countries.
+    pub countries: usize,
+    /// Number of distinct languages.
+    pub languages: usize,
+    /// Number of years of observations.
+    pub years: usize,
+    /// Maximum official languages per country (≥ 1, Zipf-sampled).
+    pub max_langs_per_country: usize,
+    /// Zipf exponent for language popularity.
+    pub language_skew: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            regions: 4,
+            countries: 30,
+            languages: 12,
+            years: 5,
+            max_langs_per_country: 3,
+            language_skew: 1.1,
+            seed: 42,
+        }
+    }
+}
+
+impl Config {
+    /// A larger configuration for benchmarks, scaled by `factor`.
+    pub fn scaled(factor: usize) -> Config {
+        let base = Config::default();
+        Config {
+            regions: base.regions + factor / 4,
+            countries: base.countries * factor,
+            languages: base.languages + factor,
+            years: base.years + factor / 2,
+            ..base
+        }
+    }
+}
+
+fn iri(local: impl std::fmt::Display) -> Term {
+    Term::iri(format!("{NS}{local}"))
+}
+
+/// Generate the dataset and its facet catalog.
+pub fn generate(config: &Config) -> GeneratedDataset {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut ds = Dataset::new();
+
+    let name_p = iri("name");
+    let part_of = iri("partOf");
+    let country_p = iri("country");
+    let language_p = iri("language");
+    let year_p = iri("year");
+    let population_p = iri("population");
+
+    // Regions.
+    let regions: Vec<Term> = (0..config.regions).map(|r| iri(format!("region/{r}"))).collect();
+    for (r, region) in regions.iter().enumerate() {
+        ds.insert(None, region, &name_p, &Term::literal_str(format!("Region{r}")));
+    }
+
+    // Languages, Zipf-popular.
+    let languages: Vec<Term> = (0..config.languages)
+        .map(|l| Term::literal_str(format!("Language{l}")))
+        .collect();
+    let lang_zipf = Zipf::new(config.languages, config.language_skew);
+
+    // Countries with observations.
+    let mut obs_counter = 0usize;
+    for c in 0..config.countries {
+        let country = iri(format!("country/{c}"));
+        ds.insert(None, &country, &name_p, &Term::literal_str(format!("Country{c}")));
+        let region = &regions[rng.gen_range(0..regions.len().max(1))];
+        ds.insert(None, &country, &part_of, region);
+
+        // Sample 1..=max official languages (distinct).
+        let lang_count = rng.gen_range(1..=config.max_langs_per_country);
+        let mut langs: Vec<usize> = Vec::new();
+        while langs.len() < lang_count {
+            let l = lang_zipf.sample(&mut rng);
+            if !langs.contains(&l) {
+                langs.push(l);
+            }
+        }
+
+        // Base population, log-spread across countries.
+        let base_pop: i64 = 10f64.powf(rng.gen_range(4.0..8.0)) as i64;
+        for &l in &langs {
+            // Language share of the population.
+            let share = rng.gen_range(0.05..1.0);
+            for y in 0..config.years {
+                let year = 2015 + y as i32;
+                let growth = 1.0 + 0.01 * y as f64;
+                let pop = ((base_pop as f64) * share * growth) as i64;
+                let obs = Term::blank(format!("obs{obs_counter}"));
+                obs_counter += 1;
+                ds.insert(None, &obs, &country_p, &country);
+                ds.insert(None, &obs, &language_p, &languages[l]);
+                ds.insert(None, &obs, &year_p, &Term::Literal(Literal::year(year)));
+                ds.insert(None, &obs, &population_p, &Term::literal_int(pop));
+            }
+        }
+    }
+    ds.optimize();
+
+    // The population facet: dims (country, language, year, region), SUM.
+    let pattern = GroupPattern::triples(vec![
+        TriplePattern::new(
+            PatternTerm::var("obs"),
+            PatternTerm::iri(format!("{NS}country")),
+            PatternTerm::var("country"),
+        ),
+        TriplePattern::new(
+            PatternTerm::var("obs"),
+            PatternTerm::iri(format!("{NS}language")),
+            PatternTerm::var("language"),
+        ),
+        TriplePattern::new(
+            PatternTerm::var("obs"),
+            PatternTerm::iri(format!("{NS}year")),
+            PatternTerm::var("year"),
+        ),
+        TriplePattern::new(
+            PatternTerm::var("obs"),
+            PatternTerm::iri(format!("{NS}population")),
+            PatternTerm::var("pop"),
+        ),
+        TriplePattern::new(
+            PatternTerm::var("country"),
+            PatternTerm::iri(format!("{NS}partOf")),
+            PatternTerm::var("region"),
+        ),
+    ]);
+    let facet = Facet::new(
+        "population",
+        vec![
+            Dimension::labeled("country", "country"),
+            Dimension::labeled("language", "official language"),
+            Dimension::labeled("year", "observation year"),
+            Dimension::labeled("region", "region (partOf)"),
+        ],
+        pattern,
+        "pop",
+        AggOp::Sum,
+    )
+    .expect("facet variables bound by construction");
+
+    GeneratedDataset {
+        name: "dbpedia-like",
+        description: "countries / languages / yearly population (Figure 1 world)".into(),
+        dataset: ds,
+        facets: vec![facet],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sofos_sparql::Evaluator;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = generate(&Config::default());
+        let b = generate(&Config::default());
+        assert_eq!(a.dataset.default_graph().len(), b.dataset.default_graph().len());
+        assert_eq!(a.dataset.total_triples(), b.dataset.total_triples());
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = generate(&Config::default());
+        let b = generate(&Config { seed: 99, ..Config::default() });
+        assert_ne!(a.dataset.default_graph().len(), b.dataset.default_graph().len());
+    }
+
+    #[test]
+    fn facet_pattern_evaluates() {
+        let g = generate(&Config::default());
+        let facet = &g.facets[0];
+        let q = sofos_cube::view_query(facet, sofos_cube::ViewMask::APEX);
+        let r = Evaluator::new(&g.dataset).evaluate(&q).expect("facet query runs");
+        assert_eq!(r.len(), 1, "apex has one row");
+        // Total population must be positive.
+        let total = r.rows[0]
+            .last()
+            .unwrap()
+            .as_ref()
+            .and_then(|t| t.as_literal().and_then(|l| l.numeric()))
+            .map(|n| n.to_f64())
+            .unwrap();
+        assert!(total > 0.0);
+    }
+
+    #[test]
+    fn every_country_has_region_and_languages() {
+        let g = generate(&Config::default());
+        let e = Evaluator::new(&g.dataset);
+        let countries = e
+            .evaluate_str(&format!(
+                "SELECT DISTINCT ?c WHERE {{ ?c <{NS}partOf> ?r }}"
+            ))
+            .unwrap();
+        assert_eq!(countries.len(), Config::default().countries);
+        let uncovered = e
+            .evaluate_str(&format!(
+                "SELECT DISTINCT ?c WHERE {{ ?o <{NS}country> ?c }}"
+            ))
+            .unwrap();
+        assert_eq!(uncovered.len(), Config::default().countries);
+    }
+
+    #[test]
+    fn language_distribution_is_skewed() {
+        let config = Config { countries: 120, ..Config::default() };
+        let g = generate(&config);
+        let e = Evaluator::new(&g.dataset);
+        let r = e
+            .evaluate_str(&format!(
+                "SELECT ?l (COUNT(?o) AS ?n) WHERE {{ ?o <{NS}language> ?l }} \
+                 GROUP BY ?l ORDER BY DESC(?n)"
+            ))
+            .unwrap();
+        assert!(r.len() > 3);
+        let first = r.rows.first().unwrap()[1]
+            .as_ref()
+            .and_then(|t| t.as_literal().and_then(|l| l.numeric()))
+            .map(|n| n.to_f64())
+            .unwrap();
+        let last = r.rows.last().unwrap()[1]
+            .as_ref()
+            .and_then(|t| t.as_literal().and_then(|l| l.numeric()))
+            .map(|n| n.to_f64())
+            .unwrap();
+        assert!(first > last * 2.0, "top language {first} vs bottom {last}");
+    }
+
+    #[test]
+    fn scaled_config_is_bigger() {
+        let small = generate(&Config::default());
+        let big = generate(&Config::scaled(3));
+        assert!(big.dataset.total_triples() > small.dataset.total_triples() * 2);
+    }
+}

@@ -1,0 +1,71 @@
+//! # sofos-workload — datasets and query workloads for the SOFOS demo
+//!
+//! The demonstration (§4) runs on "the LUBM, the DBpedia, and the Semantic
+//! Web Dogfood datasets … along with the corresponding query facets". The
+//! real dumps cannot be shipped, so this crate provides seeded generators
+//! that reproduce each dataset's *shape* (schema patterns, cardinality
+//! ratios, skew) plus its facet catalog, and a random parametrized query
+//! generator ([`queries`]) for the online phase. All generation is
+//! deterministic per seed — every experiment is replayable.
+
+pub mod dbpedia;
+pub mod lubm;
+pub mod queries;
+pub mod swdf;
+pub mod synthetic;
+pub mod zipf;
+
+pub use queries::{
+    derivable_aggs, dimension_values, generate_workload, GeneratedQuery, WorkloadConfig,
+};
+pub use zipf::Zipf;
+
+use sofos_cube::Facet;
+use sofos_store::Dataset;
+
+/// A generated dataset with its facet catalog.
+#[derive(Debug, Clone)]
+pub struct GeneratedDataset {
+    /// Short dataset name (`dbpedia-like`, `lubm-like`, `swdf-like`).
+    pub name: &'static str,
+    /// One-line description for reports.
+    pub description: String,
+    /// The loaded triple store.
+    pub dataset: Dataset,
+    /// Facets defined over the data (the default facet first).
+    pub facets: Vec<Facet>,
+}
+
+impl GeneratedDataset {
+    /// The default facet of this dataset.
+    pub fn default_facet(&self) -> &Facet {
+        &self.facets[0]
+    }
+}
+
+/// All three demo datasets at their default (test-sized) configurations.
+pub fn all_datasets() -> Vec<GeneratedDataset> {
+    vec![
+        dbpedia::generate(&dbpedia::Config::default()),
+        lubm::generate(&lubm::Config::default()),
+        swdf::generate(&swdf::Config::default()),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_three_demo_datasets_generate() {
+        let datasets = all_datasets();
+        assert_eq!(datasets.len(), 3);
+        let names: Vec<&str> = datasets.iter().map(|d| d.name).collect();
+        assert_eq!(names, ["dbpedia-like", "lubm-like", "swdf-like"]);
+        for d in &datasets {
+            assert!(d.dataset.total_triples() > 100, "{} too small", d.name);
+            assert!(!d.facets.is_empty());
+            assert!(d.default_facet().dim_count() >= 3);
+        }
+    }
+}

@@ -1,0 +1,306 @@
+//! LUBM-like generator: the university benchmark's schema core.
+//!
+//! LUBM (Guo, Pan, Heflin — JWS'05) models universities with departments,
+//! professors, courses and publications. SOFOS's demo uses it as the
+//! regular, deeply-structured dataset (in contrast to DBpedia's breadth).
+//! The analytical facet counts publications along the organizational
+//! hierarchy: `(university, department, year, venue)` with a page-count
+//! measure, so both COUNT- and SUM/AVG-style questions make sense.
+//!
+//! Substitution note (`DESIGN.md` §4): the original Java data generator is
+//! not shipped; this one preserves the schema shape and the cardinality
+//! ratios (departments per university, professors per department,
+//! publications per professor) that drive view-size differences.
+
+use crate::zipf::Zipf;
+use crate::GeneratedDataset;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sofos_cube::{AggOp, Dimension, Facet};
+use sofos_rdf::vocab::rdf;
+use sofos_rdf::{Literal, Term};
+use sofos_sparql::{GroupPattern, PatternTerm, TriplePattern};
+use sofos_store::Dataset;
+
+/// Namespace of the generated data.
+pub const NS: &str = "http://sofos.example/lubm/";
+
+/// Generator parameters (cardinality ratios follow LUBM's defaults,
+/// scaled down).
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Number of universities.
+    pub universities: usize,
+    /// Departments per university (uniform 1..=max).
+    pub max_departments: usize,
+    /// Professors per department.
+    pub max_professors: usize,
+    /// Publications per professor.
+    pub max_publications: usize,
+    /// Distinct publication venues.
+    pub venues: usize,
+    /// Publication years.
+    pub years: usize,
+    /// Zipf exponent for venue popularity.
+    pub venue_skew: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            universities: 3,
+            max_departments: 4,
+            max_professors: 5,
+            max_publications: 6,
+            venues: 6,
+            years: 4,
+            venue_skew: 1.0,
+            seed: 7,
+        }
+    }
+}
+
+impl Config {
+    /// A larger configuration for benchmarks.
+    pub fn scaled(factor: usize) -> Config {
+        let base = Config::default();
+        Config {
+            universities: base.universities * factor,
+            max_departments: base.max_departments + factor / 2,
+            ..base
+        }
+    }
+}
+
+fn iri(local: impl std::fmt::Display) -> Term {
+    Term::iri(format!("{NS}{local}"))
+}
+
+/// Generate the dataset and its facet catalog.
+pub fn generate(config: &Config) -> GeneratedDataset {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut ds = Dataset::new();
+
+    let type_p = Term::iri(rdf::TYPE);
+    let sub_class = Term::iri(sofos_rdf::vocab::rdfs::SUB_CLASS_OF);
+    let univ_c = iri("University");
+    let dept_c = iri("Department");
+    let prof_c = iri("Professor");
+    let ranks = [
+        iri("FullProfessor"),
+        iri("AssociateProfessor"),
+        iri("AssistantProfessor"),
+    ];
+    for rank in &ranks {
+        ds.insert(None, rank, &sub_class, &prof_c);
+    }
+    let pub_c = iri("Publication");
+    let sub_org = iri("subOrganizationOf");
+    let works_for = iri("worksFor");
+    let author_p = iri("author");
+    let venue_p = iri("venue");
+    let year_p = iri("year");
+    let pages_p = iri("pages");
+
+    let venues: Vec<Term> = (0..config.venues).map(|v| iri(format!("venue/{v}"))).collect();
+    let venue_zipf = Zipf::new(config.venues, config.venue_skew);
+
+    let mut pub_counter = 0usize;
+    for u in 0..config.universities {
+        let univ = iri(format!("university/{u}"));
+        ds.insert(None, &univ, &type_p, &univ_c);
+        let departments = rng.gen_range(1..=config.max_departments);
+        for d in 0..departments {
+            let dept = iri(format!("university/{u}/dept/{d}"));
+            ds.insert(None, &dept, &type_p, &dept_c);
+            ds.insert(None, &dept, &sub_org, &univ);
+            let professors = rng.gen_range(1..=config.max_professors);
+            for p in 0..professors {
+                let prof = iri(format!("university/{u}/dept/{d}/prof/{p}"));
+                // LUBM types professors by rank; `Professor` is reachable
+                // through the rdfs:subClassOf schema (see store::inference).
+                let rank = &ranks[rng.gen_range(0..ranks.len())];
+                ds.insert(None, &prof, &type_p, rank);
+                ds.insert(None, &prof, &works_for, &dept);
+                let publications = rng.gen_range(0..=config.max_publications);
+                for _ in 0..publications {
+                    let publication = iri(format!("pub/{pub_counter}"));
+                    pub_counter += 1;
+                    ds.insert(None, &publication, &type_p, &pub_c);
+                    ds.insert(None, &publication, &author_p, &prof);
+                    let venue = &venues[venue_zipf.sample(&mut rng)];
+                    ds.insert(None, &publication, &venue_p, venue);
+                    let year = 2010 + rng.gen_range(0..config.years) as i32;
+                    ds.insert(None, &publication, &year_p, &Term::Literal(Literal::year(year)));
+                    let pages = rng.gen_range(4..30);
+                    ds.insert(None, &publication, &pages_p, &Term::literal_int(pages));
+                }
+            }
+        }
+    }
+    ds.optimize();
+
+    // Facet: publication pages by (university, department, venue, year), AVG
+    // (components SUM+COUNT ⇒ SUM/COUNT/AVG workload queries derivable).
+    let pattern = GroupPattern::triples(vec![
+        TriplePattern::new(
+            PatternTerm::var("pub"),
+            PatternTerm::iri(format!("{NS}author")),
+            PatternTerm::var("prof"),
+        ),
+        TriplePattern::new(
+            PatternTerm::var("prof"),
+            PatternTerm::iri(format!("{NS}worksFor")),
+            PatternTerm::var("dept"),
+        ),
+        TriplePattern::new(
+            PatternTerm::var("dept"),
+            PatternTerm::iri(format!("{NS}subOrganizationOf")),
+            PatternTerm::var("univ"),
+        ),
+        TriplePattern::new(
+            PatternTerm::var("pub"),
+            PatternTerm::iri(format!("{NS}venue")),
+            PatternTerm::var("venue"),
+        ),
+        TriplePattern::new(
+            PatternTerm::var("pub"),
+            PatternTerm::iri(format!("{NS}year")),
+            PatternTerm::var("year"),
+        ),
+        TriplePattern::new(
+            PatternTerm::var("pub"),
+            PatternTerm::iri(format!("{NS}pages")),
+            PatternTerm::var("pages"),
+        ),
+    ]);
+    let facet = Facet::new(
+        "pubs",
+        vec![
+            Dimension::labeled("univ", "university"),
+            Dimension::labeled("dept", "department"),
+            Dimension::labeled("venue", "venue"),
+            Dimension::labeled("year", "publication year"),
+        ],
+        pattern,
+        "pages",
+        AggOp::Avg,
+    )
+    .expect("facet variables bound by construction");
+
+    // Second facet: publication count by (venue, year) — a narrower cube
+    // with COUNT semantics, exercising multi-facet catalogs.
+    let count_pattern = GroupPattern::triples(vec![
+        TriplePattern::new(
+            PatternTerm::var("pub"),
+            PatternTerm::iri(format!("{NS}venue")),
+            PatternTerm::var("venue"),
+        ),
+        TriplePattern::new(
+            PatternTerm::var("pub"),
+            PatternTerm::iri(format!("{NS}year")),
+            PatternTerm::var("year"),
+        ),
+        TriplePattern::new(
+            PatternTerm::var("pub"),
+            PatternTerm::iri(format!("{NS}pages")),
+            PatternTerm::var("pages"),
+        ),
+    ]);
+    let count_facet = Facet::new(
+        "pubcount",
+        vec![
+            Dimension::labeled("venue", "venue"),
+            Dimension::labeled("year", "publication year"),
+        ],
+        count_pattern,
+        "pages",
+        AggOp::Count,
+    )
+    .expect("facet variables bound by construction");
+
+    GeneratedDataset {
+        name: "lubm-like",
+        description: "universities / departments / professors / publications".into(),
+        dataset: ds,
+        facets: vec![facet, count_facet],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sofos_sparql::Evaluator;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = generate(&Config::default());
+        let b = generate(&Config::default());
+        assert_eq!(a.dataset.total_triples(), b.dataset.total_triples());
+    }
+
+    #[test]
+    fn hierarchy_is_connected() {
+        let g = generate(&Config::default());
+        let e = Evaluator::new(&g.dataset);
+        // Every department belongs to a typed university.
+        let orphans = e
+            .evaluate_str(&format!(
+                "SELECT ?d WHERE {{ ?d <{NS}subOrganizationOf> ?u . \
+                 OPTIONAL {{ ?u a <{NS}University> }} FILTER(!BOUND(?u)) }}"
+            ))
+            .unwrap();
+        assert_eq!(orphans.len(), 0);
+        // Publications have all facet attributes.
+        let pubs = e
+            .evaluate_str(&format!("SELECT ?p WHERE {{ ?p a <{NS}Publication> }}"))
+            .unwrap();
+        let complete = e
+            .evaluate_str(&format!(
+                "SELECT ?p WHERE {{ ?p a <{NS}Publication> ; <{NS}author> ?a ; \
+                 <{NS}venue> ?v ; <{NS}year> ?y ; <{NS}pages> ?g }}"
+            ))
+            .unwrap();
+        assert_eq!(pubs.len(), complete.len());
+        assert!(pubs.len() > 10, "enough publications generated");
+    }
+
+    #[test]
+    fn facet_base_view_evaluates() {
+        let g = generate(&Config::default());
+        let facet = &g.facets[0];
+        let lattice = sofos_cube::Lattice::new(facet.clone());
+        let q = sofos_cube::view_query(facet, lattice.base());
+        let r = Evaluator::new(&g.dataset).evaluate(&q).expect("base view query");
+        assert!(r.len() > 0);
+        // AVG facet: both components projected.
+        assert!(r.column(sofos_cube::SUM_ALIAS).is_some());
+        assert!(r.column(sofos_cube::COUNT_ALIAS).is_some());
+    }
+
+    #[test]
+    fn venue_popularity_is_skewed() {
+        let g = generate(&Config { universities: 8, ..Config::default() });
+        let e = Evaluator::new(&g.dataset);
+        let r = e
+            .evaluate_str(&format!(
+                "SELECT ?v (COUNT(?p) AS ?n) WHERE {{ ?p <{NS}venue> ?v }} \
+                 GROUP BY ?v ORDER BY DESC(?n)"
+            ))
+            .unwrap();
+        let first = r.rows.first().unwrap()[1]
+            .as_ref()
+            .and_then(|t| t.as_literal().and_then(|l| l.numeric()))
+            .unwrap()
+            .to_f64();
+        let last = r.rows.last().unwrap()[1]
+            .as_ref()
+            .and_then(|t| t.as_literal().and_then(|l| l.numeric()))
+            .unwrap()
+            .to_f64();
+        assert!(first >= last, "sorted descending");
+        assert!(first > last, "some skew present");
+    }
+}

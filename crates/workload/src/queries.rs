@@ -1,0 +1,264 @@
+//! Random parametrized query workloads over a facet.
+//!
+//! §4: "For each dataset we will propose a query workload composed of
+//! different parametrized queries for a given query template." A workload
+//! query groups by a random subset of the facet's dimensions, aggregates
+//! the measure with a derivable operator, and (with some probability) adds
+//! an equality `FILTER` on a dimension with a value sampled from the data.
+
+use crate::zipf::Zipf;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sofos_cube::{facet_query, AggOp, Facet, ViewMask};
+use sofos_rdf::Term;
+use sofos_sparql::{query_to_sparql, CompareOp, Evaluator, Expr, Query, SelectItem};
+use sofos_store::Dataset;
+
+/// Workload generation parameters.
+#[derive(Debug, Clone)]
+pub struct WorkloadConfig {
+    /// Number of queries to produce.
+    pub num_queries: usize,
+    /// RNG seed.
+    pub seed: u64,
+    /// Probability that a query carries an extra dimension filter.
+    pub filter_probability: f64,
+    /// `Some(s)`: Zipf-skew query interest toward a few masks (hot facets);
+    /// `None`: uniform over all `2^d` masks.
+    pub mask_skew: Option<f64>,
+    /// Allowed aggregates; empty = all aggregates derivable from the facet.
+    pub aggs: Vec<AggOp>,
+}
+
+impl Default for WorkloadConfig {
+    fn default() -> Self {
+        WorkloadConfig {
+            num_queries: 40,
+            seed: 99,
+            filter_probability: 0.4,
+            mask_skew: None,
+            aggs: Vec::new(),
+        }
+    }
+}
+
+/// One generated workload query.
+#[derive(Debug, Clone)]
+pub struct GeneratedQuery {
+    /// The query AST (ready for the evaluator or the rewriter).
+    pub query: Query,
+    /// Grouping dimensions.
+    pub group_mask: ViewMask,
+    /// Grouping ∪ filter dimensions — what a view must cover.
+    pub required: ViewMask,
+    /// The aggregate used.
+    pub agg: AggOp,
+    /// SPARQL text (for reports).
+    pub text: String,
+}
+
+/// The aggregate operators answerable from views materialized for
+/// `facet.agg` (component-subset rule).
+pub fn derivable_aggs(facet: &Facet) -> Vec<AggOp> {
+    let available = facet.agg.components();
+    AggOp::ALL
+        .into_iter()
+        .filter(|agg| agg.components().iter().all(|c| available.contains(c)))
+        .collect()
+}
+
+/// Sample the distinct values of each dimension (for filter constants).
+pub fn dimension_values(dataset: &Dataset, facet: &Facet) -> Vec<Vec<Term>> {
+    let evaluator = Evaluator::new(dataset);
+    facet
+        .dimensions
+        .iter()
+        .map(|dim| {
+            let query = Query {
+                select: vec![SelectItem::Var(dim.var.clone())],
+                wildcard: false,
+                distinct: true,
+                pattern: facet.pattern.clone(),
+                group_by: Vec::new(),
+                having: None,
+                order_by: Vec::new(),
+                limit: Some(1000),
+                offset: None,
+            };
+            match evaluator.evaluate(&query) {
+                Ok(results) => results
+                    .rows
+                    .into_iter()
+                    .filter_map(|mut row| row.pop().flatten())
+                    .collect(),
+                Err(_) => Vec::new(),
+            }
+        })
+        .collect()
+}
+
+/// Generate a deterministic random workload.
+pub fn generate_workload(
+    dataset: &Dataset,
+    facet: &Facet,
+    config: &WorkloadConfig,
+) -> Vec<GeneratedQuery> {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let d = facet.dim_count();
+    let num_masks = 1u64 << d;
+    let aggs = if config.aggs.is_empty() {
+        derivable_aggs(facet)
+    } else {
+        config.aggs.clone()
+    };
+    assert!(!aggs.is_empty(), "no derivable aggregates for this facet");
+    let values = dimension_values(dataset, facet);
+
+    // Optional mask skew: a random permutation of masks ranked by Zipf.
+    let mask_order: Vec<u64> = {
+        let mut order: Vec<u64> = (0..num_masks).collect();
+        // Deterministic shuffle so the "hot" masks differ per seed.
+        for i in (1..order.len()).rev() {
+            let j = rng.gen_range(0..=i);
+            order.swap(i, j);
+        }
+        order
+    };
+    let zipf = config.mask_skew.map(|s| Zipf::new(num_masks as usize, s));
+
+    let mut out = Vec::with_capacity(config.num_queries);
+    for _ in 0..config.num_queries {
+        let mask = match &zipf {
+            Some(z) => ViewMask(mask_order[z.sample(&mut rng)]),
+            None => ViewMask(rng.gen_range(0..num_masks)),
+        };
+        let agg = aggs[rng.gen_range(0..aggs.len())];
+
+        let mut filters = Vec::new();
+        let mut filter_mask = ViewMask::APEX;
+        if rng.gen_bool(config.filter_probability.clamp(0.0, 1.0)) && d > 0 {
+            let dim = rng.gen_range(0..d);
+            if let Some(value) = pick(&values[dim], &mut rng) {
+                filters.push(Expr::Compare(
+                    CompareOp::Eq,
+                    Box::new(Expr::var(facet.dimensions[dim].var.clone())),
+                    Box::new(Expr::Const(value.clone())),
+                ));
+                filter_mask = filter_mask.with(dim);
+            }
+        }
+
+        let query = facet_query(facet, mask, agg, filters);
+        let text = query_to_sparql(&query);
+        out.push(GeneratedQuery {
+            query,
+            group_mask: mask,
+            required: mask.union(filter_mask),
+            agg,
+            text,
+        });
+    }
+    out
+}
+
+fn pick<'a, T>(items: &'a [T], rng: &mut StdRng) -> Option<&'a T> {
+    if items.is_empty() {
+        None
+    } else {
+        Some(&items[rng.gen_range(0..items.len())])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dbpedia;
+
+    fn setup() -> (Dataset, Facet) {
+        let g = dbpedia::generate(&dbpedia::Config::default());
+        let facet = g.facets[0].clone();
+        (g.dataset, facet)
+    }
+
+    #[test]
+    fn workload_is_deterministic() {
+        let (ds, facet) = setup();
+        let config = WorkloadConfig::default();
+        let a = generate_workload(&ds, &facet, &config);
+        let b = generate_workload(&ds, &facet, &config);
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.text, y.text);
+        }
+    }
+
+    #[test]
+    fn queries_evaluate_on_the_base_graph() {
+        let (ds, facet) = setup();
+        let workload = generate_workload(
+            &ds,
+            &facet,
+            &WorkloadConfig { num_queries: 15, ..WorkloadConfig::default() },
+        );
+        let evaluator = Evaluator::new(&ds);
+        for q in &workload {
+            evaluator
+                .evaluate(&q.query)
+                .unwrap_or_else(|e| panic!("workload query failed: {e}\n{}", q.text));
+        }
+    }
+
+    #[test]
+    fn required_covers_group_mask() {
+        let (ds, facet) = setup();
+        let workload = generate_workload(
+            &ds,
+            &facet,
+            &WorkloadConfig { num_queries: 30, filter_probability: 1.0, ..Default::default() },
+        );
+        for q in &workload {
+            assert!(q.required.covers(q.group_mask));
+        }
+        // With filter probability 1, most queries gain a filter dimension.
+        let with_filters = workload.iter().filter(|q| q.required != q.group_mask).count();
+        assert!(with_filters > 0);
+    }
+
+    #[test]
+    fn derivable_aggs_respect_components() {
+        let (_, facet) = setup();
+        // DBpedia facet is SUM: only SUM and nothing needing COUNT/MIN/MAX.
+        assert_eq!(derivable_aggs(&facet), vec![AggOp::Sum]);
+    }
+
+    #[test]
+    fn skewed_workloads_concentrate() {
+        let (ds, facet) = setup();
+        let config = WorkloadConfig {
+            num_queries: 80,
+            mask_skew: Some(1.5),
+            filter_probability: 0.0,
+            ..Default::default()
+        };
+        let workload = generate_workload(&ds, &facet, &config);
+        let mut counts: std::collections::HashMap<u64, usize> = Default::default();
+        for q in &workload {
+            *counts.entry(q.group_mask.0).or_default() += 1;
+        }
+        let max = counts.values().copied().max().unwrap();
+        assert!(
+            max as f64 > 80.0 / 16.0 * 2.0,
+            "hot mask should dominate: max {max}"
+        );
+    }
+
+    #[test]
+    fn dimension_values_are_nonempty() {
+        let (ds, facet) = setup();
+        let values = dimension_values(&ds, &facet);
+        assert_eq!(values.len(), facet.dim_count());
+        for (dim, vals) in facet.dimensions.iter().zip(&values) {
+            assert!(!vals.is_empty(), "no values for ?{}", dim.var);
+        }
+    }
+}

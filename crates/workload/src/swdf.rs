@@ -1,0 +1,223 @@
+//! Semantic Web Dogfood-like generator: conference metadata.
+//!
+//! SWDF is the small, star-shaped dataset of the demo: papers link to a
+//! conference edition, a track and authors. The facet aggregates citation
+//! counts by `(conference, year, track)`.
+//!
+//! Substitution note (`DESIGN.md` §4): the real SWDF dump is replaced by a
+//! generator preserving its paper-centric star topology, which is what
+//! stresses the divergence between the `#nodes` and `#triples` cost models
+//! (many literals per observation vs. few repeated IRIs).
+
+use crate::zipf::Zipf;
+use crate::GeneratedDataset;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sofos_cube::{AggOp, Dimension, Facet};
+use sofos_rdf::vocab::rdf;
+use sofos_rdf::{Literal, Term};
+use sofos_sparql::{GroupPattern, PatternTerm, TriplePattern};
+use sofos_store::Dataset;
+
+/// Namespace of the generated data.
+pub const NS: &str = "http://sofos.example/swdf/";
+
+/// Generator parameters.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Number of conference series (ISWC, ESWC, ...).
+    pub conferences: usize,
+    /// Editions (years) per conference.
+    pub editions: usize,
+    /// Tracks per edition.
+    pub tracks: usize,
+    /// Papers per track (1..=max).
+    pub max_papers_per_track: usize,
+    /// Author pool size.
+    pub authors: usize,
+    /// Zipf exponent for author productivity.
+    pub author_skew: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            conferences: 3,
+            editions: 4,
+            tracks: 3,
+            max_papers_per_track: 8,
+            authors: 40,
+            author_skew: 1.2,
+            seed: 13,
+        }
+    }
+}
+
+impl Config {
+    /// A larger configuration for benchmarks.
+    pub fn scaled(factor: usize) -> Config {
+        let base = Config::default();
+        Config {
+            conferences: base.conferences + factor / 2,
+            editions: base.editions + factor / 2,
+            max_papers_per_track: base.max_papers_per_track * factor,
+            authors: base.authors * factor,
+            ..base
+        }
+    }
+}
+
+fn iri(local: impl std::fmt::Display) -> Term {
+    Term::iri(format!("{NS}{local}"))
+}
+
+/// Generate the dataset and its facet catalog.
+pub fn generate(config: &Config) -> GeneratedDataset {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut ds = Dataset::new();
+
+    let type_p = Term::iri(rdf::TYPE);
+    let paper_c = iri("Paper");
+    let conference_p = iri("conference");
+    let year_p = iri("year");
+    let track_p = iri("track");
+    let author_p = iri("creator");
+    let citations_p = iri("citations");
+
+    let authors: Vec<Term> = (0..config.authors).map(|a| iri(format!("author/{a}"))).collect();
+    let author_zipf = Zipf::new(config.authors, config.author_skew);
+
+    // Track IRIs are shared across editions of the same conference (the
+    // "Research Track" of ISWC is one entity) — this is the SWDF shape.
+    let mut paper_counter = 0usize;
+    for c in 0..config.conferences {
+        let conference = iri(format!("conf/{c}"));
+        for e in 0..config.editions {
+            let year = 2016 + e as i32;
+            for t in 0..config.tracks {
+                let track = iri(format!("conf/{c}/track/{t}"));
+                let papers = rng.gen_range(1..=config.max_papers_per_track);
+                for _ in 0..papers {
+                    let paper = iri(format!("paper/{paper_counter}"));
+                    paper_counter += 1;
+                    ds.insert(None, &paper, &type_p, &paper_c);
+                    ds.insert(None, &paper, &conference_p, &conference);
+                    ds.insert(None, &paper, &year_p, &Term::Literal(Literal::year(year)));
+                    ds.insert(None, &paper, &track_p, &track);
+                    // 1-3 authors, Zipf-productive.
+                    let nauthors = rng.gen_range(1..=3);
+                    for _ in 0..nauthors {
+                        let a = &authors[author_zipf.sample(&mut rng)];
+                        ds.insert(None, &paper, &author_p, a);
+                    }
+                    // Citations: mostly low, occasionally high.
+                    let citations = if rng.gen_bool(0.1) {
+                        rng.gen_range(50..500)
+                    } else {
+                        rng.gen_range(0..30)
+                    };
+                    ds.insert(None, &paper, &citations_p, &Term::literal_int(citations));
+                }
+            }
+        }
+    }
+    ds.optimize();
+
+    // Facet: citations by (conference, year, track), AVG.
+    let pattern = GroupPattern::triples(vec![
+        TriplePattern::new(
+            PatternTerm::var("paper"),
+            PatternTerm::iri(format!("{NS}conference")),
+            PatternTerm::var("conf"),
+        ),
+        TriplePattern::new(
+            PatternTerm::var("paper"),
+            PatternTerm::iri(format!("{NS}year")),
+            PatternTerm::var("year"),
+        ),
+        TriplePattern::new(
+            PatternTerm::var("paper"),
+            PatternTerm::iri(format!("{NS}track")),
+            PatternTerm::var("track"),
+        ),
+        TriplePattern::new(
+            PatternTerm::var("paper"),
+            PatternTerm::iri(format!("{NS}citations")),
+            PatternTerm::var("cites"),
+        ),
+    ]);
+    let facet = Facet::new(
+        "citations",
+        vec![
+            Dimension::labeled("conf", "conference"),
+            Dimension::labeled("year", "edition year"),
+            Dimension::labeled("track", "track"),
+        ],
+        pattern,
+        "cites",
+        AggOp::Avg,
+    )
+    .expect("facet variables bound by construction");
+
+    GeneratedDataset {
+        name: "swdf-like",
+        description: "conferences / editions / tracks / papers / citations".into(),
+        dataset: ds,
+        facets: vec![facet],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sofos_sparql::Evaluator;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = generate(&Config::default());
+        let b = generate(&Config::default());
+        assert_eq!(a.dataset.total_triples(), b.dataset.total_triples());
+    }
+
+    #[test]
+    fn papers_are_complete_stars() {
+        let g = generate(&Config::default());
+        let e = Evaluator::new(&g.dataset);
+        let papers = e
+            .evaluate_str(&format!("SELECT ?p WHERE {{ ?p a <{NS}Paper> }}"))
+            .unwrap();
+        let complete = e
+            .evaluate_str(&format!(
+                "SELECT ?p WHERE {{ ?p a <{NS}Paper> ; <{NS}conference> ?c ; \
+                 <{NS}year> ?y ; <{NS}track> ?t ; <{NS}citations> ?n }}"
+            ))
+            .unwrap();
+        assert_eq!(papers.len(), complete.len());
+        assert!(!papers.is_empty());
+    }
+
+    #[test]
+    fn tracks_are_shared_across_editions() {
+        let g = generate(&Config::default());
+        let e = Evaluator::new(&g.dataset);
+        // A track entity must appear with more than one year.
+        let r = e
+            .evaluate_str(&format!(
+                "SELECT ?t (COUNT(DISTINCT ?y) AS ?years) WHERE {{ \
+                 ?p <{NS}track> ?t . ?p <{NS}year> ?y }} GROUP BY ?t \
+                 HAVING (COUNT(DISTINCT ?y) > 1)"
+            ))
+            .unwrap();
+        assert!(!r.is_empty(), "tracks recur across editions");
+    }
+
+    #[test]
+    fn facet_lattice_is_sized_correctly() {
+        let g = generate(&Config::default());
+        let facet = &g.facets[0];
+        let lattice = sofos_cube::Lattice::new(facet.clone());
+        assert_eq!(lattice.num_views(), 8, "3 dims → 8 views");
+    }
+}

@@ -1,0 +1,102 @@
+//! A small Zipf sampler (rank-frequency skew for generated data).
+//!
+//! Real KG facets are skewed — a few languages dominate the population
+//! observations, a few venues dominate publications. The generators use
+//! this sampler so view sizes across the lattice differ enough to separate
+//! the cost models (a uniform world would make them all agree).
+
+use rand::Rng;
+
+/// Zipf distribution over ranks `0..n` with exponent `s`
+/// (`P(i) ∝ 1/(i+1)^s`); `s = 0` is uniform.
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cumulative: Vec<f64>,
+}
+
+impl Zipf {
+    /// Build the cumulative table for `n` ranks with exponent `s`.
+    pub fn new(n: usize, s: f64) -> Zipf {
+        assert!(n > 0, "Zipf needs at least one rank");
+        let mut cumulative = Vec::with_capacity(n);
+        let mut total = 0.0;
+        for i in 0..n {
+            total += 1.0 / ((i + 1) as f64).powf(s);
+            cumulative.push(total);
+        }
+        for c in &mut cumulative {
+            *c /= total;
+        }
+        Zipf { cumulative }
+    }
+
+    /// Number of ranks.
+    pub fn len(&self) -> usize {
+        self.cumulative.len()
+    }
+
+    /// True when there is a single rank.
+    pub fn is_empty(&self) -> bool {
+        false // constructor requires n > 0
+    }
+
+    /// Sample a rank in `0..n`.
+    pub fn sample<R: Rng>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.gen();
+        match self
+            .cumulative
+            .binary_search_by(|c| c.partial_cmp(&u).expect("cumulative is finite"))
+        {
+            Ok(i) => i,
+            Err(i) => i.min(self.cumulative.len() - 1),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn uniform_when_s_zero() {
+        let z = Zipf::new(4, 0.0);
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut counts = [0usize; 4];
+        for _ in 0..40_000 {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        for &c in &counts {
+            assert!((c as f64 - 10_000.0).abs() < 600.0, "counts {counts:?}");
+        }
+    }
+
+    #[test]
+    fn skewed_when_s_positive() {
+        let z = Zipf::new(10, 1.2);
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut counts = [0usize; 10];
+        for _ in 0..50_000 {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        assert!(counts[0] > counts[4], "rank 0 must dominate: {counts:?}");
+        assert!(counts[0] > counts[9] * 3, "heavy skew expected: {counts:?}");
+    }
+
+    #[test]
+    fn samples_stay_in_range() {
+        let z = Zipf::new(3, 2.0);
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..1000 {
+            assert!(z.sample(&mut rng) < 3);
+        }
+        assert_eq!(z.len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one rank")]
+    fn rejects_empty() {
+        let _ = Zipf::new(0, 1.0);
+    }
+}

@@ -1,0 +1,25 @@
+//! # SOFOS — facade crate
+//!
+//! Re-exports the full SOFOS workspace behind a single dependency, so a
+//! downstream user can `cargo add sofos` and reach every subsystem:
+//!
+//! ```
+//! use sofos::core::Sofos;          // the engine (offline + online modules)
+//! use sofos::workload::dbpedia;    // dataset generators
+//! use sofos::cost::CostModelKind;  // the six cost models
+//! ```
+//!
+//! See the individual crates for the subsystem documentation:
+//! [`rdf`], [`store`], [`sparql`], [`cube`], [`cost`], [`select`],
+//! [`materialize`], [`rewrite`], [`workload`], [`core`].
+
+pub use sofos_core as core;
+pub use sofos_cost as cost;
+pub use sofos_cube as cube;
+pub use sofos_materialize as materialize;
+pub use sofos_rdf as rdf;
+pub use sofos_rewrite as rewrite;
+pub use sofos_select as select;
+pub use sofos_sparql as sparql;
+pub use sofos_store as store;
+pub use sofos_workload as workload;

@@ -1,0 +1,144 @@
+//! Property-based check of the system's golden invariant on *random*
+//! observation graphs: for arbitrary data, any materialized view that
+//! covers a query answers it identically to the base graph.
+
+use proptest::prelude::*;
+use sofos::core::results_equivalent;
+use sofos::cube::{facet_query, AggOp, Dimension, Facet, Lattice, ViewMask};
+use sofos::materialize::materialize_view;
+use sofos::rewrite::{analyze_query, rewrite_query};
+use sofos::sparql::{CompareOp, Evaluator, Expr, GroupPattern, PatternTerm, TriplePattern};
+use sofos::store::Dataset;
+use sofos_rdf::Term;
+
+const NS: &str = "http://prop.example/";
+
+/// One synthetic observation: dimension value indices + a measure.
+#[derive(Debug, Clone)]
+struct Obs {
+    dims: Vec<u8>,
+    measure: i64,
+}
+
+fn arb_observations(dim_count: usize) -> impl Strategy<Value = Vec<Obs>> {
+    let obs = (
+        proptest::collection::vec(0u8..4, dim_count),
+        -50i64..50i64,
+    )
+        .prop_map(|(dims, measure)| Obs { dims, measure });
+    proptest::collection::vec(obs, 0..40)
+}
+
+fn build(dim_count: usize, observations: &[Obs], agg: AggOp) -> (Dataset, Facet) {
+    let mut ds = Dataset::new();
+    let measure_p = Term::iri(format!("{NS}measure"));
+    for (i, obs) in observations.iter().enumerate() {
+        let node = Term::blank(format!("o{i}"));
+        for (d, &value) in obs.dims.iter().enumerate() {
+            ds.insert(
+                None,
+                &node,
+                &Term::iri(format!("{NS}dim{d}")),
+                &Term::iri(format!("{NS}v{d}_{value}")),
+            );
+        }
+        ds.insert(None, &node, &measure_p, &Term::literal_int(obs.measure));
+    }
+    let mut patterns = Vec::new();
+    let mut dims = Vec::new();
+    for d in 0..dim_count {
+        patterns.push(TriplePattern::new(
+            PatternTerm::var("o"),
+            PatternTerm::iri(format!("{NS}dim{d}")),
+            PatternTerm::var(format!("d{d}")),
+        ));
+        dims.push(Dimension::new(format!("d{d}")));
+    }
+    patterns.push(TriplePattern::new(
+        PatternTerm::var("o"),
+        PatternTerm::iri(format!("{NS}measure")),
+        PatternTerm::var("m"),
+    ));
+    let facet = Facet::new("prop", dims, GroupPattern::triples(patterns), "m", agg)
+        .expect("facet is well-formed by construction");
+    (ds, facet)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    /// Random data × random view × random query mask × any aggregate:
+    /// the rewritten answer equals the base answer.
+    #[test]
+    fn rewrite_equivalence_on_random_graphs(
+        observations in arb_observations(3),
+        view_bits in 0u64..8,
+        query_bits in 0u64..8,
+        agg_idx in 0usize..5,
+        filter_dim in proptest::option::of(0usize..3),
+    ) {
+        let agg = AggOp::ALL[agg_idx];
+        let (mut ds, facet) = build(3, &observations, agg);
+        let lattice = Lattice::new(facet.clone());
+
+        let query_mask = ViewMask(query_bits);
+        let mut filters = Vec::new();
+        let mut required = query_mask;
+        if let Some(d) = filter_dim {
+            // Filter on a value that may or may not exist in the data.
+            filters.push(Expr::Compare(
+                CompareOp::Eq,
+                Box::new(Expr::var(format!("d{d}"))),
+                Box::new(Expr::Const(Term::iri(format!("{NS}v{d}_1")))),
+            ));
+            required = required.with(d);
+        }
+        let view_mask = ViewMask(view_bits).union(required); // ensure coverage
+        prop_assume!(view_mask.0 < lattice.num_views());
+
+        materialize_view(&mut ds, &facet, view_mask).unwrap();
+
+        let query = facet_query(&facet, query_mask, agg, filters);
+        let analysis = analyze_query(&facet, &query).unwrap();
+        prop_assert!(view_mask.covers(analysis.required));
+        let rewritten = rewrite_query(&facet, &analysis, view_mask);
+
+        let evaluator = Evaluator::new(&ds);
+        let from_view = evaluator.evaluate(&rewritten).unwrap();
+        let from_base = evaluator.evaluate(&query).unwrap();
+        prop_assert!(
+            results_equivalent(&from_view, &from_base),
+            "agg {agg}, view {view_mask}, query {query_mask}: {} vs {} rows",
+            from_view.len(),
+            from_base.len()
+        );
+    }
+
+    /// Materialized view sizes are consistent: rows ≤ triples, nodes ≥ 1
+    /// when rows ≥ 1, and coarser views never have more rows than any
+    /// parent (roll-up can only merge groups).
+    #[test]
+    fn lattice_sizing_invariants(
+        observations in arb_observations(3),
+    ) {
+        prop_assume!(!observations.is_empty());
+        let (ds, facet) = build(3, &observations, AggOp::Sum);
+        let lattice = Lattice::new(facet.clone());
+        for mask in lattice.views() {
+            let stats = sofos::materialize::virtual_view_stats(&ds, &facet, mask).unwrap();
+            prop_assert!(stats.rows <= stats.triples);
+            if stats.rows > 0 {
+                prop_assert!(stats.nodes > 0);
+            }
+            for parent in lattice.parents(mask) {
+                let pstats =
+                    sofos::materialize::virtual_view_stats(&ds, &facet, parent).unwrap();
+                prop_assert!(
+                    stats.rows <= pstats.rows,
+                    "child {mask} has {} rows > parent {parent} {}",
+                    stats.rows, pstats.rows
+                );
+            }
+        }
+    }
+}
