@@ -14,7 +14,10 @@ fn bench_offline(c: &mut Criterion) {
     let workload = generate_workload(
         &generated.dataset,
         &facet,
-        &WorkloadConfig { num_queries: 20, ..WorkloadConfig::default() },
+        &WorkloadConfig {
+            num_queries: 20,
+            ..WorkloadConfig::default()
+        },
     );
     let profile = WorkloadProfile::from_masks(workload.iter().map(|q| q.required));
     let mut config = EngineConfig::default();
@@ -32,8 +35,7 @@ fn bench_offline(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::from_parameter(kind), &kind, |b, &kind| {
             b.iter(|| {
                 let mut expanded = generated.dataset.clone();
-                let outcome =
-                    run_offline(&mut expanded, &sized, &profile, kind, &config).unwrap();
+                let outcome = run_offline(&mut expanded, &sized, &profile, kind, &config).unwrap();
                 black_box(outcome.materialized.len())
             });
         });
@@ -48,7 +50,10 @@ fn bench_online(c: &mut Criterion) {
     let workload = generate_workload(
         &generated.dataset,
         &facet,
-        &WorkloadConfig { num_queries: 20, ..WorkloadConfig::default() },
+        &WorkloadConfig {
+            num_queries: 20,
+            ..WorkloadConfig::default()
+        },
     );
     let profile = WorkloadProfile::from_masks(workload.iter().map(|q| q.required));
     let config = EngineConfig::default();

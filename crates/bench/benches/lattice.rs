@@ -38,7 +38,10 @@ fn bench_full_materialization(c: &mut Criterion) {
                 let mut ds = g.dataset.clone();
                 let mut total = 0usize;
                 for mask in lattice.views() {
-                    total += materialize_view(&mut ds, &facet, mask).unwrap().stats.triples;
+                    total += materialize_view(&mut ds, &facet, mask)
+                        .unwrap()
+                        .stats
+                        .triples;
                 }
                 black_box(total)
             });

@@ -25,21 +25,27 @@ fn bench_learned(c: &mut Criterion) {
             let history = model.fit(
                 &ctx,
                 &samples,
-                TrainConfig { epochs: 100, ..TrainConfig::default() },
+                TrainConfig {
+                    epochs: 100,
+                    ..TrainConfig::default()
+                },
             );
             black_box(history.len())
         });
     });
 
     let mut trained = LearnedCostModel::new(&facet, 1);
-    trained.fit(&ctx, &samples, TrainConfig { epochs: 50, ..TrainConfig::default() });
+    trained.fit(
+        &ctx,
+        &samples,
+        TrainConfig {
+            epochs: 50,
+            ..TrainConfig::default()
+        },
+    );
     group.bench_function("predict_whole_lattice", |b| {
         b.iter(|| {
-            let total: f64 = sized
-                .lattice
-                .views()
-                .map(|v| trained.cost(&ctx, v))
-                .sum();
+            let total: f64 = sized.lattice.views().map(|v| trained.cost(&ctx, v)).sum();
             black_box(total)
         });
     });

@@ -52,7 +52,10 @@ fn bench_scans(c: &mut Criterion) {
         ("by_subject", IdPattern::new(Some(TermId(5)), None, None)),
         ("by_predicate", IdPattern::new(None, Some(TermId(3)), None)),
         ("by_object", IdPattern::new(None, None, Some(TermId(9)))),
-        ("by_pred_obj", IdPattern::new(None, Some(TermId(3)), Some(TermId(24)))),
+        (
+            "by_pred_obj",
+            IdPattern::new(None, Some(TermId(3)), Some(TermId(24))),
+        ),
         ("full", IdPattern::ANY),
     ];
     for (name, pattern) in patterns {

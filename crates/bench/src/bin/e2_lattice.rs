@@ -23,8 +23,8 @@ fn main() {
         let (elapsed_us, stats) = measure_once(|| {
             let mut totals = (0usize, 0usize); // (rows, triples)
             for mask in lattice.views() {
-                let view = materialize_view(&mut dataset, &facet, mask)
-                    .expect("materialization succeeds");
+                let view =
+                    materialize_view(&mut dataset, &facet, mask).expect("materialization succeeds");
                 totals.0 += view.stats.rows;
                 totals.1 += view.stats.triples;
             }
@@ -44,7 +44,15 @@ fn main() {
     }
     print_table(
         "E2 · full-lattice materialization vs dimension count (400 observations)",
-        &["dims", "views", "edges", "rows", "triples", "space amp", "time ms"],
+        &[
+            "dims",
+            "views",
+            "edges",
+            "rows",
+            "triples",
+            "space amp",
+            "time ms",
+        ],
         &rows,
     );
     println!("Reading: views double per dimension; space amplification and");

@@ -19,21 +19,28 @@ fn main() {
     let workload = generate_workload(
         &generated.dataset,
         &facet,
-        &WorkloadConfig { num_queries: 30, ..WorkloadConfig::default() },
+        &WorkloadConfig {
+            num_queries: 30,
+            ..WorkloadConfig::default()
+        },
     );
     let profile = WorkloadProfile::from_masks(workload.iter().map(|q| q.required));
     let baseline = run_online(&generated.dataset, &facet, &[], &workload, 3, false)
         .expect("baseline")
         .summary;
 
-    let mut config = EngineConfig::default();
-    config.timing_reps = 3;
+    let mut config = EngineConfig {
+        timing_reps: 3,
+        ..EngineConfig::default()
+    };
 
     let budgets: Vec<Budget> = if by_bytes {
         let full: usize = sized.stats.values().map(|s| s.bytes).sum();
         (0..=8).map(|i| Budget::Bytes(full * i / 8)).collect()
     } else {
-        (0..=sized.lattice.num_views() as usize).map(Budget::Views).collect()
+        (0..=sized.lattice.num_views() as usize)
+            .map(Budget::Views)
+            .collect()
     };
 
     let mut rows = Vec::new();
@@ -78,7 +85,14 @@ fn main() {
             workload.len(),
             ms(baseline.total_us),
         ),
-        &["budget", "views", "hits", "total ms", "space amp", "speedup"],
+        &[
+            "budget",
+            "views",
+            "hits",
+            "total ms",
+            "space amp",
+            "speedup",
+        ],
         &rows,
     );
     println!("Reading: the sweet spot is the smallest budget whose speedup plateaus —");

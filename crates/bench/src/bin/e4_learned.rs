@@ -45,11 +45,13 @@ fn main() {
             let history = model.fit(
                 &ctx,
                 train,
-                TrainConfig { epochs: 300, ..TrainConfig::default() },
+                TrainConfig {
+                    epochs: 300,
+                    ..TrainConfig::default()
+                },
             );
             // Evaluate on the *whole* lattice (train ∪ held-out).
-            let predictions: Vec<f64> =
-                all.iter().map(|(m, _)| model.predict(&ctx, *m)).collect();
+            let predictions: Vec<f64> = all.iter().map(|(m, _)| model.predict(&ctx, *m)).collect();
             let truths: Vec<f64> = all.iter().map(|(_, t)| *t).collect();
             let metrics = regression_metrics(&predictions, &truths);
             println!(

@@ -19,7 +19,10 @@ fn main() {
     let config = EngineConfig::default();
     let judge = AggValuesCost; // common scorer across contestants
 
-    for (label, skew) in [("uniform workload", None), ("zipf-skewed workload", Some(1.5))] {
+    for (label, skew) in [
+        ("uniform workload", None),
+        ("zipf-skewed workload", Some(1.5)),
+    ] {
         let workload = generate_workload(
             &generated.dataset,
             &facet,
@@ -33,8 +36,7 @@ fn main() {
 
         let mut rows = Vec::new();
         for k in 1..=4usize {
-            let oracle =
-                exhaustive_select(&ctx, &sized.lattice, &judge, &profile, k, 1_000_000);
+            let oracle = exhaustive_select(&ctx, &sized.lattice, &judge, &profile, k, 1_000_000);
             let mut row = vec![k.to_string()];
             for kind in CostModelKind::ALL {
                 let (model, _, _) = build_model(kind, &sized, &config);

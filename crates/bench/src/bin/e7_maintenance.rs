@@ -1,0 +1,197 @@
+//! E7 — view maintenance on a living `G+`.
+//!
+//! The sweep the paper could not run on a frozen store: interleave
+//! zipf-skewed update batches with the query workload and measure, per
+//! (cost model × staleness policy × update pressure) cell, what view
+//! upkeep costs and what query benefit survives. Every view-answered query
+//! is validated against the base graph, so the numbers are for *correct*
+//! serving, not stale reads.
+//!
+//! Run with: `cargo run -p sofos-bench --release --bin e7_maintenance`
+//!
+//! Emits `BENCH_maintenance.json` (see `sofos_bench::json`) next to the
+//! table output.
+
+use sofos_bench::{ms, print_table, BenchReport, Json};
+use sofos_core::{
+    results_equivalent, run_offline, EngineConfig, Session, SizedLattice, StalenessPolicy,
+};
+use sofos_cost::CostModelKind;
+use sofos_cube::AggOp;
+use sofos_select::WorkloadProfile;
+use sofos_sparql::Evaluator;
+use sofos_workload::{
+    generate_update_stream, generate_workload, synthetic, UpdateStreamConfig, WorkloadConfig,
+};
+use std::time::Instant;
+
+const ROUNDS: usize = 5;
+const QUERIES_PER_ROUND: usize = 8;
+
+fn main() {
+    let generated = synthetic::generate(&synthetic::Config {
+        observations: 240,
+        cardinalities: vec![8, 5, 3],
+        skew: 0.8,
+        agg: AggOp::Avg, // SUM+COUNT components: SUM/COUNT/AVG all derivable
+        seed: 17,
+    });
+    let facet = generated.default_facet().clone();
+    let base = generated.dataset;
+    let workload = generate_workload(
+        &base,
+        &facet,
+        &WorkloadConfig {
+            num_queries: QUERIES_PER_ROUND,
+            ..WorkloadConfig::default()
+        },
+    );
+
+    let sized = SizedLattice::compute(&base, &facet).expect("lattice sizes");
+    let profile = WorkloadProfile::from_masks(workload.iter().map(|q| q.required));
+    let config = EngineConfig::default();
+
+    let models = [
+        CostModelKind::Triples,
+        CostModelKind::AggValues,
+        CostModelKind::Nodes,
+    ];
+    let batch_sizes = [4usize, 16, 48];
+
+    let mut report = BenchReport::new(
+        "maintenance",
+        format!(
+            "synthetic cube, {} rounds x {} queries, update batch sweep {:?}, \
+             zipf-skewed 60/40 insert/delete mix",
+            ROUNDS, QUERIES_PER_ROUND, batch_sizes
+        ),
+    );
+    let headers = [
+        "model",
+        "policy",
+        "batch",
+        "upd ms",
+        "maint ms",
+        "maint triples",
+        "re-evals",
+        "query ms",
+        "hits",
+        "falls",
+        "valid",
+    ];
+    let mut rows: Vec<Vec<String>> = Vec::new();
+
+    for model in models {
+        let mut expanded = base.clone();
+        let offline = run_offline(&mut expanded, &sized, &profile, model, &config)
+            .expect("offline phase runs");
+        let catalog = offline.view_catalog();
+
+        for policy in StalenessPolicy::ALL {
+            for &batch_size in &batch_sizes {
+                // Streams are deterministic per (seed, shape): every cell
+                // of one batch size replays the same updates.
+                let stream = generate_update_stream(
+                    &base,
+                    &facet,
+                    &UpdateStreamConfig {
+                        batches: ROUNDS,
+                        batch_size,
+                        insert_ratio: 0.6,
+                        skew: 0.8,
+                        seed: 23,
+                        ..UpdateStreamConfig::default()
+                    },
+                );
+                let mut session =
+                    Session::new(expanded.clone(), facet.clone(), catalog.clone(), policy);
+
+                let mut update_us = 0u64;
+                let mut query_us = 0u64;
+                let mut all_valid = true;
+                for delta in stream {
+                    let start = Instant::now();
+                    session.update(delta).expect("update applies");
+                    update_us += start.elapsed().as_micros() as u64;
+
+                    for q in &workload {
+                        let start = Instant::now();
+                        let answer = session.query(&q.query).expect("query runs");
+                        query_us += start.elapsed().as_micros() as u64;
+                        let reference = Evaluator::new(session.dataset())
+                            .evaluate(&q.query)
+                            .expect("base evaluation runs");
+                        all_valid &= results_equivalent(&answer.results, &reference);
+                    }
+                }
+                let maintenance = session.maintenance();
+                let (hits, fallbacks) = session.routing_counts();
+                // Under the lazy policy maintenance happens inside
+                // queries; under eager inside updates. Report it apart so
+                // the cells stay comparable.
+                let maint_us = maintenance.total_us;
+                let queries_total = ROUNDS * QUERIES_PER_ROUND;
+
+                rows.push(vec![
+                    model.name().to_string(),
+                    policy.name().to_string(),
+                    batch_size.to_string(),
+                    ms(
+                        update_us.saturating_sub(if policy == StalenessPolicy::Eager {
+                            maint_us
+                        } else {
+                            0
+                        }),
+                    ),
+                    ms(maint_us),
+                    maintenance.triples_touched().to_string(),
+                    maintenance.reevaluations().to_string(),
+                    ms(
+                        query_us.saturating_sub(if policy == StalenessPolicy::LazyOnHit {
+                            maint_us
+                        } else {
+                            0
+                        }),
+                    ),
+                    format!("{hits}/{queries_total}"),
+                    fallbacks.to_string(),
+                    if all_valid { "yes".into() } else { "NO".into() },
+                ]);
+                report.push(Json::object([
+                    ("model", Json::from(model.name())),
+                    ("policy", Json::from(policy.name())),
+                    ("batch_size", Json::from(batch_size)),
+                    ("rounds", Json::from(ROUNDS)),
+                    ("queries", Json::from(queries_total)),
+                    ("update_us", Json::from(update_us)),
+                    ("query_us", Json::from(query_us)),
+                    ("maintenance_us", Json::from(maint_us)),
+                    (
+                        "maintenance_triples",
+                        Json::from(maintenance.triples_touched()),
+                    ),
+                    ("reevaluations", Json::from(maintenance.reevaluations())),
+                    ("maintenance_passes", Json::from(maintenance.per_view.len())),
+                    ("view_hits", Json::from(hits)),
+                    ("fallbacks", Json::from(fallbacks)),
+                    ("stale_views_at_end", Json::from(session.stale_views())),
+                    ("all_valid", Json::from(all_valid)),
+                ]));
+                assert!(
+                    all_valid,
+                    "{model}/{policy}/{batch_size}: stale or wrong answers"
+                );
+            }
+        }
+    }
+
+    print_table(
+        "E7 · maintenance: cost model x staleness policy x update batch size",
+        &headers,
+        &rows,
+    );
+
+    let dir = std::env::current_dir().expect("cwd");
+    let path = report.write_to(&dir).expect("report written");
+    println!("wrote {}", path.display());
+}

@@ -1,0 +1,239 @@
+//! Minimal JSON emission for experiment reports.
+//!
+//! The experiment binaries record their sweep results as
+//! `BENCH_<experiment>.json` files in the repository root so the
+//! performance trajectory accumulates across runs and PRs (`e7_maintenance`
+//! starts the convention; E1–E6 can adopt [`BenchReport`] as they grow
+//! JSON output). No serialization dependency exists offline, so this is a
+//! small hand-rolled writer: objects, arrays, strings, numbers, booleans.
+
+use std::fmt;
+
+/// A JSON value.
+#[derive(Debug, Clone)]
+pub enum Json {
+    /// A string.
+    Str(String),
+    /// An integer.
+    Int(i64),
+    /// A float (non-finite values are emitted as `null`).
+    Num(f64),
+    /// A boolean.
+    Bool(bool),
+    /// An array.
+    Array(Vec<Json>),
+    /// An object with insertion-ordered keys.
+    Object(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Object builder from key/value pairs.
+    pub fn object(pairs: impl IntoIterator<Item = (&'static str, Json)>) -> Json {
+        Json::Object(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+    }
+}
+
+impl From<&str> for Json {
+    fn from(v: &str) -> Json {
+        Json::Str(v.to_string())
+    }
+}
+
+impl From<String> for Json {
+    fn from(v: String) -> Json {
+        Json::Str(v)
+    }
+}
+
+impl From<i64> for Json {
+    fn from(v: i64) -> Json {
+        Json::Int(v)
+    }
+}
+
+impl From<u64> for Json {
+    fn from(v: u64) -> Json {
+        Json::Int(v as i64)
+    }
+}
+
+impl From<usize> for Json {
+    fn from(v: usize) -> Json {
+        Json::Int(v as i64)
+    }
+}
+
+impl From<f64> for Json {
+    fn from(v: f64) -> Json {
+        Json::Num(v)
+    }
+}
+
+impl From<bool> for Json {
+    fn from(v: bool) -> Json {
+        Json::Bool(v)
+    }
+}
+
+fn escape(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+impl fmt::Display for Json {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut out = String::new();
+        self.write(&mut out);
+        f.write_str(&out)
+    }
+}
+
+impl Json {
+    fn write(&self, out: &mut String) {
+        match self {
+            Json::Str(s) => escape(s, out),
+            Json::Int(v) => out.push_str(&v.to_string()),
+            Json::Num(v) if v.is_finite() => out.push_str(&format!("{v}")),
+            Json::Num(_) => out.push_str("null"),
+            Json::Bool(v) => out.push_str(if *v { "true" } else { "false" }),
+            Json::Array(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write(out);
+                }
+                out.push(']');
+            }
+            Json::Object(pairs) => {
+                out.push('{');
+                for (i, (key, value)) in pairs.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    escape(key, out);
+                    out.push(':');
+                    value.write(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+}
+
+/// A sweep report: one row per experiment cell.
+#[derive(Debug, Clone)]
+pub struct BenchReport {
+    /// Experiment id (`maintenance` → `BENCH_maintenance.json`).
+    pub experiment: String,
+    /// Free-form sweep description.
+    pub description: String,
+    /// One object per cell.
+    pub rows: Vec<Json>,
+}
+
+impl BenchReport {
+    /// Start a report.
+    pub fn new(experiment: impl Into<String>, description: impl Into<String>) -> BenchReport {
+        BenchReport {
+            experiment: experiment.into(),
+            description: description.into(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append one cell row.
+    pub fn push(&mut self, row: Json) {
+        self.rows.push(row);
+    }
+
+    /// The report as a JSON string (pretty enough for diffs: one row per
+    /// line).
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n  \"experiment\": ");
+        escape(&self.experiment, &mut out);
+        out.push_str(",\n  \"description\": ");
+        escape(&self.description, &mut out);
+        out.push_str(",\n  \"rows\": [\n");
+        for (i, row) in self.rows.iter().enumerate() {
+            out.push_str("    ");
+            row.write(&mut out);
+            if i + 1 < self.rows.len() {
+                out.push(',');
+            }
+            out.push('\n');
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+
+    /// Write `BENCH_<experiment>.json` into the given directory, returning
+    /// the path.
+    pub fn write_to(&self, dir: &std::path::Path) -> std::io::Result<std::path::PathBuf> {
+        let path = dir.join(format!("BENCH_{}.json", self.experiment));
+        std::fs::write(&path, self.to_json())?;
+        Ok(path)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn values_render_as_json() {
+        let v = Json::object([
+            ("name", Json::from("e7")),
+            ("count", Json::from(3usize)),
+            ("ratio", Json::from(0.5)),
+            ("ok", Json::from(true)),
+            ("tags", Json::Array(vec![Json::from("a"), Json::from("b")])),
+        ]);
+        assert_eq!(
+            v.to_string(),
+            r#"{"name":"e7","count":3,"ratio":0.5,"ok":true,"tags":["a","b"]}"#
+        );
+    }
+
+    #[test]
+    fn strings_are_escaped() {
+        assert_eq!(Json::from("a\"b\\c\nd").to_string(), r#""a\"b\\c\nd""#);
+    }
+
+    #[test]
+    fn non_finite_numbers_become_null() {
+        assert_eq!(Json::Num(f64::NAN).to_string(), "null");
+        assert_eq!(Json::Num(f64::INFINITY).to_string(), "null");
+    }
+
+    #[test]
+    fn report_round_trip_shape() {
+        let mut report = BenchReport::new("maintenance", "sweep");
+        report.push(Json::object([("cell", Json::from(1usize))]));
+        report.push(Json::object([("cell", Json::from(2usize))]));
+        let text = report.to_json();
+        assert!(text.contains("\"experiment\": \"maintenance\""));
+        assert_eq!(text.matches("{\"cell\":").count(), 2);
+        assert!(text.trim_end().ends_with('}'));
+
+        let dir = std::env::temp_dir();
+        let path = report.write_to(&dir).unwrap();
+        assert!(path.ends_with("BENCH_maintenance.json"));
+        let read_back = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(read_back, text);
+        let _ = std::fs::remove_file(path);
+    }
+}

@@ -12,9 +12,16 @@
 //! | E4 learned-model quality     | `e4_learned`      | `benches/learned.rs` |
 //! | E5 cost↛time fidelity        | `e5_fidelity`     | — |
 //! | E6 hands-on challenge oracle | `e6_challenge`    | — |
+//! | E7 maintenance sweep         | `e7_maintenance`  | — |
 //! | substrate micro-benches      | —                 | `benches/store.rs`, `benches/sparql.rs` |
 //!
-//! The library part hosts shared helpers for the binaries.
+//! The library part hosts shared helpers for the binaries, including the
+//! [`json`] report writer (`BENCH_<experiment>.json` files that accumulate
+//! the perf trajectory across runs).
+
+pub mod json;
+
+pub use json::{BenchReport, Json};
 
 use sofos_core::render_table;
 

@@ -32,8 +32,7 @@ pub fn compare_cost_models(
     let workload = generate_workload(dataset, facet, &config.workload);
     let profile = WorkloadProfile::from_masks(workload.iter().map(|q| q.required));
 
-    let baseline =
-        run_online(dataset, facet, &[], &workload, config.timing_reps, false)?.summary;
+    let baseline = run_online(dataset, facet, &[], &workload, config.timing_reps, false)?.summary;
 
     let mut models = Vec::with_capacity(kinds.len());
     for &kind in kinds {
@@ -91,7 +90,11 @@ fn run_one_model(
         .iter()
         .map(|&v| sized.lattice.view_name(v))
         .collect();
-    Ok(PendingRow { offline, online, view_names })
+    Ok(PendingRow {
+        offline,
+        online,
+        view_names,
+    })
 }
 
 fn describe_budget(budget: Budget) -> String {

@@ -43,7 +43,9 @@ pub mod validate;
 pub use compare::compare_cost_models;
 pub use config::EngineConfig;
 pub use offline::{build_model, run_offline, OfflineOutcome, SizedLattice};
-pub use online::{run_online, OnlineOutcome, QueryRecord, Route};
+pub use online::{
+    run_online, OnlineOutcome, QueryRecord, Route, Session, SessionAnswer, StalenessPolicy,
+};
 pub use report::{render_table, ComparisonReport, ModelRow};
 pub use timing::{measure_median, measure_once, TimeSummary};
 pub use validate::results_equivalent;
@@ -158,18 +160,22 @@ mod tests {
     #[test]
     fn offline_then_online_round_trip() {
         let mut sofos = small();
-        let mut config = EngineConfig::default();
-        config.workload = WorkloadConfig { num_queries: 8, ..WorkloadConfig::default() };
+        let mut config = EngineConfig {
+            workload: WorkloadConfig {
+                num_queries: 8,
+                ..WorkloadConfig::default()
+            },
+            ..EngineConfig::default()
+        };
         config.timing_reps = 1;
         let offline = sofos.offline(CostModelKind::AggValues, &config).unwrap();
         assert_eq!(offline.materialized.len(), 4);
 
-        let workload = sofos_workload::generate_workload(
-            sofos.dataset(),
-            sofos.facet(),
-            &config.workload,
-        );
-        let online = sofos.online(&offline.view_catalog(), &workload, &config).unwrap();
+        let workload =
+            sofos_workload::generate_workload(sofos.dataset(), sofos.facet(), &config.workload);
+        let online = sofos
+            .online(&offline.view_catalog(), &workload, &config)
+            .unwrap();
         assert!(online.all_valid);
         assert!(online.view_hits > 0);
     }

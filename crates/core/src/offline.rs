@@ -2,7 +2,7 @@
 //! selection, and materialization (Figure 2 ①).
 
 use crate::config::EngineConfig;
-use crate::timing::{measure_once, measure_median};
+use crate::timing::{measure_median, measure_once};
 use sofos_cost::{
     build_static_model, CostContext, CostModel, CostModelKind, LearnedCostModel, UserDefinedCost,
 };
@@ -47,8 +47,16 @@ impl SizedLattice {
             Ok::<_, SparqlError>((stats, timings))
         });
         let (stats, timings_us) = result?;
-        let base_stats = GraphStats::compute(dataset.default_graph());
-        Ok(SizedLattice { lattice, stats, timings_us, base_stats, sizing_us })
+        // The dataset keeps base-graph statistics incrementally maintained
+        // through every mutation path — no recomputation pass needed.
+        let base_stats = dataset.base_stats();
+        Ok(SizedLattice {
+            lattice,
+            stats,
+            timings_us,
+            base_stats,
+            sizing_us,
+        })
     }
 
     /// A cost context over this sizing.
@@ -96,7 +104,10 @@ impl OfflineOutcome {
     /// Selected masks paired with their materialized row counts, the shape
     /// the rewriter's `best_view` expects.
     pub fn view_catalog(&self) -> Vec<(ViewMask, usize)> {
-        self.materialized.iter().map(|v| (v.stats.mask, v.stats.rows)).collect()
+        self.materialized
+            .iter()
+            .map(|v| (v.stats.mask, v.stats.rows))
+            .collect()
     }
 }
 
@@ -117,8 +128,7 @@ pub fn build_model(
                 .map(|(&mask, &us)| (mask, us as f64))
                 .collect();
             let mut model = LearnedCostModel::new(sized.lattice.facet(), config.seed);
-            let (training_us, history) =
-                measure_once(|| model.fit(&ctx, &samples, config.train));
+            let (training_us, history) = measure_once(|| model.fit(&ctx, &samples, config.train));
             (Box::new(model), Some(history), training_us)
         }
         CostModelKind::UserDefined => {
@@ -224,8 +234,7 @@ mod tests {
             CostModelKind::UserDefined,
         ] {
             let mut expanded = ds.clone();
-            let outcome =
-                run_offline(&mut expanded, &sized, &profile, kind, &config).unwrap();
+            let outcome = run_offline(&mut expanded, &sized, &profile, kind, &config).unwrap();
             assert_eq!(outcome.selection.selected.len(), 4, "{kind}");
             assert_eq!(outcome.materialized.len(), 4);
             assert!(outcome.expanded_bytes > outcome.base_bytes);
@@ -242,9 +251,14 @@ mod tests {
         let mut config = EngineConfig::default();
         config.train.epochs = 30; // keep the test fast
         let mut expanded = ds.clone();
-        let outcome =
-            run_offline(&mut expanded, &sized, &profile, CostModelKind::Learned, &config)
-                .unwrap();
+        let outcome = run_offline(
+            &mut expanded,
+            &sized,
+            &profile,
+            CostModelKind::Learned,
+            &config,
+        )
+        .unwrap();
         let history = outcome.training_history.expect("learned model trains");
         assert_eq!(history.len(), 30);
         assert!(outcome.training_us > 0);
@@ -267,9 +281,14 @@ mod tests {
         let profile = WorkloadProfile::uniform(&sized.lattice);
         let config = EngineConfig::default();
         let mut expanded = ds.clone();
-        let outcome =
-            run_offline(&mut expanded, &sized, &profile, CostModelKind::Triples, &config)
-                .unwrap();
+        let outcome = run_offline(
+            &mut expanded,
+            &sized,
+            &profile,
+            CostModelKind::Triples,
+            &config,
+        )
+        .unwrap();
         let catalog = outcome.view_catalog();
         assert_eq!(catalog.len(), outcome.selection.selected.len());
         for ((mask, rows), view) in catalog.iter().zip(&outcome.materialized) {

@@ -1,18 +1,26 @@
 //! The online module: query routing, measurement, and validation
-//! (Figure 2 ②).
+//! (Figure 2 ②) — plus the interleaved update/query [`Session`].
 //!
 //! Each workload query is analyzed by the rewriter; if a materialized view
 //! covers it, the rewritten query runs against `G+`, otherwise the original
 //! query runs against the base graph ("or accesses the graph G if none of
 //! the views can be used", §3). Every execution is timed (median of reps)
 //! and optionally validated against the base-graph answer.
+//!
+//! [`run_online`] serves the frozen-graph experiments. [`Session`] is the
+//! living-graph mode: update batches ([`sofos_store::Delta`]) interleave
+//! with queries, and a configurable [`StalenessPolicy`] decides *when* the
+//! `sofos-maintain` engine brings materialized views back in sync.
 
 use crate::timing::{measure_median, TimeSummary};
 use crate::validate::results_equivalent;
 use sofos_cube::{Facet, ViewMask};
+use sofos_maintain::{Maintainer, MaintenanceReport, RowDelta};
+use sofos_materialize::drop_view;
+use sofos_rdf::{FxHashMap, FxHashSet};
 use sofos_rewrite::plan_rewrite;
-use sofos_sparql::{Evaluator, SparqlError};
-use sofos_store::Dataset;
+use sofos_sparql::{Evaluator, Query, QueryResults, SparqlError};
+use sofos_store::{ChangeSet, Dataset, Delta};
 use sofos_workload::GeneratedQuery;
 
 /// Where a query was answered.
@@ -86,8 +94,7 @@ pub fn run_online(
     for (index, generated) in workload.iter().enumerate() {
         let (route, time_us, results) = match plan_rewrite(facet, views, &generated.query) {
             Ok((view, rewritten)) => {
-                let (us, results) =
-                    measure_median(timing_reps, || evaluator.evaluate(&rewritten));
+                let (us, results) = measure_median(timing_reps, || evaluator.evaluate(&rewritten));
                 (Route::View(view), us, results?)
             }
             Err(_) => {
@@ -133,6 +140,356 @@ pub fn run_online(
     })
 }
 
+/// When a [`Session`] repairs materialized views after updates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StalenessPolicy {
+    /// Maintain every view inside the update call: queries always see
+    /// fresh views; updates pay the full maintenance bill.
+    Eager,
+    /// Buffer row deltas per view; a view is repaired only when the
+    /// rewriter routes a query to it. Updates are cheap, the first hit on
+    /// a stale view pays its backlog.
+    LazyOnHit,
+    /// Drop every materialized view on the first update: all subsequent
+    /// queries fall back to the base graph (zero maintenance, full
+    /// benefit loss) — the paper's implicit baseline.
+    Invalidate,
+}
+
+impl StalenessPolicy {
+    /// All policies (for sweeps).
+    pub const ALL: [StalenessPolicy; 3] = [
+        StalenessPolicy::Eager,
+        StalenessPolicy::LazyOnHit,
+        StalenessPolicy::Invalidate,
+    ];
+
+    /// Short name for reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            StalenessPolicy::Eager => "eager",
+            StalenessPolicy::LazyOnHit => "lazy-on-hit",
+            StalenessPolicy::Invalidate => "invalidate",
+        }
+    }
+}
+
+impl std::fmt::Display for StalenessPolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One query's answer inside a session.
+#[derive(Debug, Clone)]
+pub struct SessionAnswer {
+    /// Where the query was answered.
+    pub route: Route,
+    /// The results.
+    pub results: QueryResults,
+    /// Maintenance time this query triggered (lazy repairs), µs.
+    pub maintenance_us: u64,
+}
+
+/// The interleaved update/query mode over a living `G+`.
+///
+/// Owns the expanded dataset and the view catalog produced by the offline
+/// phase. [`Session::update`] applies a [`Delta`] through the store's
+/// transactional write path; [`Session::query`] routes through the
+/// rewriter exactly like [`run_online`]. Between them, the configured
+/// [`StalenessPolicy`] decides when `sofos-maintain` runs, and every
+/// maintenance pass is appended to an accumulated [`MaintenanceReport`]
+/// so experiments can price update handling against query speedups.
+pub struct Session {
+    dataset: Dataset,
+    facet: Facet,
+    maintainer: Maintainer,
+    views: Vec<(ViewMask, usize)>,
+    policy: StalenessPolicy,
+    /// Buffered row deltas under the lazy policy: one entry per update
+    /// batch, shared by every view (a single copy, not one per view).
+    pending_log: std::collections::VecDeque<RowDelta>,
+    /// Log entries dropped by compaction; `pending_offset + pending_log
+    /// .len()` is the absolute index of the next batch.
+    pending_offset: usize,
+    /// Per-view absolute index into the log: everything before it has
+    /// been applied to that view.
+    cursor: FxHashMap<u64, usize>,
+    /// Views whose buffered delta is unusable (non-star facet): they need
+    /// a full refresh on their next hit.
+    needs_refresh: FxHashSet<u64>,
+    /// Accumulated maintenance log.
+    log: MaintenanceReport,
+    update_batches: usize,
+    view_hits: usize,
+    fallbacks: usize,
+}
+
+impl Session {
+    /// Open a session over an expanded dataset and its view catalog
+    /// (pairs of mask and row count, as produced by
+    /// [`crate::offline::OfflineOutcome::view_catalog`]).
+    pub fn new(
+        dataset: Dataset,
+        facet: Facet,
+        views: Vec<(ViewMask, usize)>,
+        policy: StalenessPolicy,
+    ) -> Session {
+        Session {
+            maintainer: Maintainer::new(&facet),
+            dataset,
+            facet,
+            views,
+            policy,
+            pending_log: std::collections::VecDeque::new(),
+            pending_offset: 0,
+            cursor: FxHashMap::default(),
+            needs_refresh: FxHashSet::default(),
+            log: MaintenanceReport::default(),
+            update_batches: 0,
+            view_hits: 0,
+            fallbacks: 0,
+        }
+    }
+
+    /// Apply an update batch under the session's staleness policy.
+    pub fn update(&mut self, delta: Delta) -> Result<ChangeSet, SparqlError> {
+        self.update_batches += 1;
+        match self.policy {
+            StalenessPolicy::Invalidate => {
+                for &(mask, _) in &self.views {
+                    drop_view(&mut self.dataset, &self.facet, mask);
+                }
+                self.views.clear();
+                Ok(self.dataset.apply(delta))
+            }
+            StalenessPolicy::Eager => {
+                let (changes, report) = self.maintainer.apply_and_maintain(
+                    &mut self.dataset,
+                    delta,
+                    &mut self.views,
+                )?;
+                self.log.absorb(report);
+                Ok(changes)
+            }
+            StalenessPolicy::LazyOnHit => {
+                let outcome = self.maintainer.apply(&mut self.dataset, delta);
+                match outcome.rows {
+                    Some(rows) if rows.is_empty() => {}
+                    Some(rows) => {
+                        self.pending_log.push_back(rows);
+                        self.enforce_log_cap();
+                    }
+                    None => {
+                        // Unusable delta: every view must fully refresh;
+                        // buffered rows are superseded.
+                        for &(mask, _) in &self.views {
+                            self.needs_refresh.insert(mask.0);
+                            self.cursor.insert(mask.0, self.log_end());
+                        }
+                        self.compact_pending();
+                    }
+                }
+                Ok(outcome.changes)
+            }
+        }
+    }
+
+    /// Answer one query, routing through the rewriter; under the lazy
+    /// policy a stale routed-to view is repaired first (and the repair's
+    /// cost reported on the answer).
+    pub fn query(&mut self, query: &Query) -> Result<SessionAnswer, SparqlError> {
+        match plan_rewrite(&self.facet, &self.views, query) {
+            Ok((view, rewritten)) => {
+                let maintenance_us = self.sync_view(view)?;
+                self.view_hits += 1;
+                let results = Evaluator::new(&self.dataset).evaluate(&rewritten)?;
+                Ok(SessionAnswer {
+                    route: Route::View(view),
+                    results,
+                    maintenance_us,
+                })
+            }
+            Err(_) => {
+                self.fallbacks += 1;
+                let results = Evaluator::new(&self.dataset).evaluate(query)?;
+                Ok(SessionAnswer {
+                    route: Route::BaseGraph,
+                    results,
+                    maintenance_us: 0,
+                })
+            }
+        }
+    }
+
+    /// Bring one view up to date if the lazy policy left it stale.
+    fn sync_view(&mut self, view: ViewMask) -> Result<u64, SparqlError> {
+        let refresh = self.needs_refresh.contains(&view.0);
+        let cursor = self
+            .cursor
+            .get(&view.0)
+            .copied()
+            .unwrap_or(self.pending_offset);
+        let pending = if refresh {
+            None
+        } else {
+            // Merge only this view's unseen suffix of the shared log.
+            let mut merged = RowDelta::default();
+            for rows in self.pending_log.iter().skip(cursor - self.pending_offset) {
+                merged.merge(rows);
+            }
+            Some(merged)
+        };
+        if !refresh && pending.as_ref().is_none_or(RowDelta::is_empty) {
+            // Net-zero backlog: consuming it needs no maintenance.
+            self.cursor.insert(view.0, self.log_end());
+            self.compact_pending();
+            return Ok(0);
+        }
+        let entry = self
+            .views
+            .iter_mut()
+            .find(|(mask, _)| *mask == view)
+            .expect("routed view is in the catalog");
+        let rows = if refresh { None } else { pending.as_ref() };
+        let result = self
+            .maintainer
+            .maintain_view(&mut self.dataset, rows, entry);
+        // The backlog is consumed either way: a pass that errored may have
+        // half-patched the view, so retrying the same delta would corrupt
+        // it — demand a full refresh on the next hit instead.
+        self.cursor.insert(view.0, self.log_end());
+        match &result {
+            Ok(_) => {
+                self.needs_refresh.remove(&view.0);
+            }
+            Err(_) => {
+                self.needs_refresh.insert(view.0);
+            }
+        }
+        self.compact_pending();
+        let cost = result?;
+        let us = cost.wall_us;
+        self.log.per_view.push(cost);
+        self.log.total_us += us;
+        Ok(us)
+    }
+
+    /// Absolute index one past the last buffered batch.
+    fn log_end(&self) -> usize {
+        self.pending_offset + self.pending_log.len()
+    }
+
+    /// Ceiling on buffered batches. A view that is never routed to would
+    /// otherwise pin the log forever; past the cap, the laggiest views are
+    /// downgraded to a full refresh on their next hit (which a view that
+    /// stale would effectively need anyway) so the log can compact.
+    const LAZY_LOG_CAP: usize = 64;
+
+    /// Keep the pending log bounded (see [`Session::LAZY_LOG_CAP`]).
+    fn enforce_log_cap(&mut self) {
+        while self.pending_log.len() > Self::LAZY_LOG_CAP {
+            let Some(min) = self
+                .views
+                .iter()
+                .map(|(mask, _)| {
+                    self.cursor
+                        .get(&mask.0)
+                        .copied()
+                        .unwrap_or(self.pending_offset)
+                })
+                .min()
+            else {
+                self.pending_log.clear();
+                return;
+            };
+            let end = self.log_end();
+            for &(mask, _) in &self.views {
+                let cursor = self
+                    .cursor
+                    .get(&mask.0)
+                    .copied()
+                    .unwrap_or(self.pending_offset);
+                if cursor == min {
+                    self.needs_refresh.insert(mask.0);
+                    self.cursor.insert(mask.0, end);
+                }
+            }
+            self.compact_pending();
+        }
+    }
+
+    /// Drop log entries every catalog view has consumed.
+    fn compact_pending(&mut self) {
+        let consumed = self
+            .views
+            .iter()
+            .map(|(mask, _)| {
+                self.cursor
+                    .get(&mask.0)
+                    .copied()
+                    .unwrap_or(self.pending_offset)
+            })
+            .min()
+            .unwrap_or_else(|| self.log_end());
+        while self.pending_offset < consumed && !self.pending_log.is_empty() {
+            self.pending_log.pop_front();
+            self.pending_offset += 1;
+        }
+    }
+
+    /// The (possibly expanded) dataset.
+    pub fn dataset(&self) -> &Dataset {
+        &self.dataset
+    }
+
+    /// The facet.
+    pub fn facet(&self) -> &Facet {
+        &self.facet
+    }
+
+    /// The live view catalog (empty after invalidation).
+    pub fn views(&self) -> &[(ViewMask, usize)] {
+        &self.views
+    }
+
+    /// The session's staleness policy.
+    pub fn policy(&self) -> StalenessPolicy {
+        self.policy
+    }
+
+    /// Accumulated maintenance log across updates and lazy repairs.
+    pub fn maintenance(&self) -> &MaintenanceReport {
+        &self.log
+    }
+
+    /// `(view hits, base-graph fallbacks)` so far.
+    pub fn routing_counts(&self) -> (usize, usize) {
+        (self.view_hits, self.fallbacks)
+    }
+
+    /// Update batches applied so far.
+    pub fn update_batches(&self) -> usize {
+        self.update_batches
+    }
+
+    /// Views currently stale under the lazy policy.
+    pub fn stale_views(&self) -> usize {
+        self.views
+            .iter()
+            .filter(|(mask, _)| {
+                self.needs_refresh.contains(&mask.0)
+                    || self
+                        .cursor
+                        .get(&mask.0)
+                        .copied()
+                        .unwrap_or(self.pending_offset)
+                        < self.log_end()
+            })
+            .count()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -152,7 +509,10 @@ mod tests {
         let workload = generate_workload(
             &g.dataset,
             &facet,
-            &WorkloadConfig { num_queries: 12, ..WorkloadConfig::default() },
+            &WorkloadConfig {
+                num_queries: 12,
+                ..WorkloadConfig::default()
+            },
         );
         (g.dataset, facet, workload)
     }
@@ -212,14 +572,147 @@ mod tests {
         }
     }
 
+    fn session_setup(policy: StalenessPolicy) -> (Session, Vec<GeneratedQuery>) {
+        use sofos_workload::synthetic;
+        let g = synthetic::generate(&synthetic::Config {
+            observations: 120,
+            agg: sofos_cube::AggOp::Avg, // SUM+COUNT components: all aggs derivable except MIN/MAX
+            ..synthetic::Config::default()
+        });
+        let facet = g.facets[0].clone();
+        let mut ds = g.dataset;
+        let sized = SizedLattice::compute(&ds, &facet).unwrap();
+        let profile = WorkloadProfile::uniform(&sized.lattice);
+        let offline = run_offline(
+            &mut ds,
+            &sized,
+            &profile,
+            CostModelKind::AggValues,
+            &EngineConfig::default(),
+        )
+        .unwrap();
+        let workload = sofos_workload::generate_workload(
+            &ds,
+            &facet,
+            &sofos_workload::WorkloadConfig {
+                num_queries: 10,
+                ..Default::default()
+            },
+        );
+        (
+            Session::new(ds, facet, offline.view_catalog(), policy),
+            workload,
+        )
+    }
+
+    /// One update batch: fresh observations plus one deletion target.
+    fn session_delta(batch: usize) -> sofos_store::Delta {
+        use sofos_workload::synthetic::NS;
+        let mut delta = sofos_store::Delta::new();
+        for i in 0..3usize {
+            let node = sofos_rdf::Term::blank(format!("u{batch}_{i}"));
+            for d in 0..3usize {
+                delta.insert(
+                    node.clone(),
+                    sofos_rdf::Term::iri(format!("{NS}dim{d}")),
+                    sofos_rdf::Term::iri(format!("{NS}v{d}_{}", (batch + i + d) % 3)),
+                );
+            }
+            delta.insert(
+                node,
+                sofos_rdf::Term::iri(format!("{NS}measure")),
+                sofos_rdf::Term::literal_int(100 + (batch * 7 + i) as i64),
+            );
+        }
+        delta
+    }
+
+    fn assert_session_answers_match_base(session: &mut Session, workload: &[GeneratedQuery]) {
+        for q in workload {
+            let answer = session.query(&q.query).expect("session query runs");
+            let reference = Evaluator::new(session.dataset())
+                .evaluate(&q.query)
+                .expect("base evaluation runs");
+            assert!(
+                results_equivalent(&answer.results, &reference),
+                "session answer diverged from base graph for {}",
+                q.text
+            );
+        }
+    }
+
+    #[test]
+    fn eager_session_maintains_views_on_update() {
+        let (mut session, workload) = session_setup(StalenessPolicy::Eager);
+        for batch in 0..3 {
+            session.update(session_delta(batch)).unwrap();
+            assert_eq!(session.stale_views(), 0, "eager sessions never go stale");
+        }
+        assert!(
+            !session.maintenance().per_view.is_empty(),
+            "maintenance ran"
+        );
+        assert_session_answers_match_base(&mut session, &workload);
+        let (hits, _) = session.routing_counts();
+        assert!(hits > 0, "rewriter still routes to views after updates");
+    }
+
+    #[test]
+    fn lazy_session_repairs_views_on_first_hit() {
+        let (mut session, workload) = session_setup(StalenessPolicy::LazyOnHit);
+        let views_before = session.views().len();
+        session.update(session_delta(0)).unwrap();
+        assert_eq!(
+            session.stale_views(),
+            views_before,
+            "updates leave every view stale under lazy"
+        );
+        assert!(
+            session.maintenance().per_view.is_empty(),
+            "no maintenance at update time"
+        );
+        assert_session_answers_match_base(&mut session, &workload);
+        assert!(
+            !session.maintenance().per_view.is_empty(),
+            "query hits triggered lazy repairs"
+        );
+        assert!(
+            session.stale_views() < views_before,
+            "hit views are repaired"
+        );
+
+        // A second pass over the same workload triggers no further repairs.
+        let repairs = session.maintenance().per_view.len();
+        assert_session_answers_match_base(&mut session, &workload);
+        assert_eq!(session.maintenance().per_view.len(), repairs);
+    }
+
+    #[test]
+    fn invalidate_session_drops_views_and_falls_back() {
+        let (mut session, workload) = session_setup(StalenessPolicy::Invalidate);
+        assert!(!session.views().is_empty());
+        session.update(session_delta(0)).unwrap();
+        assert!(session.views().is_empty(), "invalidation drops the catalog");
+        assert!(
+            session.dataset().graph_names().is_empty(),
+            "view graphs are gone"
+        );
+        assert_session_answers_match_base(&mut session, &workload);
+        let (hits, fallbacks) = session.routing_counts();
+        assert_eq!(hits, 0);
+        assert_eq!(fallbacks, workload.len());
+    }
+
     #[test]
     fn full_base_view_answers_everything() {
         let (ds, facet, workload) = setup();
         let sized = SizedLattice::compute(&ds, &facet).unwrap();
         let profile = WorkloadProfile::uniform(&sized.lattice);
-        let mut config = EngineConfig::default();
         // Budget 16 = the whole 4-dim lattice: every query must hit a view.
-        config.budget = sofos_select::Budget::Views(16);
+        let config = EngineConfig {
+            budget: sofos_select::Budget::Views(16),
+            ..EngineConfig::default()
+        };
         let mut expanded = ds.clone();
         let offline = run_offline(
             &mut expanded,

@@ -139,7 +139,11 @@ impl ComparisonReport {
                 format!("{:.0}", m.latency.mean_us),
                 m.latency.p95_us.to_string(),
                 format!("{:.2}", m.speedup),
-                if m.all_valid { "yes".into() } else { "NO".into() },
+                if m.all_valid {
+                    "yes".into()
+                } else {
+                    "NO".into()
+                },
             ]);
         }
         let mut out = format!(

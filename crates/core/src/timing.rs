@@ -47,7 +47,13 @@ impl TimeSummary {
     /// Summarize a sample vector (empty ⇒ all zeros).
     pub fn from_samples(samples: &[u64]) -> TimeSummary {
         if samples.is_empty() {
-            return TimeSummary { total_us: 0, mean_us: 0.0, median_us: 0, p95_us: 0, max_us: 0 };
+            return TimeSummary {
+                total_us: 0,
+                mean_us: 0.0,
+                median_us: 0,
+                p95_us: 0,
+                max_us: 0,
+            };
         }
         let mut sorted = samples.to_vec();
         sorted.sort_unstable();

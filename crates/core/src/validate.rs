@@ -32,7 +32,11 @@ fn decode(results: &QueryResults) -> Vec<Vec<Option<Value>>> {
     results
         .rows
         .iter()
-        .map(|row| row.iter().map(|cell| cell.as_ref().map(Value::from_term)).collect())
+        .map(|row| {
+            row.iter()
+                .map(|cell| cell.as_ref().map(Value::from_term))
+                .collect()
+        })
         .collect()
 }
 
@@ -59,7 +63,10 @@ mod tests {
     use sofos_rdf::{Literal, Term};
 
     fn results(rows: Vec<Vec<Option<Term>>>) -> QueryResults {
-        QueryResults { vars: vec!["a".into(), "b".into()], rows }
+        QueryResults {
+            vars: vec!["a".into(), "b".into()],
+            rows,
+        }
     }
 
     #[test]
@@ -77,7 +84,10 @@ mod tests {
 
     #[test]
     fn numeric_datatype_differences_are_tolerated() {
-        let a = results(vec![vec![Some(Term::iri("x")), Some(Term::literal_int(75))]]);
+        let a = results(vec![vec![
+            Some(Term::iri("x")),
+            Some(Term::literal_int(75)),
+        ]]);
         let b = results(vec![vec![
             Some(Term::iri("x")),
             Some(Term::Literal(Literal::decimal("75".parse().unwrap()))),

@@ -32,16 +32,27 @@ fn empty_dataset_full_pipeline() {
     let ds = Dataset::new();
     let facet = one_dim_facet();
     let sized = SizedLattice::compute(&ds, &facet).unwrap();
-    assert_eq!(sized.stats[&ViewMask::APEX].rows, 1, "apex aggregates zero rows");
+    assert_eq!(
+        sized.stats[&ViewMask::APEX].rows,
+        1,
+        "apex aggregates zero rows"
+    );
     assert_eq!(sized.stats[&ViewMask::full(1)].rows, 0);
 
     let profile = WorkloadProfile::uniform(&sized.lattice);
-    let mut config = EngineConfig::default();
-    config.budget = Budget::Views(2);
+    let config = EngineConfig {
+        budget: Budget::Views(2),
+        ..EngineConfig::default()
+    };
     let mut expanded = ds.clone();
-    let offline =
-        run_offline(&mut expanded, &sized, &profile, CostModelKind::Triples, &config)
-            .unwrap();
+    let offline = run_offline(
+        &mut expanded,
+        &sized,
+        &profile,
+        CostModelKind::Triples,
+        &config,
+    )
+    .unwrap();
     assert_eq!(offline.materialized.len(), 2);
 
     // Run a minimal workload: the apex query.
@@ -75,17 +86,25 @@ fn single_observation_dataset() {
         &Term::iri("http://e/d"),
         &Term::iri("http://e/v1"),
     );
-    ds.insert(None, &Term::blank("o"), &Term::iri("http://e/m"), &Term::literal_int(5));
+    ds.insert(
+        None,
+        &Term::blank("o"),
+        &Term::iri("http://e/m"),
+        &Term::literal_int(5),
+    );
     let facet = one_dim_facet();
     let mut sofos = Sofos::new(ds, facet);
-    let mut config = EngineConfig::default();
-    config.budget = Budget::Views(2);
+    let mut config = EngineConfig {
+        budget: Budget::Views(2),
+        ..EngineConfig::default()
+    };
     config.workload.num_queries = 4;
     config.timing_reps = 1;
     let offline = sofos.offline(CostModelKind::AggValues, &config).unwrap();
-    let workload =
-        generate_workload(sofos.dataset(), sofos.facet(), &config.workload);
-    let online = sofos.online(&offline.view_catalog(), &workload, &config).unwrap();
+    let workload = generate_workload(sofos.dataset(), sofos.facet(), &config.workload);
+    let online = sofos
+        .online(&offline.view_catalog(), &workload, &config)
+        .unwrap();
     assert!(online.all_valid);
 }
 
@@ -101,11 +120,18 @@ fn selections_are_deterministic_across_runs() {
     let workload = generate_workload(
         &g.dataset,
         &facet,
-        &WorkloadConfig { num_queries: 10, ..WorkloadConfig::default() },
+        &WorkloadConfig {
+            num_queries: 10,
+            ..WorkloadConfig::default()
+        },
     );
     let profile = WorkloadProfile::from_masks(workload.iter().map(|q| q.required));
 
-    for kind in [CostModelKind::Random, CostModelKind::Triples, CostModelKind::Nodes] {
+    for kind in [
+        CostModelKind::Random,
+        CostModelKind::Triples,
+        CostModelKind::Nodes,
+    ] {
         let sized = SizedLattice::compute(&g.dataset, &facet).unwrap();
         let mut ds1 = g.dataset.clone();
         let a = run_offline(&mut ds1, &sized, &profile, kind, &config).unwrap();
@@ -126,17 +152,20 @@ fn zero_budget_means_base_graph_only() {
         ..dbpedia::Config::default()
     });
     let mut sofos = Sofos::from_generated(&g);
-    let mut config = EngineConfig::default();
-    config.budget = Budget::Views(0);
+    let mut config = EngineConfig {
+        budget: Budget::Views(0),
+        ..EngineConfig::default()
+    };
     config.workload.num_queries = 5;
     config.timing_reps = 1;
     let offline = sofos.offline(CostModelKind::Triples, &config).unwrap();
     assert!(offline.materialized.is_empty());
     assert_eq!(offline.storage_amplification(), 1.0);
 
-    let workload =
-        generate_workload(sofos.dataset(), sofos.facet(), &config.workload);
-    let online = sofos.online(&offline.view_catalog(), &workload, &config).unwrap();
+    let workload = generate_workload(sofos.dataset(), sofos.facet(), &config.workload);
+    let online = sofos
+        .online(&offline.view_catalog(), &workload, &config)
+        .unwrap();
     assert_eq!(online.view_hits, 0);
     assert_eq!(online.fallbacks, workload.len());
 }
@@ -157,5 +186,8 @@ fn report_rendering_is_stable_under_rerun() {
     // Timings differ; structure and selections must not.
     assert_eq!(a.models[0].selected_views, b.models[0].selected_views);
     assert_eq!(a.models[0].view_hits, b.models[0].view_hits);
-    assert_eq!(a.models[0].storage_amplification, b.models[0].storage_amplification);
+    assert_eq!(
+        a.models[0].storage_amplification,
+        b.models[0].storage_amplification
+    );
 }

@@ -28,7 +28,9 @@ impl<'a> CostContext<'a> {
 
     /// Distinct values of dimension `d` ≈ rows of the singleton view `{d}`.
     pub fn dim_cardinality(&self, d: usize) -> Option<usize> {
-        self.view_stats.get(&ViewMask::from_dims(&[d])).map(|s| s.rows)
+        self.view_stats
+            .get(&ViewMask::from_dims(&[d]))
+            .map(|s| s.rows)
     }
 }
 
@@ -66,9 +68,21 @@ mod tests {
             ds.insert(None, &obs, &m, &Term::literal_int(i));
         }
         let pattern = GroupPattern::triples(vec![
-            TriplePattern::new(PatternTerm::var("o"), PatternTerm::iri("http://e/a"), PatternTerm::var("a")),
-            TriplePattern::new(PatternTerm::var("o"), PatternTerm::iri("http://e/b"), PatternTerm::var("b")),
-            TriplePattern::new(PatternTerm::var("o"), PatternTerm::iri("http://e/m"), PatternTerm::var("m")),
+            TriplePattern::new(
+                PatternTerm::var("o"),
+                PatternTerm::iri("http://e/a"),
+                PatternTerm::var("a"),
+            ),
+            TriplePattern::new(
+                PatternTerm::var("o"),
+                PatternTerm::iri("http://e/b"),
+                PatternTerm::var("b"),
+            ),
+            TriplePattern::new(
+                PatternTerm::var("o"),
+                PatternTerm::iri("http://e/m"),
+                PatternTerm::var("m"),
+            ),
         ]);
         let facet = Facet::new(
             "t",
@@ -98,7 +112,11 @@ mod tests {
         let lattice = Lattice::new(facet.clone());
         let sized = size_lattice(&ds, &lattice).unwrap();
         let base = sofos_store::GraphStats::compute(ds.default_graph());
-        let ctx = CostContext { facet: &facet, view_stats: &sized, base: &base };
+        let ctx = CostContext {
+            facet: &facet,
+            view_stats: &sized,
+            base: &base,
+        };
         assert_eq!(ctx.dim_cardinality(0), Some(3));
         assert_eq!(ctx.dim_cardinality(1), Some(4));
         assert!(ctx.stats(ViewMask::APEX).is_some());

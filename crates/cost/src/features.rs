@@ -76,7 +76,11 @@ pub fn view_features(ctx: &CostContext<'_>, view: ViewMask) -> Vec<f64> {
         }
     }
     out.push(pattern_count);
-    out.push(if pattern_count > 0.0 { freq_sum / pattern_count } else { 0.0 });
+    out.push(if pattern_count > 0.0 {
+        freq_sum / pattern_count
+    } else {
+        0.0
+    });
 
     debug_assert_eq!(out.len(), feature_dim(facet));
     out
@@ -92,11 +96,10 @@ fn predicate_frequency(ctx: &CostContext<'_>, _iri: &str) -> usize {
     // Without the dictionary we cannot map IRIs to ids here; expose the
     // mean predicate frequency instead, which preserves the feature's
     // intent (dense vs. sparse relationships).
-    if ctx.base.distinct_predicates == 0 {
-        0
-    } else {
-        ctx.base.triples / ctx.base.distinct_predicates
-    }
+    ctx.base
+        .triples
+        .checked_div(ctx.base.distinct_predicates)
+        .unwrap_or(0)
 }
 
 /// Z-score normalizer fitted on a training matrix.
@@ -162,18 +165,29 @@ mod tests {
             ds.insert(None, &obs, &m, &Term::literal_int(i));
         }
         let pattern = GroupPattern::triples(vec![
-            TriplePattern::new(PatternTerm::var("o"), PatternTerm::iri("http://e/a"), PatternTerm::var("a")),
-            TriplePattern::new(PatternTerm::var("o"), PatternTerm::iri("http://e/m"), PatternTerm::var("m")),
+            TriplePattern::new(
+                PatternTerm::var("o"),
+                PatternTerm::iri("http://e/a"),
+                PatternTerm::var("a"),
+            ),
+            TriplePattern::new(
+                PatternTerm::var("o"),
+                PatternTerm::iri("http://e/m"),
+                PatternTerm::var("m"),
+            ),
         ]);
-        let facet =
-            Facet::new("t", vec![Dimension::new("a")], pattern, "m", AggOp::Sum).unwrap();
+        let facet = Facet::new("t", vec![Dimension::new("a")], pattern, "m", AggOp::Sum).unwrap();
         (ds, facet)
     }
 
     #[test]
     fn feature_dim_formula() {
         let (_, facet) = setup();
-        assert_eq!(feature_dim(&facet), 2 * 1 + 10);
+        assert_eq!(
+            feature_dim(&facet),
+            2 + 10,
+            "2 per dim x 1 dim, plus 10 globals"
+        );
     }
 
     #[test]
@@ -182,7 +196,11 @@ mod tests {
         let lattice = Lattice::new(facet.clone());
         let sized = size_lattice(&ds, &lattice).unwrap();
         let base = GraphStats::compute(ds.default_graph());
-        let ctx = CostContext { facet: &facet, view_stats: &sized, base: &base };
+        let ctx = CostContext {
+            facet: &facet,
+            view_stats: &sized,
+            base: &base,
+        };
         let apex = view_features(&ctx, ViewMask::APEX);
         let full = view_features(&ctx, ViewMask::full(1));
         assert_eq!(apex.len(), feature_dim(&facet));

@@ -55,8 +55,10 @@ impl LearnedCostModel {
         if samples.is_empty() {
             return Vec::new();
         }
-        let raw: Vec<Vec<f64>> =
-            samples.iter().map(|(v, _)| view_features(ctx, *v)).collect();
+        let raw: Vec<Vec<f64>> = samples
+            .iter()
+            .map(|(v, _)| view_features(ctx, *v))
+            .collect();
         let normalizer = Normalizer::fit(&raw);
         let features: Vec<Vec<f64>> = raw.iter().map(|r| normalizer.apply(r)).collect();
         let targets: Vec<f64> = samples.iter().map(|(_, t)| t.max(0.0).ln_1p()).collect();
@@ -106,7 +108,11 @@ pub fn regression_metrics(predictions: &[f64], truths: &[f64]) -> RegressionMetr
     assert_eq!(predictions.len(), truths.len());
     let n = predictions.len();
     if n == 0 {
-        return RegressionMetrics { mae: 0.0, spearman: 0.0, n };
+        return RegressionMetrics {
+            mae: 0.0,
+            spearman: 0.0,
+            n,
+        };
     }
     let mae = predictions
         .iter()
@@ -114,7 +120,11 @@ pub fn regression_metrics(predictions: &[f64], truths: &[f64]) -> RegressionMetr
         .map(|(p, t)| (p - t).abs())
         .sum::<f64>()
         / n as f64;
-    RegressionMetrics { mae, spearman: spearman(predictions, truths), n }
+    RegressionMetrics {
+        mae,
+        spearman: spearman(predictions, truths),
+        n,
+    }
 }
 
 /// Spearman rank correlation (ties get average ranks).
@@ -129,8 +139,7 @@ pub fn spearman(a: &[f64], b: &[f64]) -> f64 {
 }
 
 fn ranks(values: &[f64]) -> Vec<f64> {
-    let mut indexed: Vec<(usize, f64)> =
-        values.iter().copied().enumerate().collect();
+    let mut indexed: Vec<(usize, f64)> = values.iter().copied().enumerate().collect();
     indexed.sort_by(|x, y| x.1.partial_cmp(&y.1).unwrap_or(std::cmp::Ordering::Equal));
     let mut out = vec![0.0; values.len()];
     let mut i = 0;
@@ -178,25 +187,61 @@ mod tests {
 
     fn setup() -> (Dataset, Facet) {
         let mut ds = Dataset::new();
-        let preds: Vec<Term> =
-            (0..3).map(|i| Term::iri(format!("http://e/p{i}"))).collect();
+        let preds: Vec<Term> = (0..3)
+            .map(|i| Term::iri(format!("http://e/p{i}")))
+            .collect();
         let m = Term::iri("http://e/m");
         for i in 0..60 {
             let obs = Term::blank(format!("o{i}"));
-            ds.insert(None, &obs, &preds[0], &Term::iri(format!("http://e/A{}", i % 10)));
-            ds.insert(None, &obs, &preds[1], &Term::iri(format!("http://e/B{}", i % 4)));
-            ds.insert(None, &obs, &preds[2], &Term::iri(format!("http://e/C{}", i % 2)));
+            ds.insert(
+                None,
+                &obs,
+                &preds[0],
+                &Term::iri(format!("http://e/A{}", i % 10)),
+            );
+            ds.insert(
+                None,
+                &obs,
+                &preds[1],
+                &Term::iri(format!("http://e/B{}", i % 4)),
+            );
+            ds.insert(
+                None,
+                &obs,
+                &preds[2],
+                &Term::iri(format!("http://e/C{}", i % 2)),
+            );
             ds.insert(None, &obs, &m, &Term::literal_int(i));
         }
         let pattern = GroupPattern::triples(vec![
-            TriplePattern::new(PatternTerm::var("o"), PatternTerm::iri("http://e/p0"), PatternTerm::var("a")),
-            TriplePattern::new(PatternTerm::var("o"), PatternTerm::iri("http://e/p1"), PatternTerm::var("b")),
-            TriplePattern::new(PatternTerm::var("o"), PatternTerm::iri("http://e/p2"), PatternTerm::var("c")),
-            TriplePattern::new(PatternTerm::var("o"), PatternTerm::iri("http://e/m"), PatternTerm::var("m")),
+            TriplePattern::new(
+                PatternTerm::var("o"),
+                PatternTerm::iri("http://e/p0"),
+                PatternTerm::var("a"),
+            ),
+            TriplePattern::new(
+                PatternTerm::var("o"),
+                PatternTerm::iri("http://e/p1"),
+                PatternTerm::var("b"),
+            ),
+            TriplePattern::new(
+                PatternTerm::var("o"),
+                PatternTerm::iri("http://e/p2"),
+                PatternTerm::var("c"),
+            ),
+            TriplePattern::new(
+                PatternTerm::var("o"),
+                PatternTerm::iri("http://e/m"),
+                PatternTerm::var("m"),
+            ),
         ]);
         let facet = Facet::new(
             "t",
-            vec![Dimension::new("a"), Dimension::new("b"), Dimension::new("c")],
+            vec![
+                Dimension::new("a"),
+                Dimension::new("b"),
+                Dimension::new("c"),
+            ],
             pattern,
             "m",
             AggOp::Sum,
@@ -211,7 +256,11 @@ mod tests {
         let lattice = Lattice::new(facet.clone());
         let sized = size_lattice(&ds, &lattice).unwrap();
         let base = GraphStats::compute(ds.default_graph());
-        let ctx = CostContext { facet: &facet, view_stats: &sized, base: &base };
+        let ctx = CostContext {
+            facet: &facet,
+            view_stats: &sized,
+            base: &base,
+        };
         let model = LearnedCostModel::new(&facet, 1);
         assert!(!model.is_trained());
         assert!(model.cost(&ctx, ViewMask::APEX).is_infinite());
@@ -225,19 +274,27 @@ mod tests {
         let lattice = Lattice::new(facet.clone());
         let sized = size_lattice(&ds, &lattice).unwrap();
         let base = GraphStats::compute(ds.default_graph());
-        let ctx = CostContext { facet: &facet, view_stats: &sized, base: &base };
+        let ctx = CostContext {
+            facet: &facet,
+            view_stats: &sized,
+            base: &base,
+        };
 
         let samples: Vec<TrainingSample> = lattice
             .views()
             .map(|v| (v, 10.0 + 5.0 * sized[&v].rows as f64))
             .collect();
         let mut model = LearnedCostModel::new(&facet, 1);
-        let config = TrainConfig { epochs: 600, learning_rate: 5e-3, batch_size: 8, seed: 1 };
+        let config = TrainConfig {
+            epochs: 600,
+            learning_rate: 5e-3,
+            batch_size: 8,
+            seed: 1,
+        };
         let history = model.fit(&ctx, &samples, config);
         assert!(history.last().unwrap() < &history[0], "loss must drop");
 
-        let predictions: Vec<f64> =
-            lattice.views().map(|v| model.cost(&ctx, v)).collect();
+        let predictions: Vec<f64> = lattice.views().map(|v| model.cost(&ctx, v)).collect();
         let truths: Vec<f64> = samples.iter().map(|(_, t)| *t).collect();
         let metrics = regression_metrics(&predictions, &truths);
         assert!(
@@ -252,7 +309,11 @@ mod tests {
         assert!((spearman(&[1.0, 2.0, 3.0], &[10.0, 20.0, 30.0]) - 1.0).abs() < 1e-9);
         assert!((spearman(&[1.0, 2.0, 3.0], &[30.0, 20.0, 10.0]) + 1.0).abs() < 1e-9);
         assert_eq!(spearman(&[1.0], &[2.0]), 0.0, "degenerate input");
-        assert_eq!(spearman(&[1.0, 1.0, 1.0], &[1.0, 2.0, 3.0]), 0.0, "constant input");
+        assert_eq!(
+            spearman(&[1.0, 1.0, 1.0], &[1.0, 2.0, 3.0]),
+            0.0,
+            "constant input"
+        );
     }
 
     #[test]
@@ -274,7 +335,11 @@ mod tests {
         let lattice = Lattice::new(facet.clone());
         let sized = size_lattice(&ds, &lattice).unwrap();
         let base = GraphStats::compute(ds.default_graph());
-        let ctx = CostContext { facet: &facet, view_stats: &sized, base: &base };
+        let ctx = CostContext {
+            facet: &facet,
+            view_stats: &sized,
+            base: &base,
+        };
         let mut model = LearnedCostModel::new(&facet, 1);
         assert!(model.fit(&ctx, &[], TrainConfig::default()).is_empty());
         assert!(!model.is_trained());

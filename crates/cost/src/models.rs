@@ -159,7 +159,10 @@ impl UserDefinedCost {
     /// Build from explicit `(view, cost)` pairs; unlisted views get
     /// `default` (use `f64::INFINITY` to forbid them).
     pub fn new(pairs: impl IntoIterator<Item = (ViewMask, f64)>, default: f64) -> UserDefinedCost {
-        UserDefinedCost { costs: pairs.into_iter().collect(), default }
+        UserDefinedCost {
+            costs: pairs.into_iter().collect(),
+            default,
+        }
     }
 
     /// Mark a set of views as the preferred selection (cost 0, everything
@@ -203,9 +206,21 @@ mod tests {
             ds.insert(None, &obs, &m, &Term::literal_int(i));
         }
         let pattern = GroupPattern::triples(vec![
-            TriplePattern::new(PatternTerm::var("o"), PatternTerm::iri("http://e/a"), PatternTerm::var("a")),
-            TriplePattern::new(PatternTerm::var("o"), PatternTerm::iri("http://e/b"), PatternTerm::var("b")),
-            TriplePattern::new(PatternTerm::var("o"), PatternTerm::iri("http://e/m"), PatternTerm::var("m")),
+            TriplePattern::new(
+                PatternTerm::var("o"),
+                PatternTerm::iri("http://e/a"),
+                PatternTerm::var("a"),
+            ),
+            TriplePattern::new(
+                PatternTerm::var("o"),
+                PatternTerm::iri("http://e/b"),
+                PatternTerm::var("b"),
+            ),
+            TriplePattern::new(
+                PatternTerm::var("o"),
+                PatternTerm::iri("http://e/m"),
+                PatternTerm::var("m"),
+            ),
         ]);
         let facet = Facet::new(
             "t",
@@ -223,7 +238,11 @@ mod tests {
         let lattice = Lattice::new(facet.clone());
         let sized = size_lattice(&ds, &lattice).unwrap();
         let base = GraphStats::compute(ds.default_graph());
-        let ctx = CostContext { facet: &facet, view_stats: &sized, base: &base };
+        let ctx = CostContext {
+            facet: &facet,
+            view_stats: &sized,
+            base: &base,
+        };
         f(&ctx)
     }
 
@@ -300,7 +319,14 @@ mod tests {
         let names: Vec<&str> = CostModelKind::ALL.iter().map(|k| k.name()).collect();
         assert_eq!(
             names,
-            ["random", "triples", "agg-values", "nodes", "learned", "user-defined"]
+            [
+                "random",
+                "triples",
+                "agg-values",
+                "nodes",
+                "learned",
+                "user-defined"
+            ]
         );
         assert_eq!(CostModelKind::Triples.to_string(), "triples");
     }

@@ -91,7 +91,12 @@ pub struct TrainConfig {
 
 impl Default for TrainConfig {
     fn default() -> Self {
-        TrainConfig { epochs: 200, learning_rate: 1e-2, batch_size: 16, seed: 7 }
+        TrainConfig {
+            epochs: 200,
+            learning_rate: 1e-2,
+            batch_size: 16,
+            seed: 7,
+        }
     }
 }
 
@@ -131,10 +136,16 @@ impl Mlp {
     /// update.
     fn train_batch(&mut self, batch: &[(&[f64], f64)], lr: f64) -> f64 {
         // Accumulate gradients over the batch.
-        let mut grad_w: Vec<Vec<f64>> =
-            self.layers.iter().map(|l| vec![0.0; l.weights.len()]).collect();
-        let mut grad_b: Vec<Vec<f64>> =
-            self.layers.iter().map(|l| vec![0.0; l.bias.len()]).collect();
+        let mut grad_w: Vec<Vec<f64>> = self
+            .layers
+            .iter()
+            .map(|l| vec![0.0; l.weights.len()])
+            .collect();
+        let mut grad_b: Vec<Vec<f64>> = self
+            .layers
+            .iter()
+            .map(|l| vec![0.0; l.bias.len()])
+            .collect();
         let mut loss = 0.0;
 
         for (x, target) in batch {
@@ -173,10 +184,10 @@ impl Mlp {
                 // Propagate to previous layer.
                 if li > 0 {
                     let mut prev = vec![0.0; layer.input];
-                    for o in 0..layer.output {
+                    for (o, &d) in dpre.iter().enumerate().take(layer.output) {
                         let row = &layer.weights[o * layer.input..(o + 1) * layer.input];
                         for (p, &w) in prev.iter_mut().zip(row) {
-                            *p += dpre[o] * w;
+                            *p += d * w;
                         }
                     }
                     delta = prev;
@@ -232,8 +243,10 @@ impl Mlp {
             let mut epoch_loss = 0.0;
             let mut batches = 0;
             for chunk in order.chunks(config.batch_size.max(1)) {
-                let batch: Vec<(&[f64], f64)> =
-                    chunk.iter().map(|&i| (features[i].as_slice(), targets[i])).collect();
+                let batch: Vec<(&[f64], f64)> = chunk
+                    .iter()
+                    .map(|&i| (features[i].as_slice(), targets[i]))
+                    .collect();
                 epoch_loss += self.train_batch(&batch, config.learning_rate);
                 batches += 1;
             }
@@ -258,7 +271,11 @@ mod tests {
         let targets: Vec<f64> = features.iter().map(|x| 3.0 * x[0] + 1.0).collect();
         let mut net = Mlp::new(&[1, 8, 1], 42);
         let history = net.train(&features, &targets, TrainConfig::default());
-        assert!(final_loss(&history) < 1e-2, "loss: {}", final_loss(&history));
+        assert!(
+            final_loss(&history) < 1e-2,
+            "loss: {}",
+            final_loss(&history)
+        );
         assert!((net.predict(&[0.5]) - 2.5).abs() < 0.2);
     }
 
@@ -273,7 +290,12 @@ mod tests {
         ];
         let targets = vec![0.0, 1.0, 1.0, 0.0];
         let mut net = Mlp::new(&[2, 8, 8, 1], 3);
-        let config = TrainConfig { epochs: 2000, learning_rate: 5e-3, batch_size: 4, seed: 3 };
+        let config = TrainConfig {
+            epochs: 2000,
+            learning_rate: 5e-3,
+            batch_size: 4,
+            seed: 3,
+        };
         net.train(&features, &targets, config);
         for (x, t) in features.iter().zip(&targets) {
             let p = net.predict(x);
@@ -283,15 +305,18 @@ mod tests {
 
     #[test]
     fn loss_decreases_during_training() {
-        let features: Vec<Vec<f64>> =
-            (0..40).map(|i| vec![(i as f64 / 10.0).sin(), i as f64 / 40.0]).collect();
-        let targets: Vec<f64> =
-            features.iter().map(|x| x[0] * 2.0 + x[1] * x[1]).collect();
+        let features: Vec<Vec<f64>> = (0..40)
+            .map(|i| vec![(i as f64 / 10.0).sin(), i as f64 / 40.0])
+            .collect();
+        let targets: Vec<f64> = features.iter().map(|x| x[0] * 2.0 + x[1] * x[1]).collect();
         let mut net = Mlp::new(&[2, 16, 1], 9);
         let history = net.train(&features, &targets, TrainConfig::default());
         let early: f64 = history[..10].iter().sum::<f64>() / 10.0;
         let late: f64 = history[history.len() - 10..].iter().sum::<f64>() / 10.0;
-        assert!(late < early, "training did not reduce loss: {early} → {late}");
+        assert!(
+            late < early,
+            "training did not reduce loss: {early} → {late}"
+        );
     }
 
     #[test]

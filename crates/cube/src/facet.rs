@@ -16,12 +16,18 @@ impl Dimension {
     /// Create a dimension whose label equals its variable name.
     pub fn new(var: impl Into<String>) -> Dimension {
         let var = var.into();
-        Dimension { label: var.clone(), var }
+        Dimension {
+            label: var.clone(),
+            var,
+        }
     }
 
     /// Create a dimension with an explicit label.
     pub fn labeled(var: impl Into<String>, label: impl Into<String>) -> Dimension {
-        Dimension { var: var.into(), label: label.into() }
+        Dimension {
+            var: var.into(),
+            label: label.into(),
+        }
     }
 }
 
@@ -105,10 +111,16 @@ impl fmt::Display for FacetError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             FacetError::UnknownDimension(v) => {
-                write!(f, "dimension variable ?{v} does not appear in the facet pattern")
+                write!(
+                    f,
+                    "dimension variable ?{v} does not appear in the facet pattern"
+                )
             }
             FacetError::UnknownMeasure(v) => {
-                write!(f, "measure variable ?{v} does not appear in the facet pattern")
+                write!(
+                    f,
+                    "measure variable ?{v} does not appear in the facet pattern"
+                )
             }
             FacetError::TooManyDimensions(n) => {
                 write!(f, "{n} dimensions exceed the supported maximum of 20")
@@ -155,17 +167,23 @@ impl Facet {
         }
         let pattern_vars = pattern.pattern_variables();
         for (i, d) in dimensions.iter().enumerate() {
-            if !pattern_vars.iter().any(|v| *v == d.var) {
+            if !pattern_vars.contains(&d.var) {
                 return Err(FacetError::UnknownDimension(d.var.clone()));
             }
             if dimensions[..i].iter().any(|other| other.var == d.var) {
                 return Err(FacetError::DuplicateDimension(d.var.clone()));
             }
         }
-        if !pattern_vars.iter().any(|v| *v == measure) {
+        if !pattern_vars.contains(&measure) {
             return Err(FacetError::UnknownMeasure(measure));
         }
-        Ok(Facet { id: id.into(), dimensions, pattern, measure, agg })
+        Ok(Facet {
+            id: id.into(),
+            dimensions,
+            pattern,
+            measure,
+            agg,
+        })
     }
 
     /// Number of dimensions `|X̄|`.
@@ -191,9 +209,21 @@ mod tests {
 
     fn pattern() -> GroupPattern {
         GroupPattern::triples(vec![
-            TriplePattern::new(PatternTerm::var("o"), PatternTerm::iri("c"), PatternTerm::var("country")),
-            TriplePattern::new(PatternTerm::var("o"), PatternTerm::iri("l"), PatternTerm::var("lang")),
-            TriplePattern::new(PatternTerm::var("o"), PatternTerm::iri("p"), PatternTerm::var("pop")),
+            TriplePattern::new(
+                PatternTerm::var("o"),
+                PatternTerm::iri("c"),
+                PatternTerm::var("country"),
+            ),
+            TriplePattern::new(
+                PatternTerm::var("o"),
+                PatternTerm::iri("l"),
+                PatternTerm::var("lang"),
+            ),
+            TriplePattern::new(
+                PatternTerm::var("o"),
+                PatternTerm::iri("p"),
+                PatternTerm::var("pop"),
+            ),
         ])
     }
 
@@ -215,15 +245,27 @@ mod tests {
 
     #[test]
     fn rejects_unknown_dimension() {
-        let err = Facet::new("x", vec![Dimension::new("ghost")], pattern(), "pop", AggOp::Sum)
-            .unwrap_err();
+        let err = Facet::new(
+            "x",
+            vec![Dimension::new("ghost")],
+            pattern(),
+            "pop",
+            AggOp::Sum,
+        )
+        .unwrap_err();
         assert_eq!(err, FacetError::UnknownDimension("ghost".into()));
     }
 
     #[test]
     fn rejects_unknown_measure() {
-        let err = Facet::new("x", vec![Dimension::new("country")], pattern(), "ghost", AggOp::Sum)
-            .unwrap_err();
+        let err = Facet::new(
+            "x",
+            vec![Dimension::new("country")],
+            pattern(),
+            "ghost",
+            AggOp::Sum,
+        )
+        .unwrap_err();
         assert_eq!(err, FacetError::UnknownMeasure("ghost".into()));
     }
 

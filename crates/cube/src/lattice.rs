@@ -122,7 +122,14 @@ mod tests {
             PatternTerm::iri("http://e/m"),
             PatternTerm::var("u"),
         ));
-        Facet::new("f", dimensions, GroupPattern::triples(triples), "u", AggOp::Sum).unwrap()
+        Facet::new(
+            "f",
+            dimensions,
+            GroupPattern::triples(triples),
+            "u",
+            AggOp::Sum,
+        )
+        .unwrap()
     }
 
     #[test]

@@ -28,8 +28,14 @@ pub fn component_alias(c: MaterialComponent) -> &'static str {
 fn component_aggregate(c: MaterialComponent, measure: &str) -> Aggregate {
     let expr = Box::new(Expr::var(measure));
     match c {
-        MaterialComponent::Sum => Aggregate::Sum { distinct: false, expr },
-        MaterialComponent::Count => Aggregate::Count { distinct: false, expr: Some(expr) },
+        MaterialComponent::Sum => Aggregate::Sum {
+            distinct: false,
+            expr,
+        },
+        MaterialComponent::Count => Aggregate::Count {
+            distinct: false,
+            expr: Some(expr),
+        },
         MaterialComponent::Min => Aggregate::Min { expr },
         MaterialComponent::Max => Aggregate::Max { expr },
     }
@@ -87,9 +93,18 @@ pub fn facet_query(facet: &Facet, mask: ViewMask, agg: AggOp, filters: Vec<Expr>
     }
     let measure = Box::new(Expr::var(facet.measure.clone()));
     let aggregate = match agg {
-        AggOp::Sum => Aggregate::Sum { distinct: false, expr: measure },
-        AggOp::Avg => Aggregate::Avg { distinct: false, expr: measure },
-        AggOp::Count => Aggregate::Count { distinct: false, expr: Some(measure) },
+        AggOp::Sum => Aggregate::Sum {
+            distinct: false,
+            expr: measure,
+        },
+        AggOp::Avg => Aggregate::Avg {
+            distinct: false,
+            expr: measure,
+        },
+        AggOp::Count => Aggregate::Count {
+            distinct: false,
+            expr: Some(measure),
+        },
         AggOp::Min => Aggregate::Min { expr: measure },
         AggOp::Max => Aggregate::Max { expr: measure },
     };
@@ -178,7 +193,11 @@ mod tests {
     #[test]
     fn generated_queries_render_and_reparse() {
         let f = facet(AggOp::Avg);
-        for mask in [ViewMask::APEX, ViewMask::from_dims(&[0]), ViewMask::from_dims(&[0, 1])] {
+        for mask in [
+            ViewMask::APEX,
+            ViewMask::from_dims(&[0]),
+            ViewMask::from_dims(&[0, 1]),
+        ] {
             let q = view_query(&f, mask);
             let text = query_to_sparql(&q);
             let back = sofos_sparql::parse_query(&text)

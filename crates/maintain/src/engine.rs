@@ -1,0 +1,711 @@
+//! The [`Maintainer`]: applies deltas and patches view graphs.
+
+use crate::star::StarPattern;
+use crate::{MaintenanceCost, MaintenanceReport, MaintenanceStrategy};
+use sofos_cube::{component_alias, view_query, Facet, MaterialComponent, ViewMask};
+use sofos_materialize::{drop_view, materialize_view};
+use sofos_rdf::vocab::{rdf, sofos};
+use sofos_rdf::{FxHashMap, Numeric, Term, TermId};
+use sofos_sparql::{CompareOp, Evaluator, Expr, PatternElement, SparqlError};
+use sofos_store::{ChangeSet, Dataset, Delta, IdPattern};
+use std::time::Instant;
+
+/// The net effect of a batch on the facet pattern's binding multiset:
+/// `(dimension values, measure) → net multiplicity` (positive = asserted,
+/// negative = retracted). Dimension values are in facet dimension order.
+///
+/// Row deltas are additive: buffering several batches and merging their
+/// deltas maintains views as correctly as eager per-batch propagation —
+/// which is what the lazy staleness policy relies on.
+#[derive(Debug, Clone, Default)]
+pub struct RowDelta {
+    counts: FxHashMap<(Vec<TermId>, TermId), i64>,
+}
+
+impl RowDelta {
+    /// True when the batch did not change the pattern's bindings.
+    pub fn is_empty(&self) -> bool {
+        self.counts.is_empty()
+    }
+
+    /// Number of distinct changed rows.
+    pub fn len(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Total asserted row multiplicity.
+    pub fn asserted(&self) -> i64 {
+        self.counts.values().filter(|&&n| n > 0).sum()
+    }
+
+    /// Total retracted row multiplicity (as a positive number).
+    pub fn retracted(&self) -> i64 {
+        -self.counts.values().filter(|&&n| n < 0).sum::<i64>()
+    }
+
+    /// Accumulate another delta (later batches on top of earlier ones).
+    pub fn merge(&mut self, other: &RowDelta) {
+        for (key, net) in &other.counts {
+            let slot = self.counts.entry(key.clone()).or_insert(0);
+            *slot += net;
+            if *slot == 0 {
+                self.counts.remove(key);
+            }
+        }
+    }
+
+    fn add(&mut self, dims: Vec<TermId>, measure: TermId, net: i64) {
+        if net == 0 {
+            return;
+        }
+        let key = (dims, measure);
+        let slot = self.counts.entry(key.clone()).or_insert(0);
+        *slot += net;
+        if *slot == 0 {
+            self.counts.remove(&key);
+        }
+    }
+}
+
+/// Result of [`Maintainer::apply`].
+#[derive(Debug, Clone)]
+pub struct ApplyOutcome {
+    /// Net store-level changes (per graph).
+    pub changes: ChangeSet,
+    /// Net pattern-binding changes; `None` when the facet does not admit
+    /// incremental maintenance (non-star pattern) — views then need a
+    /// [`MaintenanceStrategy::FullRefresh`].
+    pub rows: Option<RowDelta>,
+}
+
+/// Propagates base-graph deltas into a facet's materialized view graphs.
+pub struct Maintainer {
+    facet: Facet,
+    star: Option<StarPattern>,
+    fresh: u64,
+}
+
+impl Maintainer {
+    /// Build a maintainer for one facet. Non-star facets are accepted but
+    /// degrade every maintenance pass to full refresh.
+    pub fn new(facet: &Facet) -> Maintainer {
+        Maintainer {
+            star: StarPattern::detect(facet),
+            facet: facet.clone(),
+            fresh: 0,
+        }
+    }
+
+    /// Does this facet admit the counting algorithm?
+    pub fn is_incremental(&self) -> bool {
+        self.star.is_some()
+    }
+
+    /// The maintained facet.
+    pub fn facet(&self) -> &Facet {
+        &self.facet
+    }
+
+    /// Apply a batch to the dataset, capturing the pattern-binding delta
+    /// (pre/post rows of the touched subjects) alongside the store-level
+    /// [`ChangeSet`]. Does **not** touch any view — pair with
+    /// [`Maintainer::maintain`], immediately (eager) or later (lazy).
+    pub fn apply(&mut self, dataset: &mut Dataset, delta: Delta) -> ApplyOutcome {
+        let Some(star) = &self.star else {
+            let changes = dataset.apply(delta);
+            return ApplyOutcome {
+                changes,
+                rows: None,
+            };
+        };
+        let affected = star.affected_subjects(dataset, &delta);
+        let leg_ids = star.leg_ids(dataset);
+
+        let mut pre: Vec<(Vec<TermId>, TermId, i64)> = Vec::new();
+        for &subject in &affected {
+            star.subject_rows(dataset.default_graph(), &leg_ids, subject, &mut pre);
+        }
+        let changes = dataset.apply(delta);
+        let mut rows = RowDelta::default();
+        if !changes.default_graph.is_empty() {
+            let mut post: Vec<(Vec<TermId>, TermId, i64)> = Vec::new();
+            for &subject in &affected {
+                star.subject_rows(dataset.default_graph(), &leg_ids, subject, &mut post);
+            }
+            for (dims, measure, mult) in post {
+                rows.add(dims, measure, mult);
+            }
+            for (dims, measure, mult) in pre {
+                rows.add(dims, measure, -mult);
+            }
+        }
+        ApplyOutcome {
+            changes,
+            rows: Some(rows),
+        }
+    }
+
+    /// Maintain every catalog view against a row delta, updating each
+    /// catalog entry's row count in place. `rows = None` forces full
+    /// refresh (non-star facets, or a caller that lost the delta).
+    pub fn maintain(
+        &mut self,
+        dataset: &mut Dataset,
+        rows: Option<&RowDelta>,
+        views: &mut [(ViewMask, usize)],
+    ) -> Result<MaintenanceReport, SparqlError> {
+        let start = Instant::now();
+        let mut report = MaintenanceReport::default();
+        for view in views.iter_mut() {
+            report
+                .per_view
+                .push(self.maintain_view(dataset, rows, view)?);
+        }
+        report.total_us = start.elapsed().as_micros() as u64;
+        Ok(report)
+    }
+
+    /// Eager convenience: apply the batch and maintain all views.
+    pub fn apply_and_maintain(
+        &mut self,
+        dataset: &mut Dataset,
+        delta: Delta,
+        views: &mut [(ViewMask, usize)],
+    ) -> Result<(ChangeSet, MaintenanceReport), SparqlError> {
+        let outcome = self.apply(dataset, delta);
+        let report = self.maintain(dataset, outcome.rows.as_ref(), views)?;
+        Ok((outcome.changes, report))
+    }
+
+    /// Maintain one view; updates the catalog entry's row count in place.
+    pub fn maintain_view(
+        &mut self,
+        dataset: &mut Dataset,
+        rows: Option<&RowDelta>,
+        view: &mut (ViewMask, usize),
+    ) -> Result<MaintenanceCost, SparqlError> {
+        let (mask, catalog_rows) = view;
+        let start = Instant::now();
+        let Some(rows) = rows else {
+            return self.full_refresh(dataset, *mask, catalog_rows, start);
+        };
+        if rows.is_empty() {
+            return Ok(MaintenanceCost::noop(*mask));
+        }
+        match self.counting_pass(dataset, rows, *mask, catalog_rows) {
+            Ok(Some(mut cost)) => {
+                cost.wall_us = start.elapsed().as_micros() as u64;
+                Ok(cost)
+            }
+            // Counting declined (non-numeric measure in the delta).
+            Ok(None) => self.full_refresh(dataset, *mask, catalog_rows, start),
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Drop and re-materialize one view.
+    fn full_refresh(
+        &mut self,
+        dataset: &mut Dataset,
+        mask: ViewMask,
+        catalog_rows: &mut usize,
+        start: Instant,
+    ) -> Result<MaintenanceCost, SparqlError> {
+        let old_len = view_graph_len(dataset, &self.facet, mask);
+        drop_view(dataset, &self.facet, mask);
+        let materialized = materialize_view(dataset, &self.facet, mask)?;
+        let new_rows = materialized.stats.rows;
+        let cost = MaintenanceCost {
+            view: mask,
+            strategy: MaintenanceStrategy::FullRefresh,
+            triples_touched: old_len + materialized.stats.triples,
+            groups_patched: 0,
+            groups_reevaluated: new_rows,
+            rows_inserted: new_rows,
+            rows_retracted: *catalog_rows,
+            wall_us: start.elapsed().as_micros() as u64,
+        };
+        *catalog_rows = new_rows;
+        Ok(cost)
+    }
+
+    /// The counting algorithm over one view. Returns `Ok(None)` when the
+    /// delta contains a non-numeric measure (caller falls back to refresh).
+    fn counting_pass(
+        &mut self,
+        dataset: &mut Dataset,
+        rows: &RowDelta,
+        mask: ViewMask,
+        catalog_rows: &mut usize,
+    ) -> Result<Option<MaintenanceCost>, SparqlError> {
+        let ids = ViewIds::prepare(dataset, &self.facet, mask);
+        if dataset.graph(Some(ids.graph)).is_none() {
+            // Catalog view that was never (or no longer is) materialized:
+            // refresh is the only correct move.
+            return Ok(None);
+        }
+
+        // 1. Group the delta rows by the view's dimension mask.
+        let mut groups: FxHashMap<Vec<TermId>, GroupDelta> = FxHashMap::default();
+        for ((dims, measure), &net) in &rows.counts {
+            let Some(measure_num) = dataset
+                .term(*measure)
+                .as_literal()
+                .and_then(|l| l.numeric())
+            else {
+                return Ok(None);
+            };
+            let key: Vec<TermId> = ids.mask_dims.iter().map(|&d| dims[d]).collect();
+            let group = groups.entry(key).or_default();
+            group.count += net;
+            group.sum = Numeric::add(group.sum, Numeric::mul(measure_num, Numeric::Integer(net)));
+            if net > 0 {
+                group.asserted.push(measure_num);
+            } else {
+                group.retracted = true;
+            }
+        }
+
+        // 2. Patch each touched group.
+        let mut cost = MaintenanceCost {
+            view: mask,
+            strategy: MaintenanceStrategy::Counting,
+            triples_touched: 0,
+            groups_patched: 0,
+            groups_reevaluated: 0,
+            rows_inserted: 0,
+            rows_retracted: 0,
+            wall_us: 0,
+        };
+        let mut keys: Vec<Vec<TermId>> = groups.keys().cloned().collect();
+        keys.sort_unstable(); // deterministic patch order
+        for key in keys {
+            let group = &groups[&key];
+            self.patch_group(dataset, &ids, &key, group, &mut cost)?;
+        }
+        *catalog_rows = (*catalog_rows + cost.rows_inserted).saturating_sub(cost.rows_retracted);
+        Ok(Some(cost))
+    }
+
+    /// Patch one group of one view.
+    fn patch_group(
+        &mut self,
+        dataset: &mut Dataset,
+        ids: &ViewIds,
+        key: &[TermId],
+        group: &GroupDelta,
+        cost: &mut MaintenanceCost,
+    ) -> Result<(), SparqlError> {
+        let obs = find_obs(dataset, ids, key);
+        let needs_reeval = match self.facet.agg.components() {
+            // SUM-only views cannot witness group emptiness (no stored
+            // count), and MIN/MAX are not invertible under deletes.
+            comps
+                if comps.contains(&MaterialComponent::Min)
+                    || comps.contains(&MaterialComponent::Max) =>
+            {
+                group.retracted
+            }
+            [MaterialComponent::Sum] => group.retracted,
+            _ => false,
+        };
+        // A retraction against a group the view does not have means the
+        // view and base have diverged; re-evaluation repairs it.
+        let inconsistent = obs.is_none() && group.retracted;
+
+        if needs_reeval || inconsistent {
+            cost.groups_reevaluated += 1;
+            return self.reevaluate_group(dataset, ids, key, obs, cost);
+        }
+
+        match obs {
+            None => {
+                // Brand-new group: all of its rows come from the delta.
+                if group.count <= 0 {
+                    return Ok(());
+                }
+                let components = self.components_from_delta(group);
+                self.create_obs(dataset, ids, key, &components, cost);
+                cost.groups_patched += 1;
+            }
+            Some(obs) => {
+                // Patch stored components arithmetically.
+                let mut writes = 0usize;
+                let mut retract = false;
+                for &component in self.facet.agg.components() {
+                    let pred = ids.component(component);
+                    let old = read_component(dataset, ids.graph, obs, pred);
+                    let old_num = old
+                        .and_then(|id| dataset.term(id).as_literal().and_then(|l| l.numeric()))
+                        .unwrap_or(Numeric::Integer(0));
+                    let new_num = match component {
+                        MaterialComponent::Sum => Numeric::add(old_num, group.sum),
+                        MaterialComponent::Count => {
+                            let n = match old_num {
+                                Numeric::Integer(n) => n,
+                                other => other.to_f64() as i64,
+                            } + group.count;
+                            if n <= 0 {
+                                retract = true;
+                                break;
+                            }
+                            Numeric::Integer(n)
+                        }
+                        MaterialComponent::Min => {
+                            best(old_num, &group.asserted, std::cmp::Ordering::Less)
+                        }
+                        MaterialComponent::Max => {
+                            best(old_num, &group.asserted, std::cmp::Ordering::Greater)
+                        }
+                    };
+                    writes += write_component(dataset, ids.graph, obs, pred, old, new_num);
+                }
+                if retract {
+                    cost.triples_touched += retract_obs(dataset, ids.graph, obs);
+                    cost.rows_retracted += 1;
+                } else {
+                    cost.triples_touched += writes;
+                }
+                cost.groups_patched += 1;
+            }
+        }
+        Ok(())
+    }
+
+    /// Components of a group that exists only in the delta.
+    fn components_from_delta(&self, group: &GroupDelta) -> Vec<(MaterialComponent, Term)> {
+        self.facet
+            .agg
+            .components()
+            .iter()
+            .map(|&component| {
+                let value = match component {
+                    MaterialComponent::Sum => group.sum,
+                    MaterialComponent::Count => Numeric::Integer(group.count),
+                    MaterialComponent::Min => extremum(&group.asserted, std::cmp::Ordering::Less),
+                    MaterialComponent::Max => {
+                        extremum(&group.asserted, std::cmp::Ordering::Greater)
+                    }
+                };
+                (component, Term::Literal(value.to_literal()))
+            })
+            .collect()
+    }
+
+    /// Recompute one group from the base graph via the SPARQL evaluator
+    /// (the view query with the group key pinned by FILTERs), then sync
+    /// the observation node to the result: patch, create, or retract.
+    fn reevaluate_group(
+        &mut self,
+        dataset: &mut Dataset,
+        ids: &ViewIds,
+        key: &[TermId],
+        obs: Option<TermId>,
+        cost: &mut MaintenanceCost,
+    ) -> Result<(), SparqlError> {
+        let mut query = view_query(&self.facet, ids.mask);
+        for (&dim, &value) in ids.mask_dims.iter().zip(key) {
+            query
+                .pattern
+                .elements
+                .push(PatternElement::Filter(Expr::Compare(
+                    CompareOp::Eq,
+                    Box::new(Expr::var(self.facet.dimensions[dim].var.clone())),
+                    Box::new(Expr::Const(dataset.term(value).clone())),
+                )));
+        }
+        let results = Evaluator::new(dataset).evaluate(&query)?;
+
+        if results.is_empty() {
+            if let Some(obs) = obs {
+                cost.triples_touched += retract_obs(dataset, ids.graph, obs);
+                cost.rows_retracted += 1;
+            }
+            return Ok(());
+        }
+        let components: Vec<(MaterialComponent, Term)> = self
+            .facet
+            .agg
+            .components()
+            .iter()
+            .map(|&component| {
+                let column = results
+                    .column(component_alias(component))
+                    .expect("view query projects its component aliases");
+                let value = results.rows[0][column]
+                    .clone()
+                    .expect("aggregate components are always bound");
+                (component, value)
+            })
+            .collect();
+        match obs {
+            Some(obs) => {
+                for (component, value) in &components {
+                    let pred = ids.component(*component);
+                    let old = read_component(dataset, ids.graph, obs, pred);
+                    cost.triples_touched +=
+                        write_component_term(dataset, ids.graph, obs, pred, old, value);
+                }
+            }
+            None => self.create_obs(dataset, ids, key, &components, cost),
+        }
+        Ok(())
+    }
+
+    /// Insert a fresh observation node for a new group.
+    fn create_obs(
+        &mut self,
+        dataset: &mut Dataset,
+        ids: &ViewIds,
+        key: &[TermId],
+        components: &[(MaterialComponent, Term)],
+        cost: &mut MaintenanceCost,
+    ) {
+        // `m`-prefixed labels cannot collide with the materializer's
+        // row-indexed ones; the loop guards against label reuse across
+        // maintainer instances on the same graph.
+        let obs = loop {
+            let label = format!("v{}_{}_m{}", self.facet.id, ids.mask.0, self.fresh);
+            self.fresh += 1;
+            let term = Term::blank(label);
+            match dataset.dict().get_id(&term) {
+                Some(id)
+                    if dataset.graph(Some(ids.graph)).is_some_and(|g| {
+                        g.scan(IdPattern::new(Some(id), None, None))
+                            .next()
+                            .is_some()
+                    }) =>
+                {
+                    continue;
+                }
+                _ => break term,
+            }
+        };
+        let graph = Some(ids.graph);
+        let type_term = dataset.term(ids.type_pred).clone();
+        let observation = dataset.term(ids.observation).clone();
+        dataset.insert(graph, &obs, &type_term, &observation);
+        cost.triples_touched += 1;
+        for (&dim, &value) in ids.mask_dims.iter().zip(key) {
+            let pred = Term::iri(sofos::dim(dim));
+            let value = dataset.term(value).clone();
+            dataset.insert(graph, &obs, &pred, &value);
+            cost.triples_touched += 1;
+        }
+        for (component, value) in components {
+            let pred = dataset.term(ids.component(*component)).clone();
+            dataset.insert(graph, &obs, &pred, value);
+            cost.triples_touched += 1;
+        }
+        cost.rows_inserted += 1;
+    }
+}
+
+/// Per-group accumulated delta.
+#[derive(Debug, Clone)]
+struct GroupDelta {
+    /// Net row multiplicity.
+    count: i64,
+    /// Net measure sum (assertions minus retractions).
+    sum: Numeric,
+    /// Measures of asserted rows (for MIN/MAX patching).
+    asserted: Vec<Numeric>,
+    /// Did any retraction hit this group?
+    retracted: bool,
+}
+
+impl Default for GroupDelta {
+    fn default() -> GroupDelta {
+        GroupDelta {
+            count: 0,
+            sum: Numeric::Integer(0),
+            asserted: Vec::new(),
+            retracted: false,
+        }
+    }
+}
+
+/// Interned ids a maintenance pass needs for one view.
+struct ViewIds {
+    mask: ViewMask,
+    graph: TermId,
+    type_pred: TermId,
+    observation: TermId,
+    /// Facet dimension indices retained by the mask (ascending).
+    mask_dims: Vec<usize>,
+    sum: TermId,
+    count: TermId,
+    min: TermId,
+    max: TermId,
+}
+
+impl ViewIds {
+    fn prepare(dataset: &mut Dataset, facet: &Facet, mask: ViewMask) -> ViewIds {
+        ViewIds {
+            mask,
+            graph: dataset.intern_iri(&sofos::view_graph(&facet.id, mask.0)),
+            type_pred: dataset.intern_iri(rdf::TYPE),
+            observation: dataset.intern_iri(sofos::OBSERVATION),
+            mask_dims: mask
+                .dims()
+                .into_iter()
+                .filter(|&d| d < facet.dim_count())
+                .collect(),
+            sum: dataset.intern_iri(sofos::SUM),
+            count: dataset.intern_iri(sofos::COUNT),
+            min: dataset.intern_iri(sofos::MIN),
+            max: dataset.intern_iri(sofos::MAX),
+        }
+    }
+
+    fn component(&self, component: MaterialComponent) -> TermId {
+        match component {
+            MaterialComponent::Sum => self.sum,
+            MaterialComponent::Count => self.count,
+            MaterialComponent::Min => self.min,
+            MaterialComponent::Max => self.max,
+        }
+    }
+
+    fn dim_pred(&self, dataset: &mut Dataset, dim: usize) -> TermId {
+        dataset.intern_iri(&sofos::dim(dim))
+    }
+}
+
+/// Find the observation node of a group in the view graph.
+fn find_obs(dataset: &mut Dataset, ids: &ViewIds, key: &[TermId]) -> Option<TermId> {
+    let dim_preds: Vec<TermId> = ids
+        .mask_dims
+        .iter()
+        .map(|&d| ids.dim_pred(dataset, d))
+        .collect();
+    let store = dataset.graph(Some(ids.graph))?;
+    if ids.mask_dims.is_empty() {
+        // Apex: the (single) observation node.
+        return store
+            .scan(IdPattern::new(
+                None,
+                Some(ids.type_pred),
+                Some(ids.observation),
+            ))
+            .map(|[s, _, _]| s)
+            .min();
+    }
+    let mut candidates: Option<Vec<TermId>> = None;
+    for (&pred, &value) in dim_preds.iter().zip(key) {
+        let mut subjects: Vec<TermId> = store
+            .scan(IdPattern::new(None, Some(pred), Some(value)))
+            .map(|[s, _, _]| s)
+            .collect();
+        subjects.sort_unstable();
+        subjects.dedup();
+        candidates = Some(match candidates {
+            None => subjects,
+            Some(previous) => previous
+                .into_iter()
+                .filter(|s| subjects.binary_search(s).is_ok())
+                .collect(),
+        });
+        if candidates.as_ref().is_some_and(Vec::is_empty) {
+            return None;
+        }
+    }
+    candidates.and_then(|c| c.into_iter().min())
+}
+
+/// Read a component value of an observation.
+fn read_component(dataset: &Dataset, graph: TermId, obs: TermId, pred: TermId) -> Option<TermId> {
+    dataset
+        .graph(Some(graph))?
+        .scan(IdPattern::new(Some(obs), Some(pred), None))
+        .map(|[_, _, o]| o)
+        .next()
+}
+
+/// Write a numeric component; returns triples touched (0 when unchanged).
+fn write_component(
+    dataset: &mut Dataset,
+    graph: TermId,
+    obs: TermId,
+    pred: TermId,
+    old: Option<TermId>,
+    new: Numeric,
+) -> usize {
+    write_component_term(
+        dataset,
+        graph,
+        obs,
+        pred,
+        old,
+        &Term::Literal(new.to_literal()),
+    )
+}
+
+/// Write a component term; returns triples touched (0 when unchanged).
+fn write_component_term(
+    dataset: &mut Dataset,
+    graph: TermId,
+    obs: TermId,
+    pred: TermId,
+    old: Option<TermId>,
+    new: &Term,
+) -> usize {
+    if let Some(old) = old {
+        if dataset.term(old) == new {
+            return 0;
+        }
+        dataset.remove_encoded(Some(graph), &[obs, pred, old]);
+        let new_id = dataset.intern(new);
+        dataset.insert_encoded(Some(graph), [obs, pred, new_id]);
+        2
+    } else {
+        let new_id = dataset.intern(new);
+        dataset.insert_encoded(Some(graph), [obs, pred, new_id]);
+        1
+    }
+}
+
+/// Remove every triple of an observation node; returns triples removed.
+fn retract_obs(dataset: &mut Dataset, graph: TermId, obs: TermId) -> usize {
+    let Some(store) = dataset.graph(Some(graph)) else {
+        return 0;
+    };
+    let triples: Vec<[TermId; 3]> = store.scan(IdPattern::new(Some(obs), None, None)).collect();
+    for triple in &triples {
+        dataset.remove_encoded(Some(graph), triple);
+    }
+    triples.len()
+}
+
+/// The stored extremum updated with asserted measures.
+fn best(stored: Numeric, asserted: &[Numeric], keep: std::cmp::Ordering) -> Numeric {
+    let mut current = stored;
+    for &candidate in asserted {
+        if Numeric::compare(candidate, current) == Some(keep) {
+            current = candidate;
+        }
+    }
+    current
+}
+
+/// Extremum over asserted measures (for brand-new groups; non-empty by
+/// construction: new groups have `count > 0`).
+fn extremum(asserted: &[Numeric], keep: std::cmp::Ordering) -> Numeric {
+    let mut iter = asserted.iter().copied();
+    let mut current = iter.next().expect("new groups carry asserted rows");
+    for candidate in iter {
+        if Numeric::compare(candidate, current) == Some(keep) {
+            current = candidate;
+        }
+    }
+    current
+}
+
+/// Current triple count of a view's graph (0 when absent).
+fn view_graph_len(dataset: &Dataset, facet: &Facet, mask: ViewMask) -> usize {
+    let iri = Term::iri(sofos::view_graph(&facet.id, mask.0));
+    match dataset.dict().get_id(&iri) {
+        Some(id) => dataset.graph(Some(id)).map_or(0, |g| g.len()),
+        None => 0,
+    }
+}

@@ -1,0 +1,541 @@
+//! Maintenance fidelity: incrementally maintained view graphs must be
+//! triple-for-triple equal (up to blank-node labels) to views
+//! re-materialized from scratch — across aggregates, edge cases, and
+//! random update batches.
+
+use proptest::prelude::*;
+use sofos_cube::{AggOp, Dimension, Facet, ViewMask};
+use sofos_maintain::{Maintainer, MaintenanceStrategy};
+use sofos_materialize::materialize_view;
+use sofos_rdf::vocab::sofos;
+use sofos_rdf::Term;
+use sofos_sparql::{GroupPattern, PatternTerm, TriplePattern};
+use sofos_store::{Dataset, Delta};
+use std::collections::BTreeMap;
+
+const NS: &str = "http://maintain.example/";
+
+fn iri(local: impl std::fmt::Display) -> Term {
+    Term::iri(format!("{NS}{local}"))
+}
+
+fn facet(dims: usize, agg: AggOp) -> Facet {
+    let mut patterns = Vec::new();
+    let mut dimensions = Vec::new();
+    for d in 0..dims {
+        patterns.push(TriplePattern::new(
+            PatternTerm::var("o"),
+            PatternTerm::iri(format!("{NS}dim{d}")),
+            PatternTerm::var(format!("d{d}")),
+        ));
+        dimensions.push(Dimension::new(format!("d{d}")));
+    }
+    patterns.push(TriplePattern::new(
+        PatternTerm::var("o"),
+        PatternTerm::iri(format!("{NS}measure")),
+        PatternTerm::var("m"),
+    ));
+    Facet::new("mf", dimensions, GroupPattern::triples(patterns), "m", agg).unwrap()
+}
+
+/// Insert one observation: one value per dimension plus a measure.
+fn obs_delta(delta: &mut Delta, label: &str, dims: &[u8], measure: i64) {
+    let node = Term::blank(label.to_string());
+    for (d, v) in dims.iter().enumerate() {
+        delta.insert(
+            node.clone(),
+            iri(format!("dim{d}")),
+            iri(format!("v{d}_{v}")),
+        );
+    }
+    delta.insert(node, iri("measure"), Term::literal_int(measure));
+}
+
+fn obs_delete(delta: &mut Delta, label: &str, dims: &[u8], measure: i64) {
+    let node = Term::blank(label.to_string());
+    for (d, v) in dims.iter().enumerate() {
+        delta.delete(
+            node.clone(),
+            iri(format!("dim{d}")),
+            iri(format!("v{d}_{v}")),
+        );
+    }
+    delta.delete(node, iri("measure"), Term::literal_int(measure));
+}
+
+/// The view graph as a canonical multiset of observation-row signatures:
+/// blank labels differ between maintenance and re-materialization, but the
+/// (predicate, object) sets per observation must match exactly.
+fn view_signature(ds: &Dataset, facet: &Facet, mask: ViewMask) -> Vec<Vec<(String, String)>> {
+    let iri = Term::iri(sofos::view_graph(&facet.id, mask.0));
+    let Some(id) = ds.dict().get_id(&iri) else {
+        return Vec::new();
+    };
+    let Some(graph) = ds.graph(Some(id)) else {
+        return Vec::new();
+    };
+    let mut per_subject: BTreeMap<u32, Vec<(String, String)>> = BTreeMap::new();
+    for [s, p, o] in graph.iter() {
+        per_subject
+            .entry(s.0)
+            .or_default()
+            .push((format!("{:?}", ds.term(p)), format!("{:?}", ds.term(o))));
+    }
+    let mut rows: Vec<Vec<(String, String)>> = per_subject
+        .into_values()
+        .map(|mut row| {
+            row.sort();
+            row
+        })
+        .collect();
+    rows.sort();
+    rows
+}
+
+/// Re-materialize the same views over a fresh dataset holding the same
+/// base triples, and return the reference signatures.
+fn reference_signatures(
+    ds: &Dataset,
+    facet: &Facet,
+    masks: &[ViewMask],
+) -> Vec<Vec<Vec<(String, String)>>> {
+    let mut fresh = Dataset::new();
+    for [s, p, o] in ds.default_graph().iter() {
+        fresh.insert(None, ds.term(s), ds.term(p), ds.term(o));
+    }
+    masks
+        .iter()
+        .map(|&mask| {
+            materialize_view(&mut fresh, facet, mask).expect("reference materialization");
+            view_signature(&fresh, facet, mask)
+        })
+        .collect()
+}
+
+fn assert_views_match(ds: &Dataset, facet: &Facet, masks: &[ViewMask], context: &str) {
+    let reference = reference_signatures(ds, facet, masks);
+    for (&mask, expected) in masks.iter().zip(&reference) {
+        let actual = view_signature(ds, facet, mask);
+        assert_eq!(
+            &actual, expected,
+            "{context}: view {mask} diverged from re-materialization"
+        );
+    }
+}
+
+/// Seed dataset + materialized views + maintainer for one aggregate.
+fn setup(agg: AggOp, masks: &[ViewMask]) -> (Dataset, Facet, Maintainer, Vec<(ViewMask, usize)>) {
+    let facet = facet(2, agg);
+    let mut ds = Dataset::new();
+    let mut seed = Delta::new();
+    obs_delta(&mut seed, "o0", &[0, 0], 10);
+    obs_delta(&mut seed, "o1", &[0, 1], 5);
+    obs_delta(&mut seed, "o2", &[1, 0], 7);
+    obs_delta(&mut seed, "o3", &[0, 0], 1);
+    ds.apply(seed);
+    let mut catalog = Vec::new();
+    for &mask in masks {
+        let v = materialize_view(&mut ds, &facet, mask).unwrap();
+        catalog.push((mask, v.stats.rows));
+    }
+    let maintainer = Maintainer::new(&facet);
+    assert!(maintainer.is_incremental());
+    (ds, facet, maintainer, catalog)
+}
+
+const ALL_MASKS: [ViewMask; 4] = [
+    ViewMask(0b11),
+    ViewMask(0b01),
+    ViewMask(0b10),
+    ViewMask::APEX,
+];
+
+#[test]
+fn delete_of_last_row_retracts_observation() {
+    for agg in AggOp::ALL {
+        let (mut ds, facet, mut maintainer, mut catalog) = setup(agg, &ALL_MASKS);
+        let before = view_signature(&ds, &facet, ViewMask(0b11)).len();
+        // Group (d0=1, d1=0) has exactly one row: observation o2.
+        let mut delta = Delta::new();
+        obs_delete(&mut delta, "o2", &[1, 0], 7);
+        let (_, report) = maintainer
+            .apply_and_maintain(&mut ds, delta, &mut catalog)
+            .unwrap();
+        assert_views_match(&ds, &facet, &ALL_MASKS, &format!("{agg} last-row delete"));
+        let after = view_signature(&ds, &facet, ViewMask(0b11)).len();
+        assert_eq!(
+            after,
+            before - 1,
+            "{agg}: the group's observation is retracted"
+        );
+        assert!(
+            report.per_view.iter().any(|c| c.rows_retracted > 0),
+            "{agg}: a retraction is reported"
+        );
+        assert_eq!(catalog[0].1, after, "catalog row count tracks the view");
+    }
+}
+
+#[test]
+fn min_max_delete_triggers_per_group_reevaluation() {
+    for agg in [AggOp::Min, AggOp::Max] {
+        let (mut ds, facet, mut maintainer, mut catalog) = setup(agg, &ALL_MASKS);
+        // Group (0,0) = {10, 1}: delete one contributor; the other remains.
+        let mut delta = Delta::new();
+        obs_delete(&mut delta, "o3", &[0, 0], 1);
+        let (_, report) = maintainer
+            .apply_and_maintain(&mut ds, delta, &mut catalog)
+            .unwrap();
+        assert_views_match(&ds, &facet, &ALL_MASKS, &format!("{agg} delete"));
+        let base_view_cost = &report.per_view[0];
+        assert_eq!(base_view_cost.strategy, MaintenanceStrategy::Counting);
+        assert!(
+            base_view_cost.groups_reevaluated >= 1,
+            "{agg}: deletes force per-group re-evaluation, got {base_view_cost:?}"
+        );
+    }
+}
+
+#[test]
+fn min_max_pure_inserts_patch_without_reevaluation() {
+    for agg in [AggOp::Min, AggOp::Max] {
+        let (mut ds, facet, mut maintainer, mut catalog) = setup(agg, &ALL_MASKS);
+        let mut delta = Delta::new();
+        obs_delta(
+            &mut delta,
+            "n0",
+            &[0, 0],
+            if agg == AggOp::Min { -3 } else { 99 },
+        );
+        let (_, report) = maintainer
+            .apply_and_maintain(&mut ds, delta, &mut catalog)
+            .unwrap();
+        assert_views_match(&ds, &facet, &ALL_MASKS, &format!("{agg} insert"));
+        for cost in &report.per_view {
+            assert_eq!(
+                cost.groups_reevaluated, 0,
+                "{agg}: pure inserts patch in place"
+            );
+            assert_eq!(cost.strategy, MaintenanceStrategy::Counting);
+        }
+    }
+}
+
+#[test]
+fn avg_patches_sum_and_count_components() {
+    let (mut ds, facet, mut maintainer, mut catalog) = setup(AggOp::Avg, &ALL_MASKS);
+    let mut delta = Delta::new();
+    obs_delta(&mut delta, "n0", &[0, 0], 4); // group (0,0): sum 11→15, count 2→3
+    let (_, report) = maintainer
+        .apply_and_maintain(&mut ds, delta, &mut catalog)
+        .unwrap();
+    assert_views_match(&ds, &facet, &ALL_MASKS, "avg insert");
+    let base = &report.per_view[0];
+    assert_eq!(base.strategy, MaintenanceStrategy::Counting);
+    assert_eq!(
+        base.groups_reevaluated, 0,
+        "AVG is patched via SUM+COUNT, not re-evaluated"
+    );
+    // Both components of the (0,0) group changed: 2 triples each.
+    assert_eq!(base.triples_touched, 4);
+
+    // Deletes also patch arithmetically (stored COUNT witnesses emptiness).
+    let mut delta = Delta::new();
+    obs_delete(&mut delta, "n0", &[0, 0], 4);
+    let (_, report) = maintainer
+        .apply_and_maintain(&mut ds, delta, &mut catalog)
+        .unwrap();
+    assert_views_match(&ds, &facet, &ALL_MASKS, "avg delete");
+    assert_eq!(report.per_view[0].groups_reevaluated, 0);
+}
+
+#[test]
+fn off_mask_dimension_update_is_a_noop_for_that_view() {
+    let (mut ds, facet, mut maintainer, mut catalog) = setup(AggOp::Sum, &ALL_MASKS);
+    // Move o1 from d1=1 to d1=2 — dimension 1 only.
+    let node = Term::blank("o1");
+    let mut delta = Delta::new();
+    delta.delete(node.clone(), iri("dim1"), iri("v1_1"));
+    delta.insert(node, iri("dim1"), iri("v1_2"));
+    let (_, report) = maintainer
+        .apply_and_maintain(&mut ds, delta, &mut catalog)
+        .unwrap();
+    assert_views_match(&ds, &facet, &ALL_MASKS, "off-mask dim move");
+
+    let by_view = |mask: ViewMask| {
+        report
+            .per_view
+            .iter()
+            .find(|c| c.view == mask)
+            .unwrap_or_else(|| panic!("cost for {mask}"))
+    };
+    // Views retaining dimension 1 change...
+    assert!(by_view(ViewMask(0b11)).triples_touched > 0);
+    assert!(by_view(ViewMask(0b10)).triples_touched > 0);
+    // ...views that project it away see an exact cancellation.
+    assert_eq!(
+        by_view(ViewMask(0b01)).triples_touched,
+        0,
+        "d0-only view untouched"
+    );
+    assert_eq!(by_view(ViewMask::APEX).triples_touched, 0, "apex untouched");
+}
+
+#[test]
+fn new_group_creates_observation_node() {
+    for agg in AggOp::ALL {
+        let (mut ds, facet, mut maintainer, mut catalog) = setup(agg, &ALL_MASKS);
+        let before = view_signature(&ds, &facet, ViewMask(0b11)).len();
+        let mut delta = Delta::new();
+        obs_delta(&mut delta, "n0", &[3, 3], 42); // unseen dimension values
+        let (_, report) = maintainer
+            .apply_and_maintain(&mut ds, delta, &mut catalog)
+            .unwrap();
+        assert_views_match(&ds, &facet, &ALL_MASKS, &format!("{agg} new group"));
+        assert_eq!(
+            view_signature(&ds, &facet, ViewMask(0b11)).len(),
+            before + 1
+        );
+        assert!(report.per_view.iter().any(|c| c.rows_inserted > 0));
+    }
+}
+
+#[test]
+fn non_star_facets_fall_back_to_full_refresh() {
+    // A two-hop (chain) pattern: ?o dim0 ?d0 . ?d0 weight ?m — not a star.
+    let pattern = GroupPattern::triples(vec![
+        TriplePattern::new(
+            PatternTerm::var("o"),
+            PatternTerm::iri(format!("{NS}dim0")),
+            PatternTerm::var("d0"),
+        ),
+        TriplePattern::new(
+            PatternTerm::var("d0"),
+            PatternTerm::iri(format!("{NS}weight")),
+            PatternTerm::var("m"),
+        ),
+    ]);
+    let facet = Facet::new(
+        "chain",
+        vec![Dimension::new("d0")],
+        pattern,
+        "m",
+        AggOp::Sum,
+    )
+    .unwrap();
+    let mut ds = Dataset::new();
+    ds.insert(None, &Term::blank("o0"), &iri("dim0"), &iri("a"));
+    ds.insert(None, &iri("a"), &iri("weight"), &Term::literal_int(3));
+    let mask = ViewMask(0b1);
+    let v = materialize_view(&mut ds, &facet, mask).unwrap();
+    let mut catalog = vec![(mask, v.stats.rows)];
+
+    let mut maintainer = Maintainer::new(&facet);
+    assert!(!maintainer.is_incremental());
+    let mut delta = Delta::new();
+    delta.insert(Term::blank("o1"), iri("dim0"), iri("b"));
+    delta.insert(iri("b"), iri("weight"), Term::literal_int(9));
+    let (_, report) = maintainer
+        .apply_and_maintain(&mut ds, delta, &mut catalog)
+        .unwrap();
+    assert_eq!(
+        report.per_view[0].strategy,
+        MaintenanceStrategy::FullRefresh
+    );
+    assert_views_match(&ds, &facet, &[mask], "non-star refresh");
+    assert_eq!(catalog[0].1, 2, "catalog rows refreshed");
+}
+
+#[test]
+fn multi_valued_dimensions_keep_multiplicities_straight() {
+    // An observation with two values for dim0 contributes two rows.
+    let (mut ds, facet, mut maintainer, mut catalog) = setup(AggOp::Count, &ALL_MASKS);
+    let node = Term::blank("o0");
+    let mut delta = Delta::new();
+    delta.insert(node.clone(), iri("dim0"), iri("v0_9"));
+    let (_, _) = maintainer
+        .apply_and_maintain(&mut ds, delta, &mut catalog)
+        .unwrap();
+    assert_views_match(&ds, &facet, &ALL_MASKS, "dim value added");
+
+    // Removing it again restores the original views.
+    let mut delta = Delta::new();
+    delta.delete(node, iri("dim0"), iri("v0_9"));
+    let (_, _) = maintainer
+        .apply_and_maintain(&mut ds, delta, &mut catalog)
+        .unwrap();
+    assert_views_match(&ds, &facet, &ALL_MASKS, "dim value removed");
+}
+
+/// One randomized update operation.
+#[derive(Debug, Clone)]
+enum Op {
+    InsertObs { dims: Vec<u8>, measure: i64 },
+    DeleteObs { index: usize },
+    MoveDim { index: usize, dim: usize, value: u8 },
+    SetMeasure { index: usize, measure: i64 },
+    DropDimTriple { index: usize, dim: usize },
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (proptest::collection::vec(0u8..4, 3), -20i64..20)
+            .prop_map(|(dims, measure)| Op::InsertObs { dims, measure }),
+        (0usize..64).prop_map(|index| Op::DeleteObs { index }),
+        (0usize..64, 0usize..3, 0u8..4).prop_map(|(index, dim, value)| Op::MoveDim {
+            index,
+            dim,
+            value
+        }),
+        (0usize..64, -20i64..20).prop_map(|(index, measure)| Op::SetMeasure { index, measure }),
+        (0usize..64, 0usize..3).prop_map(|(index, dim)| Op::DropDimTriple { index, dim }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 20, ..ProptestConfig::default() })]
+
+    /// The acceptance property: for random update batches, incrementally
+    /// maintained view graphs equal views re-materialized from scratch —
+    /// for all five aggregation operators.
+    #[test]
+    fn maintenance_equals_rematerialization(
+        seed_obs in proptest::collection::vec(
+            (proptest::collection::vec(0u8..4, 3), -20i64..20), 0..12),
+        batches in proptest::collection::vec(
+            proptest::collection::vec(arb_op(), 1..6), 1..4),
+        agg_idx in 0usize..5,
+    ) {
+        let agg = AggOp::ALL[agg_idx];
+        let facet = facet(3, agg);
+        let masks = [
+            ViewMask(0b111),
+            ViewMask(0b101),
+            ViewMask(0b010),
+            ViewMask::APEX,
+        ];
+
+        // Live observation bookkeeping mirrors what the updates do so
+        // deletes/moves can reference real triples: dimension values,
+        // measure, and which dimension triples are still present.
+        type LiveObs = (Vec<u8>, i64, Vec<bool>);
+        let mut live: Vec<Option<LiveObs>> = Vec::new();
+        let mut ds = Dataset::new();
+        let mut seed = Delta::new();
+        for (dims, measure) in seed_obs {
+            let label = format!("s{}", live.len());
+            obs_delta(&mut seed, &label, &dims, measure);
+            live.push(Some((dims.clone(), measure, vec![true; 3])));
+        }
+        ds.apply(seed);
+
+        let mut catalog = Vec::new();
+        for &mask in &masks {
+            let v = materialize_view(&mut ds, &facet, mask).unwrap();
+            catalog.push((mask, v.stats.rows));
+        }
+        let mut maintainer = Maintainer::new(&facet);
+
+        for ops in batches {
+            let mut delta = Delta::new();
+            for op in ops {
+                match op {
+                    Op::InsertObs { dims, measure } => {
+                        let label = format!("s{}", live.len());
+                        obs_delta(&mut delta, &label, &dims, measure);
+                        live.push(Some((dims, measure, vec![true; 3])));
+                    }
+                    Op::DeleteObs { index } => {
+                        let slot = index.checked_rem(live.len()).unwrap_or(0);
+                        if let Some(Some((dims, measure, present))) = live.get(slot).cloned() {
+                            let node = Term::blank(format!("s{slot}"));
+                            for (d, v) in dims.iter().enumerate() {
+                                if present[d] {
+                                    delta.delete(
+                                        node.clone(),
+                                        iri(format!("dim{d}")),
+                                        iri(format!("v{d}_{v}")),
+                                    );
+                                }
+                            }
+                            delta.delete(node, iri("measure"), Term::literal_int(measure));
+                            live[slot] = None;
+                        }
+                    }
+                    Op::MoveDim { index, dim, value } => {
+                        let slot = index.checked_rem(live.len()).unwrap_or(0);
+                        if let Some(Some((dims, _, present))) = live.get(slot).cloned() {
+                            let node = Term::blank(format!("s{slot}"));
+                            if present[dim] {
+                                delta.delete(
+                                    node.clone(),
+                                    iri(format!("dim{dim}")),
+                                    iri(format!("v{dim}_{}", dims[dim])),
+                                );
+                            }
+                            delta.insert(
+                                node,
+                                iri(format!("dim{dim}")),
+                                iri(format!("v{dim}_{value}")),
+                            );
+                            if let Some(Some(obs)) = live.get_mut(slot) {
+                                obs.0[dim] = value;
+                                obs.2[dim] = true;
+                            }
+                        }
+                    }
+                    Op::SetMeasure { index, measure } => {
+                        let slot = index.checked_rem(live.len()).unwrap_or(0);
+                        if let Some(Some((_, old, _))) = live.get(slot).cloned() {
+                            let node = Term::blank(format!("s{slot}"));
+                            delta.delete(node.clone(), iri("measure"), Term::literal_int(old));
+                            delta.insert(node, iri("measure"), Term::literal_int(measure));
+                            if let Some(Some(obs)) = live.get_mut(slot) {
+                                obs.1 = measure;
+                            }
+                        }
+                    }
+                    Op::DropDimTriple { index, dim } => {
+                        let slot = index.checked_rem(live.len()).unwrap_or(0);
+                        if let Some(Some((dims, _, present))) = live.get(slot).cloned() {
+                            if present[dim] {
+                                let node = Term::blank(format!("s{slot}"));
+                                delta.delete(
+                                    node,
+                                    iri(format!("dim{dim}")),
+                                    iri(format!("v{dim}_{}", dims[dim])),
+                                );
+                                if let Some(Some(obs)) = live.get_mut(slot) {
+                                    obs.2[dim] = false;
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            if delta.is_empty() {
+                continue;
+            }
+            maintainer
+                .apply_and_maintain(&mut ds, delta, &mut catalog)
+                .expect("maintenance succeeds");
+            // Fidelity after *every* batch, not only at the end.
+            let reference = reference_signatures(&ds, &facet, &masks);
+            for (&mask, expected) in masks.iter().zip(&reference) {
+                let actual = view_signature(&ds, &facet, mask);
+                prop_assert_eq!(
+                    &actual, expected,
+                    "agg {} view {} diverged", agg, mask
+                );
+            }
+            // Catalog row counts stay exact.
+            for &(mask, rows) in &catalog {
+                prop_assert_eq!(
+                    rows,
+                    view_signature(&ds, &facet, mask).len(),
+                    "agg {} view {} row count drifted", agg, mask
+                );
+            }
+        }
+    }
+}

@@ -123,14 +123,22 @@ pub fn encode_view(facet: &Facet, mask: ViewMask, results: &QueryResults) -> Enc
             if let Some(value) = &row[*column] {
                 bytes += value.estimated_bytes();
                 nodes.insert(value.clone());
-                graph.insert(Triple::new_unchecked(obs.clone(), pred.clone(), value.clone()));
+                graph.insert(Triple::new_unchecked(
+                    obs.clone(),
+                    pred.clone(),
+                    value.clone(),
+                ));
             }
         }
         for (column, pred) in &component_columns {
             if let Some(value) = &row[*column] {
                 bytes += value.estimated_bytes();
                 nodes.insert(value.clone());
-                graph.insert(Triple::new_unchecked(obs.clone(), pred.clone(), value.clone()));
+                graph.insert(Triple::new_unchecked(
+                    obs.clone(),
+                    pred.clone(),
+                    value.clone(),
+                ));
             }
         }
     }
@@ -158,7 +166,10 @@ pub fn materialize_view(
     let name = dataset.intern_iri(&graph_iri);
     dataset.create_graph(name);
     dataset.load(Some(name), &encoded.graph);
-    Ok(MaterializedView { stats: encoded.stats, graph_iri })
+    Ok(MaterializedView {
+        stats: encoded.stats,
+        graph_iri,
+    })
 }
 
 /// Materialize a set of views, returning stats in input order.
@@ -167,7 +178,10 @@ pub fn materialize_views(
     facet: &Facet,
     masks: &[ViewMask],
 ) -> Result<Vec<MaterializedView>, SparqlError> {
-    masks.iter().map(|&m| materialize_view(dataset, facet, m)).collect()
+    masks
+        .iter()
+        .map(|&m| materialize_view(dataset, facet, m))
+        .collect()
 }
 
 /// Drop a materialized view's graph; returns `true` if it existed.
@@ -352,7 +366,9 @@ mod tests {
         materialize_view(&mut ds, &facet, mask).unwrap();
         assert!(drop_view(&mut ds, &facet, mask));
         assert!(!drop_view(&mut ds, &facet, mask), "second drop is a no-op");
-        let name = ds.dict().get_id(&Term::iri(sofos::view_graph("pop", mask.0)));
+        let name = ds
+            .dict()
+            .get_id(&Term::iri(sofos::view_graph("pop", mask.0)));
         assert!(name.is_none() || ds.graph(name).is_none());
     }
 
@@ -390,7 +406,10 @@ mod tests {
     #[test]
     fn final_components_table() {
         assert_eq!(final_agg_components(AggOp::Sum).0, sofos_cube::SUM_ALIAS);
-        assert_eq!(final_agg_components(AggOp::Avg).1, Some(sofos_cube::COUNT_ALIAS));
+        assert_eq!(
+            final_agg_components(AggOp::Avg).1,
+            Some(sofos_cube::COUNT_ALIAS)
+        );
         assert_eq!(final_agg_components(AggOp::Min).1, None);
     }
 }

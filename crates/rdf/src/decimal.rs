@@ -41,9 +41,15 @@ fn pow10(exp: u32) -> Option<i128> {
 
 impl Decimal {
     /// Zero.
-    pub const ZERO: Decimal = Decimal { unscaled: 0, scale: 0 };
+    pub const ZERO: Decimal = Decimal {
+        unscaled: 0,
+        scale: 0,
+    };
     /// One.
-    pub const ONE: Decimal = Decimal { unscaled: 1, scale: 0 };
+    pub const ONE: Decimal = Decimal {
+        unscaled: 1,
+        scale: 0,
+    };
 
     /// Build from raw parts, normalizing. Returns `None` when `scale`
     /// exceeds the supported range.
@@ -125,8 +131,7 @@ impl Decimal {
         // self / other = (a * 10^DIV_SCALE / b) * 10^-(DIV_SCALE + sa - sb)
         let shifted = self.unscaled.checked_mul(pow10(DIV_SCALE)?)?;
         let quotient = shifted / other.unscaled;
-        let scale_signed =
-            DIV_SCALE as i64 + self.scale as i64 - other.scale as i64;
+        let scale_signed = DIV_SCALE as i64 + self.scale as i64 - other.scale as i64;
         if scale_signed < 0 {
             let factor = pow10((-scale_signed) as u32)?;
             Decimal::from_parts(quotient.checked_mul(factor)?, 0)
@@ -137,12 +142,18 @@ impl Decimal {
 
     /// Negation (cannot overflow except at `i128::MIN`).
     pub fn checked_neg(&self) -> Option<Decimal> {
-        Some(Decimal { unscaled: self.unscaled.checked_neg()?, scale: self.scale })
+        Some(Decimal {
+            unscaled: self.unscaled.checked_neg()?,
+            scale: self.scale,
+        })
     }
 
     /// Absolute value.
     pub fn checked_abs(&self) -> Option<Decimal> {
-        Some(Decimal { unscaled: self.unscaled.checked_abs()?, scale: self.scale })
+        Some(Decimal {
+            unscaled: self.unscaled.checked_abs()?,
+            scale: self.scale,
+        })
     }
 
     /// True when the value is zero.
@@ -192,7 +203,10 @@ impl Decimal {
         } else {
             self.unscaled - half
         };
-        Decimal { unscaled: adjusted / factor, scale: 0 }
+        Decimal {
+            unscaled: adjusted / factor,
+            scale: 0,
+        }
     }
 
     /// Floor toward negative infinity, returning a scale-0 decimal.
@@ -205,7 +219,10 @@ impl Decimal {
         if self.unscaled < 0 && self.unscaled % factor != 0 {
             q -= 1;
         }
-        Decimal { unscaled: q, scale: 0 }
+        Decimal {
+            unscaled: q,
+            scale: 0,
+        }
     }
 
     /// Ceiling toward positive infinity, returning a scale-0 decimal.
@@ -218,19 +235,28 @@ impl Decimal {
         if self.unscaled > 0 && self.unscaled % factor != 0 {
             q += 1;
         }
-        Decimal { unscaled: q, scale: 0 }
+        Decimal {
+            unscaled: q,
+            scale: 0,
+        }
     }
 }
 
 impl From<i64> for Decimal {
     fn from(v: i64) -> Self {
-        Decimal { unscaled: v as i128, scale: 0 }
+        Decimal {
+            unscaled: v as i128,
+            scale: 0,
+        }
     }
 }
 
 impl From<i32> for Decimal {
     fn from(v: i32) -> Self {
-        Decimal { unscaled: v as i128, scale: 0 }
+        Decimal {
+            unscaled: v as i128,
+            scale: 0,
+        }
     }
 }
 
@@ -435,9 +461,8 @@ mod proptests {
     use proptest::prelude::*;
 
     fn small_decimal() -> impl Strategy<Value = Decimal> {
-        (-1_000_000_000i64..1_000_000_000i64, 0u32..6).prop_map(|(u, s)| {
-            Decimal::from_parts(u as i128, s).expect("in range")
-        })
+        (-1_000_000_000i64..1_000_000_000i64, 0u32..6)
+            .prop_map(|(u, s)| Decimal::from_parts(u as i128, s).expect("in range"))
     }
 
     proptest! {

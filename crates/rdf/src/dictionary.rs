@@ -65,7 +65,9 @@ impl Dictionary {
 
     /// Resolve an id to its term.
     pub fn term(&self, id: TermId) -> Result<&Term, RdfError> {
-        self.terms.get(id.index()).ok_or(RdfError::UnknownTermId(id.0))
+        self.terms
+            .get(id.index())
+            .ok_or(RdfError::UnknownTermId(id.0))
     }
 
     /// Resolve an id, panicking on unknown ids (for internal invariant sites).
@@ -91,7 +93,10 @@ impl Dictionary {
 
     /// Iterate `(id, term)` pairs in id order.
     pub fn iter(&self) -> impl Iterator<Item = (TermId, &Term)> {
-        self.terms.iter().enumerate().map(|(i, t)| (TermId(i as u32), t))
+        self.terms
+            .iter()
+            .enumerate()
+            .map(|(i, t)| (TermId(i as u32), t))
     }
 }
 
@@ -158,8 +163,7 @@ mod tests {
         let mut d = Dictionary::new();
         d.intern(&Term::iri("a"));
         d.intern(&Term::iri("b"));
-        let pairs: Vec<(u32, String)> =
-            d.iter().map(|(id, t)| (id.0, t.to_string())).collect();
+        let pairs: Vec<(u32, String)> = d.iter().map(|(id, t)| (id.0, t.to_string())).collect();
         assert_eq!(pairs, vec![(0, "<a>".into()), (1, "<b>".into())]);
     }
 }

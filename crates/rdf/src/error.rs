@@ -58,7 +58,10 @@ mod tests {
 
     #[test]
     fn display_formats_are_stable() {
-        let e = RdfError::Syntax { line: 3, message: "bad token".into() };
+        let e = RdfError::Syntax {
+            line: 3,
+            message: "bad token".into(),
+        };
         assert_eq!(e.to_string(), "syntax error on line 3: bad token");
         assert_eq!(
             RdfError::InvalidIri("a b".into()).to_string(),

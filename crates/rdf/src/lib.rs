@@ -42,8 +42,8 @@ pub use hash::{FxHashMap, FxHashSet};
 pub use literal::{Literal, LiteralKind, Numeric};
 pub use ntriples::{parse_ntriples, write_ntriples};
 pub use term::{BlankNode, Iri, Term};
-pub use turtle::{parse_turtle, write_turtle};
 pub use triple::{Graph, Triple};
+pub use turtle::{parse_turtle, write_turtle};
 
 /// Crate-wide result alias.
 pub type Result<T> = std::result::Result<T, RdfError>;

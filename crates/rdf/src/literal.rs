@@ -43,7 +43,10 @@ pub enum Numeric {
 impl Literal {
     /// A plain string literal.
     pub fn string(value: impl Into<String>) -> Literal {
-        Literal { lexical: value.into().into_boxed_str(), kind: LiteralKind::Plain }
+        Literal {
+            lexical: value.into().into_boxed_str(),
+            kind: LiteralKind::Plain,
+        }
     }
 
     /// A language-tagged string; the tag is normalized to lowercase.
@@ -98,8 +101,7 @@ impl Literal {
     /// `YYYY-MM-DDThh:mm:ss`, which orders correctly as a string.
     pub fn date_time(y: i32, mo: u32, d: u32, h: u32, mi: u32, s: u32) -> Literal {
         Literal {
-            lexical: format!("{y:04}-{mo:02}-{d:02}T{h:02}:{mi:02}:{s:02}")
-                .into_boxed_str(),
+            lexical: format!("{y:04}-{mo:02}-{d:02}T{h:02}:{mi:02}:{s:02}").into_boxed_str(),
             kind: LiteralKind::Typed(Iri::new_unchecked(xsd::DATE_TIME)),
         }
     }
@@ -107,7 +109,10 @@ impl Literal {
     /// An arbitrary typed literal (no lexical validation; use the dedicated
     /// constructors when the datatype is known).
     pub fn typed(value: impl Into<String>, datatype: Iri) -> Literal {
-        Literal { lexical: value.into().into_boxed_str(), kind: LiteralKind::Typed(datatype) }
+        Literal {
+            lexical: value.into().into_boxed_str(),
+            kind: LiteralKind::Typed(datatype),
+        }
     }
 
     /// The lexical form.
@@ -220,6 +225,10 @@ impl fmt::Display for Literal {
     }
 }
 
+// The arithmetic entry points are deliberately associated functions taking
+// both operands (`Numeric::add(a, b)`), not `std::ops` impls: SPARQL
+// promotion and overflow fallback don't fit operator semantics.
+#[allow(clippy::should_implement_trait)]
 impl Numeric {
     /// Lossy view as `f64` (exact for integers within 2^53).
     pub fn to_f64(&self) -> f64 {
@@ -234,9 +243,7 @@ impl Numeric {
     fn promote(a: Numeric, b: Numeric) -> (Numeric, Numeric) {
         use Numeric::*;
         match (a, b) {
-            (Integer(_), Integer(_))
-            | (Decimal(_), Decimal(_))
-            | (Double(_), Double(_)) => (a, b),
+            (Integer(_), Integer(_)) | (Decimal(_), Decimal(_)) | (Double(_), Double(_)) => (a, b),
             (Integer(x), Decimal(_)) => (Decimal(crate::Decimal::from(x)), b),
             (Decimal(_), Integer(y)) => (a, Decimal(crate::Decimal::from(y))),
             (Double(_), _) => (a, Double(b.to_f64())),
@@ -286,9 +293,9 @@ impl Numeric {
     pub fn div(a: Numeric, b: Numeric) -> Option<Numeric> {
         use Numeric::*;
         match Numeric::promote(a, b) {
-            (Integer(x), Integer(y)) => {
-                crate::Decimal::from(x).checked_div(&crate::Decimal::from(y)).map(Decimal)
-            }
+            (Integer(x), Integer(y)) => crate::Decimal::from(x)
+                .checked_div(&crate::Decimal::from(y))
+                .map(Decimal),
             (Decimal(x), Decimal(y)) => match x.checked_div(&y) {
                 Some(v) => Some(Decimal(v)),
                 None if y.is_zero() => None,
@@ -376,7 +383,10 @@ mod tests {
     fn booleans() {
         assert_eq!(Literal::boolean(true).as_bool(), Some(true));
         assert_eq!(Literal::boolean(false).as_bool(), Some(false));
-        assert_eq!(Literal::typed("1", Iri::new_unchecked(xsd::BOOLEAN)).as_bool(), Some(true));
+        assert_eq!(
+            Literal::typed("1", Iri::new_unchecked(xsd::BOOLEAN)).as_bool(),
+            Some(true)
+        );
         assert_eq!(Literal::string("true").as_bool(), None);
     }
 
@@ -430,7 +440,10 @@ mod tests {
         // anything + double → double
         assert!(matches!(Numeric::add(Integer(1), Double(0.5)), Double(_)));
         // int overflow promotes to double rather than wrapping
-        assert!(matches!(Numeric::add(Integer(i64::MAX), Integer(1)), Double(_)));
+        assert!(matches!(
+            Numeric::add(Integer(i64::MAX), Integer(1)),
+            Double(_)
+        ));
     }
 
     #[test]

@@ -44,7 +44,10 @@ struct Cursor<'a> {
 
 impl<'a> Cursor<'a> {
     fn err(&self, message: impl Into<String>) -> RdfError {
-        RdfError::Syntax { line: self.line, message: message.into() }
+        RdfError::Syntax {
+            line: self.line,
+            message: message.into(),
+        }
     }
 
     fn peek(&self) -> Option<u8> {
@@ -81,7 +84,11 @@ impl<'a> Cursor<'a> {
 }
 
 fn parse_line(line: &str, lineno: usize) -> Result<Triple, RdfError> {
-    let mut cur = Cursor { bytes: line.as_bytes(), pos: 0, line: lineno };
+    let mut cur = Cursor {
+        bytes: line.as_bytes(),
+        pos: 0,
+        line: lineno,
+    };
 
     cur.skip_ws();
     let subject = parse_term(&mut cur)?;
@@ -105,7 +112,10 @@ fn parse_term(cur: &mut Cursor<'_>) -> Result<Term, RdfError> {
         Some(b'<') => parse_iri(cur).map(Term::Iri),
         Some(b'_') => parse_blank(cur).map(Term::Blank),
         Some(b'"') => parse_literal(cur).map(Term::Literal),
-        other => Err(cur.err(format!("expected term, found {:?}", other.map(|b| b as char)))),
+        other => Err(cur.err(format!(
+            "expected term, found {:?}",
+            other.map(|b| b as char)
+        ))),
     }
 }
 
@@ -150,10 +160,7 @@ fn parse_literal(cur: &mut Cursor<'_>) -> Result<Literal, RdfError> {
                 Some(b'u') => value.push(parse_unicode_escape(cur, 4)?),
                 Some(b'U') => value.push(parse_unicode_escape(cur, 8)?),
                 other => {
-                    return Err(cur.err(format!(
-                        "invalid escape \\{:?}",
-                        other.map(|b| b as char)
-                    )))
+                    return Err(cur.err(format!("invalid escape \\{:?}", other.map(|b| b as char))))
                 }
             },
             Some(b) if b < 0x80 => value.push(b as char),
@@ -162,7 +169,8 @@ fn parse_literal(cur: &mut Cursor<'_>) -> Result<Literal, RdfError> {
                 let len = utf8_len(b);
                 let start = cur.pos - 1;
                 for _ in 1..len {
-                    cur.bump().ok_or_else(|| cur.err("truncated UTF-8 sequence"))?;
+                    cur.bump()
+                        .ok_or_else(|| cur.err("truncated UTF-8 sequence"))?;
                 }
                 value.push_str(cur.str_slice(start, cur.pos)?);
             }
@@ -195,7 +203,9 @@ fn parse_literal(cur: &mut Cursor<'_>) -> Result<Literal, RdfError> {
 fn parse_unicode_escape(cur: &mut Cursor<'_>, digits: usize) -> Result<char, RdfError> {
     let mut code: u32 = 0;
     for _ in 0..digits {
-        let b = cur.bump().ok_or_else(|| cur.err("truncated unicode escape"))?;
+        let b = cur
+            .bump()
+            .ok_or_else(|| cur.err("truncated unicode escape"))?;
         let d = (b as char)
             .to_digit(16)
             .ok_or_else(|| cur.err("non-hex digit in unicode escape"))?;
@@ -273,7 +283,10 @@ _:x <http://e/p> \"v\"@fr .
     #[test]
     fn rejects_literal_subject() {
         let doc = "\"lit\" <http://e/p> <http://e/o> .";
-        assert!(matches!(parse_ntriples(doc), Err(RdfError::InvalidPosition(_))));
+        assert!(matches!(
+            parse_ntriples(doc),
+            Err(RdfError::InvalidPosition(_))
+        ));
     }
 
     #[test]
@@ -292,7 +305,14 @@ _:x <http://e/p> \"v\"@fr .
     fn typed_literal_datatype_preserved() {
         let doc = "<http://e/s> <http://e/p> \"2.5\"^^<http://www.w3.org/2001/XMLSchema#decimal> .";
         let g = parse_ntriples(doc).unwrap();
-        let lit = g.iter().next().unwrap().object.as_literal().unwrap().clone();
+        let lit = g
+            .iter()
+            .next()
+            .unwrap()
+            .object
+            .as_literal()
+            .unwrap()
+            .clone();
         assert_eq!(lit.datatype_str(), xsd::DECIMAL);
     }
 }

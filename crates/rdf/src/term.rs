@@ -15,7 +15,9 @@ impl Iri {
     pub fn new(iri: impl Into<String>) -> Result<Iri, RdfError> {
         let iri = iri.into();
         if iri.is_empty()
-            || iri.chars().any(|c| c.is_whitespace() || c == '<' || c == '>' || c == '"')
+            || iri
+                .chars()
+                .any(|c| c.is_whitespace() || c == '<' || c == '>' || c == '"')
         {
             return Err(RdfError::InvalidIri(iri));
         }

@@ -32,12 +32,20 @@ impl Triple {
         if !predicate.is_iri() {
             return Err(RdfError::InvalidPosition("non-IRI in predicate position"));
         }
-        Ok(Triple { subject, predicate, object })
+        Ok(Triple {
+            subject,
+            predicate,
+            object,
+        })
     }
 
     /// Create a triple without checking positions.
     pub fn new_unchecked(subject: Term, predicate: Term, object: Term) -> Triple {
-        Triple { subject, predicate, object }
+        Triple {
+            subject,
+            predicate,
+            object,
+        }
     }
 }
 
@@ -111,7 +119,9 @@ impl Graph {
 
 impl FromIterator<Triple> for Graph {
     fn from_iter<I: IntoIterator<Item = Triple>>(iter: I) -> Graph {
-        Graph { triples: iter.into_iter().collect() }
+        Graph {
+            triples: iter.into_iter().collect(),
+        }
     }
 }
 

@@ -57,12 +57,7 @@ pub fn write_turtle(graph: &Graph, prefixes: &[(&str, &str)]) -> String {
             shorten(&triple.predicate)
         };
         if last_subject == Some(&triple.subject) {
-            let _ = write!(
-                out,
-                " ;\n    {} {}",
-                predicate,
-                shorten(&triple.object)
-            );
+            let _ = write!(out, " ;\n    {} {}", predicate, shorten(&triple.object));
         } else {
             if last_subject.is_some() {
                 out.push_str(" .\n");
@@ -103,7 +98,10 @@ impl<'a> Parser<'a> {
     }
 
     fn err(&self, message: impl Into<String>) -> RdfError {
-        RdfError::Syntax { line: self.line, message: message.into() }
+        RdfError::Syntax {
+            line: self.line,
+            message: message.into(),
+        }
     }
 
     fn skip_ws(&mut self) {
@@ -364,7 +362,10 @@ impl<'a> Parser<'a> {
         } else {
             xsd::INTEGER
         };
-        Ok(Term::Literal(Literal::typed(text, Iri::new_unchecked(datatype))))
+        Ok(Term::Literal(Literal::typed(
+            text,
+            Iri::new_unchecked(datatype),
+        )))
     }
 
     fn parse_prefixed_or_keyword(&mut self) -> Result<Term, RdfError> {
@@ -501,7 +502,10 @@ ex:b a ex:C .
             Term::iri("http://other/C"),
         ));
         let out = write_turtle(&g, &[]);
-        assert!(out.contains("<http://other/s> a <http://other/C> ."), "{out}");
+        assert!(
+            out.contains("<http://other/s> a <http://other/C> ."),
+            "{out}"
+        );
         let back = parse_turtle(&out).unwrap();
         assert_eq!(back, g);
     }

@@ -35,8 +35,7 @@ pub mod xsd {
     /// `xsd:gYear`.
     pub const G_YEAR: &str = "http://www.w3.org/2001/XMLSchema#gYear";
     /// `rdf:langString` (the datatype of language-tagged strings).
-    pub const LANG_STRING: &str =
-        "http://www.w3.org/1999/02/22-rdf-syntax-ns#langString";
+    pub const LANG_STRING: &str = "http://www.w3.org/1999/02/22-rdf-syntax-ns#langString";
 }
 
 /// The SOFOS namespace: vocabulary of the materialized-view encoding.
@@ -89,7 +88,15 @@ mod tests {
 
     #[test]
     fn xsd_constants_look_like_xsd() {
-        for c in [xsd::STRING, xsd::BOOLEAN, xsd::INTEGER, xsd::DECIMAL, xsd::DOUBLE, xsd::DATE_TIME, xsd::G_YEAR] {
+        for c in [
+            xsd::STRING,
+            xsd::BOOLEAN,
+            xsd::INTEGER,
+            xsd::DECIMAL,
+            xsd::DOUBLE,
+            xsd::DATE_TIME,
+            xsd::G_YEAR,
+        ] {
             assert!(c.starts_with("http://www.w3.org/2001/XMLSchema#"), "{c}");
         }
     }

@@ -64,7 +64,10 @@ impl fmt::Display for RewriteError {
             RewriteError::FilterOutsideDimensions(v) => {
                 write!(f, "filter references non-dimension variable ?{v}")
             }
-            RewriteError::UnderivableAggregate { requested, available } => write!(
+            RewriteError::UnderivableAggregate {
+                requested,
+                available,
+            } => write!(
                 f,
                 "{requested} cannot be derived from views materialized for {available}"
             ),
@@ -136,7 +139,7 @@ pub fn analyze_query(facet: &Facet, query: &Query) -> Result<QueryAnalysis, Rewr
         ));
     }
     // Filters that are part of the facet pattern itself are not "extra".
-    extra_filters.retain(|e| !facet_filters.iter().any(|f| *f == e));
+    extra_filters.retain(|e| !facet_filters.contains(&e));
 
     // Grouping mask.
     let mut group_mask = ViewMask::APEX;
@@ -186,7 +189,10 @@ pub fn analyze_query(facet: &Facet, query: &Query) -> Result<QueryAnalysis, Rewr
     // Derivability: the query aggregate's components must be materialized.
     let available = facet.agg.components();
     if !agg.components().iter().all(|c| available.contains(c)) {
-        return Err(RewriteError::UnderivableAggregate { requested: agg, available: facet.agg });
+        return Err(RewriteError::UnderivableAggregate {
+            requested: agg,
+            available: facet.agg,
+        });
     }
 
     Ok(QueryAnalysis {
@@ -204,7 +210,10 @@ pub fn analyze_query(facet: &Facet, query: &Query) -> Result<QueryAnalysis, Rewr
 
 fn classify_aggregate(facet: &Facet, aggregate: &Aggregate) -> Result<AggOp, RewriteError> {
     let op = match aggregate {
-        Aggregate::Count { distinct: false, expr: None } => return Ok(AggOp::Count),
+        Aggregate::Count {
+            distinct: false,
+            expr: None,
+        } => return Ok(AggOp::Count),
         Aggregate::Count { distinct: true, .. }
         | Aggregate::Sum { distinct: true, .. }
         | Aggregate::Avg { distinct: true, .. } => {
@@ -300,14 +309,18 @@ pub fn rewrite_query(facet: &Facet, analysis: &QueryAnalysis, view: ViewMask) ->
     // Re-aggregation expression over the components.
     let c0 = Box::new(Expr::var("__c0"));
     let value_expr = match analysis.agg {
-        AggOp::Sum | AggOp::Count => {
-            Expr::Aggregate(Aggregate::Sum { distinct: false, expr: c0 })
-        }
+        AggOp::Sum | AggOp::Count => Expr::Aggregate(Aggregate::Sum {
+            distinct: false,
+            expr: c0,
+        }),
         AggOp::Min => Expr::Aggregate(Aggregate::Min { expr: c0 }),
         AggOp::Max => Expr::Aggregate(Aggregate::Max { expr: c0 }),
         AggOp::Avg => Expr::Arith(
             ArithOp::Div,
-            Box::new(Expr::Aggregate(Aggregate::Sum { distinct: false, expr: c0 })),
+            Box::new(Expr::Aggregate(Aggregate::Sum {
+                distinct: false,
+                expr: c0,
+            })),
             Box::new(Expr::Aggregate(Aggregate::Sum {
                 distinct: false,
                 expr: Box::new(Expr::var("__c1")),
@@ -322,7 +335,10 @@ pub fn rewrite_query(facet: &Facet, analysis: &QueryAnalysis, view: ViewMask) ->
         select.push(SelectItem::Var(var.clone()));
         group_by.push(var);
     }
-    select.push(SelectItem::Expr { expr: value_expr, alias: analysis.value_alias.clone() });
+    select.push(SelectItem::Expr {
+        expr: value_expr,
+        alias: analysis.value_alias.clone(),
+    });
 
     Query {
         select,
@@ -410,7 +426,12 @@ mod tests {
     #[test]
     fn analyzes_facet_query() {
         let facet = sample_facet(AggOp::Sum);
-        let q = facet_query(&facet, ViewMask::from_dims(&[0]), AggOp::Sum, vec![lang_filter()]);
+        let q = facet_query(
+            &facet,
+            ViewMask::from_dims(&[0]),
+            AggOp::Sum,
+            vec![lang_filter()],
+        );
         let a = analyze_query(&facet, &q).expect("analyzable");
         assert_eq!(a.group_mask, ViewMask::from_dims(&[0]));
         assert_eq!(a.filter_mask, ViewMask::from_dims(&[1]));
@@ -497,14 +518,22 @@ mod tests {
             best_view(&views, ViewMask::from_dims(&[0, 1])),
             Some(ViewMask::from_dims(&[0, 1]))
         );
-        assert_eq!(best_view(&views, ViewMask::APEX), Some(ViewMask::from_dims(&[1])));
+        assert_eq!(
+            best_view(&views, ViewMask::APEX),
+            Some(ViewMask::from_dims(&[1]))
+        );
         assert_eq!(best_view(&[], ViewMask::APEX), None);
     }
 
     #[test]
     fn rewrite_targets_view_graph_with_needed_dims_only() {
         let facet = sample_facet(AggOp::Sum);
-        let q = facet_query(&facet, ViewMask::from_dims(&[0]), AggOp::Sum, vec![lang_filter()]);
+        let q = facet_query(
+            &facet,
+            ViewMask::from_dims(&[0]),
+            AggOp::Sum,
+            vec![lang_filter()],
+        );
         let a = analyze_query(&facet, &q).unwrap();
         let view = ViewMask::from_dims(&[0, 1]);
         let rewritten = rewrite_query(&facet, &a, view);
@@ -551,7 +580,11 @@ mod tests {
         let views = [(ViewMask::full(2), 50), (ViewMask::from_dims(&[0]), 5)];
         let q = facet_query(&facet, ViewMask::from_dims(&[0]), AggOp::Sum, vec![]);
         let (view, rewritten) = plan_rewrite(&facet, &views, &q).unwrap();
-        assert_eq!(view, ViewMask::from_dims(&[0]), "smaller covering view wins");
+        assert_eq!(
+            view,
+            ViewMask::from_dims(&[0]),
+            "smaller covering view wins"
+        );
         assert!(!rewritten.pattern.elements.is_empty());
 
         // Query needing lang cannot use the country-only view.

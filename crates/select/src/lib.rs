@@ -43,7 +43,9 @@ impl WorkloadProfile {
     /// Uniform demand over every view of the lattice (the default when the
     /// workload is unknown).
     pub fn uniform(lattice: &Lattice) -> WorkloadProfile {
-        WorkloadProfile { demands: lattice.views().map(|v| (v, 1.0)).collect() }
+        WorkloadProfile {
+            demands: lattice.views().map(|v| (v, 1.0)).collect(),
+        }
     }
 
     /// Demand from an observed/generated list of required masks.
@@ -224,7 +226,11 @@ pub fn greedy_select(
     }
 
     let estimated_cost = workload_cost(ctx, model, profile, &selected);
-    SelectionOutcome { selected, estimated_cost, baseline_cost }
+    SelectionOutcome {
+        selected,
+        estimated_cost,
+        baseline_cost,
+    }
 }
 
 /// Optimal `k`-subset by exhaustive enumeration. Panics if `C(n, k)` would
@@ -282,7 +288,11 @@ pub fn exhaustive_select(
             }
         }
     }
-    SelectionOutcome { selected: best_subset, estimated_cost: best_cost, baseline_cost }
+    SelectionOutcome {
+        selected: best_subset,
+        estimated_cost: best_cost,
+        baseline_cost,
+    }
 }
 
 fn combinations(n: u64, k: u64) -> u64 {
@@ -315,7 +325,11 @@ pub fn random_select(
     views.truncate(k);
     let estimated_cost = workload_cost(ctx, model, profile, &views);
     let baseline_cost = workload_cost(ctx, model, profile, &[]);
-    SelectionOutcome { selected: views, estimated_cost, baseline_cost }
+    SelectionOutcome {
+        selected: views,
+        estimated_cost,
+        baseline_cost,
+    }
 }
 
 /// Validate and wrap a user's explicit pick (the "User Selected Views" demo
@@ -338,7 +352,11 @@ pub fn user_select(
     }
     let estimated_cost = workload_cost(ctx, model, profile, views);
     let baseline_cost = workload_cost(ctx, model, profile, &[]);
-    Ok(SelectionOutcome { selected: views.to_vec(), estimated_cost, baseline_cost })
+    Ok(SelectionOutcome {
+        selected: views.to_vec(),
+        estimated_cost,
+        baseline_cost,
+    })
 }
 
 #[cfg(test)]
@@ -380,22 +398,27 @@ mod tests {
             PatternTerm::iri("http://e/m"),
             PatternTerm::var("u"),
         ));
-        let facet =
-            Facet::new("t", dimensions, GroupPattern::triples(triples), "u", AggOp::Sum)
-                .unwrap();
+        let facet = Facet::new(
+            "t",
+            dimensions,
+            GroupPattern::triples(triples),
+            "u",
+            AggOp::Sum,
+        )
+        .unwrap();
         (ds, facet)
     }
 
-    fn with_ctx<R>(
-        dims: usize,
-        rows: usize,
-        f: impl FnOnce(&CostContext<'_>, &Lattice) -> R,
-    ) -> R {
+    fn with_ctx<R>(dims: usize, rows: usize, f: impl FnOnce(&CostContext<'_>, &Lattice) -> R) -> R {
         let (ds, facet) = setup(dims, rows);
         let lattice = Lattice::new(facet.clone());
         let sized = size_lattice(&ds, &lattice).unwrap();
         let base = GraphStats::compute(ds.default_graph());
-        let ctx = CostContext { facet: &facet, view_stats: &sized, base: &base };
+        let ctx = CostContext {
+            facet: &facet,
+            view_stats: &sized,
+            base: &base,
+        };
         f(&ctx, &lattice)
     }
 
@@ -404,8 +427,7 @@ mod tests {
         with_ctx(3, 24, |ctx, lattice| {
             let profile = WorkloadProfile::uniform(lattice);
             for k in 0..=4 {
-                let outcome =
-                    greedy_select(ctx, lattice, &TriplesCost, &profile, Budget::Views(k));
+                let outcome = greedy_select(ctx, lattice, &TriplesCost, &profile, Budget::Views(k));
                 assert_eq!(outcome.selected.len(), k, "k={k}");
             }
         });
@@ -415,8 +437,7 @@ mod tests {
     fn greedy_improves_over_baseline() {
         with_ctx(3, 24, |ctx, lattice| {
             let profile = WorkloadProfile::uniform(lattice);
-            let outcome =
-                greedy_select(ctx, lattice, &TriplesCost, &profile, Budget::Views(3));
+            let outcome = greedy_select(ctx, lattice, &TriplesCost, &profile, Budget::Views(3));
             assert!(outcome.estimated_cost < outcome.baseline_cost);
             assert!(outcome.estimated_speedup() > 1.0);
         });
@@ -437,8 +458,7 @@ mod tests {
         with_ctx(2, 12, |ctx, lattice| {
             // Only demand: grouping by dim 0.
             let profile = WorkloadProfile::from_masks([ViewMask::from_dims(&[0])]);
-            let outcome =
-                greedy_select(ctx, lattice, &AggValuesCost, &profile, Budget::Views(1));
+            let outcome = greedy_select(ctx, lattice, &AggValuesCost, &profile, Budget::Views(1));
             let v = outcome.selected[0];
             assert!(v.covers(ViewMask::from_dims(&[0])), "picked {v}");
         });
@@ -451,13 +471,8 @@ mod tests {
             // Find a budget that fits roughly two cheap views.
             let apex_bytes = ctx.stats(ViewMask::APEX).unwrap().bytes;
             let budget = apex_bytes * 3;
-            let outcome = greedy_select(
-                ctx,
-                lattice,
-                &TriplesCost,
-                &profile,
-                Budget::Bytes(budget),
-            );
+            let outcome =
+                greedy_select(ctx, lattice, &TriplesCost, &profile, Budget::Bytes(budget));
             let used: usize = outcome
                 .selected
                 .iter()
@@ -475,14 +490,8 @@ mod tests {
             for k in 1..=3 {
                 let greedy =
                     greedy_select(ctx, lattice, &AggValuesCost, &profile, Budget::Views(k));
-                let optimal = exhaustive_select(
-                    ctx,
-                    lattice,
-                    &AggValuesCost,
-                    &profile,
-                    k,
-                    1_000_000,
-                );
+                let optimal =
+                    exhaustive_select(ctx, lattice, &AggValuesCost, &profile, k, 1_000_000);
                 assert!(
                     optimal.estimated_cost <= greedy.estimated_cost + 1e-9,
                     "k={k}: optimal {} > greedy {}",
@@ -545,8 +554,7 @@ mod tests {
                 &[ViewMask::APEX, ViewMask::APEX],
             );
             assert!(dup.is_err());
-            let out_of_range =
-                user_select(ctx, lattice, &TriplesCost, &profile, &[ViewMask(99)]);
+            let out_of_range = user_select(ctx, lattice, &TriplesCost, &profile, &[ViewMask(99)]);
             assert!(out_of_range.is_err());
         });
     }
@@ -570,11 +578,7 @@ mod tests {
 
     #[test]
     fn profile_from_masks_accumulates_weights() {
-        let p = WorkloadProfile::from_masks([
-            ViewMask(1),
-            ViewMask(1),
-            ViewMask(2),
-        ]);
+        let p = WorkloadProfile::from_masks([ViewMask(1), ViewMask(1), ViewMask(2)]);
         assert_eq!(p.demands.len(), 2);
         assert_eq!(p.total_weight(), 3.0);
         let w1 = p.demands.iter().find(|(m, _)| *m == ViewMask(1)).unwrap().1;

@@ -85,7 +85,10 @@ impl GroupPattern {
     /// Group with a single triples block on the default graph.
     pub fn triples(patterns: Vec<TriplePattern>) -> GroupPattern {
         GroupPattern {
-            elements: vec![PatternElement::Triples { graph: GraphSpec::Default, patterns }],
+            elements: vec![PatternElement::Triples {
+                graph: GraphSpec::Default,
+                patterns,
+            }],
         }
     }
 
@@ -111,14 +114,18 @@ impl GroupPattern {
                 }
                 PatternElement::Optional(inner) => {
                     for v in inner.pattern_variables() {
-                        if !out.iter().any(|x| *x == v) {
+                        if !out.contains(&v) {
                             out.push(v);
                         }
                     }
                 }
                 PatternElement::Union(left, right) => {
-                    for v in left.pattern_variables().into_iter().chain(right.pattern_variables()) {
-                        if !out.iter().any(|x| *x == v) {
+                    for v in left
+                        .pattern_variables()
+                        .into_iter()
+                        .chain(right.pattern_variables())
+                    {
+                        if !out.contains(&v) {
                             out.push(v);
                         }
                     }
@@ -197,7 +204,11 @@ pub struct TriplePattern {
 impl TriplePattern {
     /// Convenience constructor.
     pub fn new(subject: PatternTerm, predicate: PatternTerm, object: PatternTerm) -> Self {
-        TriplePattern { subject, predicate, object }
+        TriplePattern {
+            subject,
+            predicate,
+            object,
+        }
     }
 }
 
@@ -498,8 +509,16 @@ mod tests {
     #[test]
     fn pattern_variables_deduplicate_in_order() {
         let gp = GroupPattern::triples(vec![
-            TriplePattern::new(PatternTerm::var("a"), PatternTerm::iri("p"), PatternTerm::var("b")),
-            TriplePattern::new(PatternTerm::var("b"), PatternTerm::iri("q"), PatternTerm::var("c")),
+            TriplePattern::new(
+                PatternTerm::var("a"),
+                PatternTerm::iri("p"),
+                PatternTerm::var("b"),
+            ),
+            TriplePattern::new(
+                PatternTerm::var("b"),
+                PatternTerm::iri("q"),
+                PatternTerm::var("c"),
+            ),
         ]);
         assert_eq!(gp.pattern_variables(), ["a", "b", "c"]);
     }
@@ -554,15 +573,24 @@ mod tests {
     #[test]
     fn select_item_names() {
         assert_eq!(SelectItem::Var("x".into()).name(), "x");
-        let item = SelectItem::Expr { expr: Expr::int(1), alias: "one".into() };
+        let item = SelectItem::Expr {
+            expr: Expr::int(1),
+            alias: "one".into(),
+        };
         assert_eq!(item.name(), "one");
     }
 
     #[test]
     fn aggregate_keywords() {
-        let sum = Aggregate::Sum { distinct: false, expr: Box::new(Expr::var("x")) };
+        let sum = Aggregate::Sum {
+            distinct: false,
+            expr: Box::new(Expr::var("x")),
+        };
         assert_eq!(sum.keyword(), "SUM");
-        let count = Aggregate::Count { distinct: false, expr: None };
+        let count = Aggregate::Count {
+            distinct: false,
+            expr: None,
+        };
         assert_eq!(count.keyword(), "COUNT");
         assert!(count.expr().is_none());
         assert!(sum.expr().is_some());

@@ -43,9 +43,16 @@ mod tests {
 
     #[test]
     fn display_formats() {
-        let e = SparqlError::Parse { position: 10, message: "unexpected '}'".into() };
+        let e = SparqlError::Parse {
+            position: 10,
+            message: "unexpected '}'".into(),
+        };
         assert_eq!(e.to_string(), "parse error at byte 10: unexpected '}'");
-        assert!(SparqlError::Plan("x".into()).to_string().contains("planning"));
-        assert!(SparqlError::Eval("y".into()).to_string().contains("evaluation"));
+        assert!(SparqlError::Plan("x".into())
+            .to_string()
+            .contains("planning"));
+        assert!(SparqlError::Eval("y".into())
+            .to_string()
+            .contains("evaluation"));
     }
 }

@@ -35,7 +35,11 @@ pub struct WorkingDict<'a> {
 
 impl<'a> WorkingDict<'a> {
     fn new(base: &'a Dictionary) -> WorkingDict<'a> {
-        WorkingDict { base, extra: Vec::new(), index: FxHashMap::default() }
+        WorkingDict {
+            base,
+            extra: Vec::new(),
+            index: FxHashMap::default(),
+        }
     }
 
     /// Intern a term: the base id when stored, an overlay id otherwise.
@@ -46,10 +50,8 @@ impl<'a> WorkingDict<'a> {
         if let Some(&id) = self.index.get(term) {
             return id;
         }
-        let id = TermId(
-            u32::try_from(self.base.len() + self.extra.len())
-                .expect("term id overflow"),
-        );
+        let id =
+            TermId(u32::try_from(self.base.len() + self.extra.len()).expect("term id overflow"));
         self.extra.push(term.clone());
         self.index.insert(term.clone(), id);
         id
@@ -86,7 +88,10 @@ enum Slot {
 impl<'a> Evaluator<'a> {
     /// Create an evaluator over a dataset.
     pub fn new(dataset: &'a Dataset) -> Evaluator<'a> {
-        Evaluator { dataset, join_ordering: true }
+        Evaluator {
+            dataset,
+            join_ordering: true,
+        }
     }
 
     /// Disable greedy selectivity-based join ordering (patterns then join
@@ -139,8 +144,12 @@ impl<'a> Evaluator<'a> {
 
         // --- WHERE clause ----------------------------------------------------
         let mut wdict = WorkingDict::new(self.dataset.dict());
-        let rows =
-            self.eval_group(vec![vec![None; nvars]], &query.pattern, &var_index, &mut wdict)?;
+        let rows = self.eval_group(
+            vec![vec![None; nvars]],
+            &query.pattern,
+            &var_index,
+            &mut wdict,
+        )?;
 
         // --- aggregation check ------------------------------------------------
         let select_has_agg = query.select.iter().any(|i| match i {
@@ -191,8 +200,15 @@ impl<'a> Evaluator<'a> {
                 PatternElement::Filter(expr) => {
                     let dict: &dyn TermSource = wdict;
                     rows.retain(|row| {
-                        let scope = EvalScope { dict, var_index, bindings: row, aggs: None };
-                        eval_expr(expr, &scope).and_then(|v| v.ebv()).unwrap_or(false)
+                        let scope = EvalScope {
+                            dict,
+                            var_index,
+                            bindings: row,
+                            aggs: None,
+                        };
+                        eval_expr(expr, &scope)
+                            .and_then(|v| v.ebv())
+                            .unwrap_or(false)
                     });
                 }
                 PatternElement::Optional(inner) => {
@@ -211,12 +227,7 @@ impl<'a> Evaluator<'a> {
                 PatternElement::Union(left, right) => {
                     let mut out = Vec::new();
                     for row in rows {
-                        out.extend(self.eval_group(
-                            vec![row.clone()],
-                            left,
-                            var_index,
-                            wdict,
-                        )?);
+                        out.extend(self.eval_group(vec![row.clone()], left, var_index, wdict)?);
                         out.extend(self.eval_group(vec![row], right, var_index, wdict)?);
                     }
                     rows = out;
@@ -248,8 +259,7 @@ impl<'a> Evaluator<'a> {
                     rows = out;
                 }
                 PatternElement::Values { vars, rows: data } => {
-                    let slots: Vec<usize> =
-                        vars.iter().map(|v| var_index[v.as_str()]).collect();
+                    let slots: Vec<usize> = vars.iter().map(|v| var_index[v.as_str()]).collect();
                     let data_ids: Vec<Vec<Option<TermId>>> = data
                         .iter()
                         .map(|row| {
@@ -412,8 +422,7 @@ impl<'a> Evaluator<'a> {
                 Slot::Missing => None,
             }
         };
-        let (Some(s), Some(p), Some(o)) = (resolve(pat.s), resolve(pat.p), resolve(pat.o))
-        else {
+        let (Some(s), Some(p), Some(o)) = (resolve(pat.s), resolve(pat.p), resolve(pat.o)) else {
             return; // constant term absent from the data: no matches
         };
         for triple in store.scan(IdPattern::new(s, p, o)) {
@@ -587,14 +596,16 @@ impl<'a> Evaluator<'a> {
             );
         }
 
-        let names: Vec<String> =
-            query.select.iter().map(|i| i.name().to_string()).collect();
+        let names: Vec<String> = query.select.iter().map(|i| i.name().to_string()).collect();
         let mut out_rows = Vec::with_capacity(groups.len());
         let mut order_keys: Vec<Vec<Option<Value>>> = Vec::new();
         for key in &group_order {
             let (rep, accs) = &groups[key];
             let agg_values: Vec<Option<Value>> = accs.iter().map(AggAcc::finish).collect();
-            let ctx = AggContext { aggregates: &aggregates, values: &agg_values };
+            let ctx = AggContext {
+                aggregates: &aggregates,
+                values: &agg_values,
+            };
             let scope = EvalScope {
                 dict: wdict as &dyn TermSource,
                 var_index,
@@ -603,7 +614,10 @@ impl<'a> Evaluator<'a> {
             };
             // HAVING.
             if let Some(having) = &query.having {
-                if !eval_expr(having, &scope).and_then(|v| v.ebv()).unwrap_or(false) {
+                if !eval_expr(having, &scope)
+                    .and_then(|v| v.ebv())
+                    .unwrap_or(false)
+                {
                     continue;
                 }
             }
@@ -659,8 +673,10 @@ impl<'a> Evaluator<'a> {
             debug_assert_eq!(rows.len(), order_keys.len());
             let mut indices: Vec<usize> = (0..rows.len()).collect();
             indices.sort_by(|&a, &b| {
-                for (cond, (ka, kb)) in
-                    query.order_by.iter().zip(order_keys[a].iter().zip(order_keys[b].iter()))
+                for (cond, (ka, kb)) in query
+                    .order_by
+                    .iter()
+                    .zip(order_keys[a].iter().zip(order_keys[b].iter()))
                 {
                     let ord = match (ka, kb) {
                         (None, None) => Ordering::Equal,
@@ -733,11 +749,31 @@ fn collect_aggregates(expr: &Expr, out: &mut Vec<Aggregate>) {
 /// unbound). SUM/AVG of an empty group is 0, per the SPARQL definition;
 /// MIN/MAX of an empty group is unbound.
 enum AggAcc {
-    Count { n: i64, distinct: bool, seen: FxHashSet<String>, star: bool },
-    Sum { acc: Numeric, poisoned: bool, distinct: bool, seen: FxHashSet<String> },
-    Avg { acc: Numeric, n: i64, poisoned: bool, distinct: bool, seen: FxHashSet<String> },
-    Min { best: Option<Value> },
-    Max { best: Option<Value> },
+    Count {
+        n: i64,
+        distinct: bool,
+        seen: FxHashSet<String>,
+        star: bool,
+    },
+    Sum {
+        acc: Numeric,
+        poisoned: bool,
+        distinct: bool,
+        seen: FxHashSet<String>,
+    },
+    Avg {
+        acc: Numeric,
+        n: i64,
+        poisoned: bool,
+        distinct: bool,
+        seen: FxHashSet<String>,
+    },
+    Min {
+        best: Option<Value>,
+    },
+    Max {
+        best: Option<Value>,
+    },
 }
 
 impl AggAcc {
@@ -769,7 +805,12 @@ impl AggAcc {
 
     fn push(&mut self, value: Option<Value>, is_star: bool) {
         match self {
-            AggAcc::Count { n, distinct, seen, star } => {
+            AggAcc::Count {
+                n,
+                distinct,
+                seen,
+                star,
+            } => {
                 if *star || is_star {
                     *n += 1;
                     return;
@@ -783,7 +824,12 @@ impl AggAcc {
                     *n += 1;
                 }
             }
-            AggAcc::Sum { acc, poisoned, distinct, seen } => {
+            AggAcc::Sum {
+                acc,
+                poisoned,
+                distinct,
+                seen,
+            } => {
                 let Some(v) = value else { return };
                 if *distinct && !seen.insert(v.distinct_key()) {
                     return;
@@ -793,7 +839,13 @@ impl AggAcc {
                     None => *poisoned = true,
                 }
             }
-            AggAcc::Avg { acc, n, poisoned, distinct, seen } => {
+            AggAcc::Avg {
+                acc,
+                n,
+                poisoned,
+                distinct,
+                seen,
+            } => {
                 let Some(v) = value else { return };
                 if *distinct && !seen.insert(v.distinct_key()) {
                     return;
@@ -839,7 +891,9 @@ impl AggAcc {
                     Some(Value::Numeric(*acc))
                 }
             }
-            AggAcc::Avg { acc, n, poisoned, .. } => {
+            AggAcc::Avg {
+                acc, n, poisoned, ..
+            } => {
                 if *poisoned {
                     return None;
                 }

@@ -62,7 +62,7 @@ impl<'a> EvalScope<'a> {
         self.var_index
             .get(var)
             .and_then(|&idx| self.bindings.get(idx))
-            .map_or(false, Option::is_some)
+            .is_some_and(Option::is_some)
     }
 }
 
@@ -181,7 +181,10 @@ fn eval_call(func: Func, args: &[Expr], scope: &EvalScope<'_>) -> Option<Value> 
                         lang: None,
                     }),
                     Value::Numeric(_) | Value::Boolean(_) | Value::Other { .. } => {
-                        Some(Value::Str { text: String::new(), lang: None })
+                        Some(Value::Str {
+                            text: String::new(),
+                            lang: None,
+                        })
                     }
                     _ => None,
                 },
@@ -226,7 +229,9 @@ fn eval_call(func: Func, args: &[Expr], scope: &EvalScope<'_>) -> Option<Value> 
                 }
                 Func::StrLen => {
                     let text = first.as_str_text()?;
-                    Some(Value::Numeric(Numeric::Integer(text.chars().count() as i64)))
+                    Some(Value::Numeric(
+                        Numeric::Integer(text.chars().count() as i64),
+                    ))
                 }
                 Func::UCase => Some(Value::Str {
                     text: first.as_str_text()?.to_uppercase(),
@@ -293,8 +298,11 @@ pub fn regex_lite_match(text: &str, pattern: &str) -> bool {
     let pat: Vec<char> = pattern.chars().collect();
     let chars: Vec<char> = text.chars().collect();
 
-    let starts: Vec<usize> =
-        if anchored_start { vec![0] } else { (0..=chars.len()).collect() };
+    let starts: Vec<usize> = if anchored_start {
+        vec![0]
+    } else {
+        (0..=chars.len()).collect()
+    };
     for start in starts {
         if let Some(end) = match_here(&chars[start..], &pat) {
             if !anchored_end || start + end == chars.len() {
@@ -367,7 +375,12 @@ mod tests {
         var_index: &'a FxHashMap<String, usize>,
         bindings: &'a Bindings,
     ) -> EvalScope<'a> {
-        EvalScope { dict, var_index, bindings, aggs: None }
+        EvalScope {
+            dict,
+            var_index,
+            bindings,
+            aggs: None,
+        }
     }
 
     fn eval_const(expr: &Expr) -> Option<Value> {
@@ -460,7 +473,10 @@ mod tests {
         check(
             Func::UCase,
             vec![hello.clone()],
-            Value::Str { text: "HELLO WORLD".into(), lang: None },
+            Value::Str {
+                text: "HELLO WORLD".into(),
+                lang: None,
+            },
         );
         check(
             Func::Contains,
@@ -482,12 +498,21 @@ mod tests {
     #[test]
     fn str_of_iri_and_number() {
         assert_eq!(
-            eval_const(&Expr::Call(Func::Str, vec![Expr::Const(Term::iri("http://e/x"))])),
-            Some(Value::Str { text: "http://e/x".into(), lang: None })
+            eval_const(&Expr::Call(
+                Func::Str,
+                vec![Expr::Const(Term::iri("http://e/x"))]
+            )),
+            Some(Value::Str {
+                text: "http://e/x".into(),
+                lang: None
+            })
         );
         assert_eq!(
             eval_const(&Expr::Call(Func::Str, vec![Expr::int(5)])),
-            Some(Value::Str { text: "5".into(), lang: None })
+            Some(Value::Str {
+                text: "5".into(),
+                lang: None
+            })
         );
     }
 
@@ -511,15 +536,29 @@ mod tests {
     #[test]
     fn numeric_rounding_functions() {
         use sofos_rdf::Literal;
-        let dec = |s: &str| Expr::Const(Term::Literal(Literal::typed(
-            s,
-            sofos_rdf::Iri::new_unchecked(xsd::DECIMAL),
-        )));
+        let dec = |s: &str| {
+            Expr::Const(Term::Literal(Literal::typed(
+                s,
+                sofos_rdf::Iri::new_unchecked(xsd::DECIMAL),
+            )))
+        };
         let as_num = |e: Option<Value>| e.unwrap().as_numeric().unwrap().to_f64();
-        assert_eq!(as_num(eval_const(&Expr::Call(Func::Abs, vec![dec("-2.5")]))), 2.5);
-        assert_eq!(as_num(eval_const(&Expr::Call(Func::Ceil, vec![dec("2.1")]))), 3.0);
-        assert_eq!(as_num(eval_const(&Expr::Call(Func::Floor, vec![dec("2.9")]))), 2.0);
-        assert_eq!(as_num(eval_const(&Expr::Call(Func::Round, vec![dec("2.5")]))), 3.0);
+        assert_eq!(
+            as_num(eval_const(&Expr::Call(Func::Abs, vec![dec("-2.5")]))),
+            2.5
+        );
+        assert_eq!(
+            as_num(eval_const(&Expr::Call(Func::Ceil, vec![dec("2.1")]))),
+            3.0
+        );
+        assert_eq!(
+            as_num(eval_const(&Expr::Call(Func::Floor, vec![dec("2.9")]))),
+            2.0
+        );
+        assert_eq!(
+            as_num(eval_const(&Expr::Call(Func::Round, vec![dec("2.5")]))),
+            3.0
+        );
     }
 
     #[test]
@@ -545,12 +584,22 @@ mod tests {
     fn coalesce_and_if() {
         let error = Expr::Arith(ArithOp::Div, Box::new(Expr::int(1)), Box::new(Expr::int(0)));
         assert_eq!(
-            eval_const(&Expr::Call(Func::Coalesce, vec![error.clone(), Expr::int(7)])),
+            eval_const(&Expr::Call(
+                Func::Coalesce,
+                vec![error.clone(), Expr::int(7)]
+            )),
             Some(Value::Numeric(Numeric::Integer(7)))
         );
-        let cond = Expr::Compare(CompareOp::Lt, Box::new(Expr::int(1)), Box::new(Expr::int(2)));
+        let cond = Expr::Compare(
+            CompareOp::Lt,
+            Box::new(Expr::int(1)),
+            Box::new(Expr::int(2)),
+        );
         assert_eq!(
-            eval_const(&Expr::Call(Func::If, vec![cond, Expr::int(10), Expr::int(20)])),
+            eval_const(&Expr::Call(
+                Func::If,
+                vec![cond, Expr::int(10), Expr::int(20)]
+            )),
             Some(Value::Numeric(Numeric::Integer(10)))
         );
     }
@@ -583,7 +632,10 @@ mod tests {
 
     #[test]
     fn aggregates_without_context_are_errors() {
-        let agg = Expr::Aggregate(Aggregate::Count { distinct: false, expr: None });
+        let agg = Expr::Aggregate(Aggregate::Count {
+            distinct: false,
+            expr: None,
+        });
         assert_eq!(eval_const(&agg), None);
     }
 
@@ -592,10 +644,21 @@ mod tests {
         let dict = Dictionary::new();
         let var_index = FxHashMap::default();
         let bindings = Vec::new();
-        let aggs = [Aggregate::Count { distinct: false, expr: None }];
+        let aggs = [Aggregate::Count {
+            distinct: false,
+            expr: None,
+        }];
         let values = [Some(Value::Numeric(Numeric::Integer(3)))];
-        let ctx = AggContext { aggregates: &aggs, values: &values };
-        let scope = EvalScope { dict: &dict, var_index: &var_index, bindings: &bindings, aggs: Some(&ctx) };
+        let ctx = AggContext {
+            aggregates: &aggs,
+            values: &values,
+        };
+        let scope = EvalScope {
+            dict: &dict,
+            var_index: &var_index,
+            bindings: &bindings,
+            aggs: Some(&ctx),
+        };
         let expr = Expr::Compare(
             CompareOp::Gt,
             Box::new(Expr::Aggregate(aggs[0].clone())),

@@ -35,8 +35,8 @@ pub mod token;
 pub mod value;
 
 pub use ast::{
-    Aggregate, ArithOp, CompareOp, Expr, Func, GraphSpec, GroupPattern, OrderCond,
-    PatternElement, PatternTerm, Query, SelectItem, TriplePattern,
+    Aggregate, ArithOp, CompareOp, Expr, Func, GraphSpec, GroupPattern, OrderCond, PatternElement,
+    PatternTerm, Query, SelectItem, TriplePattern,
 };
 pub use error::{Result, SparqlError};
 pub use eval::Evaluator;

@@ -26,7 +26,11 @@ use sofos_rdf::{FxHashMap, Iri, Literal, Term};
 /// Parse a SELECT query from text.
 pub fn parse_query(input: &str) -> Result<Query> {
     let tokens = tokenize(input)?;
-    let mut parser = Parser { tokens, pos: 0, prefixes: FxHashMap::default() };
+    let mut parser = Parser {
+        tokens,
+        pos: 0,
+        prefixes: FxHashMap::default(),
+    };
     let query = parser.parse_query()?;
     parser.expect_eof()?;
     Ok(query)
@@ -48,7 +52,9 @@ impl Parser {
     }
 
     fn bump(&mut self) -> TokenKind {
-        let kind = self.tokens[self.pos.min(self.tokens.len() - 1)].kind.clone();
+        let kind = self.tokens[self.pos.min(self.tokens.len() - 1)]
+            .kind
+            .clone();
         if self.pos < self.tokens.len() - 1 {
             self.pos += 1;
         }
@@ -56,7 +62,10 @@ impl Parser {
     }
 
     fn error(&self, message: impl Into<String>) -> SparqlError {
-        SparqlError::Parse { position: self.position(), message: message.into() }
+        SparqlError::Parse {
+            position: self.position(),
+            message: message.into(),
+        }
     }
 
     fn eat_punct(&mut self, p: &str) -> bool {
@@ -148,9 +157,8 @@ impl Parser {
                         let alias = match self.bump() {
                             TokenKind::Var(v) => v,
                             other => {
-                                return Err(self.error(format!(
-                                    "expected variable after AS, found {other:?}"
-                                )))
+                                return Err(self
+                                    .error(format!("expected variable after AS, found {other:?}")))
                             }
                         };
                         self.expect_punct(")")?;
@@ -205,7 +213,10 @@ impl Parser {
                     }
                     TokenKind::Var(_) => {
                         if let TokenKind::Var(name) = self.bump() {
-                            order_by.push(OrderCond { expr: Expr::Var(name), descending: false });
+                            order_by.push(OrderCond {
+                                expr: Expr::Var(name),
+                                descending: false,
+                            });
                         }
                     }
                     _ => break,
@@ -283,8 +294,9 @@ impl Parser {
                     let var = match self.bump() {
                         TokenKind::Var(v) => v,
                         other => {
-                            return Err(self
-                                .error(format!("expected variable after AS, found {other:?}")))
+                            return Err(
+                                self.error(format!("expected variable after AS, found {other:?}"))
+                            )
                         }
                     };
                     self.expect_punct(")")?;
@@ -332,7 +344,10 @@ impl Parser {
                 TokenKind::Eof => return Err(self.error("unterminated group pattern")),
                 _ => {
                     let patterns = self.parse_triples_block()?;
-                    elements.push(PatternElement::Triples { graph: graph.clone(), patterns });
+                    elements.push(PatternElement::Triples {
+                        graph: graph.clone(),
+                        patterns,
+                    });
                 }
             }
         }
@@ -371,9 +386,7 @@ impl Parser {
             }
             // '.' may terminate the block.
             match self.peek() {
-                TokenKind::Punct("}")
-                | TokenKind::Keyword(_)
-                | TokenKind::Eof => break,
+                TokenKind::Punct("}") | TokenKind::Keyword(_) | TokenKind::Eof => break,
                 _ => continue,
             }
         }
@@ -385,14 +398,9 @@ impl Parser {
     fn parse_values(&mut self) -> Result<PatternElement> {
         let mut vars = Vec::new();
         let parenthesized = self.eat_punct("(");
-        loop {
-            match self.peek() {
-                TokenKind::Var(_) => {
-                    if let TokenKind::Var(v) = self.bump() {
-                        vars.push(v);
-                    }
-                }
-                _ => break,
+        while let TokenKind::Var(_) = self.peek() {
+            if let TokenKind::Var(v) = self.bump() {
+                vars.push(v);
             }
             if !parenthesized {
                 break;
@@ -452,15 +460,18 @@ impl Parser {
             TokenKind::PrefixedName(p, l) => Term::Iri(self.expand_prefixed(&p, &l)?),
             TokenKind::BlankNode(label) => Term::blank(label),
             TokenKind::String(value) => self.finish_literal(value)?,
-            TokenKind::Integer(text) => {
-                Term::Literal(Literal::typed(text, Iri::new_unchecked(sofos_rdf::vocab::xsd::INTEGER)))
-            }
-            TokenKind::Decimal(text) => {
-                Term::Literal(Literal::typed(text, Iri::new_unchecked(sofos_rdf::vocab::xsd::DECIMAL)))
-            }
-            TokenKind::Double(text) => {
-                Term::Literal(Literal::typed(text, Iri::new_unchecked(sofos_rdf::vocab::xsd::DOUBLE)))
-            }
+            TokenKind::Integer(text) => Term::Literal(Literal::typed(
+                text,
+                Iri::new_unchecked(sofos_rdf::vocab::xsd::INTEGER),
+            )),
+            TokenKind::Decimal(text) => Term::Literal(Literal::typed(
+                text,
+                Iri::new_unchecked(sofos_rdf::vocab::xsd::DECIMAL),
+            )),
+            TokenKind::Double(text) => Term::Literal(Literal::typed(
+                text,
+                Iri::new_unchecked(sofos_rdf::vocab::xsd::DOUBLE),
+            )),
             TokenKind::Keyword(k) if k == "TRUE" => Term::Literal(Literal::boolean(true)),
             TokenKind::Keyword(k) if k == "FALSE" => Term::Literal(Literal::boolean(false)),
             other => return Err(self.error(format!("expected term, found {other:?}"))),
@@ -636,14 +647,26 @@ impl Parser {
             let distinct = self.eat_keyword("DISTINCT");
             if kw == "COUNT" && self.eat_punct("*") {
                 self.expect_punct(")")?;
-                return Ok(Expr::Aggregate(Aggregate::Count { distinct, expr: None }));
+                return Ok(Expr::Aggregate(Aggregate::Count {
+                    distinct,
+                    expr: None,
+                }));
             }
             let inner = Box::new(self.parse_expr()?);
             self.expect_punct(")")?;
             let agg = match kw {
-                "COUNT" => Aggregate::Count { distinct, expr: Some(inner) },
-                "SUM" => Aggregate::Sum { distinct, expr: inner },
-                "AVG" => Aggregate::Avg { distinct, expr: inner },
+                "COUNT" => Aggregate::Count {
+                    distinct,
+                    expr: Some(inner),
+                },
+                "SUM" => Aggregate::Sum {
+                    distinct,
+                    expr: inner,
+                },
+                "AVG" => Aggregate::Avg {
+                    distinct,
+                    expr: inner,
+                },
                 "MIN" => Aggregate::Min { expr: inner },
                 "MAX" => Aggregate::Max { expr: inner },
                 _ => unreachable!(),
@@ -700,10 +723,24 @@ impl Parser {
             self.expect_punct(")")?;
         }
         let arity_ok = match func {
-            Func::Bound | Func::Str | Func::Lang | Func::Datatype | Func::IsIri
-            | Func::IsBlank | Func::IsLiteral | Func::IsNumeric | Func::Abs | Func::Ceil
-            | Func::Floor | Func::Round | Func::StrLen | Func::UCase | Func::LCase
-            | Func::Year | Func::Month | Func::Day => args.len() == 1,
+            Func::Bound
+            | Func::Str
+            | Func::Lang
+            | Func::Datatype
+            | Func::IsIri
+            | Func::IsBlank
+            | Func::IsLiteral
+            | Func::IsNumeric
+            | Func::Abs
+            | Func::Ceil
+            | Func::Floor
+            | Func::Round
+            | Func::StrLen
+            | Func::UCase
+            | Func::LCase
+            | Func::Year
+            | Func::Month
+            | Func::Day => args.len() == 1,
             Func::Contains | Func::StrStarts | Func::StrEnds | Func::Regex => args.len() == 2,
             Func::If => args.len() == 3,
             Func::Coalesce => !args.is_empty(),
@@ -739,7 +776,10 @@ mod tests {
         assert_eq!(q.group_by, ["country"]);
         assert!(!q.distinct);
         match &q.select[1] {
-            SelectItem::Expr { expr: Expr::Aggregate(Aggregate::Sum { .. }), alias } => {
+            SelectItem::Expr {
+                expr: Expr::Aggregate(Aggregate::Sum { .. }),
+                alias,
+            } => {
                 assert_eq!(alias, "total");
             }
             other => panic!("expected SUM aggregate, got {other:?}"),
@@ -750,10 +790,8 @@ mod tests {
 
     #[test]
     fn semicolon_and_comma_abbreviations() {
-        let q = parse_query(
-            "SELECT * WHERE { ?s <http://e/p> ?a , ?b ; <http://e/q> ?c . }",
-        )
-        .unwrap();
+        let q =
+            parse_query("SELECT * WHERE { ?s <http://e/p> ?a , ?b ; <http://e/q> ?c . }").unwrap();
         match &q.pattern.elements[0] {
             PatternElement::Triples { patterns, .. } => {
                 assert_eq!(patterns.len(), 3);
@@ -779,10 +817,8 @@ mod tests {
 
     #[test]
     fn graph_clause_scopes_patterns() {
-        let q = parse_query(
-            "SELECT * WHERE { GRAPH <http://g/v1> { ?s ?p ?o } ?a ?b ?c }",
-        )
-        .unwrap();
+        let q =
+            parse_query("SELECT * WHERE { GRAPH <http://g/v1> { ?s ?p ?o } ?a ?b ?c }").unwrap();
         let graphs: Vec<&GraphSpec> = q
             .pattern
             .elements
@@ -793,7 +829,10 @@ mod tests {
             })
             .collect();
         assert_eq!(graphs.len(), 2);
-        assert_eq!(*graphs[0], GraphSpec::Named(Iri::new_unchecked("http://g/v1")));
+        assert_eq!(
+            *graphs[0],
+            GraphSpec::Named(Iri::new_unchecked("http://g/v1"))
+        );
         assert_eq!(*graphs[1], GraphSpec::Default);
     }
 
@@ -859,12 +898,19 @@ mod tests {
         .unwrap();
         assert_eq!(q.select.len(), 3);
         match &q.select[0] {
-            SelectItem::Expr { expr: Expr::Aggregate(Aggregate::Count { expr: None, .. }), .. } => {}
+            SelectItem::Expr {
+                expr: Expr::Aggregate(Aggregate::Count { expr: None, .. }),
+                ..
+            } => {}
             other => panic!("{other:?}"),
         }
         match &q.select[1] {
             SelectItem::Expr {
-                expr: Expr::Aggregate(Aggregate::Count { distinct: true, expr: Some(_) }),
+                expr:
+                    Expr::Aggregate(Aggregate::Count {
+                        distinct: true,
+                        expr: Some(_),
+                    }),
                 ..
             } => {}
             other => panic!("{other:?}"),
@@ -904,10 +950,7 @@ mod tests {
 
     #[test]
     fn in_expression() {
-        let q = parse_query(
-            "SELECT ?x WHERE { ?x ?p ?o FILTER(?o IN (1, 2, 3)) }",
-        )
-        .unwrap();
+        let q = parse_query("SELECT ?x WHERE { ?x ?p ?o FILTER(?o IN (1, 2, 3)) }").unwrap();
         let filter = q
             .pattern
             .elements

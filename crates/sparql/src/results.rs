@@ -15,7 +15,10 @@ pub struct QueryResults {
 impl QueryResults {
     /// An empty result with the given columns.
     pub fn empty(vars: Vec<String>) -> QueryResults {
-        QueryResults { vars, rows: Vec::new() }
+        QueryResults {
+            vars,
+            rows: Vec::new(),
+        }
     }
 
     /// Number of rows (the paper's "number of aggregated values" when the
@@ -60,7 +63,10 @@ impl QueryResults {
             }
             std::cmp::Ordering::Equal
         });
-        QueryResults { vars: self.vars.clone(), rows }
+        QueryResults {
+            vars: self.vars.clone(),
+            rows,
+        }
     }
 
     /// Render as a compact text table (used by examples and experiments).

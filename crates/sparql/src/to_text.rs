@@ -188,10 +188,16 @@ pub fn expr_to_text(expr: &Expr) -> String {
             format!("{name}({})", rendered.join(", "))
         }
         Expr::Aggregate(agg) => match agg {
-            Aggregate::Count { distinct, expr: None } => {
+            Aggregate::Count {
+                distinct,
+                expr: None,
+            } => {
                 format!("COUNT({}*)", if *distinct { "DISTINCT " } else { "" })
             }
-            Aggregate::Count { distinct, expr: Some(e) } => format!(
+            Aggregate::Count {
+                distinct,
+                expr: Some(e),
+            } => format!(
                 "COUNT({}{})",
                 if *distinct { "DISTINCT " } else { "" },
                 expr_to_text(e)

@@ -47,12 +47,60 @@ pub enum TokenKind {
 
 /// The words the tokenizer treats as keywords (uppercased).
 const KEYWORDS: &[&str] = &[
-    "SELECT", "DISTINCT", "WHERE", "FILTER", "OPTIONAL", "GRAPH", "GROUP", "BY", "HAVING",
-    "ORDER", "ASC", "DESC", "LIMIT", "OFFSET", "AS", "PREFIX", "BASE", "UNION", "SUM", "AVG",
-    "COUNT", "MIN", "MAX", "TRUE", "FALSE", "BOUND", "STR", "LANG", "DATATYPE", "ISIRI",
-    "ISURI", "ISBLANK", "ISLITERAL", "ISNUMERIC", "ABS", "CEIL", "FLOOR", "ROUND", "STRLEN",
-    "CONTAINS", "STRSTARTS", "STRENDS", "UCASE", "LCASE", "YEAR", "MONTH", "DAY", "REGEX",
-    "COALESCE", "IF", "IN", "VALUES", "BIND", "UNDEF",
+    "SELECT",
+    "DISTINCT",
+    "WHERE",
+    "FILTER",
+    "OPTIONAL",
+    "GRAPH",
+    "GROUP",
+    "BY",
+    "HAVING",
+    "ORDER",
+    "ASC",
+    "DESC",
+    "LIMIT",
+    "OFFSET",
+    "AS",
+    "PREFIX",
+    "BASE",
+    "UNION",
+    "SUM",
+    "AVG",
+    "COUNT",
+    "MIN",
+    "MAX",
+    "TRUE",
+    "FALSE",
+    "BOUND",
+    "STR",
+    "LANG",
+    "DATATYPE",
+    "ISIRI",
+    "ISURI",
+    "ISBLANK",
+    "ISLITERAL",
+    "ISNUMERIC",
+    "ABS",
+    "CEIL",
+    "FLOOR",
+    "ROUND",
+    "STRLEN",
+    "CONTAINS",
+    "STRSTARTS",
+    "STRENDS",
+    "UCASE",
+    "LCASE",
+    "YEAR",
+    "MONTH",
+    "DAY",
+    "REGEX",
+    "COALESCE",
+    "IF",
+    "IN",
+    "VALUES",
+    "BIND",
+    "UNDEF",
 ];
 
 /// Tokenize a query string.
@@ -101,13 +149,22 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>> {
                             message: "invalid UTF-8 in IRI".into(),
                         })?
                         .to_string();
-                    tokens.push(Token { kind: TokenKind::Iri(text), position: start });
+                    tokens.push(Token {
+                        kind: TokenKind::Iri(text),
+                        position: start,
+                    });
                     pos = end + 1;
                 } else if bytes.get(pos + 1) == Some(&b'=') {
-                    tokens.push(Token { kind: TokenKind::Punct("<="), position: start });
+                    tokens.push(Token {
+                        kind: TokenKind::Punct("<="),
+                        position: start,
+                    });
                     pos += 2;
                 } else {
-                    tokens.push(Token { kind: TokenKind::Punct("<"), position: start });
+                    tokens.push(Token {
+                        kind: TokenKind::Punct("<"),
+                        position: start,
+                    });
                     pos += 1;
                 }
             }
@@ -123,7 +180,10 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>> {
                     err!(start, "empty variable name");
                 }
                 let name = input[name_start..pos].to_string();
-                tokens.push(Token { kind: TokenKind::Var(name), position: start });
+                tokens.push(Token {
+                    kind: TokenKind::Var(name),
+                    position: start,
+                });
             }
             b'"' | b'\'' => {
                 let quote = b;
@@ -161,7 +221,10 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>> {
                         pos += ch.len_utf8();
                     }
                 }
-                tokens.push(Token { kind: TokenKind::String(value), position: start });
+                tokens.push(Token {
+                    kind: TokenKind::String(value),
+                    position: start,
+                });
             }
             b'@' => {
                 pos += 1;
@@ -181,7 +244,10 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>> {
             }
             b'^' => {
                 if bytes.get(pos + 1) == Some(&b'^') {
-                    tokens.push(Token { kind: TokenKind::Punct("^^"), position: start });
+                    tokens.push(Token {
+                        kind: TokenKind::Punct("^^"),
+                        position: start,
+                    });
                     pos += 2;
                 } else {
                     err!(start, "lone '^'");
@@ -189,17 +255,26 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>> {
             }
             b'0'..=b'9' => {
                 let (kind, len) = scan_number(&input[pos..]);
-                tokens.push(Token { kind, position: start });
+                tokens.push(Token {
+                    kind,
+                    position: start,
+                });
                 pos += len;
             }
             b'.' => {
                 // Could start a decimal like ".5" — only when followed by a digit.
                 if bytes.get(pos + 1).is_some_and(|c| c.is_ascii_digit()) {
                     let (kind, len) = scan_number(&input[pos..]);
-                    tokens.push(Token { kind, position: start });
+                    tokens.push(Token {
+                        kind,
+                        position: start,
+                    });
                     pos += len;
                 } else {
-                    tokens.push(Token { kind: TokenKind::Punct("."), position: start });
+                    tokens.push(Token {
+                        kind: TokenKind::Punct("."),
+                        position: start,
+                    });
                     pos += 1;
                 }
             }
@@ -215,38 +290,62 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>> {
                     b'/' => "/",
                     _ => "+",
                 };
-                tokens.push(Token { kind: TokenKind::Punct(p), position: start });
+                tokens.push(Token {
+                    kind: TokenKind::Punct(p),
+                    position: start,
+                });
                 pos += 1;
             }
             b'-' => {
-                tokens.push(Token { kind: TokenKind::Punct("-"), position: start });
+                tokens.push(Token {
+                    kind: TokenKind::Punct("-"),
+                    position: start,
+                });
                 pos += 1;
             }
             b'=' => {
-                tokens.push(Token { kind: TokenKind::Punct("="), position: start });
+                tokens.push(Token {
+                    kind: TokenKind::Punct("="),
+                    position: start,
+                });
                 pos += 1;
             }
             b'!' => {
                 if bytes.get(pos + 1) == Some(&b'=') {
-                    tokens.push(Token { kind: TokenKind::Punct("!="), position: start });
+                    tokens.push(Token {
+                        kind: TokenKind::Punct("!="),
+                        position: start,
+                    });
                     pos += 2;
                 } else {
-                    tokens.push(Token { kind: TokenKind::Punct("!"), position: start });
+                    tokens.push(Token {
+                        kind: TokenKind::Punct("!"),
+                        position: start,
+                    });
                     pos += 1;
                 }
             }
             b'>' => {
                 if bytes.get(pos + 1) == Some(&b'=') {
-                    tokens.push(Token { kind: TokenKind::Punct(">="), position: start });
+                    tokens.push(Token {
+                        kind: TokenKind::Punct(">="),
+                        position: start,
+                    });
                     pos += 2;
                 } else {
-                    tokens.push(Token { kind: TokenKind::Punct(">"), position: start });
+                    tokens.push(Token {
+                        kind: TokenKind::Punct(">"),
+                        position: start,
+                    });
                     pos += 1;
                 }
             }
             b'&' => {
                 if bytes.get(pos + 1) == Some(&b'&') {
-                    tokens.push(Token { kind: TokenKind::Punct("&&"), position: start });
+                    tokens.push(Token {
+                        kind: TokenKind::Punct("&&"),
+                        position: start,
+                    });
                     pos += 2;
                 } else {
                     err!(start, "lone '&'");
@@ -254,7 +353,10 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>> {
             }
             b'|' => {
                 if bytes.get(pos + 1) == Some(&b'|') {
-                    tokens.push(Token { kind: TokenKind::Punct("||"), position: start });
+                    tokens.push(Token {
+                        kind: TokenKind::Punct("||"),
+                        position: start,
+                    });
                     pos += 2;
                 } else {
                     err!(start, "lone '|'");
@@ -264,7 +366,9 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>> {
                 pos += 2;
                 let label_start = pos;
                 while pos < bytes.len()
-                    && (bytes[pos].is_ascii_alphanumeric() || bytes[pos] == b'_' || bytes[pos] == b'-')
+                    && (bytes[pos].is_ascii_alphanumeric()
+                        || bytes[pos] == b'_'
+                        || bytes[pos] == b'-')
                 {
                     pos += 1;
                 }
@@ -280,7 +384,9 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>> {
                 // Bare word: keyword, `a`, or a prefixed name.
                 let word_start = pos;
                 while pos < bytes.len()
-                    && (bytes[pos].is_ascii_alphanumeric() || bytes[pos] == b'_' || bytes[pos] == b'-')
+                    && (bytes[pos].is_ascii_alphanumeric()
+                        || bytes[pos] == b'_'
+                        || bytes[pos] == b'-')
                 {
                     pos += 1;
                 }
@@ -311,11 +417,17 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>> {
                         position: start,
                     });
                 } else if word == "a" {
-                    tokens.push(Token { kind: TokenKind::Punct("a"), position: start });
+                    tokens.push(Token {
+                        kind: TokenKind::Punct("a"),
+                        position: start,
+                    });
                 } else {
                     let upper = word.to_ascii_uppercase();
                     if KEYWORDS.contains(&upper.as_str()) {
-                        tokens.push(Token { kind: TokenKind::Keyword(upper), position: start });
+                        tokens.push(Token {
+                            kind: TokenKind::Keyword(upper),
+                            position: start,
+                        });
                     } else {
                         err!(start, "unexpected word {word:?}");
                     }
@@ -350,7 +462,10 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>> {
         }
     }
 
-    tokens.push(Token { kind: TokenKind::Eof, position: input.len() });
+    tokens.push(Token {
+        kind: TokenKind::Eof,
+        position: input.len(),
+    });
     Ok(tokens)
 }
 
@@ -406,7 +521,11 @@ mod tests {
     use super::*;
 
     fn kinds(input: &str) -> Vec<TokenKind> {
-        tokenize(input).expect("tokenizes").into_iter().map(|t| t.kind).collect()
+        tokenize(input)
+            .expect("tokenizes")
+            .into_iter()
+            .map(|t| t.kind)
+            .collect()
     }
 
     #[test]
@@ -431,7 +550,13 @@ mod tests {
 
     #[test]
     fn keywords_are_case_insensitive() {
-        assert_eq!(kinds("select Select SELECT")[..3].iter().filter(|k| matches!(k, TokenKind::Keyword(w) if w == "SELECT")).count(), 3);
+        assert_eq!(
+            kinds("select Select SELECT")[..3]
+                .iter()
+                .filter(|k| matches!(k, TokenKind::Keyword(w) if w == "SELECT"))
+                .count(),
+            3
+        );
     }
 
     #[test]
@@ -454,7 +579,11 @@ mod tests {
         // "5 ." vs "5." — both must yield Integer then Punct('.').
         assert_eq!(
             kinds("5."),
-            vec![TokenKind::Integer("5".into()), TokenKind::Punct("."), TokenKind::Eof]
+            vec![
+                TokenKind::Integer("5".into()),
+                TokenKind::Punct("."),
+                TokenKind::Eof
+            ]
         );
     }
 
@@ -493,7 +622,10 @@ mod tests {
                 TokenKind::Eof
             ]
         );
-        assert_eq!(kinds("<http://e/x>")[0], TokenKind::Iri("http://e/x".into()));
+        assert_eq!(
+            kinds("<http://e/x>")[0],
+            TokenKind::Iri("http://e/x".into())
+        );
     }
 
     #[test]
@@ -575,6 +707,9 @@ mod tests {
 
     #[test]
     fn unicode_in_strings() {
-        assert_eq!(kinds("\"café 日本\"")[0], TokenKind::String("café 日本".into()));
+        assert_eq!(
+            kinds("\"café 日本\"")[0],
+            TokenKind::String("café 日本".into())
+        );
     }
 }

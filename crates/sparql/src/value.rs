@@ -59,7 +59,10 @@ impl Value {
             return Value::Numeric(n);
         }
         match lit.kind() {
-            LiteralKind::Plain => Value::Str { text: lit.lexical().to_string(), lang: None },
+            LiteralKind::Plain => Value::Str {
+                text: lit.lexical().to_string(),
+                lang: None,
+            },
             LiteralKind::Lang(tag) => Value::Str {
                 text: lit.lexical().to_string(),
                 lang: Some(tag.to_string()),
@@ -79,9 +82,10 @@ impl Value {
             Value::Boolean(b) => Term::Literal(Literal::boolean(*b)),
             Value::Numeric(n) => Term::Literal(n.to_literal()),
             Value::Str { text, lang: None } => Term::Literal(Literal::string(text.clone())),
-            Value::Str { text, lang: Some(tag) } => {
-                Term::Literal(Literal::lang_string(text.clone(), tag.clone()))
-            }
+            Value::Str {
+                text,
+                lang: Some(tag),
+            } => Term::Literal(Literal::lang_string(text.clone(), tag.clone())),
             Value::Other { text, datatype } => Term::Literal(Literal::typed(
                 text.clone(),
                 sofos_rdf::Iri::new_unchecked(datatype.clone()),
@@ -135,8 +139,14 @@ impl Value {
             (Value::Blank(a), Value::Blank(b)) => a == b,
             (Value::Boolean(a), Value::Boolean(b)) => a == b,
             (
-                Value::Other { text: a, datatype: da },
-                Value::Other { text: b, datatype: db },
+                Value::Other {
+                    text: a,
+                    datatype: da,
+                },
+                Value::Other {
+                    text: b,
+                    datatype: db,
+                },
             ) => a == b && da == db,
             _ => false,
         }
@@ -150,8 +160,14 @@ impl Value {
             (Value::Boolean(a), Value::Boolean(b)) => Some(a.cmp(b)),
             (Value::Iri(a), Value::Iri(b)) => Some(a.cmp(b)),
             (
-                Value::Other { text: a, datatype: da },
-                Value::Other { text: b, datatype: db },
+                Value::Other {
+                    text: a,
+                    datatype: da,
+                },
+                Value::Other {
+                    text: b,
+                    datatype: db,
+                },
             ) if da == db => Some(a.cmp(b)), // ISO dateTime orders lexically
             _ => None,
         }
@@ -183,8 +199,14 @@ impl Value {
                     a.cmp(b).then_with(|| la.cmp(lb))
                 }
                 (
-                    Value::Other { text: a, datatype: da },
-                    Value::Other { text: b, datatype: db },
+                    Value::Other {
+                        text: a,
+                        datatype: da,
+                    },
+                    Value::Other {
+                        text: b,
+                        datatype: db,
+                    },
                 ) => da.cmp(db).then_with(|| a.cmp(b)),
                 _ => unreachable!("same rank implies same variant"),
             },
@@ -216,7 +238,10 @@ mod tests {
     #[test]
     fn decode_term_kinds() {
         assert_eq!(Value::from_term(&Term::iri("x")), Value::Iri("x".into()));
-        assert_eq!(Value::from_term(&Term::blank("b")), Value::Blank("b".into()));
+        assert_eq!(
+            Value::from_term(&Term::blank("b")),
+            Value::Blank("b".into())
+        );
         assert!(matches!(
             Value::from_term(&Term::literal_int(5)),
             Value::Numeric(Numeric::Integer(5))
@@ -227,7 +252,10 @@ mod tests {
         );
         assert_eq!(
             Value::from_term(&Term::literal_str("hi")),
-            Value::Str { text: "hi".into(), lang: None }
+            Value::Str {
+                text: "hi".into(),
+                lang: None
+            }
         );
         assert!(matches!(
             Value::from_term(&Term::Literal(Literal::date_time(2020, 1, 1, 0, 0, 0))),
@@ -250,7 +278,10 @@ mod tests {
             let back = v.to_term();
             // Values normalize (e.g. decimal "3" stays "3"); decoded values
             // must round-trip to semantically equal values.
-            assert!(Value::from_term(&back).sparql_eq(&v), "{term} → {v:?} → {back}");
+            assert!(
+                Value::from_term(&back).sparql_eq(&v),
+                "{term} → {v:?} → {back}"
+            );
         }
     }
 
@@ -259,8 +290,22 @@ mod tests {
         assert_eq!(Value::Boolean(true).ebv(), Some(true));
         assert_eq!(Value::Numeric(Numeric::Integer(0)).ebv(), Some(false));
         assert_eq!(Value::Numeric(Numeric::Double(f64::NAN)).ebv(), Some(false));
-        assert_eq!(Value::Str { text: "".into(), lang: None }.ebv(), Some(false));
-        assert_eq!(Value::Str { text: "x".into(), lang: None }.ebv(), Some(true));
+        assert_eq!(
+            Value::Str {
+                text: "".into(),
+                lang: None
+            }
+            .ebv(),
+            Some(false)
+        );
+        assert_eq!(
+            Value::Str {
+                text: "x".into(),
+                lang: None
+            }
+            .ebv(),
+            Some(true)
+        );
         assert_eq!(Value::Iri("x".into()).ebv(), None, "IRI has no EBV");
     }
 
@@ -269,7 +314,10 @@ mod tests {
         let one_int = Value::Numeric(Numeric::Integer(1));
         let one_dbl = Value::Numeric(Numeric::Double(1.0));
         assert!(one_int.sparql_eq(&one_dbl));
-        assert!(!one_int.sparql_eq(&Value::Str { text: "1".into(), lang: None }));
+        assert!(!one_int.sparql_eq(&Value::Str {
+            text: "1".into(),
+            lang: None
+        }));
     }
 
     #[test]
@@ -277,12 +325,24 @@ mod tests {
         let a = Value::Numeric(Numeric::Integer(1));
         let b = Value::Numeric(Numeric::Double(1.5));
         assert_eq!(a.sparql_cmp(&b), Some(Ordering::Less));
-        let s1 = Value::Str { text: "abc".into(), lang: None };
-        let s2 = Value::Str { text: "abd".into(), lang: None };
+        let s1 = Value::Str {
+            text: "abc".into(),
+            lang: None,
+        };
+        let s2 = Value::Str {
+            text: "abd".into(),
+            lang: None,
+        };
         assert_eq!(s1.sparql_cmp(&s2), Some(Ordering::Less));
         assert_eq!(a.sparql_cmp(&s1), None, "number vs string is an error");
-        let d1 = Value::Other { text: "2019-01-01T00:00:00".into(), datatype: xsd::DATE_TIME.into() };
-        let d2 = Value::Other { text: "2020-01-01T00:00:00".into(), datatype: xsd::DATE_TIME.into() };
+        let d1 = Value::Other {
+            text: "2019-01-01T00:00:00".into(),
+            datatype: xsd::DATE_TIME.into(),
+        };
+        let d2 = Value::Other {
+            text: "2020-01-01T00:00:00".into(),
+            datatype: xsd::DATE_TIME.into(),
+        };
         assert_eq!(d1.sparql_cmp(&d2), Some(Ordering::Less));
     }
 
@@ -293,11 +353,23 @@ mod tests {
             Value::Iri("i".into()),
             Value::Boolean(false),
             Value::Numeric(Numeric::Integer(1)),
-            Value::Str { text: "s".into(), lang: None },
-            Value::Other { text: "t".into(), datatype: "d".into() },
+            Value::Str {
+                text: "s".into(),
+                lang: None,
+            },
+            Value::Other {
+                text: "t".into(),
+                datatype: "d".into(),
+            },
         ];
         for w in values.windows(2) {
-            assert_eq!(w[0].total_cmp(&w[1]), Ordering::Less, "{:?} < {:?}", w[0], w[1]);
+            assert_eq!(
+                w[0].total_cmp(&w[1]),
+                Ordering::Less,
+                "{:?} < {:?}",
+                w[0],
+                w[1]
+            );
         }
         // Reflexive.
         for v in &values {
@@ -311,7 +383,11 @@ mod tests {
         let b = Value::Numeric(Numeric::Double(1.0));
         assert_eq!(a.distinct_key(), b.distinct_key());
         assert_ne!(
-            Value::Str { text: "1".into(), lang: None }.distinct_key(),
+            Value::Str {
+                text: "1".into(),
+                lang: None
+            }
+            .distinct_key(),
             a.distinct_key()
         );
     }

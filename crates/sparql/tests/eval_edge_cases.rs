@@ -25,9 +25,10 @@ fn messy() -> Dataset {
         None,
         &iri("e"),
         &value,
-        &Term::Literal(Literal::typed("3.5", sofos_rdf::Iri::new_unchecked(
-            sofos_rdf::vocab::xsd::DECIMAL,
-        ))),
+        &Term::Literal(Literal::typed(
+            "3.5",
+            sofos_rdf::Iri::new_unchecked(sofos_rdf::vocab::xsd::DECIMAL),
+        )),
     );
     // Only some entities have labels.
     ds.insert(None, &iri("a"), &label, &Term::literal_str("Alpha"));
@@ -36,7 +37,9 @@ fn messy() -> Dataset {
 }
 
 fn run(ds: &Dataset, q: &str) -> QueryResults {
-    Evaluator::new(ds).evaluate_str(q).unwrap_or_else(|e| panic!("{e}\n{q}"))
+    Evaluator::new(ds)
+        .evaluate_str(q)
+        .unwrap_or_else(|e| panic!("{e}\n{q}"))
 }
 
 #[test]
@@ -44,8 +47,15 @@ fn type_errors_in_filters_drop_rows_silently() {
     let ds = messy();
     // ?v > 0 errors on the string and the IRI: those rows are filtered out,
     // not fatal.
-    let r = run(&ds, &format!("SELECT ?s WHERE {{ ?s <{NS}value> ?v FILTER(?v > 0) }}"));
-    assert_eq!(r.len(), 2, "10 and 3.5 pass; -5 fails; string/IRI error out");
+    let r = run(
+        &ds,
+        &format!("SELECT ?s WHERE {{ ?s <{NS}value> ?v FILTER(?v > 0) }}"),
+    );
+    assert_eq!(
+        r.len(),
+        2,
+        "10 and 3.5 pass; -5 fails; string/IRI error out"
+    );
 }
 
 #[test]
@@ -53,7 +63,10 @@ fn negated_comparison_still_excludes_error_rows() {
     let ds = messy();
     // !(?v > 0) is an error for non-numerics too — they stay excluded, which
     // is exactly SPARQL's (sometimes surprising) three-valued behaviour.
-    let r = run(&ds, &format!("SELECT ?s WHERE {{ ?s <{NS}value> ?v FILTER(!(?v > 0)) }}"));
+    let r = run(
+        &ds,
+        &format!("SELECT ?s WHERE {{ ?s <{NS}value> ?v FILTER(!(?v > 0)) }}"),
+    );
     assert_eq!(r.len(), 1, "only -5");
 }
 
@@ -66,7 +79,13 @@ fn sum_over_mixed_types_is_unbound_count_still_works() {
     );
     assert_eq!(r.len(), 1);
     assert!(r.rows[0][0].is_none(), "SUM poisoned by non-numeric input");
-    let n = r.rows[0][1].as_ref().unwrap().as_literal().unwrap().numeric().unwrap();
+    let n = r.rows[0][1]
+        .as_ref()
+        .unwrap()
+        .as_literal()
+        .unwrap()
+        .numeric()
+        .unwrap();
     assert_eq!(n.to_f64(), 5.0, "COUNT counts all bound values");
 }
 
@@ -80,7 +99,12 @@ fn min_max_over_mixed_types_use_total_order() {
     // Total order: IRI < numeric < string ⇒ MIN is the IRI, MAX the string.
     assert!(r.rows[0][0].as_ref().unwrap().is_iri());
     assert_eq!(
-        r.rows[0][1].as_ref().unwrap().as_literal().unwrap().lexical(),
+        r.rows[0][1]
+            .as_ref()
+            .unwrap()
+            .as_literal()
+            .unwrap()
+            .lexical(),
         "not-a-number"
     );
 }
@@ -136,7 +160,10 @@ fn nested_optionals() {
         .rows
         .iter()
         .find(|row| {
-            row[0].as_ref().and_then(Term::as_iri).map(|i| i.as_str().ends_with("/a"))
+            row[0]
+                .as_ref()
+                .and_then(Term::as_iri)
+                .map(|i| i.as_str().ends_with("/a"))
                 == Some(true)
         })
         .unwrap();
@@ -149,16 +176,12 @@ fn having_without_group_by() {
     // Aggregate + HAVING over the implicit single group.
     let r = run(
         &ds,
-        &format!(
-            "SELECT (COUNT(*) AS ?n) WHERE {{ ?x <{NS}value> ?v }} HAVING (COUNT(*) > 3)"
-        ),
+        &format!("SELECT (COUNT(*) AS ?n) WHERE {{ ?x <{NS}value> ?v }} HAVING (COUNT(*) > 3)"),
     );
     assert_eq!(r.len(), 1);
     let none = run(
         &ds,
-        &format!(
-            "SELECT (COUNT(*) AS ?n) WHERE {{ ?x <{NS}value> ?v }} HAVING (COUNT(*) > 99)"
-        ),
+        &format!("SELECT (COUNT(*) AS ?n) WHERE {{ ?x <{NS}value> ?v }} HAVING (COUNT(*) > 99)"),
     );
     assert_eq!(none.len(), 0);
 }
@@ -182,7 +205,15 @@ fn distinct_interacts_with_order_and_limit() {
     let values: Vec<String> = r
         .rows
         .iter()
-        .map(|row| row[0].as_ref().unwrap().as_literal().unwrap().lexical().to_string())
+        .map(|row| {
+            row[0]
+                .as_ref()
+                .unwrap()
+                .as_literal()
+                .unwrap()
+                .lexical()
+                .to_string()
+        })
         .collect();
     assert_eq!(values, ["2", "1"]);
 }
@@ -190,9 +221,15 @@ fn distinct_interacts_with_order_and_limit() {
 #[test]
 fn offset_beyond_results_is_empty() {
     let ds = messy();
-    let r = run(&ds, &format!("SELECT ?s WHERE {{ ?s <{NS}value> ?v }} OFFSET 100"));
+    let r = run(
+        &ds,
+        &format!("SELECT ?s WHERE {{ ?s <{NS}value> ?v }} OFFSET 100"),
+    );
     assert!(r.is_empty());
-    let r = run(&ds, &format!("SELECT ?s WHERE {{ ?s <{NS}value> ?v }} LIMIT 0"));
+    let r = run(
+        &ds,
+        &format!("SELECT ?s WHERE {{ ?s <{NS}value> ?v }} LIMIT 0"),
+    );
     assert!(r.is_empty());
 }
 
@@ -212,7 +249,10 @@ fn coalesce_rescues_optional_unbound() {
         .iter()
         .map(|row| row[1].as_ref().unwrap().as_literal().unwrap().lexical())
         .collect();
-    assert_eq!(names, ["Alpha", "(unnamed)", "(unnamed)", "Delta", "(unnamed)"]);
+    assert_eq!(
+        names,
+        ["Alpha", "(unnamed)", "(unnamed)", "Delta", "(unnamed)"]
+    );
 }
 
 #[test]
@@ -223,14 +263,20 @@ fn aggregates_in_order_by() {
     }
     let r = run(
         &ds,
-        &format!(
-            "SELECT ?s WHERE {{ ?s <{NS}p> ?v }} GROUP BY ?s ORDER BY DESC(SUM(?v))"
-        ),
+        &format!("SELECT ?s WHERE {{ ?s <{NS}p> ?v }} GROUP BY ?s ORDER BY DESC(SUM(?v))"),
     );
     let order: Vec<String> = r
         .rows
         .iter()
-        .map(|row| row[0].as_ref().unwrap().as_iri().unwrap().as_str().to_string())
+        .map(|row| {
+            row[0]
+                .as_ref()
+                .unwrap()
+                .as_iri()
+                .unwrap()
+                .as_str()
+                .to_string()
+        })
         .collect();
     assert!(order[0].ends_with("/y"), "y has the largest sum: {order:?}");
     assert!(order[2].ends_with("/x"), "x has the smallest sum");

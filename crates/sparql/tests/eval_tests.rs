@@ -73,7 +73,11 @@ fn strings(results: &QueryResults, col: &str) -> Vec<String> {
     results
         .column_values(col)
         .into_iter()
-        .map(|t| t.as_literal().map(|l| l.lexical().to_string()).unwrap_or_else(|| t.to_string()))
+        .map(|t| {
+            t.as_literal()
+                .map(|l| l.lexical().to_string())
+                .unwrap_or_else(|| t.to_string())
+        })
         .collect()
 }
 
@@ -212,7 +216,9 @@ fn optional_keeps_unmatched_rows() {
         .rows
         .iter()
         .find(|row| {
-            row[0].as_ref().and_then(|t| t.as_literal().map(|l| l.lexical() == "Canada"))
+            row[0]
+                .as_ref()
+                .and_then(|t| t.as_literal().map(|l| l.lexical() == "Canada"))
                 == Some(true)
         })
         .expect("Canada present");
@@ -243,9 +249,7 @@ fn distinct_limit_offset() {
     assert_eq!(all.len(), 4);
     let page = run(
         &ds,
-        &format!(
-            "SELECT DISTINCT ?c WHERE {{ ?o <{NS}country> ?c }} ORDER BY ?c LIMIT 2 OFFSET 1"
-        ),
+        &format!("SELECT DISTINCT ?c WHERE {{ ?o <{NS}country> ?c }} ORDER BY ?c LIMIT 2 OFFSET 1"),
     );
     assert_eq!(page.len(), 2);
     assert_eq!(page.rows[0], all.rows[1]);
@@ -299,7 +303,12 @@ fn cross_graph_join() {
     let mut ds = figure1();
     let g = ds.intern_iri("http://g/extra");
     let france = iri("France");
-    ds.insert(Some(g), &france, &iri("capital"), &Term::literal_str("Paris"));
+    ds.insert(
+        Some(g),
+        &france,
+        &iri("capital"),
+        &Term::literal_str("Paris"),
+    );
     let r = run(
         &ds,
         &format!(
@@ -463,9 +472,7 @@ fn bind_error_leaves_unbound() {
     let ds = figure1();
     let r = run(
         &ds,
-        &format!(
-            "SELECT ?n ?bad WHERE {{ ?c <{NS}name> ?n . BIND(?n / 0 AS ?bad) }} LIMIT 1"
-        ),
+        &format!("SELECT ?n ?bad WHERE {{ ?c <{NS}name> ?n . BIND(?n / 0 AS ?bad) }} LIMIT 1"),
     );
     assert_eq!(r.len(), 1);
     assert!(r.rows[0][1].is_none(), "division error leaves ?bad unbound");
@@ -523,7 +530,12 @@ fn values_projection_of_novel_constant() {
     let r = run(&ds, "SELECT ?x WHERE { VALUES ?x { \"novel-constant\" } }");
     assert_eq!(r.len(), 1);
     assert_eq!(
-        r.rows[0][0].as_ref().unwrap().as_literal().unwrap().lexical(),
+        r.rows[0][0]
+            .as_ref()
+            .unwrap()
+            .as_literal()
+            .unwrap()
+            .lexical(),
         "novel-constant"
     );
 }
@@ -547,13 +559,9 @@ fn join_ordering_ablation_gives_identical_results() {
 fn union_bind_values_render_and_reparse() {
     use sofos_sparql::{parse_query, query_to_sparql};
     for q in [
-        format!(
-            "SELECT ?x WHERE {{ {{ ?x <{NS}a> ?y . }} UNION {{ ?x <{NS}b> ?y . }} }}"
-        ),
+        format!("SELECT ?x WHERE {{ {{ ?x <{NS}a> ?y . }} UNION {{ ?x <{NS}b> ?y . }} }}"),
         format!("SELECT ?x WHERE {{ ?x <{NS}a> ?y . BIND ((?y + 1) AS ?z) }}"),
-        format!(
-            "SELECT ?x WHERE {{ VALUES (?x) {{ (<{NS}v1>) (UNDEF) }} ?x <{NS}a> ?y . }}"
-        ),
+        format!("SELECT ?x WHERE {{ VALUES (?x) {{ (<{NS}v1>) (UNDEF) }} ?x <{NS}a> ?y . }}"),
     ] {
         let ast = parse_query(&q).unwrap_or_else(|e| panic!("{q}: {e}"));
         let text = query_to_sparql(&ast);

@@ -5,8 +5,10 @@
 //! a single dictionary across graphs means query evaluation joins on ids
 //! regardless of which graph a pattern targets.
 
+use crate::delta::{ChangeSet, Delta, OpKind};
 use crate::index::GraphStore;
 use crate::pattern::EncodedTriple;
+use crate::stats::{GraphStats, StatsTracker};
 use sofos_rdf::{Dictionary, FxHashMap, Graph, Term, TermId};
 
 /// Identifies a graph inside a [`Dataset`]: `None` is the default graph,
@@ -19,6 +21,10 @@ pub struct Dataset {
     dict: Dictionary,
     default_graph: GraphStore,
     named: FxHashMap<TermId, GraphStore>,
+    /// Live statistics of the default graph, updated per mutation instead
+    /// of recomputed (see [`StatsTracker`]). View graphs are not tracked:
+    /// the cost models only consume base-graph statistics.
+    base_stats: StatsTracker,
 }
 
 impl Dataset {
@@ -55,15 +61,119 @@ impl Dataset {
     /// Insert an encoded triple into a graph, creating the graph if needed.
     pub fn insert_encoded(&mut self, graph: GraphName, triple: EncodedTriple) -> bool {
         match graph {
-            None => self.default_graph.insert(triple),
+            None => {
+                let inserted = self.default_graph.insert(triple);
+                if inserted {
+                    self.base_stats.record_insert(&triple);
+                }
+                inserted
+            }
             Some(name) => self.named.entry(name).or_default().insert(triple),
+        }
+    }
+
+    /// Remove an encoded triple from a graph; returns `true` if present.
+    pub fn remove_encoded(&mut self, graph: GraphName, triple: &EncodedTriple) -> bool {
+        match graph {
+            None => {
+                let removed = self.default_graph.remove(triple);
+                if removed {
+                    self.base_stats.record_remove(triple);
+                }
+                removed
+            }
+            Some(name) => self.named.get_mut(&name).is_some_and(|g| g.remove(triple)),
         }
     }
 
     /// Intern three terms and insert the triple into a graph.
     pub fn insert(&mut self, graph: GraphName, s: &Term, p: &Term, o: &Term) -> bool {
-        let triple = [self.dict.intern(s), self.dict.intern(p), self.dict.intern(o)];
+        let triple = [
+            self.dict.intern(s),
+            self.dict.intern(p),
+            self.dict.intern(o),
+        ];
         self.insert_encoded(graph, triple)
+    }
+
+    /// Remove a term-level triple; `false` when any term is unknown (an
+    /// unknown term cannot appear in any triple).
+    pub fn remove(&mut self, graph: GraphName, s: &Term, p: &Term, o: &Term) -> bool {
+        let (Some(s), Some(p), Some(o)) = (
+            self.dict.get_id(s),
+            self.dict.get_id(p),
+            self.dict.get_id(o),
+        ) else {
+            return false;
+        };
+        self.remove_encoded(graph, &[s, p, o])
+    }
+
+    /// Apply a batched [`Delta`] — the transactional write path of the
+    /// living graph. Operations run in order through the LSM-lite index
+    /// deltas (inserts into the B-tree deltas, deletes as tombstones);
+    /// no-ops (inserting a present triple, deleting an absent one) are
+    /// counted but have no effect. Returns the **net** [`ChangeSet`] per
+    /// graph, with intra-batch insert/delete pairs cancelled — the input
+    /// the view-maintenance engine consumes. Base-graph statistics stay
+    /// incrementally maintained throughout (see [`Dataset::base_stats`]).
+    pub fn apply(&mut self, delta: Delta) -> ChangeSet {
+        let mut changes = ChangeSet::default();
+        for op in delta.ops {
+            let [s, p, o] = &op.triple;
+            let (graph, applied, triple) = match op.kind {
+                OpKind::Insert => {
+                    let graph = op.graph.as_ref().map(|g| self.dict.intern(g));
+                    let triple = [
+                        self.dict.intern(s),
+                        self.dict.intern(p),
+                        self.dict.intern(o),
+                    ];
+                    (graph, self.insert_encoded(graph, triple), triple)
+                }
+                OpKind::Delete => {
+                    // Like [`Dataset::remove`]: resolve without interning —
+                    // a term the dictionary has never seen cannot appear in
+                    // any triple, and no-op deletes must not grow the
+                    // (never garbage-collected) dictionary.
+                    let ids = (
+                        op.graph.as_ref().map(|g| self.dict.get_id(g)),
+                        self.dict.get_id(s),
+                        self.dict.get_id(p),
+                        self.dict.get_id(o),
+                    );
+                    match ids {
+                        (graph @ (None | Some(Some(_))), Some(s), Some(p), Some(o)) => {
+                            let graph = graph.flatten();
+                            let triple = [s, p, o];
+                            (graph, self.remove_encoded(graph, &triple), triple)
+                        }
+                        _ => {
+                            changes.noops += 1;
+                            continue;
+                        }
+                    }
+                }
+            };
+            if !applied {
+                changes.noops += 1;
+                continue;
+            }
+            let graph_changes = changes.graph_mut(graph);
+            match op.kind {
+                OpKind::Insert => graph_changes.inserted.push(triple),
+                OpKind::Delete => graph_changes.removed.push(triple),
+            }
+        }
+        changes.coalesce();
+        changes
+    }
+
+    /// Current statistics of the default graph, maintained incrementally
+    /// by every mutation (the replacement for ad-hoc
+    /// [`GraphStats::compute`] passes on the write path).
+    pub fn base_stats(&self) -> GraphStats {
+        self.base_stats.snapshot()
     }
 
     /// Load a term-level [`Graph`] into a dataset graph (bulk path).
@@ -76,15 +186,27 @@ impl Dataset {
                 self.dict.intern(&t.object),
             ]);
         }
-        let store = match graph {
-            None => &mut self.default_graph,
-            Some(name) => self.named.entry(name).or_default(),
-        };
-        if store.is_empty() {
-            store.bulk_load(encoded);
-        } else {
-            for t in encoded {
-                store.insert(t);
+        match graph {
+            None => {
+                if self.default_graph.is_empty() {
+                    self.default_graph.bulk_load(encoded);
+                    // Rebuild rather than track: bulk_load deduplicates.
+                    self.base_stats = StatsTracker::from_store(&self.default_graph);
+                } else {
+                    for t in encoded {
+                        self.insert_encoded(None, t);
+                    }
+                }
+            }
+            Some(name) => {
+                let store = self.named.entry(name).or_default();
+                if store.is_empty() {
+                    store.bulk_load(encoded);
+                } else {
+                    for t in encoded {
+                        store.insert(t);
+                    }
+                }
             }
         }
     }
@@ -130,7 +252,11 @@ impl Dataset {
     pub fn estimated_bytes(&self) -> usize {
         self.dict.estimated_bytes()
             + self.default_graph.estimated_bytes()
-            + self.named.values().map(GraphStore::estimated_bytes).sum::<usize>()
+            + self
+                .named
+                .values()
+                .map(GraphStore::estimated_bytes)
+                .sum::<usize>()
     }
 
     /// Force-merge all graphs' index deltas.
@@ -144,7 +270,13 @@ impl Dataset {
     /// Materialize the RDFS closure of the default graph in place
     /// (see [`crate::inference`]).
     pub fn materialize_rdfs(&mut self) -> crate::inference::InferenceStats {
-        crate::inference::materialize_rdfs(&mut self.default_graph, &self.dict)
+        let stats = crate::inference::materialize_rdfs(&mut self.default_graph, &self.dict);
+        // Inference writes to the store directly; rebuild the live
+        // statistics in one pass (inference itself is already O(|G|)).
+        if stats.inferred > 0 {
+            self.base_stats = StatsTracker::from_store(&self.default_graph);
+        }
+        stats
     }
 }
 
@@ -169,16 +301,24 @@ mod tests {
         assert_eq!(ds.total_triples(), 2);
         // Same dictionary: the subject id is shared.
         let s_id = ds.dict().get_id(&term("s")).unwrap();
-        assert_eq!(ds.default_graph().scan(IdPattern::new(Some(s_id), None, None)).count(), 1);
         assert_eq!(
-            ds.graph(Some(g1)).unwrap().scan(IdPattern::new(Some(s_id), None, None)).count(),
+            ds.default_graph()
+                .scan(IdPattern::new(Some(s_id), None, None))
+                .count(),
+            1
+        );
+        assert_eq!(
+            ds.graph(Some(g1))
+                .unwrap()
+                .scan(IdPattern::new(Some(s_id), None, None))
+                .count(),
             1
         );
     }
 
     #[test]
     fn load_bulk_and_incremental_agree() {
-        use sofos_rdf::{Triple, Graph};
+        use sofos_rdf::{Graph, Triple};
         let mut g = Graph::new();
         for i in 0..20 {
             g.insert(Triple::new_unchecked(
@@ -234,5 +374,137 @@ mod tests {
         let mut ds = Dataset::new();
         let ghost = ds.intern_iri("http://e/ghost");
         assert!(ds.graph(Some(ghost)).is_none());
+    }
+
+    #[test]
+    fn apply_reports_net_changes_and_noops() {
+        let mut ds = Dataset::new();
+        ds.insert(None, &term("s0"), &term("p"), &term("o0"));
+
+        let mut delta = Delta::new();
+        delta
+            .insert(term("s1"), term("p"), term("o1")) // new
+            .insert(term("s0"), term("p"), term("o0")) // already present: no-op
+            .delete(term("s0"), term("p"), term("o0")) // present: removed
+            .insert(term("s2"), term("p"), term("o2")) // new...
+            .delete(term("s2"), term("p"), term("o2")) // ...cancelled in-batch
+            .delete(term("ghost"), term("p"), term("o")); // absent: no-op
+        let changes = ds.apply(delta);
+
+        assert_eq!(changes.default_graph.inserted.len(), 1);
+        assert_eq!(changes.default_graph.removed.len(), 1);
+        assert_eq!(changes.noops, 2);
+        assert_eq!(ds.default_graph().len(), 1);
+        let s1 = ds.dict().get_id(&term("s1")).unwrap();
+        assert_eq!(changes.default_graph.inserted[0][0], s1);
+    }
+
+    #[test]
+    fn apply_routes_named_graphs() {
+        let mut ds = Dataset::new();
+        let g = Term::iri("http://e/g1");
+        let mut delta = Delta::new();
+        delta.insert_into(g.clone(), term("s"), term("p"), term("o"));
+        delta.insert(term("s"), term("p"), term("o"));
+        let changes = ds.apply(delta);
+        let g_id = ds.dict().get_id(&g).unwrap();
+        assert_eq!(changes.graph(Some(g_id)).unwrap().inserted.len(), 1);
+        assert_eq!(changes.default_graph.inserted.len(), 1);
+        assert_eq!(ds.graph(Some(g_id)).unwrap().len(), 1);
+        assert_eq!(ds.default_graph().len(), 1);
+
+        let mut delta = Delta::new();
+        delta.delete_from(g.clone(), term("s"), term("p"), term("o"));
+        let changes = ds.apply(delta);
+        assert_eq!(changes.graph(Some(g_id)).unwrap().removed.len(), 1);
+        assert!(ds.graph(Some(g_id)).unwrap().is_empty());
+    }
+
+    #[test]
+    fn incremental_stats_match_full_recomputation() {
+        let mut ds = Dataset::new();
+        // Build through every mutation path: load, insert, apply, remove.
+        use sofos_rdf::{Graph, Triple};
+        let mut g = Graph::new();
+        for i in 0..12 {
+            g.insert(Triple::new_unchecked(
+                term(&format!("s{}", i % 4)),
+                term(&format!("p{}", i % 3)),
+                Term::literal_int(i % 5),
+            ));
+        }
+        ds.load(None, &g);
+        assert_eq!(ds.base_stats(), GraphStats::compute(ds.default_graph()));
+
+        ds.insert(None, &term("s9"), &term("p0"), &term("s0"));
+        assert_eq!(ds.base_stats(), GraphStats::compute(ds.default_graph()));
+
+        let mut delta = Delta::new();
+        delta
+            .delete(term("s9"), term("p0"), term("s0"))
+            .insert(term("sA"), term("pZ"), term("oA"))
+            .delete(term("s0"), term("p0"), term("s0")); // maybe absent: no-op ok
+        ds.apply(delta);
+        assert_eq!(ds.base_stats(), GraphStats::compute(ds.default_graph()));
+
+        assert!(ds.remove(None, &term("sA"), &term("pZ"), &term("oA")));
+        assert_eq!(ds.base_stats(), GraphStats::compute(ds.default_graph()));
+        // Removing the only pZ triple drops the predicate entirely.
+        let pz = ds.dict().get_id(&term("pZ")).unwrap();
+        assert_eq!(ds.base_stats().predicate_count(pz), 0);
+    }
+
+    #[test]
+    fn remove_with_unknown_terms_is_noop() {
+        let mut ds = Dataset::new();
+        ds.insert(None, &term("s"), &term("p"), &term("o"));
+        assert!(!ds.remove(None, &term("never-seen"), &term("p"), &term("o")));
+        assert_eq!(ds.default_graph().len(), 1);
+    }
+
+    #[test]
+    fn coalesce_nets_by_multiplicity_not_membership() {
+        // insert / delete / insert of an initially-absent triple: the net
+        // effect is ONE insert — a set-based cancellation would wrongly
+        // report no change at all.
+        let mut ds = Dataset::new();
+        let mut delta = Delta::new();
+        delta
+            .insert(term("s"), term("p"), term("o"))
+            .delete(term("s"), term("p"), term("o"))
+            .insert(term("s"), term("p"), term("o"));
+        let changes = ds.apply(delta);
+        assert_eq!(changes.default_graph.inserted.len(), 1);
+        assert!(changes.default_graph.removed.is_empty());
+        assert!(ds.default_graph().len() == 1);
+
+        // Symmetric: delete / insert / delete of a present triple nets to
+        // one removal.
+        let mut delta = Delta::new();
+        delta
+            .delete(term("s"), term("p"), term("o"))
+            .insert(term("s"), term("p"), term("o"))
+            .delete(term("s"), term("p"), term("o"));
+        let changes = ds.apply(delta);
+        assert!(changes.default_graph.inserted.is_empty());
+        assert_eq!(changes.default_graph.removed.len(), 1);
+        assert!(ds.default_graph().is_empty());
+    }
+
+    #[test]
+    fn noop_deletes_do_not_grow_the_dictionary() {
+        let mut ds = Dataset::new();
+        ds.insert(None, &term("s"), &term("p"), &term("o"));
+        let dict_before = ds.dict().len();
+        let mut delta = Delta::new();
+        delta.delete(term("ghost-s"), term("ghost-p"), term("ghost-o"));
+        delta.delete_from(term("ghost-g"), term("s"), term("p"), term("o"));
+        let changes = ds.apply(delta);
+        assert_eq!(changes.noops, 2);
+        assert_eq!(
+            ds.dict().len(),
+            dict_before,
+            "deletes of never-seen terms must not intern them"
+        );
     }
 }

@@ -154,8 +154,7 @@ impl PermIndex {
 
     /// Bulk-build from already-deduplicated triples (generator fast path).
     fn bulk_load(&mut self, triples: &[EncodedTriple]) {
-        let mut keys: Vec<EncodedTriple> =
-            triples.iter().map(|t| self.perm.permute(*t)).collect();
+        let mut keys: Vec<EncodedTriple> = triples.iter().map(|t| self.perm.permute(*t)).collect();
         keys.sort_unstable();
         self.run = keys;
         self.delta.clear();
@@ -412,7 +411,13 @@ mod tests {
     #[test]
     fn all_eight_pattern_shapes() {
         let mut g = GraphStore::new();
-        for (s, p, o) in [(1, 10, 100), (1, 10, 101), (1, 11, 100), (2, 10, 100), (2, 11, 102)] {
+        for (s, p, o) in [
+            (1, 10, 100),
+            (1, 10, 101),
+            (1, 11, 100),
+            (2, 10, 100),
+            (2, 11, 102),
+        ] {
             g.insert(t(s, p, o));
         }
         let pat = |s: Option<u32>, p: Option<u32>, o: Option<u32>| IdPattern {

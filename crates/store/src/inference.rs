@@ -70,7 +70,10 @@ pub fn materialize_rdfs(store: &mut GraphStore, dict: &Dictionary) -> InferenceS
 
         // rdfs11: subClassOf transitivity (and the same shape for
         // subPropertyOf, which rdfs5 defines).
-        for rel in [ids.sub_class_of, ids.sub_property_of].into_iter().flatten() {
+        for rel in [ids.sub_class_of, ids.sub_property_of]
+            .into_iter()
+            .flatten()
+        {
             let edges: Vec<(TermId, TermId)> = store
                 .scan(IdPattern::new(None, Some(rel), None))
                 .map(|[s, _, o]| (s, o))
@@ -195,7 +198,11 @@ mod tests {
         let get = |t: &Term| ds.dict().get_id(t);
         let (Some(s), Some(p), Some(o)) = (
             get(&iri(s)),
-            get(&if p == "type" { Term::iri(rdf::TYPE) } else { iri(p) }),
+            get(&if p == "type" {
+                Term::iri(rdf::TYPE)
+            } else {
+                iri(p)
+            }),
             get(&iri(o)),
         ) else {
             return false;
@@ -210,9 +217,15 @@ mod tests {
         assert!(stats.inferred > 0);
 
         assert!(has(&ds, "ann", "type", "Professor"), "rdfs9 one level");
-        assert!(has(&ds, "ann", "type", "Faculty"), "rdfs9 + rdfs11 two levels");
+        assert!(
+            has(&ds, "ann", "type", "Faculty"),
+            "rdfs9 + rdfs11 two levels"
+        );
         // Direct check of the closure edge.
-        let sub_class = ds.dict().get_id(&Term::iri(sofos_rdf::vocab::rdfs::SUB_CLASS_OF)).unwrap();
+        let sub_class = ds
+            .dict()
+            .get_id(&Term::iri(sofos_rdf::vocab::rdfs::SUB_CLASS_OF))
+            .unwrap();
         let fp = ds.dict().get_id(&iri("FullProfessor")).unwrap();
         let fac = ds.dict().get_id(&iri("Faculty")).unwrap();
         assert!(ds.default_graph().contains(&[fp, sub_class, fac]), "rdfs11");
@@ -224,7 +237,10 @@ mod tests {
         ds.materialize_rdfs();
 
         assert!(has(&ds, "ann", "worksFor", "cs"), "rdfs7");
-        assert!(has(&ds, "ann", "type", "Person"), "rdfs2 (domain via inferred use)");
+        assert!(
+            has(&ds, "ann", "type", "Person"),
+            "rdfs2 (domain via inferred use)"
+        );
         assert!(has(&ds, "cs", "type", "Organization"), "rdfs3 (range)");
     }
 

@@ -12,16 +12,24 @@
 //! * a [`Dataset`] is the paper's expanded graph `G+`: the base graph plus
 //!   one named graph per materialized view, all sharing one dictionary;
 //! * [`stats::GraphStats`] aggregates per-predicate cardinalities used by
-//!   the cost models and the query planner's join ordering.
+//!   the cost models and the query planner's join ordering; on the write
+//!   path they are kept live by [`stats::StatsTracker`] instead of being
+//!   recomputed;
+//! * [`delta::Delta`] / [`Dataset::apply`] are the transactional update
+//!   path: batched inserts *and deletes* flow through the LSM-lite index
+//!   deltas and come back out as a net [`delta::ChangeSet`] per graph —
+//!   the input to `sofos-maintain`'s incremental view maintenance.
 
 pub mod dataset;
+pub mod delta;
 pub mod index;
 pub mod inference;
 pub mod pattern;
 pub mod stats;
 
 pub use dataset::{Dataset, GraphName};
+pub use delta::{ChangeSet, Delta, DeltaOp, GraphChanges, OpKind};
 pub use index::{GraphStore, Perm};
 pub use inference::{materialize_rdfs, InferenceStats};
 pub use pattern::{EncodedTriple, IdPattern};
-pub use stats::{GraphStats, PredicateStats};
+pub use stats::{GraphStats, PredicateStats, StatsTracker};

@@ -20,7 +20,11 @@ pub struct IdPattern {
 
 impl IdPattern {
     /// The match-everything pattern.
-    pub const ANY: IdPattern = IdPattern { s: None, p: None, o: None };
+    pub const ANY: IdPattern = IdPattern {
+        s: None,
+        p: None,
+        o: None,
+    };
 
     /// Construct from options.
     pub fn new(s: Option<TermId>, p: Option<TermId>, o: Option<TermId>) -> IdPattern {
@@ -35,9 +39,9 @@ impl IdPattern {
     /// Does a concrete triple match this pattern?
     #[inline]
     pub fn matches(&self, t: &EncodedTriple) -> bool {
-        self.s.map_or(true, |s| s == t[0])
-            && self.p.map_or(true, |p| p == t[1])
-            && self.o.map_or(true, |o| o == t[2])
+        self.s.is_none_or(|s| s == t[0])
+            && self.p.is_none_or(|p| p == t[1])
+            && self.o.is_none_or(|o| o == t[2])
     }
 }
 

@@ -24,7 +24,7 @@ pub struct PredicateStats {
 }
 
 /// Whole-graph statistics snapshot.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct GraphStats {
     /// Total triples.
     pub triples: usize,
@@ -125,6 +125,119 @@ impl GraphStats {
     }
 }
 
+/// Reference-counted live statistics, updated per insert/remove instead of
+/// recomputed with a full pass — the statistics half of the update path
+/// (`Dataset::apply`). Distinct counts are maintained exactly (not
+/// sketched) by keeping per-term occurrence counts; a term leaves a
+/// distinct set when its last occurrence is removed.
+#[derive(Debug, Clone, Default)]
+pub struct StatsTracker {
+    triples: usize,
+    subjects: FxHashMap<TermId, usize>,
+    objects: FxHashMap<TermId, usize>,
+    /// Occurrences as subject *or* object (each triple contributes two).
+    nodes: FxHashMap<TermId, usize>,
+    predicates: FxHashMap<TermId, PredTracker>,
+}
+
+#[derive(Debug, Clone, Default)]
+struct PredTracker {
+    count: usize,
+    subjects: FxHashMap<TermId, usize>,
+    objects: FxHashMap<TermId, usize>,
+}
+
+fn ref_inc(map: &mut FxHashMap<TermId, usize>, key: TermId) {
+    *map.entry(key).or_insert(0) += 1;
+}
+
+fn ref_dec(map: &mut FxHashMap<TermId, usize>, key: TermId) {
+    match map.get_mut(&key) {
+        Some(n) if *n > 1 => *n -= 1,
+        Some(_) => {
+            map.remove(&key);
+        }
+        None => debug_assert!(false, "refcount underflow for {key:?}"),
+    }
+}
+
+impl StatsTracker {
+    /// Build a tracker from an existing store (one pass).
+    pub fn from_store(store: &GraphStore) -> StatsTracker {
+        let mut tracker = StatsTracker::default();
+        for triple in store.iter() {
+            tracker.record_insert(&triple);
+        }
+        tracker
+    }
+
+    /// Account for a triple that was actually inserted (caller must have
+    /// established it was new).
+    pub fn record_insert(&mut self, &[s, p, o]: &[TermId; 3]) {
+        self.triples += 1;
+        ref_inc(&mut self.subjects, s);
+        ref_inc(&mut self.objects, o);
+        ref_inc(&mut self.nodes, s);
+        ref_inc(&mut self.nodes, o);
+        let pred = self.predicates.entry(p).or_default();
+        pred.count += 1;
+        ref_inc(&mut pred.subjects, s);
+        ref_inc(&mut pred.objects, o);
+    }
+
+    /// Account for a triple that was actually removed (caller must have
+    /// established it was present).
+    pub fn record_remove(&mut self, &[s, p, o]: &[TermId; 3]) {
+        debug_assert!(self.triples > 0, "remove on empty tracker");
+        self.triples = self.triples.saturating_sub(1);
+        ref_dec(&mut self.subjects, s);
+        ref_dec(&mut self.objects, o);
+        ref_dec(&mut self.nodes, s);
+        ref_dec(&mut self.nodes, o);
+        if let Some(pred) = self.predicates.get_mut(&p) {
+            pred.count -= 1;
+            ref_dec(&mut pred.subjects, s);
+            ref_dec(&mut pred.objects, o);
+            if pred.count == 0 {
+                self.predicates.remove(&p);
+            }
+        } else {
+            debug_assert!(false, "remove for untracked predicate {p:?}");
+        }
+    }
+
+    /// Current triple count.
+    pub fn triples(&self) -> usize {
+        self.triples
+    }
+
+    /// Materialize the current counters as a [`GraphStats`] snapshot
+    /// (cost: one pass over the *predicate* map, not the graph).
+    pub fn snapshot(&self) -> GraphStats {
+        GraphStats {
+            triples: self.triples,
+            distinct_subjects: self.subjects.len(),
+            distinct_objects: self.objects.len(),
+            distinct_nodes: self.nodes.len(),
+            distinct_predicates: self.predicates.len(),
+            predicates: self
+                .predicates
+                .iter()
+                .map(|(&p, t)| {
+                    (
+                        p,
+                        PredicateStats {
+                            count: t.count,
+                            distinct_subjects: t.subjects.len(),
+                            distinct_objects: t.objects.len(),
+                        },
+                    )
+                })
+                .collect(),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -196,5 +309,54 @@ mod tests {
         assert_eq!(stats.estimate_pattern(IdPattern::ANY), 0.0);
         assert_eq!(stats.triples, 0);
         assert_eq!(stats.distinct_nodes, 0);
+    }
+
+    #[test]
+    fn tracker_agrees_with_compute_under_churn() {
+        let mut store = GraphStore::new();
+        let mut tracker = StatsTracker::default();
+        // Deterministic insert/remove mix, including re-inserts.
+        let mut ops: Vec<(bool, [TermId; 3])> = Vec::new();
+        for i in 0u32..200 {
+            ops.push((true, t(i % 9, i % 4, i % 13)));
+        }
+        for i in 0u32..120 {
+            ops.push((false, t((i * 3) % 9, i % 4, (i * 7) % 13)));
+        }
+        for i in 0u32..60 {
+            ops.push((true, t((i * 5) % 9, (i + 1) % 4, i % 13)));
+        }
+        for (is_insert, triple) in ops {
+            if is_insert {
+                if store.insert(triple) {
+                    tracker.record_insert(&triple);
+                }
+            } else if store.remove(&triple) {
+                tracker.record_remove(&triple);
+            }
+        }
+        assert_eq!(tracker.snapshot(), GraphStats::compute(&store));
+        assert_eq!(tracker.triples(), store.len());
+    }
+
+    #[test]
+    fn tracker_from_store_matches_compute() {
+        let store = sample_store();
+        let tracker = StatsTracker::from_store(&store);
+        assert_eq!(tracker.snapshot(), GraphStats::compute(&store));
+    }
+
+    #[test]
+    fn tracker_shared_node_refcounts() {
+        let mut tracker = StatsTracker::default();
+        // 1 appears as subject and object of different triples.
+        tracker.record_insert(&t(1, 10, 2));
+        tracker.record_insert(&t(2, 10, 1));
+        assert_eq!(tracker.snapshot().distinct_nodes, 2);
+        tracker.record_remove(&t(1, 10, 2));
+        // 1 survives as an object, 2 as a subject.
+        assert_eq!(tracker.snapshot().distinct_nodes, 2);
+        tracker.record_remove(&t(2, 10, 1));
+        assert_eq!(tracker.snapshot(), GraphStats::default());
     }
 }

@@ -86,9 +86,16 @@ pub fn generate(config: &Config) -> GeneratedDataset {
     let population_p = iri("population");
 
     // Regions.
-    let regions: Vec<Term> = (0..config.regions).map(|r| iri(format!("region/{r}"))).collect();
+    let regions: Vec<Term> = (0..config.regions)
+        .map(|r| iri(format!("region/{r}")))
+        .collect();
     for (r, region) in regions.iter().enumerate() {
-        ds.insert(None, region, &name_p, &Term::literal_str(format!("Region{r}")));
+        ds.insert(
+            None,
+            region,
+            &name_p,
+            &Term::literal_str(format!("Region{r}")),
+        );
     }
 
     // Languages, Zipf-popular.
@@ -101,7 +108,12 @@ pub fn generate(config: &Config) -> GeneratedDataset {
     let mut obs_counter = 0usize;
     for c in 0..config.countries {
         let country = iri(format!("country/{c}"));
-        ds.insert(None, &country, &name_p, &Term::literal_str(format!("Country{c}")));
+        ds.insert(
+            None,
+            &country,
+            &name_p,
+            &Term::literal_str(format!("Country{c}")),
+        );
         let region = &regions[rng.gen_range(0..regions.len().max(1))];
         ds.insert(None, &country, &part_of, region);
 
@@ -194,15 +206,24 @@ mod tests {
     fn generation_is_deterministic() {
         let a = generate(&Config::default());
         let b = generate(&Config::default());
-        assert_eq!(a.dataset.default_graph().len(), b.dataset.default_graph().len());
+        assert_eq!(
+            a.dataset.default_graph().len(),
+            b.dataset.default_graph().len()
+        );
         assert_eq!(a.dataset.total_triples(), b.dataset.total_triples());
     }
 
     #[test]
     fn different_seeds_differ() {
         let a = generate(&Config::default());
-        let b = generate(&Config { seed: 99, ..Config::default() });
-        assert_ne!(a.dataset.default_graph().len(), b.dataset.default_graph().len());
+        let b = generate(&Config {
+            seed: 99,
+            ..Config::default()
+        });
+        assert_ne!(
+            a.dataset.default_graph().len(),
+            b.dataset.default_graph().len()
+        );
     }
 
     #[test]
@@ -210,7 +231,9 @@ mod tests {
         let g = generate(&Config::default());
         let facet = &g.facets[0];
         let q = sofos_cube::view_query(facet, sofos_cube::ViewMask::APEX);
-        let r = Evaluator::new(&g.dataset).evaluate(&q).expect("facet query runs");
+        let r = Evaluator::new(&g.dataset)
+            .evaluate(&q)
+            .expect("facet query runs");
         assert_eq!(r.len(), 1, "apex has one row");
         // Total population must be positive.
         let total = r.rows[0]
@@ -243,7 +266,10 @@ mod tests {
 
     #[test]
     fn language_distribution_is_skewed() {
-        let config = Config { countries: 120, ..Config::default() };
+        let config = Config {
+            countries: 120,
+            ..Config::default()
+        };
         let g = generate(&config);
         let e = Evaluator::new(&g.dataset);
         let r = e

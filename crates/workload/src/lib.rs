@@ -13,11 +13,13 @@ pub mod lubm;
 pub mod queries;
 pub mod swdf;
 pub mod synthetic;
+pub mod updates;
 pub mod zipf;
 
 pub use queries::{
     derivable_aggs, dimension_values, generate_workload, GeneratedQuery, WorkloadConfig,
 };
+pub use updates::{generate_update_stream, UpdateStreamConfig};
 pub use zipf::Zipf;
 
 use sofos_cube::Facet;

@@ -104,7 +104,9 @@ pub fn generate(config: &Config) -> GeneratedDataset {
     let year_p = iri("year");
     let pages_p = iri("pages");
 
-    let venues: Vec<Term> = (0..config.venues).map(|v| iri(format!("venue/{v}"))).collect();
+    let venues: Vec<Term> = (0..config.venues)
+        .map(|v| iri(format!("venue/{v}")))
+        .collect();
     let venue_zipf = Zipf::new(config.venues, config.venue_skew);
 
     let mut pub_counter = 0usize;
@@ -133,7 +135,12 @@ pub fn generate(config: &Config) -> GeneratedDataset {
                     let venue = &venues[venue_zipf.sample(&mut rng)];
                     ds.insert(None, &publication, &venue_p, venue);
                     let year = 2010 + rng.gen_range(0..config.years) as i32;
-                    ds.insert(None, &publication, &year_p, &Term::Literal(Literal::year(year)));
+                    ds.insert(
+                        None,
+                        &publication,
+                        &year_p,
+                        &Term::Literal(Literal::year(year)),
+                    );
                     let pages = rng.gen_range(4..30);
                     ds.insert(None, &publication, &pages_p, &Term::literal_int(pages));
                 }
@@ -273,8 +280,10 @@ mod tests {
         let facet = &g.facets[0];
         let lattice = sofos_cube::Lattice::new(facet.clone());
         let q = sofos_cube::view_query(facet, lattice.base());
-        let r = Evaluator::new(&g.dataset).evaluate(&q).expect("base view query");
-        assert!(r.len() > 0);
+        let r = Evaluator::new(&g.dataset)
+            .evaluate(&q)
+            .expect("base view query");
+        assert!(!r.is_empty());
         // AVG facet: both components projected.
         assert!(r.column(sofos_cube::SUM_ALIAS).is_some());
         assert!(r.column(sofos_cube::COUNT_ALIAS).is_some());
@@ -282,7 +291,10 @@ mod tests {
 
     #[test]
     fn venue_popularity_is_skewed() {
-        let g = generate(&Config { universities: 8, ..Config::default() });
+        let g = generate(&Config {
+            universities: 8,
+            ..Config::default()
+        });
         let e = Evaluator::new(&g.dataset);
         let r = e
             .evaluate_str(&format!(

@@ -198,7 +198,10 @@ mod tests {
         let workload = generate_workload(
             &ds,
             &facet,
-            &WorkloadConfig { num_queries: 15, ..WorkloadConfig::default() },
+            &WorkloadConfig {
+                num_queries: 15,
+                ..WorkloadConfig::default()
+            },
         );
         let evaluator = Evaluator::new(&ds);
         for q in &workload {
@@ -214,13 +217,20 @@ mod tests {
         let workload = generate_workload(
             &ds,
             &facet,
-            &WorkloadConfig { num_queries: 30, filter_probability: 1.0, ..Default::default() },
+            &WorkloadConfig {
+                num_queries: 30,
+                filter_probability: 1.0,
+                ..Default::default()
+            },
         );
         for q in &workload {
             assert!(q.required.covers(q.group_mask));
         }
         // With filter probability 1, most queries gain a filter dimension.
-        let with_filters = workload.iter().filter(|q| q.required != q.group_mask).count();
+        let with_filters = workload
+            .iter()
+            .filter(|q| q.required != q.group_mask)
+            .count();
         assert!(with_filters > 0);
     }
 

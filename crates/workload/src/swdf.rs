@@ -86,7 +86,9 @@ pub fn generate(config: &Config) -> GeneratedDataset {
     let author_p = iri("creator");
     let citations_p = iri("citations");
 
-    let authors: Vec<Term> = (0..config.authors).map(|a| iri(format!("author/{a}"))).collect();
+    let authors: Vec<Term> = (0..config.authors)
+        .map(|a| iri(format!("author/{a}")))
+        .collect();
     let author_zipf = Zipf::new(config.authors, config.author_skew);
 
     // Track IRIs are shared across editions of the same conference (the

@@ -70,8 +70,9 @@ pub fn generate(config: &Config) -> GeneratedDataset {
     let mut rng = StdRng::seed_from_u64(config.seed);
     let mut ds = Dataset::new();
     let measure_p = iri("measure");
-    let dim_preds: Vec<Term> =
-        (0..config.cardinalities.len()).map(|d| iri(format!("dim{d}"))).collect();
+    let dim_preds: Vec<Term> = (0..config.cardinalities.len())
+        .map(|d| iri(format!("dim{d}")))
+        .collect();
     let samplers: Vec<Zipf> = config
         .cardinalities
         .iter()
@@ -84,7 +85,12 @@ pub fn generate(config: &Config) -> GeneratedDataset {
             let v = sampler.sample(&mut rng);
             ds.insert(None, &obs, &dim_preds[d], &iri(format!("v{d}_{v}")));
         }
-        ds.insert(None, &obs, &measure_p, &Term::literal_int(rng.gen_range(1..1000)));
+        ds.insert(
+            None,
+            &obs,
+            &measure_p,
+            &Term::literal_int(rng.gen_range(1..1000)),
+        );
     }
     ds.optimize();
 
@@ -153,9 +159,7 @@ mod tests {
         });
         let e = sofos_sparql::Evaluator::new(&g.dataset);
         let r = e
-            .evaluate_str(&format!(
-                "SELECT DISTINCT ?v WHERE {{ ?o <{NS}dim0> ?v }}"
-            ))
+            .evaluate_str(&format!("SELECT DISTINCT ?v WHERE {{ ?o <{NS}dim0> ?v }}"))
             .unwrap();
         assert!(r.len() <= 4);
         assert!(r.len() >= 2, "with 500 draws most values appear");

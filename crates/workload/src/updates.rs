@@ -1,0 +1,346 @@
+//! Update streams: zipf-skewed insert/delete mixes over a facet's data.
+//!
+//! The maintenance experiments (E7) need a *living* graph: batches of
+//! observation-level inserts and deletes whose dimension values follow the
+//! same skew as the seed data, so hot groups churn more than cold ones —
+//! the regime where staleness policies actually differ. Streams are
+//! generated against a snapshot of the dataset but simulate their own
+//! effects, so deletes always reference observations that are still alive
+//! at that point in the stream. All generation is deterministic per seed.
+
+use crate::queries::dimension_values;
+use crate::zipf::Zipf;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sofos_cube::Facet;
+use sofos_rdf::{FxHashMap, Term, TermId};
+use sofos_sparql::{GraphSpec, PatternElement, PatternTerm};
+use sofos_store::{Dataset, Delta, IdPattern};
+
+/// Update-stream parameters.
+#[derive(Debug, Clone)]
+pub struct UpdateStreamConfig {
+    /// Number of [`Delta`] batches to produce.
+    pub batches: usize,
+    /// Observation-level operations per batch.
+    pub batch_size: usize,
+    /// Probability an operation inserts a new observation (the rest
+    /// delete an existing one).
+    pub insert_ratio: f64,
+    /// Zipf exponent over each dimension's existing values (inserts) and
+    /// over deletion targets; `0` is uniform.
+    pub skew: f64,
+    /// Measure values are drawn uniformly from this range.
+    pub measure_range: std::ops::Range<i64>,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for UpdateStreamConfig {
+    fn default() -> Self {
+        UpdateStreamConfig {
+            batches: 10,
+            batch_size: 8,
+            insert_ratio: 0.6,
+            skew: 0.8,
+            measure_range: 1..1000,
+            seed: 23,
+        }
+    }
+}
+
+/// The facet's star shape, as far as the generator needs it: one constant
+/// predicate per dimension plus the measure predicate.
+struct FacetPreds {
+    dims: Vec<Term>,
+    measure: Term,
+}
+
+fn facet_preds(facet: &Facet) -> Option<FacetPreds> {
+    let mut by_var: FxHashMap<&str, &Term> = FxHashMap::default();
+    for element in &facet.pattern.elements {
+        let PatternElement::Triples {
+            graph: GraphSpec::Default,
+            patterns,
+        } = element
+        else {
+            continue;
+        };
+        for pattern in patterns {
+            if let (Some(var), PatternTerm::Const(pred)) =
+                (pattern.object.as_var(), &pattern.predicate)
+            {
+                by_var.insert(var, pred);
+            }
+        }
+    }
+    let dims = facet
+        .dimensions
+        .iter()
+        .map(|d| by_var.get(d.var.as_str()).map(|&p| p.clone()))
+        .collect::<Option<Vec<Term>>>()?;
+    let measure = by_var.get(facet.measure.as_str()).map(|&p| p.clone())?;
+    Some(FacetPreds { dims, measure })
+}
+
+/// Generate a deterministic stream of update batches for a facet.
+///
+/// Inserts create fresh observation nodes whose dimension values are
+/// zipf-sampled from the values already present in the data (plus a fresh
+/// measure); deletes remove *whole* observations — every facet-predicate
+/// triple of a zipf-chosen live subject. Returns one [`Delta`] per batch.
+///
+/// Panics if the facet's dimensions and measure are not bound by constant
+/// predicates (every shipped facet binds them that way).
+pub fn generate_update_stream(
+    dataset: &Dataset,
+    facet: &Facet,
+    config: &UpdateStreamConfig,
+) -> Vec<Delta> {
+    let preds =
+        facet_preds(facet).expect("update streams need constant dimension/measure predicates");
+    let mut rng = StdRng::seed_from_u64(config.seed);
+
+    // Existing dimension values (zipf-ranked by their discovery order,
+    // which is deterministic) — inserts re-use the live value universe.
+    let values: Vec<Vec<Term>> = dimension_values(dataset, facet);
+    let dim_samplers: Vec<Option<Zipf>> = values
+        .iter()
+        .map(|v| (!v.is_empty()).then(|| Zipf::new(v.len(), config.skew)))
+        .collect();
+
+    // Live observations: subject → its facet triples. Seeded from the
+    // snapshot, then simulated forward as the stream is generated.
+    let mut live: Vec<(Term, Vec<(Term, Term)>)> = live_observations(dataset, &preds);
+
+    let mut out = Vec::with_capacity(config.batches);
+    let mut fresh = 0usize;
+    for _ in 0..config.batches {
+        let mut delta = Delta::new();
+        // One deletion sampler per batch (the cumulative table costs
+        // O(live)); ranks are clamped as the pool shrinks mid-batch.
+        let mut delete_sampler: Option<Zipf> = None;
+        for _ in 0..config.batch_size {
+            let insert = live.is_empty() || rng.gen_bool(config.insert_ratio.clamp(0.0, 1.0));
+            if insert {
+                let node = Term::blank(format!("upd{}_{}", config.seed, fresh));
+                fresh += 1;
+                let mut triples: Vec<(Term, Term)> = Vec::with_capacity(preds.dims.len() + 1);
+                for (d, pred) in preds.dims.iter().enumerate() {
+                    let value = match (&dim_samplers[d], values[d].as_slice()) {
+                        (Some(zipf), pool) => pool[zipf.sample(&mut rng)].clone(),
+                        // A dimension with no observed values yet: mint one.
+                        (None, _) => Term::iri(format!("http://sofos.example/update-value/d{d}")),
+                    };
+                    triples.push((pred.clone(), value));
+                }
+                let measure = rng.gen_range(config.measure_range.clone());
+                triples.push((preds.measure.clone(), Term::literal_int(measure)));
+                for (p, o) in &triples {
+                    delta.insert(node.clone(), p.clone(), o.clone());
+                }
+                live.push((node, triples));
+            } else {
+                // Zipf toward the front: long-lived (hot) observations
+                // are deleted more often than the tail.
+                let sampler =
+                    delete_sampler.get_or_insert_with(|| Zipf::new(live.len(), config.skew));
+                let rank = sampler.sample(&mut rng).min(live.len() - 1);
+                let (node, triples) = live.swap_remove(rank);
+                for (p, o) in triples {
+                    delta.delete(node.clone(), p, o);
+                }
+            }
+        }
+        out.push(delta);
+    }
+    out
+}
+
+/// All current observations with their facet triples.
+fn live_observations(dataset: &Dataset, preds: &FacetPreds) -> Vec<(Term, Vec<(Term, Term)>)> {
+    let base = dataset.default_graph();
+    let Some(measure_id) = dataset.dict().get_id(&preds.measure) else {
+        return Vec::new();
+    };
+    let mut subjects: Vec<TermId> = base
+        .scan(IdPattern::new(None, Some(measure_id), None))
+        .map(|[s, _, _]| s)
+        .collect();
+    subjects.sort_unstable();
+    subjects.dedup();
+
+    let pred_ids: Vec<Option<TermId>> = preds
+        .dims
+        .iter()
+        .map(|p| dataset.dict().get_id(p))
+        .chain(std::iter::once(Some(measure_id)))
+        .collect();
+    subjects
+        .into_iter()
+        .map(|s| {
+            let mut triples = Vec::new();
+            for pred in pred_ids.iter().flatten() {
+                for [_, p, o] in base.scan(IdPattern::new(Some(s), Some(*pred), None)) {
+                    triples.push((dataset.term(p).clone(), dataset.term(o).clone()));
+                }
+            }
+            (dataset.term(s).clone(), triples)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synthetic;
+
+    fn setup() -> (Dataset, Facet) {
+        let g = synthetic::generate(&synthetic::Config {
+            observations: 60,
+            ..synthetic::Config::default()
+        });
+        let facet = g.facets[0].clone();
+        (g.dataset, facet)
+    }
+
+    #[test]
+    fn streams_are_deterministic() {
+        let (ds, facet) = setup();
+        let config = UpdateStreamConfig::default();
+        let a = generate_update_stream(&ds, &facet, &config);
+        let b = generate_update_stream(&ds, &facet, &config);
+        assert_eq!(a.len(), config.batches);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.len(), y.len());
+            for (ox, oy) in x.ops().zip(y.ops()) {
+                assert_eq!(ox.kind, oy.kind);
+                assert_eq!(ox.triple, oy.triple);
+            }
+        }
+    }
+
+    #[test]
+    fn deletes_always_hit_live_observations() {
+        let (mut ds, facet) = setup();
+        let stream = generate_update_stream(
+            &ds,
+            &facet,
+            &UpdateStreamConfig {
+                batches: 12,
+                batch_size: 10,
+                insert_ratio: 0.4, // delete-heavy
+                ..UpdateStreamConfig::default()
+            },
+        );
+        let mut noops = 0;
+        for delta in stream {
+            noops += ds.apply(delta).noops;
+        }
+        assert_eq!(
+            noops, 0,
+            "every queued op must hit (inserts new, deletes live)"
+        );
+    }
+
+    #[test]
+    fn insert_ratio_extremes() {
+        let (ds, facet) = setup();
+        let before = ds.default_graph().len();
+
+        let mut grown = ds.clone();
+        for delta in generate_update_stream(
+            &grown.clone(),
+            &facet,
+            &UpdateStreamConfig {
+                insert_ratio: 1.0,
+                ..Default::default()
+            },
+        ) {
+            grown.apply(delta);
+        }
+        assert!(
+            grown.default_graph().len() > before,
+            "pure inserts grow the graph"
+        );
+
+        let mut shrunk = ds.clone();
+        for delta in generate_update_stream(
+            &shrunk.clone(),
+            &facet,
+            &UpdateStreamConfig {
+                insert_ratio: 0.0,
+                ..Default::default()
+            },
+        ) {
+            shrunk.apply(delta);
+        }
+        assert!(
+            shrunk.default_graph().len() < before,
+            "pure deletes shrink the graph"
+        );
+    }
+
+    #[test]
+    fn inserted_observations_are_complete_stars() {
+        let (mut ds, facet) = setup();
+        let stream = generate_update_stream(
+            &ds,
+            &facet,
+            &UpdateStreamConfig {
+                insert_ratio: 1.0,
+                batches: 2,
+                ..Default::default()
+            },
+        );
+        let dims = facet.dim_count();
+        for delta in &stream {
+            // Each op group: one triple per dimension + one measure.
+            assert_eq!(delta.len() % (dims + 1), 0);
+        }
+        for delta in stream {
+            ds.apply(delta);
+        }
+        // New observations answer the facet's base query.
+        let q = sofos_cube::facet_query(
+            &facet,
+            sofos_cube::ViewMask::APEX,
+            sofos_cube::AggOp::Count,
+            vec![],
+        );
+        let r = sofos_sparql::Evaluator::new(&ds).evaluate(&q).unwrap();
+        assert_eq!(r.len(), 1);
+    }
+
+    #[test]
+    fn skewed_streams_concentrate_on_hot_values() {
+        let (ds, facet) = setup();
+        let stream = generate_update_stream(
+            &ds,
+            &facet,
+            &UpdateStreamConfig {
+                batches: 30,
+                batch_size: 10,
+                insert_ratio: 1.0,
+                skew: 1.4,
+                ..Default::default()
+            },
+        );
+        // Count dimension-0 values across inserted observations.
+        let mut counts: std::collections::HashMap<String, usize> = Default::default();
+        for delta in &stream {
+            for op in delta.ops() {
+                let [_, p, o] = &op.triple;
+                if format!("{p:?}").contains("dim0") {
+                    *counts.entry(format!("{o:?}")).or_default() += 1;
+                }
+            }
+        }
+        let total: usize = counts.values().sum();
+        let max = counts.values().copied().max().unwrap_or(0);
+        assert!(
+            max * 3 > total,
+            "hot value should dominate under skew 1.4: {counts:?}"
+        );
+    }
+}

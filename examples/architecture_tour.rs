@@ -40,7 +40,11 @@ fn main() {
     println!(
         "② cube       facet `{}`: dims {:?}, measure ?{}, agg {}",
         facet.id,
-        facet.dimensions.iter().map(|d| d.var.as_str()).collect::<Vec<_>>(),
+        facet
+            .dimensions
+            .iter()
+            .map(|d| d.var.as_str())
+            .collect::<Vec<_>>(),
         facet.measure,
         facet.agg
     );
@@ -57,7 +61,11 @@ fn main() {
 
     // 4. Cost models price the views.
     let base_stats = GraphStats::compute(generated.dataset.default_graph());
-    let ctx = CostContext { facet: &facet, view_stats: &sized, base: &base_stats };
+    let ctx = CostContext {
+        facet: &facet,
+        view_stats: &sized,
+        base: &base_stats,
+    };
     let sample = ViewMask::from_dims(&[0, 1]);
     println!(
         "④ cost       C({}) — triples: {}, agg-values: {}",
@@ -69,8 +77,11 @@ fn main() {
     // 5. Greedy selection under a budget of 3.
     let profile = WorkloadProfile::uniform(&lattice);
     let outcome = greedy_select(&ctx, &lattice, &AggValuesCost, &profile, Budget::Views(3));
-    let names: Vec<String> =
-        outcome.selected.iter().map(|&v| lattice.view_name(v)).collect();
+    let names: Vec<String> = outcome
+        .selected
+        .iter()
+        .map(|&v| lattice.view_name(v))
+        .collect();
     println!(
         "⑤ select     k=3 → {} (estimated speedup {:.1}x)",
         names.join(", "),
@@ -92,7 +103,11 @@ fn main() {
     let query = facet_query(&facet, ViewMask::from_dims(&[0]), AggOp::Sum, vec![]);
     println!("⑦ rewrite    Q : {}", query_to_sparql(&query));
     let (routed, rewritten) = plan_rewrite(&facet, &catalog, &query).unwrap();
-    println!("             Q′ over view {}: {}", lattice.view_name(routed), query_to_sparql(&rewritten));
+    println!(
+        "             Q′ over view {}: {}",
+        lattice.view_name(routed),
+        query_to_sparql(&rewritten)
+    );
     let evaluator = Evaluator::new(&expanded);
     let from_view = evaluator.evaluate(&rewritten).unwrap();
     let from_base = evaluator.evaluate(&query).unwrap();

@@ -4,8 +4,8 @@
 //!
 //! Run with: `cargo run --release --example hands_on_challenge`
 
-use sofos::cost::{AggValuesCost, CostModelKind};
 use sofos::core::{build_model, EngineConfig, SizedLattice};
+use sofos::cost::{AggValuesCost, CostModelKind};
 use sofos::cube::ViewMask;
 use sofos::select::{
     exhaustive_select, greedy_select, user_select, workload_cost, Budget, WorkloadProfile,
@@ -29,7 +29,11 @@ fn main() {
     let workload = generate_workload(
         &generated.dataset,
         &facet,
-        &WorkloadConfig { num_queries: 40, mask_skew: Some(1.2), ..WorkloadConfig::default() },
+        &WorkloadConfig {
+            num_queries: 40,
+            mask_skew: Some(1.2),
+            ..WorkloadConfig::default()
+        },
     );
     let profile = WorkloadProfile::from_masks(workload.iter().map(|q| q.required));
     let scorer = AggValuesCost; // the judge prices answers by view rows
@@ -53,8 +57,13 @@ fn main() {
     let mut greedy_rows = Vec::new();
     for kind in CostModelKind::ALL {
         let (model, _, _) = build_model(kind, &sized, &config);
-        let outcome =
-            greedy_select(&ctx, &sized.lattice, model.as_ref(), &profile, Budget::Views(k));
+        let outcome = greedy_select(
+            &ctx,
+            &sized.lattice,
+            model.as_ref(),
+            &profile,
+            Budget::Views(k),
+        );
         // Score every contestant with the same judge for comparability.
         let score = workload_cost(&ctx, &scorer, &profile, &outcome.selected);
         greedy_rows.push((kind.name().to_string(), outcome.selected.clone(), score));
@@ -64,14 +73,19 @@ fn main() {
     let oracle = exhaustive_select(&ctx, &sized.lattice, &scorer, &profile, k, 1_000_000);
     let oracle_score = oracle.estimated_cost;
 
-    println!("\n{:<14} {:>12} {:>9}  selection", "contestant", "est. cost", "vs best");
+    println!(
+        "\n{:<14} {:>12} {:>9}  selection",
+        "contestant", "est. cost", "vs best"
+    );
     let manual_score = manual_outcome.estimated_cost;
     let mut entries = vec![("manual (you)".to_string(), manual.clone(), manual_score)];
     entries.extend(greedy_rows);
     entries.push(("ORACLE".to_string(), oracle.selected.clone(), oracle_score));
     for (name, selection, score) in &entries {
-        let names: Vec<String> =
-            selection.iter().map(|&v| sized.lattice.view_name(v)).collect();
+        let names: Vec<String> = selection
+            .iter()
+            .map(|&v| sized.lattice.view_name(v))
+            .collect();
         println!(
             "{:<14} {:>12.1} {:>8.2}x  {}",
             name,

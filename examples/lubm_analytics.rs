@@ -23,12 +23,15 @@ fn main() {
     );
 
     let sized = SizedLattice::compute(&generated.dataset, &facet).expect("sizing");
-    let workload_config = WorkloadConfig { num_queries: 30, ..WorkloadConfig::default() };
+    let workload_config = WorkloadConfig {
+        num_queries: 30,
+        ..WorkloadConfig::default()
+    };
     let workload = generate_workload(&generated.dataset, &facet, &workload_config);
     let profile = WorkloadProfile::from_masks(workload.iter().map(|q| q.required));
 
-    let baseline = run_online(&generated.dataset, &facet, &[], &workload, 3, false)
-        .expect("baseline run");
+    let baseline =
+        run_online(&generated.dataset, &facet, &[], &workload, 3, false).expect("baseline run");
     println!(
         "no views: total {:.2} ms over {} queries\n",
         baseline.summary.total_us as f64 / 1000.0,
@@ -39,8 +42,10 @@ fn main() {
         "{:<4} {:>10} {:>12} {:>12} {:>9} {:>8}",
         "k", "hits", "total ms", "space amp", "speedup", "views"
     );
-    let mut config = EngineConfig::default();
-    config.timing_reps = 3;
+    let mut config = EngineConfig {
+        timing_reps: 3,
+        ..EngineConfig::default()
+    };
     for k in 0..=sized.lattice.num_views() as usize {
         config.budget = Budget::Views(k);
         let mut expanded = generated.dataset.clone();

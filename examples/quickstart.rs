@@ -48,7 +48,10 @@ fn main() {
         ds.insert(None, &obs, &population_p, &Term::literal_int(*pop));
         ds.insert(None, &obs, &year_p, &Term::Literal(Literal::year(*year)));
     }
-    println!("Loaded the Figure 1 graph: {} triples\n", ds.default_graph().len());
+    println!(
+        "Loaded the Figure 1 graph: {} triples\n",
+        ds.default_graph().len()
+    );
 
     // --- Define the analytical facet F = ⟨X̄, P, agg(u)⟩ -------------------
     let pattern = sofos::sparql::GroupPattern::triples(vec![

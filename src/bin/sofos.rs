@@ -64,7 +64,9 @@ fn main() -> ExitCode {
             ExitCode::SUCCESS
         }
         Some("lattice") => {
-            let Some(g) = args.get(1).and_then(|n| load(n)) else { return usage() };
+            let Some(g) = args.get(1).and_then(|n| load(n)) else {
+                return usage();
+            };
             let system = Sofos::from_generated(&g);
             let sized = match system.size_lattice() {
                 Ok(s) => s,
@@ -79,7 +81,14 @@ fn main() -> ExitCode {
                 sized.lattice.num_views(),
                 sized.sizing_us as f64 / 1000.0
             );
-            out!("{:<40} {:>8} {:>9} {:>8} {:>10}", "view", "rows", "triples", "nodes", "bytes");
+            out!(
+                "{:<40} {:>8} {:>9} {:>8} {:>10}",
+                "view",
+                "rows",
+                "triples",
+                "nodes",
+                "bytes"
+            );
             for mask in sized.lattice.views() {
                 let s = &sized.stats[&mask];
                 out!(
@@ -94,12 +103,16 @@ fn main() -> ExitCode {
             ExitCode::SUCCESS
         }
         Some("compare") => {
-            let Some(g) = args.get(1).and_then(|n| load(n)) else { return usage() };
+            let Some(g) = args.get(1).and_then(|n| load(n)) else {
+                return usage();
+            };
             let k: usize = args.get(2).and_then(|v| v.parse().ok()).unwrap_or(4);
             let queries: usize = args.get(3).and_then(|v| v.parse().ok()).unwrap_or(40);
             let system = Sofos::from_generated(&g);
-            let mut config = EngineConfig::default();
-            config.budget = Budget::Views(k);
+            let mut config = EngineConfig {
+                budget: Budget::Views(k),
+                ..EngineConfig::default()
+            };
             config.workload.num_queries = queries;
             match system.compare(&CostModelKind::ALL, &config) {
                 Ok(report) => {
@@ -113,8 +126,7 @@ fn main() -> ExitCode {
             }
         }
         Some("query") => {
-            let (Some(g), Some(text)) = (args.get(1).and_then(|n| load(n)), args.get(2))
-            else {
+            let (Some(g), Some(text)) = (args.get(1).and_then(|n| load(n)), args.get(2)) else {
                 return usage();
             };
             let system = Sofos::from_generated(&g);
@@ -131,7 +143,9 @@ fn main() -> ExitCode {
             }
         }
         Some("export") => {
-            let Some(g) = args.get(1).and_then(|n| load(n)) else { return usage() };
+            let Some(g) = args.get(1).and_then(|n| load(n)) else {
+                return usage();
+            };
             let format = args.get(2).map(String::as_str).unwrap_or("nt");
             let ds = &g.dataset;
             let mut graph = sofos::rdf::Graph::new();

@@ -9,13 +9,43 @@
 //! use sofos::cost::CostModelKind;  // the six cost models
 //! ```
 //!
-//! See the individual crates for the subsystem documentation:
-//! [`rdf`], [`store`], [`sparql`], [`cube`], [`cost`], [`select`],
-//! [`materialize`], [`rewrite`], [`workload`], [`core`].
+//! ## Architecture
+//!
+//! The workspace is layered bottom-up:
+//!
+//! * [`rdf`] — terms, dictionary interning, Turtle/N-Triples I/O;
+//! * [`store`] — the triple store: three LSM-lite permutation indexes per
+//!   graph, the dataset (`G+` = base graph + one named graph per view),
+//!   live base-graph statistics, and the **transactional write path**
+//!   ([`store::Delta`] / `Dataset::apply` → [`store::ChangeSet`]);
+//! * [`sparql`] — parser, planner, and evaluator for the SPARQL subset;
+//! * [`cube`] — facets `F = ⟨X̄, P, agg(u)⟩`, view masks, lattices, and
+//!   query generation;
+//! * [`cost`] — the six cost models of the paper, including the learned
+//!   one;
+//! * [`select`] — greedy budgeted view selection;
+//! * [`materialize`] — encodes view results as RDF observations inside
+//!   named graphs of `G+`;
+//! * [`rewrite`] — answers facet queries from materialized views;
+//! * [`maintain`] — **incremental view maintenance** for a living `G+`:
+//!   propagates change sets into view graphs with the counting algorithm
+//!   (SUM/COUNT/AVG patched in place, MIN/MAX re-evaluated per group on
+//!   deletes, empty groups retracted) and reports per-view
+//!   [`maintain::MaintenanceCost`];
+//! * [`workload`] — dataset generators, query workloads, and zipf-skewed
+//!   update streams;
+//! * [`core`] — ties it together: the offline phase (size → select →
+//!   materialize), the online phase (rewrite-routed measurement), and the
+//!   interleaved update/query [`core::Session`] with its three staleness
+//!   policies (maintain eagerly, maintain lazily on hit, or invalidate
+//!   and drop).
+//!
+//! See the individual crates for the subsystem documentation.
 
 pub use sofos_core as core;
 pub use sofos_cost as cost;
 pub use sofos_cube as cube;
+pub use sofos_maintain as maintain;
 pub use sofos_materialize as materialize;
 pub use sofos_rdf as rdf;
 pub use sofos_rewrite as rewrite;

@@ -83,11 +83,13 @@ fn rewritten_answers_equal_base_answers_everywhere() {
 fn filtered_queries_validate_on_all_datasets() {
     for generated in small_datasets() {
         let sofos = Sofos::from_generated(&generated);
-        let mut config = EngineConfig::default();
-        config.workload = WorkloadConfig {
-            num_queries: 15,
-            filter_probability: 0.8,
-            ..WorkloadConfig::default()
+        let mut config = EngineConfig {
+            workload: WorkloadConfig {
+                num_queries: 15,
+                filter_probability: 0.8,
+                ..WorkloadConfig::default()
+            },
+            ..EngineConfig::default()
         };
         config.timing_reps = 1;
         let report = sofos
@@ -99,7 +101,11 @@ fn filtered_queries_validate_on_all_datasets() {
                 "{} on {}: some view answers were wrong",
                 row.model, generated.name
             );
-            assert!(row.view_hits > 0, "{}: no queries hit views", generated.name);
+            assert!(
+                row.view_hits > 0,
+                "{}: no queries hit views",
+                generated.name
+            );
         }
     }
 }
@@ -152,9 +158,10 @@ fn engine_expands_in_place() {
         "one named graph per view"
     );
 
-    let workload =
-        generate_workload(sofos.dataset(), sofos.facet(), &config.workload);
-    let online = sofos.online(&offline.view_catalog(), &workload, &config).unwrap();
+    let workload = generate_workload(sofos.dataset(), sofos.facet(), &config.workload);
+    let online = sofos
+        .online(&offline.view_catalog(), &workload, &config)
+        .unwrap();
     assert!(online.all_valid);
 }
 
@@ -167,8 +174,10 @@ fn byte_budget_end_to_end() {
         ..dbpedia::Config::default()
     });
     let mut sofos = Sofos::from_generated(&generated);
-    let mut config = EngineConfig::default();
-    config.timing_reps = 1;
+    let mut config = EngineConfig {
+        timing_reps: 1,
+        ..EngineConfig::default()
+    };
     config.workload.num_queries = 6;
     // Budget: roughly enough for a few small views.
     config.budget = sofos::select::Budget::Bytes(4096);
@@ -219,7 +228,11 @@ fn workload_analysis_agrees_with_generator_metadata() {
     let workload = generate_workload(
         &generated.dataset,
         facet,
-        &WorkloadConfig { num_queries: 25, filter_probability: 0.5, ..Default::default() },
+        &WorkloadConfig {
+            num_queries: 25,
+            filter_probability: 0.5,
+            ..Default::default()
+        },
     );
     for q in &workload {
         let analysis = analyze_query(facet, &q.query).expect("generated queries analyzable");
@@ -247,15 +260,12 @@ fn oracle_versus_greedy_on_real_data() {
             &profile,
             sofos::select::Budget::Views(k),
         );
-        let oracle = sofos::select::exhaustive_select(
-            &ctx,
-            &sized.lattice,
-            &model,
-            &profile,
-            k,
-            1_000_000,
+        let oracle =
+            sofos::select::exhaustive_select(&ctx, &sized.lattice, &model, &profile, k, 1_000_000);
+        assert!(
+            oracle.estimated_cost <= greedy.estimated_cost + 1e-9,
+            "k={k}"
         );
-        assert!(oracle.estimated_cost <= greedy.estimated_cost + 1e-9, "k={k}");
         // Greedy should be close (within the classic (1 - 1/e) regime it is
         // much closer in practice on these lattices).
         assert!(

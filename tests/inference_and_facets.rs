@@ -90,7 +90,7 @@ fn facet_over_inferred_types_round_trips_through_views() {
         let from_view = evaluator.evaluate(&rewritten).unwrap();
         let from_base = evaluator.evaluate(&query).unwrap();
         assert!(results_equivalent(&from_view, &from_base), "mask {mask}");
-        assert!(from_base.len() > 0, "inferred facet has data");
+        assert!(!from_base.is_empty(), "inferred facet has data");
     }
 }
 

@@ -21,10 +21,7 @@ struct Obs {
 }
 
 fn arb_observations(dim_count: usize) -> impl Strategy<Value = Vec<Obs>> {
-    let obs = (
-        proptest::collection::vec(0u8..4, dim_count),
-        -50i64..50i64,
-    )
+    let obs = (proptest::collection::vec(0u8..4, dim_count), -50i64..50i64)
         .prop_map(|(dims, measure)| Obs { dims, measure });
     proptest::collection::vec(obs, 0..40)
 }

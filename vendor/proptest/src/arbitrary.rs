@@ -1,0 +1,50 @@
+//! `any::<T>()` for the types the workspace asks for.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use rand::Rng;
+
+/// Types with a canonical full-domain strategy.
+pub trait Arbitrary: Sized {
+    /// The strategy type returned by [`any`].
+    type Strategy: Strategy<Value = Self>;
+
+    /// The full-domain strategy.
+    fn arbitrary() -> Self::Strategy;
+}
+
+/// The canonical strategy for `T` (uniform over the whole domain; upstream's
+/// edge-case biasing is not reproduced).
+pub fn any<T: Arbitrary>() -> T::Strategy {
+    T::arbitrary()
+}
+
+/// Full-domain strategy for a primitive.
+#[derive(Debug, Clone, Copy)]
+pub struct FullDomain<T>(std::marker::PhantomData<T>);
+
+macro_rules! full_domain {
+    ($($t:ty => $sample:expr),* $(,)?) => {$(
+        impl Strategy for FullDomain<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let f: fn(&mut TestRng) -> $t = $sample;
+                f(rng)
+            }
+        }
+        impl Arbitrary for $t {
+            type Strategy = FullDomain<$t>;
+            fn arbitrary() -> FullDomain<$t> {
+                FullDomain(std::marker::PhantomData)
+            }
+        }
+    )*}
+}
+
+full_domain! {
+    bool => |rng| rng.gen(),
+    i64 => |rng| rng.gen(),
+    u64 => |rng| rng.gen(),
+    u32 => |rng| rng.gen(),
+    usize => |rng| rng.gen(),
+}

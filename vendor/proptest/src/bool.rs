@@ -1,0 +1,39 @@
+//! `bool` strategies.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use rand::Rng;
+
+/// A fair coin.
+#[derive(Debug, Clone, Copy)]
+pub struct Any;
+
+/// The fair-coin strategy constant (`proptest::bool::ANY`).
+pub const ANY: Any = Any;
+
+impl Strategy for Any {
+    type Value = bool;
+
+    fn generate(&self, rng: &mut TestRng) -> bool {
+        rng.gen()
+    }
+}
+
+/// `true` with the given probability.
+pub fn weighted(probability_true: f64) -> Weighted {
+    Weighted { probability_true }
+}
+
+/// The strategy returned by [`weighted`].
+#[derive(Debug, Clone, Copy)]
+pub struct Weighted {
+    probability_true: f64,
+}
+
+impl Strategy for Weighted {
+    type Value = bool;
+
+    fn generate(&self, rng: &mut TestRng) -> bool {
+        rng.gen_bool(self.probability_true)
+    }
+}

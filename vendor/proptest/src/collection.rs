@@ -1,0 +1,71 @@
+//! Collection strategies (`vec`).
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use rand::Rng;
+use std::ops::{Range, RangeInclusive};
+
+/// Length specification for [`vec`]: an exact length or a range.
+#[derive(Debug, Clone)]
+pub struct SizeRange {
+    min: usize,
+    /// Inclusive upper bound.
+    max: usize,
+}
+
+impl From<usize> for SizeRange {
+    fn from(exact: usize) -> SizeRange {
+        SizeRange {
+            min: exact,
+            max: exact,
+        }
+    }
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> SizeRange {
+        assert!(r.start < r.end, "empty size range");
+        SizeRange {
+            min: r.start,
+            max: r.end - 1,
+        }
+    }
+}
+
+impl From<RangeInclusive<usize>> for SizeRange {
+    fn from(r: RangeInclusive<usize>) -> SizeRange {
+        assert!(r.start() <= r.end(), "empty size range");
+        SizeRange {
+            min: *r.start(),
+            max: *r.end(),
+        }
+    }
+}
+
+/// A `Vec` of values from `element`, with a length drawn from `size`.
+pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy {
+        element,
+        size: size.into(),
+    }
+}
+
+/// The strategy returned by [`vec`].
+#[derive(Debug, Clone)]
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let len = if self.size.min == self.size.max {
+            self.size.min
+        } else {
+            rng.gen_range(self.size.min..=self.size.max)
+        };
+        (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+}

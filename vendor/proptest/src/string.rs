@@ -1,0 +1,236 @@
+//! Generation from a small regex subset (the `&str` strategy).
+//!
+//! Supported syntax — enough for every pattern in this workspace:
+//! character classes `[a-z0-9 -~]` (ranges, literals, `\n`/`\t`/`\r`/`\\`
+//! escapes), literal characters, groups `( ... )`, and the repetitions
+//! `{m}`, `{m,n}`, `?`, `*`, `+` (`*`/`+` capped at 8 repeats).
+
+use crate::test_runner::TestRng;
+use rand::Rng;
+
+#[derive(Debug, Clone)]
+enum Atom {
+    /// One char drawn uniformly from the expanded class.
+    Class(Vec<char>),
+    /// A literal char.
+    Literal(char),
+    /// A nested sequence.
+    Group(Vec<Repeated>),
+}
+
+#[derive(Debug, Clone)]
+struct Repeated {
+    atom: Atom,
+    min: u32,
+    max: u32,
+}
+
+/// Generate one string matching `pattern`.
+pub fn generate(pattern: &str, rng: &mut TestRng) -> String {
+    let seq = parse_seq(&mut pattern.chars().peekable(), pattern);
+    let mut out = String::new();
+    emit(&seq, rng, &mut out);
+    out
+}
+
+fn emit(seq: &[Repeated], rng: &mut TestRng, out: &mut String) {
+    for rep in seq {
+        let n = if rep.min == rep.max {
+            rep.min
+        } else {
+            rng.gen_range(rep.min..=rep.max)
+        };
+        for _ in 0..n {
+            match &rep.atom {
+                Atom::Literal(c) => out.push(*c),
+                Atom::Class(chars) => out.push(chars[rng.gen_range(0..chars.len())]),
+                Atom::Group(inner) => emit(inner, rng, out),
+            }
+        }
+    }
+}
+
+type Chars<'a> = std::iter::Peekable<std::str::Chars<'a>>;
+
+fn parse_seq(chars: &mut Chars<'_>, pattern: &str) -> Vec<Repeated> {
+    let mut seq = Vec::new();
+    while let Some(&c) = chars.peek() {
+        if c == ')' {
+            break;
+        }
+        chars.next();
+        let atom = match c {
+            '[' => Atom::Class(parse_class(chars, pattern)),
+            '(' => {
+                let inner = parse_seq(chars, pattern);
+                assert_eq!(
+                    chars.next(),
+                    Some(')'),
+                    "unclosed group in regex {pattern:?}"
+                );
+                Atom::Group(inner)
+            }
+            '\\' => Atom::Literal(unescape(
+                chars
+                    .next()
+                    .unwrap_or_else(|| panic!("dangling escape in regex {pattern:?}")),
+            )),
+            '.' => Atom::Class((' '..='~').collect()),
+            other => Atom::Literal(other),
+        };
+        let (min, max) = parse_repetition(chars, pattern);
+        seq.push(Repeated { atom, min, max });
+    }
+    seq
+}
+
+fn parse_repetition(chars: &mut Chars<'_>, pattern: &str) -> (u32, u32) {
+    match chars.peek() {
+        Some('{') => {
+            chars.next();
+            let mut spec = String::new();
+            for c in chars.by_ref() {
+                if c == '}' {
+                    let (min, max) = match spec.split_once(',') {
+                        Some((m, n)) => (parse_u32(m, pattern), parse_u32(n, pattern)),
+                        None => {
+                            let m = parse_u32(&spec, pattern);
+                            (m, m)
+                        }
+                    };
+                    assert!(min <= max, "bad repetition {{{spec}}} in regex {pattern:?}");
+                    return (min, max);
+                }
+                spec.push(c);
+            }
+            panic!("unclosed repetition in regex {pattern:?}");
+        }
+        Some('?') => {
+            chars.next();
+            (0, 1)
+        }
+        Some('*') => {
+            chars.next();
+            (0, 8)
+        }
+        Some('+') => {
+            chars.next();
+            (1, 8)
+        }
+        _ => (1, 1),
+    }
+}
+
+fn parse_u32(s: &str, pattern: &str) -> u32 {
+    s.trim()
+        .parse()
+        .unwrap_or_else(|_| panic!("bad repetition bound {s:?} in regex {pattern:?}"))
+}
+
+fn parse_class(chars: &mut Chars<'_>, pattern: &str) -> Vec<char> {
+    let mut items: Vec<char> = Vec::new();
+    let mut out: Vec<char> = Vec::new();
+    // Collect raw class members (escapes resolved), then expand ranges.
+    loop {
+        match chars.next() {
+            None => panic!("unclosed character class in regex {pattern:?}"),
+            Some(']') => break,
+            Some('\\') => {
+                items.push(unescape(chars.next().unwrap_or_else(|| {
+                    panic!("dangling escape in class of regex {pattern:?}")
+                })))
+            }
+            Some(c) => items.push(c),
+        }
+    }
+    let mut i = 0;
+    while i < items.len() {
+        if items[i] == '-' && i > 0 && i + 1 < items.len() && !out.is_empty() {
+            let lo = out.pop().expect("nonempty");
+            let hi = items[i + 1];
+            assert!(lo <= hi, "bad range {lo}-{hi} in regex {pattern:?}");
+            out.extend(lo..=hi);
+            i += 2;
+        } else {
+            out.push(items[i]);
+            i += 1;
+        }
+    }
+    assert!(
+        !out.is_empty(),
+        "empty character class in regex {pattern:?}"
+    );
+    out
+}
+
+fn unescape(c: char) -> char {
+    match c {
+        'n' => '\n',
+        't' => '\t',
+        'r' => '\r',
+        other => other,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_runner::TestRng;
+
+    fn gen_many(pattern: &str) -> Vec<String> {
+        (0..200)
+            .map(|i| {
+                let mut rng = TestRng::for_case("string::tests", i);
+                generate(pattern, &mut rng)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn classes_ranges_and_counts() {
+        for s in gen_many("[a-z]{1,8}") {
+            assert!((1..=8).contains(&s.len()), "{s:?}");
+            assert!(s.chars().all(|c| c.is_ascii_lowercase()), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn printable_class_with_literal_dash_range() {
+        for s in gen_many("[ -~]{0,12}") {
+            assert!(s.len() <= 12);
+            assert!(s.chars().all(|c| (' '..='~').contains(&c)), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn groups_with_repetition() {
+        for s in gen_many("[a-z]{1,4}(/[0-9]{1,2}){0,2}") {
+            let parts: Vec<&str> = s.split('/').collect();
+            assert!((1..=3).contains(&parts.len()), "{s:?}");
+            assert!(parts[0].chars().all(|c| c.is_ascii_lowercase()));
+            for p in &parts[1..] {
+                assert!((1..=2).contains(&p.len()) && p.chars().all(|c| c.is_ascii_digit()));
+            }
+        }
+    }
+
+    #[test]
+    fn escapes_in_classes() {
+        for s in gen_many("[ -~\\n\\t]{0,20}") {
+            assert!(
+                s.chars()
+                    .all(|c| (' '..='~').contains(&c) || c == '\n' || c == '\t'),
+                "{s:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn exact_repetition_and_literals() {
+        for s in gen_many("ab[0-1]{3}") {
+            assert_eq!(s.len(), 5);
+            assert!(s.starts_with("ab"));
+            assert!(s[2..].chars().all(|c| c == '0' || c == '1'));
+        }
+    }
+}

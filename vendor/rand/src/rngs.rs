@@ -1,0 +1,46 @@
+//! RNG implementations: only `StdRng` is provided.
+
+use crate::{RngCore, SeedableRng};
+
+/// A deterministic xoshiro256** generator. API-compatible with
+/// `rand::rngs::StdRng` for the entry points this workspace uses; the
+/// stream differs from the real crate (which is ChaCha-based), which is
+/// fine because the workspace only relies on seeded determinism.
+#[derive(Debug, Clone)]
+pub struct StdRng {
+    state: [u64; 4],
+}
+
+impl SeedableRng for StdRng {
+    fn seed_from_u64(seed: u64) -> StdRng {
+        // SplitMix64 expansion, the canonical way to seed xoshiro.
+        let mut sm = seed;
+        let mut next = || {
+            sm = sm.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = sm;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        StdRng {
+            state: [next(), next(), next(), next()],
+        }
+    }
+}
+
+impl RngCore for StdRng {
+    fn next_u64(&mut self) -> u64 {
+        let [s0, s1, s2, s3] = self.state;
+        let result = s1.wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = s1 << 17;
+        let mut s = [s0, s1, s2, s3];
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        self.state = s;
+        result
+    }
+}

@@ -1,0 +1,61 @@
+//! Slice sampling helpers: `shuffle` and `choose`.
+
+use crate::Rng;
+
+/// Random operations on slices, mirroring `rand::seq::SliceRandom`.
+pub trait SliceRandom {
+    /// Element type.
+    type Item;
+
+    /// Fisher–Yates shuffle in place.
+    fn shuffle<R: Rng>(&mut self, rng: &mut R);
+
+    /// A uniformly random element, or `None` when empty.
+    fn choose<R: Rng>(&self, rng: &mut R) -> Option<&Self::Item>;
+}
+
+impl<T> SliceRandom for [T] {
+    type Item = T;
+
+    fn shuffle<R: Rng>(&mut self, rng: &mut R) {
+        for i in (1..self.len()).rev() {
+            let j = rng.gen_range(0..=i);
+            self.swap(i, j);
+        }
+    }
+
+    fn choose<R: Rng>(&self, rng: &mut R) -> Option<&T> {
+        if self.is_empty() {
+            None
+        } else {
+            Some(&self[rng.gen_range(0..self.len())])
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rngs::StdRng;
+    use crate::SeedableRng;
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut v: Vec<u32> = (0..50).collect();
+        let mut rng = StdRng::seed_from_u64(4);
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert_ne!(v, sorted, "50 elements virtually never shuffle to identity");
+    }
+
+    #[test]
+    fn choose_behaviour() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let empty: [u8; 0] = [];
+        assert_eq!(empty.choose(&mut rng), None);
+        let v = [1, 2, 3];
+        assert!(v.contains(v.choose(&mut rng).unwrap()));
+    }
+}

@@ -1,0 +1,43 @@
+//! Offline API-subset shim of `serde`.
+//!
+//! The workspace derives `serde::Serialize` on its report structures so a
+//! downstream user "can plug any serializer" — nothing in the workspace
+//! actually serializes. This shim keeps those derives compiling offline:
+//! [`Serialize`] is a marker trait and the derive emits an empty impl.
+//! Swapping in the real `serde` + `serde_derive` is a drop-in change.
+
+/// Marker stand-in for `serde::Serialize`. Carries no methods; the real
+/// crate's trait is a strict superset, so code written against this shim
+/// keeps compiling when the real dependency is restored.
+pub trait Serialize {}
+
+pub use serde_derive::Serialize;
+
+// Let the derive's emitted `impl ::serde::Serialize` resolve inside this
+// crate's own tests.
+#[cfg(test)]
+extern crate self as serde;
+
+#[cfg(test)]
+mod tests {
+
+    #[derive(Debug, Clone, serde::Serialize)]
+    struct Report {
+        #[allow(dead_code)]
+        value: u64,
+    }
+
+    #[derive(Debug, serde::Serialize)]
+    enum Kind {
+        #[allow(dead_code)]
+        A,
+    }
+
+    fn assert_serialize<T: serde::Serialize>() {}
+
+    #[test]
+    fn derive_emits_marker_impl() {
+        assert_serialize::<Report>();
+        assert_serialize::<Kind>();
+    }
+}

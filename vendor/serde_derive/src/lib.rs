@@ -1,0 +1,35 @@
+//! Derive macro backing the offline `serde` shim: emits an empty marker
+//! `impl serde::Serialize` for the annotated type. Built with only the
+//! compiler's `proc_macro` API (no `syn`/`quote` — registry is offline).
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// `#[derive(Serialize)]` — emits `impl ::serde::Serialize for T {}`.
+///
+/// Handles plain (non-generic) structs and enums, which covers every type
+/// in this workspace; a generic type gets no impl (still compiles, since
+/// nothing in the workspace requires the bound).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let mut tokens = input.into_iter();
+    // Scan for the `struct`/`enum` keyword, then take the following ident.
+    while let Some(token) = tokens.next() {
+        if let TokenTree::Ident(ident) = &token {
+            let kw = ident.to_string();
+            if kw == "struct" || kw == "enum" {
+                if let Some(TokenTree::Ident(name)) = tokens.next() {
+                    // Bail out (no impl) for generic types.
+                    if let Some(TokenTree::Punct(p)) = tokens.next() {
+                        if p.as_char() == '<' {
+                            return TokenStream::new();
+                        }
+                    }
+                    return format!("impl ::serde::Serialize for {name} {{}}")
+                        .parse()
+                        .expect("generated impl parses");
+                }
+            }
+        }
+    }
+    TokenStream::new()
+}
