@@ -4,18 +4,29 @@
 //! fixed view budget on an identical 40-query workload: selection time,
 //! materialization time, storage amplification, query latency, speedup.
 //!
-//! Run with: `cargo run -p sofos-bench --release --bin e1_cost_models`
+//! Run with: `cargo run -p sofos-bench --release --bin e1_cost_models [--smoke]`
+//!
+//! Emits `BENCH_cost_models.json`.
 
+use sofos_bench::{finish_report, sized, BenchReport, Json};
 use sofos_core::{compare_cost_models, EngineConfig};
 use sofos_cost::CostModelKind;
 use sofos_workload::all_datasets;
 
 fn main() {
     let mut config = EngineConfig::default();
-    config.workload.num_queries = 40;
+    config.workload.num_queries = sized(40, 10);
     config.workload.filter_probability = 0.4;
-    config.timing_reps = 3;
-    config.train.epochs = 120;
+    config.timing_reps = sized(3, 1);
+    config.train.epochs = sized(120, 25);
+
+    let mut report = BenchReport::new(
+        "cost_models",
+        format!(
+            "all six cost models x demo datasets, {} queries, budget 4 views",
+            config.workload.num_queries
+        ),
+    );
 
     for generated in all_datasets() {
         let facet = generated.default_facet();
@@ -26,7 +37,7 @@ fn main() {
             facet.id,
             facet.dim_count()
         );
-        let report = compare_cost_models(
+        let comparison = compare_cost_models(
             generated.name,
             &generated.dataset,
             facet,
@@ -34,10 +45,31 @@ fn main() {
             &config,
         )
         .expect("comparison runs");
-        println!("{}", report.to_table());
-        for row in &report.models {
+        println!("{}", comparison.to_table());
+        for row in &comparison.models {
             assert!(row.all_valid, "{}: invalid answers", row.model);
             println!("  {:<12} -> {}", row.model, row.selected_views.join(", "));
+            report.push(Json::object([
+                ("dataset", Json::from(generated.name)),
+                ("model", Json::from(row.model.clone())),
+                ("selected_views", Json::from(row.selected_views.len())),
+                ("training_us", Json::from(row.training_us)),
+                ("selection_us", Json::from(row.selection_us)),
+                ("materialization_us", Json::from(row.materialization_us)),
+                ("materialized_triples", Json::from(row.materialized_triples)),
+                (
+                    "storage_amplification",
+                    Json::from(row.storage_amplification),
+                ),
+                ("view_hits", Json::from(row.view_hits)),
+                ("fallbacks", Json::from(row.fallbacks)),
+                ("query_total_us", Json::from(row.latency.total_us)),
+                ("query_p95_us", Json::from(row.latency.p95_us)),
+                ("speedup", Json::from(row.speedup)),
+                ("all_valid", Json::from(row.all_valid)),
+            ]));
         }
     }
+
+    finish_report(&report);
 }

@@ -3,18 +3,26 @@
 //! reports lattice size (2^d views), total materialized rows/triples/bytes
 //! and full-materialization wall time.
 //!
-//! Run with: `cargo run -p sofos-bench --release --bin e2_lattice`
+//! Run with: `cargo run -p sofos-bench --release --bin e2_lattice [--smoke]`
+//!
+//! Emits `BENCH_lattice.json`.
 
-use sofos_bench::{ms, print_table};
+use sofos_bench::{finish_report, ms, print_table, sized, BenchReport, Json};
 use sofos_core::measure_once;
 use sofos_cube::Lattice;
 use sofos_materialize::materialize_view;
 use sofos_workload::synthetic;
 
 fn main() {
+    let max_dims = sized(6usize, 4);
+    let observations = sized(400, 120);
+    let mut report = BenchReport::new(
+        "lattice",
+        format!("full-lattice materialization, d = 1..={max_dims}, {observations} observations"),
+    );
     let mut rows = Vec::new();
-    for dims in 1..=6usize {
-        let generated = synthetic::generate(&synthetic::Config::with_dims(dims, 400));
+    for dims in 1..=max_dims {
+        let generated = synthetic::generate(&synthetic::Config::with_dims(dims, observations));
         let facet = generated.default_facet().clone();
         let lattice = Lattice::new(facet.clone());
         let base_bytes = generated.dataset.estimated_bytes();
@@ -31,6 +39,7 @@ fn main() {
             totals
         });
         let expanded_bytes = dataset.estimated_bytes();
+        let amplification = expanded_bytes as f64 / base_bytes as f64;
 
         rows.push(vec![
             dims.to_string(),
@@ -38,12 +47,23 @@ fn main() {
             lattice.num_edges().to_string(),
             stats.0.to_string(),
             stats.1.to_string(),
-            format!("{:.2}", expanded_bytes as f64 / base_bytes as f64),
+            format!("{amplification:.2}"),
             ms(elapsed_us),
         ]);
+        report.push(Json::object([
+            ("dims", Json::from(dims)),
+            ("views", Json::from(lattice.num_views())),
+            ("edges", Json::from(lattice.num_edges())),
+            ("rows", Json::from(stats.0)),
+            ("triples", Json::from(stats.1)),
+            ("space_amplification", Json::from(amplification)),
+            ("materialize_us", Json::from(elapsed_us)),
+        ]));
     }
     print_table(
-        "E2 · full-lattice materialization vs dimension count (400 observations)",
+        &format!(
+            "E2 · full-lattice materialization vs dimension count ({observations} observations)"
+        ),
         &[
             "dims",
             "views",
@@ -57,4 +77,5 @@ fn main() {
     );
     println!("Reading: views double per dimension; space amplification and");
     println!("materialization time grow with them — the motivation for selecting k views.");
+    finish_report(&report);
 }

@@ -3,9 +3,11 @@
 //! With `--bytes` the sweep uses byte budgets instead of view counts
 //! (the paper's "up to a certain memory budget" variant).
 //!
-//! Run with: `cargo run -p sofos-bench --release --bin e3_budget_sweep [--bytes]`
+//! Run with: `cargo run -p sofos-bench --release --bin e3_budget_sweep [--bytes] [--smoke]`
+//!
+//! Emits `BENCH_budget_sweep.json`.
 
-use sofos_bench::{ms, print_table, ratio};
+use sofos_bench::{finish_report, ms, print_table, ratio, sized, BenchReport, Json};
 use sofos_core::{run_offline, run_online, EngineConfig, SizedLattice};
 use sofos_cost::CostModelKind;
 use sofos_select::{Budget, WorkloadProfile};
@@ -15,41 +17,58 @@ fn main() {
     let by_bytes = std::env::args().any(|a| a == "--bytes");
     let generated = dbpedia::generate(&dbpedia::Config::default());
     let facet = generated.default_facet().clone();
-    let sized = SizedLattice::compute(&generated.dataset, &facet).expect("sizing");
+    let sized_lattice = SizedLattice::compute(&generated.dataset, &facet).expect("sizing");
     let workload = generate_workload(
         &generated.dataset,
         &facet,
         &WorkloadConfig {
-            num_queries: 30,
+            num_queries: sized(30, 10),
             ..WorkloadConfig::default()
         },
     );
     let profile = WorkloadProfile::from_masks(workload.iter().map(|q| q.required));
-    let baseline = run_online(&generated.dataset, &facet, &[], &workload, 3, false)
-        .expect("baseline")
-        .summary;
+    let timing_reps = sized(3, 1);
+    let baseline = run_online(
+        &generated.dataset,
+        &facet,
+        &[],
+        &workload,
+        timing_reps,
+        false,
+    )
+    .expect("baseline")
+    .summary;
 
     let mut config = EngineConfig {
-        timing_reps: 3,
+        timing_reps,
         ..EngineConfig::default()
     };
 
     let budgets: Vec<Budget> = if by_bytes {
-        let full: usize = sized.stats.values().map(|s| s.bytes).sum();
+        let full: usize = sized_lattice.stats.values().map(|s| s.bytes).sum();
         (0..=8).map(|i| Budget::Bytes(full * i / 8)).collect()
     } else {
-        (0..=sized.lattice.num_views() as usize)
+        (0..=sized_lattice.lattice.num_views() as usize)
             .map(Budget::Views)
             .collect()
     };
 
+    let mut report = BenchReport::new(
+        "budget_sweep",
+        format!(
+            "budget sweep ({}) on {}, {} queries",
+            if by_bytes { "bytes" } else { "views" },
+            generated.name,
+            workload.len()
+        ),
+    );
     let mut rows = Vec::new();
     for budget in budgets {
         config.budget = budget;
         let mut expanded = generated.dataset.clone();
         let offline = run_offline(
             &mut expanded,
-            &sized,
+            &sized_lattice,
             &profile,
             CostModelKind::AggValues,
             &config,
@@ -65,6 +84,7 @@ fn main() {
         )
         .expect("online");
         assert!(online.all_valid);
+        let speedup = baseline.total_us as f64 / online.summary.total_us.max(1) as f64;
         rows.push(vec![
             match budget {
                 Budget::Views(k) => format!("{k} views"),
@@ -74,8 +94,29 @@ fn main() {
             format!("{}/{}", online.view_hits, workload.len()),
             ms(online.summary.total_us),
             format!("{:.3}", offline.storage_amplification()),
-            ratio(baseline.total_us as f64 / online.summary.total_us.max(1) as f64),
+            ratio(speedup),
         ]);
+        report.push(Json::object([
+            (
+                "budget",
+                match budget {
+                    Budget::Views(k) => Json::from(format!("views:{k}")),
+                    Budget::Bytes(b) => Json::from(format!("bytes:{b}")),
+                },
+            ),
+            (
+                "selected_views",
+                Json::from(offline.selection.selected.len()),
+            ),
+            ("view_hits", Json::from(online.view_hits)),
+            ("fallbacks", Json::from(online.fallbacks)),
+            ("query_total_us", Json::from(online.summary.total_us)),
+            (
+                "storage_amplification",
+                Json::from(offline.storage_amplification()),
+            ),
+            ("speedup", Json::from(speedup)),
+        ]));
     }
     print_table(
         &format!(
@@ -97,4 +138,5 @@ fn main() {
     );
     println!("Reading: the sweet spot is the smallest budget whose speedup plateaus —");
     println!("beyond it, space amplification keeps rising with no latency return.");
+    finish_report(&report);
 }

@@ -2,24 +2,36 @@
 //! quality (MAE + Spearman rank correlation against measured view-query
 //! times) as a function of training-set size, across the demo datasets.
 //!
-//! Run with: `cargo run -p sofos-bench --release --bin e4_learned`
+//! Run with: `cargo run -p sofos-bench --release --bin e4_learned [--smoke]`
+//!
+//! Emits `BENCH_learned.json`.
 
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
+use sofos_bench::{finish_report, sized, BenchReport, Json};
 use sofos_core::SizedLattice;
 use sofos_cost::{regression_metrics, LearnedCostModel, TrainConfig};
 use sofos_cube::ViewMask;
 use sofos_workload::all_datasets;
 
 fn main() {
+    let epochs = sized(300, 60);
+    let mut datasets = all_datasets();
+    if sofos_bench::smoke() {
+        datasets.truncate(1);
+    }
+    let mut report = BenchReport::new(
+        "learned",
+        format!("learned-model quality vs training fraction, {epochs} epochs"),
+    );
     println!("== E4 · learned cost model: prediction quality vs training size ==\n");
-    for generated in all_datasets() {
+    for generated in datasets {
         let facet = generated.default_facet().clone();
-        let sized = SizedLattice::compute(&generated.dataset, &facet).expect("sizing");
-        let ctx = sized.context();
+        let sized_lattice = SizedLattice::compute(&generated.dataset, &facet).expect("sizing");
+        let ctx = sized_lattice.context();
 
         // Ground truth: measured view-query time per lattice view.
-        let mut all: Vec<(ViewMask, f64)> = sized
+        let mut all: Vec<(ViewMask, f64)> = sized_lattice
             .timings_us
             .iter()
             .map(|(&m, &us)| (m, us as f64))
@@ -46,7 +58,7 @@ fn main() {
                 &ctx,
                 train,
                 TrainConfig {
-                    epochs: 300,
+                    epochs,
                     ..TrainConfig::default()
                 },
             );
@@ -54,16 +66,26 @@ fn main() {
             let predictions: Vec<f64> = all.iter().map(|(m, _)| model.predict(&ctx, *m)).collect();
             let truths: Vec<f64> = all.iter().map(|(_, t)| *t).collect();
             let metrics = regression_metrics(&predictions, &truths);
+            let final_mse = history.last().copied().unwrap_or(f64::NAN);
             println!(
                 "{:<10} {:>12.4} {:>10.1} {:>12.3}",
                 train.len(),
-                history.last().copied().unwrap_or(f64::NAN),
+                final_mse,
                 metrics.mae,
                 metrics.spearman
             );
+            report.push(Json::object([
+                ("dataset", Json::from(generated.name)),
+                ("train_n", Json::from(train.len())),
+                ("train_fraction", Json::from(fraction)),
+                ("final_mse", Json::from(final_mse)),
+                ("mae_us", Json::from(metrics.mae)),
+                ("spearman", Json::from(metrics.spearman)),
+            ]));
         }
         println!();
     }
     println!("Reading: rank correlation is what matters for selection; it should rise");
     println!("with training size — and remains imperfect, one of the paper's pitfalls.");
+    finish_report(&report);
 }

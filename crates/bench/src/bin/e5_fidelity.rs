@@ -9,9 +9,11 @@
 //! (triples / agg-values / nodes) and the measured time. Correlations far
 //! below 1 are exactly the pitfall SOFOS demonstrates.
 //!
-//! Run with: `cargo run -p sofos-bench --release --bin e5_fidelity`
+//! Run with: `cargo run -p sofos-bench --release --bin e5_fidelity [--smoke]`
+//!
+//! Emits `BENCH_fidelity.json`.
 
-use sofos_bench::print_table;
+use sofos_bench::{finish_report, print_table, sized, BenchReport, Json};
 use sofos_core::{measure_median, SizedLattice};
 use sofos_cost::spearman;
 use sofos_cube::facet_query;
@@ -21,17 +23,26 @@ use sofos_sparql::{CompareOp, Evaluator, Expr};
 use sofos_workload::{all_datasets, derivable_aggs, dimension_values};
 
 fn main() {
+    let reps = sized(5, 2);
+    let mut datasets = all_datasets();
+    if sofos_bench::smoke() {
+        datasets.truncate(1);
+    }
+    let mut report = BenchReport::new(
+        "fidelity",
+        format!("Spearman(cost statistic, measured time), median of {reps} reps"),
+    );
     let mut identity_rows = Vec::new();
     let mut mixed_rows = Vec::new();
-    for generated in all_datasets() {
+    for generated in datasets {
         let facet = generated.default_facet().clone();
-        let sized = SizedLattice::compute(&generated.dataset, &facet).expect("sizing");
+        let sized_lattice = SizedLattice::compute(&generated.dataset, &facet).expect("sizing");
         let agg = derivable_aggs(&facet)[0];
         let dim_values = dimension_values(&generated.dataset, &facet);
 
         // Materialize the full lattice once.
         let mut expanded = generated.dataset.clone();
-        for mask in sized.lattice.views() {
+        for mask in sized_lattice.lattice.views() {
             materialize_view(&mut expanded, &facet, mask).expect("materializes");
         }
         let evaluator = Evaluator::new(&expanded);
@@ -46,13 +57,13 @@ fn main() {
         let mut identity_times = Vec::new();
         let mut mixed_triples = Vec::new();
         let mut mixed_times = Vec::new();
-        for mask in sized.lattice.views() {
+        for mask in sized_lattice.lattice.views() {
             let query = facet_query(&facet, mask, agg, vec![]);
             let analysis = analyze_query(&facet, &query).expect("facet query analyzes");
             let rewritten = rewrite_query(&facet, &analysis, mask);
-            let (us, result) = measure_median(5, || evaluator.evaluate(&rewritten));
+            let (us, result) = measure_median(reps, || evaluator.evaluate(&rewritten));
             result.expect("query evaluates");
-            let stats = &sized.stats[&mask];
+            let stats = &sized_lattice.stats[&mask];
             triples.push(stats.triples as f64);
             rows_stat.push(stats.rows as f64);
             nodes.push(stats.nodes as f64);
@@ -71,7 +82,7 @@ fn main() {
                     let a = analyze_query(&facet, &q).expect("filtered query analyzes");
                     debug_assert!(mask.covers(a.required));
                     let rewritten = rewrite_query(&facet, &a, mask);
-                    let (us, result) = measure_median(5, || evaluator.evaluate(&rewritten));
+                    let (us, result) = measure_median(reps, || evaluator.evaluate(&rewritten));
                     result.expect("query evaluates");
                     mixed_triples.push(stats.triples as f64);
                     mixed_times.push(us as f64);
@@ -79,18 +90,31 @@ fn main() {
             }
         }
 
+        let s_triples = spearman(&triples, &identity_times);
+        let s_rows = spearman(&rows_stat, &identity_times);
+        let s_nodes = spearman(&nodes, &identity_times);
+        let s_mixed = spearman(&mixed_triples, &mixed_times);
         identity_rows.push(vec![
             generated.name.to_string(),
-            sized.lattice.num_views().to_string(),
-            format!("{:.3}", spearman(&triples, &identity_times)),
-            format!("{:.3}", spearman(&rows_stat, &identity_times)),
-            format!("{:.3}", spearman(&nodes, &identity_times)),
+            sized_lattice.lattice.num_views().to_string(),
+            format!("{s_triples:.3}"),
+            format!("{s_rows:.3}"),
+            format!("{s_nodes:.3}"),
         ]);
         mixed_rows.push(vec![
             generated.name.to_string(),
             mixed_times.len().to_string(),
-            format!("{:.3}", spearman(&mixed_triples, &mixed_times)),
+            format!("{s_mixed:.3}"),
         ]);
+        report.push(Json::object([
+            ("dataset", Json::from(generated.name)),
+            ("views", Json::from(sized_lattice.lattice.num_views())),
+            ("spearman_triples", Json::from(s_triples)),
+            ("spearman_agg_values", Json::from(s_rows)),
+            ("spearman_nodes", Json::from(s_nodes)),
+            ("mixed_queries", Json::from(mixed_times.len())),
+            ("spearman_mixed_triples", Json::from(s_mixed)),
+        ]));
     }
     print_table(
         "E5a · Spearman(cost statistic, time of the exactly-matching query)",
@@ -106,4 +130,5 @@ fn main() {
     println!("perfectly to RDF. Identity queries track view size closely on this");
     println!("substrate; the filtered/re-aggregating series (E5b) is where the");
     println!("proxy degrades — selective filters decouple work from view size.");
+    finish_report(&report);
 }

@@ -3,9 +3,11 @@
 //! budgets k = 1..4. Reports the achieved-vs-optimal workload cost ratio
 //! (1.00 = optimal).
 //!
-//! Run with: `cargo run -p sofos-bench --release --bin e6_challenge`
+//! Run with: `cargo run -p sofos-bench --release --bin e6_challenge [--smoke]`
+//!
+//! Emits `BENCH_challenge.json`.
 
-use sofos_bench::print_table;
+use sofos_bench::{finish_report, print_table, sized, BenchReport, Json};
 use sofos_core::{build_model, EngineConfig, SizedLattice};
 use sofos_cost::{AggValuesCost, CostModelKind};
 use sofos_select::{exhaustive_select, greedy_select, workload_cost, Budget, WorkloadProfile};
@@ -14,11 +16,17 @@ use sofos_workload::{generate_workload, swdf, WorkloadConfig};
 fn main() {
     let generated = swdf::generate(&swdf::Config::default());
     let facet = generated.default_facet().clone();
-    let sized = SizedLattice::compute(&generated.dataset, &facet).expect("sizing");
-    let ctx = sized.context();
+    let sized_lattice = SizedLattice::compute(&generated.dataset, &facet).expect("sizing");
+    let ctx = sized_lattice.context();
     let config = EngineConfig::default();
     let judge = AggValuesCost; // common scorer across contestants
+    let num_queries = sized(60, 20);
+    let max_k = sized(4usize, 3);
 
+    let mut report = BenchReport::new(
+        "challenge",
+        format!("greedy/oracle cost ratio, k = 1..={max_k}, {num_queries} queries"),
+    );
     for (label, skew) in [
         ("uniform workload", None),
         ("zipf-skewed workload", Some(1.5)),
@@ -27,7 +35,7 @@ fn main() {
             &generated.dataset,
             &facet,
             &WorkloadConfig {
-                num_queries: 60,
+                num_queries,
                 mask_skew: skew,
                 ..WorkloadConfig::default()
             },
@@ -35,20 +43,28 @@ fn main() {
         let profile = WorkloadProfile::from_masks(workload.iter().map(|q| q.required));
 
         let mut rows = Vec::new();
-        for k in 1..=4usize {
-            let oracle = exhaustive_select(&ctx, &sized.lattice, &judge, &profile, k, 1_000_000);
+        for k in 1..=max_k {
+            let oracle =
+                exhaustive_select(&ctx, &sized_lattice.lattice, &judge, &profile, k, 1_000_000);
             let mut row = vec![k.to_string()];
             for kind in CostModelKind::ALL {
-                let (model, _, _) = build_model(kind, &sized, &config);
+                let (model, _, _) = build_model(kind, &sized_lattice, &config);
                 let outcome = greedy_select(
                     &ctx,
-                    &sized.lattice,
+                    &sized_lattice.lattice,
                     model.as_ref(),
                     &profile,
                     Budget::Views(k),
                 );
                 let score = workload_cost(&ctx, &judge, &profile, &outcome.selected);
-                row.push(format!("{:.2}", score / oracle.estimated_cost));
+                let oracle_ratio = score / oracle.estimated_cost;
+                row.push(format!("{oracle_ratio:.2}"));
+                report.push(Json::object([
+                    ("workload", Json::from(label)),
+                    ("k", Json::from(k)),
+                    ("model", Json::from(kind.name())),
+                    ("oracle_ratio", Json::from(oracle_ratio)),
+                ]));
             }
             rows.push(row);
         }
@@ -73,4 +89,5 @@ fn main() {
     }
     println!("Reading: 1.00 = the greedy selection under that cost model matched the");
     println!("exhaustive optimum; larger values quantify how much the model misleads it.");
+    finish_report(&report);
 }

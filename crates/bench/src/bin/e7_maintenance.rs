@@ -7,12 +7,12 @@
 //! is validated against the base graph, so the numbers are for *correct*
 //! serving, not stale reads.
 //!
-//! Run with: `cargo run -p sofos-bench --release --bin e7_maintenance`
+//! Run with: `cargo run -p sofos-bench --release --bin e7_maintenance [--smoke]`
 //!
 //! Emits `BENCH_maintenance.json` (see `sofos_bench::json`) next to the
 //! table output.
 
-use sofos_bench::{ms, print_table, BenchReport, Json};
+use sofos_bench::{finish_report, ms, print_table, sized, BenchReport, Json};
 use sofos_core::{
     results_equivalent, run_offline, EngineConfig, Session, SizedLattice, StalenessPolicy,
 };
@@ -25,12 +25,11 @@ use sofos_workload::{
 };
 use std::time::Instant;
 
-const ROUNDS: usize = 5;
-const QUERIES_PER_ROUND: usize = 8;
-
 fn main() {
+    let rounds = sized(5usize, 2);
+    let queries_per_round = sized(8usize, 4);
     let generated = synthetic::generate(&synthetic::Config {
-        observations: 240,
+        observations: sized(240, 100),
         cardinalities: vec![8, 5, 3],
         skew: 0.8,
         agg: AggOp::Avg, // SUM+COUNT components: SUM/COUNT/AVG all derivable
@@ -42,12 +41,12 @@ fn main() {
         &base,
         &facet,
         &WorkloadConfig {
-            num_queries: QUERIES_PER_ROUND,
+            num_queries: queries_per_round,
             ..WorkloadConfig::default()
         },
     );
 
-    let sized = SizedLattice::compute(&base, &facet).expect("lattice sizes");
+    let sized_lattice = SizedLattice::compute(&base, &facet).expect("lattice sizes");
     let profile = WorkloadProfile::from_masks(workload.iter().map(|q| q.required));
     let config = EngineConfig::default();
 
@@ -56,14 +55,14 @@ fn main() {
         CostModelKind::AggValues,
         CostModelKind::Nodes,
     ];
-    let batch_sizes = [4usize, 16, 48];
+    let batch_sizes: Vec<usize> = sized(vec![4, 16, 48], vec![4, 16]);
 
     let mut report = BenchReport::new(
         "maintenance",
         format!(
             "synthetic cube, {} rounds x {} queries, update batch sweep {:?}, \
              zipf-skewed 60/40 insert/delete mix",
-            ROUNDS, QUERIES_PER_ROUND, batch_sizes
+            rounds, queries_per_round, batch_sizes
         ),
     );
     let headers = [
@@ -83,7 +82,7 @@ fn main() {
 
     for model in models {
         let mut expanded = base.clone();
-        let offline = run_offline(&mut expanded, &sized, &profile, model, &config)
+        let offline = run_offline(&mut expanded, &sized_lattice, &profile, model, &config)
             .expect("offline phase runs");
         let catalog = offline.view_catalog();
 
@@ -95,7 +94,7 @@ fn main() {
                     &base,
                     &facet,
                     &UpdateStreamConfig {
-                        batches: ROUNDS,
+                        batches: rounds,
                         batch_size,
                         insert_ratio: 0.6,
                         skew: 0.8,
@@ -130,7 +129,7 @@ fn main() {
                 // queries; under eager inside updates. Report it apart so
                 // the cells stay comparable.
                 let maint_us = maintenance.total_us;
-                let queries_total = ROUNDS * QUERIES_PER_ROUND;
+                let queries_total = rounds * queries_per_round;
 
                 rows.push(vec![
                     model.name().to_string(),
@@ -161,7 +160,7 @@ fn main() {
                     ("model", Json::from(model.name())),
                     ("policy", Json::from(policy.name())),
                     ("batch_size", Json::from(batch_size)),
-                    ("rounds", Json::from(ROUNDS)),
+                    ("rounds", Json::from(rounds)),
                     ("queries", Json::from(queries_total)),
                     ("update_us", Json::from(update_us)),
                     ("query_us", Json::from(query_us)),
@@ -191,7 +190,5 @@ fn main() {
         &rows,
     );
 
-    let dir = std::env::current_dir().expect("cwd");
-    let path = report.write_to(&dir).expect("report written");
-    println!("wrote {}", path.display());
+    finish_report(&report);
 }

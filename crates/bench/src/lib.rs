@@ -13,17 +13,43 @@
 //! | E5 cost↛time fidelity        | `e5_fidelity`     | — |
 //! | E6 hands-on challenge oracle | `e6_challenge`    | — |
 //! | E7 maintenance sweep         | `e7_maintenance`  | — |
+//! | E8 adaptive re-selection     | `e8_adaptive`     | — |
 //! | substrate micro-benches      | —                 | `benches/store.rs`, `benches/sparql.rs` |
 //!
 //! The library part hosts shared helpers for the binaries, including the
 //! [`json`] report writer (`BENCH_<experiment>.json` files that accumulate
-//! the perf trajectory across runs).
+//! the perf trajectory across runs). Every binary accepts `--smoke`
+//! ([`smoke`]): a seconds-not-minutes sweep for CI's `bench-smoke` job,
+//! emitting the same JSON shape as the full run.
 
 pub mod json;
 
 pub use json::{BenchReport, Json};
 
 use sofos_core::render_table;
+
+/// True when the binary was invoked with `--smoke`: shrink the sweep to
+/// run in seconds (CI), keeping the report shape identical.
+pub fn smoke() -> bool {
+    std::env::args().any(|a| a == "--smoke")
+}
+
+/// Pick the full- or smoke-sized value of a parameter.
+pub fn sized<T>(full: T, smoke_sized: T) -> T {
+    if smoke() {
+        smoke_sized
+    } else {
+        full
+    }
+}
+
+/// Write a report's `BENCH_<experiment>.json` into the current directory
+/// and announce the path (shared tail of every experiment binary).
+pub fn finish_report(report: &BenchReport) {
+    let dir = std::env::current_dir().expect("cwd");
+    let path = report.write_to(&dir).expect("report written");
+    println!("wrote {}", path.display());
+}
 
 /// Print a titled table to stdout (shared by the experiment binaries).
 pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
@@ -49,5 +75,12 @@ mod tests {
     fn formatting_helpers() {
         assert_eq!(ms(1500), "1.50");
         assert_eq!(ratio(2.0), "2.00x");
+    }
+
+    #[test]
+    fn sized_follows_smoke_flag() {
+        // The test harness is never invoked with `--smoke`.
+        assert!(!smoke());
+        assert_eq!(sized(100, 10), 100);
     }
 }

@@ -44,7 +44,8 @@ pub use compare::compare_cost_models;
 pub use config::EngineConfig;
 pub use offline::{build_model, run_offline, OfflineOutcome, SizedLattice};
 pub use online::{
-    run_online, OnlineOutcome, QueryRecord, Route, Session, SessionAnswer, StalenessPolicy,
+    run_online, DriftDetector, OnlineOutcome, QueryRecord, ReselectionReport, Reselector, Route,
+    Session, SessionAnswer, StalenessPolicy, ViewChurn,
 };
 pub use report::{render_table, ComparisonReport, ModelRow};
 pub use timing::{measure_median, measure_once, TimeSummary};

@@ -11,17 +11,29 @@
 //! living-graph mode: update batches ([`sofos_store::Delta`]) interleave
 //! with queries, and a configurable [`StalenessPolicy`] decides *when* the
 //! `sofos-maintain` engine brings materialized views back in sync.
+//!
+//! On top of the session sit the adaptive pieces: the session tracks a
+//! *sliding* workload/update profile (recent demanded masks, recent
+//! insert/delete pressure); a [`DriftDetector`] measures how far that
+//! window has moved from the profile the current selection was optimized
+//! for; and a [`Reselector`] re-runs maintenance-aware selection when the
+//! drift crosses a threshold, swapping the materialized set
+//! transactionally ([`Session::swap_views`]) and reporting the churn.
 
-use crate::timing::{measure_median, TimeSummary};
+use crate::config::EngineConfig;
+use crate::timing::{measure_median, measure_once, TimeSummary};
 use crate::validate::results_equivalent;
+use sofos_cost::{CalibratedMaintenance, CostModelKind, UpdateRates};
 use sofos_cube::{Facet, ViewMask};
 use sofos_maintain::{Maintainer, MaintenanceReport, RowDelta};
-use sofos_materialize::drop_view;
+use sofos_materialize::{drop_view, materialize_view};
 use sofos_rdf::{FxHashMap, FxHashSet};
-use sofos_rewrite::plan_rewrite;
+use sofos_rewrite::{analyze_query, best_view, plan_rewrite, rewrite_query};
+use sofos_select::{greedy_select_with, Objective, SelectionOutcome, WorkloadProfile};
 use sofos_sparql::{Evaluator, Query, QueryResults, SparqlError};
-use sofos_store::{ChangeSet, Dataset, Delta};
+use sofos_store::{ChangeSet, Dataset, Delta, OpKind};
 use sofos_workload::GeneratedQuery;
+use std::collections::VecDeque;
 
 /// Where a query was answered.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -223,6 +235,12 @@ pub struct Session {
     update_batches: usize,
     view_hits: usize,
     fallbacks: usize,
+    /// Sliding window of recently demanded masks (grouping ∪ filters of
+    /// analyzable queries), newest at the back.
+    recent_demands: VecDeque<ViewMask>,
+    /// Sliding window of per-batch `(inserted, deleted)` default-graph
+    /// triple counts.
+    recent_batches: VecDeque<(usize, usize)>,
 }
 
 impl Session {
@@ -249,12 +267,73 @@ impl Session {
             update_batches: 0,
             view_hits: 0,
             fallbacks: 0,
+            recent_demands: VecDeque::new(),
+            recent_batches: VecDeque::new(),
         }
+    }
+
+    /// How many recent query demands the sliding workload profile keeps.
+    pub const DEMAND_WINDOW: usize = 64;
+
+    /// How many recent update batches the rate estimate averages over.
+    pub const RATE_WINDOW: usize = 16;
+
+    /// Record one demanded mask into the sliding window.
+    fn observe_demand(&mut self, required: ViewMask) {
+        self.recent_demands.push_back(required);
+        while self.recent_demands.len() > Self::DEMAND_WINDOW {
+            self.recent_demands.pop_front();
+        }
+    }
+
+    /// Record one update batch's default-graph insert/delete op counts.
+    fn observe_batch(&mut self, delta: &Delta) {
+        let (mut inserted, mut deleted) = (0usize, 0usize);
+        for op in delta.ops() {
+            if op.graph.is_some() {
+                continue; // view graphs are ours, not workload pressure
+            }
+            match op.kind {
+                OpKind::Insert => inserted += 1,
+                OpKind::Delete => deleted += 1,
+            }
+        }
+        self.recent_batches.push_back((inserted, deleted));
+        while self.recent_batches.len() > Self::RATE_WINDOW {
+            self.recent_batches.pop_front();
+        }
+    }
+
+    /// The sliding workload profile: demand frequencies over the last
+    /// [`Session::DEMAND_WINDOW`] analyzable queries.
+    pub fn window_profile(&self) -> WorkloadProfile {
+        WorkloadProfile::from_masks(self.recent_demands.iter().copied())
+    }
+
+    /// Observed update pressure, as *observation-level* operations per
+    /// batch (triple-level counts divided by the facet's star width, one
+    /// triple per dimension plus the measure), averaged over the last
+    /// [`Session::RATE_WINDOW`] batches. Frozen when no batch arrived yet.
+    pub fn observed_rates(&self) -> UpdateRates {
+        if self.recent_batches.is_empty() {
+            return UpdateRates::FROZEN;
+        }
+        let star_width = (self.facet.dim_count() + 1) as f64;
+        let batches = self.recent_batches.len() as f64;
+        let (ins, del) = self
+            .recent_batches
+            .iter()
+            .fold((0usize, 0usize), |(i, d), &(bi, bd)| (i + bi, d + bd));
+        UpdateRates::new(
+            ins as f64 / star_width / batches,
+            del as f64 / star_width / batches,
+        )
     }
 
     /// Apply an update batch under the session's staleness policy.
     pub fn update(&mut self, delta: Delta) -> Result<ChangeSet, SparqlError> {
         self.update_batches += 1;
+        self.observe_batch(&delta);
         match self.policy {
             StalenessPolicy::Invalidate => {
                 for &(mask, _) in &self.views {
@@ -297,10 +376,19 @@ impl Session {
 
     /// Answer one query, routing through the rewriter; under the lazy
     /// policy a stale routed-to view is repaired first (and the repair's
-    /// cost reported on the answer).
+    /// cost reported on the answer). Analyzable queries feed the sliding
+    /// workload profile whether or not a view covers them.
     pub fn query(&mut self, query: &Query) -> Result<SessionAnswer, SparqlError> {
-        match plan_rewrite(&self.facet, &self.views, query) {
-            Ok((view, rewritten)) => {
+        let planned = match analyze_query(&self.facet, query) {
+            Ok(analysis) => {
+                self.observe_demand(analysis.required);
+                best_view(&self.views, analysis.required)
+                    .map(|view| (view, rewrite_query(&self.facet, &analysis, view)))
+            }
+            Err(_) => None,
+        };
+        match planned {
+            Some((view, rewritten)) => {
                 let maintenance_us = self.sync_view(view)?;
                 self.view_hits += 1;
                 let results = Evaluator::new(&self.dataset).evaluate(&rewritten)?;
@@ -310,7 +398,7 @@ impl Session {
                     maintenance_us,
                 })
             }
-            Err(_) => {
+            None => {
                 self.fallbacks += 1;
                 let results = Evaluator::new(&self.dataset).evaluate(query)?;
                 Ok(SessionAnswer {
@@ -438,6 +526,96 @@ impl Session {
         }
     }
 
+    /// Replace the materialized set with `target`, transactionally.
+    ///
+    /// Views in `target` not yet in the catalog are materialized *first*;
+    /// if any materialization fails, the already-written new view graphs
+    /// are dropped and the catalog is left exactly as it was (the session
+    /// keeps serving from the old selection). Only once every new view
+    /// exists are the retired ones dropped and the catalog swapped.
+    /// Kept views carry their maintenance state (cursors, pending
+    /// backlog) across the swap; new views are fresh as of now.
+    pub fn swap_views(&mut self, target: &[ViewMask]) -> Result<ViewChurn, SparqlError> {
+        debug_assert!(
+            target.iter().map(|m| m.0).collect::<FxHashSet<_>>().len() == target.len(),
+            "swap_views target must not contain duplicates: {target:?}"
+        );
+        let current: FxHashSet<u64> = self.views.iter().map(|(m, _)| m.0).collect();
+        let wanted: FxHashSet<u64> = target.iter().map(|m| m.0).collect();
+        let added: Vec<ViewMask> = target
+            .iter()
+            .copied()
+            .filter(|m| !current.contains(&m.0))
+            .collect();
+        let retired: Vec<ViewMask> = self
+            .views
+            .iter()
+            .map(|(m, _)| *m)
+            .filter(|m| !wanted.contains(&m.0))
+            .collect();
+        let kept: Vec<ViewMask> = target
+            .iter()
+            .copied()
+            .filter(|m| current.contains(&m.0))
+            .collect();
+
+        // Phase 1: materialize every incoming view; roll back on failure.
+        let mut materialized: Vec<(ViewMask, usize)> = Vec::with_capacity(added.len());
+        let (materialize_us, result) = measure_once(|| {
+            for &mask in &added {
+                match materialize_view(&mut self.dataset, &self.facet, mask) {
+                    Ok(view) => materialized.push((mask, view.stats.rows)),
+                    Err(e) => return Err(e),
+                }
+            }
+            Ok(())
+        });
+        if let Err(e) = result {
+            for &(mask, _) in &materialized {
+                drop_view(&mut self.dataset, &self.facet, mask);
+            }
+            return Err(e);
+        }
+
+        // Phase 2: retire outgoing views and install the new catalog in
+        // `target` order (kept entries keep their live row counts).
+        let (drop_us, ()) = measure_once(|| {
+            for &mask in &retired {
+                drop_view(&mut self.dataset, &self.facet, mask);
+                self.cursor.remove(&mask.0);
+                self.needs_refresh.remove(&mask.0);
+            }
+        });
+        let old_catalog: FxHashMap<u64, usize> =
+            self.views.iter().map(|(m, rows)| (m.0, *rows)).collect();
+        let fresh_cursor = self.log_end();
+        self.views = target
+            .iter()
+            .map(|&mask| {
+                let rows = old_catalog.get(&mask.0).copied().unwrap_or_else(|| {
+                    materialized
+                        .iter()
+                        .find(|(m, _)| *m == mask)
+                        .map_or(0, |(_, rows)| *rows)
+                });
+                (mask, rows)
+            })
+            .collect();
+        for &(mask, _) in &materialized {
+            // Materialized from the current base graph: nothing pending.
+            self.cursor.insert(mask.0, fresh_cursor);
+        }
+        self.compact_pending();
+
+        Ok(ViewChurn {
+            added,
+            retired,
+            kept,
+            materialize_us,
+            drop_us,
+        })
+    }
+
     /// The (possibly expanded) dataset.
     pub fn dataset(&self) -> &Dataset {
         &self.dataset
@@ -487,6 +665,306 @@ impl Session {
                         < self.log_end()
             })
             .count()
+    }
+}
+
+/// What a [`Session::swap_views`] actually changed.
+#[derive(Debug, Clone)]
+pub struct ViewChurn {
+    /// Views materialized by the swap, in catalog order.
+    pub added: Vec<ViewMask>,
+    /// Views dropped by the swap.
+    pub retired: Vec<ViewMask>,
+    /// Views present before and after (maintenance state preserved).
+    pub kept: Vec<ViewMask>,
+    /// Wall time spent materializing the added views (µs).
+    pub materialize_us: u64,
+    /// Wall time spent dropping the retired views (µs).
+    pub drop_us: u64,
+}
+
+impl ViewChurn {
+    /// Views touched by the swap (`added + retired`) — 0 means the
+    /// re-selection confirmed the standing set.
+    pub fn churned(&self) -> usize {
+        self.added.len() + self.retired.len()
+    }
+}
+
+/// Measures how far the live workload has drifted from the profile the
+/// current selection was optimized for.
+///
+/// Distance is total variation between the two *normalized* demand
+/// distributions: `½ Σ_m |p(m) − q(m)| ∈ [0, 1]`. 0 means the window
+/// replays the reference mix exactly; 1 means disjoint demand. The weight
+/// scale of either profile cancels, so windows and references of
+/// different lengths compare directly.
+#[derive(Debug, Clone)]
+pub struct DriftDetector {
+    reference: Vec<(ViewMask, f64)>,
+    threshold: f64,
+    min_weight: f64,
+}
+
+impl DriftDetector {
+    /// A detector anchored at `reference`, firing past `threshold`.
+    pub fn new(reference: &WorkloadProfile, threshold: f64) -> DriftDetector {
+        assert!(
+            (0.0..=1.0).contains(&threshold),
+            "drift threshold must be in [0, 1], got {threshold}"
+        );
+        DriftDetector {
+            reference: Self::normalize(reference),
+            threshold,
+            min_weight: 1.0,
+        }
+    }
+
+    /// Require at least this much window weight before `drifted` can fire
+    /// (defaults to 1 observation; raise to debounce cold windows).
+    pub fn with_min_weight(mut self, min_weight: f64) -> DriftDetector {
+        self.min_weight = min_weight.max(1.0);
+        self
+    }
+
+    fn normalize(profile: &WorkloadProfile) -> Vec<(ViewMask, f64)> {
+        let total = profile.total_weight();
+        if total <= 0.0 {
+            return Vec::new();
+        }
+        profile
+            .demands
+            .iter()
+            .map(|&(mask, w)| (mask, w / total))
+            .collect()
+    }
+
+    /// The configured firing threshold.
+    pub fn threshold(&self) -> f64 {
+        self.threshold
+    }
+
+    /// Total-variation distance between the reference and `current`.
+    /// Both empty → 0 (nothing moved); exactly one empty → 1.
+    pub fn drift(&self, current: &WorkloadProfile) -> f64 {
+        let current = Self::normalize(current);
+        match (self.reference.is_empty(), current.is_empty()) {
+            (true, true) => return 0.0,
+            (true, false) | (false, true) => return 1.0,
+            (false, false) => {}
+        }
+        let mut masses: FxHashMap<u64, (f64, f64)> = FxHashMap::default();
+        for &(mask, p) in &self.reference {
+            masses.entry(mask.0).or_default().0 += p;
+        }
+        for &(mask, q) in &current {
+            masses.entry(mask.0).or_default().1 += q;
+        }
+        0.5 * masses.values().map(|(p, q)| (p - q).abs()).sum::<f64>()
+    }
+
+    /// True when `current` carries enough weight and its drift exceeds
+    /// the threshold.
+    pub fn drifted(&self, current: &WorkloadProfile) -> bool {
+        current.total_weight() >= self.min_weight && self.drift(current) > self.threshold
+    }
+
+    /// Re-anchor at a new reference (after a re-selection).
+    pub fn rebase(&mut self, reference: &WorkloadProfile) {
+        self.reference = Self::normalize(reference);
+    }
+}
+
+/// One re-selection pass: what drove it, what was selected, what churned.
+#[derive(Debug, Clone)]
+pub struct ReselectionReport {
+    /// Drift at the moment of re-selection.
+    pub drift: f64,
+    /// The new selection (combined-objective costs included).
+    pub selection: SelectionOutcome,
+    /// Catalog churn from the transactional swap.
+    pub churn: ViewChurn,
+    /// Wall time of the lattice re-sizing pass (µs).
+    pub sizing_us: u64,
+    /// Wall time of the selection algorithm (µs).
+    pub selection_us: u64,
+}
+
+impl ReselectionReport {
+    /// Total re-selection overhead (µs): sizing + selection +
+    /// materialization + drops.
+    pub fn overhead_us(&self) -> u64 {
+        self.sizing_us + self.selection_us + self.churn.materialize_us + self.churn.drop_us
+    }
+}
+
+/// Adaptive re-selection: watches a session's sliding workload/update
+/// profile through a [`DriftDetector`] and, when the workload has moved,
+/// re-runs maintenance-aware selection over a freshly re-sized lattice
+/// and swaps the materialized set transactionally.
+///
+/// The maintenance term defaults to the analytic
+/// [`sofos_cost::TouchedGroupsMaintenance`] estimator, so λ keeps the
+/// same (abstract, triples-scale) meaning across the whole run. Opting in
+/// to [`Reselector::with_calibrated_maintenance`] instead fits
+/// [`CalibratedMaintenance`] to the maintenance telemetry the session has
+/// accumulated so far — predictions move to real microseconds, and λ must
+/// be chosen against that scale. Update pressure is read from
+/// [`Session::observed_rates`] either way.
+pub struct Reselector {
+    kind: CostModelKind,
+    config: EngineConfig,
+    lambda: f64,
+    detector: DriftDetector,
+    calibrated: bool,
+    sizing_cache: Option<crate::offline::SizedLattice>,
+    reselections: usize,
+}
+
+impl Reselector {
+    /// A re-selector optimizing `kind` + λ·maintenance under `config`'s
+    /// budget, anchored at the profile the current selection served.
+    pub fn new(
+        kind: CostModelKind,
+        config: EngineConfig,
+        lambda: f64,
+        reference: &WorkloadProfile,
+        threshold: f64,
+    ) -> Reselector {
+        assert!(
+            lambda.is_finite() && lambda >= 0.0,
+            "lambda must be finite and non-negative, got {lambda}"
+        );
+        Reselector {
+            kind,
+            config,
+            lambda,
+            detector: DriftDetector::new(reference, threshold),
+            calibrated: false,
+            sizing_cache: None,
+            reselections: 0,
+        }
+    }
+
+    /// Price upkeep in real microseconds, re-fit from the session's
+    /// accumulated maintenance telemetry on every pass (λ must then be
+    /// chosen against the µs scale rather than the analytic one).
+    pub fn with_calibrated_maintenance(mut self) -> Reselector {
+        self.calibrated = true;
+        self
+    }
+
+    /// Reuse an offline sizing pass instead of re-evaluating the whole
+    /// lattice on every re-selection.
+    ///
+    /// Re-sizing costs as much as answering one query per lattice view —
+    /// on a 2^d lattice that dwarfs everything else a re-selection does,
+    /// and is exactly the overhead that makes frequent re-selection
+    /// uneconomical. Cached estimates go stale as the graph grows, but
+    /// uniform growth preserves the *ranking* between views (and keeps
+    /// byte budgets in one consistent unit), which is what selection
+    /// needs. Drop the cache (a fresh `Reselector`) when the graph has
+    /// changed shape rather than size.
+    pub fn with_sizing_cache(mut self, sized: crate::offline::SizedLattice) -> Reselector {
+        self.sizing_cache = Some(sized);
+        self
+    }
+
+    /// The drift detector (for inspection / reporting).
+    pub fn detector(&self) -> &DriftDetector {
+        &self.detector
+    }
+
+    /// Re-selections performed so far.
+    pub fn reselections(&self) -> usize {
+        self.reselections
+    }
+
+    /// Check the session's sliding window against the reference profile;
+    /// re-select only if it drifted past the threshold. `Ok(None)` means
+    /// the standing selection still fits.
+    pub fn check(
+        &mut self,
+        session: &mut Session,
+    ) -> Result<Option<ReselectionReport>, SparqlError> {
+        let window = session.window_profile();
+        if !self.detector.drifted(&window) {
+            return Ok(None);
+        }
+        self.reselect_for(session, window).map(Some)
+    }
+
+    /// Unconditional re-selection against the current window (the
+    /// always-reselect policy; also useful to force an initial swap).
+    pub fn reselect(&mut self, session: &mut Session) -> Result<ReselectionReport, SparqlError> {
+        let window = session.window_profile();
+        self.reselect_for(session, window)
+    }
+
+    fn reselect_for(
+        &mut self,
+        session: &mut Session,
+        window: WorkloadProfile,
+    ) -> Result<ReselectionReport, SparqlError> {
+        let drift = self.detector.drift(&window);
+        // A cold window (no queries yet) has nothing to optimize for;
+        // fall back to uniform demand rather than selecting nothing.
+        let profile = if window.total_weight() > 0.0 {
+            window.clone()
+        } else {
+            let lattice = sofos_cube::Lattice::new(session.facet().clone());
+            WorkloadProfile::uniform(&lattice)
+        };
+
+        let computed;
+        let (sized, sizing_us) = match &self.sizing_cache {
+            Some(cached) => (cached, 0),
+            None => {
+                computed =
+                    crate::offline::SizedLattice::compute(session.dataset(), session.facet())?;
+                (&computed, computed.sizing_us)
+            }
+        };
+        let (query_model, _history, _train_us) =
+            crate::offline::build_model(self.kind, sized, &self.config);
+        let analytic = sofos_cost::TouchedGroupsMaintenance;
+        let calibrated;
+        let maintenance: &dyn sofos_cost::MaintenanceCostModel = if self.calibrated {
+            calibrated = CalibratedMaintenance::calibrate(&session.maintenance().per_view);
+            &calibrated
+        } else {
+            &analytic
+        };
+        let rates = session.observed_rates();
+        let ctx = sized.context();
+        let objective = if self.lambda > 0.0 {
+            Objective::maintenance_aware(query_model.as_ref(), maintenance, rates, self.lambda)
+        } else {
+            Objective::query_only(query_model.as_ref())
+        };
+        let (selection_us, selection) = measure_once(|| {
+            greedy_select_with(
+                &ctx,
+                &sized.lattice,
+                &objective,
+                &profile,
+                self.config.budget,
+            )
+        });
+
+        let churn = session.swap_views(&selection.selected)?;
+        // Anchor at the profile the new selection was *optimized for* —
+        // not the raw window, which on a cold forced reselect is empty
+        // and would make every subsequent query read as drift 1.0.
+        self.detector.rebase(&profile);
+        self.reselections += 1;
+        Ok(ReselectionReport {
+            drift,
+            selection,
+            churn,
+            sizing_us,
+            selection_us,
+        })
     }
 }
 
@@ -701,6 +1179,205 @@ mod tests {
         let (hits, fallbacks) = session.routing_counts();
         assert_eq!(hits, 0);
         assert_eq!(fallbacks, workload.len());
+    }
+
+    #[test]
+    fn session_tracks_window_profile_and_rates() {
+        let (mut session, workload) = session_setup(StalenessPolicy::Eager);
+        assert_eq!(session.window_profile().total_weight(), 0.0);
+        assert_eq!(session.observed_rates(), sofos_cost::UpdateRates::FROZEN);
+
+        for q in &workload {
+            session.query(&q.query).unwrap();
+        }
+        let profile = session.window_profile();
+        assert_eq!(profile.total_weight(), workload.len() as f64);
+
+        session.update(session_delta(0)).unwrap();
+        let rates = session.observed_rates();
+        // session_delta inserts 3 complete 4-triple stars (3 dims + measure).
+        assert!((rates.inserts_per_round - 3.0).abs() < 1e-9, "{rates:?}");
+        assert_eq!(rates.deletes_per_round, 0.0);
+    }
+
+    #[test]
+    fn swap_views_reports_churn_and_stays_consistent() {
+        let (mut session, workload) = session_setup(StalenessPolicy::Eager);
+        let before: Vec<ViewMask> = session.views().iter().map(|(m, _)| *m).collect();
+        assert!(!before.is_empty());
+
+        // Swap to: keep the first standing view, add the apex (not
+        // selected by the offline pass here), retire the rest.
+        let kept = before[0];
+        assert!(
+            !before.contains(&ViewMask::APEX),
+            "test needs the apex to be a genuine addition"
+        );
+        let target = [kept, ViewMask::APEX];
+        let churn = session.swap_views(&target).unwrap();
+        assert_eq!(churn.added, vec![ViewMask::APEX]);
+        assert_eq!(churn.kept, vec![kept]);
+        assert_eq!(churn.retired.len(), before.len() - 1);
+        assert_eq!(churn.churned(), 1 + before.len() - 1);
+        assert_eq!(session.views().len(), 2);
+        assert_eq!(
+            session.dataset().graph_names().len(),
+            2,
+            "one named graph per catalog view after the swap"
+        );
+        // The swapped catalog still serves correct answers.
+        assert_session_answers_match_base(&mut session, &workload);
+    }
+
+    #[test]
+    fn swap_views_across_updates_keeps_answers_fresh() {
+        let (mut session, workload) = session_setup(StalenessPolicy::LazyOnHit);
+        session.update(session_delta(0)).unwrap();
+        // Swap while every standing view is stale: new views materialize
+        // from the *updated* base graph, kept ones repair lazily.
+        let kept = session.views()[0].0;
+        session.swap_views(&[kept, ViewMask::APEX]).unwrap();
+        session.update(session_delta(1)).unwrap();
+        assert_session_answers_match_base(&mut session, &workload);
+    }
+
+    #[test]
+    fn drift_detector_measures_total_variation() {
+        let a = WorkloadProfile::from_masks([ViewMask(1), ViewMask(1), ViewMask(2), ViewMask(2)]);
+        let detector = DriftDetector::new(&a, 0.25);
+        // Same mix, different scale: no drift.
+        let same = WorkloadProfile::from_masks([ViewMask(1), ViewMask(2)]);
+        assert!(detector.drift(&same).abs() < 1e-12);
+        assert!(!detector.drifted(&same));
+        // Half the mass moved from mask 2 to mask 3: TV = 0.25.
+        let shifted =
+            WorkloadProfile::from_masks([ViewMask(1), ViewMask(1), ViewMask(2), ViewMask(3)]);
+        assert!((detector.drift(&shifted) - 0.25).abs() < 1e-12);
+        // Disjoint demand: TV = 1.
+        let disjoint = WorkloadProfile::from_masks([ViewMask(5)]);
+        assert_eq!(detector.drift(&disjoint), 1.0);
+        assert!(detector.drifted(&disjoint));
+        // Empty windows never fire.
+        let empty = WorkloadProfile { demands: vec![] };
+        assert_eq!(detector.drift(&empty), 1.0);
+        assert!(!detector.drifted(&empty));
+    }
+
+    #[test]
+    fn reselector_fires_on_drift_and_recovers_view_hits() {
+        use sofos_cube::facet_query;
+        let (mut session, _workload) = session_setup(StalenessPolicy::Eager);
+        // Force a catalog that only answers apex queries.
+        session.swap_views(&[ViewMask::APEX]).unwrap();
+        let apex_profile = WorkloadProfile::from_masks([ViewMask::APEX]);
+        let mut reselector = Reselector::new(
+            CostModelKind::AggValues,
+            EngineConfig::default(),
+            0.0,
+            &apex_profile,
+            0.5,
+        );
+
+        // The workload moves to the finest grouping, which the apex
+        // cannot answer: every query falls back.
+        let base_mask = ViewMask::full(session.facet().dim_count());
+        let q = facet_query(session.facet(), base_mask, sofos_cube::AggOp::Sum, vec![]);
+        for _ in 0..6 {
+            session.query(&q).unwrap();
+        }
+        let (hits_before, fallbacks_before) = session.routing_counts();
+        assert_eq!(hits_before, 0);
+        assert_eq!(fallbacks_before, 6);
+
+        let report = reselector
+            .check(&mut session)
+            .unwrap()
+            .expect("profile moved entirely: drift 1.0 > threshold 0.5");
+        assert_eq!(report.drift, 1.0);
+        assert!(
+            report
+                .selection
+                .selected
+                .iter()
+                .any(|v| v.covers(base_mask)),
+            "re-selection must cover the new hot demand: {:?}",
+            report.selection.selected
+        );
+        assert!(!report.churn.added.is_empty());
+        assert_eq!(reselector.reselections(), 1);
+
+        // After the swap the same query routes to a view again.
+        let answer = session.query(&q).unwrap();
+        assert!(matches!(answer.route, Route::View(_)));
+
+        // And the detector is re-anchored: the same workload no longer
+        // triggers another pass.
+        assert!(reselector.check(&mut session).unwrap().is_none());
+    }
+
+    #[test]
+    fn reselector_options_calibrated_and_cached() {
+        use sofos_cube::facet_query;
+        let (mut session, _workload) = session_setup(StalenessPolicy::Eager);
+        // Accumulate maintenance telemetry for calibration.
+        for batch in 0..3 {
+            session.update(session_delta(batch)).unwrap();
+        }
+        assert!(!session.maintenance().per_view.is_empty());
+        let sized = SizedLattice::compute(session.dataset(), session.facet()).unwrap();
+        session.swap_views(&[ViewMask::APEX]).unwrap();
+        let apex_profile = WorkloadProfile::from_masks([ViewMask::APEX]);
+        let mut reselector = Reselector::new(
+            CostModelKind::Triples,
+            EngineConfig::default(),
+            1.0,
+            &apex_profile,
+            0.5,
+        )
+        .with_calibrated_maintenance()
+        .with_sizing_cache(sized);
+
+        let base_mask = ViewMask::full(session.facet().dim_count());
+        let q = facet_query(session.facet(), base_mask, sofos_cube::AggOp::Sum, vec![]);
+        for _ in 0..4 {
+            session.query(&q).unwrap();
+        }
+        let report = reselector
+            .check(&mut session)
+            .unwrap()
+            .expect("disjoint demand triggers re-selection");
+        assert_eq!(
+            report.sizing_us, 0,
+            "cached sizing skips the re-sizing pass"
+        );
+        assert!(report
+            .selection
+            .selected
+            .iter()
+            .any(|v| v.covers(base_mask)));
+        let answer = session.query(&q).unwrap();
+        assert!(matches!(answer.route, Route::View(_)));
+    }
+
+    #[test]
+    fn reselector_stays_quiet_without_drift() {
+        let (mut session, workload) = session_setup(StalenessPolicy::Eager);
+        let reference = WorkloadProfile::from_masks(workload.iter().map(|q| q.required));
+        let mut reselector = Reselector::new(
+            CostModelKind::AggValues,
+            EngineConfig::default(),
+            1.0,
+            &reference,
+            0.5,
+        );
+        for q in &workload {
+            session.query(&q.query).unwrap();
+        }
+        assert!(
+            reselector.check(&mut session).unwrap().is_none(),
+            "replaying the reference workload is not drift"
+        );
+        assert_eq!(reselector.reselections(), 0);
     }
 
     #[test]

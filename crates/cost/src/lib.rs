@@ -17,10 +17,16 @@
 //! All implement [`CostModel`] over a [`CostContext`] holding the virtually
 //! sized lattice ([`size_lattice`]) and base-graph statistics. The MLP
 //! behind the learned model lives in [`nn`] (from scratch; no ML deps).
+//!
+//! Query cost is only half the trade-off on a living graph: the
+//! [`maintenance`] module prices view *upkeep* ([`MaintenanceCostModel`]
+//! over [`UpdateRates`]) so `sofos-select` can optimize the combined
+//! objective `query_cost + λ · maintenance_cost`.
 
 pub mod context;
 pub mod features;
 pub mod learned;
+pub mod maintenance;
 pub mod models;
 pub mod nn;
 
@@ -28,6 +34,11 @@ pub use context::{size_lattice, CostContext};
 pub use features::{feature_dim, view_features, Normalizer};
 pub use learned::{
     regression_metrics, spearman, LearnedCostModel, RegressionMetrics, TrainingSample,
+};
+pub use maintenance::{
+    expected_touched_groups, maintenance_features, CalibratedMaintenance, FixedMaintenance,
+    MaintenanceCoefficients, MaintenanceCostModel, MaintenanceFeatures, TouchedGroupsMaintenance,
+    UpdateRates,
 };
 pub use models::{
     AggValuesCost, CostModel, CostModelKind, NodesCost, RandomCost, TriplesCost, UserDefinedCost,

@@ -351,16 +351,39 @@ impl Maintainer {
                             }
                             Numeric::Integer(n)
                         }
-                        MaterialComponent::Min => {
-                            best(old_num, &group.asserted, std::cmp::Ordering::Less)
-                        }
-                        MaterialComponent::Max => {
-                            best(old_num, &group.asserted, std::cmp::Ordering::Greater)
+                        MaterialComponent::Min | MaterialComponent::Max => {
+                            let keep = if component == MaterialComponent::Min {
+                                std::cmp::Ordering::Less
+                            } else {
+                                std::cmp::Ordering::Greater
+                            };
+                            match old {
+                                Some(_) => best(old_num, &group.asserted, keep),
+                                // No stored extremum (the apex row over an
+                                // emptied graph encodes MIN/MAX as "no
+                                // triple"): the delta's own extremum is the
+                                // value — defaulting the absent side to 0
+                                // would invent a bound.
+                                None if !group.asserted.is_empty() => {
+                                    extremum(&group.asserted, keep)
+                                }
+                                None => continue,
+                            }
                         }
                     };
                     writes += write_component(dataset, ids.graph, obs, pred, old, new_num);
                 }
                 if retract {
+                    if ids.mask == ViewMask::APEX {
+                        // SPARQL's *implicit* group never disappears: the
+                        // apex view of an emptied graph still has one row
+                        // (COUNT = 0, SUM = 0, extrema unbound), so
+                        // re-evaluate the row instead of retracting it —
+                        // that reproduces the materializer's encoding
+                        // exactly.
+                        cost.groups_reevaluated += 1;
+                        return self.reevaluate_group(dataset, ids, key, Some(obs), cost);
+                    }
                     cost.triples_touched += retract_obs(dataset, ids.graph, obs);
                     cost.rows_retracted += 1;
                 } else {
@@ -423,7 +446,14 @@ impl Maintainer {
             }
             return Ok(());
         }
-        let components: Vec<(MaterialComponent, Term)> = self
+        // A component can come back *unbound* even though the group kept a
+        // row: MIN/MAX over SPARQL's implicit group (the apex view with
+        // every binding gone) aggregate an empty multiset. The
+        // materializer encodes such cells as "no triple"
+        // ([`sofos_materialize::encode_view`] skips unbound values), so
+        // maintenance mirrors that exactly: write bound components, remove
+        // stale triples of unbound ones.
+        let components: Vec<(MaterialComponent, Option<Term>)> = self
             .facet
             .agg
             .components()
@@ -432,10 +462,7 @@ impl Maintainer {
                 let column = results
                     .column(component_alias(component))
                     .expect("view query projects its component aliases");
-                let value = results.rows[0][column]
-                    .clone()
-                    .expect("aggregate components are always bound");
-                (component, value)
+                (component, results.rows[0][column].clone())
             })
             .collect();
         match obs {
@@ -443,11 +470,27 @@ impl Maintainer {
                 for (component, value) in &components {
                     let pred = ids.component(*component);
                     let old = read_component(dataset, ids.graph, obs, pred);
-                    cost.triples_touched +=
-                        write_component_term(dataset, ids.graph, obs, pred, old, value);
+                    match value {
+                        Some(value) => {
+                            cost.triples_touched +=
+                                write_component_term(dataset, ids.graph, obs, pred, old, value);
+                        }
+                        None => {
+                            if let Some(old) = old {
+                                dataset.remove_encoded(Some(ids.graph), &[obs, pred, old]);
+                                cost.triples_touched += 1;
+                            }
+                        }
+                    }
                 }
             }
-            None => self.create_obs(dataset, ids, key, &components, cost),
+            None => {
+                let bound: Vec<(MaterialComponent, Term)> = components
+                    .into_iter()
+                    .filter_map(|(component, value)| value.map(|v| (component, v)))
+                    .collect();
+                self.create_obs(dataset, ids, key, &bound, cost)
+            }
         }
         Ok(())
     }

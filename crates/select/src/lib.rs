@@ -16,8 +16,24 @@
 //!   up to k views up to a certain memory budget" variant;
 //! * [`WorkloadProfile`] — the query-demand distribution the greedy
 //!   optimizes for (which grouping masks arrive, with what frequency).
+//!
+//! ## The maintenance-aware objective
+//!
+//! On a living graph the frozen objective (query cost alone) over-selects:
+//! a view that answers queries cheaply may churn on every update batch.
+//! [`Objective`] combines both sides, Goasdoué-style:
+//!
+//! ```text
+//! total(S) = Σ_q w_q · cost(q | S)  +  λ · Σ_{v ∈ S} m(v, rates)
+//! ```
+//!
+//! where `m` is a [`sofos_cost::MaintenanceCostModel`] and λ bridges the
+//! upkeep units to the query-cost scale. [`greedy_select_with`] and
+//! [`exhaustive_select_with`] optimize the combined total; at λ = 0 they
+//! reproduce the frozen-graph algorithms *exactly* (property-tested). The
+//! λ sweep is exposed as [`lambda_sweep`]. See `README.md` for semantics.
 
-use sofos_cost::{CostContext, CostModel};
+use sofos_cost::{CostContext, CostModel, MaintenanceCostModel, UpdateRates};
 use sofos_cube::{Lattice, ViewMask};
 use sofos_rdf::FxHashSet;
 
@@ -66,25 +82,136 @@ impl WorkloadProfile {
     }
 }
 
+/// The maintenance side of a combined objective: a model, the anticipated
+/// update pressure, and the weight λ bridging upkeep units to query-cost
+/// units.
+#[derive(Clone, Copy)]
+pub struct MaintenanceTerm<'a> {
+    /// Predicts per-round upkeep of a candidate view.
+    pub model: &'a dyn MaintenanceCostModel,
+    /// Anticipated update pressure per round.
+    pub rates: UpdateRates,
+    /// Weight of upkeep relative to query cost (λ = 0 ⇒ frozen-graph
+    /// objective).
+    pub lambda: f64,
+}
+
+/// What selection minimizes: expected workload query cost, optionally plus
+/// λ-weighted per-view maintenance cost.
+#[derive(Clone, Copy)]
+pub struct Objective<'a> {
+    query: &'a dyn CostModel,
+    maintenance: Option<MaintenanceTerm<'a>>,
+}
+
+impl<'a> Objective<'a> {
+    /// The frozen-graph objective: query cost only (today's behaviour).
+    pub fn query_only(query: &'a dyn CostModel) -> Objective<'a> {
+        Objective {
+            query,
+            maintenance: None,
+        }
+    }
+
+    /// The combined objective `query_cost + λ · maintenance_cost`.
+    pub fn maintenance_aware(
+        query: &'a dyn CostModel,
+        model: &'a dyn MaintenanceCostModel,
+        rates: UpdateRates,
+        lambda: f64,
+    ) -> Objective<'a> {
+        assert!(
+            lambda.is_finite() && lambda >= 0.0,
+            "lambda must be finite and non-negative, got {lambda}"
+        );
+        Objective {
+            query,
+            maintenance: Some(MaintenanceTerm {
+                model,
+                rates,
+                lambda,
+            }),
+        }
+    }
+
+    /// The query-cost model.
+    pub fn query_model(&self) -> &dyn CostModel {
+        self.query
+    }
+
+    /// The configured λ (0 without a maintenance term).
+    pub fn lambda(&self) -> f64 {
+        self.maintenance.map_or(0.0, |m| m.lambda)
+    }
+
+    /// λ-weighted upkeep of one view (0 without an *active* maintenance
+    /// term, so the λ = 0 objective is bit-identical to query-only).
+    pub fn upkeep(&self, ctx: &CostContext<'_>, view: ViewMask) -> f64 {
+        match &self.maintenance {
+            Some(m) if m.lambda > 0.0 => m.lambda * m.model.maintenance_cost(ctx, view, &m.rates),
+            _ => 0.0,
+        }
+    }
+
+    /// True when the maintenance term actually shapes the objective
+    /// (present, λ > 0, and updates are expected).
+    pub fn is_active(&self) -> bool {
+        self.maintenance
+            .as_ref()
+            .is_some_and(|m| m.lambda > 0.0 && !m.rates.is_frozen())
+    }
+}
+
+impl std::fmt::Debug for Objective<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Objective")
+            .field("query", &self.query.name())
+            .field(
+                "maintenance",
+                &self
+                    .maintenance
+                    .map(|m| (m.model.name(), m.rates, m.lambda)),
+            )
+            .finish()
+    }
+}
+
 /// The result of a selection run.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SelectionOutcome {
     /// Selected views, in pick order.
     pub selected: Vec<ViewMask>,
-    /// Estimated workload cost with the selection in place.
+    /// Estimated workload *query* cost with the selection in place.
     pub estimated_cost: f64,
-    /// Estimated workload cost with no views at all (base graph only).
+    /// Estimated workload query cost with no views at all (base graph
+    /// only).
     pub baseline_cost: f64,
+    /// λ-weighted maintenance cost of the selection (0 under a query-only
+    /// objective or λ = 0).
+    pub upkeep_cost: f64,
 }
 
 impl SelectionOutcome {
     /// Estimated speedup factor (`baseline / with-views`).
+    ///
+    /// Both costs are [`workload_cost`] sums over the *same* profile, so
+    /// the profile's weight scale cancels — the ratio is identical whether
+    /// or not the weights were normalized. A zero-total-weight (or empty)
+    /// profile makes both costs zero; that degenerate case reports a
+    /// speedup of 1 (no work either way), not infinity.
     pub fn estimated_speedup(&self) -> f64 {
         if self.estimated_cost > 0.0 {
             self.baseline_cost / self.estimated_cost
-        } else {
+        } else if self.baseline_cost > 0.0 {
             f64::INFINITY
+        } else {
+            1.0
         }
+    }
+
+    /// The combined objective value: query cost plus λ-weighted upkeep.
+    pub fn total_cost(&self) -> f64 {
+        self.estimated_cost + self.upkeep_cost
     }
 }
 
@@ -133,12 +260,27 @@ fn demand_cost(
 
 /// Expected total workload cost under a selection (the quantity the greedy
 /// minimizes and E6 compares against the oracle).
+///
+/// Demand weights need **not** sum to 1 — the result scales linearly with
+/// the profile's total weight, so absolute values are only comparable
+/// between calls sharing one profile. Ratios of such calls (e.g.
+/// [`SelectionOutcome::estimated_speedup`]) are weight-scale invariant.
+/// Weights must be finite and non-negative (debug-asserted); a
+/// zero-total-weight profile yields cost 0.
 pub fn workload_cost(
     ctx: &CostContext<'_>,
     model: &dyn CostModel,
     profile: &WorkloadProfile,
     selected: &[ViewMask],
 ) -> f64 {
+    debug_assert!(
+        profile
+            .demands
+            .iter()
+            .all(|(_, w)| w.is_finite() && *w >= 0.0),
+        "workload weights must be finite and non-negative: {:?}",
+        profile.demands
+    );
     let base_cost = base_graph_cost(ctx, model);
     profile
         .demands
@@ -147,14 +289,31 @@ pub fn workload_cost(
         .sum()
 }
 
-/// HRU-style benefit greedy under an arbitrary cost model and budget.
-///
-/// Each round picks the candidate with the largest total benefit
-/// `Σ_q w_q · (cost(q | S) − cost(q | S ∪ {v}))`; ties break toward the
-/// smaller mask for determinism. When every remaining candidate has zero
-/// benefit the algorithm keeps filling the budget with the cheapest
-/// remaining candidates (so that a `k`-view budget always yields `k` views,
-/// matching the demo's fixed-budget comparisons).
+/// λ-weighted upkeep of a whole selection under an objective (0 for
+/// query-only objectives).
+pub fn selection_upkeep(
+    ctx: &CostContext<'_>,
+    objective: &Objective<'_>,
+    selected: &[ViewMask],
+) -> f64 {
+    selected.iter().map(|&v| objective.upkeep(ctx, v)).sum()
+}
+
+/// The combined objective value of a selection: expected workload query
+/// cost plus λ-weighted maintenance cost of the selected views.
+pub fn combined_cost(
+    ctx: &CostContext<'_>,
+    objective: &Objective<'_>,
+    profile: &WorkloadProfile,
+    selected: &[ViewMask],
+) -> f64 {
+    workload_cost(ctx, objective.query_model(), profile, selected)
+        + selection_upkeep(ctx, objective, selected)
+}
+
+/// HRU-style benefit greedy under an arbitrary cost model and budget
+/// (frozen-graph objective). Equivalent to [`greedy_select_with`] over
+/// [`Objective::query_only`].
 pub fn greedy_select(
     ctx: &CostContext<'_>,
     lattice: &Lattice,
@@ -162,6 +321,31 @@ pub fn greedy_select(
     profile: &WorkloadProfile,
     budget: Budget,
 ) -> SelectionOutcome {
+    greedy_select_with(ctx, lattice, &Objective::query_only(model), profile, budget)
+}
+
+/// HRU-style benefit greedy under a combined [`Objective`] and budget.
+///
+/// Each round picks the candidate with the largest *net* benefit
+/// `Σ_q w_q · (cost(q | S) − cost(q | S ∪ {v})) − λ · m(v)`; ties break
+/// toward the cheaper candidate, then the smaller mask, for determinism.
+///
+/// Under a query-only (or λ = 0) objective, when every remaining candidate
+/// has zero benefit the algorithm keeps filling the budget with the
+/// cheapest remaining candidates (so that a `k`-view budget always yields
+/// `k` views, matching the demo's fixed-budget comparisons). With an
+/// *active* maintenance term that padding would be harmful — every extra
+/// view costs real upkeep — so selection stops at the first round whose
+/// best net benefit is ≤ 0: the budget becomes a ceiling, not a target.
+pub fn greedy_select_with(
+    ctx: &CostContext<'_>,
+    lattice: &Lattice,
+    objective: &Objective<'_>,
+    profile: &WorkloadProfile,
+    budget: Budget,
+) -> SelectionOutcome {
+    let model = objective.query_model();
+    let active = objective.is_active();
     let base_cost = base_graph_cost(ctx, model);
     let baseline_cost = workload_cost(ctx, model, profile, &[]);
 
@@ -179,7 +363,7 @@ pub fn greedy_select(
     };
 
     while selected.len() < target_views {
-        let mut best: Option<(usize, f64, f64)> = None; // (index, benefit, cost)
+        let mut best: Option<(usize, f64, f64)> = None; // (index, net benefit, cost)
         for (i, &candidate) in remaining.iter().enumerate() {
             if let Budget::Bytes(_) = budget {
                 let size = ctx.stats(candidate).map_or(usize::MAX, |s| s.bytes);
@@ -191,28 +375,36 @@ pub fn greedy_select(
             if !candidate_cost.is_finite() {
                 continue;
             }
+            let upkeep = objective.upkeep(ctx, candidate);
+            if !upkeep.is_finite() {
+                continue; // unpriceable upkeep: never worth materializing
+            }
             let mut benefit = 0.0;
             for (d, &(demand, weight)) in profile.demands.iter().enumerate() {
                 if candidate.covers(demand) && candidate_cost < current[d] {
                     benefit += weight * (current[d] - candidate_cost);
                 }
             }
+            let net = benefit - upkeep;
             let better = match best {
                 None => true,
                 Some((bi, bb, bc)) => {
-                    benefit > bb
-                        || (benefit == bb
+                    net > bb
+                        || (net == bb
                             && (candidate_cost < bc
                                 || (candidate_cost == bc && candidate.0 < remaining[bi].0)))
                 }
             };
             if better {
-                best = Some((i, benefit, candidate_cost));
+                best = Some((i, net, candidate_cost));
             }
         }
-        let Some((index, _benefit, cost)) = best else {
+        let Some((index, net, cost)) = best else {
             break; // nothing affordable / priceable
         };
+        if active && net <= 0.0 {
+            break; // the next view costs more upkeep than it saves
+        }
         let view = remaining.swap_remove(index);
         if let Budget::Bytes(_) = budget {
             bytes_left -= ctx.stats(view).map_or(0, |s| s.bytes) as isize;
@@ -226,16 +418,44 @@ pub fn greedy_select(
     }
 
     let estimated_cost = workload_cost(ctx, model, profile, &selected);
+    let upkeep_cost = selection_upkeep(ctx, objective, &selected);
     SelectionOutcome {
         selected,
         estimated_cost,
         baseline_cost,
+        upkeep_cost,
     }
 }
 
-/// Optimal `k`-subset by exhaustive enumeration. Panics if `C(n, k)` would
-/// exceed `limit` combinations (caller guards; the E6 oracle uses small
-/// lattices). Ties break toward the lexicographically smaller subset.
+/// Run [`greedy_select_with`] across a λ sweep, pairing each λ with its
+/// outcome — the knob the adaptive experiments chart (λ = 0 recovers the
+/// frozen-graph selection; large λ shrinks the selection toward cheap-to-
+/// maintain views, eventually to none).
+#[allow(clippy::too_many_arguments)]
+pub fn lambda_sweep(
+    ctx: &CostContext<'_>,
+    lattice: &Lattice,
+    query: &dyn CostModel,
+    maintenance: &dyn MaintenanceCostModel,
+    rates: UpdateRates,
+    profile: &WorkloadProfile,
+    budget: Budget,
+    lambdas: &[f64],
+) -> Vec<(f64, SelectionOutcome)> {
+    lambdas
+        .iter()
+        .map(|&lambda| {
+            let objective = Objective::maintenance_aware(query, maintenance, rates, lambda);
+            (
+                lambda,
+                greedy_select_with(ctx, lattice, &objective, profile, budget),
+            )
+        })
+        .collect()
+}
+
+/// Optimal `k`-subset by exhaustive enumeration (frozen-graph objective).
+/// Equivalent to [`exhaustive_select_with`] over [`Objective::query_only`].
 pub fn exhaustive_select(
     ctx: &CostContext<'_>,
     lattice: &Lattice,
@@ -244,54 +464,113 @@ pub fn exhaustive_select(
     k: usize,
     limit: u64,
 ) -> SelectionOutcome {
+    exhaustive_select_with(
+        ctx,
+        lattice,
+        &Objective::query_only(model),
+        profile,
+        k,
+        limit,
+    )
+}
+
+/// Optimal subset by exhaustive enumeration under a combined [`Objective`].
+///
+/// Under a query-only (or λ = 0) objective this searches subsets of size
+/// exactly `k` against the empty-selection baseline (query cost is
+/// monotone, so padding never hurts). With an active maintenance term
+/// every view has a price, so the search covers all sizes `0..=k` and
+/// minimizes the combined total; ties break toward the smaller,
+/// lexicographically earlier subset. Panics if the enumeration would
+/// exceed `limit` combinations (caller guards; the E6 oracle uses small
+/// lattices).
+pub fn exhaustive_select_with(
+    ctx: &CostContext<'_>,
+    lattice: &Lattice,
+    objective: &Objective<'_>,
+    profile: &WorkloadProfile,
+    k: usize,
+    limit: u64,
+) -> SelectionOutcome {
+    let model = objective.query_model();
     let views: Vec<ViewMask> = lattice.views().collect();
     let k = k.min(views.len());
+    let active = objective.is_active();
+    let search_space: u64 = if active {
+        // Sizes 1..=k are enumerated; the empty subset seeds `best_score`
+        // without being enumerated, so it does not count against `limit`.
+        (1..=k as u64)
+            .map(|size| combinations(views.len() as u64, size))
+            .fold(0u64, u64::saturating_add)
+    } else {
+        combinations(views.len() as u64, k as u64)
+    };
     assert!(
-        combinations(views.len() as u64, k as u64) <= limit,
-        "exhaustive search over C({}, {k}) exceeds limit {limit}",
+        search_space <= limit,
+        "exhaustive search over {search_space} subsets of {} views (k = {k}) exceeds limit {limit}",
         views.len()
     );
     let baseline_cost = workload_cost(ctx, model, profile, &[]);
 
     let mut best_subset: Vec<ViewMask> = Vec::new();
-    let mut best_cost = baseline_cost;
-    let mut indices: Vec<usize> = (0..k).collect();
-    if k > 0 {
-        loop {
+    let mut best_score = if active {
+        combined_cost(ctx, objective, profile, &[])
+    } else {
+        baseline_cost
+    };
+    let sizes = if active { 1..=k } else { k..=k };
+    for size in sizes {
+        for_each_combination(views.len(), size, |indices| {
             let subset: Vec<ViewMask> = indices.iter().map(|&i| views[i]).collect();
-            let cost = workload_cost(ctx, model, profile, &subset);
-            if cost < best_cost {
-                best_cost = cost;
+            let score = if active {
+                combined_cost(ctx, objective, profile, &subset)
+            } else {
+                workload_cost(ctx, model, profile, &subset)
+            };
+            if score < best_score {
+                best_score = score;
                 best_subset = subset;
             }
-            // Next combination.
-            let mut i = k;
-            loop {
-                if i == 0 {
-                    break;
-                }
-                i -= 1;
-                if indices[i] != i + views.len() - k {
-                    indices[i] += 1;
-                    for j in i + 1..k {
-                        indices[j] = indices[j - 1] + 1;
-                    }
-                    break;
-                }
-                if i == 0 {
-                    return SelectionOutcome {
-                        selected: best_subset,
-                        estimated_cost: best_cost,
-                        baseline_cost,
-                    };
-                }
-            }
-        }
+        });
     }
+
+    let estimated_cost = workload_cost(ctx, model, profile, &best_subset);
+    let upkeep_cost = selection_upkeep(ctx, objective, &best_subset);
     SelectionOutcome {
         selected: best_subset,
-        estimated_cost: best_cost,
+        estimated_cost,
         baseline_cost,
+        upkeep_cost,
+    }
+}
+
+/// Visit every `k`-combination of `0..n` in lexicographic order.
+fn for_each_combination(n: usize, k: usize, mut f: impl FnMut(&[usize])) {
+    if k == 0 {
+        f(&[]);
+        return;
+    }
+    if k > n {
+        return;
+    }
+    let mut indices: Vec<usize> = (0..k).collect();
+    loop {
+        f(&indices);
+        // Advance to the next combination.
+        let mut i = k;
+        loop {
+            i -= 1;
+            if indices[i] != i + n - k {
+                indices[i] += 1;
+                for j in i + 1..k {
+                    indices[j] = indices[j - 1] + 1;
+                }
+                break;
+            }
+            if i == 0 {
+                return;
+            }
+        }
     }
 }
 
@@ -329,6 +608,7 @@ pub fn random_select(
         selected: views,
         estimated_cost,
         baseline_cost,
+        upkeep_cost: 0.0,
     }
 }
 
@@ -356,6 +636,7 @@ pub fn user_select(
         selected: views.to_vec(),
         estimated_cost,
         baseline_cost,
+        upkeep_cost: 0.0,
     })
 }
 
@@ -583,6 +864,164 @@ mod tests {
         assert_eq!(p.total_weight(), 3.0);
         let w1 = p.demands.iter().find(|(m, _)| *m == ViewMask(1)).unwrap().1;
         assert_eq!(w1, 2.0);
+    }
+
+    #[test]
+    fn zero_weight_profile_reports_unit_speedup() {
+        // Regression: a zero-total-weight profile used to report an
+        // infinite speedup (0/0 slipping through the `> 0` guard).
+        with_ctx(2, 12, |ctx, lattice| {
+            for profile in [
+                WorkloadProfile { demands: vec![] },
+                WorkloadProfile {
+                    demands: vec![(ViewMask::APEX, 0.0), (lattice.base(), 0.0)],
+                },
+            ] {
+                assert_eq!(profile.total_weight(), 0.0);
+                let outcome = greedy_select(ctx, lattice, &TriplesCost, &profile, Budget::Views(2));
+                assert_eq!(outcome.estimated_cost, 0.0);
+                assert_eq!(outcome.baseline_cost, 0.0);
+                assert_eq!(outcome.estimated_speedup(), 1.0, "no work, no speedup");
+            }
+        });
+    }
+
+    #[test]
+    fn lambda_zero_objective_matches_frozen_greedy() {
+        use sofos_cost::{TouchedGroupsMaintenance, UpdateRates};
+        with_ctx(3, 24, |ctx, lattice| {
+            let profile = WorkloadProfile::uniform(lattice);
+            let frozen = greedy_select(ctx, lattice, &AggValuesCost, &profile, Budget::Views(3));
+            let objective = Objective::maintenance_aware(
+                &AggValuesCost,
+                &TouchedGroupsMaintenance,
+                UpdateRates::new(8.0, 4.0),
+                0.0,
+            );
+            let combined = greedy_select_with(ctx, lattice, &objective, &profile, Budget::Views(3));
+            assert_eq!(frozen, combined, "lambda = 0 must be bit-identical");
+        });
+    }
+
+    #[test]
+    fn high_churn_view_dropped_as_lambda_grows() {
+        use sofos_cost::{FixedMaintenance, UpdateRates};
+        with_ctx(3, 24, |ctx, lattice| {
+            let profile = WorkloadProfile::uniform(lattice);
+            let hot = lattice.base();
+            // The finest view churns on every update; everything else is
+            // free to maintain.
+            let churn = FixedMaintenance::new([(hot, 50.0)], 0.0);
+            let rates = UpdateRates::new(4.0, 2.0);
+
+            let at_zero = greedy_select_with(
+                ctx,
+                lattice,
+                &Objective::maintenance_aware(&AggValuesCost, &churn, rates, 0.0),
+                &profile,
+                Budget::Views(3),
+            );
+            assert!(
+                at_zero.selected.contains(&hot),
+                "frozen objective wants the finest view: {:?}",
+                at_zero.selected
+            );
+            assert_eq!(at_zero.upkeep_cost, 0.0);
+
+            let mut dropped_at = None;
+            for lambda in [0.5, 2.0, 8.0, 32.0, 128.0] {
+                let outcome = greedy_select_with(
+                    ctx,
+                    lattice,
+                    &Objective::maintenance_aware(&AggValuesCost, &churn, rates, lambda),
+                    &profile,
+                    Budget::Views(3),
+                );
+                if !outcome.selected.contains(&hot) {
+                    dropped_at = Some(lambda);
+                    break;
+                }
+            }
+            assert!(
+                dropped_at.is_some(),
+                "growing lambda must eventually price the churning view out"
+            );
+        });
+    }
+
+    #[test]
+    fn active_objective_stops_padding_the_budget() {
+        use sofos_cost::{FixedMaintenance, UpdateRates};
+        with_ctx(3, 24, |ctx, lattice| {
+            let profile = WorkloadProfile::uniform(lattice);
+            // Every view costs upkeep; with a huge lambda nothing is worth
+            // materializing, so an active objective selects nothing while
+            // the frozen objective pads to the full budget.
+            let churn = FixedMaintenance::new([], 1.0);
+            let rates = UpdateRates::new(10.0, 10.0);
+            let outcome = greedy_select_with(
+                ctx,
+                lattice,
+                &Objective::maintenance_aware(&AggValuesCost, &churn, rates, 1e12),
+                &profile,
+                Budget::Views(3),
+            );
+            assert!(outcome.selected.is_empty(), "{:?}", outcome.selected);
+            assert_eq!(outcome.total_cost(), outcome.baseline_cost);
+        });
+    }
+
+    #[test]
+    fn lambda_sweep_is_monotone_at_the_ends() {
+        use sofos_cost::{TouchedGroupsMaintenance, UpdateRates};
+        with_ctx(3, 24, |ctx, lattice| {
+            let profile = WorkloadProfile::uniform(lattice);
+            let rates = UpdateRates::new(6.0, 4.0);
+            let sweep = lambda_sweep(
+                ctx,
+                lattice,
+                &AggValuesCost,
+                &TouchedGroupsMaintenance,
+                rates,
+                &profile,
+                Budget::Views(4),
+                &[0.0, 0.1, 1e9],
+            );
+            assert_eq!(sweep.len(), 3);
+            let frozen = greedy_select(ctx, lattice, &AggValuesCost, &profile, Budget::Views(4));
+            assert_eq!(sweep[0].1, frozen, "lambda = 0 end of the sweep");
+            assert!(
+                sweep[2].1.selected.is_empty(),
+                "at absurd lambda nothing is worth keeping fresh"
+            );
+        });
+    }
+
+    #[test]
+    fn exhaustive_with_active_objective_never_worse_than_greedy() {
+        use sofos_cost::{TouchedGroupsMaintenance, UpdateRates};
+        with_ctx(3, 24, |ctx, lattice| {
+            let profile = WorkloadProfile::uniform(lattice);
+            let rates = UpdateRates::new(5.0, 5.0);
+            for lambda in [0.25, 1.0, 4.0] {
+                let objective = Objective::maintenance_aware(
+                    &AggValuesCost,
+                    &TouchedGroupsMaintenance,
+                    rates,
+                    lambda,
+                );
+                let greedy =
+                    greedy_select_with(ctx, lattice, &objective, &profile, Budget::Views(3));
+                let oracle =
+                    exhaustive_select_with(ctx, lattice, &objective, &profile, 3, 1_000_000);
+                assert!(
+                    oracle.total_cost() <= greedy.total_cost() + 1e-9,
+                    "lambda={lambda}: oracle {} > greedy {}",
+                    oracle.total_cost(),
+                    greedy.total_cost()
+                );
+            }
+        });
     }
 
     #[test]

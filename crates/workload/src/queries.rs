@@ -24,10 +24,15 @@ pub struct WorkloadConfig {
     /// Probability that a query carries an extra dimension filter.
     pub filter_probability: f64,
     /// `Some(s)`: Zipf-skew query interest toward a few masks (hot facets);
-    /// `None`: uniform over all `2^d` masks.
+    /// `None`: uniform over all eligible masks.
     pub mask_skew: Option<f64>,
     /// Allowed aggregates; empty = all aggregates derivable from the facet.
     pub aggs: Vec<AggOp>,
+    /// `Some(cap)`: queries group by at most `cap` dimensions (the
+    /// fine-grained end of the lattice is never *demanded*, so selection
+    /// budgets can exclude the fat views without starving the workload).
+    /// Filters may still extend `required` past the cap. `None`: any mask.
+    pub max_group_dims: Option<usize>,
 }
 
 impl Default for WorkloadConfig {
@@ -38,6 +43,7 @@ impl Default for WorkloadConfig {
             filter_probability: 0.4,
             mask_skew: None,
             aggs: Vec::new(),
+            max_group_dims: None,
         }
     }
 }
@@ -114,9 +120,20 @@ pub fn generate_workload(
     assert!(!aggs.is_empty(), "no derivable aggregates for this facet");
     let values = dimension_values(dataset, facet);
 
+    // Eligible grouping masks (all of them, or the ≤ `max_group_dims`
+    // prefix of the lattice).
+    let eligible: Vec<u64> = (0..num_masks)
+        .filter(|&m| {
+            config
+                .max_group_dims
+                .is_none_or(|cap| ViewMask(m).dim_count() as usize <= cap)
+        })
+        .collect();
+    assert!(!eligible.is_empty(), "mask cap excludes every grouping");
+
     // Optional mask skew: a random permutation of masks ranked by Zipf.
     let mask_order: Vec<u64> = {
-        let mut order: Vec<u64> = (0..num_masks).collect();
+        let mut order = eligible.clone();
         // Deterministic shuffle so the "hot" masks differ per seed.
         for i in (1..order.len()).rev() {
             let j = rng.gen_range(0..=i);
@@ -124,13 +141,13 @@ pub fn generate_workload(
         }
         order
     };
-    let zipf = config.mask_skew.map(|s| Zipf::new(num_masks as usize, s));
+    let zipf = config.mask_skew.map(|s| Zipf::new(mask_order.len(), s));
 
     let mut out = Vec::with_capacity(config.num_queries);
     for _ in 0..config.num_queries {
         let mask = match &zipf {
             Some(z) => ViewMask(mask_order[z.sample(&mut rng)]),
-            None => ViewMask(rng.gen_range(0..num_masks)),
+            None => ViewMask(eligible[rng.gen_range(0..eligible.len() as u64) as usize]),
         };
         let agg = aggs[rng.gen_range(0..aggs.len())];
 
@@ -189,6 +206,31 @@ mod tests {
         assert_eq!(a.len(), b.len());
         for (x, y) in a.iter().zip(&b) {
             assert_eq!(x.text, y.text);
+        }
+    }
+
+    #[test]
+    fn group_dim_cap_bounds_every_mask() {
+        let (ds, facet) = setup();
+        for cap in [0usize, 1, 2] {
+            let workload = generate_workload(
+                &ds,
+                &facet,
+                &WorkloadConfig {
+                    num_queries: 25,
+                    filter_probability: 0.0,
+                    mask_skew: Some(1.2),
+                    max_group_dims: Some(cap),
+                    ..WorkloadConfig::default()
+                },
+            );
+            for q in &workload {
+                assert!(
+                    q.group_mask.dim_count() as usize <= cap,
+                    "cap {cap} violated by {}",
+                    q.group_mask
+                );
+            }
         }
     }
 

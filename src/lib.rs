@@ -21,24 +21,32 @@
 //! * [`sparql`] — parser, planner, and evaluator for the SPARQL subset;
 //! * [`cube`] — facets `F = ⟨X̄, P, agg(u)⟩`, view masks, lattices, and
 //!   query generation;
-//! * [`cost`] — the six cost models of the paper, including the learned
-//!   one;
-//! * [`select`] — greedy budgeted view selection;
+//! * [`cost`] — the six query-cost models of the paper (including the
+//!   learned one), plus maintenance cost models
+//!   ([`cost::MaintenanceCostModel`]) pricing per-view upkeep under an
+//!   update stream;
+//! * [`select`] — greedy budgeted view selection, optionally under the
+//!   combined objective `query_cost + λ·maintenance_cost`
+//!   ([`select::Objective`]);
 //! * [`materialize`] — encodes view results as RDF observations inside
 //!   named graphs of `G+`;
 //! * [`rewrite`] — answers facet queries from materialized views;
 //! * [`maintain`] — **incremental view maintenance** for a living `G+`:
 //!   propagates change sets into view graphs with the counting algorithm
 //!   (SUM/COUNT/AVG patched in place, MIN/MAX re-evaluated per group on
-//!   deletes, empty groups retracted) and reports per-view
-//!   [`maintain::MaintenanceCost`];
+//!   deletes, emptied groups retracted — except the apex's implicit
+//!   group, which survives like SPARQL says it must) and reports
+//!   per-view [`maintain::MaintenanceCost`];
 //! * [`workload`] — dataset generators, query workloads, and zipf-skewed
 //!   update streams;
 //! * [`core`] — ties it together: the offline phase (size → select →
 //!   materialize), the online phase (rewrite-routed measurement), and the
 //!   interleaved update/query [`core::Session`] with its three staleness
 //!   policies (maintain eagerly, maintain lazily on hit, or invalidate
-//!   and drop).
+//!   and drop) — plus the adaptive layer: sliding workload/update
+//!   profiles, [`core::DriftDetector`], and the [`core::Reselector`]
+//!   that re-selects and swaps the materialized set when the workload
+//!   drifts.
 //!
 //! See the individual crates for the subsystem documentation.
 
