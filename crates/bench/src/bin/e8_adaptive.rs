@@ -139,6 +139,7 @@ fn run_cell(
     facet: &Facet,
     schedule: Schedule,
     lambda: f64,
+    staleness: StalenessPolicy,
     policy: Policy,
     rounds: usize,
     queries_per_round: usize,
@@ -214,7 +215,7 @@ fn run_cell(
         .iter()
         .map(|v| (v.stats.mask, v.stats.rows))
         .collect();
-    let mut session = Session::new(expanded, facet.clone(), catalog, StalenessPolicy::Eager);
+    let mut session = Session::new(expanded, facet.clone(), catalog, staleness);
     let mut reselector = Reselector::new(
         CostModelKind::AggValues,
         EngineConfig {
@@ -315,117 +316,130 @@ fn main() {
     let facet = generated.default_facet().clone();
     let base = generated.dataset;
 
+    let stalenesses = [StalenessPolicy::Eager, StalenessPolicy::LazyOnHit];
     let mut report = BenchReport::new(
         "adaptive",
         format!(
-            "drift schedule x lambda x re-selection policy; {rounds} rounds x \
-             {queries_per_round} queries, batch {batch_size}, zipf-skewed \
-             {}/{} insert/delete mix, drift threshold {drift_threshold}",
+            "drift schedule x lambda x staleness (eager | lazy-on-hit) x re-selection \
+             policy; {rounds} rounds x {queries_per_round} queries, batch {batch_size}, \
+             zipf-skewed {}/{} insert/delete mix, drift threshold {drift_threshold}",
             (INSERT_RATIO * 100.0).round() as u32,
             ((1.0 - INSERT_RATIO) * 100.0).round() as u32
         ),
     );
     let headers = [
-        "schedule", "lambda", "policy", "total ms", "query ms", "upd ms", "maint ms", "resel ms",
-        "resels", "churn", "hits", "falls", "valid",
+        "schedule", "lambda", "stale", "policy", "total ms", "query ms", "upd ms", "maint ms",
+        "resel ms", "resels", "churn", "hits", "falls", "valid",
     ];
     let mut rows: Vec<Vec<String>> = Vec::new();
 
     for schedule in SCHEDULES {
         for &lambda in &lambdas {
-            let mut totals: Vec<(Policy, u64)> = Vec::new();
-            for policy in Policy::ALL {
-                let cell = run_cell(
-                    &base,
-                    &facet,
-                    schedule,
-                    lambda,
-                    policy,
-                    rounds,
-                    queries_per_round,
-                    batch_size,
-                    drift_threshold,
+            for staleness in stalenesses {
+                let mut totals: Vec<(Policy, u64)> = Vec::new();
+                for policy in Policy::ALL {
+                    let cell = run_cell(
+                        &base,
+                        &facet,
+                        schedule,
+                        lambda,
+                        staleness,
+                        policy,
+                        rounds,
+                        queries_per_round,
+                        batch_size,
+                        drift_threshold,
+                    );
+                    let queries_total = rounds * queries_per_round;
+                    totals.push((policy, cell.total_us()));
+                    rows.push(vec![
+                        schedule.name.to_string(),
+                        format!("{lambda}"),
+                        staleness.name().to_string(),
+                        policy.name().to_string(),
+                        ms(cell.total_us()),
+                        ms(cell.query_us),
+                        ms(cell.update_us),
+                        ms(cell.maintenance_us),
+                        ms(cell.reselect_us),
+                        cell.reselections.to_string(),
+                        cell.churned.to_string(),
+                        format!("{}/{queries_total}", cell.view_hits),
+                        cell.fallbacks.to_string(),
+                        if cell.all_valid {
+                            "yes".into()
+                        } else {
+                            "NO".into()
+                        },
+                    ]);
+                    report.push(Json::object([
+                        ("schedule", Json::from(schedule.name)),
+                        ("lambda", Json::from(lambda)),
+                        ("staleness", Json::from(staleness.name())),
+                        ("policy", Json::from(policy.name())),
+                        ("rounds", Json::from(rounds)),
+                        ("queries", Json::from(queries_total)),
+                        ("total_us", Json::from(cell.total_us())),
+                        ("query_us", Json::from(cell.query_us)),
+                        ("update_us", Json::from(cell.update_us)),
+                        ("maintenance_us", Json::from(cell.maintenance_us)),
+                        ("reselect_us", Json::from(cell.reselect_us)),
+                        ("reselections", Json::from(cell.reselections)),
+                        ("views_churned", Json::from(cell.churned)),
+                        ("view_hits", Json::from(cell.view_hits)),
+                        ("fallbacks", Json::from(cell.fallbacks)),
+                        ("all_valid", Json::from(cell.all_valid)),
+                    ]));
+                    assert!(
+                        cell.all_valid,
+                        "{}/{lambda}/{}/{}: stale or wrong answers",
+                        schedule.name,
+                        staleness.name(),
+                        policy.name()
+                    );
+                }
+
+                // Summary row: does adaptive beat both fixed policies on
+                // total serving cost in this (schedule, lambda, staleness)
+                // cell?
+                let total_of = |p: Policy| totals.iter().find(|(q, _)| *q == p).unwrap().1;
+                let (never, always, adaptive) = (
+                    total_of(Policy::Never),
+                    total_of(Policy::Always),
+                    total_of(Policy::Adaptive),
                 );
-                let queries_total = rounds * queries_per_round;
-                totals.push((policy, cell.total_us()));
-                rows.push(vec![
-                    schedule.name.to_string(),
-                    format!("{lambda}"),
-                    policy.name().to_string(),
-                    ms(cell.total_us()),
-                    ms(cell.query_us),
-                    ms(cell.update_us),
-                    ms(cell.maintenance_us),
-                    ms(cell.reselect_us),
-                    cell.reselections.to_string(),
-                    cell.churned.to_string(),
-                    format!("{}/{queries_total}", cell.view_hits),
-                    cell.fallbacks.to_string(),
-                    if cell.all_valid {
-                        "yes".into()
-                    } else {
-                        "NO".into()
-                    },
-                ]);
                 report.push(Json::object([
+                    ("summary", Json::from(true)),
                     ("schedule", Json::from(schedule.name)),
                     ("lambda", Json::from(lambda)),
-                    ("policy", Json::from(policy.name())),
-                    ("rounds", Json::from(rounds)),
-                    ("queries", Json::from(queries_total)),
-                    ("total_us", Json::from(cell.total_us())),
-                    ("query_us", Json::from(cell.query_us)),
-                    ("update_us", Json::from(cell.update_us)),
-                    ("maintenance_us", Json::from(cell.maintenance_us)),
-                    ("reselect_us", Json::from(cell.reselect_us)),
-                    ("reselections", Json::from(cell.reselections)),
-                    ("views_churned", Json::from(cell.churned)),
-                    ("view_hits", Json::from(cell.view_hits)),
-                    ("fallbacks", Json::from(cell.fallbacks)),
-                    ("all_valid", Json::from(cell.all_valid)),
+                    ("staleness", Json::from(staleness.name())),
+                    ("never_total_us", Json::from(never)),
+                    ("always_total_us", Json::from(always)),
+                    ("adaptive_total_us", Json::from(adaptive)),
+                    ("adaptive_beats_never", Json::from(adaptive < never)),
+                    ("adaptive_beats_always", Json::from(adaptive < always)),
+                    (
+                        "adaptive_beats_both",
+                        Json::from(adaptive < never && adaptive < always),
+                    ),
                 ]));
-                assert!(
-                    cell.all_valid,
-                    "{}/{lambda}/{}: stale or wrong answers",
-                    schedule.name,
-                    policy.name()
-                );
             }
-
-            // Summary row: does adaptive beat both fixed policies on total
-            // serving cost in this (schedule, lambda) cell?
-            let total_of = |p: Policy| totals.iter().find(|(q, _)| *q == p).unwrap().1;
-            let (never, always, adaptive) = (
-                total_of(Policy::Never),
-                total_of(Policy::Always),
-                total_of(Policy::Adaptive),
-            );
-            report.push(Json::object([
-                ("summary", Json::from(true)),
-                ("schedule", Json::from(schedule.name)),
-                ("lambda", Json::from(lambda)),
-                ("never_total_us", Json::from(never)),
-                ("always_total_us", Json::from(always)),
-                ("adaptive_total_us", Json::from(adaptive)),
-                ("adaptive_beats_never", Json::from(adaptive < never)),
-                ("adaptive_beats_always", Json::from(adaptive < always)),
-                (
-                    "adaptive_beats_both",
-                    Json::from(adaptive < never && adaptive < always),
-                ),
-            ]));
         }
     }
 
     print_table(
-        "E8 · adaptive re-selection: drift schedule x lambda x policy",
+        "E8 · adaptive re-selection: drift schedule x lambda x staleness x policy",
         &headers,
         &rows,
     );
     println!(
         "Reading: 'never' pays fallbacks after the drift, 'always' pays re-selection\n\
          every round; 'adaptive' re-selects only when the sliding profile moves, and\n\
-         should win on total cost under the abrupt schedule."
+         should win on total cost under the abrupt schedule. The staleness column\n\
+         charts the third axis of the trade: eager pays upkeep inside every update,\n\
+         lazy-on-hit defers it to the first hit on a stale view — cheap under drift\n\
+         (deferred backlogs on evicted views are never paid) but first-hit latency\n\
+         spikes after busy update stretches."
     );
     finish_report(&report);
 }

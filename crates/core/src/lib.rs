@@ -33,6 +33,7 @@
 //! ```
 
 pub mod compare;
+pub mod concurrent;
 pub mod config;
 pub mod offline;
 pub mod online;
@@ -41,6 +42,7 @@ pub mod timing;
 pub mod validate;
 
 pub use compare::compare_cost_models;
+pub use concurrent::ConcurrentSession;
 pub use config::EngineConfig;
 pub use offline::{build_model, run_offline, OfflineOutcome, SizedLattice};
 pub use online::{

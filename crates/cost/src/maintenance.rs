@@ -390,6 +390,74 @@ impl MaintenanceCostModel for FixedMaintenance {
     }
 }
 
+/// Shard-aware wrapper: Amdahl-scales any inner maintenance estimate to a
+/// store whose binding scans run on a per-shard thread pool
+/// (`sofos_maintain::Maintainer::apply_sharded`).
+///
+/// Only the *scannable* fraction of upkeep parallelizes — the pre/post
+/// binding enumeration, split by subject hash across
+/// `min(shards, writer_threads)` workers. Interning the batch, pushing it
+/// through the index deltas, patching view groups, and publishing the
+/// epoch stay serial, so the predicted cost is
+///
+/// ```text
+/// inner · (serial_fraction + (1 − serial_fraction) / p),
+///     p = max(1, min(shards, writer_threads))
+/// ```
+///
+/// The default serial fraction (0.4) matches the observed split on the
+/// synthetic cubes (`BENCH_concurrency.json` records the per-shard scan
+/// telemetry to re-derive it for other workloads).
+#[derive(Debug, Clone, Copy)]
+pub struct ShardedMaintenance<M> {
+    inner: M,
+    shards: usize,
+    writer_threads: usize,
+    serial_fraction: f64,
+}
+
+impl<M: MaintenanceCostModel> ShardedMaintenance<M> {
+    /// Wrap `inner` for a store with `shards` shards maintained by
+    /// `writer_threads` workers per batch.
+    pub fn new(inner: M, shards: usize, writer_threads: usize) -> ShardedMaintenance<M> {
+        ShardedMaintenance {
+            inner,
+            shards: shards.max(1),
+            writer_threads: writer_threads.max(1),
+            serial_fraction: 0.4,
+        }
+    }
+
+    /// Override the serial (non-parallelizable) fraction of upkeep,
+    /// clamped to `[0, 1]`.
+    pub fn with_serial_fraction(mut self, fraction: f64) -> ShardedMaintenance<M> {
+        self.serial_fraction = fraction.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Effective parallelism: workers cannot exceed shards (a shard is
+    /// the unit of work), nor the configured pool size.
+    pub fn effective_parallelism(&self) -> usize {
+        self.shards.min(self.writer_threads)
+    }
+
+    /// The Amdahl scaling factor applied to the inner estimate.
+    pub fn scale(&self) -> f64 {
+        let p = self.effective_parallelism().max(1) as f64;
+        self.serial_fraction + (1.0 - self.serial_fraction) / p
+    }
+}
+
+impl<M: MaintenanceCostModel> MaintenanceCostModel for ShardedMaintenance<M> {
+    fn name(&self) -> &'static str {
+        "sharded"
+    }
+
+    fn maintenance_cost(&self, ctx: &CostContext<'_>, view: ViewMask, rates: &UpdateRates) -> f64 {
+        self.inner.maintenance_cost(ctx, view, rates) * self.scale()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -468,6 +536,43 @@ mod tests {
                     );
                 }
             }
+        });
+    }
+
+    #[test]
+    fn sharded_maintenance_amdahl_scales_the_inner_estimate() {
+        with_ctx(AggOp::Sum, |ctx| {
+            let rates = UpdateRates::new(4.0, 2.0);
+            let view = ViewMask::full(2);
+            let serial = TouchedGroupsMaintenance.maintenance_cost(ctx, view, &rates);
+            assert!(serial > 0.0);
+
+            // One shard (or one thread) = no scaling at all.
+            for (shards, threads) in [(1, 8), (8, 1)] {
+                let model = ShardedMaintenance::new(TouchedGroupsMaintenance, shards, threads);
+                assert_eq!(model.effective_parallelism(), 1);
+                assert!((model.maintenance_cost(ctx, view, &rates) - serial).abs() < 1e-9);
+            }
+
+            // 4 shards × 2 threads: parallelism 2, bounded below by the
+            // serial fraction.
+            let model = ShardedMaintenance::new(TouchedGroupsMaintenance, 4, 2);
+            assert_eq!(model.effective_parallelism(), 2);
+            let cost = model.maintenance_cost(ctx, view, &rates);
+            assert!(cost < serial, "parallel upkeep is cheaper");
+            assert!(
+                cost > serial * 0.4,
+                "the serial fraction floors the speedup"
+            );
+
+            // Unbounded parallelism converges to the serial fraction.
+            let wide = ShardedMaintenance::new(TouchedGroupsMaintenance, 1024, 1024)
+                .with_serial_fraction(0.25);
+            let floor = wide.maintenance_cost(ctx, view, &rates);
+            assert!((floor / serial - 0.25).abs() < 1e-2);
+
+            // Frozen rates still cost nothing through the wrapper.
+            assert_eq!(model.maintenance_cost(ctx, view, &UpdateRates::FROZEN), 0.0);
         });
     }
 

@@ -54,7 +54,7 @@ impl RowDelta {
         }
     }
 
-    fn add(&mut self, dims: Vec<TermId>, measure: TermId, net: i64) {
+    pub(crate) fn add(&mut self, dims: Vec<TermId>, measure: TermId, net: i64) {
         if net == 0 {
             return;
         }
@@ -99,6 +99,12 @@ impl Maintainer {
     /// Does this facet admit the counting algorithm?
     pub fn is_incremental(&self) -> bool {
         self.star.is_some()
+    }
+
+    /// The detected star pattern, if any (the parallel engine splits its
+    /// row scans by subject shard).
+    pub(crate) fn star(&self) -> Option<&StarPattern> {
+        self.star.as_ref()
     }
 
     /// The maintained facet.

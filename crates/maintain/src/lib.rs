@@ -39,9 +39,11 @@
 //! selection experiments want.
 
 mod engine;
+mod parallel;
 mod star;
 
 pub use engine::{ApplyOutcome, Maintainer, RowDelta};
+pub use parallel::{ShardScanCost, ShardedApplyOutcome};
 pub use star::StarPattern;
 
 use sofos_cube::ViewMask;

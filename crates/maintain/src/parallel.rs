@@ -1,0 +1,342 @@
+//! Sharded, parallel delta application: per-shard binding scans on a
+//! scoped thread pool.
+//!
+//! The expensive half of [`Maintainer::apply`] is re-enumerating the
+//! pattern bindings of every subject a batch touches (pre- and
+//! post-image). Those scans are read-only and independent per subject, so
+//! they parallelize perfectly along the store's subject-hash shards
+//! ([`ShardRouter`]): each worker thread owns a disjoint set of shards,
+//! scans its subjects against the shared dataset, and produces a partial
+//! [`RowDelta`] plus a per-shard [`ShardScanCost`]. Row deltas are
+//! additive, so the merge of the per-shard partials is exactly the serial
+//! result — [`Maintainer::apply_sharded`] is bit-equivalent to
+//! [`Maintainer::apply`] (property-tested in `tests/maintenance.rs`).
+//!
+//! The serial sections that remain — interning the batch, pushing it
+//! through the index deltas, and patching view groups — are the Amdahl
+//! floor the shard-aware maintenance cost model
+//! (`sofos_cost::ShardedMaintenance`) accounts for.
+
+use crate::engine::{ApplyOutcome, RowDelta};
+use crate::Maintainer;
+use sofos_rdf::TermId;
+use sofos_store::{Dataset, Delta, ShardRouter};
+use std::time::Instant;
+
+/// What one shard's scan work cost during a parallel apply.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardScanCost {
+    /// The shard index.
+    pub shard: usize,
+    /// Affected subjects scanned on this shard.
+    pub subjects: usize,
+    /// Binding rows enumerated (pre- plus post-image).
+    pub rows_scanned: usize,
+    /// Wall time of this shard's scans (µs), summed over both phases.
+    pub wall_us: u64,
+}
+
+impl ShardScanCost {
+    /// Fold another shard's cost into this one (cross-shard totals).
+    pub fn merge(&mut self, other: &ShardScanCost) {
+        self.subjects += other.subjects;
+        self.rows_scanned += other.rows_scanned;
+        self.wall_us += other.wall_us;
+    }
+}
+
+/// Outcome of [`Maintainer::apply_sharded`]: the serial
+/// [`ApplyOutcome`] plus per-shard scan accounting.
+#[derive(Debug, Clone)]
+pub struct ShardedApplyOutcome {
+    /// Net store changes and merged row delta (identical to what the
+    /// serial path would produce).
+    pub outcome: ApplyOutcome,
+    /// Per-shard scan costs, index = shard (empty for non-star facets,
+    /// which skip the scan phases entirely).
+    pub shard_costs: Vec<ShardScanCost>,
+    /// Wall time of the two parallel scan phases end to end (µs) —
+    /// compare against the sum of `shard_costs` wall times to see the
+    /// parallel speedup.
+    pub scan_wall_us: u64,
+}
+
+/// Per-shard scan output of one phase.
+struct ShardRows {
+    rows: Vec<(Vec<TermId>, TermId, i64)>,
+    subjects: usize,
+    wall_us: u64,
+}
+
+/// Scan every bucket's subjects against `dataset`, distributing buckets
+/// over at most `threads` workers (round-robin by shard index, so the
+/// assignment is deterministic).
+fn scan_shards(
+    maintainer: &Maintainer,
+    dataset: &Dataset,
+    leg_ids: &[TermId],
+    buckets: &[Vec<TermId>],
+    threads: usize,
+) -> Vec<ShardRows> {
+    let star = maintainer
+        .star()
+        .expect("scan_shards is only called for star facets");
+    let scan_one = |bucket: &Vec<TermId>| {
+        let start = Instant::now();
+        let mut rows = Vec::new();
+        for &subject in bucket {
+            star.subject_rows(dataset.default_graph(), leg_ids, subject, &mut rows);
+        }
+        ShardRows {
+            subjects: bucket.len(),
+            wall_us: start.elapsed().as_micros() as u64,
+            rows,
+        }
+    };
+
+    let workers = threads.max(1).min(buckets.len().max(1));
+    if workers <= 1 {
+        return buckets.iter().map(scan_one).collect();
+    }
+    let mut results: Vec<Option<ShardRows>> = Vec::new();
+    results.resize_with(buckets.len(), || None);
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(workers);
+        for worker in 0..workers {
+            let scan_one = &scan_one;
+            handles.push(scope.spawn(move || {
+                let mut partial: Vec<(usize, ShardRows)> = Vec::new();
+                let mut shard = worker;
+                while shard < buckets.len() {
+                    partial.push((shard, scan_one(&buckets[shard])));
+                    shard += workers;
+                }
+                partial
+            }));
+        }
+        for handle in handles {
+            for (shard, rows) in handle.join().expect("scan worker panicked") {
+                results[shard] = Some(rows);
+            }
+        }
+    });
+    results
+        .into_iter()
+        .map(|r| r.expect("every shard scanned"))
+        .collect()
+}
+
+impl Maintainer {
+    /// [`Maintainer::apply`], with the pre/post binding scans split by
+    /// subject shard and run on a scoped pool of `threads` workers.
+    ///
+    /// Produces the exact same [`ApplyOutcome`] as the serial path (row
+    /// deltas are additive and the store mutation itself stays serial),
+    /// plus per-shard [`ShardScanCost`] telemetry. With `threads <= 1` or
+    /// a single-shard router the scans run inline — the degenerate
+    /// configuration *is* the serial engine.
+    pub fn apply_sharded(
+        &mut self,
+        dataset: &mut Dataset,
+        delta: Delta,
+        router: &ShardRouter,
+        threads: usize,
+    ) -> ShardedApplyOutcome {
+        if self.star().is_none() {
+            let changes = dataset.apply(delta);
+            return ShardedApplyOutcome {
+                outcome: ApplyOutcome {
+                    changes,
+                    rows: None,
+                },
+                shard_costs: Vec::new(),
+                scan_wall_us: 0,
+            };
+        }
+        // Serial prologue: intern the batch's terms and find the subjects
+        // it can affect (both need the writer's dictionary).
+        let star = self.star().expect("checked above").clone();
+        let affected = star.affected_subjects(dataset, &delta);
+        let leg_ids = star.leg_ids(dataset);
+        let buckets = router.split_subjects(affected.iter().copied());
+
+        let scan_start = Instant::now();
+        let pre = scan_shards(self, dataset, &leg_ids, &buckets, threads);
+        let mut scan_wall_us = scan_start.elapsed().as_micros() as u64;
+
+        // Serial heart: the store mutation.
+        let changes = dataset.apply(delta);
+
+        let mut rows = RowDelta::default();
+        let mut shard_costs: Vec<ShardScanCost> = pre
+            .iter()
+            .enumerate()
+            .map(|(shard, p)| ShardScanCost {
+                shard,
+                subjects: p.subjects,
+                rows_scanned: p.rows.len(),
+                wall_us: p.wall_us,
+            })
+            .collect();
+        if !changes.default_graph.is_empty() {
+            let scan_start = Instant::now();
+            let post = scan_shards(self, dataset, &leg_ids, &buckets, threads);
+            scan_wall_us += scan_start.elapsed().as_micros() as u64;
+            for (shard, (p, q)) in pre.into_iter().zip(post).enumerate() {
+                shard_costs[shard].rows_scanned += q.rows.len();
+                shard_costs[shard].wall_us += q.wall_us;
+                for (dims, measure, mult) in q.rows {
+                    rows.add(dims, measure, mult);
+                }
+                for (dims, measure, mult) in p.rows {
+                    rows.add(dims, measure, -mult);
+                }
+            }
+        }
+        ShardedApplyOutcome {
+            outcome: ApplyOutcome {
+                changes,
+                rows: Some(rows),
+            },
+            shard_costs,
+            scan_wall_us,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sofos_cube::{AggOp, Dimension, Facet};
+    use sofos_rdf::Term;
+    use sofos_sparql::{GroupPattern, PatternTerm, TriplePattern};
+
+    fn leg(p: &str, v: &str) -> TriplePattern {
+        TriplePattern::new(
+            PatternTerm::var("o"),
+            PatternTerm::iri(format!("http://e/{p}")),
+            PatternTerm::var(v),
+        )
+    }
+
+    fn star_facet() -> Facet {
+        Facet::new(
+            "f",
+            vec![Dimension::new("a"), Dimension::new("b")],
+            GroupPattern::triples(vec![leg("a", "a"), leg("b", "b"), leg("m", "m")]),
+            "m",
+            AggOp::Sum,
+        )
+        .unwrap()
+    }
+
+    fn seeded_dataset() -> Dataset {
+        let mut ds = Dataset::new();
+        for i in 0..30 {
+            let s = Term::blank(format!("o{i}"));
+            ds.insert(
+                None,
+                &s,
+                &Term::iri("http://e/a"),
+                &Term::iri(format!("http://e/a{}", i % 3)),
+            );
+            ds.insert(
+                None,
+                &s,
+                &Term::iri("http://e/b"),
+                &Term::iri(format!("http://e/b{}", i % 2)),
+            );
+            ds.insert(None, &s, &Term::iri("http://e/m"), &Term::literal_int(i));
+        }
+        ds
+    }
+
+    fn churn_delta() -> Delta {
+        let mut delta = Delta::new();
+        for i in 0..8 {
+            let s = Term::blank(format!("n{i}"));
+            delta.insert(
+                s.clone(),
+                Term::iri("http://e/a"),
+                Term::iri(format!("http://e/a{}", i % 3)),
+            );
+            delta.insert(s.clone(), Term::iri("http://e/b"), Term::iri("http://e/b0"));
+            delta.insert(s, Term::iri("http://e/m"), Term::literal_int(100 + i));
+        }
+        for i in 0..5 {
+            let s = Term::blank(format!("o{i}"));
+            delta.delete(s, Term::iri("http://e/m"), Term::literal_int(i));
+        }
+        delta
+    }
+
+    #[test]
+    fn sharded_apply_equals_serial_apply() {
+        let facet = star_facet();
+        for (shards, threads) in [(1, 1), (4, 1), (4, 2), (8, 4)] {
+            let mut serial_ds = seeded_dataset();
+            let mut sharded_ds = seeded_dataset();
+            let mut serial = Maintainer::new(&facet);
+            let mut sharded = Maintainer::new(&facet);
+
+            let reference = serial.apply(&mut serial_ds, churn_delta());
+            let router = ShardRouter::new(shards);
+            let outcome = sharded.apply_sharded(&mut sharded_ds, churn_delta(), &router, threads);
+
+            let reference_rows = reference.rows.expect("star facet");
+            let sharded_rows = outcome.outcome.rows.expect("star facet");
+            assert_eq!(reference_rows.len(), sharded_rows.len());
+            assert_eq!(reference_rows.asserted(), sharded_rows.asserted());
+            assert_eq!(reference_rows.retracted(), sharded_rows.retracted());
+            assert_eq!(
+                reference.changes.default_graph, outcome.outcome.changes.default_graph,
+                "shards={shards} threads={threads}"
+            );
+            assert_eq!(
+                serial_ds.default_graph().len(),
+                sharded_ds.default_graph().len()
+            );
+
+            // Every affected subject is accounted to exactly one shard.
+            assert_eq!(outcome.shard_costs.len(), shards);
+            let scanned: usize = outcome.shard_costs.iter().map(|c| c.subjects).sum();
+            assert!(scanned > 0, "the delta touches subjects");
+        }
+    }
+
+    #[test]
+    fn non_star_facets_skip_the_scan_phase() {
+        use sofos_sparql::{Expr, PatternElement};
+        let mut facet = star_facet();
+        facet
+            .pattern
+            .elements
+            .push(PatternElement::Filter(Expr::int(1)));
+        let mut maintainer = Maintainer::new(&facet);
+        assert!(!maintainer.is_incremental());
+        let mut ds = seeded_dataset();
+        let outcome = maintainer.apply_sharded(&mut ds, churn_delta(), &ShardRouter::new(4), 2);
+        assert!(outcome.outcome.rows.is_none(), "full refresh regime");
+        assert!(outcome.shard_costs.is_empty());
+    }
+
+    #[test]
+    fn shard_costs_merge_additively() {
+        let mut a = ShardScanCost {
+            shard: 0,
+            subjects: 3,
+            rows_scanned: 9,
+            wall_us: 10,
+        };
+        let b = ShardScanCost {
+            shard: 1,
+            subjects: 2,
+            rows_scanned: 4,
+            wall_us: 7,
+        };
+        a.merge(&b);
+        assert_eq!(a.subjects, 5);
+        assert_eq!(a.rows_scanned, 13);
+        assert_eq!(a.wall_us, 17);
+    }
+}

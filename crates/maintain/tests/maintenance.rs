@@ -395,6 +395,84 @@ fn arb_op() -> impl Strategy<Value = Op> {
 proptest! {
     #![proptest_config(ProptestConfig { cases: 20, ..ProptestConfig::default() })]
 
+    /// The parallel engine is bit-equivalent to the serial one: for random
+    /// batch streams, a dataset maintained through per-shard scans on a
+    /// thread pool ends up with view graphs identical to one maintained
+    /// serially — for every shard × thread configuration.
+    #[test]
+    fn sharded_maintenance_equals_serial(
+        batches in proptest::collection::vec(
+            proptest::collection::vec(
+                (proptest::bool::weighted(0.7), proptest::collection::vec(0u8..4, 3), -20i64..20),
+                1..8,
+            ),
+            1..4,
+        ),
+        shards in 1usize..6,
+        threads in 1usize..4,
+    ) {
+        use sofos_store::ShardRouter;
+        let agg = AggOp::Avg; // SUM+COUNT components exercise both patch paths
+        let facet = facet(3, agg);
+        let masks = [ViewMask(0b111), ViewMask(0b010), ViewMask::APEX];
+        let router = ShardRouter::new(shards);
+
+        let mut serial_ds = Dataset::new();
+        let mut sharded_ds = Dataset::new();
+        let mut serial_catalog = Vec::new();
+        let mut sharded_catalog = Vec::new();
+        for &mask in &masks {
+            let v = materialize_view(&mut serial_ds, &facet, mask).unwrap();
+            serial_catalog.push((mask, v.stats.rows));
+            let v = materialize_view(&mut sharded_ds, &facet, mask).unwrap();
+            sharded_catalog.push((mask, v.stats.rows));
+        }
+        let mut serial = Maintainer::new(&facet);
+        let mut sharded = Maintainer::new(&facet);
+
+        // Deltas are rebuilt per dataset so both intern identically.
+        let build_delta = |ops: &[(bool, Vec<u8>, i64)], next: &mut usize, live: &mut Vec<Option<(Vec<u8>, i64)>>| {
+            let mut delta = Delta::new();
+            for (insert, dims, measure) in ops {
+                if *insert {
+                    let label = format!("p{next}");
+                    obs_delta(&mut delta, &label, dims, *measure);
+                    live.push(Some((dims.clone(), *measure)));
+                    *next += 1;
+                } else if !live.is_empty() {
+                    let slot = (*measure).unsigned_abs() as usize % live.len();
+                    if let Some((dims, measure)) = live[slot].take() {
+                        obs_delete(&mut delta, &format!("p{slot}"), &dims, measure);
+                    }
+                }
+            }
+            delta
+        };
+
+        let (mut next_a, mut live_a) = (0usize, Vec::new());
+        let (mut next_b, mut live_b) = (0usize, Vec::new());
+        for ops in &batches {
+            let delta_a = build_delta(ops, &mut next_a, &mut live_a);
+            let delta_b = build_delta(ops, &mut next_b, &mut live_b);
+            serial
+                .apply_and_maintain(&mut serial_ds, delta_a, &mut serial_catalog)
+                .expect("serial maintenance succeeds");
+            let outcome = sharded.apply_sharded(&mut sharded_ds, delta_b, &router, threads);
+            sharded
+                .maintain(&mut sharded_ds, outcome.outcome.rows.as_ref(), &mut sharded_catalog)
+                .expect("sharded maintenance succeeds");
+
+            for &mask in &masks {
+                prop_assert_eq!(
+                    view_signature(&serial_ds, &facet, mask),
+                    view_signature(&sharded_ds, &facet, mask),
+                    "shards={} threads={} view {} diverged", shards, threads, mask
+                );
+            }
+        }
+        prop_assert_eq!(serial_catalog, sharded_catalog);
+    }
+
     /// The acceptance property: for random update batches, incrementally
     /// maintained view graphs equal views re-materialized from scratch —
     /// for all five aggregation operators.

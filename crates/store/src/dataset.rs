@@ -10,15 +10,27 @@ use crate::index::GraphStore;
 use crate::pattern::EncodedTriple;
 use crate::stats::{GraphStats, StatsTracker};
 use sofos_rdf::{Dictionary, FxHashMap, Graph, Term, TermId};
+use std::sync::Arc;
 
 /// Identifies a graph inside a [`Dataset`]: `None` is the default graph,
 /// `Some(id)` a named graph keyed by the interned IRI of its name.
 pub type GraphName = Option<TermId>;
 
 /// An RDF dataset: default graph + named graphs over a shared dictionary.
+///
+/// The dictionary sits behind an [`Arc`] with copy-on-write semantics:
+/// cloning a dataset — which the epoch store does once per published
+/// snapshot — shares the (large, append-only) term table. Together with
+/// the `Arc`-shared index runs ([`crate::index::PermIndex`]) the clone
+/// itself is an O(recent-writes + graph-count) value rather than an
+/// O(graph) one. The *writer's* first genuinely-new-term intern after a
+/// publish re-copies the term table (lookups of known terms never
+/// detach), so a batch that mints fresh terms pays one dictionary copy —
+/// an accepted per-batch cost at current scales; see the ROADMAP's
+/// writer-throughput open item for the escape hatches.
 #[derive(Debug, Default, Clone)]
 pub struct Dataset {
-    dict: Dictionary,
+    dict: Arc<Dictionary>,
     default_graph: GraphStore,
     named: FxHashMap<TermId, GraphStore>,
     /// Live statistics of the default graph, updated per mutation instead
@@ -38,19 +50,25 @@ impl Dataset {
         &self.dict
     }
 
-    /// Shared term dictionary (intern access).
+    /// Shared term dictionary (intern access). Detaches from any snapshot
+    /// still sharing the dictionary (copy-on-write).
     pub fn dict_mut(&mut self) -> &mut Dictionary {
-        &mut self.dict
+        Arc::make_mut(&mut self.dict)
     }
 
-    /// Intern a term into the shared dictionary.
+    /// Intern a term into the shared dictionary. Known terms resolve
+    /// through the shared `Arc` without detaching it; only a genuinely
+    /// new term pays the copy-on-write (see [`Dataset::dict_mut`]).
     pub fn intern(&mut self, term: &Term) -> TermId {
-        self.dict.intern(term)
+        if let Some(id) = self.dict.get_id(term) {
+            return id;
+        }
+        self.dict_mut().intern(term)
     }
 
     /// Intern an IRI string (typical for graph names and predicates).
     pub fn intern_iri(&mut self, iri: &str) -> TermId {
-        self.dict.intern_iri(iri)
+        self.intern(&Term::iri(iri))
     }
 
     /// Resolve an id to its term (panics on ids from another dictionary).
@@ -88,11 +106,7 @@ impl Dataset {
 
     /// Intern three terms and insert the triple into a graph.
     pub fn insert(&mut self, graph: GraphName, s: &Term, p: &Term, o: &Term) -> bool {
-        let triple = [
-            self.dict.intern(s),
-            self.dict.intern(p),
-            self.dict.intern(o),
-        ];
+        let triple = [self.intern(s), self.intern(p), self.intern(o)];
         self.insert_encoded(graph, triple)
     }
 
@@ -123,12 +137,8 @@ impl Dataset {
             let [s, p, o] = &op.triple;
             let (graph, applied, triple) = match op.kind {
                 OpKind::Insert => {
-                    let graph = op.graph.as_ref().map(|g| self.dict.intern(g));
-                    let triple = [
-                        self.dict.intern(s),
-                        self.dict.intern(p),
-                        self.dict.intern(o),
-                    ];
+                    let graph = op.graph.as_ref().map(|g| self.intern(g));
+                    let triple = [self.intern(s), self.intern(p), self.intern(o)];
                     (graph, self.insert_encoded(graph, triple), triple)
                 }
                 OpKind::Delete => {
@@ -181,9 +191,9 @@ impl Dataset {
         let mut encoded: Vec<EncodedTriple> = Vec::with_capacity(data.len());
         for t in data.iter() {
             encoded.push([
-                self.dict.intern(&t.subject),
-                self.dict.intern(&t.predicate),
-                self.dict.intern(&t.object),
+                self.intern(&t.subject),
+                self.intern(&t.predicate),
+                self.intern(&t.object),
             ]);
         }
         match graph {

@@ -1,0 +1,468 @@
+//! Epoch snapshots: overlap maintenance and query serving.
+//!
+//! The single-writer [`crate::Dataset`] stalls every reader for the length
+//! of a maintenance batch. The [`EpochStore`] removes that stall with the
+//! classic epoch-snapshot discipline:
+//!
+//! * **pin** — readers call [`EpochStore::pin`] and get an immutable
+//!   [`Snapshot`] (an `Arc`): the full dataset — indexes *and*
+//!   materialized view graphs — exactly as of one published epoch.
+//!   Pinning is a read-lock acquire plus an `Arc` clone; it never waits
+//!   for a writer's batch, only for the (nanosecond-scale) pointer swap
+//!   of a publish.
+//! * **publish** — the single writer mutates its private master dataset
+//!   inside a [`WriteTxn`] and then publishes: the master is cloned into
+//!   a fresh snapshot (cheap — index runs and the dictionary are
+//!   `Arc`-shared, see [`crate::index::PermIndex`] and
+//!   [`crate::Dataset`]) and swapped in atomically. Readers pinned to
+//!   older epochs are undisturbed; new pins see the new epoch.
+//! * **retire** — when the last reader of an old snapshot drops its
+//!   `Arc`, the snapshot's memory is released and the store's retired
+//!   counter ticks. Nothing is ever freed under a reader.
+//!
+//! Epochs are tracked per [`shard`](crate::shard::ShardRouter): a publish
+//! bumps the global epoch and stamps it onto every shard the batch
+//! touched, so consumers replaying history (the lazy staleness policy)
+//! can tell which shards actually changed in the epochs they missed.
+//!
+//! Consistency guarantee (property-tested in `tests/epoch_concurrency.rs`):
+//! because the writer is serialized and snapshots are complete immutable
+//! values, every pinned snapshot equals the state after some *prefix* of
+//! the committed transactions — readers never observe a half-applied
+//! batch, regardless of how maintenance threads interleave inside the
+//! transaction.
+
+use crate::dataset::Dataset;
+use crate::delta::{ChangeSet, Delta};
+use crate::shard::ShardRouter;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, RwLock};
+
+/// One published epoch: an immutable dataset plus epoch bookkeeping.
+#[derive(Debug)]
+pub struct Snapshot {
+    epoch: u64,
+    /// Epoch of the last publish that touched each shard.
+    shard_epochs: Vec<u64>,
+    dataset: Dataset,
+    /// Set at publish time. A prepared-but-never-published snapshot (the
+    /// rollback path) must not count toward the retire accounting.
+    published: std::sync::atomic::AtomicBool,
+    retired: Arc<AtomicU64>,
+}
+
+impl Snapshot {
+    /// The epoch this snapshot was published at.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Epoch of the last batch that touched shard `i`.
+    pub fn shard_epoch(&self, shard: usize) -> u64 {
+        self.shard_epochs[shard]
+    }
+
+    /// All per-shard epochs (index = shard).
+    pub fn shard_epochs(&self) -> &[u64] {
+        &self.shard_epochs
+    }
+
+    /// The immutable dataset as of this epoch. Evaluate queries against
+    /// it exactly as against a live [`Dataset`].
+    pub fn dataset(&self) -> &Dataset {
+        &self.dataset
+    }
+}
+
+impl Drop for Snapshot {
+    fn drop(&mut self) {
+        // The last reader just left this epoch: it is now retired.
+        // Never-published snapshots (aborted prepares) don't count —
+        // they were never part of the published/retired ledger.
+        if *self.published.get_mut() {
+            self.retired.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
+/// A pinned snapshot: clone-cheap, releases its epoch on the last drop.
+pub type PinnedSnapshot = Arc<Snapshot>;
+
+/// The concurrent store: one writer, any number of snapshot readers.
+#[derive(Debug)]
+pub struct EpochStore {
+    router: ShardRouter,
+    /// The currently-published snapshot; replaced wholesale on publish.
+    current: RwLock<PinnedSnapshot>,
+    /// The writer's master dataset — the mutable truth. The mutex also
+    /// serializes writers (the store is single-writer by design; write
+    /// *parallelism* lives inside a transaction, per shard).
+    master: Mutex<Dataset>,
+    /// The epoch of the latest publish.
+    epoch: AtomicU64,
+    /// Snapshots published so far (including the initial one).
+    published: AtomicU64,
+    /// Snapshots whose last reader has dropped.
+    retired: Arc<AtomicU64>,
+}
+
+impl EpochStore {
+    /// Wrap a dataset, publishing it as epoch 0 across `shards` shards.
+    pub fn new(dataset: Dataset, shards: usize) -> EpochStore {
+        let router = ShardRouter::new(shards);
+        let retired = Arc::new(AtomicU64::new(0));
+        let snapshot = Arc::new(Snapshot {
+            epoch: 0,
+            shard_epochs: vec![0; shards],
+            dataset: dataset.clone(),
+            published: std::sync::atomic::AtomicBool::new(true),
+            retired: Arc::clone(&retired),
+        });
+        EpochStore {
+            router,
+            current: RwLock::new(snapshot),
+            master: Mutex::new(dataset),
+            epoch: AtomicU64::new(0),
+            published: AtomicU64::new(1),
+            retired,
+        }
+    }
+
+    /// The shard router (shared with the maintenance engine so write
+    /// splitting and epoch bookkeeping agree on subject placement).
+    pub fn router(&self) -> &ShardRouter {
+        &self.router
+    }
+
+    /// Number of shards.
+    pub fn shards(&self) -> usize {
+        self.router.shards()
+    }
+
+    /// Pin the current epoch. The returned snapshot is immutable and
+    /// remains valid (and allocated) until the last clone drops.
+    pub fn pin(&self) -> PinnedSnapshot {
+        Arc::clone(&self.current.read().expect("epoch lock poisoned"))
+    }
+
+    /// The latest published epoch number.
+    pub fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::Acquire)
+    }
+
+    /// Snapshots published so far (including the initial epoch 0).
+    pub fn published_snapshots(&self) -> u64 {
+        self.published.load(Ordering::Relaxed)
+    }
+
+    /// Old snapshots fully released by their readers.
+    pub fn retired_snapshots(&self) -> u64 {
+        self.retired.load(Ordering::Relaxed)
+    }
+
+    /// Snapshots still alive (pinned by a reader, or current).
+    pub fn live_snapshots(&self) -> u64 {
+        self.published_snapshots() - self.retired_snapshots()
+    }
+
+    /// Begin a write transaction: exclusive access to the master dataset.
+    /// Nothing becomes visible to readers until [`WriteTxn::publish`];
+    /// dropping the transaction without publishing keeps the previous
+    /// epoch current (see `WriteTxn` docs for the rollback contract).
+    pub fn begin(&self) -> WriteTxn<'_> {
+        WriteTxn {
+            guard: self.master.lock().expect("writer lock poisoned"),
+            store: self,
+            touched: vec![false; self.router.shards()],
+            any_touch: false,
+        }
+    }
+
+    /// Convenience: apply one delta transactionally and publish. Returns
+    /// the net changes and the new epoch.
+    pub fn apply(&self, delta: Delta) -> (ChangeSet, u64) {
+        let mut txn = self.begin();
+        let changes = txn.dataset().apply(delta);
+        txn.touch_changes(&changes);
+        let epoch = txn.publish();
+        (changes, epoch)
+    }
+}
+
+/// An open write transaction on an [`EpochStore`].
+///
+/// Mutations go to the writer's master dataset and are invisible to
+/// readers until [`WriteTxn::publish`] swaps in a new snapshot. Dropping
+/// the transaction without publishing is the rollback path: readers keep
+/// the previous epoch forever-unaware, but the *master* retains whatever
+/// was mutated — a caller aborting mid-transaction must first undo its
+/// partial writes (e.g. drop half-materialized view graphs) so the master
+/// stays logically equal to the published state. Interned dictionary
+/// terms are exempt: the dictionary is append-only and ghost terms are
+/// invisible to every read path.
+pub struct WriteTxn<'a> {
+    guard: MutexGuard<'a, Dataset>,
+    store: &'a EpochStore,
+    touched: Vec<bool>,
+    any_touch: bool,
+}
+
+impl<'a> WriteTxn<'a> {
+    /// The master dataset (mutable).
+    pub fn dataset(&mut self) -> &mut Dataset {
+        &mut self.guard
+    }
+
+    /// Read access to the master (e.g. for pre-apply scans).
+    pub fn dataset_ref(&self) -> &Dataset {
+        &self.guard
+    }
+
+    /// The store's shard router.
+    pub fn router(&self) -> &ShardRouter {
+        self.store.router()
+    }
+
+    /// Mark one shard as touched by this transaction.
+    pub fn touch_shard(&mut self, shard: usize) {
+        self.touched[shard] = true;
+        self.any_touch = true;
+    }
+
+    /// Mark the shard owning `subject` as touched.
+    pub fn touch_subject(&mut self, subject: sofos_rdf::TermId) {
+        let shard = self.store.router.shard_of(subject);
+        self.touch_shard(shard);
+    }
+
+    /// Mark every shard a change set touched.
+    pub fn touch_changes(&mut self, changes: &ChangeSet) {
+        for (shard, touched) in self
+            .store
+            .router
+            .touched_shards(changes)
+            .into_iter()
+            .enumerate()
+        {
+            if touched {
+                self.touch_shard(shard);
+            }
+        }
+    }
+
+    /// Publish the master as the next epoch and return its number.
+    ///
+    /// Per-shard epochs advance only for touched shards; a transaction
+    /// that never called a `touch_*` method conservatively stamps every
+    /// shard (correct, just less precise for lazy replay).
+    ///
+    /// Equivalent to `self.prepare().publish()`. Callers holding a
+    /// latency-sensitive lock of their own should [`WriteTxn::prepare`]
+    /// first — the snapshot clone happens there — and swap inside their
+    /// critical section with the (pointer-swap-cheap) publish.
+    pub fn publish(self) -> u64 {
+        self.prepare().publish()
+    }
+
+    /// Build the next epoch's snapshot — the expensive part of a publish
+    /// (cloning the master) — without making it visible yet. The returned
+    /// [`PreparedTxn`] still holds the writer lock; its `publish` is a
+    /// pointer swap.
+    pub fn prepare(self) -> PreparedTxn<'a> {
+        let epoch = self.store.epoch.load(Ordering::Acquire) + 1;
+        // Single writer: the current snapshot's shard epochs cannot move
+        // while this transaction holds the master lock.
+        let mut shard_epochs = self
+            .store
+            .current
+            .read()
+            .expect("epoch lock poisoned")
+            .shard_epochs
+            .clone();
+        for (shard, slot) in shard_epochs.iter_mut().enumerate() {
+            if !self.any_touch || self.touched[shard] {
+                *slot = epoch;
+            }
+        }
+        let snapshot = Arc::new(Snapshot {
+            epoch,
+            shard_epochs,
+            dataset: self.guard.clone(),
+            published: std::sync::atomic::AtomicBool::new(false),
+            retired: Arc::clone(&self.store.retired),
+        });
+        PreparedTxn {
+            guard: self.guard,
+            store: self.store,
+            snapshot,
+            epoch,
+        }
+    }
+}
+
+/// A write transaction whose next-epoch snapshot is fully built: all that
+/// remains is the atomic pointer swap. Dropping without publishing keeps
+/// the previous epoch current (same rollback contract as [`WriteTxn`]).
+pub struct PreparedTxn<'a> {
+    /// Held (not read) until publish so the store stays single-writer
+    /// across prepare → publish.
+    #[allow(dead_code)]
+    guard: MutexGuard<'a, Dataset>,
+    store: &'a EpochStore,
+    snapshot: Arc<Snapshot>,
+    epoch: u64,
+}
+
+impl PreparedTxn<'_> {
+    /// The epoch number this publish will install.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Swap the prepared snapshot in (O(1); safe inside caller-held
+    /// latency-sensitive critical sections).
+    pub fn publish(self) -> u64 {
+        self.snapshot
+            .published
+            .store(true, std::sync::atomic::Ordering::Release);
+        let mut current = self.store.current.write().expect("epoch lock poisoned");
+        *current = self.snapshot;
+        self.store.epoch.store(self.epoch, Ordering::Release);
+        self.store.published.fetch_add(1, Ordering::Relaxed);
+        self.epoch
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sofos_rdf::Term;
+
+    fn term(s: &str) -> Term {
+        Term::iri(format!("http://e/{s}"))
+    }
+
+    fn delta_inserting(names: &[&str]) -> Delta {
+        let mut delta = Delta::new();
+        for n in names {
+            delta.insert(term(n), term("p"), term("o"));
+        }
+        delta
+    }
+
+    #[test]
+    fn pin_sees_published_state_only() {
+        let store = EpochStore::new(Dataset::new(), 2);
+        let before = store.pin();
+        assert_eq!(before.epoch(), 0);
+        assert!(before.dataset().default_graph().is_empty());
+
+        let (changes, epoch) = store.apply(delta_inserting(&["s1"]));
+        assert_eq!(epoch, 1);
+        assert_eq!(changes.default_graph.inserted.len(), 1);
+
+        // The old pin is frozen; a new pin sees the write.
+        assert!(before.dataset().default_graph().is_empty());
+        let after = store.pin();
+        assert_eq!(after.epoch(), 1);
+        assert_eq!(after.dataset().default_graph().len(), 1);
+    }
+
+    #[test]
+    fn unpublished_transactions_stay_invisible() {
+        let store = EpochStore::new(Dataset::new(), 1);
+        {
+            let mut txn = store.begin();
+            txn.dataset()
+                .insert(None, &term("s"), &term("p"), &term("o"));
+            // Dropped without publish.
+        }
+        assert_eq!(store.epoch(), 0);
+        assert!(store.pin().dataset().default_graph().is_empty());
+        // The master retains the write: the next publish exposes it. This
+        // is the documented contract — rollbacks must undo their writes.
+        let mut txn = store.begin();
+        txn.touch_shard(0);
+        txn.publish();
+        assert_eq!(store.pin().dataset().default_graph().len(), 1);
+    }
+
+    #[test]
+    fn shard_epochs_advance_only_for_touched_shards() {
+        let store = EpochStore::new(Dataset::new(), 4);
+        let (changes, _) = store.apply(delta_inserting(&["a"]));
+        let snap = store.pin();
+        let touched = store.router().touched_shards(&changes);
+        for (shard, &was_touched) in touched.iter().enumerate() {
+            let expected = if was_touched { 1 } else { 0 };
+            assert_eq!(snap.shard_epoch(shard), expected, "shard {shard}");
+        }
+
+        // A touch-free transaction stamps every shard.
+        let txn = store.begin();
+        txn.publish();
+        let snap = store.pin();
+        assert!(snap.shard_epochs().iter().all(|&e| e == 2));
+    }
+
+    #[test]
+    fn aborted_prepares_do_not_corrupt_retire_accounting() {
+        let store = EpochStore::new(Dataset::new(), 2);
+        {
+            let txn = store.begin();
+            let prepared = txn.prepare();
+            assert_eq!(prepared.epoch(), 1);
+            // Dropped without publish: the built snapshot dies unseen.
+        }
+        assert_eq!(store.epoch(), 0);
+        assert_eq!(store.published_snapshots(), 1);
+        assert_eq!(store.retired_snapshots(), 0, "aborts are not retirements");
+        assert_eq!(store.live_snapshots(), 1);
+        // Epochs only advance on publish: the next real one takes the
+        // number the abort prepared but never consumed.
+        let (_, epoch) = store.apply(delta_inserting(&["a"]));
+        assert_eq!(epoch, 1);
+        assert_eq!(store.live_snapshots(), 1, "epoch 0 retired cleanly");
+    }
+
+    #[test]
+    fn snapshots_retire_when_last_reader_drops() {
+        let store = EpochStore::new(Dataset::new(), 1);
+        let pinned = store.pin();
+        store.apply(delta_inserting(&["x"]));
+        // Epoch 0 is still pinned; epoch 1 is current.
+        assert_eq!(store.published_snapshots(), 2);
+        assert_eq!(store.retired_snapshots(), 0);
+        assert_eq!(store.live_snapshots(), 2);
+        drop(pinned);
+        assert_eq!(store.retired_snapshots(), 1);
+        assert_eq!(store.live_snapshots(), 1);
+    }
+
+    #[test]
+    fn concurrent_readers_never_block_on_a_writer() {
+        // Readers pin and scan while a writer publishes many epochs; every
+        // observed triple count must equal some batch prefix (0..=N).
+        let store = std::sync::Arc::new(EpochStore::new(Dataset::new(), 4));
+        let batches = 50usize;
+        std::thread::scope(|scope| {
+            let reader_store = std::sync::Arc::clone(&store);
+            let reader = scope.spawn(move || {
+                let mut last = 0usize;
+                for _ in 0..200 {
+                    let snap = reader_store.pin();
+                    let len = snap.dataset().default_graph().len();
+                    assert!(len >= last, "epochs are monotonic");
+                    assert!(len <= batches, "never more than all batches");
+                    last = len;
+                }
+            });
+            for i in 0..batches {
+                store.apply(delta_inserting(&[&format!("s{i}")]));
+            }
+            reader.join().expect("reader ran clean");
+        });
+        assert_eq!(store.epoch(), batches as u64);
+        assert_eq!(store.pin().dataset().default_graph().len(), batches);
+    }
+}

@@ -23,6 +23,7 @@
 use crate::pattern::{EncodedTriple, IdPattern};
 use sofos_rdf::TermId;
 use std::collections::BTreeSet;
+use std::sync::Arc;
 
 /// Delta is merged into the run once it exceeds
 /// `max(MERGE_MIN, run.len() / MERGE_RATIO)` entries.
@@ -65,10 +66,17 @@ impl Perm {
 /// One sort order over the graph's triples: sorted run + B-tree delta,
 /// plus a tombstone set masking deletions from the run until the next
 /// merge folds them away (classic LSM delete handling).
+///
+/// The run is behind an [`Arc`] so cloning an index — the epoch-snapshot
+/// publish path ([`crate::epoch::EpochStore`]) clones every graph per
+/// batch — shares the large sorted body and copies only the small delta
+/// and tombstone sets. Mutation never writes through the `Arc`: inserts
+/// and removes land in the owned B-trees, and a merge *replaces* the run
+/// wholesale, so pinned snapshots keep reading the run they captured.
 #[derive(Debug, Clone)]
 pub struct PermIndex {
     perm: Perm,
-    run: Vec<EncodedTriple>,
+    run: Arc<Vec<EncodedTriple>>,
     delta: BTreeSet<EncodedTriple>,
     tombstones: BTreeSet<EncodedTriple>,
 }
@@ -78,7 +86,7 @@ impl PermIndex {
     pub fn new(perm: Perm) -> PermIndex {
         PermIndex {
             perm,
-            run: Vec::new(),
+            run: Arc::new(Vec::new()),
             delta: BTreeSet::new(),
             tombstones: BTreeSet::new(),
         }
@@ -128,9 +136,10 @@ impl PermIndex {
         }
         let delta = std::mem::take(&mut self.delta);
         let tombstones = std::mem::take(&mut self.tombstones);
-        let old_run = std::mem::take(&mut self.run);
-        let mut merged = Vec::with_capacity(old_run.len() + delta.len());
-        let mut run_iter = old_run.into_iter().peekable();
+        let mut merged = Vec::with_capacity(self.run.len() + delta.len());
+        // Pinned snapshots may share the run: merge reads it by reference
+        // and installs a fresh `Arc`, leaving theirs untouched.
+        let mut run_iter = self.run.iter().copied().peekable();
         let mut delta_iter = delta.into_iter().peekable();
         loop {
             let next = match (run_iter.peek(), delta_iter.peek()) {
@@ -149,14 +158,14 @@ impl PermIndex {
                 merged.push(next);
             }
         }
-        self.run = merged;
+        self.run = Arc::new(merged);
     }
 
     /// Bulk-build from already-deduplicated triples (generator fast path).
     fn bulk_load(&mut self, triples: &[EncodedTriple]) {
         let mut keys: Vec<EncodedTriple> = triples.iter().map(|t| self.perm.permute(*t)).collect();
         keys.sort_unstable();
-        self.run = keys;
+        self.run = Arc::new(keys);
         self.delta.clear();
         self.tombstones.clear();
     }

@@ -18,18 +18,27 @@
 //! * [`delta::Delta`] / [`Dataset::apply`] are the transactional update
 //!   path: batched inserts *and deletes* flow through the LSM-lite index
 //!   deltas and come back out as a net [`delta::ChangeSet`] per graph —
-//!   the input to `sofos-maintain`'s incremental view maintenance.
+//!   the input to `sofos-maintain`'s incremental view maintenance;
+//! * [`epoch::EpochStore`] makes the dataset concurrent: readers pin
+//!   immutable epoch [`epoch::Snapshot`]s while the single writer builds
+//!   and atomically publishes the next epoch, with write/maintenance work
+//!   partitioned across subject-hash [`shard::ShardRouter`] shards (see
+//!   `crates/store/README.md` for the pin → publish → retire lifecycle).
 
 pub mod dataset;
 pub mod delta;
+pub mod epoch;
 pub mod index;
 pub mod inference;
 pub mod pattern;
+pub mod shard;
 pub mod stats;
 
 pub use dataset::{Dataset, GraphName};
 pub use delta::{ChangeSet, Delta, DeltaOp, GraphChanges, OpKind};
+pub use epoch::{EpochStore, PinnedSnapshot, PreparedTxn, Snapshot, WriteTxn};
 pub use index::{GraphStore, Perm};
 pub use inference::{materialize_rdfs, InferenceStats};
 pub use pattern::{EncodedTriple, IdPattern};
+pub use shard::ShardRouter;
 pub use stats::{GraphStats, PredicateStats, StatsTracker};
