@@ -60,10 +60,16 @@ fn is_volatile_field(key: &str) -> bool {
         "stale_views_at_end",
         "writer_wall_us",
         "maintenance_wall_us",
+        "round_wall_us",
+        "pr3_wall_us",
+        "pipeline_wall_us",
         "read_p99_us",
-        // The ratio of two contended percentiles swings with the machine;
-        // its boolean verdict (`meets_threshold`) is the gated field.
+        // Wall-derived measurements swing with the machine; their boolean
+        // verdicts (`meets_threshold`) are the gated fields.
         "p95_speedup",
+        "wall_speedup",
+        "serial_fraction",
+        "mean_lag",
     ];
     VOLATILE.contains(&key) || key.starts_with("adaptive_beats_")
 }
@@ -298,6 +304,39 @@ fn main() -> ExitCode {
 
     let mut rows: Vec<DiffRow> = Vec::new();
     let mut compared = 0usize;
+
+    // Fresh reports with no committed baseline yet (a newly-added
+    // experiment) are informational, not failures: the gate cannot diff
+    // against nothing, and blocking the PR that *introduces* a report
+    // would force committing the baseline before the code that emits it.
+    if let Ok(entries) = std::fs::read_dir(&config.fresh_dir) {
+        let baseline_names: Vec<String> = baselines
+            .iter()
+            .filter_map(|p| p.file_name().and_then(|n| n.to_str()).map(String::from))
+            .collect();
+        let mut unmatched: Vec<String> = entries
+            .filter_map(|e| e.ok())
+            .filter_map(|e| e.file_name().to_str().map(String::from))
+            .filter(|n| n.starts_with("BENCH_") && n.ends_with(".json"))
+            .filter(|n| !baseline_names.iter().any(|b| b == n))
+            .collect();
+        unmatched.sort();
+        for name in unmatched {
+            rows.push(DiffRow {
+                experiment: name
+                    .trim_start_matches("BENCH_")
+                    .trim_end_matches(".json")
+                    .to_string(),
+                row: "*".into(),
+                field: "report".into(),
+                baseline: "<none>".into(),
+                fresh: "present".into(),
+                delta: "no baseline — informational; commit one to start gating".into(),
+                verdict: Verdict::Info,
+            });
+        }
+    }
+
     for baseline_path in &baselines {
         let name = baseline_path
             .file_name()

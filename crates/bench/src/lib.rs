@@ -15,6 +15,7 @@
 //! | E7 maintenance sweep         | `e7_maintenance`  | — |
 //! | E8 adaptive re-selection     | `e8_adaptive`     | — |
 //! | E9 concurrent serving        | `e9_concurrency`  | — |
+//! | E10 two-phase pipeline       | `e10_pipeline`    | — |
 //! | CI bench-regression gate     | `bench_diff`      | — |
 //! | substrate micro-benches      | —                 | `benches/store.rs`, `benches/sparql.rs` |
 //!

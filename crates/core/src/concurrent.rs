@@ -36,15 +36,15 @@
 //! publish swap — never across maintenance, materialization, snapshot
 //! cloning, or query evaluation.
 
-use crate::online::{Route, SessionAnswer, StalenessPolicy, ViewChurn};
+use crate::online::{Freshness, Route, SessionAnswer, StalenessPolicy, ViewChurn};
 use crate::timing::measure_once;
 use sofos_cube::{Facet, ViewMask};
-use sofos_maintain::{Maintainer, MaintenanceReport, RowDelta, ShardScanCost};
+use sofos_maintain::{Maintainer, MaintenanceReport, PipelineTelemetry, RowDelta, ShardScanCost};
 use sofos_materialize::{drop_view, materialize_view, MaterializedView};
 use sofos_rdf::{FxHashMap, FxHashSet};
 use sofos_rewrite::{analyze_query, best_view, rewrite_query};
 use sofos_sparql::{Evaluator, Query, SparqlError};
-use sofos_store::{Dataset, Delta, EpochStore, PinnedSnapshot};
+use sofos_store::{Dataset, Delta, EpochStore, PinnedSnapshot, WriteTxn};
 use std::collections::VecDeque;
 use std::sync::Mutex;
 
@@ -61,6 +61,10 @@ struct ServingState {
     cursor: FxHashMap<u64, u64>,
     /// Views that must fully refresh on their next hit.
     needs_refresh: FxHashSet<u64>,
+    /// Bounded policy only: update batches buffered by the writer and not
+    /// yet published — the lag every read serves under (and is tagged
+    /// with) until the next flush.
+    buffered_batches: usize,
     view_hits: usize,
     fallbacks: usize,
     update_batches: usize,
@@ -130,6 +134,11 @@ struct WriterSide {
     /// Scan telemetry folded to per-shard totals at absorb time, so a
     /// long-lived session stays O(shards) regardless of batch count.
     shard_scans: Vec<ShardScanCost>,
+    /// Accumulated two-phase split (serial spine vs. pool work) across
+    /// every sharded apply and pipelined maintenance pass.
+    telemetry: PipelineTelemetry,
+    /// Bounded policy only: deltas awaiting the next batched flush.
+    buffered: Vec<Delta>,
 }
 
 impl WriterSide {
@@ -140,6 +149,17 @@ impl WriterSide {
                 None => self.shard_scans.push(*cost),
             }
         }
+    }
+
+    /// Fold one sharded apply's scan/serial split into the running
+    /// telemetry and per-shard totals.
+    fn absorb_sharded(&mut self, sharded: &sofos_maintain::ShardedApplyOutcome) {
+        self.absorb_scans(&sharded.shard_costs);
+        self.telemetry.merge(&PipelineTelemetry {
+            serial_us: sharded.serial_us,
+            parallel_work_us: sharded.scan_work_us(),
+            parallel_wall_us: sharded.scan_wall_us,
+        });
     }
 }
 
@@ -172,12 +192,15 @@ impl ConcurrentSession {
                 maintainer: Maintainer::new(&facet),
                 log: MaintenanceReport::default(),
                 shard_scans: Vec::new(),
+                telemetry: PipelineTelemetry::default(),
+                buffered: Vec::new(),
             }),
             serving: Mutex::new(ServingState {
                 views,
                 pending: VecDeque::new(),
                 cursor: FxHashMap::default(),
                 needs_refresh: FxHashSet::default(),
+                buffered_batches: 0,
                 view_hits: 0,
                 fallbacks: 0,
                 update_batches: 0,
@@ -250,6 +273,19 @@ impl ConcurrentSession {
         totals
     }
 
+    /// Accumulated two-phase pipeline telemetry: how the session's
+    /// maintenance work split between the serial spine and the thread
+    /// pool. Feed its measured serial fraction to
+    /// `sofos_cost::ShardedMaintenance::from_telemetry`.
+    pub fn pipeline_telemetry(&self) -> PipelineTelemetry {
+        self.writer.lock().expect("writer lock poisoned").telemetry
+    }
+
+    /// Bounded policy: update batches buffered and not yet published.
+    pub fn buffered_updates(&self) -> usize {
+        self.lock_serving().buffered_batches
+    }
+
     fn lock_serving(&self) -> std::sync::MutexGuard<'_, ServingState> {
         self.serving.lock().expect("serving lock poisoned")
     }
@@ -292,22 +328,24 @@ impl ConcurrentSession {
                     &router,
                     self.writer_threads,
                 );
-                writer.absorb_scans(&sharded.shard_costs);
+                writer.absorb_sharded(&sharded);
                 // The catalog's masks cannot change concurrently — every
                 // view mutator holds the write transaction — so working on
                 // a clone and installing it back is race-free.
                 let mut views = self.lock_serving().views.clone();
-                let result = writer.maintainer.maintain(
+                let result = writer.maintainer.maintain_pipelined(
                     txn.dataset(),
                     sharded.outcome.rows.as_ref(),
                     &mut views,
+                    self.writer_threads,
                 );
                 txn.touch_changes(&sharded.outcome.changes);
                 // Snapshot construction (the clone) happens before the
                 // serving lock; readers only ever wait for the swap.
                 match result {
-                    Ok(report) => {
-                        writer.log.absorb(report);
+                    Ok(outcome) => {
+                        writer.telemetry.merge(&outcome.telemetry);
+                        writer.log.absorb(outcome.report);
                         let prepared = txn.prepare();
                         let mut state = self.lock_serving();
                         state.views = views;
@@ -315,15 +353,14 @@ impl ConcurrentSession {
                         Ok(())
                     }
                     Err(e) => {
-                        // The base delta is applied and some views may be
-                        // half-patched; abandoning the transaction would
-                        // leave the master diverged from the published
-                        // epoch forever (the rollback contract demands
-                        // undone writes, and a half-patch cannot be
-                        // undone). Publish the batch instead and demand a
-                        // full refresh of every view — `needs_refresh`
-                        // bars queries from routing to any of them before
-                        // repair, under every policy.
+                        // The base delta is applied but no view was
+                        // patched (pipelined planning is all-or-nothing);
+                        // abandoning the transaction would leave the
+                        // master diverged from the published epoch
+                        // forever. Publish the batch instead and demand a
+                        // full refresh of every (now stale) view —
+                        // `needs_refresh` bars queries from routing to
+                        // any of them before repair, under every policy.
                         let prepared = txn.prepare();
                         let mut state = self.lock_serving();
                         state.views = views;
@@ -338,6 +375,23 @@ impl ConcurrentSession {
                     }
                 }
             }
+            StalenessPolicy::Bounded { max_batches, .. } => {
+                writer.buffered.push(delta);
+                // Publish the new lag to readers *before* deciding to
+                // flush: a racing reader must either see the full buffer
+                // count (and spin on the budget check until the flush
+                // publishes) or serve a tag that includes this delta —
+                // never an undercounted lag.
+                self.lock_serving().buffered_batches = writer.buffered.len();
+                if writer.buffered.len() >= max_batches.max(1) {
+                    self.flush_with(txn, &mut writer)
+                } else {
+                    // Dropped without publish: nothing was mutated, the
+                    // delta only joined the writer-side buffer.
+                    drop(txn);
+                    Ok(())
+                }
+            }
             StalenessPolicy::LazyOnHit => {
                 let sharded = writer.maintainer.apply_sharded(
                     txn.dataset(),
@@ -345,7 +399,7 @@ impl ConcurrentSession {
                     &router,
                     self.writer_threads,
                 );
-                writer.absorb_scans(&sharded.shard_costs);
+                writer.absorb_sharded(&sharded);
                 txn.touch_changes(&sharded.outcome.changes);
                 let prepared = txn.prepare();
                 let mut state = self.lock_serving();
@@ -372,40 +426,131 @@ impl ConcurrentSession {
         }
     }
 
+    /// Flush the bounded policy's buffered updates now: apply them all
+    /// inside one batched transaction, maintain every view in one
+    /// pipelined pass over the *merged* row delta, and publish the whole
+    /// batch as a single epoch. No-op when nothing is buffered.
+    pub fn flush(&self) -> Result<(), SparqlError> {
+        let txn = self.store.begin();
+        let mut writer = self.writer.lock().expect("writer lock poisoned");
+        if writer.buffered.is_empty() {
+            return Ok(());
+        }
+        self.flush_with(txn, &mut writer)
+    }
+
+    /// The batched-epoch flush (writer lock held, transaction open).
+    fn flush_with(&self, txn: WriteTxn<'_>, writer: &mut WriterSide) -> Result<(), SparqlError> {
+        let router = *self.store.router();
+        let mut batch = txn.batch();
+        let deltas: Vec<Delta> = writer.buffered.drain(..).collect();
+        // Merge the per-delta row deltas: N batches collapse into one
+        // group-patching pass (intra-batch churn cancels for free).
+        let mut merged: Option<RowDelta> = Some(RowDelta::default());
+        for delta in deltas {
+            let sharded = writer.maintainer.apply_sharded(
+                batch.dataset(),
+                delta,
+                &router,
+                self.writer_threads,
+            );
+            writer.absorb_sharded(&sharded);
+            batch.absorb(&sharded.outcome.changes);
+            match sharded.outcome.rows {
+                Some(rows) => {
+                    if let Some(m) = merged.as_mut() {
+                        m.merge(&rows);
+                    }
+                }
+                // Non-star facet: merged deltas cannot repair anything.
+                None => merged = None,
+            }
+        }
+        let mut views = self.lock_serving().views.clone();
+        let result = writer.maintainer.maintain_pipelined(
+            batch.dataset(),
+            merged.as_ref(),
+            &mut views,
+            self.writer_threads,
+        );
+        match result {
+            Ok(outcome) => {
+                writer.telemetry.merge(&outcome.telemetry);
+                writer.log.absorb(outcome.report);
+                let prepared = batch.prepare();
+                let mut state = self.lock_serving();
+                state.views = views;
+                state.buffered_batches = 0;
+                prepared.publish();
+                Ok(())
+            }
+            Err(e) => {
+                // Base deltas are applied, views were left unpatched
+                // (all-or-nothing planning): publish the base batch and
+                // demand a full refresh of every view.
+                let prepared = batch.prepare();
+                let mut state = self.lock_serving();
+                let masks: Vec<u64> = state.views.iter().map(|(m, _)| m.0).collect();
+                let epoch = prepared.publish();
+                state.buffered_batches = 0;
+                for mask in masks {
+                    state.needs_refresh.insert(mask);
+                    state.cursor.insert(mask, epoch);
+                }
+                state.pending.clear();
+                Err(e)
+            }
+        }
+    }
+
     /// Answer one query from a pinned snapshot. Under the lazy policy a
     /// stale routed-to view is repaired (and the next epoch published)
-    /// first; the repair cost is reported on the answer.
+    /// first. Under the bounded policy the answer is served from the
+    /// standing epoch and *tagged* with its lag — unless the lag exceeds
+    /// `max_epoch_lag`, in which case the buffered batches are flushed
+    /// before serving. The repair/flush cost is reported on the answer.
     pub fn query(&self, query: &Query) -> Result<SessionAnswer, SparqlError> {
         let Ok(analysis) = analyze_query(&self.facet, query) else {
-            let snapshot = self.store.pin();
+            let (snapshot, freshness) = self.pin_within_bound()?;
             self.lock_serving().fallbacks += 1;
             let results = Evaluator::new(snapshot.dataset()).evaluate(query)?;
             return Ok(SessionAnswer {
                 route: Route::BaseGraph,
                 results,
                 maintenance_us: 0,
+                freshness,
             });
         };
 
         // Route against the catalog and pin an epoch under one short
-        // lock, so the staleness decision and the snapshot agree.
-        let (planned, snapshot) = {
-            let mut state = self.lock_serving();
-            let snapshot = self.store.pin();
-            let planned = best_view(&state.views, analysis.required).map(|view| {
-                // `needs_refresh` gates every policy (a failed eager
-                // maintenance pass demands repair too); the epoch-replay
-                // staleness check is lazy-only.
-                let stale = state.needs_refresh.contains(&view.0)
-                    || (self.policy == StalenessPolicy::LazyOnHit
-                        && state.stale_at(view, snapshot.epoch()));
-                (view, stale)
-            });
-            match planned {
-                Some(_) => state.view_hits += 1,
-                None => state.fallbacks += 1,
+        // lock, so the staleness decision, the freshness tag, and the
+        // snapshot agree.
+        let (planned, snapshot, freshness) = loop {
+            {
+                let mut state = self.lock_serving();
+                let lag = state.buffered_batches as u64;
+                if self.within_lag_bound(lag) {
+                    let snapshot = self.store.pin();
+                    let freshness = Self::freshness_of(&snapshot, lag);
+                    let planned = best_view(&state.views, analysis.required).map(|view| {
+                        // `needs_refresh` gates every policy (a failed
+                        // maintenance pass demands repair too); the
+                        // epoch-replay staleness check is lazy-only.
+                        let stale = state.needs_refresh.contains(&view.0)
+                            || (self.policy == StalenessPolicy::LazyOnHit
+                                && state.stale_at(view, snapshot.epoch()));
+                        (view, stale)
+                    });
+                    match planned {
+                        Some(_) => state.view_hits += 1,
+                        None => state.fallbacks += 1,
+                    }
+                    break (planned, snapshot, freshness);
+                }
             }
-            (planned, snapshot)
+            // Past the staleness budget: flush, then re-check (a racing
+            // update may have buffered more batches in between).
+            self.flush()?;
         };
 
         match planned {
@@ -415,13 +560,17 @@ impl ConcurrentSession {
                     route: Route::BaseGraph,
                     results,
                     maintenance_us: 0,
+                    freshness,
                 })
             }
             Some((view, stale)) => {
                 let rewritten = rewrite_query(&self.facet, &analysis, view);
-                let (snapshot, maintenance_us) = if stale {
+                let (snapshot, maintenance_us, freshness) = if stale {
                     match self.repair_view(view)? {
-                        Some(repaired) => repaired,
+                        Some((snapshot, us)) => {
+                            let freshness = Self::freshness_of(&snapshot, freshness.lag);
+                            (snapshot, us, freshness)
+                        }
                         None => {
                             // The view was swapped out while we waited for
                             // the writer: it is no longer answerable.
@@ -432,24 +581,70 @@ impl ConcurrentSession {
                                 state.fallbacks += 1;
                                 self.store.pin()
                             };
+                            let freshness = Self::freshness_of(&snapshot, freshness.lag);
                             let results = Evaluator::new(snapshot.dataset()).evaluate(query)?;
                             return Ok(SessionAnswer {
                                 route: Route::BaseGraph,
                                 results,
                                 maintenance_us: 0,
+                                freshness,
                             });
                         }
                     }
                 } else {
-                    (snapshot, 0)
+                    (snapshot, 0, freshness)
                 };
                 let results = Evaluator::new(snapshot.dataset()).evaluate(&rewritten)?;
                 Ok(SessionAnswer {
                     route: Route::View(view),
                     results,
                     maintenance_us,
+                    freshness,
                 })
             }
+        }
+    }
+
+    /// Does a read at `lag` buffered batches respect the policy's
+    /// staleness budget? (Non-bounded policies serve the latest epoch and
+    /// have no budget to respect.)
+    fn within_lag_bound(&self, lag: u64) -> bool {
+        match self.policy {
+            StalenessPolicy::Bounded { max_epoch_lag, .. } => lag <= max_epoch_lag,
+            _ => true,
+        }
+    }
+
+    /// The freshness tag of one pinned snapshot: the buffered-batch lag
+    /// plus the epoch and oldest per-shard stamp the epoch store tracks
+    /// for free.
+    fn freshness_of(snapshot: &PinnedSnapshot, lag: u64) -> Freshness {
+        Freshness {
+            lag,
+            epoch: snapshot.epoch(),
+            oldest_shard_epoch: snapshot
+                .shard_epochs()
+                .iter()
+                .copied()
+                .min()
+                .unwrap_or_else(|| snapshot.epoch()),
+        }
+    }
+
+    /// Pin a snapshot whose lag respects the staleness budget (flushing
+    /// as needed), returning it with its freshness tag.
+    fn pin_within_bound(&self) -> Result<(PinnedSnapshot, Freshness), SparqlError> {
+        loop {
+            {
+                let state = self.lock_serving();
+                let lag = state.buffered_batches as u64;
+                if self.within_lag_bound(lag) {
+                    let snapshot = self.store.pin();
+                    let freshness = Self::freshness_of(&snapshot, lag);
+                    return Ok((snapshot, freshness));
+                }
+            }
+            self.flush()?;
         }
     }
 
@@ -484,10 +679,11 @@ impl ConcurrentSession {
         let result = writer
             .maintainer
             .maintain_view(txn.dataset(), rows, &mut entry);
-        // The backlog is consumed either way: an errored pass may have
-        // half-patched the view, so a retry would corrupt it — demand a
-        // full refresh on the next hit instead (`needs_refresh` bars
-        // queries from routing to the half-patched graph unrepaired).
+        // The backlog is consumed either way. Planning is all-or-nothing
+        // (an errored pass wrote nothing), but the view is still stale
+        // and the error may be deterministic — demanding a full refresh
+        // on the next hit keeps a poisoned backlog from wedging the view
+        // in an error-retry loop while the pending log grows.
         // The serving lock is held across publish so no reader can route
         // to the view before its cursor reflects the repair epoch.
         let prepared = txn.prepare();
@@ -775,6 +971,69 @@ mod tests {
         let (hits, fallbacks) = session.routing_counts();
         assert_eq!(hits, 0);
         assert_eq!(fallbacks, workload.len());
+    }
+
+    #[test]
+    fn bounded_coalesces_batches_into_one_epoch_and_tags_reads() {
+        let (session, workload) = setup(StalenessPolicy::bounded(3, 10), 4, 2);
+        // Two buffered batches: nothing published, reads lag and say so.
+        session.update(session_delta(0)).unwrap();
+        session.update(session_delta(1)).unwrap();
+        assert_eq!(
+            session.store().epoch(),
+            0,
+            "buffered batches publish nothing"
+        );
+        assert_eq!(session.buffered_updates(), 2);
+        let answer = session.query(&workload[0].query).unwrap();
+        assert_eq!(answer.freshness.lag, 2);
+        assert!(!answer.freshness.is_fresh());
+        assert_eq!(answer.freshness.epoch, 0);
+
+        // The third batch crosses max_batches: one flush, ONE epoch.
+        session.update(session_delta(2)).unwrap();
+        assert_eq!(session.store().epoch(), 1, "three batches, one epoch");
+        assert_eq!(session.buffered_updates(), 0);
+        assert!(!session.maintenance().per_view.is_empty());
+        assert_eq!(session.stale_views(), 0, "flush maintains every view");
+        let answer = session.query(&workload[0].query).unwrap();
+        assert!(answer.freshness.is_fresh());
+        assert_eq!(answer.freshness.epoch, 1);
+        assert_answers_match_base(&session, &workload);
+
+        // The pipeline split was measured.
+        let telemetry = session.pipeline_telemetry();
+        assert!(telemetry.serial_us + telemetry.parallel_work_us > 0);
+        assert!(telemetry.serial_fraction().is_some());
+    }
+
+    #[test]
+    fn bounded_lag_budget_forces_a_flush_at_serve_time() {
+        let (session, workload) = setup(StalenessPolicy::bounded(100, 1), 2, 2);
+        session.update(session_delta(0)).unwrap();
+        session.update(session_delta(1)).unwrap();
+        assert_eq!(session.buffered_updates(), 2, "2 > budget 1, unserved");
+        // The read trips the budget: flush first, then serve fresh.
+        let answer = session.query(&workload[0].query).unwrap();
+        assert!(
+            answer.freshness.lag <= 1,
+            "no read is served past max_epoch_lag"
+        );
+        assert_eq!(session.store().epoch(), 1, "the forced flush published");
+        assert_eq!(session.buffered_updates(), 0);
+        assert_answers_match_base(&session, &workload);
+    }
+
+    #[test]
+    fn explicit_flush_drains_the_buffer() {
+        let (session, workload) = setup(StalenessPolicy::bounded(100, 100), 2, 1);
+        session.flush().expect("empty flush is a no-op");
+        assert_eq!(session.store().epoch(), 0);
+        session.update(session_delta(0)).unwrap();
+        session.flush().unwrap();
+        assert_eq!(session.store().epoch(), 1);
+        assert_eq!(session.buffered_updates(), 0);
+        assert_answers_match_base(&session, &workload);
     }
 
     #[test]

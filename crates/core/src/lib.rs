@@ -46,8 +46,8 @@ pub use concurrent::ConcurrentSession;
 pub use config::EngineConfig;
 pub use offline::{build_model, run_offline, OfflineOutcome, SizedLattice};
 pub use online::{
-    run_online, DriftDetector, OnlineOutcome, QueryRecord, ReselectionReport, Reselector, Route,
-    Session, SessionAnswer, StalenessPolicy, ViewChurn,
+    run_online, DriftDetector, Freshness, OnlineOutcome, QueryRecord, ReselectionReport,
+    Reselector, Route, Session, SessionAnswer, StalenessPolicy, ViewChurn,
 };
 pub use report::{render_table, ComparisonReport, ModelRow};
 pub use timing::{measure_median, measure_once, TimeSummary};

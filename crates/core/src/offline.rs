@@ -67,6 +67,57 @@ impl SizedLattice {
             base: &self.base_stats,
         }
     }
+
+    /// Incremental re-sizing: a copy of this sizing with every per-view
+    /// estimate (rows, triples, nodes, bytes — and the measured timings
+    /// the learned model trains on) scaled by the base graph's growth
+    /// since this sizing was computed, anchored on `live` statistics.
+    ///
+    /// Costs O(2^d) multiplications instead of O(2^d) query evaluations —
+    /// the overhead that made frequent re-selection uneconomical. The
+    /// scaling is uniform: it tracks the graph's *size*, and relies on
+    /// roughly shape-preserving growth for the per-view ratios (which is
+    /// what selection ranks by). Recompute from scratch when the value
+    /// distribution itself shifts.
+    pub fn refreshed(&self, live: &GraphStats) -> SizedLattice {
+        let growth = if self.base_stats.triples > 0 {
+            live.triples as f64 / self.base_stats.triples as f64
+        } else if live.triples > 0 {
+            live.triples as f64
+        } else {
+            1.0
+        };
+        let scale = |n: usize| -> usize { (n as f64 * growth).round() as usize };
+        let stats = self
+            .stats
+            .iter()
+            .map(|(&mask, s)| {
+                (
+                    mask,
+                    ViewStats {
+                        facet_id: s.facet_id.clone(),
+                        mask: s.mask,
+                        rows: scale(s.rows),
+                        triples: scale(s.triples),
+                        nodes: scale(s.nodes),
+                        bytes: scale(s.bytes),
+                    },
+                )
+            })
+            .collect();
+        let timings_us = self
+            .timings_us
+            .iter()
+            .map(|(&mask, &us)| (mask, (us as f64 * growth).round() as u64))
+            .collect();
+        SizedLattice {
+            lattice: self.lattice.clone(),
+            stats,
+            timings_us,
+            base_stats: live.clone(),
+            sizing_us: self.sizing_us,
+        }
+    }
 }
 
 /// Result of the offline phase for one cost model.
@@ -218,6 +269,36 @@ mod tests {
         assert_eq!(sized.timings_us.len(), sized.stats.len());
         assert!(sized.sizing_us > 0);
         assert!(sized.base_stats.triples > 0);
+    }
+
+    #[test]
+    fn sizing_refresh_scales_with_live_growth() {
+        let (ds, facet) = setup();
+        let sized = SizedLattice::compute(&ds, &facet).unwrap();
+
+        // Simulate the base graph doubling since the sizing was cached.
+        let mut live = sized.base_stats.clone();
+        live.triples *= 2;
+        let refreshed = sized.refreshed(&live);
+        assert_eq!(refreshed.base_stats.triples, live.triples);
+        for (mask, stats) in &sized.stats {
+            let scaled = &refreshed.stats[mask];
+            assert_eq!(scaled.rows, stats.rows * 2, "{mask}");
+            assert_eq!(scaled.triples, stats.triples * 2, "{mask}");
+            assert_eq!(scaled.bytes, stats.bytes * 2, "{mask}");
+        }
+        for (mask, us) in &sized.timings_us {
+            assert_eq!(refreshed.timings_us[mask], us * 2);
+        }
+
+        // No growth = identical estimates; shrinkage scales down.
+        let same = sized.refreshed(&sized.base_stats);
+        assert_eq!(same.stats, sized.stats);
+        let mut shrunk = sized.base_stats.clone();
+        shrunk.triples /= 2;
+        let smaller = sized.refreshed(&shrunk);
+        let base = sized.lattice.base();
+        assert!(smaller.stats[&base].rows < sized.stats[&base].rows);
     }
 
     #[test]

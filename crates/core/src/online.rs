@@ -166,15 +166,41 @@ pub enum StalenessPolicy {
     /// queries fall back to the base graph (zero maintenance, full
     /// benefit loss) — the paper's implicit baseline.
     Invalidate,
+    /// The middle ground between eager and lazy: updates are coalesced
+    /// and views maintained in *batched* flushes — every `max_batches`
+    /// update batches — while reads are served from the standing state
+    /// with a [`Freshness`] tag instead of waiting for repair. A read is
+    /// never allowed to lag more than `max_epoch_lag` epochs (batches, in
+    /// the serial session): past the bound, the serve path flushes or
+    /// repairs first. `Bounded { max_batches: 1, max_epoch_lag: 0 }`
+    /// degenerates to eager.
+    Bounded {
+        /// Flush cadence: maintain (and, over an epoch store, publish)
+        /// after this many buffered update batches. Minimum 1.
+        max_batches: usize,
+        /// Serve-side staleness ceiling, in epochs behind the latest
+        /// state. 0 = always fresh at serve time.
+        max_epoch_lag: u64,
+    },
 }
 
 impl StalenessPolicy {
-    /// All policies (for sweeps).
+    /// The three classic policies (for sweeps; `Bounded` is a family, so
+    /// sweeps pick their own parameter grid).
     pub const ALL: [StalenessPolicy; 3] = [
         StalenessPolicy::Eager,
         StalenessPolicy::LazyOnHit,
         StalenessPolicy::Invalidate,
     ];
+
+    /// A bounded-staleness policy (see [`StalenessPolicy::Bounded`]);
+    /// `max_batches` is clamped to at least 1.
+    pub fn bounded(max_batches: usize, max_epoch_lag: u64) -> StalenessPolicy {
+        StalenessPolicy::Bounded {
+            max_batches: max_batches.max(1),
+            max_epoch_lag,
+        }
+    }
 
     /// Short name for reports.
     pub fn name(self) -> &'static str {
@@ -182,13 +208,57 @@ impl StalenessPolicy {
             StalenessPolicy::Eager => "eager",
             StalenessPolicy::LazyOnHit => "lazy-on-hit",
             StalenessPolicy::Invalidate => "invalidate",
+            StalenessPolicy::Bounded { .. } => "bounded",
         }
     }
 }
 
 impl std::fmt::Display for StalenessPolicy {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.write_str(self.name())
+        match self {
+            StalenessPolicy::Bounded {
+                max_batches,
+                max_epoch_lag,
+            } => write!(f, "bounded({max_batches},{max_epoch_lag})"),
+            other => f.write_str(other.name()),
+        }
+    }
+}
+
+/// How fresh the state behind one answer was — the tag bounded-staleness
+/// serving attaches instead of repairing before every read.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Freshness {
+    /// How far behind the latest known state the served state was:
+    /// unpublished/unmaintained epochs for a
+    /// [`ConcurrentSession`](crate::concurrent::ConcurrentSession)
+    /// (buffered batches awaiting a flush), buffered update batches for
+    /// the serial [`Session`]. 0 = fresh as of the serve instant.
+    pub lag: u64,
+    /// The epoch the answer was served at (concurrent sessions; the
+    /// serial session reports its applied update-batch count).
+    pub epoch: u64,
+    /// The oldest per-shard epoch stamp of the served snapshot — the
+    /// conservative "every shard at least this fresh" tag the epoch
+    /// store's per-shard bookkeeping provides for free. The serial
+    /// session has no shards: it mirrors `epoch` there, and `lag` is the
+    /// staleness signal.
+    pub oldest_shard_epoch: u64,
+}
+
+impl Freshness {
+    /// A fully-fresh tag as of `epoch`.
+    pub fn fresh(epoch: u64) -> Freshness {
+        Freshness {
+            lag: 0,
+            epoch,
+            oldest_shard_epoch: epoch,
+        }
+    }
+
+    /// True when the answer reflected the latest state.
+    pub fn is_fresh(&self) -> bool {
+        self.lag == 0
     }
 }
 
@@ -201,6 +271,9 @@ pub struct SessionAnswer {
     pub results: QueryResults,
     /// Maintenance time this query triggered (lazy repairs), µs.
     pub maintenance_us: u64,
+    /// How fresh the served state was (always fresh outside the bounded
+    /// policy).
+    pub freshness: Freshness,
 }
 
 /// The interleaved update/query mode over a living `G+`.
@@ -241,6 +314,11 @@ pub struct Session {
     /// Sliding window of per-batch `(inserted, deleted)` default-graph
     /// triple counts.
     recent_batches: VecDeque<(usize, usize)>,
+    /// Sliding window of per-batch group-churn maps: finest-grouping key
+    /// hash → absolute row churn (see [`Session::churn_profile`]).
+    recent_churn: VecDeque<FxHashMap<u64, f64>>,
+    /// Update batches since the last bounded-policy flush.
+    batches_since_flush: usize,
 }
 
 impl Session {
@@ -269,6 +347,8 @@ impl Session {
             fallbacks: 0,
             recent_demands: VecDeque::new(),
             recent_batches: VecDeque::new(),
+            recent_churn: VecDeque::new(),
+            batches_since_flush: 0,
         }
     }
 
@@ -302,6 +382,41 @@ impl Session {
         while self.recent_batches.len() > Self::RATE_WINDOW {
             self.recent_batches.pop_front();
         }
+    }
+
+    /// Record one batch's per-group churn from its row delta: which
+    /// finest-granularity groups the batch touched, weighted by absolute
+    /// row multiplicity. This is the *locality* half of drift detection —
+    /// demand can be perfectly steady while updates migrate onto the
+    /// groups of an expensive-to-maintain view.
+    fn observe_churn(&mut self, rows: &RowDelta) {
+        let mut churn: FxHashMap<u64, f64> = FxHashMap::default();
+        for (dims, _measure, net) in rows.iter() {
+            *churn.entry(group_bucket(dims)).or_insert(0.0) += net.unsigned_abs() as f64;
+        }
+        if churn.is_empty() {
+            return;
+        }
+        self.recent_churn.push_back(churn);
+        while self.recent_churn.len() > Self::RATE_WINDOW {
+            self.recent_churn.pop_front();
+        }
+    }
+
+    /// The sliding per-group churn distribution: group-key hash →
+    /// accumulated absolute row churn, over the last
+    /// [`Session::RATE_WINDOW`] batches that produced a row delta.
+    /// Un-normalized ([`DriftDetector::churn_drift`] normalizes). Empty
+    /// until an update produced a row delta (the invalidate policy and
+    /// non-star facets never feed it).
+    pub fn churn_profile(&self) -> FxHashMap<u64, f64> {
+        let mut merged: FxHashMap<u64, f64> = FxHashMap::default();
+        for batch in &self.recent_churn {
+            for (&bucket, &weight) in batch {
+                *merged.entry(bucket).or_insert(0.0) += weight;
+            }
+        }
+        merged
     }
 
     /// The sliding workload profile: demand frequencies over the last
@@ -343,35 +458,91 @@ impl Session {
                 Ok(self.dataset.apply(delta))
             }
             StalenessPolicy::Eager => {
-                let (changes, report) = self.maintainer.apply_and_maintain(
+                let outcome = self.maintainer.apply(&mut self.dataset, delta);
+                if let Some(rows) = &outcome.rows {
+                    self.observe_churn(rows);
+                }
+                let report = self.maintainer.maintain(
                     &mut self.dataset,
-                    delta,
+                    outcome.rows.as_ref(),
                     &mut self.views,
                 )?;
                 self.log.absorb(report);
-                Ok(changes)
+                Ok(outcome.changes)
             }
             StalenessPolicy::LazyOnHit => {
                 let outcome = self.maintainer.apply(&mut self.dataset, delta);
-                match outcome.rows {
-                    Some(rows) if rows.is_empty() => {}
-                    Some(rows) => {
-                        self.pending_log.push_back(rows);
-                        self.enforce_log_cap();
-                    }
-                    None => {
-                        // Unusable delta: every view must fully refresh;
-                        // buffered rows are superseded.
-                        for &(mask, _) in &self.views {
-                            self.needs_refresh.insert(mask.0);
-                            self.cursor.insert(mask.0, self.log_end());
-                        }
-                        self.compact_pending();
-                    }
+                self.buffer_rows(outcome.rows);
+                Ok(outcome.changes)
+            }
+            StalenessPolicy::Bounded { max_batches, .. } => {
+                // Base changes land immediately (the serial session has no
+                // snapshot to serve stale base reads from); view upkeep is
+                // deferred and batched: every view consumes its merged
+                // backlog in one pass per flush, so N buffered batches
+                // cost one group-patching pass instead of N.
+                let outcome = self.maintainer.apply(&mut self.dataset, delta);
+                self.buffer_rows(outcome.rows);
+                self.batches_since_flush += 1;
+                if self.batches_since_flush >= max_batches.max(1) {
+                    self.flush_views()?;
                 }
                 Ok(outcome.changes)
             }
         }
+    }
+
+    /// Buffer an update's row delta for deferred (lazy/bounded) repair.
+    fn buffer_rows(&mut self, rows: Option<RowDelta>) {
+        match rows {
+            Some(rows) if rows.is_empty() => {}
+            Some(rows) => {
+                self.observe_churn(&rows);
+                self.pending_log.push_back(rows);
+                self.enforce_log_cap();
+            }
+            None => {
+                // Unusable delta: every view must fully refresh; buffered
+                // rows are superseded.
+                for &(mask, _) in &self.views {
+                    self.needs_refresh.insert(mask.0);
+                    self.cursor.insert(mask.0, self.log_end());
+                }
+                self.compact_pending();
+            }
+        }
+    }
+
+    /// Bring every view up to date in one batched pass (the bounded
+    /// policy's flush; also callable directly to drain a session).
+    /// Returns the total maintenance time (µs).
+    pub fn flush_views(&mut self) -> Result<u64, SparqlError> {
+        let masks: Vec<ViewMask> = self.views.iter().map(|(m, _)| *m).collect();
+        let mut total_us = 0;
+        for mask in masks {
+            total_us += self.sync_view(mask)?;
+        }
+        self.batches_since_flush = 0;
+        Ok(total_us)
+    }
+
+    /// Update batches buffered since the last bounded flush.
+    pub fn batches_since_flush(&self) -> usize {
+        self.batches_since_flush
+    }
+
+    /// How many buffered batches a view lags behind (its serve-time
+    /// [`Freshness::lag`] under the bounded policy).
+    fn view_lag(&self, view: ViewMask) -> u64 {
+        if self.needs_refresh.contains(&view.0) {
+            return u64::MAX;
+        }
+        (self.log_end()
+            - self
+                .cursor
+                .get(&view.0)
+                .copied()
+                .unwrap_or(self.pending_offset)) as u64
     }
 
     /// Answer one query, routing through the rewriter; under the lazy
@@ -387,24 +558,53 @@ impl Session {
             }
             Err(_) => None,
         };
+        let batches = self.update_batches as u64;
         match planned {
             Some((view, rewritten)) => {
-                let maintenance_us = self.sync_view(view)?;
+                // Bounded serving: a view within the lag budget is served
+                // as-is and *tagged*; past the budget it is repaired
+                // first, exactly like a lazy hit.
+                let (maintenance_us, freshness) = match self.policy {
+                    StalenessPolicy::Bounded { max_epoch_lag, .. } => {
+                        let lag = self.view_lag(view);
+                        if lag > max_epoch_lag {
+                            (self.sync_view(view)?, Freshness::fresh(batches))
+                        } else {
+                            // No shards serially: `lag` (in buffered
+                            // row-producing batches) is the staleness
+                            // signal; the shard stamp mirrors `epoch`
+                            // rather than faking a per-shard claim in
+                            // mismatched units.
+                            (
+                                0,
+                                Freshness {
+                                    lag,
+                                    epoch: batches,
+                                    oldest_shard_epoch: batches,
+                                },
+                            )
+                        }
+                    }
+                    _ => (self.sync_view(view)?, Freshness::fresh(batches)),
+                };
                 self.view_hits += 1;
                 let results = Evaluator::new(&self.dataset).evaluate(&rewritten)?;
                 Ok(SessionAnswer {
                     route: Route::View(view),
                     results,
                     maintenance_us,
+                    freshness,
                 })
             }
             None => {
                 self.fallbacks += 1;
                 let results = Evaluator::new(&self.dataset).evaluate(query)?;
+                // The serial session's base graph is always current.
                 Ok(SessionAnswer {
                     route: Route::BaseGraph,
                     results,
                     maintenance_us: 0,
+                    freshness: Freshness::fresh(batches),
                 })
             }
         }
@@ -443,9 +643,11 @@ impl Session {
         let result = self
             .maintainer
             .maintain_view(&mut self.dataset, rows, entry);
-        // The backlog is consumed either way: a pass that errored may have
-        // half-patched the view, so retrying the same delta would corrupt
-        // it — demand a full refresh on the next hit instead.
+        // The backlog is consumed either way. Planning is all-or-nothing
+        // (an errored pass wrote nothing), but the view is still stale
+        // and the error may be deterministic — demanding a full refresh
+        // on the next hit keeps a poisoned backlog from wedging the view
+        // in an error-retry loop while the pending log grows.
         self.cursor.insert(view.0, self.log_end());
         match &result {
             Ok(_) => {
@@ -691,6 +893,36 @@ impl ViewChurn {
     }
 }
 
+/// Hash a finest-grouping key into a stable churn bucket.
+fn group_bucket(dims: &[sofos_rdf::TermId]) -> u64 {
+    use std::hash::Hasher;
+    let mut hasher = sofos_rdf::hash::FxHasher::default();
+    for dim in dims {
+        hasher.write_u32(dim.0);
+    }
+    hasher.finish()
+}
+
+/// Total-variation distance between two weighted distributions (both
+/// normalized first). Both empty → 0; exactly one empty → 1.
+fn total_variation(p: &FxHashMap<u64, f64>, q: &FxHashMap<u64, f64>) -> f64 {
+    let p_total: f64 = p.values().sum();
+    let q_total: f64 = q.values().sum();
+    match (p_total > 0.0, q_total > 0.0) {
+        (false, false) => return 0.0,
+        (true, false) | (false, true) => return 1.0,
+        (true, true) => {}
+    }
+    let mut masses: FxHashMap<u64, (f64, f64)> = FxHashMap::default();
+    for (&key, &w) in p {
+        masses.entry(key).or_default().0 += w / p_total;
+    }
+    for (&key, &w) in q {
+        masses.entry(key).or_default().1 += w / q_total;
+    }
+    0.5 * masses.values().map(|(a, b)| (a - b).abs()).sum::<f64>()
+}
+
 /// Measures how far the live workload has drifted from the profile the
 /// current selection was optimized for.
 ///
@@ -699,9 +931,18 @@ impl ViewChurn {
 /// replays the reference mix exactly; 1 means disjoint demand. The weight
 /// scale of either profile cancels, so windows and references of
 /// different lengths compare directly.
+///
+/// Alongside demand, the detector can track update *locality*: a
+/// per-group churn distribution ([`Session::churn_profile`]) anchored by
+/// [`DriftDetector::with_churn_reference`]. Maintenance hotspots then
+/// register as drift even when query demand is perfectly steady — the
+/// trigger maintenance-aware selection needs, since upkeep cost depends
+/// on *which* groups churn, not only on how much.
 #[derive(Debug, Clone)]
 pub struct DriftDetector {
     reference: Vec<(ViewMask, f64)>,
+    /// Normalized churn reference; `None` disables the locality trigger.
+    churn_reference: Option<FxHashMap<u64, f64>>,
     threshold: f64,
     min_weight: f64,
 }
@@ -715,6 +956,7 @@ impl DriftDetector {
         );
         DriftDetector {
             reference: Self::normalize(reference),
+            churn_reference: None,
             threshold,
             min_weight: 1.0,
         }
@@ -725,6 +967,19 @@ impl DriftDetector {
     pub fn with_min_weight(mut self, min_weight: f64) -> DriftDetector {
         self.min_weight = min_weight.max(1.0);
         self
+    }
+
+    /// Anchor the locality trigger at a reference per-group churn
+    /// distribution (typically [`Session::churn_profile`] at selection
+    /// time). Until set, churn never registers as drift.
+    pub fn with_churn_reference(mut self, churn: &FxHashMap<u64, f64>) -> DriftDetector {
+        self.set_churn_reference(churn);
+        self
+    }
+
+    /// Re-anchor the churn reference (after a re-selection).
+    pub fn set_churn_reference(&mut self, churn: &FxHashMap<u64, f64>) {
+        self.churn_reference = Some(churn.clone());
     }
 
     fn normalize(profile: &WorkloadProfile) -> Vec<(ViewMask, f64)> {
@@ -769,6 +1024,28 @@ impl DriftDetector {
         current.total_weight() >= self.min_weight && self.drift(current) > self.threshold
     }
 
+    /// Total-variation distance between the anchored churn reference and
+    /// the current per-group churn distribution. 0 when no churn
+    /// reference was set, or when neither side carries any churn —
+    /// *locality* drift is undefined without churn, and an empty window
+    /// must not read as "everything moved".
+    pub fn churn_drift(&self, current: &FxHashMap<u64, f64>) -> f64 {
+        let Some(reference) = &self.churn_reference else {
+            return 0.0;
+        };
+        if current.values().all(|&w| w <= 0.0) {
+            return 0.0;
+        }
+        total_variation(reference, current)
+    }
+
+    /// True when update locality moved past the threshold under a set
+    /// churn reference — the maintenance-hotspot trigger, independent of
+    /// demand.
+    pub fn churn_drifted(&self, current: &FxHashMap<u64, f64>) -> bool {
+        self.churn_drift(current) > self.threshold
+    }
+
     /// Re-anchor at a new reference (after a re-selection).
     pub fn rebase(&mut self, reference: &WorkloadProfile) {
         self.reference = Self::normalize(reference);
@@ -778,14 +1055,22 @@ impl DriftDetector {
 /// One re-selection pass: what drove it, what was selected, what churned.
 #[derive(Debug, Clone)]
 pub struct ReselectionReport {
-    /// Drift at the moment of re-selection.
+    /// Demand drift at the moment of re-selection.
     pub drift: f64,
+    /// Update-locality (per-group churn) drift at the moment of
+    /// re-selection; 0 when the locality trigger is off.
+    pub locality_drift: f64,
     /// The new selection (combined-objective costs included).
     pub selection: SelectionOutcome,
     /// Catalog churn from the transactional swap.
     pub churn: ViewChurn,
-    /// Wall time of the lattice re-sizing pass (µs).
+    /// Wall time of the lattice re-sizing pass (µs) — the growth-scaling
+    /// refresh when the sizing cache is on, the full per-view evaluation
+    /// otherwise.
     pub sizing_us: u64,
+    /// True when sizing came from the cache, refreshed by live
+    /// [`sofos_store::GraphStats`] growth instead of re-evaluated.
+    pub sizing_refreshed: bool,
     /// Wall time of the selection algorithm (µs).
     pub selection_us: u64,
 }
@@ -817,6 +1102,7 @@ pub struct Reselector {
     lambda: f64,
     detector: DriftDetector,
     calibrated: bool,
+    locality: bool,
     sizing_cache: Option<crate::offline::SizedLattice>,
     reselections: usize,
 }
@@ -841,9 +1127,21 @@ impl Reselector {
             lambda,
             detector: DriftDetector::new(reference, threshold),
             calibrated: false,
+            locality: false,
             sizing_cache: None,
             reselections: 0,
         }
+    }
+
+    /// Also fire on update-*locality* drift: when the per-group churn
+    /// distribution (which groups the update stream hits) moves past the
+    /// detector's threshold, re-select even under perfectly steady
+    /// demand — maintenance hotspots shift which views are worth keeping.
+    /// The churn reference is anchored lazily at the first checked
+    /// window and re-anchored on every re-selection.
+    pub fn with_locality_trigger(mut self) -> Reselector {
+        self.locality = true;
+        self
     }
 
     /// Price upkeep in real microseconds, re-fit from the session's
@@ -860,11 +1158,13 @@ impl Reselector {
     /// Re-sizing costs as much as answering one query per lattice view —
     /// on a 2^d lattice that dwarfs everything else a re-selection does,
     /// and is exactly the overhead that makes frequent re-selection
-    /// uneconomical. Cached estimates go stale as the graph grows, but
-    /// uniform growth preserves the *ranking* between views (and keeps
-    /// byte budgets in one consistent unit), which is what selection
-    /// needs. Drop the cache (a fresh `Reselector`) when the graph has
-    /// changed shape rather than size.
+    /// uneconomical. Cached estimates are **not** frozen: every pass
+    /// rescales the cached per-view rows/triples/bytes by the live
+    /// [`sofos_store::GraphStats`] growth since the cache was taken
+    /// ([`crate::offline::SizedLattice::refreshed`]), so byte budgets
+    /// keep pricing against the graph that actually exists. The scaling
+    /// is uniform — it tracks size, not shape; drop the cache (a fresh
+    /// `Reselector`) when the graph's *distribution* has changed.
     pub fn with_sizing_cache(mut self, sized: crate::offline::SizedLattice) -> Reselector {
         self.sizing_cache = Some(sized);
         self
@@ -881,32 +1181,63 @@ impl Reselector {
     }
 
     /// Check the session's sliding window against the reference profile;
-    /// re-select only if it drifted past the threshold. `Ok(None)` means
-    /// the standing selection still fits.
+    /// re-select only if demand — or, with the locality trigger, the
+    /// per-group churn distribution — drifted past the threshold.
+    /// `Ok(None)` means the standing selection still fits.
     pub fn check(
         &mut self,
         session: &mut Session,
     ) -> Result<Option<ReselectionReport>, SparqlError> {
         let window = session.window_profile();
-        if !self.detector.drifted(&window) {
+        let churn = self.session_churn(session);
+        let demand_drifted = self.detector.drifted(&window);
+        let locality_drifted = self.locality
+            && if self.detector.churn_reference.is_none() {
+                // First sighting of churn anchors the reference; nothing
+                // to compare against yet.
+                if !churn.is_empty() {
+                    self.detector.set_churn_reference(&churn);
+                }
+                false
+            } else {
+                self.detector.churn_drifted(&churn)
+            };
+        if !demand_drifted && !locality_drifted {
             return Ok(None);
         }
-        self.reselect_for(session, window).map(Some)
+        self.reselect_for(session, window, churn).map(Some)
+    }
+
+    /// The session's churn profile when the locality trigger is on
+    /// (empty — and never consulted — otherwise).
+    fn session_churn(&self, session: &Session) -> FxHashMap<u64, f64> {
+        if self.locality {
+            session.churn_profile()
+        } else {
+            FxHashMap::default()
+        }
     }
 
     /// Unconditional re-selection against the current window (the
     /// always-reselect policy; also useful to force an initial swap).
     pub fn reselect(&mut self, session: &mut Session) -> Result<ReselectionReport, SparqlError> {
         let window = session.window_profile();
-        self.reselect_for(session, window)
+        let churn = self.session_churn(session);
+        self.reselect_for(session, window, churn)
     }
 
     fn reselect_for(
         &mut self,
         session: &mut Session,
         window: WorkloadProfile,
+        session_churn: FxHashMap<u64, f64>,
     ) -> Result<ReselectionReport, SparqlError> {
         let drift = self.detector.drift(&window);
+        let locality_drift = if self.locality {
+            self.detector.churn_drift(&session_churn)
+        } else {
+            0.0
+        };
         // A cold window (no queries yet) has nothing to optimize for;
         // fall back to uniform demand rather than selecting nothing.
         let profile = if window.total_weight() > 0.0 {
@@ -917,8 +1248,18 @@ impl Reselector {
         };
 
         let computed;
+        let refreshed;
+        let sizing_refreshed = self.sizing_cache.is_some();
         let (sized, sizing_us) = match &self.sizing_cache {
-            Some(cached) => (cached, 0),
+            Some(cached) => {
+                // Incremental re-sizing: scale the cached estimates by
+                // live base-graph growth instead of freezing them (or
+                // paying a full lattice re-evaluation).
+                let live = session.dataset().base_stats();
+                let (us, r) = measure_once(|| cached.refreshed(&live));
+                refreshed = r;
+                (&refreshed, us)
+            }
             None => {
                 computed =
                     crate::offline::SizedLattice::compute(session.dataset(), session.facet())?;
@@ -955,14 +1296,21 @@ impl Reselector {
         let churn = session.swap_views(&selection.selected)?;
         // Anchor at the profile the new selection was *optimized for* —
         // not the raw window, which on a cold forced reselect is empty
-        // and would make every subsequent query read as drift 1.0.
+        // and would make every subsequent query read as drift 1.0. The
+        // churn reference re-anchors at the window's distribution for the
+        // same reason.
         self.detector.rebase(&profile);
+        if self.locality && !session_churn.is_empty() {
+            self.detector.set_churn_reference(&session_churn);
+        }
         self.reselections += 1;
         Ok(ReselectionReport {
             drift,
+            locality_drift,
             selection,
             churn,
             sizing_us,
+            sizing_refreshed,
             selection_us,
         })
     }
@@ -1241,6 +1589,177 @@ mod tests {
         assert_session_answers_match_base(&mut session, &workload);
     }
 
+    /// A delta whose observations all land on one fixed dimension-value
+    /// combination — the lever for steering per-group churn.
+    fn hotspot_delta(batch: usize, dims: [usize; 3]) -> sofos_store::Delta {
+        use sofos_workload::synthetic::NS;
+        let mut delta = sofos_store::Delta::new();
+        for i in 0..3usize {
+            let node = sofos_rdf::Term::blank(format!("h{batch}_{i}"));
+            for (d, v) in dims.iter().enumerate() {
+                delta.insert(
+                    node.clone(),
+                    sofos_rdf::Term::iri(format!("{NS}dim{d}")),
+                    sofos_rdf::Term::iri(format!("{NS}v{d}_{v}")),
+                );
+            }
+            delta.insert(
+                node,
+                sofos_rdf::Term::iri(format!("{NS}measure")),
+                sofos_rdf::Term::literal_int(10 + (batch * 3 + i) as i64),
+            );
+        }
+        delta
+    }
+
+    #[test]
+    fn bounded_session_flushes_every_max_batches() {
+        let (mut session, workload) = session_setup(StalenessPolicy::bounded(2, 10));
+        let views = session.views().len();
+        session.update(session_delta(0)).unwrap();
+        assert_eq!(session.batches_since_flush(), 1);
+        assert_eq!(
+            session.stale_views(),
+            views,
+            "first batch leaves views stale"
+        );
+        assert!(session.maintenance().per_view.is_empty());
+
+        // The second batch crosses max_batches: one batched flush repairs
+        // everything.
+        session.update(session_delta(1)).unwrap();
+        assert_eq!(session.batches_since_flush(), 0);
+        assert_eq!(session.stale_views(), 0, "flush repaired every view");
+        assert!(!session.maintenance().per_view.is_empty());
+        assert_session_answers_match_base(&mut session, &workload);
+    }
+
+    #[test]
+    fn bounded_session_serves_stale_within_budget_and_repairs_past_it() {
+        let (mut session, workload) = session_setup(StalenessPolicy::bounded(100, 1));
+        session.update(session_delta(0)).unwrap();
+
+        // Lag 1 <= budget 1: view answers are served stale, tagged.
+        let mut tagged = 0;
+        for q in &workload {
+            let answer = session.query(&q.query).unwrap();
+            if matches!(answer.route, Route::View(_)) {
+                assert_eq!(answer.freshness.lag, 1, "one buffered batch behind");
+                assert_eq!(answer.maintenance_us, 0, "no repair within budget");
+                assert!(!answer.freshness.is_fresh());
+                tagged += 1;
+            } else {
+                assert!(answer.freshness.is_fresh(), "base graph is current");
+            }
+        }
+        assert!(tagged > 0, "some answers were served stale");
+
+        // Two more batches: lag 3 > budget 1 forces repair on hit.
+        session.update(session_delta(1)).unwrap();
+        session.update(session_delta(2)).unwrap();
+        for q in &workload {
+            let answer = session.query(&q.query).unwrap();
+            assert!(
+                answer.freshness.lag <= 1,
+                "the lag budget is enforced at serve time"
+            );
+        }
+        // Repaired views now answer exactly.
+        assert!(!session.maintenance().per_view.is_empty());
+        session.flush_views().unwrap();
+        assert_session_answers_match_base(&mut session, &workload);
+    }
+
+    #[test]
+    fn session_tracks_per_group_churn() {
+        let (mut session, _workload) = session_setup(StalenessPolicy::Eager);
+        assert!(session.churn_profile().is_empty());
+        session.update(hotspot_delta(0, [0, 0, 0])).unwrap();
+        let profile = session.churn_profile();
+        assert!(!profile.is_empty());
+        assert!(profile.values().all(|&w| w > 0.0));
+
+        // A disjoint hotspot adds new buckets.
+        session.update(hotspot_delta(1, [2, 2, 2])).unwrap();
+        assert!(session.churn_profile().len() > profile.len());
+    }
+
+    #[test]
+    fn drift_detector_tracks_churn_locality() {
+        let reference: FxHashMap<u64, f64> = [(1u64, 2.0), (2u64, 2.0)].into_iter().collect();
+        let profile = WorkloadProfile::from_masks([ViewMask(1)]);
+        let detector = DriftDetector::new(&profile, 0.25).with_churn_reference(&reference);
+
+        // Same mix, different scale: no locality drift.
+        let same: FxHashMap<u64, f64> = [(1u64, 1.0), (2u64, 1.0)].into_iter().collect();
+        assert!(detector.churn_drift(&same).abs() < 1e-12);
+        assert!(!detector.churn_drifted(&same));
+
+        // Half the churn moved to a new group: TV = 0.5.
+        let shifted: FxHashMap<u64, f64> = [(1u64, 2.0), (9u64, 2.0)].into_iter().collect();
+        assert!((detector.churn_drift(&shifted) - 0.5).abs() < 1e-12);
+        assert!(detector.churn_drifted(&shifted));
+
+        // An empty window is "no churn", not "everything moved".
+        assert_eq!(detector.churn_drift(&FxHashMap::default()), 0.0);
+
+        // Without a reference the locality trigger is inert.
+        let unanchored = DriftDetector::new(&profile, 0.25);
+        assert_eq!(unanchored.churn_drift(&shifted), 0.0);
+    }
+
+    #[test]
+    fn reselector_fires_on_locality_drift_under_steady_demand() {
+        let (mut session, _workload) = session_setup(StalenessPolicy::Eager);
+        // Steady demand: the same query before and after the hotspot
+        // moves, so demand drift stays ~0 throughout.
+        let demand_mask = ViewMask::full(session.facet().dim_count());
+        let q =
+            sofos_cube::facet_query(session.facet(), demand_mask, sofos_cube::AggOp::Sum, vec![]);
+        let reference = WorkloadProfile::from_masks([demand_mask]);
+        let mut reselector = Reselector::new(
+            CostModelKind::AggValues,
+            EngineConfig::default(),
+            1.0,
+            &reference,
+            0.5,
+        )
+        .with_locality_trigger();
+
+        for _ in 0..4 {
+            session.query(&q).unwrap();
+        }
+        for batch in 0..3 {
+            session.update(hotspot_delta(batch, [0, 0, 0])).unwrap();
+        }
+        // First check anchors the churn reference; steady demand, no fire.
+        assert!(reselector.check(&mut session).unwrap().is_none());
+
+        // The update stream migrates to a disjoint hotspot; demand is
+        // unchanged (same query keeps arriving).
+        for batch in 3..3 + Session::RATE_WINDOW {
+            session.update(hotspot_delta(batch, [2, 2, 2])).unwrap();
+            session.query(&q).unwrap();
+        }
+        let report = reselector
+            .check(&mut session)
+            .unwrap()
+            .expect("locality drift alone triggers re-selection");
+        assert!(
+            report.drift <= 0.5,
+            "demand stayed steady: {}",
+            report.drift
+        );
+        assert!(
+            report.locality_drift > 0.5,
+            "churn moved: {}",
+            report.locality_drift
+        );
+        assert_eq!(reselector.reselections(), 1);
+        // Re-anchored: the same hotspot no longer reads as drift.
+        assert!(reselector.check(&mut session).unwrap().is_none());
+    }
+
     #[test]
     fn drift_detector_measures_total_variation() {
         let a = WorkloadProfile::from_masks([ViewMask(1), ViewMask(1), ViewMask(2), ViewMask(2)]);
@@ -1346,9 +1865,9 @@ mod tests {
             .check(&mut session)
             .unwrap()
             .expect("disjoint demand triggers re-selection");
-        assert_eq!(
-            report.sizing_us, 0,
-            "cached sizing skips the re-sizing pass"
+        assert!(
+            report.sizing_refreshed,
+            "cached sizing is refreshed, not re-evaluated"
         );
         assert!(report
             .selection

@@ -1,0 +1,199 @@
+//! The bounded-staleness guarantee, as a property: across random
+//! update/query interleavings and policy parameters, a `Bounded` session
+//! never serves a read older than `max_epoch_lag` epochs — and once
+//! drained (flushed), answers are exactly the base-graph answers.
+
+use proptest::prelude::*;
+use sofos_core::{
+    results_equivalent, run_offline, ConcurrentSession, EngineConfig, Session, SizedLattice,
+    StalenessPolicy,
+};
+use sofos_cost::CostModelKind;
+use sofos_cube::{AggOp, Facet, ViewMask};
+use sofos_rdf::Term;
+use sofos_select::WorkloadProfile;
+use sofos_sparql::Evaluator;
+use sofos_store::{Dataset, Delta};
+use sofos_workload::{generate_workload, synthetic, GeneratedQuery, WorkloadConfig};
+use std::sync::OnceLock;
+
+struct Setup {
+    expanded: Dataset,
+    facet: Facet,
+    catalog: Vec<(ViewMask, usize)>,
+    workload: Vec<GeneratedQuery>,
+}
+
+/// The offline phase is by far the most expensive part of a case; build
+/// it once and clone per case.
+fn setup() -> &'static Setup {
+    static SETUP: OnceLock<Setup> = OnceLock::new();
+    SETUP.get_or_init(|| {
+        let g = synthetic::generate(&synthetic::Config {
+            observations: 90,
+            agg: AggOp::Avg,
+            ..synthetic::Config::default()
+        });
+        let facet = g.facets[0].clone();
+        let mut ds = g.dataset;
+        let sized = SizedLattice::compute(&ds, &facet).expect("lattice sizes");
+        let profile = WorkloadProfile::uniform(&sized.lattice);
+        let offline = run_offline(
+            &mut ds,
+            &sized,
+            &profile,
+            CostModelKind::AggValues,
+            &EngineConfig::default(),
+        )
+        .expect("offline phase runs");
+        let workload = generate_workload(
+            &ds,
+            &facet,
+            &WorkloadConfig {
+                num_queries: 8,
+                ..WorkloadConfig::default()
+            },
+        );
+        Setup {
+            catalog: offline.view_catalog(),
+            expanded: ds,
+            facet,
+            workload,
+        }
+    })
+}
+
+/// One update batch: three fresh observations plus one deletion.
+fn update_delta(batch: usize) -> Delta {
+    use sofos_workload::synthetic::NS;
+    let mut delta = Delta::new();
+    for i in 0..3usize {
+        let node = Term::blank(format!("b{batch}_{i}"));
+        for d in 0..3usize {
+            delta.insert(
+                node.clone(),
+                Term::iri(format!("{NS}dim{d}")),
+                Term::iri(format!("{NS}v{d}_{}", (batch + i + d) % 3)),
+            );
+        }
+        delta.insert(
+            node,
+            Term::iri(format!("{NS}measure")),
+            Term::literal_int(50 + (batch * 11 + i) as i64),
+        );
+    }
+    delta
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 12, ..ProptestConfig::default() })]
+
+    /// Concurrent sessions: every answered read carries a freshness tag
+    /// within the configured lag budget, no matter how updates and
+    /// queries interleave; a drained session answers exactly.
+    #[test]
+    fn concurrent_bounded_never_serves_past_the_lag_budget(
+        ops in proptest::collection::vec(proptest::bool::weighted(0.6), 4..20),
+        max_batches in 1usize..5,
+        max_epoch_lag in 0u64..4,
+    ) {
+        let s = setup();
+        let session = ConcurrentSession::new(
+            s.expanded.clone(),
+            s.facet.clone(),
+            s.catalog.clone(),
+            StalenessPolicy::bounded(max_batches, max_epoch_lag),
+            4,
+            2,
+        );
+        let (mut batch, mut next_query) = (0usize, 0usize);
+        for is_update in ops {
+            if is_update {
+                session.update(update_delta(batch)).expect("update runs");
+                batch += 1;
+                prop_assert!(
+                    session.buffered_updates() < max_batches.max(1),
+                    "the flush cadence caps the buffer"
+                );
+            } else {
+                let q = &s.workload[next_query % s.workload.len()];
+                next_query += 1;
+                let answer = session.query(&q.query).expect("query runs");
+                prop_assert!(
+                    answer.freshness.lag <= max_epoch_lag,
+                    "served lag {} > budget {}",
+                    answer.freshness.lag,
+                    max_epoch_lag
+                );
+                prop_assert!(
+                    answer.freshness.oldest_shard_epoch <= answer.freshness.epoch,
+                    "shard stamps never lead the epoch"
+                );
+            }
+        }
+        // Drain and verify exactness against the published snapshot.
+        session.flush().expect("flush runs");
+        prop_assert_eq!(session.buffered_updates(), 0);
+        for q in &s.workload {
+            let answer = session.query(&q.query).expect("query runs");
+            prop_assert!(answer.freshness.is_fresh());
+            let snapshot = session.pin();
+            let reference = Evaluator::new(snapshot.dataset())
+                .evaluate(&q.query)
+                .expect("base evaluation runs");
+            prop_assert!(
+                results_equivalent(&answer.results, &reference),
+                "drained bounded session diverged for {}",
+                q.text
+            );
+        }
+    }
+
+    /// Serial sessions: same budget property over the batch-counted lag,
+    /// and exactness after an explicit flush.
+    #[test]
+    fn serial_bounded_never_serves_past_the_lag_budget(
+        ops in proptest::collection::vec(proptest::bool::weighted(0.6), 4..20),
+        max_batches in 1usize..5,
+        max_epoch_lag in 0u64..4,
+    ) {
+        let s = setup();
+        let mut session = Session::new(
+            s.expanded.clone(),
+            s.facet.clone(),
+            s.catalog.clone(),
+            StalenessPolicy::bounded(max_batches, max_epoch_lag),
+        );
+        let (mut batch, mut next_query) = (0usize, 0usize);
+        for is_update in ops {
+            if is_update {
+                session.update(update_delta(batch)).expect("update runs");
+                batch += 1;
+                prop_assert!(session.batches_since_flush() < max_batches.max(1));
+            } else {
+                let q = &s.workload[next_query % s.workload.len()];
+                next_query += 1;
+                let answer = session.query(&q.query).expect("query runs");
+                prop_assert!(
+                    answer.freshness.lag <= max_epoch_lag,
+                    "served lag {} > budget {}",
+                    answer.freshness.lag,
+                    max_epoch_lag
+                );
+            }
+        }
+        session.flush_views().expect("flush runs");
+        for q in &s.workload {
+            let answer = session.query(&q.query).expect("query runs");
+            prop_assert!(answer.freshness.is_fresh());
+            let reference = Evaluator::new(session.dataset())
+                .evaluate(&q.query)
+                .expect("base evaluation runs");
+            prop_assert!(
+                results_equivalent(&answer.results, &reference),
+                "drained bounded session diverged for {}",
+                q.text
+            );
+        }
+    }
+}

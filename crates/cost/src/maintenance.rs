@@ -405,9 +405,14 @@ impl MaintenanceCostModel for FixedMaintenance {
 ///     p = max(1, min(shards, writer_threads))
 /// ```
 ///
-/// The default serial fraction (0.4) matches the observed split on the
-/// synthetic cubes (`BENCH_concurrency.json` records the per-shard scan
-/// telemetry to re-derive it for other workloads).
+/// The default serial fraction (0.4) is an uncalibrated *prior*; a live
+/// system should replace it with the split the two-phase maintenance
+/// pipeline actually measures
+/// ([`ShardedMaintenance::from_telemetry`] /
+/// [`sofos_maintain::PipelineTelemetry::serial_fraction`]) — since the
+/// pipeline moved per-view patch planning off the serial spine, the
+/// measured fraction sits well below the old prior, and pricing upkeep
+/// with the prior would overestimate the Amdahl floor.
 #[derive(Debug, Clone, Copy)]
 pub struct ShardedMaintenance<M> {
     inner: M,
@@ -428,11 +433,33 @@ impl<M: MaintenanceCostModel> ShardedMaintenance<M> {
         }
     }
 
+    /// Wrap `inner` with the serial fraction *measured* from the
+    /// two-phase pipeline's phase telemetry. Falls back to the prior when
+    /// the telemetry has recorded no work yet, so a cold session never
+    /// prices against a 0/0.
+    pub fn from_telemetry(
+        inner: M,
+        shards: usize,
+        writer_threads: usize,
+        telemetry: &sofos_maintain::PipelineTelemetry,
+    ) -> ShardedMaintenance<M> {
+        let model = ShardedMaintenance::new(inner, shards, writer_threads);
+        match telemetry.serial_fraction() {
+            Some(fraction) => model.with_serial_fraction(fraction),
+            None => model,
+        }
+    }
+
     /// Override the serial (non-parallelizable) fraction of upkeep,
     /// clamped to `[0, 1]`.
     pub fn with_serial_fraction(mut self, fraction: f64) -> ShardedMaintenance<M> {
         self.serial_fraction = fraction.clamp(0.0, 1.0);
         self
+    }
+
+    /// The serial fraction currently in effect (prior or measured).
+    pub fn serial_fraction(&self) -> f64 {
+        self.serial_fraction
     }
 
     /// Effective parallelism: workers cannot exceed shards (a shard is
@@ -573,6 +600,37 @@ mod tests {
 
             // Frozen rates still cost nothing through the wrapper.
             assert_eq!(model.maintenance_cost(ctx, view, &UpdateRates::FROZEN), 0.0);
+        });
+    }
+
+    #[test]
+    fn measured_serial_fraction_replaces_the_prior() {
+        use sofos_maintain::PipelineTelemetry;
+        with_ctx(AggOp::Sum, |ctx| {
+            let rates = UpdateRates::new(4.0, 2.0);
+            let view = ViewMask::full(2);
+            let serial = TouchedGroupsMaintenance.maintenance_cost(ctx, view, &rates);
+
+            // Measured split: 1 part serial to 9 parts parallel work.
+            let telemetry = PipelineTelemetry {
+                serial_us: 100,
+                parallel_work_us: 900,
+                parallel_wall_us: 300,
+            };
+            let model =
+                ShardedMaintenance::from_telemetry(TouchedGroupsMaintenance, 4, 4, &telemetry);
+            assert!((model.serial_fraction() - 0.1).abs() < 1e-12);
+            let expected = serial * (0.1 + 0.9 / 4.0);
+            assert!((model.maintenance_cost(ctx, view, &rates) - expected).abs() < 1e-6);
+
+            // Empty telemetry keeps the prior.
+            let cold = ShardedMaintenance::from_telemetry(
+                TouchedGroupsMaintenance,
+                4,
+                4,
+                &PipelineTelemetry::default(),
+            );
+            assert_eq!(cold.serial_fraction(), 0.4);
         });
     }
 

@@ -1,9 +1,20 @@
 //! The [`Maintainer`]: applies deltas and patches view graphs.
+//!
+//! Since the two-phase pipeline (PR 4, see the `pipeline` module) the patch
+//! logic is *plan-based*: every maintenance decision — group the delta by
+//! the view's mask, locate observation nodes, patch vs. re-evaluate —
+//! runs **read-only** against the dataset and emits the exact triple
+//! writes as a [`ViewPatch`](crate::ViewPatch); a separate serial commit
+//! applies them. The serial [`Maintainer::maintain`] plans and commits
+//! one view at a time; [`Maintainer::maintain_pipelined`] plans every
+//! view in parallel first. Both run the same planning core, which is why
+//! they are bit-equivalent by construction (and by proptest).
 
+use crate::pipeline::{NodeRef, ObjectRef, PatchBuilder, PatchOp, ViewPatch};
 use crate::star::StarPattern;
 use crate::{MaintenanceCost, MaintenanceReport, MaintenanceStrategy};
 use sofos_cube::{component_alias, view_query, Facet, MaterialComponent, ViewMask};
-use sofos_materialize::{drop_view, materialize_view};
+use sofos_materialize::{encode_view, evaluate_view};
 use sofos_rdf::vocab::{rdf, sofos};
 use sofos_rdf::{FxHashMap, Numeric, Term, TermId};
 use sofos_sparql::{CompareOp, Evaluator, Expr, PatternElement, SparqlError};
@@ -16,7 +27,9 @@ use std::time::Instant;
 ///
 /// Row deltas are additive: buffering several batches and merging their
 /// deltas maintains views as correctly as eager per-batch propagation —
-/// which is what the lazy staleness policy relies on.
+/// which is what the lazy and bounded staleness policies (and the batched
+/// epochs of the pipeline) rely on. Merging also *cancels*: a batch that
+/// nets out touches no group at all.
 #[derive(Debug, Clone, Default)]
 pub struct RowDelta {
     counts: FxHashMap<(Vec<TermId>, TermId), i64>,
@@ -54,6 +67,15 @@ impl RowDelta {
         }
     }
 
+    /// Iterate the net changes: `(dimension values, measure, net)`.
+    /// Dimension values are in facet dimension order (the finest
+    /// grouping) — the input to per-group churn tracking.
+    pub fn iter(&self) -> impl Iterator<Item = (&[TermId], TermId, i64)> + '_ {
+        self.counts
+            .iter()
+            .map(|((dims, measure), &net)| (dims.as_slice(), *measure, net))
+    }
+
     pub(crate) fn add(&mut self, dims: Vec<TermId>, measure: TermId, net: i64) {
         if net == 0 {
             return;
@@ -64,6 +86,10 @@ impl RowDelta {
         if *slot == 0 {
             self.counts.remove(&key);
         }
+    }
+
+    pub(crate) fn counts(&self) -> &FxHashMap<(Vec<TermId>, TermId), i64> {
+        &self.counts
     }
 }
 
@@ -105,6 +131,11 @@ impl Maintainer {
     /// row scans by subject shard).
     pub(crate) fn star(&self) -> Option<&StarPattern> {
         self.star.as_ref()
+    }
+
+    /// The fresh-label counter (plans start their minting here).
+    pub(crate) fn fresh_counter(&self) -> u64 {
+        self.fresh
     }
 
     /// The maintained facet.
@@ -184,67 +215,143 @@ impl Maintainer {
     }
 
     /// Maintain one view; updates the catalog entry's row count in place.
+    /// The serial path through the plan/commit core: plan the view's patch
+    /// read-only, apply it immediately.
     pub fn maintain_view(
         &mut self,
         dataset: &mut Dataset,
         rows: Option<&RowDelta>,
         view: &mut (ViewMask, usize),
     ) -> Result<MaintenanceCost, SparqlError> {
-        let (mask, catalog_rows) = view;
         let start = Instant::now();
-        let Some(rows) = rows else {
-            return self.full_refresh(dataset, *mask, catalog_rows, start);
-        };
-        if rows.is_empty() {
-            return Ok(MaintenanceCost::noop(*mask));
+        let ids = ViewIds::prepare(dataset, &self.facet, view.0);
+        let patch = self.plan_view(dataset, rows, *view, &ids, self.fresh)?;
+        if patch.cost.strategy == MaintenanceStrategy::Noop {
+            return Ok(patch.cost);
         }
-        match self.counting_pass(dataset, rows, *mask, catalog_rows) {
-            Ok(Some(mut cost)) => {
-                cost.wall_us = start.elapsed().as_micros() as u64;
-                Ok(cost)
-            }
-            // Counting declined (non-numeric measure in the delta).
-            Ok(None) => self.full_refresh(dataset, *mask, catalog_rows, start),
-            Err(e) => Err(e),
-        }
-    }
-
-    /// Drop and re-materialize one view.
-    fn full_refresh(
-        &mut self,
-        dataset: &mut Dataset,
-        mask: ViewMask,
-        catalog_rows: &mut usize,
-        start: Instant,
-    ) -> Result<MaintenanceCost, SparqlError> {
-        let old_len = view_graph_len(dataset, &self.facet, mask);
-        drop_view(dataset, &self.facet, mask);
-        let materialized = materialize_view(dataset, &self.facet, mask)?;
-        let new_rows = materialized.stats.rows;
-        let cost = MaintenanceCost {
-            view: mask,
-            strategy: MaintenanceStrategy::FullRefresh,
-            triples_touched: old_len + materialized.stats.triples,
-            groups_patched: 0,
-            groups_reevaluated: new_rows,
-            rows_inserted: new_rows,
-            rows_retracted: *catalog_rows,
-            wall_us: start.elapsed().as_micros() as u64,
-        };
-        *catalog_rows = new_rows;
+        let mut cost = self.commit_patch(dataset, patch, view);
+        cost.wall_us = start.elapsed().as_micros() as u64;
         Ok(cost)
     }
 
-    /// The counting algorithm over one view. Returns `Ok(None)` when the
-    /// delta contains a non-numeric measure (caller falls back to refresh).
-    fn counting_pass(
+    /// Phase 1 of the pipeline for one view: decide the maintenance
+    /// strategy and plan every triple write — entirely read-only.
+    pub(crate) fn plan_view(
+        &self,
+        dataset: &Dataset,
+        rows: Option<&RowDelta>,
+        view: (ViewMask, usize),
+        ids: &ViewIds,
+        fresh_start: u64,
+    ) -> Result<ViewPatch, SparqlError> {
+        let (mask, catalog_rows) = view;
+        match rows {
+            None => self.plan_full_refresh(dataset, ids, catalog_rows, fresh_start),
+            Some(rows) if rows.is_empty() => {
+                Ok(ViewPatch::noop(mask, ids.graph, fresh_start, catalog_rows))
+            }
+            Some(rows) => {
+                match self.plan_counting(dataset, rows, ids, catalog_rows, fresh_start)? {
+                    Some(patch) => Ok(patch),
+                    // Counting declined (non-numeric measure in the delta,
+                    // or the view graph is missing).
+                    None => self.plan_full_refresh(dataset, ids, catalog_rows, fresh_start),
+                }
+            }
+        }
+    }
+
+    /// Phase 2 for one view: apply a planned patch — pure mechanical
+    /// writes — and sync the catalog entry and fresh-label counter.
+    pub(crate) fn commit_patch(
         &mut self,
         dataset: &mut Dataset,
+        patch: ViewPatch,
+        view: &mut (ViewMask, usize),
+    ) -> MaintenanceCost {
+        let apply_start = Instant::now();
+        let fresh_ids: Vec<TermId> = patch
+            .fresh
+            .iter()
+            .map(|label| dataset.intern(&Term::blank(label.clone())))
+            .collect();
+        for op in &patch.ops {
+            match op {
+                PatchOp::Remove(triple) => {
+                    dataset.remove_encoded(Some(patch.graph), triple);
+                }
+                PatchOp::Insert { node, pred, object } => {
+                    let s = match node {
+                        NodeRef::Existing(id) => *id,
+                        NodeRef::Fresh(i) => fresh_ids[*i],
+                    };
+                    let o = match object {
+                        ObjectRef::Existing(id) => *id,
+                        ObjectRef::New(term) => dataset.intern(term),
+                    };
+                    dataset.insert_encoded(Some(patch.graph), [s, *pred, o]);
+                }
+                PatchOp::Replace { encoded } => {
+                    dataset.drop_graph(patch.graph);
+                    dataset.create_graph(patch.graph);
+                    dataset.load(Some(patch.graph), encoded);
+                }
+            }
+        }
+        self.fresh = self.fresh.max(patch.fresh_end);
+        view.1 = patch.rows;
+        let mut cost = patch.cost;
+        cost.wall_us += apply_start.elapsed().as_micros() as u64;
+        cost
+    }
+
+    /// Plan a drop + re-materialize: evaluate the view query (read-only),
+    /// encode the replacement graph, and emit one `Replace` op.
+    fn plan_full_refresh(
+        &self,
+        dataset: &Dataset,
+        ids: &ViewIds,
+        catalog_rows: usize,
+        fresh_start: u64,
+    ) -> Result<ViewPatch, SparqlError> {
+        let old_len = dataset.graph(Some(ids.graph)).map_or(0, |g| g.len());
+        let results = evaluate_view(dataset, &self.facet, ids.mask)?;
+        let encoded = encode_view(&self.facet, ids.mask, &results);
+        let new_rows = encoded.stats.rows;
+        let cost = MaintenanceCost {
+            view: ids.mask,
+            strategy: MaintenanceStrategy::FullRefresh,
+            triples_touched: old_len + encoded.stats.triples,
+            groups_patched: 0,
+            groups_reevaluated: new_rows,
+            rows_inserted: new_rows,
+            rows_retracted: catalog_rows,
+            wall_us: 0,
+        };
+        Ok(ViewPatch {
+            view: ids.mask,
+            graph: ids.graph,
+            fresh: Vec::new(),
+            ops: vec![PatchOp::Replace {
+                encoded: encoded.graph,
+            }],
+            cost,
+            rows: new_rows,
+            fresh_end: fresh_start,
+        })
+    }
+
+    /// Plan the counting algorithm over one view. Returns `Ok(None)` when
+    /// the delta contains a non-numeric measure or the view graph is
+    /// absent (caller falls back to a refresh plan).
+    fn plan_counting(
+        &self,
+        dataset: &Dataset,
         rows: &RowDelta,
-        mask: ViewMask,
-        catalog_rows: &mut usize,
-    ) -> Result<Option<MaintenanceCost>, SparqlError> {
-        let ids = ViewIds::prepare(dataset, &self.facet, mask);
+        ids: &ViewIds,
+        catalog_rows: usize,
+        fresh_start: u64,
+    ) -> Result<Option<ViewPatch>, SparqlError> {
         if dataset.graph(Some(ids.graph)).is_none() {
             // Catalog view that was never (or no longer is) materialized:
             // refresh is the only correct move.
@@ -253,7 +360,7 @@ impl Maintainer {
 
         // 1. Group the delta rows by the view's dimension mask.
         let mut groups: FxHashMap<Vec<TermId>, GroupDelta> = FxHashMap::default();
-        for ((dims, measure), &net) in &rows.counts {
+        for ((dims, measure), &net) in rows.counts() {
             let Some(measure_num) = dataset
                 .term(*measure)
                 .as_literal()
@@ -272,35 +379,27 @@ impl Maintainer {
             }
         }
 
-        // 2. Patch each touched group.
-        let mut cost = MaintenanceCost {
-            view: mask,
-            strategy: MaintenanceStrategy::Counting,
-            triples_touched: 0,
-            groups_patched: 0,
-            groups_reevaluated: 0,
-            rows_inserted: 0,
-            rows_retracted: 0,
-            wall_us: 0,
-        };
+        // 2. Plan each touched group's patch.
+        let mut builder = PatchBuilder::new(ids.mask, fresh_start);
         let mut keys: Vec<Vec<TermId>> = groups.keys().cloned().collect();
         keys.sort_unstable(); // deterministic patch order
         for key in keys {
             let group = &groups[&key];
-            self.patch_group(dataset, &ids, &key, group, &mut cost)?;
+            self.plan_group(dataset, ids, &key, group, &mut builder)?;
         }
-        *catalog_rows = (*catalog_rows + cost.rows_inserted).saturating_sub(cost.rows_retracted);
-        Ok(Some(cost))
+        let new_rows =
+            (catalog_rows + builder.cost.rows_inserted).saturating_sub(builder.cost.rows_retracted);
+        Ok(Some(builder.into_patch(ids.graph, new_rows)))
     }
 
-    /// Patch one group of one view.
-    fn patch_group(
-        &mut self,
-        dataset: &mut Dataset,
+    /// Plan one group of one view.
+    fn plan_group(
+        &self,
+        dataset: &Dataset,
         ids: &ViewIds,
         key: &[TermId],
         group: &GroupDelta,
-        cost: &mut MaintenanceCost,
+        builder: &mut PatchBuilder,
     ) -> Result<(), SparqlError> {
         let obs = find_obs(dataset, ids, key);
         let needs_reeval = match self.facet.agg.components() {
@@ -320,8 +419,8 @@ impl Maintainer {
         let inconsistent = obs.is_none() && group.retracted;
 
         if needs_reeval || inconsistent {
-            cost.groups_reevaluated += 1;
-            return self.reevaluate_group(dataset, ids, key, obs, cost);
+            builder.cost.groups_reevaluated += 1;
+            return self.plan_reevaluate_group(dataset, ids, key, obs, builder);
         }
 
         match obs {
@@ -331,11 +430,14 @@ impl Maintainer {
                     return Ok(());
                 }
                 let components = self.components_from_delta(group);
-                self.create_obs(dataset, ids, key, &components, cost);
-                cost.groups_patched += 1;
+                self.plan_create_obs(dataset, ids, key, &components, builder);
+                builder.cost.groups_patched += 1;
             }
             Some(obs) => {
-                // Patch stored components arithmetically.
+                // Patch stored components arithmetically. Writes are
+                // staged: a COUNT reaching zero abandons them and retracts
+                // the observation instead.
+                let mut staged: Vec<PatchOp> = Vec::new();
                 let mut writes = 0usize;
                 let mut retract = false;
                 for &component in self.facet.agg.components() {
@@ -377,7 +479,14 @@ impl Maintainer {
                             }
                         }
                     };
-                    writes += write_component(dataset, ids.graph, obs, pred, old, new_num);
+                    writes += plan_write_term(
+                        dataset,
+                        &mut staged,
+                        obs,
+                        pred,
+                        old,
+                        &Term::Literal(new_num.to_literal()),
+                    );
                 }
                 if retract {
                     if ids.mask == ViewMask::APEX {
@@ -387,15 +496,17 @@ impl Maintainer {
                         // re-evaluate the row instead of retracting it —
                         // that reproduces the materializer's encoding
                         // exactly.
-                        cost.groups_reevaluated += 1;
-                        return self.reevaluate_group(dataset, ids, key, Some(obs), cost);
+                        builder.cost.groups_reevaluated += 1;
+                        return self.plan_reevaluate_group(dataset, ids, key, Some(obs), builder);
                     }
-                    cost.triples_touched += retract_obs(dataset, ids.graph, obs);
-                    cost.rows_retracted += 1;
+                    builder.cost.triples_touched +=
+                        plan_retract_obs(dataset, &mut builder.ops, ids.graph, obs);
+                    builder.cost.rows_retracted += 1;
                 } else {
-                    cost.triples_touched += writes;
+                    builder.ops.extend(staged);
+                    builder.cost.triples_touched += writes;
                 }
-                cost.groups_patched += 1;
+                builder.cost.groups_patched += 1;
             }
         }
         Ok(())
@@ -422,15 +533,15 @@ impl Maintainer {
     }
 
     /// Recompute one group from the base graph via the SPARQL evaluator
-    /// (the view query with the group key pinned by FILTERs), then sync
-    /// the observation node to the result: patch, create, or retract.
-    fn reevaluate_group(
-        &mut self,
-        dataset: &mut Dataset,
+    /// (the view query with the group key pinned by FILTERs), then plan
+    /// the sync of the observation node: patch, create, or retract.
+    fn plan_reevaluate_group(
+        &self,
+        dataset: &Dataset,
         ids: &ViewIds,
         key: &[TermId],
         obs: Option<TermId>,
-        cost: &mut MaintenanceCost,
+        builder: &mut PatchBuilder,
     ) -> Result<(), SparqlError> {
         let mut query = view_query(&self.facet, ids.mask);
         for (&dim, &value) in ids.mask_dims.iter().zip(key) {
@@ -447,8 +558,9 @@ impl Maintainer {
 
         if results.is_empty() {
             if let Some(obs) = obs {
-                cost.triples_touched += retract_obs(dataset, ids.graph, obs);
-                cost.rows_retracted += 1;
+                builder.cost.triples_touched +=
+                    plan_retract_obs(dataset, &mut builder.ops, ids.graph, obs);
+                builder.cost.rows_retracted += 1;
             }
             return Ok(());
         }
@@ -478,13 +590,13 @@ impl Maintainer {
                     let old = read_component(dataset, ids.graph, obs, pred);
                     match value {
                         Some(value) => {
-                            cost.triples_touched +=
-                                write_component_term(dataset, ids.graph, obs, pred, old, value);
+                            builder.cost.triples_touched +=
+                                plan_write_term(dataset, &mut builder.ops, obs, pred, old, value);
                         }
                         None => {
                             if let Some(old) = old {
-                                dataset.remove_encoded(Some(ids.graph), &[obs, pred, old]);
-                                cost.triples_touched += 1;
+                                builder.ops.push(PatchOp::Remove([obs, pred, old]));
+                                builder.cost.triples_touched += 1;
                             }
                         }
                     }
@@ -495,58 +607,67 @@ impl Maintainer {
                     .into_iter()
                     .filter_map(|(component, value)| value.map(|v| (component, v)))
                     .collect();
-                self.create_obs(dataset, ids, key, &bound, cost)
+                self.plan_create_obs(dataset, ids, key, &bound, builder)
             }
         }
         Ok(())
     }
 
-    /// Insert a fresh observation node for a new group.
-    fn create_obs(
-        &mut self,
-        dataset: &mut Dataset,
+    /// Plan a fresh observation node for a new group.
+    fn plan_create_obs(
+        &self,
+        dataset: &Dataset,
         ids: &ViewIds,
         key: &[TermId],
         components: &[(MaterialComponent, Term)],
-        cost: &mut MaintenanceCost,
+        builder: &mut PatchBuilder,
     ) {
         // `m`-prefixed labels cannot collide with the materializer's
         // row-indexed ones; the loop guards against label reuse across
-        // maintainer instances on the same graph.
-        let obs = loop {
-            let label = format!("v{}_{}_m{}", self.facet.id, ids.mask.0, self.fresh);
-            self.fresh += 1;
-            let term = Term::blank(label);
-            match dataset.dict().get_id(&term) {
-                Some(id)
-                    if dataset.graph(Some(ids.graph)).is_some_and(|g| {
+        // maintainer instances on the same graph. Labels minted within
+        // this patch never collide either — the counter only advances.
+        let label = loop {
+            let label = format!("v{}_{}_m{}", self.facet.id, ids.mask.0, builder.next_fresh);
+            builder.next_fresh += 1;
+            let in_use = dataset
+                .dict()
+                .get_id(&Term::blank(label.clone()))
+                .is_some_and(|id| {
+                    dataset.graph(Some(ids.graph)).is_some_and(|g| {
                         g.scan(IdPattern::new(Some(id), None, None))
                             .next()
                             .is_some()
-                    }) =>
-                {
-                    continue;
-                }
-                _ => break term,
+                    })
+                });
+            if !in_use {
+                break label;
             }
         };
-        let graph = Some(ids.graph);
-        let type_term = dataset.term(ids.type_pred).clone();
-        let observation = dataset.term(ids.observation).clone();
-        dataset.insert(graph, &obs, &type_term, &observation);
-        cost.triples_touched += 1;
-        for (&dim, &value) in ids.mask_dims.iter().zip(key) {
-            let pred = Term::iri(sofos::dim(dim));
-            let value = dataset.term(value).clone();
-            dataset.insert(graph, &obs, &pred, &value);
-            cost.triples_touched += 1;
+        let node = NodeRef::Fresh(builder.fresh.len());
+        builder.fresh.push(label);
+        builder.ops.push(PatchOp::Insert {
+            node,
+            pred: ids.type_pred,
+            object: ObjectRef::Existing(ids.observation),
+        });
+        builder.cost.triples_touched += 1;
+        for (&pred, &value) in ids.dim_preds.iter().zip(key) {
+            builder.ops.push(PatchOp::Insert {
+                node,
+                pred,
+                object: ObjectRef::Existing(value),
+            });
+            builder.cost.triples_touched += 1;
         }
         for (component, value) in components {
-            let pred = dataset.term(ids.component(*component)).clone();
-            dataset.insert(graph, &obs, &pred, value);
-            cost.triples_touched += 1;
+            builder.ops.push(PatchOp::Insert {
+                node,
+                pred: ids.component(*component),
+                object: ObjectRef::New(value.clone()),
+            });
+            builder.cost.triples_touched += 1;
         }
-        cost.rows_inserted += 1;
+        builder.cost.rows_inserted += 1;
     }
 }
 
@@ -574,14 +695,18 @@ impl Default for GroupDelta {
     }
 }
 
-/// Interned ids a maintenance pass needs for one view.
-struct ViewIds {
-    mask: ViewMask,
-    graph: TermId,
+/// Interned ids a maintenance pass needs for one view. Prepared in the
+/// serial prologue (interning needs the writer's dictionary) so planning
+/// itself can be read-only.
+pub(crate) struct ViewIds {
+    pub(crate) mask: ViewMask,
+    pub(crate) graph: TermId,
     type_pred: TermId,
     observation: TermId,
     /// Facet dimension indices retained by the mask (ascending).
     mask_dims: Vec<usize>,
+    /// Interned `sofos:dim<d>` predicates, parallel to `mask_dims`.
+    dim_preds: Vec<TermId>,
     sum: TermId,
     count: TermId,
     min: TermId,
@@ -589,17 +714,23 @@ struct ViewIds {
 }
 
 impl ViewIds {
-    fn prepare(dataset: &mut Dataset, facet: &Facet, mask: ViewMask) -> ViewIds {
+    pub(crate) fn prepare(dataset: &mut Dataset, facet: &Facet, mask: ViewMask) -> ViewIds {
+        let mask_dims: Vec<usize> = mask
+            .dims()
+            .into_iter()
+            .filter(|&d| d < facet.dim_count())
+            .collect();
+        let dim_preds: Vec<TermId> = mask_dims
+            .iter()
+            .map(|&d| dataset.intern_iri(&sofos::dim(d)))
+            .collect();
         ViewIds {
             mask,
             graph: dataset.intern_iri(&sofos::view_graph(&facet.id, mask.0)),
             type_pred: dataset.intern_iri(rdf::TYPE),
             observation: dataset.intern_iri(sofos::OBSERVATION),
-            mask_dims: mask
-                .dims()
-                .into_iter()
-                .filter(|&d| d < facet.dim_count())
-                .collect(),
+            mask_dims,
+            dim_preds,
             sum: dataset.intern_iri(sofos::SUM),
             count: dataset.intern_iri(sofos::COUNT),
             min: dataset.intern_iri(sofos::MIN),
@@ -615,19 +746,11 @@ impl ViewIds {
             MaterialComponent::Max => self.max,
         }
     }
-
-    fn dim_pred(&self, dataset: &mut Dataset, dim: usize) -> TermId {
-        dataset.intern_iri(&sofos::dim(dim))
-    }
 }
 
-/// Find the observation node of a group in the view graph.
-fn find_obs(dataset: &mut Dataset, ids: &ViewIds, key: &[TermId]) -> Option<TermId> {
-    let dim_preds: Vec<TermId> = ids
-        .mask_dims
-        .iter()
-        .map(|&d| ids.dim_pred(dataset, d))
-        .collect();
+/// Find the observation node of a group in the view graph (read-only —
+/// the dimension predicates were interned by [`ViewIds::prepare`]).
+fn find_obs(dataset: &Dataset, ids: &ViewIds, key: &[TermId]) -> Option<TermId> {
     let store = dataset.graph(Some(ids.graph))?;
     if ids.mask_dims.is_empty() {
         // Apex: the (single) observation node.
@@ -641,7 +764,7 @@ fn find_obs(dataset: &mut Dataset, ids: &ViewIds, key: &[TermId]) -> Option<Term
             .min();
     }
     let mut candidates: Option<Vec<TermId>> = None;
-    for (&pred, &value) in dim_preds.iter().zip(key) {
+    for (&pred, &value) in ids.dim_preds.iter().zip(key) {
         let mut subjects: Vec<TermId> = store
             .scan(IdPattern::new(None, Some(pred), Some(value)))
             .map(|[s, _, _]| s)
@@ -671,29 +794,11 @@ fn read_component(dataset: &Dataset, graph: TermId, obs: TermId, pred: TermId) -
         .next()
 }
 
-/// Write a numeric component; returns triples touched (0 when unchanged).
-fn write_component(
-    dataset: &mut Dataset,
-    graph: TermId,
-    obs: TermId,
-    pred: TermId,
-    old: Option<TermId>,
-    new: Numeric,
-) -> usize {
-    write_component_term(
-        dataset,
-        graph,
-        obs,
-        pred,
-        old,
-        &Term::Literal(new.to_literal()),
-    )
-}
-
-/// Write a component term; returns triples touched (0 when unchanged).
-fn write_component_term(
-    dataset: &mut Dataset,
-    graph: TermId,
+/// Plan a component-term write; returns triples touched (0 when
+/// unchanged — no-op writes are dropped at plan time).
+fn plan_write_term(
+    dataset: &Dataset,
+    ops: &mut Vec<PatchOp>,
     obs: TermId,
     pred: TermId,
     old: Option<TermId>,
@@ -703,27 +808,40 @@ fn write_component_term(
         if dataset.term(old) == new {
             return 0;
         }
-        dataset.remove_encoded(Some(graph), &[obs, pred, old]);
-        let new_id = dataset.intern(new);
-        dataset.insert_encoded(Some(graph), [obs, pred, new_id]);
+        ops.push(PatchOp::Remove([obs, pred, old]));
+        ops.push(PatchOp::Insert {
+            node: NodeRef::Existing(obs),
+            pred,
+            object: ObjectRef::New(new.clone()),
+        });
         2
     } else {
-        let new_id = dataset.intern(new);
-        dataset.insert_encoded(Some(graph), [obs, pred, new_id]);
+        ops.push(PatchOp::Insert {
+            node: NodeRef::Existing(obs),
+            pred,
+            object: ObjectRef::New(new.clone()),
+        });
         1
     }
 }
 
-/// Remove every triple of an observation node; returns triples removed.
-fn retract_obs(dataset: &mut Dataset, graph: TermId, obs: TermId) -> usize {
+/// Plan the removal of every triple of an observation node; returns
+/// triples planned for removal.
+fn plan_retract_obs(
+    dataset: &Dataset,
+    ops: &mut Vec<PatchOp>,
+    graph: TermId,
+    obs: TermId,
+) -> usize {
     let Some(store) = dataset.graph(Some(graph)) else {
         return 0;
     };
-    let triples: Vec<[TermId; 3]> = store.scan(IdPattern::new(Some(obs), None, None)).collect();
-    for triple in &triples {
-        dataset.remove_encoded(Some(graph), triple);
+    let mut removed = 0usize;
+    for triple in store.scan(IdPattern::new(Some(obs), None, None)) {
+        ops.push(PatchOp::Remove(triple));
+        removed += 1;
     }
-    triples.len()
+    removed
 }
 
 /// The stored extremum updated with asserted measures.
@@ -748,13 +866,4 @@ fn extremum(asserted: &[Numeric], keep: std::cmp::Ordering) -> Numeric {
         }
     }
     current
-}
-
-/// Current triple count of a view's graph (0 when absent).
-fn view_graph_len(dataset: &Dataset, facet: &Facet, mask: ViewMask) -> usize {
-    let iri = Term::iri(sofos::view_graph(&facet.id, mask.0));
-    match dataset.dict().get_id(&iri) {
-        Some(id) => dataset.graph(Some(id)).map_or(0, |g| g.len()),
-        None => 0,
-    }
 }

@@ -40,10 +40,12 @@
 
 mod engine;
 mod parallel;
+mod pipeline;
 mod star;
 
 pub use engine::{ApplyOutcome, Maintainer, RowDelta};
 pub use parallel::{ShardScanCost, ShardedApplyOutcome};
+pub use pipeline::{PipelineOutcome, PipelineTelemetry, ViewPatch};
 pub use star::StarPattern;
 
 use sofos_cube::ViewMask;

@@ -1,5 +1,5 @@
-//! Sharded, parallel delta application: per-shard binding scans on a
-//! scoped thread pool.
+//! Sharded, parallel delta application — since PR 4 a thin wrapper over
+//! the pipeline stages (plan → scan → apply → scan → merge).
 //!
 //! The expensive half of [`Maintainer::apply`] is re-enumerating the
 //! pattern bindings of every subject a batch touches (pre- and
@@ -12,14 +12,14 @@
 //! result — [`Maintainer::apply_sharded`] is bit-equivalent to
 //! [`Maintainer::apply`] (property-tested in `tests/maintenance.rs`).
 //!
-//! The serial sections that remain — interning the batch, pushing it
-//! through the index deltas, and patching view groups — are the Amdahl
-//! floor the shard-aware maintenance cost model
-//! (`sofos_cost::ShardedMaintenance`) accounts for.
+//! What stays serial here — interning the batch and pushing it through
+//! the index deltas — plus the patch-apply phase of
+//! [`Maintainer::maintain_pipelined`] is the measured Amdahl floor the
+//! shard-aware maintenance cost model (`sofos_cost::ShardedMaintenance`)
+//! prices via [`crate::PipelineTelemetry`].
 
 use crate::engine::{ApplyOutcome, RowDelta};
 use crate::Maintainer;
-use sofos_rdf::TermId;
 use sofos_store::{Dataset, Delta, ShardRouter};
 use std::time::Instant;
 
@@ -59,82 +59,31 @@ pub struct ShardedApplyOutcome {
     /// compare against the sum of `shard_costs` wall times to see the
     /// parallel speedup.
     pub scan_wall_us: u64,
+    /// Wall time of the serial stages (interning the batch, bucketing
+    /// subjects, mutating the store), µs.
+    pub serial_us: u64,
 }
 
-/// Per-shard scan output of one phase.
-struct ShardRows {
-    rows: Vec<(Vec<TermId>, TermId, i64)>,
-    subjects: usize,
-    wall_us: u64,
-}
-
-/// Scan every bucket's subjects against `dataset`, distributing buckets
-/// over at most `threads` workers (round-robin by shard index, so the
-/// assignment is deterministic).
-fn scan_shards(
-    maintainer: &Maintainer,
-    dataset: &Dataset,
-    leg_ids: &[TermId],
-    buckets: &[Vec<TermId>],
-    threads: usize,
-) -> Vec<ShardRows> {
-    let star = maintainer
-        .star()
-        .expect("scan_shards is only called for star facets");
-    let scan_one = |bucket: &Vec<TermId>| {
-        let start = Instant::now();
-        let mut rows = Vec::new();
-        for &subject in bucket {
-            star.subject_rows(dataset.default_graph(), leg_ids, subject, &mut rows);
-        }
-        ShardRows {
-            subjects: bucket.len(),
-            wall_us: start.elapsed().as_micros() as u64,
-            rows,
-        }
-    };
-
-    let workers = threads.max(1).min(buckets.len().max(1));
-    if workers <= 1 {
-        return buckets.iter().map(scan_one).collect();
+impl ShardedApplyOutcome {
+    /// Summed per-shard scan work (µs) — the parallelizable half of this
+    /// apply, as [`crate::PipelineTelemetry`] counts it.
+    pub fn scan_work_us(&self) -> u64 {
+        self.shard_costs.iter().map(|c| c.wall_us).sum()
     }
-    let mut results: Vec<Option<ShardRows>> = Vec::new();
-    results.resize_with(buckets.len(), || None);
-    std::thread::scope(|scope| {
-        let mut handles = Vec::with_capacity(workers);
-        for worker in 0..workers {
-            let scan_one = &scan_one;
-            handles.push(scope.spawn(move || {
-                let mut partial: Vec<(usize, ShardRows)> = Vec::new();
-                let mut shard = worker;
-                while shard < buckets.len() {
-                    partial.push((shard, scan_one(&buckets[shard])));
-                    shard += workers;
-                }
-                partial
-            }));
-        }
-        for handle in handles {
-            for (shard, rows) in handle.join().expect("scan worker panicked") {
-                results[shard] = Some(rows);
-            }
-        }
-    });
-    results
-        .into_iter()
-        .map(|r| r.expect("every shard scanned"))
-        .collect()
 }
 
 impl Maintainer {
     /// [`Maintainer::apply`], with the pre/post binding scans split by
     /// subject shard and run on a scoped pool of `threads` workers.
     ///
-    /// Produces the exact same [`ApplyOutcome`] as the serial path (row
-    /// deltas are additive and the store mutation itself stays serial),
-    /// plus per-shard [`ShardScanCost`] telemetry. With `threads <= 1` or
-    /// a single-shard router the scans run inline — the degenerate
-    /// configuration *is* the serial engine.
+    /// Stages (all hosted by the `pipeline` module): **plan** the scan
+    /// (serial — intern the batch's terms, bucket affected subjects by
+    /// shard), **scan** the pre-image (parallel), **apply** the delta to
+    /// the store (serial), **scan** the post-image (parallel), and merge
+    /// the per-shard row deltas (additive, so the merged result is
+    /// exactly the serial one). With `threads <= 1` or a single-shard
+    /// router the scans run inline — the degenerate configuration *is*
+    /// the serial engine.
     pub fn apply_sharded(
         &mut self,
         dataset: &mut Dataset,
@@ -142,7 +91,8 @@ impl Maintainer {
         router: &ShardRouter,
         threads: usize,
     ) -> ShardedApplyOutcome {
-        if self.star().is_none() {
+        let serial_start = Instant::now();
+        let Some(plan) = self.plan_scan(dataset, &delta, router) else {
             let changes = dataset.apply(delta);
             return ShardedApplyOutcome {
                 outcome: ApplyOutcome {
@@ -151,21 +101,19 @@ impl Maintainer {
                 },
                 shard_costs: Vec::new(),
                 scan_wall_us: 0,
+                serial_us: serial_start.elapsed().as_micros() as u64,
             };
-        }
-        // Serial prologue: intern the batch's terms and find the subjects
-        // it can affect (both need the writer's dictionary).
-        let star = self.star().expect("checked above").clone();
-        let affected = star.affected_subjects(dataset, &delta);
-        let leg_ids = star.leg_ids(dataset);
-        let buckets = router.split_subjects(affected.iter().copied());
+        };
+        let mut serial_us = serial_start.elapsed().as_micros() as u64;
 
         let scan_start = Instant::now();
-        let pre = scan_shards(self, dataset, &leg_ids, &buckets, threads);
+        let pre = self.scan_stage(dataset, &plan, threads);
         let mut scan_wall_us = scan_start.elapsed().as_micros() as u64;
 
         // Serial heart: the store mutation.
+        let serial_start = Instant::now();
         let changes = dataset.apply(delta);
+        serial_us += serial_start.elapsed().as_micros() as u64;
 
         let mut rows = RowDelta::default();
         let mut shard_costs: Vec<ShardScanCost> = pre
@@ -180,7 +128,7 @@ impl Maintainer {
             .collect();
         if !changes.default_graph.is_empty() {
             let scan_start = Instant::now();
-            let post = scan_shards(self, dataset, &leg_ids, &buckets, threads);
+            let post = self.scan_stage(dataset, &plan, threads);
             scan_wall_us += scan_start.elapsed().as_micros() as u64;
             for (shard, (p, q)) in pre.into_iter().zip(post).enumerate() {
                 shard_costs[shard].rows_scanned += q.rows.len();
@@ -200,6 +148,7 @@ impl Maintainer {
             },
             shard_costs,
             scan_wall_us,
+            serial_us,
         }
     }
 }

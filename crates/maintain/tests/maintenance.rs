@@ -473,6 +473,98 @@ proptest! {
         prop_assert_eq!(serial_catalog, sharded_catalog);
     }
 
+    /// The two-phase pipeline is bit-equal to the serial engine across
+    /// shard × thread × batch-size × delta-mix grids: one dataset is
+    /// maintained per-delta through the serial path, the other coalesces
+    /// `batch_size` deltas into a merged row delta and maintains it in a
+    /// single parallel plan → serial apply pass. View graphs (and catalog
+    /// row counts) must agree at every batch boundary.
+    #[test]
+    fn pipelined_maintenance_equals_serial(
+        batches in proptest::collection::vec(
+            proptest::collection::vec(
+                (proptest::bool::weighted(0.7), proptest::collection::vec(0u8..4, 3), -20i64..20),
+                1..8,
+            ),
+            1..6,
+        ),
+        batch_size in 1usize..5,
+        shards in 1usize..6,
+        threads in 1usize..4,
+    ) {
+        use sofos_maintain::RowDelta;
+        use sofos_store::ShardRouter;
+        let agg = AggOp::Avg; // SUM+COUNT components exercise both patch paths
+        let facet = facet(3, agg);
+        let masks = [ViewMask(0b111), ViewMask(0b010), ViewMask::APEX];
+        let router = ShardRouter::new(shards);
+
+        let mut serial_ds = Dataset::new();
+        let mut piped_ds = Dataset::new();
+        let mut serial_catalog = Vec::new();
+        let mut piped_catalog = Vec::new();
+        for &mask in &masks {
+            let v = materialize_view(&mut serial_ds, &facet, mask).unwrap();
+            serial_catalog.push((mask, v.stats.rows));
+            let v = materialize_view(&mut piped_ds, &facet, mask).unwrap();
+            piped_catalog.push((mask, v.stats.rows));
+        }
+        let mut serial = Maintainer::new(&facet);
+        let mut piped = Maintainer::new(&facet);
+
+        // Deltas are rebuilt per dataset so both intern identically.
+        let build_delta = |ops: &[(bool, Vec<u8>, i64)], next: &mut usize, live: &mut Vec<Option<(Vec<u8>, i64)>>| {
+            let mut delta = Delta::new();
+            for (insert, dims, measure) in ops {
+                if *insert {
+                    let label = format!("p{next}");
+                    obs_delta(&mut delta, &label, dims, *measure);
+                    live.push(Some((dims.clone(), *measure)));
+                    *next += 1;
+                } else if !live.is_empty() {
+                    let slot = (*measure).unsigned_abs() as usize % live.len();
+                    if let Some((dims, measure)) = live[slot].take() {
+                        obs_delete(&mut delta, &format!("p{slot}"), &dims, measure);
+                    }
+                }
+            }
+            delta
+        };
+
+        let (mut next_a, mut live_a) = (0usize, Vec::new());
+        let (mut next_b, mut live_b) = (0usize, Vec::new());
+        for chunk in batches.chunks(batch_size) {
+            // Serial engine: one maintenance pass per delta.
+            for ops in chunk {
+                let delta = build_delta(ops, &mut next_a, &mut live_a);
+                serial
+                    .apply_and_maintain(&mut serial_ds, delta, &mut serial_catalog)
+                    .expect("serial maintenance succeeds");
+            }
+            // Pipeline: coalesce the chunk's row deltas, then one
+            // parallel-plan / serial-apply pass for the whole batch.
+            let mut merged = RowDelta::default();
+            for ops in chunk {
+                let delta = build_delta(ops, &mut next_b, &mut live_b);
+                let outcome = piped.apply_sharded(&mut piped_ds, delta, &router, threads);
+                merged.merge(outcome.outcome.rows.as_ref().expect("star facet"));
+            }
+            piped
+                .maintain_pipelined(&mut piped_ds, Some(&merged), &mut piped_catalog, threads)
+                .expect("pipelined maintenance succeeds");
+
+            for &mask in &masks {
+                prop_assert_eq!(
+                    view_signature(&serial_ds, &facet, mask),
+                    view_signature(&piped_ds, &facet, mask),
+                    "shards={} threads={} batch={} view {} diverged",
+                    shards, threads, batch_size, mask
+                );
+            }
+        }
+        prop_assert_eq!(serial_catalog, piped_catalog);
+    }
+
     /// The acceptance property: for random update batches, incrementally
     /// maintained view graphs equal views re-materialized from scratch —
     /// for all five aggregation operators.

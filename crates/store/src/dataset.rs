@@ -6,10 +6,11 @@
 //! regardless of which graph a pattern targets.
 
 use crate::delta::{ChangeSet, Delta, OpKind};
+use crate::graphmap::GraphMap;
 use crate::index::GraphStore;
 use crate::pattern::EncodedTriple;
 use crate::stats::{GraphStats, StatsTracker};
-use sofos_rdf::{Dictionary, FxHashMap, Graph, Term, TermId};
+use sofos_rdf::{Dictionary, Graph, Term, TermId};
 use std::sync::Arc;
 
 /// Identifies a graph inside a [`Dataset`]: `None` is the default graph,
@@ -21,18 +22,19 @@ pub type GraphName = Option<TermId>;
 /// The dictionary sits behind an [`Arc`] with copy-on-write semantics:
 /// cloning a dataset — which the epoch store does once per published
 /// snapshot — shares the (large, append-only) term table. Together with
-/// the `Arc`-shared index runs ([`crate::index::PermIndex`]) the clone
-/// itself is an O(recent-writes + graph-count) value rather than an
-/// O(graph) one. The *writer's* first genuinely-new-term intern after a
-/// publish re-copies the term table (lookups of known terms never
-/// detach), so a batch that mints fresh terms pays one dictionary copy —
-/// an accepted per-batch cost at current scales; see the ROADMAP's
-/// writer-throughput open item for the escape hatches.
+/// the `Arc`-shared index runs ([`crate::index::PermIndex`]) and the
+/// chunked copy-on-write named-graph map ([`GraphMap`]) the clone itself
+/// is an O(recent-writes) value: untouched view graphs cost nothing per
+/// clone, no matter how many are materialized. The *writer's* first
+/// genuinely-new-term intern after a publish re-copies the term table
+/// (lookups of known terms never detach), so a batch that mints fresh
+/// terms pays one dictionary copy — an accepted per-batch cost at
+/// current scales.
 #[derive(Debug, Default, Clone)]
 pub struct Dataset {
     dict: Arc<Dictionary>,
     default_graph: GraphStore,
-    named: FxHashMap<TermId, GraphStore>,
+    named: GraphMap,
     /// Live statistics of the default graph, updated per mutation instead
     /// of recomputed (see [`StatsTracker`]). View graphs are not tracked:
     /// the cost models only consume base-graph statistics.
@@ -86,7 +88,7 @@ impl Dataset {
                 }
                 inserted
             }
-            Some(name) => self.named.entry(name).or_default().insert(triple),
+            Some(name) => self.named.entry_or_default(name).insert(triple),
         }
     }
 
@@ -100,7 +102,7 @@ impl Dataset {
                 }
                 removed
             }
-            Some(name) => self.named.get_mut(&name).is_some_and(|g| g.remove(triple)),
+            Some(name) => self.named.get_mut(name).is_some_and(|g| g.remove(triple)),
         }
     }
 
@@ -209,7 +211,7 @@ impl Dataset {
                 }
             }
             Some(name) => {
-                let store = self.named.entry(name).or_default();
+                let store = self.named.entry_or_default(name);
                 if store.is_empty() {
                     store.bulk_load(encoded);
                 } else {
@@ -230,26 +232,29 @@ impl Dataset {
     pub fn graph(&self, name: GraphName) -> Option<&GraphStore> {
         match name {
             None => Some(&self.default_graph),
-            Some(id) => self.named.get(&id),
+            Some(id) => self.named.get(id),
         }
     }
 
     /// Create an empty named graph (no-op if it exists).
     pub fn create_graph(&mut self, name: TermId) {
-        self.named.entry(name).or_default();
+        self.named.entry_or_default(name);
     }
 
     /// Drop a named graph; returns `true` if it existed. The dictionary is
     /// intentionally not garbage-collected (see `Dictionary` docs).
     pub fn drop_graph(&mut self, name: TermId) -> bool {
-        self.named.remove(&name).is_some()
+        self.named.remove(name)
     }
 
     /// Iterate the names of all named graphs (deterministic: sorted by id).
     pub fn graph_names(&self) -> Vec<TermId> {
-        let mut names: Vec<TermId> = self.named.keys().copied().collect();
-        names.sort_unstable();
-        names
+        self.named.names_sorted()
+    }
+
+    /// The named-graph map (chunk-sharing diagnostics live on it).
+    pub fn named_graphs(&self) -> &GraphMap {
+        &self.named
     }
 
     /// Total triples across the default and all named graphs.

@@ -187,6 +187,81 @@ impl EpochStore {
         let epoch = txn.publish();
         (changes, epoch)
     }
+
+    /// Begin a *batched* write transaction: several deltas coalesced into
+    /// one published epoch. One snapshot clone and one pointer swap pay
+    /// for the whole batch, which is what makes the two-phase maintenance
+    /// pipeline's phase 2 cheap — the per-publish master clone was the
+    /// writer-throughput ceiling the ROADMAP tracked since PR 3.
+    pub fn begin_batch(&self) -> BatchWriteTxn<'_> {
+        BatchWriteTxn {
+            txn: self.begin(),
+            deltas: 0,
+        }
+    }
+}
+
+/// A write transaction that coalesces multiple deltas into one epoch.
+///
+/// Same visibility contract as [`WriteTxn`]: nothing is visible to
+/// readers until [`BatchWriteTxn::publish`], and dropping without
+/// publishing is the rollback path (the caller must undo its writes).
+/// Unlike a sequence of [`EpochStore::apply`] calls, readers can never
+/// observe a state *between* two deltas of the batch — the batch is one
+/// atomic epoch.
+pub struct BatchWriteTxn<'a> {
+    txn: WriteTxn<'a>,
+    deltas: usize,
+}
+
+impl<'a> BatchWriteTxn<'a> {
+    /// The master dataset (mutable) — for callers that route deltas
+    /// through the maintenance engine instead of
+    /// [`BatchWriteTxn::apply`].
+    pub fn dataset(&mut self) -> &mut Dataset {
+        self.txn.dataset()
+    }
+
+    /// Read access to the master.
+    pub fn dataset_ref(&self) -> &Dataset {
+        self.txn.dataset_ref()
+    }
+
+    /// The store's shard router.
+    pub fn router(&self) -> &ShardRouter {
+        self.txn.router()
+    }
+
+    /// Apply one more delta into the batch; shard touches accumulate.
+    pub fn apply(&mut self, delta: Delta) -> ChangeSet {
+        let changes = self.txn.dataset().apply(delta);
+        self.absorb(&changes);
+        changes
+    }
+
+    /// Record the changes of a delta the caller applied against
+    /// [`BatchWriteTxn::dataset`] directly (e.g. through
+    /// `sofos_maintain::Maintainer::apply_sharded`).
+    pub fn absorb(&mut self, changes: &ChangeSet) {
+        self.txn.touch_changes(changes);
+        self.deltas += 1;
+    }
+
+    /// Deltas coalesced into this batch so far.
+    pub fn deltas(&self) -> usize {
+        self.deltas
+    }
+
+    /// Build the batch's snapshot without making it visible (see
+    /// [`WriteTxn::prepare`]).
+    pub fn prepare(self) -> PreparedTxn<'a> {
+        self.txn.prepare()
+    }
+
+    /// Publish the whole batch as one epoch and return its number.
+    pub fn publish(self) -> u64 {
+        self.txn.publish()
+    }
 }
 
 /// An open write transaction on an [`EpochStore`].
@@ -262,6 +337,17 @@ impl<'a> WriteTxn<'a> {
     /// critical section with the (pointer-swap-cheap) publish.
     pub fn publish(self) -> u64 {
         self.prepare().publish()
+    }
+
+    /// Upgrade into a [`BatchWriteTxn`] (same lock, same rollback
+    /// contract) — for callers that opened a plain transaction before
+    /// deciding to coalesce several deltas into it. Lock-order-safe where
+    /// `begin_batch` would not be: the master lock is already held.
+    pub fn batch(self) -> BatchWriteTxn<'a> {
+        BatchWriteTxn {
+            txn: self,
+            deltas: 0,
+        }
     }
 
     /// Build the next epoch's snapshot — the expensive part of a publish
@@ -437,6 +523,50 @@ mod tests {
         drop(pinned);
         assert_eq!(store.retired_snapshots(), 1);
         assert_eq!(store.live_snapshots(), 1);
+    }
+
+    #[test]
+    fn batch_txn_coalesces_deltas_into_one_epoch() {
+        let store = EpochStore::new(Dataset::new(), 2);
+        let reader = store.pin();
+        let mut batch = store.begin_batch();
+        for i in 0..5 {
+            batch.apply(delta_inserting(&[&format!("s{i}")]));
+        }
+        assert_eq!(batch.deltas(), 5);
+        // Nothing visible until the single publish.
+        assert_eq!(store.epoch(), 0);
+        assert!(store.pin().dataset().default_graph().is_empty());
+        let epoch = batch.publish();
+        assert_eq!(epoch, 1, "five deltas, one epoch");
+        assert_eq!(store.pin().dataset().default_graph().len(), 5);
+        assert_eq!(store.published_snapshots(), 2);
+        // The pre-batch pin never saw an intermediate state.
+        assert!(reader.dataset().default_graph().is_empty());
+    }
+
+    #[test]
+    fn batch_publish_shares_untouched_graph_chunks() {
+        // The chunked-CoW named-graph map keeps snapshot clones O(1) in
+        // the graph count: a batch that touches no named graph leaves
+        // every chunk shared with the previous epoch.
+        let mut dataset = Dataset::new();
+        for i in 0..10 {
+            let name = dataset.intern_iri(&format!("http://e/g{i}"));
+            dataset.insert(Some(name), &term("s"), &term("p"), &term("o"));
+        }
+        let store = EpochStore::new(dataset, 2);
+        let before = store.pin();
+        store.apply(delta_inserting(&["only-default-graph"]));
+        let after = store.pin();
+        let map_before = before.dataset().named_graphs();
+        let map_after = after.dataset().named_graphs();
+        assert_eq!(map_after.len(), 10);
+        assert_eq!(
+            map_before.shared_chunks(map_after),
+            map_after.chunk_count(),
+            "a default-graph-only epoch re-clones no named graph"
+        );
     }
 
     #[test]

@@ -28,6 +28,7 @@
 pub mod dataset;
 pub mod delta;
 pub mod epoch;
+pub mod graphmap;
 pub mod index;
 pub mod inference;
 pub mod pattern;
@@ -36,7 +37,8 @@ pub mod stats;
 
 pub use dataset::{Dataset, GraphName};
 pub use delta::{ChangeSet, Delta, DeltaOp, GraphChanges, OpKind};
-pub use epoch::{EpochStore, PinnedSnapshot, PreparedTxn, Snapshot, WriteTxn};
+pub use epoch::{BatchWriteTxn, EpochStore, PinnedSnapshot, PreparedTxn, Snapshot, WriteTxn};
+pub use graphmap::GraphMap;
 pub use index::{GraphStore, Perm};
 pub use inference::{materialize_rdfs, InferenceStats};
 pub use pattern::{EncodedTriple, IdPattern};
