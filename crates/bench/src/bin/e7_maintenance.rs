@@ -14,7 +14,7 @@
 
 use sofos_bench::{finish_report, ms, print_table, sized, BenchReport, Json};
 use sofos_core::{
-    results_equivalent, run_offline, EngineConfig, Session, SizedLattice, StalenessPolicy,
+    results_equivalent, run_offline, Backend, Engine, EngineConfig, SizedLattice, StalenessPolicy,
 };
 use sofos_cost::CostModelKind;
 use sofos_cube::AggOp;
@@ -102,29 +102,37 @@ fn main() {
                         ..UpdateStreamConfig::default()
                     },
                 );
-                let mut session =
-                    Session::new(expanded.clone(), facet.clone(), catalog.clone(), policy);
+                let engine = Engine::builder()
+                    .dataset(expanded.clone())
+                    .facet(facet.clone())
+                    .catalog(catalog.clone())
+                    .staleness(policy)
+                    .backend(Backend::Serial)
+                    .build()
+                    .expect("engine builds");
 
                 let mut update_us = 0u64;
                 let mut query_us = 0u64;
                 let mut all_valid = true;
                 for delta in stream {
                     let start = Instant::now();
-                    session.update(delta).expect("update applies");
+                    engine.update(delta).expect("update applies");
                     update_us += start.elapsed().as_micros() as u64;
 
+                    // One snapshot per round for validation (cheap clone,
+                    // but not per-query cheap) — outside the timers.
+                    let snapshot = engine.snapshot();
+                    let reference = Evaluator::new(&snapshot);
                     for q in &workload {
                         let start = Instant::now();
-                        let answer = session.query(&q.query).expect("query runs");
+                        let answer = engine.query(&q.query).expect("query runs");
                         query_us += start.elapsed().as_micros() as u64;
-                        let reference = Evaluator::new(session.dataset())
-                            .evaluate(&q.query)
-                            .expect("base evaluation runs");
-                        all_valid &= results_equivalent(&answer.results, &reference);
+                        let base = reference.evaluate(&q.query).expect("base evaluation runs");
+                        all_valid &= results_equivalent(&answer.results, &base);
                     }
                 }
-                let maintenance = session.maintenance();
-                let (hits, fallbacks) = session.routing_counts();
+                let maintenance = engine.maintenance();
+                let (hits, fallbacks) = engine.routing_counts();
                 // Under the lazy policy maintenance happens inside
                 // queries; under eager inside updates. Report it apart so
                 // the cells stay comparable.
@@ -173,7 +181,7 @@ fn main() {
                     ("maintenance_passes", Json::from(maintenance.per_view.len())),
                     ("view_hits", Json::from(hits)),
                     ("fallbacks", Json::from(fallbacks)),
-                    ("stale_views_at_end", Json::from(session.stale_views())),
+                    ("stale_views_at_end", Json::from(engine.stale_views())),
                     ("all_valid", Json::from(all_valid)),
                 ]));
                 assert!(

@@ -26,7 +26,7 @@
 
 use sofos_bench::{finish_report, ms, print_table, sized, BenchReport, Json};
 use sofos_core::{
-    results_equivalent, EngineConfig, Reselector, Session, SizedLattice, StalenessPolicy,
+    results_equivalent, Backend, Engine, EngineConfig, Reselector, SizedLattice, StalenessPolicy,
 };
 use sofos_cost::{AggValuesCost, CostModelKind, TouchedGroupsMaintenance, UpdateRates};
 use sofos_cube::{AggOp, Facet};
@@ -215,7 +215,14 @@ fn run_cell(
         .iter()
         .map(|v| (v.stats.mask, v.stats.rows))
         .collect();
-    let mut session = Session::new(expanded, facet.clone(), catalog, staleness);
+    let engine = Engine::builder()
+        .dataset(expanded)
+        .facet(facet.clone())
+        .catalog(catalog)
+        .staleness(staleness)
+        .backend(Backend::Serial)
+        .build()
+        .expect("engine builds");
     let mut reselector = Reselector::new(
         CostModelKind::AggValues,
         EngineConfig {
@@ -244,39 +251,36 @@ fn run_cell(
 
     for (round, delta) in stream.into_iter().enumerate() {
         let start = Instant::now();
-        session.update(delta).expect("update applies");
+        engine.update(delta).expect("update applies");
         outcome.update_us += start.elapsed().as_micros() as u64;
 
         let phase = (schedule.phase_of_round)(round, rounds);
-        let workload = phase_workload(session.dataset(), facet, phase, queries_per_round);
+        let snapshot = engine.snapshot();
+        let workload = phase_workload(&snapshot, facet, phase, queries_per_round);
+        let reference = Evaluator::new(&snapshot);
         for q in &workload {
             let start = Instant::now();
-            let answer = session.query(&q.query).expect("query runs");
+            let answer = engine.query(&q.query).expect("query runs");
             outcome.query_us += start.elapsed().as_micros() as u64;
-            // Validation runs outside the timers: correctness is asserted,
-            // not billed.
-            let reference = Evaluator::new(session.dataset())
-                .evaluate(&q.query)
-                .expect("base evaluation runs");
-            outcome.all_valid &= results_equivalent(&answer.results, &reference);
+            // Validation runs outside the timers against the round's
+            // snapshot: correctness is asserted, not billed.
+            let base = reference.evaluate(&q.query).expect("base evaluation runs");
+            outcome.all_valid &= results_equivalent(&answer.results, &base);
         }
 
         let start = Instant::now();
         let report = match policy {
             Policy::Never => None,
-            Policy::Always => Some(reselector.reselect(&mut session).expect("reselect runs")),
-            Policy::Adaptive => reselector.check(&mut session).expect("check runs"),
+            Policy::Always => Some(reselector.reselect(&engine).expect("reselect runs")),
+            Policy::Adaptive => reselector.check(&engine).expect("check runs"),
         };
         outcome.reselect_us += start.elapsed().as_micros() as u64;
         if let Some(report) = report {
             if policy == Policy::Adaptive && std::env::var("SOFOS_E8_DEBUG").is_ok() {
+                // ReselectionReport renders itself — no hand-formatting.
                 eprintln!(
-                    "debug {} lambda={lambda} round={round}: drift {:.2} selected {:?} churn +{:?} -{:?}",
-                    schedule.name,
-                    report.drift,
-                    report.selection.selected,
-                    report.churn.added,
-                    report.churn.retired
+                    "debug {} lambda={lambda} round={round}: {report}",
+                    schedule.name
                 );
             }
             outcome.reselections += 1;
@@ -284,8 +288,8 @@ fn run_cell(
         }
     }
 
-    outcome.maintenance_us = session.maintenance().total_us;
-    let (hits, fallbacks) = session.routing_counts();
+    outcome.maintenance_us = engine.maintenance().total_us;
+    let (hits, fallbacks) = engine.routing_counts();
     outcome.view_hits = hits;
     outcome.fallbacks = fallbacks;
     outcome

@@ -1,21 +1,21 @@
 //! E9 — concurrent serving: read latency under live maintenance.
 //!
-//! The experiment the epoch store exists for. A pool of reader threads
-//! serves a fixed query workload while a writer continuously applies
-//! zipf-skewed update batches with eager view maintenance. Two serving
-//! regimes run the same workload:
+//! The experiment the epoch store exists for — now expressed as ONE knob
+//! on the unified [`sofos_core::Engine`]: the same workload runs against
+//! the same engine API with only the backend flipped.
 //!
-//! * **serialized** — the single-threaded [`sofos_core::Session`] behind
-//!   one mutex: every query waits out any in-flight maintenance batch
-//!   (and every other query). This is the pre-epoch architecture.
-//! * **epoch** — [`sofos_core::ConcurrentSession`]: queries pin immutable
-//!   epoch snapshots and never wait for the writer; maintenance splits
+//! * **serial** — [`Backend::Serial`]: one mutable dataset behind the
+//!   engine's internal mutex. Every query waits out any in-flight
+//!   maintenance batch (and every other query) — the pre-epoch
+//!   architecture.
+//! * **epoch** — [`Backend::Epoch`]: queries pin immutable epoch
+//!   snapshots and never wait for the writer; maintenance splits
 //!   per-shard binding scans across a scoped thread pool.
 //!
 //! The sweep crosses shards × writer-threads × read-mix and reports read
-//! latency percentiles, writer throughput, and epoch-store accounting.
-//! The summary rows record the acceptance criterion: read p95 at
-//! 4 shards / 2 writer threads must be ≥ 2× lower than the serialized
+//! latency percentiles, writer throughput, and epoch accounting. The
+//! summary rows record the acceptance criterion: read p95 at
+//! 4 shards / 2 writer threads must be ≥ 2× lower than the serial
 //! single-shard baseline on the same workload (full runs; `--smoke`
 //! gates a softer 1.3× floor so CI-runner noise on its small sample
 //! cannot flake the job — a genuine regression still lands near 1×).
@@ -24,8 +24,7 @@
 
 use sofos_bench::{finish_report, ms, percentile, print_table, ratio, sized, BenchReport, Json};
 use sofos_core::{
-    results_equivalent, run_offline, ConcurrentSession, EngineConfig, Session, SizedLattice,
-    StalenessPolicy,
+    results_equivalent, run_offline, Backend, Engine, EngineConfig, SizedLattice, StalenessPolicy,
 };
 use sofos_cost::CostModelKind;
 use sofos_cube::{AggOp, Facet, ViewMask};
@@ -76,7 +75,6 @@ struct CellOutcome {
     writer_wall_us: u64,
     maintenance_us: u64,
     epochs_published: u64,
-    epochs_retired: u64,
     all_valid: bool,
 }
 
@@ -134,11 +132,14 @@ where
 }
 
 /// Serialized baseline: the pre-epoch architecture, faithfully. One
-/// serving thread owns the mutable [`Session`] (queries need `&mut` —
-/// that is the point), so every read is a request queued behind whatever
-/// the serving loop is doing. Under continuous maintenance pressure the
-/// loop is always mid-batch, and read latency *is* the stall: queue wait
-/// plus service. Queued queries are drained between batches.
+/// serving loop owns the serial-backend [`Engine`] (its internal mutex
+/// serializes everything — that is the point), so every read is a request
+/// queued behind whatever the serving loop is doing. Under continuous
+/// maintenance pressure the loop is always mid-batch, and read latency
+/// *is* the stall: queue wait plus service. Queued queries are drained
+/// between batches — free-running readers would dilute the percentile
+/// with cheap between-batch reads and hide the stall the serialized
+/// regime actually inflicts.
 fn run_serialized(
     expanded: &Dataset,
     facet: &Facet,
@@ -149,12 +150,14 @@ fn run_serialized(
 ) -> CellOutcome {
     use std::sync::mpsc;
     let batches_applied = batches.len();
-    let mut session = Session::new(
-        expanded.clone(),
-        facet.clone(),
-        catalog.to_vec(),
-        StalenessPolicy::Eager,
-    );
+    let engine = Engine::builder()
+        .dataset(expanded.clone())
+        .facet(facet.clone())
+        .catalog(catalog.to_vec())
+        .staleness(StalenessPolicy::Eager)
+        .backend(Backend::Serial)
+        .build()
+        .expect("engine builds");
     let (request_tx, request_rx) = mpsc::channel::<(usize, mpsc::Sender<()>)>();
     let barrier = std::sync::Barrier::new(mix.readers + 1);
     let mut latencies: Vec<u64> = Vec::new();
@@ -186,14 +189,14 @@ fn run_serialized(
         }
         drop(request_tx);
         barrier.wait();
-        let serve = |session: &mut Session, idx: usize, reply: mpsc::Sender<()>| {
+        let serve = |idx: usize, reply: mpsc::Sender<()>| {
             let q = &workload[idx % workload.len()];
-            session.query(&q.query).expect("query runs");
+            engine.query(&q.query).expect("query runs");
             let _ = reply.send(());
         };
         for delta in batches {
             let start = Instant::now();
-            session.update(delta).expect("update applies");
+            engine.update(delta).expect("update applies");
             writer_wall_us += start.elapsed().as_micros() as u64;
             // Serve what queued up during the batch (at most one request
             // per reader can be parked), then take the next pending batch
@@ -201,14 +204,14 @@ fn run_serialized(
             // maintenance never yields the loop for long.
             for _ in 0..mix.readers {
                 match request_rx.try_recv() {
-                    Ok((idx, reply)) => serve(&mut session, idx, reply),
+                    Ok((idx, reply)) => serve(idx, reply),
                     Err(_) => break,
                 }
             }
         }
         // Stream exhausted: answer stragglers, then hang up.
         while let Ok((idx, reply)) = request_rx.try_recv() {
-            serve(&mut session, idx, reply);
+            serve(idx, reply);
         }
         drop(request_rx);
         for handle in handles {
@@ -218,75 +221,75 @@ fn run_serialized(
 
     // Validation after the dust settles: answers must match the base.
     let mut all_valid = true;
+    let snapshot = engine.snapshot();
+    let reference = Evaluator::new(&snapshot);
     for q in workload {
-        let answer = session.query(&q.query).expect("query runs");
-        let reference = Evaluator::new(session.dataset())
-            .evaluate(&q.query)
-            .expect("base evaluation runs");
-        all_valid &= results_equivalent(&answer.results, &reference);
+        let answer = engine.query(&q.query).expect("query runs");
+        let base = reference.evaluate(&q.query).expect("base evaluation runs");
+        all_valid &= results_equivalent(&answer.results, &base);
     }
 
     CellOutcome {
         read_latencies_us: latencies,
         batches_applied,
         writer_wall_us,
-        maintenance_us: session.maintenance().total_us,
-        epochs_published: 0,
-        epochs_retired: 0,
+        maintenance_us: engine.maintenance().total_us,
+        epochs_published: 0, // the serial backend publishes nothing
         all_valid,
     }
 }
 
-/// Epoch mode: readers pin snapshots; the writer maintains per shard.
-#[allow(clippy::too_many_arguments)]
-fn run_epoch(
+/// Epoch mode, through the same engine — the backend knob is the ONLY
+/// thing that differs from the baseline's engine.
+fn run_mode(
     expanded: &Dataset,
     facet: &Facet,
     catalog: &[(ViewMask, usize)],
     workload: &[GeneratedQuery],
     mix: ReadMix,
     batches: Vec<Delta>,
-    shards: usize,
-    writer_threads: usize,
+    backend: Backend,
 ) -> CellOutcome {
     let batches_applied = batches.len();
-    let session = ConcurrentSession::new(
-        expanded.clone(),
-        facet.clone(),
-        catalog.to_vec(),
-        StalenessPolicy::Eager,
-        shards,
-        writer_threads,
-    );
+    let engine = Engine::builder()
+        .dataset(expanded.clone())
+        .facet(facet.clone())
+        .catalog(catalog.to_vec())
+        .staleness(StalenessPolicy::Eager)
+        .backend(backend)
+        .build()
+        .expect("engine builds");
     let (latencies, writer_wall_us) = drive(
         mix,
         workload,
         batches,
         |q| {
-            session.query(q).expect("query runs");
+            engine.query(q).expect("query runs");
         },
         |delta| {
-            session.update(delta).expect("update applies");
+            engine.update(delta).expect("update applies");
         },
     );
 
+    // Validation after the dust settles: answers must match the base.
     let mut all_valid = true;
+    let snapshot = engine.snapshot();
+    let reference = Evaluator::new(&snapshot);
     for q in workload {
-        let answer = session.query(&q.query).expect("query runs");
-        let snapshot = session.pin();
-        let reference = Evaluator::new(snapshot.dataset())
-            .evaluate(&q.query)
-            .expect("base evaluation runs");
-        all_valid &= results_equivalent(&answer.results, &reference);
+        let answer = engine.query(&q.query).expect("query runs");
+        let base = reference.evaluate(&q.query).expect("base evaluation runs");
+        all_valid &= results_equivalent(&answer.results, &base);
     }
 
     CellOutcome {
         read_latencies_us: latencies,
         batches_applied,
         writer_wall_us,
-        maintenance_us: session.maintenance().total_us,
-        epochs_published: session.store().published_snapshots(),
-        epochs_retired: session.store().retired_snapshots(),
+        maintenance_us: engine.maintenance().total_us,
+        epochs_published: match backend {
+            Backend::Serial => 0, // the serial backend publishes nothing
+            Backend::Epoch { .. } => engine.epoch(),
+        },
         all_valid,
     }
 }
@@ -316,7 +319,7 @@ fn record_cell(
         ms(p99),
         cell.batches_applied.to_string(),
         ms(cell.writer_wall_us),
-        cell.epochs_retired.to_string(),
+        cell.epochs_published.to_string(),
         if cell.all_valid {
             "yes".into()
         } else {
@@ -340,7 +343,6 @@ fn record_cell(
         // regression differ treats it as informational.
         ("maintenance_wall_us", Json::from(cell.maintenance_us)),
         ("epochs_published", Json::from(cell.epochs_published)),
-        ("epochs_retired", Json::from(cell.epochs_retired)),
         ("all_valid", Json::from(cell.all_valid)),
     ]));
     assert!(cell.all_valid, "{mode}/{}: wrong answers", mix.name);
@@ -350,7 +352,7 @@ fn record_cell(
 fn main() {
     let observations = sized(240, 160);
     // Full-size batches even in smoke: the stall a batch inflicts on the
-    // serialized baseline IS the measurement — shrinking it would shrink
+    // serial baseline IS the measurement — shrinking it would shrink
     // the signal, not the runtime (the sweep is bounded by `rounds`).
     let batch_size = 48;
     let rounds = sized(48, 12);
@@ -408,14 +410,15 @@ fn main() {
     let mut report = BenchReport::new(
         "concurrency",
         format!(
-            "epoch-snapshot serving vs serialized baseline; shards x writer-threads x \
-             read-mix, {rounds} batches of {batch_size} zipf-skewed ops under eager \
-             maintenance, readers free-running until the stream drains"
+            "epoch-snapshot serving vs the serial-backend baseline, one Engine knob \
+             apart; shards x writer-threads x read-mix, {rounds} batches of \
+             {batch_size} zipf-skewed ops under eager maintenance, readers \
+             free-running until the stream drains"
         ),
     );
     let headers = [
         "mode", "mix", "shards", "wr-thr", "reads", "p50 ms", "p95 ms", "p99 ms", "batches",
-        "wr ms", "retired", "valid",
+        "wr ms", "epochs", "valid",
     ];
     let mut rows: Vec<Vec<String>> = Vec::new();
 
@@ -442,15 +445,17 @@ fn main() {
 
         let mut headline_p95: Option<u64> = None;
         for &(shards, writer_threads) in &shard_configs {
-            let cell = run_epoch(
+            let cell = run_mode(
                 &expanded,
                 &facet,
                 &catalog,
                 &workload,
                 *mix,
                 batches.clone(),
-                shards,
-                writer_threads,
+                Backend::Epoch {
+                    shards,
+                    threads: writer_threads,
+                },
             );
             let p95 = record_cell(
                 &mut report,
@@ -467,7 +472,7 @@ fn main() {
         }
 
         // Summary: the acceptance criterion — 4 shards / 2 writer threads
-        // must serve reads with ≥2× lower p95 than the serialized store.
+        // must serve reads with ≥2× lower p95 than the serial backend.
         // Smoke mode gates a softer floor (1.3×): its p95 comes from a
         // 12-batch sample on a shared CI runner, where the full-run
         // margin (4–5× here) can legitimately compress; a genuine
@@ -506,21 +511,22 @@ fn main() {
     }
 
     print_table(
-        "E9 · concurrency: epoch snapshots vs serialized serving under maintenance",
+        "E9 · concurrency: epoch snapshots vs serial-backend serving under maintenance",
         &headers,
         &rows,
     );
     for (name, serialized_p95, headline_p95, speedup, threshold) in summaries {
         assert!(
             speedup >= threshold,
-            "{name}: epoch serving must beat the serialized baseline by >={threshold}x on \
+            "{name}: epoch serving must beat the serial backend by >={threshold}x on \
              read p95 (serialized {serialized_p95}us vs epoch {headline_p95}us)"
         );
     }
     println!(
-        "Reading: 'serialized' readers wait out every maintenance batch behind the\n\
-         session mutex; 'epoch' readers pin immutable snapshots and only ever wait\n\
-         for a pointer swap, so read p95 decouples from maintenance entirely."
+        "Reading: both modes run the SAME Engine API — only Backend differs.\n\
+         'serialized' readers wait out every maintenance batch behind the serial\n\
+         backend's mutex; 'epoch' readers pin immutable snapshots and only ever\n\
+         wait for a pointer swap, so read p95 decouples from maintenance entirely."
     );
     finish_report(&report);
 }

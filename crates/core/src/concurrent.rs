@@ -1,179 +1,37 @@
-//! The concurrent serving mode: queries against pinned epoch snapshots
-//! while maintenance publishes new epochs.
+//! The deprecated [`ConcurrentSession`] shim — a thin wrapper over the
+//! engine's epoch backend.
 //!
-//! [`crate::online::Session`] is single-threaded by construction: it owns
-//! the dataset, so every maintenance batch stalls every query for its full
-//! duration — the serialized regime the `e9_concurrency` experiment uses
-//! as its baseline. [`ConcurrentSession`] is the same serving surface
-//! (update / query / swap under a [`StalenessPolicy`]) rebuilt over the
-//! store's epoch mechanism ([`EpochStore`]):
-//!
-//! * **queries** pin an immutable epoch [`sofos_store::Snapshot`] and
-//!   evaluate against it — they never wait for a writer, only for the
-//!   pointer swap of a publish and a short catalog-routing lock;
-//! * **updates** run inside a write transaction: the delta's binding
-//!   scans are split by subject shard and run on a scoped thread pool
-//!   ([`sofos_maintain::Maintainer::apply_sharded`]), views are patched
-//!   on the writer's master, and the whole batch becomes visible
-//!   atomically at publish;
-//! * the **staleness policies** are re-expressed over epochs. *Eager*
-//!   maintains inside the update transaction, so every published epoch is
-//!   internally consistent and queries never repair anything. *Lazy*
-//!   publishes the base change immediately and buffers the row delta
-//!   tagged with its epoch; a view is repaired on its next hit by
-//!   replaying exactly the epochs it missed (its cursor is an epoch
-//!   number). *Invalidate* drops the catalog inside the update
-//!   transaction — readers atomically go from "all views" to "no views",
-//!   never observing a half-dropped catalog.
-//! * [`ConcurrentSession::swap_views`] keeps the serial session's
-//!   materialize-first / rollback contract, with one epoch-store twist:
-//!   a failed swap publishes *nothing*, so concurrent readers cannot
-//!   observe even a transiently half-swapped catalog.
-//!
-//! Lock discipline (in acquisition order): write transaction → writer
-//! side (maintenance engine) → serving state (catalog routing). The
-//! serving lock is held only for catalog reads/installs and the O(1)
-//! publish swap — never across maintenance, materialization, snapshot
-//! cloning, or query evaluation.
+//! The concurrent serving mode (queries against pinned epoch snapshots
+//! while maintenance publishes new epochs) now lives behind the one front
+//! door: build a [`crate::engine::Engine`] with
+//! [`crate::engine::Backend::Epoch`]. This type remains for one release
+//! so existing callers keep compiling; it adds nothing the engine does
+//! not expose, and delegates every call.
 
-use crate::online::{Freshness, Route, SessionAnswer, StalenessPolicy, ViewChurn};
-use crate::timing::measure_once;
+use crate::engine::{EpochBackend, ServingBackend};
+use crate::online::{SessionAnswer, StalenessPolicy, ViewChurn};
+use crate::policy::system_clock;
 use sofos_cube::{Facet, ViewMask};
-use sofos_maintain::{Maintainer, MaintenanceReport, PipelineTelemetry, RowDelta, ShardScanCost};
-use sofos_materialize::{drop_view, materialize_view, MaterializedView};
-use sofos_rdf::{FxHashMap, FxHashSet};
-use sofos_rewrite::{analyze_query, best_view, rewrite_query};
-use sofos_sparql::{Evaluator, Query, SparqlError};
-use sofos_store::{Dataset, Delta, EpochStore, PinnedSnapshot, WriteTxn};
-use std::collections::VecDeque;
-use std::sync::Mutex;
+use sofos_maintain::{MaintenanceReport, PipelineTelemetry, ShardScanCost};
+use sofos_sparql::{Query, SparqlError};
+use sofos_store::{Dataset, Delta, EpochStore, PinnedSnapshot};
 
-/// Routing and staleness state shared between readers and the writer.
-/// Guarded by a mutex that is only ever held briefly (see module docs).
-struct ServingState {
-    /// The live catalog: mask + row count, in selection order.
-    views: Vec<(ViewMask, usize)>,
-    /// Buffered row deltas under the lazy policy, tagged with the epoch
-    /// that published them (ascending).
-    pending: VecDeque<(u64, RowDelta)>,
-    /// Per-view epoch cursor: all pending entries with `epoch <= cursor`
-    /// are already applied to that view.
-    cursor: FxHashMap<u64, u64>,
-    /// Views that must fully refresh on their next hit.
-    needs_refresh: FxHashSet<u64>,
-    /// Bounded policy only: update batches buffered by the writer and not
-    /// yet published — the lag every read serves under (and is tagged
-    /// with) until the next flush.
-    buffered_batches: usize,
-    view_hits: usize,
-    fallbacks: usize,
-    update_batches: usize,
-}
-
-impl ServingState {
-    /// Is `view` stale as of `epoch` (exclusive of later epochs)?
-    fn stale_at(&self, view: ViewMask, epoch: u64) -> bool {
-        if self.needs_refresh.contains(&view.0) {
-            return true;
-        }
-        let cursor = self.cursor.get(&view.0).copied().unwrap_or(0);
-        self.pending.iter().any(|&(e, _)| e > cursor && e <= epoch)
-    }
-
-    /// Merge the pending entries a view has not applied yet.
-    fn backlog(&self, view: ViewMask) -> RowDelta {
-        let cursor = self.cursor.get(&view.0).copied().unwrap_or(0);
-        let mut merged = RowDelta::default();
-        for (epoch, rows) in &self.pending {
-            if *epoch > cursor {
-                merged.merge(rows);
-            }
-        }
-        merged
-    }
-
-    /// Drop pending entries every catalog view has consumed.
-    fn compact(&mut self) {
-        let consumed = self
-            .views
-            .iter()
-            .map(|(mask, _)| self.cursor.get(&mask.0).copied().unwrap_or(0))
-            .min()
-            .unwrap_or(u64::MAX);
-        while self
-            .pending
-            .front()
-            .is_some_and(|&(epoch, _)| epoch <= consumed)
-        {
-            self.pending.pop_front();
-        }
-    }
-
-    /// Bound the pending log: views too far behind are downgraded to a
-    /// full refresh (which a view that stale effectively needs anyway).
-    fn enforce_cap(&mut self, current_epoch: u64) {
-        const CAP: usize = 64;
-        while self.pending.len() > CAP {
-            let (dropped_epoch, _) = self.pending.pop_front().expect("len > CAP");
-            for &(mask, _) in &self.views {
-                if self.cursor.get(&mask.0).copied().unwrap_or(0) < dropped_epoch {
-                    self.needs_refresh.insert(mask.0);
-                    self.cursor.insert(mask.0, current_epoch);
-                }
-            }
-        }
-    }
-}
-
-/// Writer-only state (the maintenance engine and its telemetry). Guarded
-/// by its own mutex, always acquired while holding the store's write
-/// transaction, so it never contends with readers.
-struct WriterSide {
-    maintainer: Maintainer,
-    log: MaintenanceReport,
-    /// Scan telemetry folded to per-shard totals at absorb time, so a
-    /// long-lived session stays O(shards) regardless of batch count.
-    shard_scans: Vec<ShardScanCost>,
-    /// Accumulated two-phase split (serial spine vs. pool work) across
-    /// every sharded apply and pipelined maintenance pass.
-    telemetry: PipelineTelemetry,
-    /// Bounded policy only: deltas awaiting the next batched flush.
-    buffered: Vec<Delta>,
-}
-
-impl WriterSide {
-    fn absorb_scans(&mut self, costs: &[ShardScanCost]) {
-        for cost in costs {
-            match self.shard_scans.iter_mut().find(|t| t.shard == cost.shard) {
-                Some(total) => total.merge(cost),
-                None => self.shard_scans.push(*cost),
-            }
-        }
-    }
-
-    /// Fold one sharded apply's scan/serial split into the running
-    /// telemetry and per-shard totals.
-    fn absorb_sharded(&mut self, sharded: &sofos_maintain::ShardedApplyOutcome) {
-        self.absorb_scans(&sharded.shard_costs);
-        self.telemetry.merge(&PipelineTelemetry {
-            serial_us: sharded.serial_us,
-            parallel_work_us: sharded.scan_work_us(),
-            parallel_wall_us: sharded.scan_wall_us,
-        });
-    }
-}
-
-/// A [`StalenessPolicy`]-driven serving loop over an [`EpochStore`]:
-/// concurrent readers, one writer, epoch-snapshot isolation.
+/// The legacy [`StalenessPolicy`]-driven serving loop over an
+/// [`EpochStore`]: concurrent readers, one writer, epoch-snapshot
+/// isolation.
+///
+/// Deprecated: build a [`crate::engine::Engine`] with
+/// [`crate::engine::Backend::Epoch`] instead — the same serving surface,
+/// shared with the serial backend, plus wall-clock staleness bounds.
+#[deprecated(
+    since = "0.2.0",
+    note = "use sofos_core::Engine with Backend::Epoch — one front door over both serving backends"
+)]
 pub struct ConcurrentSession {
-    store: EpochStore,
-    facet: Facet,
-    policy: StalenessPolicy,
-    writer_threads: usize,
-    writer: Mutex<WriterSide>,
-    serving: Mutex<ServingState>,
+    backend: EpochBackend,
 }
 
+#[allow(deprecated)]
 impl ConcurrentSession {
     /// Open a concurrent session over an expanded dataset and its view
     /// catalog, sharded `shards` ways with `writer_threads` maintenance
@@ -187,944 +45,96 @@ impl ConcurrentSession {
         writer_threads: usize,
     ) -> ConcurrentSession {
         ConcurrentSession {
-            store: EpochStore::new(dataset, shards),
-            writer: Mutex::new(WriterSide {
-                maintainer: Maintainer::new(&facet),
-                log: MaintenanceReport::default(),
-                shard_scans: Vec::new(),
-                telemetry: PipelineTelemetry::default(),
-                buffered: Vec::new(),
-            }),
-            serving: Mutex::new(ServingState {
+            backend: EpochBackend::new(
+                dataset,
+                facet,
                 views,
-                pending: VecDeque::new(),
-                cursor: FxHashMap::default(),
-                needs_refresh: FxHashSet::default(),
-                buffered_batches: 0,
-                view_hits: 0,
-                fallbacks: 0,
-                update_batches: 0,
-            }),
-            facet,
-            policy,
-            writer_threads: writer_threads.max(1),
+                policy,
+                shards,
+                writer_threads,
+                system_clock(),
+            ),
         }
     }
 
     /// The underlying epoch store (epoch numbers, retire accounting).
     pub fn store(&self) -> &EpochStore {
-        &self.store
+        self.backend.store()
     }
 
     /// The facet.
     pub fn facet(&self) -> &Facet {
-        &self.facet
+        self.backend.facet()
     }
 
     /// The session's staleness policy.
     pub fn policy(&self) -> StalenessPolicy {
-        self.policy
+        self.backend.policy()
     }
 
     /// Pin the current epoch (for validation and ad-hoc reads).
     pub fn pin(&self) -> PinnedSnapshot {
-        self.store.pin()
+        self.backend.pin()
     }
 
     /// The live catalog (cloned; it is small).
     pub fn views(&self) -> Vec<(ViewMask, usize)> {
-        self.lock_serving().views.clone()
+        self.backend.views()
     }
 
     /// `(view hits, base-graph fallbacks)` so far.
     pub fn routing_counts(&self) -> (usize, usize) {
-        let state = self.lock_serving();
-        (state.view_hits, state.fallbacks)
+        self.backend.routing_counts()
     }
 
     /// Update batches applied so far.
     pub fn update_batches(&self) -> usize {
-        self.lock_serving().update_batches
+        self.backend.update_batches()
     }
 
     /// Views currently stale (relative to the latest published epoch).
     pub fn stale_views(&self) -> usize {
-        let epoch = self.store.epoch();
-        let state = self.lock_serving();
-        state
-            .views
-            .iter()
-            .filter(|(mask, _)| state.stale_at(*mask, epoch))
-            .count()
+        self.backend.stale_views()
     }
 
     /// Accumulated maintenance log (cloned).
     pub fn maintenance(&self) -> MaintenanceReport {
-        let writer = self.writer.lock().expect("writer lock poisoned");
-        writer.log.clone()
+        self.backend.maintenance()
     }
 
     /// Accumulated per-shard scan telemetry, folded across batches
     /// (sorted by shard).
     pub fn shard_scan_totals(&self) -> Vec<ShardScanCost> {
-        let writer = self.writer.lock().expect("writer lock poisoned");
-        let mut totals = writer.shard_scans.clone();
-        totals.sort_by_key(|t| t.shard);
-        totals
+        self.backend.shard_scan_totals()
     }
 
-    /// Accumulated two-phase pipeline telemetry: how the session's
-    /// maintenance work split between the serial spine and the thread
-    /// pool. Feed its measured serial fraction to
-    /// `sofos_cost::ShardedMaintenance::from_telemetry`.
+    /// Accumulated two-phase pipeline telemetry.
     pub fn pipeline_telemetry(&self) -> PipelineTelemetry {
-        self.writer.lock().expect("writer lock poisoned").telemetry
+        self.backend.pipeline_telemetry().unwrap_or_default()
     }
 
     /// Bounded policy: update batches buffered and not yet published.
     pub fn buffered_updates(&self) -> usize {
-        self.lock_serving().buffered_batches
+        self.backend.buffered_updates()
     }
 
-    fn lock_serving(&self) -> std::sync::MutexGuard<'_, ServingState> {
-        self.serving.lock().expect("serving lock poisoned")
-    }
-
-    /// Apply an update batch under the session's staleness policy. The
-    /// batch becomes visible to readers atomically at publish; readers
-    /// keep answering from the previous epoch until then.
+    /// Apply an update batch under the session's staleness policy.
     pub fn update(&self, delta: Delta) -> Result<(), SparqlError> {
-        let mut txn = self.store.begin();
-        let router = *self.store.router();
-        let mut writer = self.writer.lock().expect("writer lock poisoned");
-        self.lock_serving().update_batches += 1;
-        // Invariant for every branch below: the serving lock is held
-        // *across* the catalog change and the publish, so a reader can
-        // never pair the new catalog with the old epoch (or vice versa).
-        match self.policy {
-            StalenessPolicy::Invalidate => {
-                let views: Vec<ViewMask> = {
-                    let state = self.lock_serving();
-                    state.views.iter().map(|(m, _)| *m).collect()
-                };
-                for mask in views {
-                    drop_view(txn.dataset(), &self.facet, mask);
-                }
-                let changes = txn.dataset().apply(delta);
-                txn.touch_changes(&changes);
-                let prepared = txn.prepare();
-                let mut state = self.lock_serving();
-                state.views.clear();
-                state.pending.clear();
-                state.cursor.clear();
-                state.needs_refresh.clear();
-                prepared.publish();
-                Ok(())
-            }
-            StalenessPolicy::Eager => {
-                let sharded = writer.maintainer.apply_sharded(
-                    txn.dataset(),
-                    delta,
-                    &router,
-                    self.writer_threads,
-                );
-                writer.absorb_sharded(&sharded);
-                // The catalog's masks cannot change concurrently — every
-                // view mutator holds the write transaction — so working on
-                // a clone and installing it back is race-free.
-                let mut views = self.lock_serving().views.clone();
-                let result = writer.maintainer.maintain_pipelined(
-                    txn.dataset(),
-                    sharded.outcome.rows.as_ref(),
-                    &mut views,
-                    self.writer_threads,
-                );
-                txn.touch_changes(&sharded.outcome.changes);
-                // Snapshot construction (the clone) happens before the
-                // serving lock; readers only ever wait for the swap.
-                match result {
-                    Ok(outcome) => {
-                        writer.telemetry.merge(&outcome.telemetry);
-                        writer.log.absorb(outcome.report);
-                        let prepared = txn.prepare();
-                        let mut state = self.lock_serving();
-                        state.views = views;
-                        prepared.publish();
-                        Ok(())
-                    }
-                    Err(e) => {
-                        // The base delta is applied but no view was
-                        // patched (pipelined planning is all-or-nothing);
-                        // abandoning the transaction would leave the
-                        // master diverged from the published epoch
-                        // forever. Publish the batch instead and demand a
-                        // full refresh of every (now stale) view —
-                        // `needs_refresh` bars queries from routing to
-                        // any of them before repair, under every policy.
-                        let prepared = txn.prepare();
-                        let mut state = self.lock_serving();
-                        state.views = views;
-                        let masks: Vec<u64> = state.views.iter().map(|(m, _)| m.0).collect();
-                        let epoch = prepared.publish();
-                        for mask in masks {
-                            state.needs_refresh.insert(mask);
-                            state.cursor.insert(mask, epoch);
-                        }
-                        state.pending.clear();
-                        Err(e)
-                    }
-                }
-            }
-            StalenessPolicy::Bounded { max_batches, .. } => {
-                writer.buffered.push(delta);
-                // Publish the new lag to readers *before* deciding to
-                // flush: a racing reader must either see the full buffer
-                // count (and spin on the budget check until the flush
-                // publishes) or serve a tag that includes this delta —
-                // never an undercounted lag.
-                self.lock_serving().buffered_batches = writer.buffered.len();
-                if writer.buffered.len() >= max_batches.max(1) {
-                    self.flush_with(txn, &mut writer)
-                } else {
-                    // Dropped without publish: nothing was mutated, the
-                    // delta only joined the writer-side buffer.
-                    drop(txn);
-                    Ok(())
-                }
-            }
-            StalenessPolicy::LazyOnHit => {
-                let sharded = writer.maintainer.apply_sharded(
-                    txn.dataset(),
-                    delta,
-                    &router,
-                    self.writer_threads,
-                );
-                writer.absorb_sharded(&sharded);
-                txn.touch_changes(&sharded.outcome.changes);
-                let prepared = txn.prepare();
-                let mut state = self.lock_serving();
-                let epoch = prepared.publish();
-                match sharded.outcome.rows {
-                    Some(rows) if rows.is_empty() => {}
-                    Some(rows) => {
-                        state.pending.push_back((epoch, rows));
-                        state.enforce_cap(epoch);
-                    }
-                    None => {
-                        // Non-star facet: buffered deltas cannot repair
-                        // anything; every view needs a full refresh.
-                        let masks: Vec<u64> = state.views.iter().map(|(m, _)| m.0).collect();
-                        for mask in masks {
-                            state.needs_refresh.insert(mask);
-                            state.cursor.insert(mask, epoch);
-                        }
-                        state.pending.clear();
-                    }
-                }
-                Ok(())
-            }
-        }
+        self.backend.update(delta)
     }
 
-    /// Flush the bounded policy's buffered updates now: apply them all
-    /// inside one batched transaction, maintain every view in one
-    /// pipelined pass over the *merged* row delta, and publish the whole
-    /// batch as a single epoch. No-op when nothing is buffered.
+    /// Flush the bounded policy's buffered updates now.
     pub fn flush(&self) -> Result<(), SparqlError> {
-        let txn = self.store.begin();
-        let mut writer = self.writer.lock().expect("writer lock poisoned");
-        if writer.buffered.is_empty() {
-            return Ok(());
-        }
-        self.flush_with(txn, &mut writer)
+        self.backend.flush()
     }
 
-    /// The batched-epoch flush (writer lock held, transaction open).
-    fn flush_with(&self, txn: WriteTxn<'_>, writer: &mut WriterSide) -> Result<(), SparqlError> {
-        let router = *self.store.router();
-        let mut batch = txn.batch();
-        let deltas: Vec<Delta> = writer.buffered.drain(..).collect();
-        // Merge the per-delta row deltas: N batches collapse into one
-        // group-patching pass (intra-batch churn cancels for free).
-        let mut merged: Option<RowDelta> = Some(RowDelta::default());
-        for delta in deltas {
-            let sharded = writer.maintainer.apply_sharded(
-                batch.dataset(),
-                delta,
-                &router,
-                self.writer_threads,
-            );
-            writer.absorb_sharded(&sharded);
-            batch.absorb(&sharded.outcome.changes);
-            match sharded.outcome.rows {
-                Some(rows) => {
-                    if let Some(m) = merged.as_mut() {
-                        m.merge(&rows);
-                    }
-                }
-                // Non-star facet: merged deltas cannot repair anything.
-                None => merged = None,
-            }
-        }
-        let mut views = self.lock_serving().views.clone();
-        let result = writer.maintainer.maintain_pipelined(
-            batch.dataset(),
-            merged.as_ref(),
-            &mut views,
-            self.writer_threads,
-        );
-        match result {
-            Ok(outcome) => {
-                writer.telemetry.merge(&outcome.telemetry);
-                writer.log.absorb(outcome.report);
-                let prepared = batch.prepare();
-                let mut state = self.lock_serving();
-                state.views = views;
-                state.buffered_batches = 0;
-                prepared.publish();
-                Ok(())
-            }
-            Err(e) => {
-                // Base deltas are applied, views were left unpatched
-                // (all-or-nothing planning): publish the base batch and
-                // demand a full refresh of every view.
-                let prepared = batch.prepare();
-                let mut state = self.lock_serving();
-                let masks: Vec<u64> = state.views.iter().map(|(m, _)| m.0).collect();
-                let epoch = prepared.publish();
-                state.buffered_batches = 0;
-                for mask in masks {
-                    state.needs_refresh.insert(mask);
-                    state.cursor.insert(mask, epoch);
-                }
-                state.pending.clear();
-                Err(e)
-            }
-        }
-    }
-
-    /// Answer one query from a pinned snapshot. Under the lazy policy a
-    /// stale routed-to view is repaired (and the next epoch published)
-    /// first. Under the bounded policy the answer is served from the
-    /// standing epoch and *tagged* with its lag — unless the lag exceeds
-    /// `max_epoch_lag`, in which case the buffered batches are flushed
-    /// before serving. The repair/flush cost is reported on the answer.
+    /// Answer one query from a pinned snapshot.
     pub fn query(&self, query: &Query) -> Result<SessionAnswer, SparqlError> {
-        let Ok(analysis) = analyze_query(&self.facet, query) else {
-            let (snapshot, freshness) = self.pin_within_bound()?;
-            self.lock_serving().fallbacks += 1;
-            let results = Evaluator::new(snapshot.dataset()).evaluate(query)?;
-            return Ok(SessionAnswer {
-                route: Route::BaseGraph,
-                results,
-                maintenance_us: 0,
-                freshness,
-            });
-        };
-
-        // Route against the catalog and pin an epoch under one short
-        // lock, so the staleness decision, the freshness tag, and the
-        // snapshot agree.
-        let (planned, snapshot, freshness) = loop {
-            {
-                let mut state = self.lock_serving();
-                let lag = state.buffered_batches as u64;
-                if self.within_lag_bound(lag) {
-                    let snapshot = self.store.pin();
-                    let freshness = Self::freshness_of(&snapshot, lag);
-                    let planned = best_view(&state.views, analysis.required).map(|view| {
-                        // `needs_refresh` gates every policy (a failed
-                        // maintenance pass demands repair too); the
-                        // epoch-replay staleness check is lazy-only.
-                        let stale = state.needs_refresh.contains(&view.0)
-                            || (self.policy == StalenessPolicy::LazyOnHit
-                                && state.stale_at(view, snapshot.epoch()));
-                        (view, stale)
-                    });
-                    match planned {
-                        Some(_) => state.view_hits += 1,
-                        None => state.fallbacks += 1,
-                    }
-                    break (planned, snapshot, freshness);
-                }
-            }
-            // Past the staleness budget: flush, then re-check (a racing
-            // update may have buffered more batches in between).
-            self.flush()?;
-        };
-
-        match planned {
-            None => {
-                let results = Evaluator::new(snapshot.dataset()).evaluate(query)?;
-                Ok(SessionAnswer {
-                    route: Route::BaseGraph,
-                    results,
-                    maintenance_us: 0,
-                    freshness,
-                })
-            }
-            Some((view, stale)) => {
-                let rewritten = rewrite_query(&self.facet, &analysis, view);
-                let (snapshot, maintenance_us, freshness) = if stale {
-                    match self.repair_view(view)? {
-                        Some((snapshot, us)) => {
-                            let freshness = Self::freshness_of(&snapshot, freshness.lag);
-                            (snapshot, us, freshness)
-                        }
-                        None => {
-                            // The view was swapped out while we waited for
-                            // the writer: it is no longer answerable.
-                            // Re-route to the base graph on a fresh pin.
-                            let snapshot = {
-                                let mut state = self.lock_serving();
-                                state.view_hits -= 1;
-                                state.fallbacks += 1;
-                                self.store.pin()
-                            };
-                            let freshness = Self::freshness_of(&snapshot, freshness.lag);
-                            let results = Evaluator::new(snapshot.dataset()).evaluate(query)?;
-                            return Ok(SessionAnswer {
-                                route: Route::BaseGraph,
-                                results,
-                                maintenance_us: 0,
-                                freshness,
-                            });
-                        }
-                    }
-                } else {
-                    (snapshot, 0, freshness)
-                };
-                let results = Evaluator::new(snapshot.dataset()).evaluate(&rewritten)?;
-                Ok(SessionAnswer {
-                    route: Route::View(view),
-                    results,
-                    maintenance_us,
-                    freshness,
-                })
-            }
-        }
-    }
-
-    /// Does a read at `lag` buffered batches respect the policy's
-    /// staleness budget? (Non-bounded policies serve the latest epoch and
-    /// have no budget to respect.)
-    fn within_lag_bound(&self, lag: u64) -> bool {
-        match self.policy {
-            StalenessPolicy::Bounded { max_epoch_lag, .. } => lag <= max_epoch_lag,
-            _ => true,
-        }
-    }
-
-    /// The freshness tag of one pinned snapshot: the buffered-batch lag
-    /// plus the epoch and oldest per-shard stamp the epoch store tracks
-    /// for free.
-    fn freshness_of(snapshot: &PinnedSnapshot, lag: u64) -> Freshness {
-        Freshness {
-            lag,
-            epoch: snapshot.epoch(),
-            oldest_shard_epoch: snapshot
-                .shard_epochs()
-                .iter()
-                .copied()
-                .min()
-                .unwrap_or_else(|| snapshot.epoch()),
-        }
-    }
-
-    /// Pin a snapshot whose lag respects the staleness budget (flushing
-    /// as needed), returning it with its freshness tag.
-    fn pin_within_bound(&self) -> Result<(PinnedSnapshot, Freshness), SparqlError> {
-        loop {
-            {
-                let state = self.lock_serving();
-                let lag = state.buffered_batches as u64;
-                if self.within_lag_bound(lag) {
-                    let snapshot = self.store.pin();
-                    let freshness = Self::freshness_of(&snapshot, lag);
-                    return Ok((snapshot, freshness));
-                }
-            }
-            self.flush()?;
-        }
-    }
-
-    /// Bring one lazily-stale view up to date: replay the epochs it
-    /// missed against the writer's master and publish the repair.
-    ///
-    /// Returns the snapshot the caller must evaluate against — pinned
-    /// under the serving lock at an epoch where the view is provably
-    /// fresh. Re-pinning *outside* that lock would race a concurrent
-    /// lazy update publishing a newer epoch whose pending rows the view
-    /// lacks. `None` means the view left the catalog while we waited for
-    /// the writer lock and the caller must re-route.
-    fn repair_view(&self, view: ViewMask) -> Result<Option<(PinnedSnapshot, u64)>, SparqlError> {
-        let mut txn = self.store.begin();
-        let mut writer = self.writer.lock().expect("writer lock poisoned");
-        // Re-check under the transaction: another hit may have repaired
-        // the view (or a swap retired it) while we waited for the lock.
-        let (refresh, backlog, mut entry) = {
-            let state = self.lock_serving();
-            let Some(entry) = state.views.iter().find(|(mask, _)| *mask == view) else {
-                return Ok(None); // swapped out while we waited
-            };
-            let refresh = state.needs_refresh.contains(&view.0);
-            if !refresh && !state.stale_at(view, u64::MAX) {
-                // Repaired by a racing hit: serve from the epoch that
-                // freshness was just decided against.
-                return Ok(Some((self.store.pin(), 0)));
-            }
-            (refresh, state.backlog(view), *entry)
-        };
-        let rows = if refresh { None } else { Some(&backlog) };
-        let result = writer
-            .maintainer
-            .maintain_view(txn.dataset(), rows, &mut entry);
-        // The backlog is consumed either way. Planning is all-or-nothing
-        // (an errored pass wrote nothing), but the view is still stale
-        // and the error may be deterministic — demanding a full refresh
-        // on the next hit keeps a poisoned backlog from wedging the view
-        // in an error-retry loop while the pending log grows.
-        // The serving lock is held across publish so no reader can route
-        // to the view before its cursor reflects the repair epoch.
-        let prepared = txn.prepare();
-        let mut state = self.lock_serving();
-        let epoch = prepared.publish();
-        state.cursor.insert(view.0, epoch);
-        match &result {
-            Ok(_) => {
-                state.needs_refresh.remove(&view.0);
-                if let Some(slot) = state.views.iter_mut().find(|(mask, _)| *mask == view) {
-                    *slot = entry;
-                }
-            }
-            Err(_) => {
-                state.needs_refresh.insert(view.0);
-            }
-        }
-        state.compact();
-        let snapshot = self.store.pin();
-        drop(state);
-        let cost = result?;
-        let us = cost.wall_us;
-        writer.log.per_view.push(cost);
-        writer.log.total_us += us;
-        Ok(Some((snapshot, us)))
+        self.backend.query(query)
     }
 
     /// Replace the materialized set with `target`, transactionally.
-    ///
-    /// Incoming views are materialized *first* on the writer's master; if
-    /// any materialization fails, the half-written view graphs are
-    /// dropped, **no epoch is published**, and the catalog is untouched —
-    /// concurrent readers keep answering from the old selection and never
-    /// observe the aborted swap. Only once every new view exists are the
-    /// retired ones dropped, the catalog installed, and the whole swap
-    /// published as one epoch.
     pub fn swap_views(&self, target: &[ViewMask]) -> Result<ViewChurn, SparqlError> {
-        self.swap_views_with(target, materialize_view)
-    }
-
-    /// [`ConcurrentSession::swap_views`] with an injectable materializer —
-    /// the test seam for forcing a mid-swap failure (the real evaluator
-    /// is total over generated view queries, so materialization failures
-    /// cannot be provoked from data alone).
-    fn swap_views_with(
-        &self,
-        target: &[ViewMask],
-        mut materialize: impl FnMut(
-            &mut Dataset,
-            &Facet,
-            ViewMask,
-        ) -> Result<MaterializedView, SparqlError>,
-    ) -> Result<ViewChurn, SparqlError> {
-        debug_assert!(
-            target.iter().map(|m| m.0).collect::<FxHashSet<_>>().len() == target.len(),
-            "swap_views target must not contain duplicates: {target:?}"
-        );
-        let mut txn = self.store.begin();
-        let current: Vec<ViewMask> = {
-            let state = self.lock_serving();
-            state.views.iter().map(|(m, _)| *m).collect()
-        };
-        let current_set: FxHashSet<u64> = current.iter().map(|m| m.0).collect();
-        let wanted: FxHashSet<u64> = target.iter().map(|m| m.0).collect();
-        let added: Vec<ViewMask> = target
-            .iter()
-            .copied()
-            .filter(|m| !current_set.contains(&m.0))
-            .collect();
-        let retired: Vec<ViewMask> = current
-            .iter()
-            .copied()
-            .filter(|m| !wanted.contains(&m.0))
-            .collect();
-        let kept: Vec<ViewMask> = target
-            .iter()
-            .copied()
-            .filter(|m| current_set.contains(&m.0))
-            .collect();
-
-        // Phase 1: materialize every incoming view on the master. On
-        // failure, undo and abort without publishing.
-        let mut materialized: Vec<(ViewMask, usize)> = Vec::with_capacity(added.len());
-        let (materialize_us, result) = measure_once(|| {
-            for &mask in &added {
-                match materialize(txn.dataset(), &self.facet, mask) {
-                    Ok(view) => materialized.push((mask, view.stats.rows)),
-                    Err(e) => return Err(e),
-                }
-            }
-            Ok(())
-        });
-        if let Err(e) = result {
-            for &(mask, _) in &materialized {
-                drop_view(txn.dataset(), &self.facet, mask);
-            }
-            // Dropping the transaction without publish: readers never saw
-            // any of this, and the master is back to the published state.
-            return Err(e);
-        }
-
-        // Phase 2: retire outgoing views, install the catalog, publish —
-        // all under the serving lock, so readers atomically move from
-        // (old catalog, old epoch) to (new catalog, new epoch).
-        let (drop_us, ()) = measure_once(|| {
-            for &mask in &retired {
-                drop_view(txn.dataset(), &self.facet, mask);
-            }
-        });
-        {
-            let prepared = txn.prepare();
-            let mut state = self.lock_serving();
-            let old_catalog: FxHashMap<u64, usize> =
-                state.views.iter().map(|(m, rows)| (m.0, *rows)).collect();
-            state.views = target
-                .iter()
-                .map(|&mask| {
-                    let rows = old_catalog.get(&mask.0).copied().unwrap_or_else(|| {
-                        materialized
-                            .iter()
-                            .find(|(m, _)| *m == mask)
-                            .map_or(0, |(_, rows)| *rows)
-                    });
-                    (mask, rows)
-                })
-                .collect();
-            for &mask in &retired {
-                state.cursor.remove(&mask.0);
-                state.needs_refresh.remove(&mask.0);
-            }
-            let epoch = prepared.publish();
-            for &(mask, _) in &materialized {
-                // Materialized from the current master: nothing pending.
-                state.cursor.insert(mask.0, epoch);
-            }
-            state.compact();
-        }
-
-        Ok(ViewChurn {
-            added,
-            retired,
-            kept,
-            materialize_us,
-            drop_us,
-        })
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use crate::config::EngineConfig;
-    use crate::offline::{run_offline, SizedLattice};
-    use crate::validate::results_equivalent;
-    use sofos_cost::CostModelKind;
-    use sofos_cube::AggOp;
-    use sofos_rdf::Term;
-    use sofos_select::WorkloadProfile;
-    use sofos_workload::{synthetic, GeneratedQuery};
-
-    fn setup(
-        policy: StalenessPolicy,
-        shards: usize,
-        threads: usize,
-    ) -> (ConcurrentSession, Vec<GeneratedQuery>) {
-        let g = synthetic::generate(&synthetic::Config {
-            observations: 120,
-            agg: AggOp::Avg,
-            ..synthetic::Config::default()
-        });
-        let facet = g.facets[0].clone();
-        let mut ds = g.dataset;
-        let sized = SizedLattice::compute(&ds, &facet).unwrap();
-        let profile = WorkloadProfile::uniform(&sized.lattice);
-        let offline = run_offline(
-            &mut ds,
-            &sized,
-            &profile,
-            CostModelKind::AggValues,
-            &EngineConfig::default(),
-        )
-        .unwrap();
-        let workload = sofos_workload::generate_workload(
-            &ds,
-            &facet,
-            &sofos_workload::WorkloadConfig {
-                num_queries: 10,
-                ..Default::default()
-            },
-        );
-        (
-            ConcurrentSession::new(ds, facet, offline.view_catalog(), policy, shards, threads),
-            workload,
-        )
-    }
-
-    fn session_delta(batch: usize) -> Delta {
-        use sofos_workload::synthetic::NS;
-        let mut delta = Delta::new();
-        for i in 0..3usize {
-            let node = Term::blank(format!("u{batch}_{i}"));
-            for d in 0..3usize {
-                delta.insert(
-                    node.clone(),
-                    Term::iri(format!("{NS}dim{d}")),
-                    Term::iri(format!("{NS}v{d}_{}", (batch + i + d) % 3)),
-                );
-            }
-            delta.insert(
-                node,
-                Term::iri(format!("{NS}measure")),
-                Term::literal_int(100 + (batch * 7 + i) as i64),
-            );
-        }
-        delta
-    }
-
-    fn assert_answers_match_base(session: &ConcurrentSession, workload: &[GeneratedQuery]) {
-        for q in workload {
-            let answer = session.query(&q.query).expect("session query runs");
-            let snapshot = session.pin();
-            let reference = Evaluator::new(snapshot.dataset())
-                .evaluate(&q.query)
-                .expect("base evaluation runs");
-            assert!(
-                results_equivalent(&answer.results, &reference),
-                "concurrent answer diverged from base graph for {}",
-                q.text
-            );
-        }
-    }
-
-    #[test]
-    fn eager_epochs_stay_consistent_across_updates() {
-        let (session, workload) = setup(StalenessPolicy::Eager, 4, 2);
-        for batch in 0..3 {
-            session.update(session_delta(batch)).unwrap();
-            assert_eq!(session.stale_views(), 0, "eager epochs are never stale");
-        }
-        assert_eq!(session.store().epoch(), 3, "one epoch per batch");
-        assert!(!session.maintenance().per_view.is_empty());
-        assert!(
-            !session.shard_scan_totals().is_empty(),
-            "sharded scans produced telemetry"
-        );
-        assert_answers_match_base(&session, &workload);
-        let (hits, _) = session.routing_counts();
-        assert!(hits > 0, "rewriter still routes to views after updates");
-    }
-
-    #[test]
-    fn lazy_replays_missed_epochs_on_hit() {
-        let (session, workload) = setup(StalenessPolicy::LazyOnHit, 4, 2);
-        let views_before = session.views().len();
-        session.update(session_delta(0)).unwrap();
-        session.update(session_delta(1)).unwrap();
-        assert_eq!(session.stale_views(), views_before, "all views lag");
-        assert!(session.maintenance().per_view.is_empty());
-        assert_answers_match_base(&session, &workload);
-        assert!(
-            !session.maintenance().per_view.is_empty(),
-            "hits repaired the routed views"
-        );
-        assert!(session.stale_views() < views_before);
-        // Repairs published new epochs beyond the two update batches.
-        assert!(session.store().epoch() > 2);
-    }
-
-    #[test]
-    fn invalidate_drops_catalog_atomically() {
-        let (session, workload) = setup(StalenessPolicy::Invalidate, 2, 1);
-        assert!(!session.views().is_empty());
-        let pinned = session.pin();
-        session.update(session_delta(0)).unwrap();
-        assert!(session.views().is_empty());
-        assert!(
-            !pinned.dataset().graph_names().is_empty(),
-            "the pre-update pin still holds every view graph"
-        );
-        assert!(
-            session.pin().dataset().graph_names().is_empty(),
-            "new pins see no view graphs"
-        );
-        assert_answers_match_base(&session, &workload);
-        let (hits, fallbacks) = session.routing_counts();
-        assert_eq!(hits, 0);
-        assert_eq!(fallbacks, workload.len());
-    }
-
-    #[test]
-    fn bounded_coalesces_batches_into_one_epoch_and_tags_reads() {
-        let (session, workload) = setup(StalenessPolicy::bounded(3, 10), 4, 2);
-        // Two buffered batches: nothing published, reads lag and say so.
-        session.update(session_delta(0)).unwrap();
-        session.update(session_delta(1)).unwrap();
-        assert_eq!(
-            session.store().epoch(),
-            0,
-            "buffered batches publish nothing"
-        );
-        assert_eq!(session.buffered_updates(), 2);
-        let answer = session.query(&workload[0].query).unwrap();
-        assert_eq!(answer.freshness.lag, 2);
-        assert!(!answer.freshness.is_fresh());
-        assert_eq!(answer.freshness.epoch, 0);
-
-        // The third batch crosses max_batches: one flush, ONE epoch.
-        session.update(session_delta(2)).unwrap();
-        assert_eq!(session.store().epoch(), 1, "three batches, one epoch");
-        assert_eq!(session.buffered_updates(), 0);
-        assert!(!session.maintenance().per_view.is_empty());
-        assert_eq!(session.stale_views(), 0, "flush maintains every view");
-        let answer = session.query(&workload[0].query).unwrap();
-        assert!(answer.freshness.is_fresh());
-        assert_eq!(answer.freshness.epoch, 1);
-        assert_answers_match_base(&session, &workload);
-
-        // The pipeline split was measured.
-        let telemetry = session.pipeline_telemetry();
-        assert!(telemetry.serial_us + telemetry.parallel_work_us > 0);
-        assert!(telemetry.serial_fraction().is_some());
-    }
-
-    #[test]
-    fn bounded_lag_budget_forces_a_flush_at_serve_time() {
-        let (session, workload) = setup(StalenessPolicy::bounded(100, 1), 2, 2);
-        session.update(session_delta(0)).unwrap();
-        session.update(session_delta(1)).unwrap();
-        assert_eq!(session.buffered_updates(), 2, "2 > budget 1, unserved");
-        // The read trips the budget: flush first, then serve fresh.
-        let answer = session.query(&workload[0].query).unwrap();
-        assert!(
-            answer.freshness.lag <= 1,
-            "no read is served past max_epoch_lag"
-        );
-        assert_eq!(session.store().epoch(), 1, "the forced flush published");
-        assert_eq!(session.buffered_updates(), 0);
-        assert_answers_match_base(&session, &workload);
-    }
-
-    #[test]
-    fn explicit_flush_drains_the_buffer() {
-        let (session, workload) = setup(StalenessPolicy::bounded(100, 100), 2, 1);
-        session.flush().expect("empty flush is a no-op");
-        assert_eq!(session.store().epoch(), 0);
-        session.update(session_delta(0)).unwrap();
-        session.flush().unwrap();
-        assert_eq!(session.store().epoch(), 1);
-        assert_eq!(session.buffered_updates(), 0);
-        assert_answers_match_base(&session, &workload);
-    }
-
-    #[test]
-    fn readers_overlap_a_writing_session() {
-        let (session, workload) = setup(StalenessPolicy::Eager, 4, 2);
-        let session = std::sync::Arc::new(session);
-        std::thread::scope(|scope| {
-            let mut readers = Vec::new();
-            for r in 0..3 {
-                let session = std::sync::Arc::clone(&session);
-                let workload = &workload;
-                readers.push(scope.spawn(move || {
-                    for i in 0..20 {
-                        let q = &workload[(r + i) % workload.len()];
-                        let answer = session.query(&q.query).expect("query runs");
-                        // Validate against the same epoch the answer used:
-                        // its own snapshot semantics guarantee agreement.
-                        assert!(answer.results.len() < 10_000);
-                    }
-                }));
-            }
-            for batch in 0..5 {
-                session.update(session_delta(batch)).expect("update runs");
-            }
-            for handle in readers {
-                handle.join().expect("reader ran clean");
-            }
-        });
-        // After the dust settles, answers are exact.
-        assert_answers_match_base(&session, &workload);
-    }
-
-    #[test]
-    fn swap_views_rolls_back_on_mid_swap_failure() {
-        let (session, workload) = setup(StalenessPolicy::Eager, 2, 1);
-        let before = session.views();
-        let before_masks: Vec<ViewMask> = before.iter().map(|(m, _)| *m).collect();
-        assert!(!before_masks.contains(&ViewMask::APEX));
-        let epoch_before = session.store().epoch();
-        let graphs_before = session.pin().dataset().graph_names().len();
-
-        // Target keeps the existing catalog and adds two views; the
-        // injected materializer succeeds on the first addition and fails
-        // on the second — a genuine mid-swap abort.
-        let dims = session.facet().dim_count();
-        let mut target = before_masks.clone();
-        let added_ok = (1..(1u64 << dims))
-            .map(ViewMask)
-            .find(|m| !before_masks.contains(m))
-            .expect("the default budget leaves lattice views unmaterialized");
-        target.push(added_ok);
-        target.push(ViewMask::APEX);
-
-        let mut calls = 0usize;
-        let err = session
-            .swap_views_with(&target, |dataset, facet, mask| {
-                calls += 1;
-                if calls == 2 {
-                    return Err(SparqlError::Eval("injected mid-swap failure".into()));
-                }
-                materialize_view(dataset, facet, mask)
-            })
-            .expect_err("second materialization fails");
-        assert!(matches!(err, SparqlError::Eval(_)));
-        assert_eq!(calls, 2, "first view materialized, second aborted");
-
-        // Rollback: catalog untouched, no epoch published, the
-        // successfully-materialized view graph is gone again.
-        assert_eq!(session.views(), before);
-        assert_eq!(session.store().epoch(), epoch_before);
-        assert_eq!(session.pin().dataset().graph_names().len(), graphs_before);
-        assert_answers_match_base(&session, &workload);
-
-        // The same swap with the real materializer succeeds and publishes.
-        let churn = session.swap_views(&target).expect("real swap succeeds");
-        assert_eq!(churn.added.len(), 2);
-        assert_eq!(session.store().epoch(), epoch_before + 1);
-        assert_answers_match_base(&session, &workload);
-    }
-
-    #[test]
-    fn swap_views_churn_matches_serial_semantics() {
-        let (session, workload) = setup(StalenessPolicy::LazyOnHit, 2, 1);
-        session.update(session_delta(0)).unwrap();
-        let before: Vec<ViewMask> = session.views().iter().map(|(m, _)| *m).collect();
-        let kept = before[0];
-        let churn = session.swap_views(&[kept, ViewMask::APEX]).unwrap();
-        assert_eq!(churn.kept, vec![kept]);
-        assert_eq!(churn.added, vec![ViewMask::APEX]);
-        assert_eq!(churn.retired.len(), before.len() - 1);
-        session.update(session_delta(1)).unwrap();
-        assert_answers_match_base(&session, &workload);
+        self.backend.swap_views(target)
     }
 }

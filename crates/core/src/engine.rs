@@ -1,0 +1,1078 @@
+//! The one front door: [`Engine`] — a single serving surface over
+//! pluggable backends.
+//!
+//! SOFOS's demo value is letting a user flip one knob (cost model, budget,
+//! λ, staleness bound) and watch the trade-off move. Before this module
+//! that required choosing between two divergent APIs — the serial
+//! [`Session`](crate::online::Session) and the epoch-based
+//! [`ConcurrentSession`](crate::concurrent::ConcurrentSession) — each with
+//! its own copy of the staleness machinery. The [`Engine`] collapses the
+//! choice into a builder knob:
+//!
+//! ```
+//! use sofos_core::{Backend, Engine, StalenessPolicy};
+//! use sofos_workload::synthetic;
+//!
+//! let g = synthetic::generate(&synthetic::Config::default());
+//! let engine = Engine::builder()
+//!     .dataset(g.dataset.clone())
+//!     .facet(g.default_facet().clone())
+//!     .staleness(StalenessPolicy::bounded(4, 2))
+//!     .backend(Backend::Epoch { shards: 4, threads: 2 })
+//!     .build()
+//!     .unwrap();
+//! assert_eq!(engine.backend_name(), "epoch");
+//! ```
+//!
+//! Both backends implement the sealed [`ServingBackend`] trait over the
+//! *same* policy machinery ([`crate::policy`]) — eager / lazy-on-hit /
+//! invalidate / bounded state machines, pending-log cursors, freshness
+//! tagging, flush accounting, and the sliding demand/churn windows the
+//! adaptive layer ([`crate::adaptive`]) reads. A policy written once works
+//! on both; the conformance suite
+//! (`crates/core/tests/engine_conformance.rs`) holds them bit-equal.
+//!
+//! * [`Backend::Serial`] — one mutable dataset behind a mutex. Queries
+//!   and updates serialize; simple, and exactly the paper's single-node
+//!   regime (the `e9_concurrency` baseline).
+//! * [`Backend::Epoch`] — the sharded epoch store: readers pin immutable
+//!   snapshots and never wait for the writer; maintenance runs two-phase
+//!   and publishes whole batches as single epochs.
+//!
+//! Wall-clock staleness ([`StalenessPolicy::Bounded`]'s `max_lag_ms`) is
+//! driven by an injected [`Clock`] ([`EngineBuilder::clock`]), so
+//! bounded-staleness behaviour is property-testable with a
+//! [`crate::policy::ManualClock`].
+
+mod epoch;
+mod serial;
+
+pub(crate) use epoch::EpochBackend;
+pub(crate) use serial::{SerialBackend, SerialState};
+
+use crate::policy::{system_clock, Clock, Freshness, StalenessPolicy};
+use sofos_cost::UpdateRates;
+use sofos_cube::{Facet, ViewMask};
+use sofos_maintain::{MaintenanceReport, PipelineTelemetry};
+use sofos_rdf::FxHashMap;
+use sofos_select::WorkloadProfile;
+use sofos_sparql::{Query, QueryResults, SparqlError};
+use sofos_store::{Dataset, Delta};
+use std::sync::Arc;
+
+// ---------------------------------------------------------------------------
+// Serving types
+// ---------------------------------------------------------------------------
+
+/// Where a query was answered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Route {
+    /// Rewritten against a materialized view.
+    View(ViewMask),
+    /// Fell back to the base graph.
+    BaseGraph,
+}
+
+/// One query's answer inside an engine (or legacy session).
+#[derive(Debug, Clone)]
+pub struct SessionAnswer {
+    /// Where the query was answered.
+    pub route: Route,
+    /// The results.
+    pub results: QueryResults,
+    /// Maintenance time this query triggered (lazy repairs, forced
+    /// bounded flushes), µs.
+    pub maintenance_us: u64,
+    /// How fresh the served state was (always fresh outside the bounded
+    /// policy).
+    pub freshness: Freshness,
+}
+
+/// What a [`Engine::swap_views`] actually changed.
+#[derive(Debug, Clone)]
+pub struct ViewChurn {
+    /// Views materialized by the swap, in catalog order.
+    pub added: Vec<ViewMask>,
+    /// Views dropped by the swap.
+    pub retired: Vec<ViewMask>,
+    /// Views present before and after (maintenance state preserved).
+    pub kept: Vec<ViewMask>,
+    /// Wall time spent materializing the added views (µs).
+    pub materialize_us: u64,
+    /// Wall time spent dropping the retired views (µs).
+    pub drop_us: u64,
+}
+
+impl ViewChurn {
+    /// Views touched by the swap (`added + retired`) — 0 means the
+    /// re-selection confirmed the standing set.
+    pub fn churned(&self) -> usize {
+        self.added.len() + self.retired.len()
+    }
+}
+
+/// The set difference behind a transactional catalog swap — computed
+/// once here so both backends share one definition of added/retired/kept
+/// (the lock/transaction choreography around it is what genuinely
+/// differs per backend).
+pub(crate) struct SwapPlan {
+    pub(crate) added: Vec<ViewMask>,
+    pub(crate) retired: Vec<ViewMask>,
+    pub(crate) kept: Vec<ViewMask>,
+}
+
+pub(crate) fn plan_swap(current: &[ViewMask], target: &[ViewMask]) -> SwapPlan {
+    debug_assert!(
+        target
+            .iter()
+            .map(|m| m.0)
+            .collect::<sofos_rdf::FxHashSet<_>>()
+            .len()
+            == target.len(),
+        "swap_views target must not contain duplicates: {target:?}"
+    );
+    let current_set: sofos_rdf::FxHashSet<u64> = current.iter().map(|m| m.0).collect();
+    let wanted: sofos_rdf::FxHashSet<u64> = target.iter().map(|m| m.0).collect();
+    SwapPlan {
+        added: target
+            .iter()
+            .copied()
+            .filter(|m| !current_set.contains(&m.0))
+            .collect(),
+        retired: current
+            .iter()
+            .copied()
+            .filter(|m| !wanted.contains(&m.0))
+            .collect(),
+        kept: target
+            .iter()
+            .copied()
+            .filter(|m| current_set.contains(&m.0))
+            .collect(),
+    }
+}
+
+/// Rebuild the catalog in `target` order: kept entries carry their live
+/// row counts from `old`, added ones take their freshly-`materialized`
+/// counts.
+pub(crate) fn rebuild_catalog(
+    target: &[ViewMask],
+    old: &[(ViewMask, usize)],
+    materialized: &[(ViewMask, usize)],
+) -> Vec<(ViewMask, usize)> {
+    let old_catalog: FxHashMap<u64, usize> = old.iter().map(|(m, rows)| (m.0, *rows)).collect();
+    target
+        .iter()
+        .map(|&mask| {
+            let rows = old_catalog.get(&mask.0).copied().unwrap_or_else(|| {
+                materialized
+                    .iter()
+                    .find(|(m, _)| *m == mask)
+                    .map_or(0, |(_, rows)| *rows)
+            });
+            (mask, rows)
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
+// The sealed backend trait
+// ---------------------------------------------------------------------------
+
+mod sealed {
+    /// Seals [`super::ServingBackend`]: backends are an engine-internal
+    /// contract, not an extension point — downstream crates pick one via
+    /// [`super::Backend`], they don't implement their own.
+    pub trait Sealed {}
+    impl Sealed for super::SerialBackend {}
+    impl Sealed for super::EpochBackend {}
+}
+
+/// The serving surface every backend provides — one vocabulary of
+/// operations regardless of how state is stored. Sealed: the two
+/// implementations are [`Backend::Serial`] and [`Backend::Epoch`].
+///
+/// All methods take `&self`; backends are internally synchronized, so an
+/// [`Engine`] can be shared across threads (`Arc<Engine>`) with either
+/// backend — the serial one simply serializes callers.
+pub trait ServingBackend: sealed::Sealed + Send + Sync {
+    /// Apply an update batch under the engine's staleness policy.
+    fn update(&self, delta: Delta) -> Result<(), SparqlError>;
+
+    /// Answer one query, routing through the rewriter; staleness policy
+    /// decides whether stale views are repaired, served tagged, or
+    /// flushed first.
+    fn query(&self, query: &Query) -> Result<SessionAnswer, SparqlError>;
+
+    /// Replace the materialized set with `target`, transactionally
+    /// (materialize-first, rollback on failure).
+    fn swap_views(&self, target: &[ViewMask]) -> Result<ViewChurn, SparqlError>;
+
+    /// Drain deferred maintenance: flush buffered updates (bounded) and
+    /// repair every stale view. Returns maintenance µs spent.
+    fn flush(&self) -> Result<u64, SparqlError>;
+
+    /// A consistent point-in-time copy of the served dataset (cheap:
+    /// datasets clone by `Arc`-sharing index runs).
+    fn snapshot(&self) -> Dataset;
+
+    /// The live catalog (mask + row count, in selection order).
+    fn views(&self) -> Vec<(ViewMask, usize)>;
+
+    /// The staleness policy.
+    fn policy(&self) -> StalenessPolicy;
+
+    /// Accumulated maintenance log.
+    fn maintenance(&self) -> MaintenanceReport;
+
+    /// `(view hits, base-graph fallbacks)` so far.
+    fn routing_counts(&self) -> (usize, usize);
+
+    /// Update batches applied so far.
+    fn update_batches(&self) -> usize;
+
+    /// Views currently stale (deferred repairs pending).
+    fn stale_views(&self) -> usize;
+
+    /// Bounded policy: update batches buffered and not yet flushed.
+    fn buffered_updates(&self) -> usize;
+
+    /// The published state stamp: epoch number (epoch backend) or
+    /// applied-update-batch count (serial backend).
+    fn epoch(&self) -> u64;
+
+    /// The sliding workload profile (recently demanded masks).
+    fn window_profile(&self) -> WorkloadProfile;
+
+    /// Observed update pressure over the sliding batch window.
+    fn observed_rates(&self) -> UpdateRates;
+
+    /// The sliding per-group churn distribution.
+    fn churn_profile(&self) -> FxHashMap<u64, f64>;
+
+    /// Two-phase pipeline telemetry, when the backend runs the pipeline
+    /// (`None` on the serial backend).
+    fn pipeline_telemetry(&self) -> Option<PipelineTelemetry>;
+
+    /// Short backend name for reports (`"serial"` / `"epoch"`).
+    fn backend_name(&self) -> &'static str;
+}
+
+// ---------------------------------------------------------------------------
+// Builder
+// ---------------------------------------------------------------------------
+
+/// Which serving backend an [`Engine`] runs on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Backend {
+    /// One mutable dataset behind a mutex: queries and updates serialize.
+    Serial,
+    /// The sharded epoch store: readers pin immutable snapshots while the
+    /// writer publishes epochs; maintenance scans split across `threads`
+    /// workers over `shards` subject-hash shards.
+    Epoch {
+        /// Subject-hash shard count (min 1).
+        shards: usize,
+        /// Maintenance worker threads per batch (min 1).
+        threads: usize,
+    },
+}
+
+impl Backend {
+    /// Short name for reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            Backend::Serial => "serial",
+            Backend::Epoch { .. } => "epoch",
+        }
+    }
+}
+
+impl std::fmt::Display for Backend {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Backend::Serial => f.write_str("serial"),
+            Backend::Epoch { shards, threads } => write!(f, "epoch({shards}x{threads})"),
+        }
+    }
+}
+
+/// What [`EngineBuilder::build`] can reject.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EngineBuildError {
+    /// No dataset was provided.
+    MissingDataset,
+    /// No facet was provided.
+    MissingFacet,
+}
+
+impl std::fmt::Display for EngineBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EngineBuildError::MissingDataset => {
+                f.write_str("Engine::builder() needs a dataset (EngineBuilder::dataset)")
+            }
+            EngineBuildError::MissingFacet => {
+                f.write_str("Engine::builder() needs a facet (EngineBuilder::facet)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EngineBuildError {}
+
+/// Builder for [`Engine`] — dataset and facet are required, everything
+/// else has serving defaults (empty catalog, eager staleness, serial
+/// backend, system clock).
+pub struct EngineBuilder {
+    dataset: Option<Dataset>,
+    facet: Option<Facet>,
+    catalog: Vec<(ViewMask, usize)>,
+    policy: StalenessPolicy,
+    backend: Backend,
+    clock: Option<Arc<dyn Clock>>,
+}
+
+impl EngineBuilder {
+    /// The (expanded) dataset to serve — `G+` when the catalog's views
+    /// are already materialized into named graphs.
+    pub fn dataset(mut self, dataset: Dataset) -> EngineBuilder {
+        self.dataset = Some(dataset);
+        self
+    }
+
+    /// The analytical facet.
+    pub fn facet(mut self, facet: Facet) -> EngineBuilder {
+        self.facet = Some(facet);
+        self
+    }
+
+    /// The view catalog (mask + row count), as produced by
+    /// [`crate::offline::OfflineOutcome::view_catalog`]. The views must
+    /// already be materialized in the dataset. Defaults to empty (every
+    /// query falls back to the base graph).
+    pub fn catalog(mut self, catalog: Vec<(ViewMask, usize)>) -> EngineBuilder {
+        self.catalog = catalog;
+        self
+    }
+
+    /// The staleness policy (default: [`StalenessPolicy::Eager`]).
+    pub fn staleness(mut self, policy: StalenessPolicy) -> EngineBuilder {
+        self.policy = policy;
+        self
+    }
+
+    /// The serving backend (default: [`Backend::Serial`]).
+    pub fn backend(mut self, backend: Backend) -> EngineBuilder {
+        self.backend = backend;
+        self
+    }
+
+    /// The clock driving wall-clock staleness bounds (default:
+    /// [`crate::policy::SystemClock`]). Inject a
+    /// [`crate::policy::ManualClock`] to test `max_lag_ms` behaviour.
+    pub fn clock(mut self, clock: Arc<dyn Clock>) -> EngineBuilder {
+        self.clock = Some(clock);
+        self
+    }
+
+    /// Assemble the engine.
+    pub fn build(self) -> Result<Engine, EngineBuildError> {
+        let dataset = self.dataset.ok_or(EngineBuildError::MissingDataset)?;
+        let facet = self.facet.ok_or(EngineBuildError::MissingFacet)?;
+        let clock = self.clock.unwrap_or_else(system_clock);
+        let backend: Box<dyn ServingBackend> = match self.backend {
+            Backend::Serial => Box::new(SerialBackend::new(
+                dataset,
+                facet.clone(),
+                self.catalog,
+                self.policy,
+                clock,
+            )),
+            Backend::Epoch { shards, threads } => Box::new(EpochBackend::new(
+                dataset,
+                facet.clone(),
+                self.catalog,
+                self.policy,
+                shards,
+                threads,
+                clock,
+            )),
+        };
+        Ok(Engine { facet, backend })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Engine
+// ---------------------------------------------------------------------------
+
+/// The SOFOS serving engine: one type, one API, pluggable backends.
+///
+/// Construct with [`Engine::builder`]; every serving operation
+/// ([`Engine::query`], [`Engine::update`], [`Engine::swap_views`], the
+/// staleness knobs, the adaptive-layer observations) behaves identically
+/// across [`Backend::Serial`] and [`Backend::Epoch`] — that equivalence
+/// is property-tested by the backend conformance suite.
+///
+/// All methods take `&self`: an `Arc<Engine>` can be shared across reader
+/// and writer threads with either backend.
+pub struct Engine {
+    facet: Facet,
+    backend: Box<dyn ServingBackend>,
+}
+
+impl Engine {
+    /// Start building an engine.
+    pub fn builder() -> EngineBuilder {
+        EngineBuilder {
+            dataset: None,
+            facet: None,
+            catalog: Vec::new(),
+            policy: StalenessPolicy::Eager,
+            backend: Backend::Serial,
+            clock: None,
+        }
+    }
+
+    /// The facet.
+    pub fn facet(&self) -> &Facet {
+        &self.facet
+    }
+
+    /// Apply an update batch under the engine's staleness policy.
+    pub fn update(&self, delta: Delta) -> Result<(), SparqlError> {
+        self.backend.update(delta)
+    }
+
+    /// Answer one query, routing through the rewriter.
+    pub fn query(&self, query: &Query) -> Result<SessionAnswer, SparqlError> {
+        self.backend.query(query)
+    }
+
+    /// Replace the materialized set with `target`, transactionally.
+    pub fn swap_views(&self, target: &[ViewMask]) -> Result<ViewChurn, SparqlError> {
+        self.backend.swap_views(target)
+    }
+
+    /// Drain deferred maintenance; returns maintenance µs spent.
+    pub fn flush(&self) -> Result<u64, SparqlError> {
+        self.backend.flush()
+    }
+
+    /// A consistent point-in-time copy of the served dataset.
+    pub fn snapshot(&self) -> Dataset {
+        self.backend.snapshot()
+    }
+
+    /// The live catalog (mask + row count).
+    pub fn views(&self) -> Vec<(ViewMask, usize)> {
+        self.backend.views()
+    }
+
+    /// The staleness policy.
+    pub fn policy(&self) -> StalenessPolicy {
+        self.backend.policy()
+    }
+
+    /// Accumulated maintenance log.
+    pub fn maintenance(&self) -> MaintenanceReport {
+        self.backend.maintenance()
+    }
+
+    /// `(view hits, base-graph fallbacks)` so far.
+    pub fn routing_counts(&self) -> (usize, usize) {
+        self.backend.routing_counts()
+    }
+
+    /// Update batches applied so far.
+    pub fn update_batches(&self) -> usize {
+        self.backend.update_batches()
+    }
+
+    /// Views currently stale.
+    pub fn stale_views(&self) -> usize {
+        self.backend.stale_views()
+    }
+
+    /// Bounded policy: update batches buffered and not yet flushed.
+    pub fn buffered_updates(&self) -> usize {
+        self.backend.buffered_updates()
+    }
+
+    /// The published state stamp (epoch number / applied batch count).
+    pub fn epoch(&self) -> u64 {
+        self.backend.epoch()
+    }
+
+    /// The sliding workload profile.
+    pub fn window_profile(&self) -> WorkloadProfile {
+        self.backend.window_profile()
+    }
+
+    /// Observed update pressure over the sliding batch window.
+    pub fn observed_rates(&self) -> UpdateRates {
+        self.backend.observed_rates()
+    }
+
+    /// The sliding per-group churn distribution.
+    pub fn churn_profile(&self) -> FxHashMap<u64, f64> {
+        self.backend.churn_profile()
+    }
+
+    /// Two-phase pipeline telemetry (`None` on the serial backend).
+    pub fn pipeline_telemetry(&self) -> Option<PipelineTelemetry> {
+        self.backend.pipeline_telemetry()
+    }
+
+    /// Short backend name (`"serial"` / `"epoch"`).
+    pub fn backend_name(&self) -> &'static str {
+        self.backend.backend_name()
+    }
+}
+
+impl std::fmt::Debug for Engine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Engine")
+            .field("backend", &self.backend.backend_name())
+            .field("policy", &self.backend.policy())
+            .field("facet", &self.facet.id)
+            .field("views", &self.backend.views().len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::EngineConfig;
+    use crate::offline::{run_offline, SizedLattice};
+    use crate::policy::ManualClock;
+    use crate::validate::results_equivalent;
+    use sofos_cost::CostModelKind;
+    use sofos_cube::AggOp;
+    use sofos_rdf::Term;
+    use sofos_select::WorkloadProfile;
+    use sofos_sparql::Evaluator;
+    use sofos_workload::{synthetic, GeneratedQuery};
+
+    fn built(
+        policy: StalenessPolicy,
+        backend: Backend,
+        clock: Option<Arc<dyn Clock>>,
+    ) -> (Engine, Vec<GeneratedQuery>) {
+        let g = synthetic::generate(&synthetic::Config {
+            observations: 120,
+            agg: AggOp::Avg, // SUM+COUNT components: all aggs derivable except MIN/MAX
+            ..synthetic::Config::default()
+        });
+        let facet = g.facets[0].clone();
+        let mut ds = g.dataset;
+        let sized = SizedLattice::compute(&ds, &facet).unwrap();
+        let profile = WorkloadProfile::uniform(&sized.lattice);
+        let offline = run_offline(
+            &mut ds,
+            &sized,
+            &profile,
+            CostModelKind::AggValues,
+            &EngineConfig::default(),
+        )
+        .unwrap();
+        let workload = sofos_workload::generate_workload(
+            &ds,
+            &facet,
+            &sofos_workload::WorkloadConfig {
+                num_queries: 10,
+                ..Default::default()
+            },
+        );
+        let mut builder = Engine::builder()
+            .dataset(ds)
+            .facet(facet)
+            .catalog(offline.view_catalog())
+            .staleness(policy)
+            .backend(backend);
+        if let Some(clock) = clock {
+            builder = builder.clock(clock);
+        }
+        (builder.build().expect("engine builds"), workload)
+    }
+
+    fn setup(policy: StalenessPolicy, backend: Backend) -> (Engine, Vec<GeneratedQuery>) {
+        built(policy, backend, None)
+    }
+
+    /// One update batch: fresh observations landing on rotating groups.
+    fn session_delta(batch: usize) -> Delta {
+        use sofos_workload::synthetic::NS;
+        let mut delta = Delta::new();
+        for i in 0..3usize {
+            let node = Term::blank(format!("u{batch}_{i}"));
+            for d in 0..3usize {
+                delta.insert(
+                    node.clone(),
+                    Term::iri(format!("{NS}dim{d}")),
+                    Term::iri(format!("{NS}v{d}_{}", (batch + i + d) % 3)),
+                );
+            }
+            delta.insert(
+                node,
+                Term::iri(format!("{NS}measure")),
+                Term::literal_int(100 + (batch * 7 + i) as i64),
+            );
+        }
+        delta
+    }
+
+    fn assert_answers_match_base(engine: &Engine, workload: &[GeneratedQuery]) {
+        for q in workload {
+            let answer = engine.query(&q.query).expect("engine query runs");
+            let snapshot = engine.snapshot();
+            let reference = Evaluator::new(&snapshot)
+                .evaluate(&q.query)
+                .expect("base evaluation runs");
+            assert!(
+                results_equivalent(&answer.results, &reference),
+                "engine answer diverged from base graph for {}",
+                q.text
+            );
+        }
+    }
+
+    const BOTH: [Backend; 2] = [
+        Backend::Serial,
+        Backend::Epoch {
+            shards: 4,
+            threads: 2,
+        },
+    ];
+
+    #[test]
+    fn builder_requires_dataset_and_facet() {
+        assert_eq!(
+            Engine::builder().build().unwrap_err(),
+            EngineBuildError::MissingDataset
+        );
+        let g = synthetic::generate(&synthetic::Config::default());
+        assert_eq!(
+            Engine::builder().dataset(g.dataset).build().unwrap_err(),
+            EngineBuildError::MissingFacet
+        );
+        assert!(EngineBuildError::MissingDataset
+            .to_string()
+            .contains("dataset"));
+    }
+
+    #[test]
+    fn backend_names_and_display() {
+        assert_eq!(Backend::Serial.name(), "serial");
+        let epoch = Backend::Epoch {
+            shards: 4,
+            threads: 2,
+        };
+        assert_eq!(epoch.name(), "epoch");
+        assert_eq!(epoch.to_string(), "epoch(4x2)");
+        let (engine, _) = setup(StalenessPolicy::Eager, Backend::Serial);
+        assert_eq!(engine.backend_name(), "serial");
+        assert!(format!("{engine:?}").contains("serial"));
+    }
+
+    #[test]
+    fn eager_engine_maintains_views_on_update_on_both_backends() {
+        for backend in BOTH {
+            let (engine, workload) = setup(StalenessPolicy::Eager, backend);
+            for batch in 0..3 {
+                engine.update(session_delta(batch)).unwrap();
+                assert_eq!(engine.stale_views(), 0, "{backend}: eager never goes stale");
+            }
+            assert_eq!(engine.update_batches(), 3);
+            assert!(!engine.maintenance().per_view.is_empty(), "{backend}");
+            assert_answers_match_base(&engine, &workload);
+            let (hits, _) = engine.routing_counts();
+            assert!(hits > 0, "{backend}: rewriter still routes to views");
+        }
+    }
+
+    #[test]
+    fn lazy_engine_repairs_views_on_first_hit_on_both_backends() {
+        for backend in BOTH {
+            let (engine, workload) = setup(StalenessPolicy::LazyOnHit, backend);
+            let views_before = engine.views().len();
+            engine.update(session_delta(0)).unwrap();
+            assert_eq!(
+                engine.stale_views(),
+                views_before,
+                "{backend}: updates leave every view stale under lazy"
+            );
+            assert!(
+                engine.maintenance().per_view.is_empty(),
+                "{backend}: no maintenance at update time"
+            );
+            assert_answers_match_base(&engine, &workload);
+            assert!(
+                !engine.maintenance().per_view.is_empty(),
+                "{backend}: query hits triggered lazy repairs"
+            );
+            assert!(
+                engine.stale_views() < views_before,
+                "{backend}: hit views are repaired"
+            );
+
+            // A second pass over the same workload triggers no further
+            // repairs.
+            let repairs = engine.maintenance().per_view.len();
+            assert_answers_match_base(&engine, &workload);
+            assert_eq!(engine.maintenance().per_view.len(), repairs, "{backend}");
+        }
+    }
+
+    #[test]
+    fn invalidate_engine_drops_views_and_falls_back_on_both_backends() {
+        for backend in BOTH {
+            let (engine, workload) = setup(StalenessPolicy::Invalidate, backend);
+            assert!(!engine.views().is_empty());
+            engine.update(session_delta(0)).unwrap();
+            assert!(engine.views().is_empty(), "{backend}: catalog dropped");
+            assert!(
+                engine.snapshot().graph_names().is_empty(),
+                "{backend}: view graphs are gone"
+            );
+            assert_answers_match_base(&engine, &workload);
+            let (hits, fallbacks) = engine.routing_counts();
+            assert_eq!(hits, 0, "{backend}");
+            assert_eq!(fallbacks, workload.len(), "{backend}");
+        }
+    }
+
+    #[test]
+    fn engine_tracks_window_profile_and_rates() {
+        for backend in BOTH {
+            let (engine, workload) = setup(StalenessPolicy::Eager, backend);
+            assert_eq!(engine.window_profile().total_weight(), 0.0, "{backend}");
+            assert_eq!(
+                engine.observed_rates(),
+                sofos_cost::UpdateRates::FROZEN,
+                "{backend}"
+            );
+
+            for q in &workload {
+                engine.query(&q.query).unwrap();
+            }
+            let profile = engine.window_profile();
+            assert_eq!(profile.total_weight(), workload.len() as f64, "{backend}");
+
+            engine.update(session_delta(0)).unwrap();
+            let rates = engine.observed_rates();
+            // session_delta inserts 3 complete 4-triple stars (3 dims +
+            // measure).
+            assert!(
+                (rates.inserts_per_round - 3.0).abs() < 1e-9,
+                "{backend}: {rates:?}"
+            );
+            assert_eq!(rates.deletes_per_round, 0.0, "{backend}");
+        }
+    }
+
+    #[test]
+    fn engine_tracks_per_group_churn() {
+        for backend in BOTH {
+            let (engine, _workload) = setup(StalenessPolicy::Eager, backend);
+            assert!(engine.churn_profile().is_empty(), "{backend}");
+            engine.update(session_delta(0)).unwrap();
+            let profile = engine.churn_profile();
+            assert!(!profile.is_empty(), "{backend}");
+            assert!(profile.values().all(|&w| w > 0.0), "{backend}");
+        }
+    }
+
+    #[test]
+    fn swap_views_reports_churn_and_stays_consistent_on_both_backends() {
+        for backend in BOTH {
+            let (engine, workload) = setup(StalenessPolicy::Eager, backend);
+            let before: Vec<ViewMask> = engine.views().iter().map(|(m, _)| *m).collect();
+            assert!(!before.is_empty());
+
+            // Swap to: keep the first standing view, add the apex (not
+            // selected by the offline pass here), retire the rest.
+            let kept = before[0];
+            assert!(
+                !before.contains(&ViewMask::APEX),
+                "test needs the apex to be a genuine addition"
+            );
+            let target = [kept, ViewMask::APEX];
+            let churn = engine.swap_views(&target).unwrap();
+            assert_eq!(churn.added, vec![ViewMask::APEX], "{backend}");
+            assert_eq!(churn.kept, vec![kept], "{backend}");
+            assert_eq!(churn.retired.len(), before.len() - 1, "{backend}");
+            assert_eq!(churn.churned(), 1 + before.len() - 1, "{backend}");
+            assert_eq!(engine.views().len(), 2, "{backend}");
+            assert_eq!(
+                engine.snapshot().graph_names().len(),
+                2,
+                "{backend}: one named graph per catalog view after the swap"
+            );
+            // The swapped catalog still serves correct answers.
+            assert_answers_match_base(&engine, &workload);
+        }
+    }
+
+    #[test]
+    fn swap_views_across_updates_keeps_answers_fresh() {
+        for backend in BOTH {
+            let (engine, workload) = setup(StalenessPolicy::LazyOnHit, backend);
+            engine.update(session_delta(0)).unwrap();
+            // Swap while every standing view is stale: new views
+            // materialize from the *updated* base graph, kept ones repair
+            // lazily.
+            let kept = engine.views()[0].0;
+            engine.swap_views(&[kept, ViewMask::APEX]).unwrap();
+            engine.update(session_delta(1)).unwrap();
+            assert_answers_match_base(&engine, &workload);
+        }
+    }
+
+    #[test]
+    fn bounded_serial_flushes_every_max_batches() {
+        let (engine, workload) = setup(StalenessPolicy::bounded(2, 10), Backend::Serial);
+        let views = engine.views().len();
+        engine.update(session_delta(0)).unwrap();
+        assert_eq!(engine.buffered_updates(), 1);
+        assert_eq!(
+            engine.stale_views(),
+            views,
+            "first batch leaves views stale"
+        );
+        assert!(engine.maintenance().per_view.is_empty());
+
+        // The second batch crosses max_batches: one batched flush repairs
+        // everything.
+        engine.update(session_delta(1)).unwrap();
+        assert_eq!(engine.buffered_updates(), 0);
+        assert_eq!(engine.stale_views(), 0, "flush repaired every view");
+        assert!(!engine.maintenance().per_view.is_empty());
+        assert_answers_match_base(&engine, &workload);
+    }
+
+    #[test]
+    fn bounded_serial_serves_stale_within_budget_and_repairs_past_it() {
+        let (engine, workload) = setup(StalenessPolicy::bounded(100, 1), Backend::Serial);
+        engine.update(session_delta(0)).unwrap();
+
+        // Lag 1 <= budget 1: view answers are served stale, tagged.
+        let mut tagged = 0;
+        for q in &workload {
+            let answer = engine.query(&q.query).unwrap();
+            if matches!(answer.route, Route::View(_)) {
+                assert_eq!(answer.freshness.lag, 1, "one buffered batch behind");
+                assert_eq!(answer.maintenance_us, 0, "no repair within budget");
+                assert!(!answer.freshness.is_fresh());
+                tagged += 1;
+            } else {
+                assert!(answer.freshness.is_fresh(), "base graph is current");
+            }
+        }
+        assert!(tagged > 0, "some answers were served stale");
+
+        // Two more batches: lag 3 > budget 1 forces repair on hit.
+        engine.update(session_delta(1)).unwrap();
+        engine.update(session_delta(2)).unwrap();
+        for q in &workload {
+            let answer = engine.query(&q.query).unwrap();
+            assert!(
+                answer.freshness.lag <= 1,
+                "the lag budget is enforced at serve time"
+            );
+        }
+        // Repaired views now answer exactly.
+        assert!(!engine.maintenance().per_view.is_empty());
+        engine.flush().unwrap();
+        assert_answers_match_base(&engine, &workload);
+    }
+
+    #[test]
+    fn bounded_epoch_coalesces_batches_into_one_epoch_and_tags_reads() {
+        let (engine, workload) = setup(
+            StalenessPolicy::bounded(3, 10),
+            Backend::Epoch {
+                shards: 4,
+                threads: 2,
+            },
+        );
+        // Two buffered batches: nothing published, reads lag and say so.
+        engine.update(session_delta(0)).unwrap();
+        engine.update(session_delta(1)).unwrap();
+        assert_eq!(engine.epoch(), 0, "buffered batches publish nothing");
+        assert_eq!(engine.buffered_updates(), 2);
+        let answer = engine.query(&workload[0].query).unwrap();
+        assert_eq!(answer.freshness.lag, 2);
+        assert!(!answer.freshness.is_fresh());
+        assert_eq!(answer.freshness.epoch, 0);
+
+        // The third batch crosses max_batches: one flush, ONE epoch.
+        engine.update(session_delta(2)).unwrap();
+        assert_eq!(engine.epoch(), 1, "three batches, one epoch");
+        assert_eq!(engine.buffered_updates(), 0);
+        assert!(!engine.maintenance().per_view.is_empty());
+        assert_eq!(engine.stale_views(), 0, "flush maintains every view");
+        let answer = engine.query(&workload[0].query).unwrap();
+        assert!(answer.freshness.is_fresh());
+        assert_eq!(answer.freshness.epoch, 1);
+        assert_answers_match_base(&engine, &workload);
+
+        // The pipeline split was measured.
+        let telemetry = engine.pipeline_telemetry().expect("epoch backend");
+        assert!(telemetry.serial_us + telemetry.parallel_work_us > 0);
+        assert!(telemetry.serial_fraction().is_some());
+    }
+
+    #[test]
+    fn bounded_epoch_lag_budget_forces_single_batch_flushes_at_serve_time() {
+        let (engine, workload) = setup(
+            StalenessPolicy::bounded(100, 1),
+            Backend::Epoch {
+                shards: 2,
+                threads: 2,
+            },
+        );
+        for batch in 0..3 {
+            engine.update(session_delta(batch)).unwrap();
+        }
+        assert_eq!(engine.buffered_updates(), 3, "3 > budget 1, unserved");
+        // The read trips the budget: serve-path flushes drain one batch
+        // per check until the lag is within budget — two single-batch
+        // epochs here, not one three-batch epoch.
+        let answer = engine.query(&workload[0].query).unwrap();
+        assert!(
+            answer.freshness.lag <= 1,
+            "no read is served past max_epoch_lag"
+        );
+        assert_eq!(
+            engine.epoch(),
+            2,
+            "the forced flush published one epoch per drained batch"
+        );
+        assert_eq!(engine.buffered_updates(), 1, "within budget, one left");
+        engine.flush().unwrap();
+        assert_answers_match_base(&engine, &workload);
+    }
+
+    #[test]
+    fn flush_repairs_lazy_stale_views_on_both_backends() {
+        for backend in BOTH {
+            let (engine, workload) = setup(StalenessPolicy::LazyOnHit, backend);
+            engine.update(session_delta(0)).unwrap();
+            assert!(
+                engine.stale_views() > 0,
+                "{backend}: update left views stale"
+            );
+            engine.flush().unwrap();
+            assert_eq!(
+                engine.stale_views(),
+                0,
+                "{backend}: flush drains ALL deferred maintenance, not just buffers"
+            );
+            // No repair happens at query time now: the flush did it all.
+            let repairs = engine.maintenance().per_view.len();
+            assert_answers_match_base(&engine, &workload);
+            assert_eq!(engine.maintenance().per_view.len(), repairs, "{backend}");
+        }
+    }
+
+    #[test]
+    fn explicit_flush_drains_the_buffer() {
+        let (engine, workload) = setup(
+            StalenessPolicy::bounded(100, 100),
+            Backend::Epoch {
+                shards: 2,
+                threads: 1,
+            },
+        );
+        engine.flush().expect("empty flush is a no-op");
+        assert_eq!(engine.epoch(), 0);
+        engine.update(session_delta(0)).unwrap();
+        engine.flush().unwrap();
+        assert_eq!(engine.epoch(), 1);
+        assert_eq!(engine.buffered_updates(), 0);
+        assert_answers_match_base(&engine, &workload);
+    }
+
+    #[test]
+    fn wall_clock_bound_forces_service_before_serving_on_both_backends() {
+        for backend in BOTH {
+            let clock = ManualClock::shared(0);
+            let (engine, workload) = built(
+                // Generous batch/epoch budgets: only the clock can trip.
+                StalenessPolicy::bounded_ms(100, 100, 50),
+                backend,
+                Some(clock.clone() as Arc<dyn Clock>),
+            );
+            engine.update(session_delta(0)).unwrap();
+            engine.update(session_delta(1)).unwrap();
+
+            // Within the wall-clock budget: served stale, tagged.
+            clock.advance(50);
+            let answer = engine.query(&workload[0].query).unwrap();
+            assert!(
+                answer.freshness.lag <= 2,
+                "{backend}: tag carries the buffered lag"
+            );
+
+            // Past the budget: the serve path repairs/flushes first.
+            clock.advance(1);
+            let answer = engine.query(&workload[0].query).unwrap();
+            match backend {
+                Backend::Serial => {
+                    // The routed view is repaired (or the read fell back
+                    // to the always-current base graph).
+                    assert!(
+                        answer.freshness.is_fresh() || answer.freshness.lag == 0,
+                        "{backend}: no read served past max_lag_ms"
+                    );
+                }
+                Backend::Epoch { .. } => {
+                    assert_eq!(
+                        engine.buffered_updates(),
+                        0,
+                        "{backend}: the clock check drained the buffer"
+                    );
+                    assert!(answer.freshness.is_fresh(), "{backend}");
+                }
+            }
+            assert_answers_match_base(&engine, &workload);
+        }
+    }
+
+    #[test]
+    fn readers_overlap_a_writing_engine() {
+        let (engine, workload) = setup(
+            StalenessPolicy::Eager,
+            Backend::Epoch {
+                shards: 4,
+                threads: 2,
+            },
+        );
+        let engine = std::sync::Arc::new(engine);
+        std::thread::scope(|scope| {
+            let mut readers = Vec::new();
+            for r in 0..3 {
+                let engine = std::sync::Arc::clone(&engine);
+                let workload = &workload;
+                readers.push(scope.spawn(move || {
+                    for i in 0..20 {
+                        let q = &workload[(r + i) % workload.len()];
+                        let answer = engine.query(&q.query).expect("query runs");
+                        assert!(answer.results.len() < 10_000);
+                    }
+                }));
+            }
+            for batch in 0..5 {
+                engine.update(session_delta(batch)).expect("update runs");
+            }
+            for handle in readers {
+                handle.join().expect("reader ran clean");
+            }
+        });
+        // After the dust settles, answers are exact.
+        assert_answers_match_base(&engine, &workload);
+    }
+}

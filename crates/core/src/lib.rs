@@ -9,6 +9,16 @@
 //! * the **online module** ([`online`]) answers workload queries — through
 //!   the rewriter when a materialized view covers them, from the base graph
 //!   otherwise — measuring and optionally validating each answer;
+//! * the **engine** ([`engine`]) is the one front door for *living*
+//!   graphs: [`Engine`] serves interleaved updates and queries under a
+//!   [`StalenessPolicy`], over a pluggable [`Backend`] — [`Backend::Serial`]
+//!   (one mutable dataset) or [`Backend::Epoch`] (sharded epoch snapshots,
+//!   concurrent readers). Both backends run the *same* policy machinery
+//!   ([`policy`]), including wall-clock bounded staleness driven by an
+//!   injectable [`Clock`];
+//! * the **adaptive layer** ([`adaptive`]) watches the engine's sliding
+//!   workload/update profile ([`DriftDetector`]) and re-selects + swaps
+//!   the materialized set when it drifts ([`Reselector`]);
 //! * the **comparison runner** ([`compare`]) repeats offline+online for
 //!   each cost model on identical workloads and tabulates query time vs.
 //!   space amplification ([`report`]).
@@ -31,24 +41,36 @@
 //! assert_eq!(report.models.len(), 2);
 //! println!("{}", report.to_table());
 //! ```
+//!
+//! The legacy session types ([`Session`], [`ConcurrentSession`]) are thin
+//! deprecated shims over the engine's backends, kept for one release.
 
+pub mod adaptive;
 pub mod compare;
 pub mod concurrent;
 pub mod config;
+pub mod engine;
 pub mod offline;
 pub mod online;
+pub mod policy;
 pub mod report;
 pub mod timing;
 pub mod validate;
 
+pub use adaptive::{DriftDetector, ReselectionReport, Reselector};
 pub use compare::compare_cost_models;
+#[allow(deprecated)]
 pub use concurrent::ConcurrentSession;
 pub use config::EngineConfig;
-pub use offline::{build_model, run_offline, OfflineOutcome, SizedLattice};
-pub use online::{
-    run_online, DriftDetector, Freshness, OnlineOutcome, QueryRecord, ReselectionReport,
-    Reselector, Route, Session, SessionAnswer, StalenessPolicy, ViewChurn,
+pub use engine::{
+    Backend, Engine, EngineBuildError, EngineBuilder, Route, ServingBackend, SessionAnswer,
+    ViewChurn,
 };
+pub use offline::{build_model, run_offline, OfflineOutcome, SizedLattice};
+#[allow(deprecated)]
+pub use online::Session;
+pub use online::{run_online, OnlineOutcome, QueryRecord};
+pub use policy::{Clock, Freshness, ManualClock, StalenessPolicy, SystemClock};
 pub use report::{render_table, ComparisonReport, ModelRow};
 pub use timing::{measure_median, measure_once, TimeSummary};
 pub use validate::results_equivalent;
@@ -64,6 +86,8 @@ use sofos_workload::{GeneratedDataset, GeneratedQuery};
 /// Owns the base graph `G`; [`Sofos::offline`] expands it to `G+` in place,
 /// after which [`Sofos::online`] routes queries through the views.
 /// [`Sofos::compare`] never mutates the held dataset (it clones per model).
+/// [`Sofos::into_engine`] hands the expanded graph to the serving
+/// [`Engine`].
 #[derive(Debug, Clone)]
 pub struct Sofos {
     dataset: Dataset,
@@ -144,6 +168,13 @@ impl Sofos {
     pub fn query(&self, text: &str) -> Result<QueryResults, SparqlError> {
         Evaluator::new(&self.dataset).evaluate_str(text)
     }
+
+    /// Hand the (expanded) graph to a serving [`Engine`] builder, with
+    /// dataset and facet pre-filled — the bridge from the offline phase
+    /// to live serving.
+    pub fn into_engine(self) -> EngineBuilder {
+        Engine::builder().dataset(self.dataset).facet(self.facet)
+    }
 }
 
 #[cfg(test)]
@@ -202,5 +233,22 @@ mod tests {
         let _ = sofos.compare(&[CostModelKind::Triples], &config).unwrap();
         assert_eq!(sofos.dataset().total_triples(), triples_before);
         assert!(sofos.dataset().graph_names().is_empty());
+    }
+
+    #[test]
+    fn sofos_into_engine_bridges_to_serving() {
+        let mut sofos = small();
+        let mut config = EngineConfig::default();
+        config.workload.num_queries = 5;
+        config.timing_reps = 1;
+        let offline = sofos.offline(CostModelKind::AggValues, &config).unwrap();
+        let catalog = offline.view_catalog();
+        let engine = sofos
+            .into_engine()
+            .catalog(catalog)
+            .build()
+            .expect("dataset and facet pre-filled");
+        assert_eq!(engine.backend_name(), "serial");
+        assert_eq!(engine.views().len(), 4);
     }
 }

@@ -1,5 +1,5 @@
 //! The online module: query routing, measurement, and validation
-//! (Figure 2 ②) — plus the interleaved update/query [`Session`].
+//! (Figure 2 ②) — plus the deprecated serial [`Session`] shim.
 //!
 //! Each workload query is analyzed by the rewriter; if a materialized view
 //! covers it, the rewritten query runs against `G+`, otherwise the original
@@ -7,42 +7,28 @@
 //! the views can be used", §3). Every execution is timed (median of reps)
 //! and optionally validated against the base-graph answer.
 //!
-//! [`run_online`] serves the frozen-graph experiments. [`Session`] is the
-//! living-graph mode: update batches ([`sofos_store::Delta`]) interleave
-//! with queries, and a configurable [`StalenessPolicy`] decides *when* the
-//! `sofos-maintain` engine brings materialized views back in sync.
-//!
-//! On top of the session sit the adaptive pieces: the session tracks a
-//! *sliding* workload/update profile (recent demanded masks, recent
-//! insert/delete pressure); a [`DriftDetector`] measures how far that
-//! window has moved from the profile the current selection was optimized
-//! for; and a [`Reselector`] re-runs maintenance-aware selection when the
-//! drift crosses a threshold, swapping the materialized set
-//! transactionally ([`Session::swap_views`]) and reporting the churn.
+//! [`run_online`] serves the frozen-graph experiments. The living-graph
+//! mode — update batches interleaving with queries under a
+//! [`StalenessPolicy`] — lives behind the one front door now:
+//! [`crate::engine::Engine`]. [`Session`] remains as a thin deprecated
+//! shim over the engine's serial backend for one release.
 
-use crate::config::EngineConfig;
-use crate::timing::{measure_median, measure_once, TimeSummary};
+use crate::engine::SerialState;
+use crate::policy::system_clock;
+use crate::timing::{measure_median, TimeSummary};
 use crate::validate::results_equivalent;
-use sofos_cost::{CalibratedMaintenance, CostModelKind, UpdateRates};
+use sofos_cost::UpdateRates;
 use sofos_cube::{Facet, ViewMask};
-use sofos_maintain::{Maintainer, MaintenanceReport, RowDelta};
-use sofos_materialize::{drop_view, materialize_view};
-use sofos_rdf::{FxHashMap, FxHashSet};
-use sofos_rewrite::{analyze_query, best_view, plan_rewrite, rewrite_query};
-use sofos_select::{greedy_select_with, Objective, SelectionOutcome, WorkloadProfile};
-use sofos_sparql::{Evaluator, Query, QueryResults, SparqlError};
-use sofos_store::{ChangeSet, Dataset, Delta, OpKind};
+use sofos_maintain::MaintenanceReport;
+use sofos_rdf::FxHashMap;
+use sofos_rewrite::plan_rewrite;
+use sofos_select::WorkloadProfile;
+use sofos_sparql::{Evaluator, Query, SparqlError};
+use sofos_store::{ChangeSet, Dataset, Delta};
 use sofos_workload::GeneratedQuery;
-use std::collections::VecDeque;
 
-/// Where a query was answered.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum Route {
-    /// Rewritten against a materialized view.
-    View(ViewMask),
-    /// Fell back to the base graph.
-    BaseGraph,
-}
+pub use crate::engine::{Route, SessionAnswer, ViewChurn};
+pub use crate::policy::{Freshness, StalenessPolicy};
 
 /// Measurement record for one workload query.
 #[derive(Debug, Clone)]
@@ -152,175 +138,22 @@ pub fn run_online(
     })
 }
 
-/// When a [`Session`] repairs materialized views after updates.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum StalenessPolicy {
-    /// Maintain every view inside the update call: queries always see
-    /// fresh views; updates pay the full maintenance bill.
-    Eager,
-    /// Buffer row deltas per view; a view is repaired only when the
-    /// rewriter routes a query to it. Updates are cheap, the first hit on
-    /// a stale view pays its backlog.
-    LazyOnHit,
-    /// Drop every materialized view on the first update: all subsequent
-    /// queries fall back to the base graph (zero maintenance, full
-    /// benefit loss) — the paper's implicit baseline.
-    Invalidate,
-    /// The middle ground between eager and lazy: updates are coalesced
-    /// and views maintained in *batched* flushes — every `max_batches`
-    /// update batches — while reads are served from the standing state
-    /// with a [`Freshness`] tag instead of waiting for repair. A read is
-    /// never allowed to lag more than `max_epoch_lag` epochs (batches, in
-    /// the serial session): past the bound, the serve path flushes or
-    /// repairs first. `Bounded { max_batches: 1, max_epoch_lag: 0 }`
-    /// degenerates to eager.
-    Bounded {
-        /// Flush cadence: maintain (and, over an epoch store, publish)
-        /// after this many buffered update batches. Minimum 1.
-        max_batches: usize,
-        /// Serve-side staleness ceiling, in epochs behind the latest
-        /// state. 0 = always fresh at serve time.
-        max_epoch_lag: u64,
-    },
-}
-
-impl StalenessPolicy {
-    /// The three classic policies (for sweeps; `Bounded` is a family, so
-    /// sweeps pick their own parameter grid).
-    pub const ALL: [StalenessPolicy; 3] = [
-        StalenessPolicy::Eager,
-        StalenessPolicy::LazyOnHit,
-        StalenessPolicy::Invalidate,
-    ];
-
-    /// A bounded-staleness policy (see [`StalenessPolicy::Bounded`]);
-    /// `max_batches` is clamped to at least 1.
-    pub fn bounded(max_batches: usize, max_epoch_lag: u64) -> StalenessPolicy {
-        StalenessPolicy::Bounded {
-            max_batches: max_batches.max(1),
-            max_epoch_lag,
-        }
-    }
-
-    /// Short name for reports.
-    pub fn name(self) -> &'static str {
-        match self {
-            StalenessPolicy::Eager => "eager",
-            StalenessPolicy::LazyOnHit => "lazy-on-hit",
-            StalenessPolicy::Invalidate => "invalidate",
-            StalenessPolicy::Bounded { .. } => "bounded",
-        }
-    }
-}
-
-impl std::fmt::Display for StalenessPolicy {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self {
-            StalenessPolicy::Bounded {
-                max_batches,
-                max_epoch_lag,
-            } => write!(f, "bounded({max_batches},{max_epoch_lag})"),
-            other => f.write_str(other.name()),
-        }
-    }
-}
-
-/// How fresh the state behind one answer was — the tag bounded-staleness
-/// serving attaches instead of repairing before every read.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
-pub struct Freshness {
-    /// How far behind the latest known state the served state was:
-    /// unpublished/unmaintained epochs for a
-    /// [`ConcurrentSession`](crate::concurrent::ConcurrentSession)
-    /// (buffered batches awaiting a flush), buffered update batches for
-    /// the serial [`Session`]. 0 = fresh as of the serve instant.
-    pub lag: u64,
-    /// The epoch the answer was served at (concurrent sessions; the
-    /// serial session reports its applied update-batch count).
-    pub epoch: u64,
-    /// The oldest per-shard epoch stamp of the served snapshot — the
-    /// conservative "every shard at least this fresh" tag the epoch
-    /// store's per-shard bookkeeping provides for free. The serial
-    /// session has no shards: it mirrors `epoch` there, and `lag` is the
-    /// staleness signal.
-    pub oldest_shard_epoch: u64,
-}
-
-impl Freshness {
-    /// A fully-fresh tag as of `epoch`.
-    pub fn fresh(epoch: u64) -> Freshness {
-        Freshness {
-            lag: 0,
-            epoch,
-            oldest_shard_epoch: epoch,
-        }
-    }
-
-    /// True when the answer reflected the latest state.
-    pub fn is_fresh(&self) -> bool {
-        self.lag == 0
-    }
-}
-
-/// One query's answer inside a session.
-#[derive(Debug, Clone)]
-pub struct SessionAnswer {
-    /// Where the query was answered.
-    pub route: Route,
-    /// The results.
-    pub results: QueryResults,
-    /// Maintenance time this query triggered (lazy repairs), µs.
-    pub maintenance_us: u64,
-    /// How fresh the served state was (always fresh outside the bounded
-    /// policy).
-    pub freshness: Freshness,
-}
-
-/// The interleaved update/query mode over a living `G+`.
+/// The legacy interleaved update/query mode over a living `G+` —
+/// a thin shim over the engine's serial backend.
 ///
-/// Owns the expanded dataset and the view catalog produced by the offline
-/// phase. [`Session::update`] applies a [`Delta`] through the store's
-/// transactional write path; [`Session::query`] routes through the
-/// rewriter exactly like [`run_online`]. Between them, the configured
-/// [`StalenessPolicy`] decides when `sofos-maintain` runs, and every
-/// maintenance pass is appended to an accumulated [`MaintenanceReport`]
-/// so experiments can price update handling against query speedups.
+/// Deprecated: build a [`crate::engine::Engine`] with
+/// [`crate::engine::Backend::Serial`] instead; the engine exposes the
+/// same surface (plus the epoch backend, wall-clock staleness bounds,
+/// and `&self` concurrency) through one API.
+#[deprecated(
+    since = "0.2.0",
+    note = "use sofos_core::Engine with Backend::Serial — one front door over both serving backends"
+)]
 pub struct Session {
-    dataset: Dataset,
-    facet: Facet,
-    maintainer: Maintainer,
-    views: Vec<(ViewMask, usize)>,
-    policy: StalenessPolicy,
-    /// Buffered row deltas under the lazy policy: one entry per update
-    /// batch, shared by every view (a single copy, not one per view).
-    pending_log: std::collections::VecDeque<RowDelta>,
-    /// Log entries dropped by compaction; `pending_offset + pending_log
-    /// .len()` is the absolute index of the next batch.
-    pending_offset: usize,
-    /// Per-view absolute index into the log: everything before it has
-    /// been applied to that view.
-    cursor: FxHashMap<u64, usize>,
-    /// Views whose buffered delta is unusable (non-star facet): they need
-    /// a full refresh on their next hit.
-    needs_refresh: FxHashSet<u64>,
-    /// Accumulated maintenance log.
-    log: MaintenanceReport,
-    update_batches: usize,
-    view_hits: usize,
-    fallbacks: usize,
-    /// Sliding window of recently demanded masks (grouping ∪ filters of
-    /// analyzable queries), newest at the back.
-    recent_demands: VecDeque<ViewMask>,
-    /// Sliding window of per-batch `(inserted, deleted)` default-graph
-    /// triple counts.
-    recent_batches: VecDeque<(usize, usize)>,
-    /// Sliding window of per-batch group-churn maps: finest-grouping key
-    /// hash → absolute row churn (see [`Session::churn_profile`]).
-    recent_churn: VecDeque<FxHashMap<u64, f64>>,
-    /// Update batches since the last bounded-policy flush.
-    batches_since_flush: usize,
+    state: SerialState,
 }
 
+#[allow(deprecated)]
 impl Session {
     /// Open a session over an expanded dataset and its view catalog
     /// (pairs of mask and row count, as produced by
@@ -332,987 +165,95 @@ impl Session {
         policy: StalenessPolicy,
     ) -> Session {
         Session {
-            maintainer: Maintainer::new(&facet),
-            dataset,
-            facet,
-            views,
-            policy,
-            pending_log: std::collections::VecDeque::new(),
-            pending_offset: 0,
-            cursor: FxHashMap::default(),
-            needs_refresh: FxHashSet::default(),
-            log: MaintenanceReport::default(),
-            update_batches: 0,
-            view_hits: 0,
-            fallbacks: 0,
-            recent_demands: VecDeque::new(),
-            recent_batches: VecDeque::new(),
-            recent_churn: VecDeque::new(),
-            batches_since_flush: 0,
+            state: SerialState::new(dataset, facet, views, policy, system_clock()),
         }
     }
 
     /// How many recent query demands the sliding workload profile keeps.
-    pub const DEMAND_WINDOW: usize = 64;
+    pub const DEMAND_WINDOW: usize = crate::policy::ProfileWindows::DEMAND_WINDOW;
 
     /// How many recent update batches the rate estimate averages over.
-    pub const RATE_WINDOW: usize = 16;
-
-    /// Record one demanded mask into the sliding window.
-    fn observe_demand(&mut self, required: ViewMask) {
-        self.recent_demands.push_back(required);
-        while self.recent_demands.len() > Self::DEMAND_WINDOW {
-            self.recent_demands.pop_front();
-        }
-    }
-
-    /// Record one update batch's default-graph insert/delete op counts.
-    fn observe_batch(&mut self, delta: &Delta) {
-        let (mut inserted, mut deleted) = (0usize, 0usize);
-        for op in delta.ops() {
-            if op.graph.is_some() {
-                continue; // view graphs are ours, not workload pressure
-            }
-            match op.kind {
-                OpKind::Insert => inserted += 1,
-                OpKind::Delete => deleted += 1,
-            }
-        }
-        self.recent_batches.push_back((inserted, deleted));
-        while self.recent_batches.len() > Self::RATE_WINDOW {
-            self.recent_batches.pop_front();
-        }
-    }
-
-    /// Record one batch's per-group churn from its row delta: which
-    /// finest-granularity groups the batch touched, weighted by absolute
-    /// row multiplicity. This is the *locality* half of drift detection —
-    /// demand can be perfectly steady while updates migrate onto the
-    /// groups of an expensive-to-maintain view.
-    fn observe_churn(&mut self, rows: &RowDelta) {
-        let mut churn: FxHashMap<u64, f64> = FxHashMap::default();
-        for (dims, _measure, net) in rows.iter() {
-            *churn.entry(group_bucket(dims)).or_insert(0.0) += net.unsigned_abs() as f64;
-        }
-        if churn.is_empty() {
-            return;
-        }
-        self.recent_churn.push_back(churn);
-        while self.recent_churn.len() > Self::RATE_WINDOW {
-            self.recent_churn.pop_front();
-        }
-    }
-
-    /// The sliding per-group churn distribution: group-key hash →
-    /// accumulated absolute row churn, over the last
-    /// [`Session::RATE_WINDOW`] batches that produced a row delta.
-    /// Un-normalized ([`DriftDetector::churn_drift`] normalizes). Empty
-    /// until an update produced a row delta (the invalidate policy and
-    /// non-star facets never feed it).
-    pub fn churn_profile(&self) -> FxHashMap<u64, f64> {
-        let mut merged: FxHashMap<u64, f64> = FxHashMap::default();
-        for batch in &self.recent_churn {
-            for (&bucket, &weight) in batch {
-                *merged.entry(bucket).or_insert(0.0) += weight;
-            }
-        }
-        merged
-    }
-
-    /// The sliding workload profile: demand frequencies over the last
-    /// [`Session::DEMAND_WINDOW`] analyzable queries.
-    pub fn window_profile(&self) -> WorkloadProfile {
-        WorkloadProfile::from_masks(self.recent_demands.iter().copied())
-    }
-
-    /// Observed update pressure, as *observation-level* operations per
-    /// batch (triple-level counts divided by the facet's star width, one
-    /// triple per dimension plus the measure), averaged over the last
-    /// [`Session::RATE_WINDOW`] batches. Frozen when no batch arrived yet.
-    pub fn observed_rates(&self) -> UpdateRates {
-        if self.recent_batches.is_empty() {
-            return UpdateRates::FROZEN;
-        }
-        let star_width = (self.facet.dim_count() + 1) as f64;
-        let batches = self.recent_batches.len() as f64;
-        let (ins, del) = self
-            .recent_batches
-            .iter()
-            .fold((0usize, 0usize), |(i, d), &(bi, bd)| (i + bi, d + bd));
-        UpdateRates::new(
-            ins as f64 / star_width / batches,
-            del as f64 / star_width / batches,
-        )
-    }
+    pub const RATE_WINDOW: usize = crate::policy::ProfileWindows::RATE_WINDOW;
 
     /// Apply an update batch under the session's staleness policy.
     pub fn update(&mut self, delta: Delta) -> Result<ChangeSet, SparqlError> {
-        self.update_batches += 1;
-        self.observe_batch(&delta);
-        match self.policy {
-            StalenessPolicy::Invalidate => {
-                for &(mask, _) in &self.views {
-                    drop_view(&mut self.dataset, &self.facet, mask);
-                }
-                self.views.clear();
-                Ok(self.dataset.apply(delta))
-            }
-            StalenessPolicy::Eager => {
-                let outcome = self.maintainer.apply(&mut self.dataset, delta);
-                if let Some(rows) = &outcome.rows {
-                    self.observe_churn(rows);
-                }
-                let report = self.maintainer.maintain(
-                    &mut self.dataset,
-                    outcome.rows.as_ref(),
-                    &mut self.views,
-                )?;
-                self.log.absorb(report);
-                Ok(outcome.changes)
-            }
-            StalenessPolicy::LazyOnHit => {
-                let outcome = self.maintainer.apply(&mut self.dataset, delta);
-                self.buffer_rows(outcome.rows);
-                Ok(outcome.changes)
-            }
-            StalenessPolicy::Bounded { max_batches, .. } => {
-                // Base changes land immediately (the serial session has no
-                // snapshot to serve stale base reads from); view upkeep is
-                // deferred and batched: every view consumes its merged
-                // backlog in one pass per flush, so N buffered batches
-                // cost one group-patching pass instead of N.
-                let outcome = self.maintainer.apply(&mut self.dataset, delta);
-                self.buffer_rows(outcome.rows);
-                self.batches_since_flush += 1;
-                if self.batches_since_flush >= max_batches.max(1) {
-                    self.flush_views()?;
-                }
-                Ok(outcome.changes)
-            }
-        }
+        self.state.update(delta)
     }
 
-    /// Buffer an update's row delta for deferred (lazy/bounded) repair.
-    fn buffer_rows(&mut self, rows: Option<RowDelta>) {
-        match rows {
-            Some(rows) if rows.is_empty() => {}
-            Some(rows) => {
-                self.observe_churn(&rows);
-                self.pending_log.push_back(rows);
-                self.enforce_log_cap();
-            }
-            None => {
-                // Unusable delta: every view must fully refresh; buffered
-                // rows are superseded.
-                for &(mask, _) in &self.views {
-                    self.needs_refresh.insert(mask.0);
-                    self.cursor.insert(mask.0, self.log_end());
-                }
-                self.compact_pending();
-            }
-        }
+    /// Answer one query, routing through the rewriter.
+    pub fn query(&mut self, query: &Query) -> Result<SessionAnswer, SparqlError> {
+        self.state.query(query)
     }
 
-    /// Bring every view up to date in one batched pass (the bounded
-    /// policy's flush; also callable directly to drain a session).
-    /// Returns the total maintenance time (µs).
+    /// Bring every view up to date in one batched pass; returns the
+    /// total maintenance time (µs).
     pub fn flush_views(&mut self) -> Result<u64, SparqlError> {
-        let masks: Vec<ViewMask> = self.views.iter().map(|(m, _)| *m).collect();
-        let mut total_us = 0;
-        for mask in masks {
-            total_us += self.sync_view(mask)?;
-        }
-        self.batches_since_flush = 0;
-        Ok(total_us)
+        self.state.flush_views()
     }
 
     /// Update batches buffered since the last bounded flush.
     pub fn batches_since_flush(&self) -> usize {
-        self.batches_since_flush
-    }
-
-    /// How many buffered batches a view lags behind (its serve-time
-    /// [`Freshness::lag`] under the bounded policy).
-    fn view_lag(&self, view: ViewMask) -> u64 {
-        if self.needs_refresh.contains(&view.0) {
-            return u64::MAX;
-        }
-        (self.log_end()
-            - self
-                .cursor
-                .get(&view.0)
-                .copied()
-                .unwrap_or(self.pending_offset)) as u64
-    }
-
-    /// Answer one query, routing through the rewriter; under the lazy
-    /// policy a stale routed-to view is repaired first (and the repair's
-    /// cost reported on the answer). Analyzable queries feed the sliding
-    /// workload profile whether or not a view covers them.
-    pub fn query(&mut self, query: &Query) -> Result<SessionAnswer, SparqlError> {
-        let planned = match analyze_query(&self.facet, query) {
-            Ok(analysis) => {
-                self.observe_demand(analysis.required);
-                best_view(&self.views, analysis.required)
-                    .map(|view| (view, rewrite_query(&self.facet, &analysis, view)))
-            }
-            Err(_) => None,
-        };
-        let batches = self.update_batches as u64;
-        match planned {
-            Some((view, rewritten)) => {
-                // Bounded serving: a view within the lag budget is served
-                // as-is and *tagged*; past the budget it is repaired
-                // first, exactly like a lazy hit.
-                let (maintenance_us, freshness) = match self.policy {
-                    StalenessPolicy::Bounded { max_epoch_lag, .. } => {
-                        let lag = self.view_lag(view);
-                        if lag > max_epoch_lag {
-                            (self.sync_view(view)?, Freshness::fresh(batches))
-                        } else {
-                            // No shards serially: `lag` (in buffered
-                            // row-producing batches) is the staleness
-                            // signal; the shard stamp mirrors `epoch`
-                            // rather than faking a per-shard claim in
-                            // mismatched units.
-                            (
-                                0,
-                                Freshness {
-                                    lag,
-                                    epoch: batches,
-                                    oldest_shard_epoch: batches,
-                                },
-                            )
-                        }
-                    }
-                    _ => (self.sync_view(view)?, Freshness::fresh(batches)),
-                };
-                self.view_hits += 1;
-                let results = Evaluator::new(&self.dataset).evaluate(&rewritten)?;
-                Ok(SessionAnswer {
-                    route: Route::View(view),
-                    results,
-                    maintenance_us,
-                    freshness,
-                })
-            }
-            None => {
-                self.fallbacks += 1;
-                let results = Evaluator::new(&self.dataset).evaluate(query)?;
-                // The serial session's base graph is always current.
-                Ok(SessionAnswer {
-                    route: Route::BaseGraph,
-                    results,
-                    maintenance_us: 0,
-                    freshness: Freshness::fresh(batches),
-                })
-            }
-        }
-    }
-
-    /// Bring one view up to date if the lazy policy left it stale.
-    fn sync_view(&mut self, view: ViewMask) -> Result<u64, SparqlError> {
-        let refresh = self.needs_refresh.contains(&view.0);
-        let cursor = self
-            .cursor
-            .get(&view.0)
-            .copied()
-            .unwrap_or(self.pending_offset);
-        let pending = if refresh {
-            None
-        } else {
-            // Merge only this view's unseen suffix of the shared log.
-            let mut merged = RowDelta::default();
-            for rows in self.pending_log.iter().skip(cursor - self.pending_offset) {
-                merged.merge(rows);
-            }
-            Some(merged)
-        };
-        if !refresh && pending.as_ref().is_none_or(RowDelta::is_empty) {
-            // Net-zero backlog: consuming it needs no maintenance.
-            self.cursor.insert(view.0, self.log_end());
-            self.compact_pending();
-            return Ok(0);
-        }
-        let entry = self
-            .views
-            .iter_mut()
-            .find(|(mask, _)| *mask == view)
-            .expect("routed view is in the catalog");
-        let rows = if refresh { None } else { pending.as_ref() };
-        let result = self
-            .maintainer
-            .maintain_view(&mut self.dataset, rows, entry);
-        // The backlog is consumed either way. Planning is all-or-nothing
-        // (an errored pass wrote nothing), but the view is still stale
-        // and the error may be deterministic — demanding a full refresh
-        // on the next hit keeps a poisoned backlog from wedging the view
-        // in an error-retry loop while the pending log grows.
-        self.cursor.insert(view.0, self.log_end());
-        match &result {
-            Ok(_) => {
-                self.needs_refresh.remove(&view.0);
-            }
-            Err(_) => {
-                self.needs_refresh.insert(view.0);
-            }
-        }
-        self.compact_pending();
-        let cost = result?;
-        let us = cost.wall_us;
-        self.log.per_view.push(cost);
-        self.log.total_us += us;
-        Ok(us)
-    }
-
-    /// Absolute index one past the last buffered batch.
-    fn log_end(&self) -> usize {
-        self.pending_offset + self.pending_log.len()
-    }
-
-    /// Ceiling on buffered batches. A view that is never routed to would
-    /// otherwise pin the log forever; past the cap, the laggiest views are
-    /// downgraded to a full refresh on their next hit (which a view that
-    /// stale would effectively need anyway) so the log can compact.
-    const LAZY_LOG_CAP: usize = 64;
-
-    /// Keep the pending log bounded (see [`Session::LAZY_LOG_CAP`]).
-    fn enforce_log_cap(&mut self) {
-        while self.pending_log.len() > Self::LAZY_LOG_CAP {
-            let Some(min) = self
-                .views
-                .iter()
-                .map(|(mask, _)| {
-                    self.cursor
-                        .get(&mask.0)
-                        .copied()
-                        .unwrap_or(self.pending_offset)
-                })
-                .min()
-            else {
-                self.pending_log.clear();
-                return;
-            };
-            let end = self.log_end();
-            for &(mask, _) in &self.views {
-                let cursor = self
-                    .cursor
-                    .get(&mask.0)
-                    .copied()
-                    .unwrap_or(self.pending_offset);
-                if cursor == min {
-                    self.needs_refresh.insert(mask.0);
-                    self.cursor.insert(mask.0, end);
-                }
-            }
-            self.compact_pending();
-        }
-    }
-
-    /// Drop log entries every catalog view has consumed.
-    fn compact_pending(&mut self) {
-        let consumed = self
-            .views
-            .iter()
-            .map(|(mask, _)| {
-                self.cursor
-                    .get(&mask.0)
-                    .copied()
-                    .unwrap_or(self.pending_offset)
-            })
-            .min()
-            .unwrap_or_else(|| self.log_end());
-        while self.pending_offset < consumed && !self.pending_log.is_empty() {
-            self.pending_log.pop_front();
-            self.pending_offset += 1;
-        }
+        self.state.batches_since_flush()
     }
 
     /// Replace the materialized set with `target`, transactionally.
-    ///
-    /// Views in `target` not yet in the catalog are materialized *first*;
-    /// if any materialization fails, the already-written new view graphs
-    /// are dropped and the catalog is left exactly as it was (the session
-    /// keeps serving from the old selection). Only once every new view
-    /// exists are the retired ones dropped and the catalog swapped.
-    /// Kept views carry their maintenance state (cursors, pending
-    /// backlog) across the swap; new views are fresh as of now.
     pub fn swap_views(&mut self, target: &[ViewMask]) -> Result<ViewChurn, SparqlError> {
-        debug_assert!(
-            target.iter().map(|m| m.0).collect::<FxHashSet<_>>().len() == target.len(),
-            "swap_views target must not contain duplicates: {target:?}"
-        );
-        let current: FxHashSet<u64> = self.views.iter().map(|(m, _)| m.0).collect();
-        let wanted: FxHashSet<u64> = target.iter().map(|m| m.0).collect();
-        let added: Vec<ViewMask> = target
-            .iter()
-            .copied()
-            .filter(|m| !current.contains(&m.0))
-            .collect();
-        let retired: Vec<ViewMask> = self
-            .views
-            .iter()
-            .map(|(m, _)| *m)
-            .filter(|m| !wanted.contains(&m.0))
-            .collect();
-        let kept: Vec<ViewMask> = target
-            .iter()
-            .copied()
-            .filter(|m| current.contains(&m.0))
-            .collect();
+        self.state.swap_views(target)
+    }
 
-        // Phase 1: materialize every incoming view; roll back on failure.
-        let mut materialized: Vec<(ViewMask, usize)> = Vec::with_capacity(added.len());
-        let (materialize_us, result) = measure_once(|| {
-            for &mask in &added {
-                match materialize_view(&mut self.dataset, &self.facet, mask) {
-                    Ok(view) => materialized.push((mask, view.stats.rows)),
-                    Err(e) => return Err(e),
-                }
-            }
-            Ok(())
-        });
-        if let Err(e) = result {
-            for &(mask, _) in &materialized {
-                drop_view(&mut self.dataset, &self.facet, mask);
-            }
-            return Err(e);
-        }
+    /// The sliding per-group churn distribution.
+    pub fn churn_profile(&self) -> FxHashMap<u64, f64> {
+        self.state.churn_profile()
+    }
 
-        // Phase 2: retire outgoing views and install the new catalog in
-        // `target` order (kept entries keep their live row counts).
-        let (drop_us, ()) = measure_once(|| {
-            for &mask in &retired {
-                drop_view(&mut self.dataset, &self.facet, mask);
-                self.cursor.remove(&mask.0);
-                self.needs_refresh.remove(&mask.0);
-            }
-        });
-        let old_catalog: FxHashMap<u64, usize> =
-            self.views.iter().map(|(m, rows)| (m.0, *rows)).collect();
-        let fresh_cursor = self.log_end();
-        self.views = target
-            .iter()
-            .map(|&mask| {
-                let rows = old_catalog.get(&mask.0).copied().unwrap_or_else(|| {
-                    materialized
-                        .iter()
-                        .find(|(m, _)| *m == mask)
-                        .map_or(0, |(_, rows)| *rows)
-                });
-                (mask, rows)
-            })
-            .collect();
-        for &(mask, _) in &materialized {
-            // Materialized from the current base graph: nothing pending.
-            self.cursor.insert(mask.0, fresh_cursor);
-        }
-        self.compact_pending();
+    /// The sliding workload profile.
+    pub fn window_profile(&self) -> WorkloadProfile {
+        self.state.window_profile()
+    }
 
-        Ok(ViewChurn {
-            added,
-            retired,
-            kept,
-            materialize_us,
-            drop_us,
-        })
+    /// Observed update pressure over the sliding batch window.
+    pub fn observed_rates(&self) -> UpdateRates {
+        self.state.observed_rates()
     }
 
     /// The (possibly expanded) dataset.
     pub fn dataset(&self) -> &Dataset {
-        &self.dataset
+        self.state.dataset()
     }
 
     /// The facet.
     pub fn facet(&self) -> &Facet {
-        &self.facet
+        self.state.facet()
     }
 
     /// The live view catalog (empty after invalidation).
     pub fn views(&self) -> &[(ViewMask, usize)] {
-        &self.views
+        self.state.views()
     }
 
     /// The session's staleness policy.
     pub fn policy(&self) -> StalenessPolicy {
-        self.policy
+        self.state.policy()
     }
 
     /// Accumulated maintenance log across updates and lazy repairs.
     pub fn maintenance(&self) -> &MaintenanceReport {
-        &self.log
+        self.state.maintenance()
     }
 
     /// `(view hits, base-graph fallbacks)` so far.
     pub fn routing_counts(&self) -> (usize, usize) {
-        (self.view_hits, self.fallbacks)
+        self.state.routing_counts()
     }
 
     /// Update batches applied so far.
     pub fn update_batches(&self) -> usize {
-        self.update_batches
+        self.state.update_batches()
     }
 
-    /// Views currently stale under the lazy policy.
+    /// Views currently stale under deferred maintenance.
     pub fn stale_views(&self) -> usize {
-        self.views
-            .iter()
-            .filter(|(mask, _)| {
-                self.needs_refresh.contains(&mask.0)
-                    || self
-                        .cursor
-                        .get(&mask.0)
-                        .copied()
-                        .unwrap_or(self.pending_offset)
-                        < self.log_end()
-            })
-            .count()
-    }
-}
-
-/// What a [`Session::swap_views`] actually changed.
-#[derive(Debug, Clone)]
-pub struct ViewChurn {
-    /// Views materialized by the swap, in catalog order.
-    pub added: Vec<ViewMask>,
-    /// Views dropped by the swap.
-    pub retired: Vec<ViewMask>,
-    /// Views present before and after (maintenance state preserved).
-    pub kept: Vec<ViewMask>,
-    /// Wall time spent materializing the added views (µs).
-    pub materialize_us: u64,
-    /// Wall time spent dropping the retired views (µs).
-    pub drop_us: u64,
-}
-
-impl ViewChurn {
-    /// Views touched by the swap (`added + retired`) — 0 means the
-    /// re-selection confirmed the standing set.
-    pub fn churned(&self) -> usize {
-        self.added.len() + self.retired.len()
-    }
-}
-
-/// Hash a finest-grouping key into a stable churn bucket.
-fn group_bucket(dims: &[sofos_rdf::TermId]) -> u64 {
-    use std::hash::Hasher;
-    let mut hasher = sofos_rdf::hash::FxHasher::default();
-    for dim in dims {
-        hasher.write_u32(dim.0);
-    }
-    hasher.finish()
-}
-
-/// Total-variation distance between two weighted distributions (both
-/// normalized first). Both empty → 0; exactly one empty → 1.
-fn total_variation(p: &FxHashMap<u64, f64>, q: &FxHashMap<u64, f64>) -> f64 {
-    let p_total: f64 = p.values().sum();
-    let q_total: f64 = q.values().sum();
-    match (p_total > 0.0, q_total > 0.0) {
-        (false, false) => return 0.0,
-        (true, false) | (false, true) => return 1.0,
-        (true, true) => {}
-    }
-    let mut masses: FxHashMap<u64, (f64, f64)> = FxHashMap::default();
-    for (&key, &w) in p {
-        masses.entry(key).or_default().0 += w / p_total;
-    }
-    for (&key, &w) in q {
-        masses.entry(key).or_default().1 += w / q_total;
-    }
-    0.5 * masses.values().map(|(a, b)| (a - b).abs()).sum::<f64>()
-}
-
-/// Measures how far the live workload has drifted from the profile the
-/// current selection was optimized for.
-///
-/// Distance is total variation between the two *normalized* demand
-/// distributions: `½ Σ_m |p(m) − q(m)| ∈ [0, 1]`. 0 means the window
-/// replays the reference mix exactly; 1 means disjoint demand. The weight
-/// scale of either profile cancels, so windows and references of
-/// different lengths compare directly.
-///
-/// Alongside demand, the detector can track update *locality*: a
-/// per-group churn distribution ([`Session::churn_profile`]) anchored by
-/// [`DriftDetector::with_churn_reference`]. Maintenance hotspots then
-/// register as drift even when query demand is perfectly steady — the
-/// trigger maintenance-aware selection needs, since upkeep cost depends
-/// on *which* groups churn, not only on how much.
-#[derive(Debug, Clone)]
-pub struct DriftDetector {
-    reference: Vec<(ViewMask, f64)>,
-    /// Normalized churn reference; `None` disables the locality trigger.
-    churn_reference: Option<FxHashMap<u64, f64>>,
-    threshold: f64,
-    min_weight: f64,
-}
-
-impl DriftDetector {
-    /// A detector anchored at `reference`, firing past `threshold`.
-    pub fn new(reference: &WorkloadProfile, threshold: f64) -> DriftDetector {
-        assert!(
-            (0.0..=1.0).contains(&threshold),
-            "drift threshold must be in [0, 1], got {threshold}"
-        );
-        DriftDetector {
-            reference: Self::normalize(reference),
-            churn_reference: None,
-            threshold,
-            min_weight: 1.0,
-        }
-    }
-
-    /// Require at least this much window weight before `drifted` can fire
-    /// (defaults to 1 observation; raise to debounce cold windows).
-    pub fn with_min_weight(mut self, min_weight: f64) -> DriftDetector {
-        self.min_weight = min_weight.max(1.0);
-        self
-    }
-
-    /// Anchor the locality trigger at a reference per-group churn
-    /// distribution (typically [`Session::churn_profile`] at selection
-    /// time). Until set, churn never registers as drift.
-    pub fn with_churn_reference(mut self, churn: &FxHashMap<u64, f64>) -> DriftDetector {
-        self.set_churn_reference(churn);
-        self
-    }
-
-    /// Re-anchor the churn reference (after a re-selection).
-    pub fn set_churn_reference(&mut self, churn: &FxHashMap<u64, f64>) {
-        self.churn_reference = Some(churn.clone());
-    }
-
-    fn normalize(profile: &WorkloadProfile) -> Vec<(ViewMask, f64)> {
-        let total = profile.total_weight();
-        if total <= 0.0 {
-            return Vec::new();
-        }
-        profile
-            .demands
-            .iter()
-            .map(|&(mask, w)| (mask, w / total))
-            .collect()
-    }
-
-    /// The configured firing threshold.
-    pub fn threshold(&self) -> f64 {
-        self.threshold
-    }
-
-    /// Total-variation distance between the reference and `current`.
-    /// Both empty → 0 (nothing moved); exactly one empty → 1.
-    pub fn drift(&self, current: &WorkloadProfile) -> f64 {
-        let current = Self::normalize(current);
-        match (self.reference.is_empty(), current.is_empty()) {
-            (true, true) => return 0.0,
-            (true, false) | (false, true) => return 1.0,
-            (false, false) => {}
-        }
-        let mut masses: FxHashMap<u64, (f64, f64)> = FxHashMap::default();
-        for &(mask, p) in &self.reference {
-            masses.entry(mask.0).or_default().0 += p;
-        }
-        for &(mask, q) in &current {
-            masses.entry(mask.0).or_default().1 += q;
-        }
-        0.5 * masses.values().map(|(p, q)| (p - q).abs()).sum::<f64>()
-    }
-
-    /// True when `current` carries enough weight and its drift exceeds
-    /// the threshold.
-    pub fn drifted(&self, current: &WorkloadProfile) -> bool {
-        current.total_weight() >= self.min_weight && self.drift(current) > self.threshold
-    }
-
-    /// Total-variation distance between the anchored churn reference and
-    /// the current per-group churn distribution. 0 when no churn
-    /// reference was set, or when neither side carries any churn —
-    /// *locality* drift is undefined without churn, and an empty window
-    /// must not read as "everything moved".
-    pub fn churn_drift(&self, current: &FxHashMap<u64, f64>) -> f64 {
-        let Some(reference) = &self.churn_reference else {
-            return 0.0;
-        };
-        if current.values().all(|&w| w <= 0.0) {
-            return 0.0;
-        }
-        total_variation(reference, current)
-    }
-
-    /// True when update locality moved past the threshold under a set
-    /// churn reference — the maintenance-hotspot trigger, independent of
-    /// demand.
-    pub fn churn_drifted(&self, current: &FxHashMap<u64, f64>) -> bool {
-        self.churn_drift(current) > self.threshold
-    }
-
-    /// Re-anchor at a new reference (after a re-selection).
-    pub fn rebase(&mut self, reference: &WorkloadProfile) {
-        self.reference = Self::normalize(reference);
-    }
-}
-
-/// One re-selection pass: what drove it, what was selected, what churned.
-#[derive(Debug, Clone)]
-pub struct ReselectionReport {
-    /// Demand drift at the moment of re-selection.
-    pub drift: f64,
-    /// Update-locality (per-group churn) drift at the moment of
-    /// re-selection; 0 when the locality trigger is off.
-    pub locality_drift: f64,
-    /// The new selection (combined-objective costs included).
-    pub selection: SelectionOutcome,
-    /// Catalog churn from the transactional swap.
-    pub churn: ViewChurn,
-    /// Wall time of the lattice re-sizing pass (µs) — the growth-scaling
-    /// refresh when the sizing cache is on, the full per-view evaluation
-    /// otherwise.
-    pub sizing_us: u64,
-    /// True when sizing came from the cache, refreshed by live
-    /// [`sofos_store::GraphStats`] growth instead of re-evaluated.
-    pub sizing_refreshed: bool,
-    /// Wall time of the selection algorithm (µs).
-    pub selection_us: u64,
-}
-
-impl ReselectionReport {
-    /// Total re-selection overhead (µs): sizing + selection +
-    /// materialization + drops.
-    pub fn overhead_us(&self) -> u64 {
-        self.sizing_us + self.selection_us + self.churn.materialize_us + self.churn.drop_us
-    }
-}
-
-/// Adaptive re-selection: watches a session's sliding workload/update
-/// profile through a [`DriftDetector`] and, when the workload has moved,
-/// re-runs maintenance-aware selection over a freshly re-sized lattice
-/// and swaps the materialized set transactionally.
-///
-/// The maintenance term defaults to the analytic
-/// [`sofos_cost::TouchedGroupsMaintenance`] estimator, so λ keeps the
-/// same (abstract, triples-scale) meaning across the whole run. Opting in
-/// to [`Reselector::with_calibrated_maintenance`] instead fits
-/// [`CalibratedMaintenance`] to the maintenance telemetry the session has
-/// accumulated so far — predictions move to real microseconds, and λ must
-/// be chosen against that scale. Update pressure is read from
-/// [`Session::observed_rates`] either way.
-pub struct Reselector {
-    kind: CostModelKind,
-    config: EngineConfig,
-    lambda: f64,
-    detector: DriftDetector,
-    calibrated: bool,
-    locality: bool,
-    sizing_cache: Option<crate::offline::SizedLattice>,
-    reselections: usize,
-}
-
-impl Reselector {
-    /// A re-selector optimizing `kind` + λ·maintenance under `config`'s
-    /// budget, anchored at the profile the current selection served.
-    pub fn new(
-        kind: CostModelKind,
-        config: EngineConfig,
-        lambda: f64,
-        reference: &WorkloadProfile,
-        threshold: f64,
-    ) -> Reselector {
-        assert!(
-            lambda.is_finite() && lambda >= 0.0,
-            "lambda must be finite and non-negative, got {lambda}"
-        );
-        Reselector {
-            kind,
-            config,
-            lambda,
-            detector: DriftDetector::new(reference, threshold),
-            calibrated: false,
-            locality: false,
-            sizing_cache: None,
-            reselections: 0,
-        }
-    }
-
-    /// Also fire on update-*locality* drift: when the per-group churn
-    /// distribution (which groups the update stream hits) moves past the
-    /// detector's threshold, re-select even under perfectly steady
-    /// demand — maintenance hotspots shift which views are worth keeping.
-    /// The churn reference is anchored lazily at the first checked
-    /// window and re-anchored on every re-selection.
-    pub fn with_locality_trigger(mut self) -> Reselector {
-        self.locality = true;
-        self
-    }
-
-    /// Price upkeep in real microseconds, re-fit from the session's
-    /// accumulated maintenance telemetry on every pass (λ must then be
-    /// chosen against the µs scale rather than the analytic one).
-    pub fn with_calibrated_maintenance(mut self) -> Reselector {
-        self.calibrated = true;
-        self
-    }
-
-    /// Reuse an offline sizing pass instead of re-evaluating the whole
-    /// lattice on every re-selection.
-    ///
-    /// Re-sizing costs as much as answering one query per lattice view —
-    /// on a 2^d lattice that dwarfs everything else a re-selection does,
-    /// and is exactly the overhead that makes frequent re-selection
-    /// uneconomical. Cached estimates are **not** frozen: every pass
-    /// rescales the cached per-view rows/triples/bytes by the live
-    /// [`sofos_store::GraphStats`] growth since the cache was taken
-    /// ([`crate::offline::SizedLattice::refreshed`]), so byte budgets
-    /// keep pricing against the graph that actually exists. The scaling
-    /// is uniform — it tracks size, not shape; drop the cache (a fresh
-    /// `Reselector`) when the graph's *distribution* has changed.
-    pub fn with_sizing_cache(mut self, sized: crate::offline::SizedLattice) -> Reselector {
-        self.sizing_cache = Some(sized);
-        self
-    }
-
-    /// The drift detector (for inspection / reporting).
-    pub fn detector(&self) -> &DriftDetector {
-        &self.detector
-    }
-
-    /// Re-selections performed so far.
-    pub fn reselections(&self) -> usize {
-        self.reselections
-    }
-
-    /// Check the session's sliding window against the reference profile;
-    /// re-select only if demand — or, with the locality trigger, the
-    /// per-group churn distribution — drifted past the threshold.
-    /// `Ok(None)` means the standing selection still fits.
-    pub fn check(
-        &mut self,
-        session: &mut Session,
-    ) -> Result<Option<ReselectionReport>, SparqlError> {
-        let window = session.window_profile();
-        let churn = self.session_churn(session);
-        let demand_drifted = self.detector.drifted(&window);
-        let locality_drifted = self.locality
-            && if self.detector.churn_reference.is_none() {
-                // First sighting of churn anchors the reference; nothing
-                // to compare against yet.
-                if !churn.is_empty() {
-                    self.detector.set_churn_reference(&churn);
-                }
-                false
-            } else {
-                self.detector.churn_drifted(&churn)
-            };
-        if !demand_drifted && !locality_drifted {
-            return Ok(None);
-        }
-        self.reselect_for(session, window, churn).map(Some)
-    }
-
-    /// The session's churn profile when the locality trigger is on
-    /// (empty — and never consulted — otherwise).
-    fn session_churn(&self, session: &Session) -> FxHashMap<u64, f64> {
-        if self.locality {
-            session.churn_profile()
-        } else {
-            FxHashMap::default()
-        }
-    }
-
-    /// Unconditional re-selection against the current window (the
-    /// always-reselect policy; also useful to force an initial swap).
-    pub fn reselect(&mut self, session: &mut Session) -> Result<ReselectionReport, SparqlError> {
-        let window = session.window_profile();
-        let churn = self.session_churn(session);
-        self.reselect_for(session, window, churn)
-    }
-
-    fn reselect_for(
-        &mut self,
-        session: &mut Session,
-        window: WorkloadProfile,
-        session_churn: FxHashMap<u64, f64>,
-    ) -> Result<ReselectionReport, SparqlError> {
-        let drift = self.detector.drift(&window);
-        let locality_drift = if self.locality {
-            self.detector.churn_drift(&session_churn)
-        } else {
-            0.0
-        };
-        // A cold window (no queries yet) has nothing to optimize for;
-        // fall back to uniform demand rather than selecting nothing.
-        let profile = if window.total_weight() > 0.0 {
-            window.clone()
-        } else {
-            let lattice = sofos_cube::Lattice::new(session.facet().clone());
-            WorkloadProfile::uniform(&lattice)
-        };
-
-        let computed;
-        let refreshed;
-        let sizing_refreshed = self.sizing_cache.is_some();
-        let (sized, sizing_us) = match &self.sizing_cache {
-            Some(cached) => {
-                // Incremental re-sizing: scale the cached estimates by
-                // live base-graph growth instead of freezing them (or
-                // paying a full lattice re-evaluation).
-                let live = session.dataset().base_stats();
-                let (us, r) = measure_once(|| cached.refreshed(&live));
-                refreshed = r;
-                (&refreshed, us)
-            }
-            None => {
-                computed =
-                    crate::offline::SizedLattice::compute(session.dataset(), session.facet())?;
-                (&computed, computed.sizing_us)
-            }
-        };
-        let (query_model, _history, _train_us) =
-            crate::offline::build_model(self.kind, sized, &self.config);
-        let analytic = sofos_cost::TouchedGroupsMaintenance;
-        let calibrated;
-        let maintenance: &dyn sofos_cost::MaintenanceCostModel = if self.calibrated {
-            calibrated = CalibratedMaintenance::calibrate(&session.maintenance().per_view);
-            &calibrated
-        } else {
-            &analytic
-        };
-        let rates = session.observed_rates();
-        let ctx = sized.context();
-        let objective = if self.lambda > 0.0 {
-            Objective::maintenance_aware(query_model.as_ref(), maintenance, rates, self.lambda)
-        } else {
-            Objective::query_only(query_model.as_ref())
-        };
-        let (selection_us, selection) = measure_once(|| {
-            greedy_select_with(
-                &ctx,
-                &sized.lattice,
-                &objective,
-                &profile,
-                self.config.budget,
-            )
-        });
-
-        let churn = session.swap_views(&selection.selected)?;
-        // Anchor at the profile the new selection was *optimized for* —
-        // not the raw window, which on a cold forced reselect is empty
-        // and would make every subsequent query read as drift 1.0. The
-        // churn reference re-anchors at the window's distribution for the
-        // same reason.
-        self.detector.rebase(&profile);
-        if self.locality && !session_churn.is_empty() {
-            self.detector.set_churn_reference(&session_churn);
-        }
-        self.reselections += 1;
-        Ok(ReselectionReport {
-            drift,
-            locality_drift,
-            selection,
-            churn,
-            sizing_us,
-            sizing_refreshed,
-            selection_us,
-        })
+        self.state.stale_views()
     }
 }
 
@@ -1398,507 +339,6 @@ mod tests {
         }
     }
 
-    fn session_setup(policy: StalenessPolicy) -> (Session, Vec<GeneratedQuery>) {
-        use sofos_workload::synthetic;
-        let g = synthetic::generate(&synthetic::Config {
-            observations: 120,
-            agg: sofos_cube::AggOp::Avg, // SUM+COUNT components: all aggs derivable except MIN/MAX
-            ..synthetic::Config::default()
-        });
-        let facet = g.facets[0].clone();
-        let mut ds = g.dataset;
-        let sized = SizedLattice::compute(&ds, &facet).unwrap();
-        let profile = WorkloadProfile::uniform(&sized.lattice);
-        let offline = run_offline(
-            &mut ds,
-            &sized,
-            &profile,
-            CostModelKind::AggValues,
-            &EngineConfig::default(),
-        )
-        .unwrap();
-        let workload = sofos_workload::generate_workload(
-            &ds,
-            &facet,
-            &sofos_workload::WorkloadConfig {
-                num_queries: 10,
-                ..Default::default()
-            },
-        );
-        (
-            Session::new(ds, facet, offline.view_catalog(), policy),
-            workload,
-        )
-    }
-
-    /// One update batch: fresh observations plus one deletion target.
-    fn session_delta(batch: usize) -> sofos_store::Delta {
-        use sofos_workload::synthetic::NS;
-        let mut delta = sofos_store::Delta::new();
-        for i in 0..3usize {
-            let node = sofos_rdf::Term::blank(format!("u{batch}_{i}"));
-            for d in 0..3usize {
-                delta.insert(
-                    node.clone(),
-                    sofos_rdf::Term::iri(format!("{NS}dim{d}")),
-                    sofos_rdf::Term::iri(format!("{NS}v{d}_{}", (batch + i + d) % 3)),
-                );
-            }
-            delta.insert(
-                node,
-                sofos_rdf::Term::iri(format!("{NS}measure")),
-                sofos_rdf::Term::literal_int(100 + (batch * 7 + i) as i64),
-            );
-        }
-        delta
-    }
-
-    fn assert_session_answers_match_base(session: &mut Session, workload: &[GeneratedQuery]) {
-        for q in workload {
-            let answer = session.query(&q.query).expect("session query runs");
-            let reference = Evaluator::new(session.dataset())
-                .evaluate(&q.query)
-                .expect("base evaluation runs");
-            assert!(
-                results_equivalent(&answer.results, &reference),
-                "session answer diverged from base graph for {}",
-                q.text
-            );
-        }
-    }
-
-    #[test]
-    fn eager_session_maintains_views_on_update() {
-        let (mut session, workload) = session_setup(StalenessPolicy::Eager);
-        for batch in 0..3 {
-            session.update(session_delta(batch)).unwrap();
-            assert_eq!(session.stale_views(), 0, "eager sessions never go stale");
-        }
-        assert!(
-            !session.maintenance().per_view.is_empty(),
-            "maintenance ran"
-        );
-        assert_session_answers_match_base(&mut session, &workload);
-        let (hits, _) = session.routing_counts();
-        assert!(hits > 0, "rewriter still routes to views after updates");
-    }
-
-    #[test]
-    fn lazy_session_repairs_views_on_first_hit() {
-        let (mut session, workload) = session_setup(StalenessPolicy::LazyOnHit);
-        let views_before = session.views().len();
-        session.update(session_delta(0)).unwrap();
-        assert_eq!(
-            session.stale_views(),
-            views_before,
-            "updates leave every view stale under lazy"
-        );
-        assert!(
-            session.maintenance().per_view.is_empty(),
-            "no maintenance at update time"
-        );
-        assert_session_answers_match_base(&mut session, &workload);
-        assert!(
-            !session.maintenance().per_view.is_empty(),
-            "query hits triggered lazy repairs"
-        );
-        assert!(
-            session.stale_views() < views_before,
-            "hit views are repaired"
-        );
-
-        // A second pass over the same workload triggers no further repairs.
-        let repairs = session.maintenance().per_view.len();
-        assert_session_answers_match_base(&mut session, &workload);
-        assert_eq!(session.maintenance().per_view.len(), repairs);
-    }
-
-    #[test]
-    fn invalidate_session_drops_views_and_falls_back() {
-        let (mut session, workload) = session_setup(StalenessPolicy::Invalidate);
-        assert!(!session.views().is_empty());
-        session.update(session_delta(0)).unwrap();
-        assert!(session.views().is_empty(), "invalidation drops the catalog");
-        assert!(
-            session.dataset().graph_names().is_empty(),
-            "view graphs are gone"
-        );
-        assert_session_answers_match_base(&mut session, &workload);
-        let (hits, fallbacks) = session.routing_counts();
-        assert_eq!(hits, 0);
-        assert_eq!(fallbacks, workload.len());
-    }
-
-    #[test]
-    fn session_tracks_window_profile_and_rates() {
-        let (mut session, workload) = session_setup(StalenessPolicy::Eager);
-        assert_eq!(session.window_profile().total_weight(), 0.0);
-        assert_eq!(session.observed_rates(), sofos_cost::UpdateRates::FROZEN);
-
-        for q in &workload {
-            session.query(&q.query).unwrap();
-        }
-        let profile = session.window_profile();
-        assert_eq!(profile.total_weight(), workload.len() as f64);
-
-        session.update(session_delta(0)).unwrap();
-        let rates = session.observed_rates();
-        // session_delta inserts 3 complete 4-triple stars (3 dims + measure).
-        assert!((rates.inserts_per_round - 3.0).abs() < 1e-9, "{rates:?}");
-        assert_eq!(rates.deletes_per_round, 0.0);
-    }
-
-    #[test]
-    fn swap_views_reports_churn_and_stays_consistent() {
-        let (mut session, workload) = session_setup(StalenessPolicy::Eager);
-        let before: Vec<ViewMask> = session.views().iter().map(|(m, _)| *m).collect();
-        assert!(!before.is_empty());
-
-        // Swap to: keep the first standing view, add the apex (not
-        // selected by the offline pass here), retire the rest.
-        let kept = before[0];
-        assert!(
-            !before.contains(&ViewMask::APEX),
-            "test needs the apex to be a genuine addition"
-        );
-        let target = [kept, ViewMask::APEX];
-        let churn = session.swap_views(&target).unwrap();
-        assert_eq!(churn.added, vec![ViewMask::APEX]);
-        assert_eq!(churn.kept, vec![kept]);
-        assert_eq!(churn.retired.len(), before.len() - 1);
-        assert_eq!(churn.churned(), 1 + before.len() - 1);
-        assert_eq!(session.views().len(), 2);
-        assert_eq!(
-            session.dataset().graph_names().len(),
-            2,
-            "one named graph per catalog view after the swap"
-        );
-        // The swapped catalog still serves correct answers.
-        assert_session_answers_match_base(&mut session, &workload);
-    }
-
-    #[test]
-    fn swap_views_across_updates_keeps_answers_fresh() {
-        let (mut session, workload) = session_setup(StalenessPolicy::LazyOnHit);
-        session.update(session_delta(0)).unwrap();
-        // Swap while every standing view is stale: new views materialize
-        // from the *updated* base graph, kept ones repair lazily.
-        let kept = session.views()[0].0;
-        session.swap_views(&[kept, ViewMask::APEX]).unwrap();
-        session.update(session_delta(1)).unwrap();
-        assert_session_answers_match_base(&mut session, &workload);
-    }
-
-    /// A delta whose observations all land on one fixed dimension-value
-    /// combination — the lever for steering per-group churn.
-    fn hotspot_delta(batch: usize, dims: [usize; 3]) -> sofos_store::Delta {
-        use sofos_workload::synthetic::NS;
-        let mut delta = sofos_store::Delta::new();
-        for i in 0..3usize {
-            let node = sofos_rdf::Term::blank(format!("h{batch}_{i}"));
-            for (d, v) in dims.iter().enumerate() {
-                delta.insert(
-                    node.clone(),
-                    sofos_rdf::Term::iri(format!("{NS}dim{d}")),
-                    sofos_rdf::Term::iri(format!("{NS}v{d}_{v}")),
-                );
-            }
-            delta.insert(
-                node,
-                sofos_rdf::Term::iri(format!("{NS}measure")),
-                sofos_rdf::Term::literal_int(10 + (batch * 3 + i) as i64),
-            );
-        }
-        delta
-    }
-
-    #[test]
-    fn bounded_session_flushes_every_max_batches() {
-        let (mut session, workload) = session_setup(StalenessPolicy::bounded(2, 10));
-        let views = session.views().len();
-        session.update(session_delta(0)).unwrap();
-        assert_eq!(session.batches_since_flush(), 1);
-        assert_eq!(
-            session.stale_views(),
-            views,
-            "first batch leaves views stale"
-        );
-        assert!(session.maintenance().per_view.is_empty());
-
-        // The second batch crosses max_batches: one batched flush repairs
-        // everything.
-        session.update(session_delta(1)).unwrap();
-        assert_eq!(session.batches_since_flush(), 0);
-        assert_eq!(session.stale_views(), 0, "flush repaired every view");
-        assert!(!session.maintenance().per_view.is_empty());
-        assert_session_answers_match_base(&mut session, &workload);
-    }
-
-    #[test]
-    fn bounded_session_serves_stale_within_budget_and_repairs_past_it() {
-        let (mut session, workload) = session_setup(StalenessPolicy::bounded(100, 1));
-        session.update(session_delta(0)).unwrap();
-
-        // Lag 1 <= budget 1: view answers are served stale, tagged.
-        let mut tagged = 0;
-        for q in &workload {
-            let answer = session.query(&q.query).unwrap();
-            if matches!(answer.route, Route::View(_)) {
-                assert_eq!(answer.freshness.lag, 1, "one buffered batch behind");
-                assert_eq!(answer.maintenance_us, 0, "no repair within budget");
-                assert!(!answer.freshness.is_fresh());
-                tagged += 1;
-            } else {
-                assert!(answer.freshness.is_fresh(), "base graph is current");
-            }
-        }
-        assert!(tagged > 0, "some answers were served stale");
-
-        // Two more batches: lag 3 > budget 1 forces repair on hit.
-        session.update(session_delta(1)).unwrap();
-        session.update(session_delta(2)).unwrap();
-        for q in &workload {
-            let answer = session.query(&q.query).unwrap();
-            assert!(
-                answer.freshness.lag <= 1,
-                "the lag budget is enforced at serve time"
-            );
-        }
-        // Repaired views now answer exactly.
-        assert!(!session.maintenance().per_view.is_empty());
-        session.flush_views().unwrap();
-        assert_session_answers_match_base(&mut session, &workload);
-    }
-
-    #[test]
-    fn session_tracks_per_group_churn() {
-        let (mut session, _workload) = session_setup(StalenessPolicy::Eager);
-        assert!(session.churn_profile().is_empty());
-        session.update(hotspot_delta(0, [0, 0, 0])).unwrap();
-        let profile = session.churn_profile();
-        assert!(!profile.is_empty());
-        assert!(profile.values().all(|&w| w > 0.0));
-
-        // A disjoint hotspot adds new buckets.
-        session.update(hotspot_delta(1, [2, 2, 2])).unwrap();
-        assert!(session.churn_profile().len() > profile.len());
-    }
-
-    #[test]
-    fn drift_detector_tracks_churn_locality() {
-        let reference: FxHashMap<u64, f64> = [(1u64, 2.0), (2u64, 2.0)].into_iter().collect();
-        let profile = WorkloadProfile::from_masks([ViewMask(1)]);
-        let detector = DriftDetector::new(&profile, 0.25).with_churn_reference(&reference);
-
-        // Same mix, different scale: no locality drift.
-        let same: FxHashMap<u64, f64> = [(1u64, 1.0), (2u64, 1.0)].into_iter().collect();
-        assert!(detector.churn_drift(&same).abs() < 1e-12);
-        assert!(!detector.churn_drifted(&same));
-
-        // Half the churn moved to a new group: TV = 0.5.
-        let shifted: FxHashMap<u64, f64> = [(1u64, 2.0), (9u64, 2.0)].into_iter().collect();
-        assert!((detector.churn_drift(&shifted) - 0.5).abs() < 1e-12);
-        assert!(detector.churn_drifted(&shifted));
-
-        // An empty window is "no churn", not "everything moved".
-        assert_eq!(detector.churn_drift(&FxHashMap::default()), 0.0);
-
-        // Without a reference the locality trigger is inert.
-        let unanchored = DriftDetector::new(&profile, 0.25);
-        assert_eq!(unanchored.churn_drift(&shifted), 0.0);
-    }
-
-    #[test]
-    fn reselector_fires_on_locality_drift_under_steady_demand() {
-        let (mut session, _workload) = session_setup(StalenessPolicy::Eager);
-        // Steady demand: the same query before and after the hotspot
-        // moves, so demand drift stays ~0 throughout.
-        let demand_mask = ViewMask::full(session.facet().dim_count());
-        let q =
-            sofos_cube::facet_query(session.facet(), demand_mask, sofos_cube::AggOp::Sum, vec![]);
-        let reference = WorkloadProfile::from_masks([demand_mask]);
-        let mut reselector = Reselector::new(
-            CostModelKind::AggValues,
-            EngineConfig::default(),
-            1.0,
-            &reference,
-            0.5,
-        )
-        .with_locality_trigger();
-
-        for _ in 0..4 {
-            session.query(&q).unwrap();
-        }
-        for batch in 0..3 {
-            session.update(hotspot_delta(batch, [0, 0, 0])).unwrap();
-        }
-        // First check anchors the churn reference; steady demand, no fire.
-        assert!(reselector.check(&mut session).unwrap().is_none());
-
-        // The update stream migrates to a disjoint hotspot; demand is
-        // unchanged (same query keeps arriving).
-        for batch in 3..3 + Session::RATE_WINDOW {
-            session.update(hotspot_delta(batch, [2, 2, 2])).unwrap();
-            session.query(&q).unwrap();
-        }
-        let report = reselector
-            .check(&mut session)
-            .unwrap()
-            .expect("locality drift alone triggers re-selection");
-        assert!(
-            report.drift <= 0.5,
-            "demand stayed steady: {}",
-            report.drift
-        );
-        assert!(
-            report.locality_drift > 0.5,
-            "churn moved: {}",
-            report.locality_drift
-        );
-        assert_eq!(reselector.reselections(), 1);
-        // Re-anchored: the same hotspot no longer reads as drift.
-        assert!(reselector.check(&mut session).unwrap().is_none());
-    }
-
-    #[test]
-    fn drift_detector_measures_total_variation() {
-        let a = WorkloadProfile::from_masks([ViewMask(1), ViewMask(1), ViewMask(2), ViewMask(2)]);
-        let detector = DriftDetector::new(&a, 0.25);
-        // Same mix, different scale: no drift.
-        let same = WorkloadProfile::from_masks([ViewMask(1), ViewMask(2)]);
-        assert!(detector.drift(&same).abs() < 1e-12);
-        assert!(!detector.drifted(&same));
-        // Half the mass moved from mask 2 to mask 3: TV = 0.25.
-        let shifted =
-            WorkloadProfile::from_masks([ViewMask(1), ViewMask(1), ViewMask(2), ViewMask(3)]);
-        assert!((detector.drift(&shifted) - 0.25).abs() < 1e-12);
-        // Disjoint demand: TV = 1.
-        let disjoint = WorkloadProfile::from_masks([ViewMask(5)]);
-        assert_eq!(detector.drift(&disjoint), 1.0);
-        assert!(detector.drifted(&disjoint));
-        // Empty windows never fire.
-        let empty = WorkloadProfile { demands: vec![] };
-        assert_eq!(detector.drift(&empty), 1.0);
-        assert!(!detector.drifted(&empty));
-    }
-
-    #[test]
-    fn reselector_fires_on_drift_and_recovers_view_hits() {
-        use sofos_cube::facet_query;
-        let (mut session, _workload) = session_setup(StalenessPolicy::Eager);
-        // Force a catalog that only answers apex queries.
-        session.swap_views(&[ViewMask::APEX]).unwrap();
-        let apex_profile = WorkloadProfile::from_masks([ViewMask::APEX]);
-        let mut reselector = Reselector::new(
-            CostModelKind::AggValues,
-            EngineConfig::default(),
-            0.0,
-            &apex_profile,
-            0.5,
-        );
-
-        // The workload moves to the finest grouping, which the apex
-        // cannot answer: every query falls back.
-        let base_mask = ViewMask::full(session.facet().dim_count());
-        let q = facet_query(session.facet(), base_mask, sofos_cube::AggOp::Sum, vec![]);
-        for _ in 0..6 {
-            session.query(&q).unwrap();
-        }
-        let (hits_before, fallbacks_before) = session.routing_counts();
-        assert_eq!(hits_before, 0);
-        assert_eq!(fallbacks_before, 6);
-
-        let report = reselector
-            .check(&mut session)
-            .unwrap()
-            .expect("profile moved entirely: drift 1.0 > threshold 0.5");
-        assert_eq!(report.drift, 1.0);
-        assert!(
-            report
-                .selection
-                .selected
-                .iter()
-                .any(|v| v.covers(base_mask)),
-            "re-selection must cover the new hot demand: {:?}",
-            report.selection.selected
-        );
-        assert!(!report.churn.added.is_empty());
-        assert_eq!(reselector.reselections(), 1);
-
-        // After the swap the same query routes to a view again.
-        let answer = session.query(&q).unwrap();
-        assert!(matches!(answer.route, Route::View(_)));
-
-        // And the detector is re-anchored: the same workload no longer
-        // triggers another pass.
-        assert!(reselector.check(&mut session).unwrap().is_none());
-    }
-
-    #[test]
-    fn reselector_options_calibrated_and_cached() {
-        use sofos_cube::facet_query;
-        let (mut session, _workload) = session_setup(StalenessPolicy::Eager);
-        // Accumulate maintenance telemetry for calibration.
-        for batch in 0..3 {
-            session.update(session_delta(batch)).unwrap();
-        }
-        assert!(!session.maintenance().per_view.is_empty());
-        let sized = SizedLattice::compute(session.dataset(), session.facet()).unwrap();
-        session.swap_views(&[ViewMask::APEX]).unwrap();
-        let apex_profile = WorkloadProfile::from_masks([ViewMask::APEX]);
-        let mut reselector = Reselector::new(
-            CostModelKind::Triples,
-            EngineConfig::default(),
-            1.0,
-            &apex_profile,
-            0.5,
-        )
-        .with_calibrated_maintenance()
-        .with_sizing_cache(sized);
-
-        let base_mask = ViewMask::full(session.facet().dim_count());
-        let q = facet_query(session.facet(), base_mask, sofos_cube::AggOp::Sum, vec![]);
-        for _ in 0..4 {
-            session.query(&q).unwrap();
-        }
-        let report = reselector
-            .check(&mut session)
-            .unwrap()
-            .expect("disjoint demand triggers re-selection");
-        assert!(
-            report.sizing_refreshed,
-            "cached sizing is refreshed, not re-evaluated"
-        );
-        assert!(report
-            .selection
-            .selected
-            .iter()
-            .any(|v| v.covers(base_mask)));
-        let answer = session.query(&q).unwrap();
-        assert!(matches!(answer.route, Route::View(_)));
-    }
-
-    #[test]
-    fn reselector_stays_quiet_without_drift() {
-        let (mut session, workload) = session_setup(StalenessPolicy::Eager);
-        let reference = WorkloadProfile::from_masks(workload.iter().map(|q| q.required));
-        let mut reselector = Reselector::new(
-            CostModelKind::AggValues,
-            EngineConfig::default(),
-            1.0,
-            &reference,
-            0.5,
-        );
-        for q in &workload {
-            session.query(&q.query).unwrap();
-        }
-        assert!(
-            reselector.check(&mut session).unwrap().is_none(),
-            "replaying the reference workload is not drift"
-        );
-        assert_eq!(reselector.reselections(), 0);
-    }
-
     #[test]
     fn full_base_view_answers_everything() {
         let (ds, facet, workload) = setup();
@@ -1929,5 +369,67 @@ mod tests {
         .unwrap();
         assert_eq!(outcome.fallbacks, 0, "full lattice covers every query");
         assert!(outcome.all_valid);
+    }
+
+    /// The deprecated shim still serves: same answers, same policy
+    /// behaviour, delegating to the engine's serial backend.
+    #[test]
+    #[allow(deprecated)]
+    fn session_shim_still_serves() {
+        use sofos_workload::synthetic;
+        let g = synthetic::generate(&synthetic::Config {
+            observations: 90,
+            ..synthetic::Config::default()
+        });
+        let facet = g.facets[0].clone();
+        let mut ds = g.dataset;
+        let sized = SizedLattice::compute(&ds, &facet).unwrap();
+        let profile = WorkloadProfile::uniform(&sized.lattice);
+        let offline = run_offline(
+            &mut ds,
+            &sized,
+            &profile,
+            CostModelKind::AggValues,
+            &EngineConfig::default(),
+        )
+        .unwrap();
+        let workload = generate_workload(
+            &ds,
+            &facet,
+            &WorkloadConfig {
+                num_queries: 6,
+                ..Default::default()
+            },
+        );
+        let mut session = Session::new(ds, facet, offline.view_catalog(), StalenessPolicy::Eager);
+
+        let mut delta = Delta::new();
+        use sofos_workload::synthetic::NS;
+        let node = sofos_rdf::Term::blank("shim0");
+        for d in 0..3usize {
+            delta.insert(
+                node.clone(),
+                sofos_rdf::Term::iri(format!("{NS}dim{d}")),
+                sofos_rdf::Term::iri(format!("{NS}v{d}_0")),
+            );
+        }
+        delta.insert(
+            node,
+            sofos_rdf::Term::iri(format!("{NS}measure")),
+            sofos_rdf::Term::literal_int(41),
+        );
+        session.update(delta).unwrap();
+        assert_eq!(session.stale_views(), 0, "eager never goes stale");
+        assert_eq!(session.update_batches(), 1);
+        for q in &workload {
+            let answer = session.query(&q.query).unwrap();
+            let reference = Evaluator::new(session.dataset())
+                .evaluate(&q.query)
+                .unwrap();
+            assert!(results_equivalent(&answer.results, &reference));
+            assert!(answer.freshness.is_fresh());
+        }
+        let (hits, falls) = session.routing_counts();
+        assert_eq!(hits + falls, workload.len());
     }
 }

@@ -1,12 +1,14 @@
 //! The bounded-staleness guarantee, as a property: across random
-//! update/query interleavings and policy parameters, a `Bounded` session
-//! never serves a read older than `max_epoch_lag` epochs — and once
-//! drained (flushed), answers are exactly the base-graph answers.
+//! update/query interleavings and policy parameters, a `Bounded` engine
+//! never serves a read older than `max_epoch_lag` epochs — nor, when a
+//! wall-clock budget is set, older than `max_lag_ms` milliseconds under a
+//! hand-driven clock — and once drained (flushed), answers are exactly
+//! the base-graph answers. Both backends, one front door.
 
 use proptest::prelude::*;
 use sofos_core::{
-    results_equivalent, run_offline, ConcurrentSession, EngineConfig, Session, SizedLattice,
-    StalenessPolicy,
+    results_equivalent, run_offline, Backend, Clock, Engine, EngineConfig, ManualClock, Route,
+    SizedLattice, StalenessPolicy,
 };
 use sofos_cost::CostModelKind;
 use sofos_cube::{AggOp, Facet, ViewMask};
@@ -15,6 +17,7 @@ use sofos_select::WorkloadProfile;
 use sofos_sparql::Evaluator;
 use sofos_store::{Dataset, Delta};
 use sofos_workload::{generate_workload, synthetic, GeneratedQuery, WorkloadConfig};
+use std::sync::Arc;
 use std::sync::OnceLock;
 
 struct Setup {
@@ -63,7 +66,7 @@ fn setup() -> &'static Setup {
     })
 }
 
-/// One update batch: three fresh observations plus one deletion.
+/// One update batch: three fresh observations.
 fn update_delta(batch: usize) -> Delta {
     use sofos_workload::synthetic::NS;
     let mut delta = Delta::new();
@@ -85,40 +88,69 @@ fn update_delta(batch: usize) -> Delta {
     delta
 }
 
+fn bounded_engine(backend: Backend, policy: StalenessPolicy, clock: Arc<ManualClock>) -> Engine {
+    let s = setup();
+    Engine::builder()
+        .dataset(s.expanded.clone())
+        .facet(s.facet.clone())
+        .catalog(s.catalog.clone())
+        .staleness(policy)
+        .backend(backend)
+        .clock(clock as Arc<dyn Clock>)
+        .build()
+        .expect("engine builds")
+}
+
+fn drain_and_verify(engine: &Engine) -> Result<(), TestCaseError> {
+    let s = setup();
+    engine.flush().expect("flush runs");
+    prop_assert_eq!(engine.buffered_updates(), 0);
+    let snapshot = engine.snapshot();
+    let reference = Evaluator::new(&snapshot);
+    for q in &s.workload {
+        let answer = engine.query(&q.query).expect("query runs");
+        prop_assert!(answer.freshness.is_fresh());
+        let base = reference.evaluate(&q.query).expect("base evaluation runs");
+        prop_assert!(
+            results_equivalent(&answer.results, &base),
+            "drained bounded engine diverged for {}",
+            q.text
+        );
+    }
+    Ok(())
+}
+
 proptest! {
     #![proptest_config(ProptestConfig { cases: 12, ..ProptestConfig::default() })]
 
-    /// Concurrent sessions: every answered read carries a freshness tag
-    /// within the configured lag budget, no matter how updates and
-    /// queries interleave; a drained session answers exactly.
+    /// Epoch backend: every answered read carries a freshness tag within
+    /// the configured lag budget, no matter how updates and queries
+    /// interleave; a drained engine answers exactly.
     #[test]
-    fn concurrent_bounded_never_serves_past_the_lag_budget(
+    fn epoch_bounded_never_serves_past_the_lag_budget(
         ops in proptest::collection::vec(proptest::bool::weighted(0.6), 4..20),
         max_batches in 1usize..5,
         max_epoch_lag in 0u64..4,
     ) {
         let s = setup();
-        let session = ConcurrentSession::new(
-            s.expanded.clone(),
-            s.facet.clone(),
-            s.catalog.clone(),
+        let engine = bounded_engine(
+            Backend::Epoch { shards: 4, threads: 2 },
             StalenessPolicy::bounded(max_batches, max_epoch_lag),
-            4,
-            2,
+            ManualClock::shared(0),
         );
         let (mut batch, mut next_query) = (0usize, 0usize);
         for is_update in ops {
             if is_update {
-                session.update(update_delta(batch)).expect("update runs");
+                engine.update(update_delta(batch)).expect("update runs");
                 batch += 1;
                 prop_assert!(
-                    session.buffered_updates() < max_batches.max(1),
+                    engine.buffered_updates() < max_batches.max(1),
                     "the flush cadence caps the buffer"
                 );
             } else {
                 let q = &s.workload[next_query % s.workload.len()];
                 next_query += 1;
-                let answer = session.query(&q.query).expect("query runs");
+                let answer = engine.query(&q.query).expect("query runs");
                 prop_assert!(
                     answer.freshness.lag <= max_epoch_lag,
                     "served lag {} > budget {}",
@@ -131,25 +163,10 @@ proptest! {
                 );
             }
         }
-        // Drain and verify exactness against the published snapshot.
-        session.flush().expect("flush runs");
-        prop_assert_eq!(session.buffered_updates(), 0);
-        for q in &s.workload {
-            let answer = session.query(&q.query).expect("query runs");
-            prop_assert!(answer.freshness.is_fresh());
-            let snapshot = session.pin();
-            let reference = Evaluator::new(snapshot.dataset())
-                .evaluate(&q.query)
-                .expect("base evaluation runs");
-            prop_assert!(
-                results_equivalent(&answer.results, &reference),
-                "drained bounded session diverged for {}",
-                q.text
-            );
-        }
+        drain_and_verify(&engine)?;
     }
 
-    /// Serial sessions: same budget property over the batch-counted lag,
+    /// Serial backend: same budget property over the batch-counted lag,
     /// and exactness after an explicit flush.
     #[test]
     fn serial_bounded_never_serves_past_the_lag_budget(
@@ -158,22 +175,21 @@ proptest! {
         max_epoch_lag in 0u64..4,
     ) {
         let s = setup();
-        let mut session = Session::new(
-            s.expanded.clone(),
-            s.facet.clone(),
-            s.catalog.clone(),
+        let engine = bounded_engine(
+            Backend::Serial,
             StalenessPolicy::bounded(max_batches, max_epoch_lag),
+            ManualClock::shared(0),
         );
         let (mut batch, mut next_query) = (0usize, 0usize);
         for is_update in ops {
             if is_update {
-                session.update(update_delta(batch)).expect("update runs");
+                engine.update(update_delta(batch)).expect("update runs");
                 batch += 1;
-                prop_assert!(session.batches_since_flush() < max_batches.max(1));
+                prop_assert!(engine.buffered_updates() < max_batches.max(1));
             } else {
                 let q = &s.workload[next_query % s.workload.len()];
                 next_query += 1;
-                let answer = session.query(&q.query).expect("query runs");
+                let answer = engine.query(&q.query).expect("query runs");
                 prop_assert!(
                     answer.freshness.lag <= max_epoch_lag,
                     "served lag {} > budget {}",
@@ -182,18 +198,57 @@ proptest! {
                 );
             }
         }
-        session.flush_views().expect("flush runs");
-        for q in &s.workload {
-            let answer = session.query(&q.query).expect("query runs");
-            prop_assert!(answer.freshness.is_fresh());
-            let reference = Evaluator::new(session.dataset())
-                .evaluate(&q.query)
-                .expect("base evaluation runs");
-            prop_assert!(
-                results_equivalent(&answer.results, &reference),
-                "drained bounded session diverged for {}",
-                q.text
+        drain_and_verify(&engine)?;
+    }
+
+    /// Wall-clock budget (`max_lag_ms`), under a hand-driven clock: once
+    /// the clock has moved past the budget since the last update, no
+    /// view-routed read may serve buffered state — on either backend.
+    /// (Generous batch/epoch budgets ensure only the clock can trip.)
+    #[test]
+    fn bounded_wall_clock_budget_is_enforced_on_both_backends(
+        ops in proptest::collection::vec(
+            (proptest::bool::weighted(0.5), 0u64..120), 4..16),
+        max_lag_ms in 20u64..200,
+    ) {
+        let s = setup();
+        for backend in [Backend::Serial, Backend::Epoch { shards: 2, threads: 2 }] {
+            let clock = ManualClock::shared(0);
+            let engine = bounded_engine(
+                backend,
+                StalenessPolicy::bounded_ms(100, 100, max_lag_ms),
+                clock.clone(),
             );
+            let mut last_update_at: Option<u64> = None;
+            let (mut batch, mut next_query) = (0usize, 0usize);
+            for (is_update, advance_ms) in &ops {
+                clock.advance(*advance_ms);
+                if *is_update {
+                    engine.update(update_delta(batch)).expect("update runs");
+                    batch += 1;
+                    last_update_at = Some(clock.now_ms());
+                } else {
+                    let q = &s.workload[next_query % s.workload.len()];
+                    next_query += 1;
+                    let answer = engine.query(&q.query).expect("query runs");
+                    // If even the *newest* buffered update is older than
+                    // the budget, every buffered entry is, so a
+                    // view-routed answer must have been repaired/flushed
+                    // to lag 0 before serving.
+                    let all_stale = last_update_at
+                        .is_some_and(|at| clock.now_ms().saturating_sub(at) > max_lag_ms);
+                    if all_stale && matches!(answer.route, Route::View(_)) {
+                        prop_assert_eq!(
+                            answer.freshness.lag,
+                            0,
+                            "a read past max_lag_ms={} served buffered state on {}",
+                            max_lag_ms,
+                            engine.backend_name()
+                        );
+                    }
+                }
+            }
+            drain_and_verify(&engine)?;
         }
     }
 }

@@ -76,6 +76,13 @@ impl RowDelta {
             .map(|((dims, measure), &net)| (dims.as_slice(), *measure, net))
     }
 
+    /// Record a net row change directly — the public constructor for
+    /// synthetic deltas (tests, harnesses); the maintenance engine itself
+    /// derives deltas from binding scans.
+    pub fn record(&mut self, dims: Vec<TermId>, measure: TermId, net: i64) {
+        self.add(dims, measure, net);
+    }
+
     pub(crate) fn add(&mut self, dims: Vec<TermId>, measure: TermId, net: i64) {
         if net == 0 {
             return;

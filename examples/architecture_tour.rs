@@ -7,17 +7,20 @@
 //! 4. price views under two cost models (cost)
 //! 5. select `k` views with the HRU greedy (select)
 //! 6. materialize them into `G+` (materialize)
-//! 7. rewrite and answer a query from the best view (rewrite + sparql)
+//! 7. serve the query through the one front door (core::Engine), rewritten
+//!    against the best view (rewrite + sparql)
+//! 8. keep serving while the graph lives: updates flow through the same
+//!    engine under a staleness policy, answers carry freshness tags
 //!
 //! Run with: `cargo run --example architecture_tour`
 
+use sofos::core::{Backend, Engine, Route, StalenessPolicy};
 use sofos::cost::{AggValuesCost, CostContext, CostModel, TriplesCost};
 use sofos::cube::{facet_query, AggOp, Lattice, ViewMask};
 use sofos::materialize::materialize_views;
-use sofos::rewrite::plan_rewrite;
 use sofos::select::{greedy_select, Budget, WorkloadProfile};
 use sofos::sparql::{query_to_sparql, Evaluator};
-use sofos::store::GraphStats;
+use sofos::store::{Delta, GraphStats};
 use sofos::workload::synthetic;
 
 fn main() {
@@ -99,21 +102,57 @@ fn main() {
         expanded.total_triples()
     );
 
-    // 7. Online: rewrite and answer.
+    // 7. Online: one front door. The engine routes through the rewriter
+    //    and serves from the best covering view; Backend::Serial here,
+    //    Backend::Epoch { shards, threads } for concurrent serving — the
+    //    rest of this step would read identically.
+    let engine = Engine::builder()
+        .dataset(expanded)
+        .facet(facet.clone())
+        .catalog(catalog)
+        .staleness(StalenessPolicy::Eager)
+        .backend(Backend::Serial)
+        .build()
+        .unwrap();
     let query = facet_query(&facet, ViewMask::from_dims(&[0]), AggOp::Sum, vec![]);
-    println!("⑦ rewrite    Q : {}", query_to_sparql(&query));
-    let (routed, rewritten) = plan_rewrite(&facet, &catalog, &query).unwrap();
+    println!("⑦ engine     Q : {}", query_to_sparql(&query));
+    let answer = engine.query(&query).unwrap();
+    let routed = match answer.route {
+        Route::View(mask) => lattice.view_name(mask),
+        Route::BaseGraph => "base graph".into(),
+    };
+    let snapshot = engine.snapshot();
+    let from_base = Evaluator::new(&snapshot).evaluate(&query).unwrap();
+    assert!(sofos::core::results_equivalent(&answer.results, &from_base));
     println!(
-        "             Q′ over view {}: {}",
-        lattice.view_name(routed),
-        query_to_sparql(&rewritten)
+        "             answered from {routed}: {} rows — identical to the base-graph answer ✓",
+        answer.results.len()
     );
-    let evaluator = Evaluator::new(&expanded);
-    let from_view = evaluator.evaluate(&rewritten).unwrap();
-    let from_base = evaluator.evaluate(&query).unwrap();
-    assert!(sofos::core::results_equivalent(&from_view, &from_base));
+
+    // 8. The graph lives: updates flow through the same engine, the
+    //    eager policy repairs the views inside the call, and every
+    //    answer carries a freshness tag.
+    let mut delta = Delta::new();
+    let ns = sofos::workload::synthetic::NS;
+    let obs = sofos_rdf::Term::blank("tour_obs");
+    for d in 0..facet.dim_count() {
+        delta.insert(
+            obs.clone(),
+            sofos_rdf::Term::iri(format!("{ns}dim{d}")),
+            sofos_rdf::Term::iri(format!("{ns}v{d}_0")),
+        );
+    }
+    delta.insert(
+        obs,
+        sofos_rdf::Term::iri(format!("{ns}measure")),
+        sofos_rdf::Term::literal_int(5),
+    );
+    engine.update(delta).unwrap();
+    let answer = engine.query(&query).unwrap();
     println!(
-        "             {} rows — identical to the base-graph answer ✓",
-        from_view.len()
+        "⑧ maintain   after 1 update batch: {} stale views, answer {} ({} rows)",
+        engine.stale_views(),
+        answer.freshness,
+        answer.results.len()
     );
 }

@@ -4,7 +4,7 @@
 //!
 //! Run with: `cargo run --release --example compare_cost_models`
 
-use sofos::core::{EngineConfig, Sofos};
+use sofos::core::{EngineConfig, Sofos, StalenessPolicy};
 use sofos::cost::CostModelKind;
 use sofos::workload::dbpedia;
 
@@ -34,4 +34,32 @@ fn main() {
         println!("  {:<12} {}", row.model, row.selected_views.join(", "));
     }
     println!("\nCSV:\n{}", report.to_csv());
+
+    // From comparison to serving: expand G+ under the winning model and
+    // hand it to the one front door (Sofos::into_engine pre-fills the
+    // builder; add .backend(Backend::Epoch { .. }) to serve concurrently).
+    let best = report
+        .models
+        .iter()
+        .max_by(|a, b| a.speedup.total_cmp(&b.speedup))
+        .expect("at least one model");
+    let kind = CostModelKind::ALL
+        .into_iter()
+        .find(|k| k.name() == best.model)
+        .expect("row names a model");
+    let mut sofos = Sofos::from_generated(&generated);
+    let offline = sofos.offline(kind, &config).expect("offline runs");
+    let engine = sofos
+        .into_engine()
+        .catalog(offline.view_catalog())
+        .staleness(StalenessPolicy::Eager)
+        .build()
+        .expect("engine builds");
+    println!(
+        "\nBest model `{}` ({:.2}x) now serves live behind Engine ({} backend, {} views).",
+        best.model,
+        best.speedup,
+        engine.backend_name(),
+        engine.views().len()
+    );
 }

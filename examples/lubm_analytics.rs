@@ -4,7 +4,8 @@
 //!
 //! Run with: `cargo run --release --example lubm_analytics`
 
-use sofos::core::{run_offline, run_online, EngineConfig, SizedLattice};
+use sofos::core::StalenessPolicy;
+use sofos::core::{run_offline, run_online, Backend, Engine, EngineConfig, SizedLattice};
 use sofos::cost::CostModelKind;
 use sofos::select::{Budget, WorkloadProfile};
 use sofos::workload::{generate_workload, lubm, WorkloadConfig};
@@ -80,4 +81,34 @@ fn main() {
     }
     println!("\nReading: query time falls as k grows while space amplification rises;");
     println!("the sweet spot is where added views stop being hit by the workload.");
+
+    // Serve the sweet spot live, through the one front door: the same
+    // catalog behind an Engine (flip Backend::Serial to Backend::Epoch
+    // { shards, threads } and this block reads identically).
+    config.budget = Budget::Views(4);
+    let mut expanded = generated.dataset.clone();
+    let offline = run_offline(
+        &mut expanded,
+        &sized,
+        &profile,
+        CostModelKind::AggValues,
+        &config,
+    )
+    .expect("offline");
+    let engine = Engine::builder()
+        .dataset(expanded)
+        .facet(facet)
+        .catalog(offline.view_catalog())
+        .staleness(StalenessPolicy::Eager)
+        .backend(Backend::Serial)
+        .build()
+        .expect("engine builds");
+    for q in &workload {
+        engine.query(&q.query).expect("engine answers");
+    }
+    let (hits, falls) = engine.routing_counts();
+    println!(
+        "\nServed the workload through Engine (serial backend) at k=4: \
+         {hits} view hits, {falls} fallbacks."
+    );
 }

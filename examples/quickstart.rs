@@ -1,13 +1,15 @@
 //! Quickstart: the paper's Figure 1 knowledge graph, one materialized view,
-//! and the two motivating queries of Example 1.1.
+//! the two motivating queries of Example 1.1 — and the whole thing served
+//! live through the one front door, `sofos::core::Engine`.
 //!
-//! Run with: `cargo run --example quickstart`
+//! Run with: `cargo run --example quickstart [--smoke]`
+//! (`--smoke` is accepted for CI parity; the example is already tiny.)
 
+use sofos::core::{Backend, Engine, Route, StalenessPolicy};
 use sofos::cube::{AggOp, Dimension, Facet, ViewMask};
 use sofos::materialize::materialize_view;
-use sofos::rewrite::plan_rewrite;
 use sofos::sparql::{parse_query, Evaluator};
-use sofos::store::Dataset;
+use sofos::store::{Dataset, Delta};
 use sofos_rdf::{Literal, Term};
 
 const NS: &str = "http://sofos.example/";
@@ -17,6 +19,8 @@ fn iri(local: &str) -> Term {
 }
 
 fn main() {
+    let _smoke = std::env::args().any(|a| a == "--smoke");
+
     // --- Build the Figure 1 graph -----------------------------------------
     let mut ds = Dataset::new();
     let name = iri("name");
@@ -80,13 +84,27 @@ fn main() {
     )
     .expect("valid facet");
 
-    // --- Materialize the {language} view ----------------------------------
+    // --- Materialize the {language} view into G+ ---------------------------
     let mask = ViewMask::from_dims(&[1]);
     let view = materialize_view(&mut ds, &facet, mask).expect("materializes");
     println!(
         "Materialized view {{language}}: {} rows, {} triples, in graph <{}>\n",
         view.stats.rows, view.stats.triples, view.graph_iri
     );
+
+    // --- One front door: serve G+ through the Engine -----------------------
+    // The same builder serves a single-threaded demo (Backend::Serial) or
+    // a sharded concurrent deployment (Backend::Epoch { .. }) — flip one
+    // knob. Bounded staleness is one more knob away:
+    // `.staleness(StalenessPolicy::bounded_ms(4, 2, 100))`.
+    let engine = Engine::builder()
+        .dataset(ds)
+        .facet(facet)
+        .catalog(vec![(mask, view.stats.rows)])
+        .staleness(StalenessPolicy::Eager)
+        .backend(Backend::Serial)
+        .build()
+        .expect("engine builds");
 
     // --- Example 1.1, answered from the view -------------------------------
     let q = parse_query(&format!(
@@ -98,20 +116,47 @@ fn main() {
     ))
     .expect("parses");
 
-    let catalog = [(mask, view.stats.rows)];
-    let evaluator = Evaluator::new(&ds);
-    match plan_rewrite(&facet, &catalog, &q) {
-        Ok((routed, rewritten)) => {
-            println!("Query routed to view {routed}; rewritten SPARQL:");
-            println!("  {}\n", sofos::sparql::query_to_sparql(&rewritten));
-            let results = evaluator.evaluate(&rewritten).expect("evaluates");
-            println!("Population by language (from the view):\n{results}");
-        }
-        Err(e) => println!("(fell back to base graph: {e})"),
+    let answer = engine.query(&q).expect("engine answers");
+    match answer.route {
+        Route::View(routed) => println!(
+            "Query routed to view {routed} ({}); population by language:\n{}",
+            answer.freshness, answer.results
+        ),
+        Route::BaseGraph => println!(
+            "(fell back to base graph)\nPopulation by language:\n{}",
+            answer.results
+        ),
     }
 
-    // Total French-speaking population, also from the view.
-    let total = evaluator
+    // --- A live update: France revises its census --------------------------
+    // Engine::update maintains the materialized view incrementally (the
+    // eager policy repairs inside the update call), so the next answer is
+    // both fresh AND still served from the view.
+    let mut delta = Delta::new();
+    let obs = Term::blank("obs_fr_2020");
+    delta.insert(obs.clone(), iri("country"), iri("France"));
+    delta.insert(obs.clone(), iri("language"), Term::literal_str("French"));
+    delta.insert(obs, iri("population"), Term::literal_int(1));
+    engine.update(delta).expect("update applies");
+    println!(
+        "After a +1 France update ({} update batch, {} stale views):",
+        engine.update_batches(),
+        engine.stale_views()
+    );
+    let answer = engine.query(&q).expect("engine answers");
+    println!("{}", answer.results);
+
+    // The engine's answers always match a from-scratch base evaluation.
+    let snapshot = engine.snapshot();
+    let reference = Evaluator::new(&snapshot).evaluate(&q).expect("evaluates");
+    assert!(sofos::core::results_equivalent(&answer.results, &reference));
+    println!(
+        "Identical to the base-graph answer ✓ (freshness: {})",
+        answer.freshness
+    );
+
+    // Total French-speaking population, straight off the view graph.
+    let total = Evaluator::new(&snapshot)
         .evaluate_str(&format!(
             "SELECT ?s WHERE {{ GRAPH <{graph}> {{ \
                ?o <http://sofos.ics.forth.gr/ns#dim1> \"French\" . \

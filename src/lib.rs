@@ -41,12 +41,23 @@
 //!   update streams;
 //! * [`core`] — ties it together: the offline phase (size → select →
 //!   materialize), the online phase (rewrite-routed measurement), and the
-//!   interleaved update/query [`core::Session`] with its three staleness
-//!   policies (maintain eagerly, maintain lazily on hit, or invalidate
-//!   and drop) — plus the adaptive layer: sliding workload/update
-//!   profiles, [`core::DriftDetector`], and the [`core::Reselector`]
-//!   that re-selects and swaps the materialized set when the workload
-//!   drifts.
+//!   **one front door** for living graphs — [`core::Engine`], built via
+//!   `Engine::builder().dataset(..).facet(..).catalog(..).staleness(..)
+//!   .backend(..).clock(..)`. The engine serves interleaved updates and
+//!   queries under a [`core::StalenessPolicy`] (eager, lazy-on-hit,
+//!   invalidate, or bounded — by batch count, epoch lag, *and* wall-clock
+//!   `max_lag_ms` via an injectable [`core::Clock`]) over a pluggable
+//!   backend: `Backend::Serial` (one mutable dataset, callers serialize)
+//!   or `Backend::Epoch { shards, threads }` (readers pin immutable epoch
+//!   snapshots while maintenance publishes batched epochs). Both backends
+//!   run the single policy implementation in [`core::policy`] and are
+//!   held answer-equivalent by a conformance property suite. On top sits
+//!   the adaptive layer: sliding workload/update profiles,
+//!   [`core::DriftDetector`], and the [`core::Reselector`] that
+//!   re-selects and swaps the materialized set when the workload drifts —
+//!   identically over either backend. (The legacy `core::Session` /
+//!   `core::ConcurrentSession` remain as deprecated shims for one
+//!   release; see `crates/core/README.md` for the migration.)
 //!
 //! See the individual crates for the subsystem documentation.
 

@@ -276,3 +276,83 @@ fn oracle_versus_greedy_on_real_data() {
         );
     }
 }
+
+/// The one front door, end to end: offline selection hands its catalog to
+/// an `Engine`, which serves interleaved updates and queries identically
+/// (and correctly) on both backends.
+#[test]
+fn engine_front_door_serves_both_backends() {
+    use sofos::core::{Backend, Engine, StalenessPolicy};
+    use sofos::rdf::Term;
+    use sofos::store::Delta;
+
+    let generated = sofos::workload::synthetic::generate(&sofos::workload::synthetic::Config {
+        observations: 100,
+        ..sofos::workload::synthetic::Config::default()
+    });
+    let facet = generated.default_facet().clone();
+    let mut sofos = Sofos::new(generated.dataset.clone(), facet.clone());
+    let mut config = EngineConfig::default();
+    config.workload.num_queries = 8;
+    config.timing_reps = 1;
+    let offline = sofos.offline(CostModelKind::AggValues, &config).unwrap();
+    let workload = generate_workload(sofos.dataset(), sofos.facet(), &config.workload);
+
+    let delta = |batch: usize| {
+        use sofos::workload::synthetic::NS;
+        let mut delta = Delta::new();
+        let node = Term::blank(format!("e2e{batch}"));
+        for d in 0..3usize {
+            delta.insert(
+                node.clone(),
+                Term::iri(format!("{NS}dim{d}")),
+                Term::iri(format!("{NS}v{d}_{}", batch % 3)),
+            );
+        }
+        delta.insert(
+            node,
+            Term::iri(format!("{NS}measure")),
+            Term::literal_int(7 + batch as i64),
+        );
+        delta
+    };
+
+    for backend in [
+        Backend::Serial,
+        Backend::Epoch {
+            shards: 4,
+            threads: 2,
+        },
+    ] {
+        let engine = Engine::builder()
+            .dataset(sofos.dataset().clone())
+            .facet(facet.clone())
+            .catalog(offline.view_catalog())
+            .staleness(StalenessPolicy::bounded(2, 1))
+            .backend(backend)
+            .build()
+            .unwrap();
+        for batch in 0..4 {
+            engine.update(delta(batch)).unwrap();
+            let q = &workload[batch % workload.len()];
+            let answer = engine.query(&q.query).unwrap();
+            assert!(
+                answer.freshness.lag <= 1,
+                "{backend}: bounded lag budget enforced"
+            );
+        }
+        engine.flush().unwrap();
+        let snapshot = engine.snapshot();
+        let reference = Evaluator::new(&snapshot);
+        for q in &workload {
+            let answer = engine.query(&q.query).unwrap();
+            let base = reference.evaluate(&q.query).unwrap();
+            assert!(
+                results_equivalent(&answer.results, &base),
+                "{backend}: drained engine answers exactly for {}",
+                q.text
+            );
+        }
+        assert_eq!(engine.update_batches(), 4, "{backend}");
+    }
+}
