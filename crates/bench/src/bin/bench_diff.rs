@@ -64,6 +64,11 @@ fn is_volatile_field(key: &str) -> bool {
         "pr3_wall_us",
         "pipeline_wall_us",
         "read_p99_us",
+        // The overhead cell's raw walls and percentage swing with the
+        // runner; `metrics_overhead_ok` is the gated verdict.
+        "enabled_wall_us",
+        "disabled_wall_us",
+        "metrics_overhead_pct",
         // Wall-derived measurements swing with the machine; their boolean
         // verdicts (`meets_threshold`) are the gated fields.
         "p95_speedup",

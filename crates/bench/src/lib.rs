@@ -32,6 +32,7 @@ pub mod json;
 pub use json::{BenchReport, Json};
 
 use sofos_core::render_table;
+use sofos_telemetry::Histogram;
 
 /// True when the binary was invoked with `--smoke`: shrink the sweep to
 /// run in seconds (CI), keeping the report shape identical.
@@ -73,15 +74,16 @@ pub fn ratio(r: f64) -> String {
 }
 
 /// The `p`-th percentile (0–100, nearest-rank) of a sample set; 0 when
-/// empty. Sorts a copy — fine at experiment scale.
+/// empty.
+///
+/// Computed through a [`sofos_telemetry::Histogram`] snapshot so bench
+/// reports and the engine's metrics layer agree on one quantile
+/// definition: exact below 32, < 1/32 relative error above (the answer is
+/// the lower bound of the bucket holding the nearest-rank sample).
 pub fn percentile(samples: &[u64], p: f64) -> u64 {
-    if samples.is_empty() {
-        return 0;
-    }
-    let mut sorted = samples.to_vec();
-    sorted.sort_unstable();
-    let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
-    sorted[rank.clamp(1, sorted.len()) - 1]
+    let hist = Histogram::new();
+    hist.record_all(samples);
+    hist.snapshot().quantile((p / 100.0).clamp(0.0, 1.0))
 }
 
 #[cfg(test)]
@@ -100,7 +102,9 @@ mod tests {
         assert_eq!(percentile(&[7], 50.0), 7);
         let samples: Vec<u64> = (1..=100).collect();
         assert_eq!(percentile(&samples, 50.0), 50);
-        assert_eq!(percentile(&samples, 95.0), 95);
+        // 95 lands in the [64, 128) range where buckets are 2 wide: the
+        // histogram answers the bucket lower bound, 94.
+        assert_eq!(percentile(&samples, 95.0), 94);
         assert_eq!(percentile(&samples, 100.0), 100);
         assert_eq!(percentile(&samples, 0.0), 1);
     }

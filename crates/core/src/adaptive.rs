@@ -42,7 +42,7 @@ use sofos_sparql::SparqlError;
 #[derive(Debug, Clone)]
 pub struct DriftDetector {
     /// Reference demand mass by mask (un-normalized —
-    /// [`crate::policy::total_variation`] normalizes both sides).
+    /// `total_variation` normalizes both sides).
     reference: FxHashMap<u64, f64>,
     /// Churn reference; `None` disables the locality trigger.
     churn_reference: Option<FxHashMap<u64, f64>>,
@@ -106,7 +106,7 @@ impl DriftDetector {
     }
 
     /// Total-variation distance between the reference and `current` —
-    /// the same [`crate::policy::total_variation`] the churn trigger
+    /// the same `total_variation` the churn trigger
     /// uses. Both empty → 0 (nothing moved); exactly one empty → 1.
     pub fn drift(&self, current: &WorkloadProfile) -> f64 {
         total_variation(&self.reference, &Self::mass(current))
@@ -442,7 +442,7 @@ impl Reselector {
             self.detector.set_churn_reference(&engine_churn);
         }
         self.reselections += 1;
-        Ok(ReselectionReport {
+        let report = ReselectionReport {
             drift,
             locality_drift,
             selection,
@@ -450,7 +450,9 @@ impl Reselector {
             sizing_us,
             sizing_refreshed,
             selection_us,
-        })
+        };
+        crate::metrics::record_reselection(engine.metrics(), engine.now_ms(), report.to_string());
+        Ok(report)
     }
 }
 

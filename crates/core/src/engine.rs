@@ -3,9 +3,7 @@
 //!
 //! SOFOS's demo value is letting a user flip one knob (cost model, budget,
 //! λ, staleness bound) and watch the trade-off move. Before this module
-//! that required choosing between two divergent APIs — the serial
-//! [`Session`](crate::online::Session) and the epoch-based
-//! [`ConcurrentSession`](crate::concurrent::ConcurrentSession) — each with
+//! that required choosing between two divergent session APIs, each with
 //! its own copy of the staleness machinery. The [`Engine`] collapses the
 //! choice into a builder knob:
 //!
@@ -48,8 +46,9 @@ mod epoch;
 mod serial;
 
 pub(crate) use epoch::EpochBackend;
-pub(crate) use serial::{SerialBackend, SerialState};
+pub(crate) use serial::SerialBackend;
 
+use crate::metrics::EngineInstruments;
 use crate::policy::{system_clock, Clock, Freshness, StalenessPolicy};
 use sofos_cost::UpdateRates;
 use sofos_cube::{Facet, ViewMask};
@@ -58,6 +57,7 @@ use sofos_rdf::FxHashMap;
 use sofos_select::WorkloadProfile;
 use sofos_sparql::{Query, QueryResults, SparqlError};
 use sofos_store::{Dataset, Delta};
+use sofos_telemetry::MetricsHandle;
 use std::sync::Arc;
 
 // ---------------------------------------------------------------------------
@@ -254,6 +254,10 @@ pub trait ServingBackend: sealed::Sealed + Send + Sync {
     /// (`None` on the serial backend).
     fn pipeline_telemetry(&self) -> Option<PipelineTelemetry>;
 
+    /// The backend clock's current time (ms) — the time source behind
+    /// wall-clock staleness and telemetry event timestamps.
+    fn now_ms(&self) -> u64;
+
     /// Short backend name for reports (`"serial"` / `"epoch"`).
     fn backend_name(&self) -> &'static str;
 }
@@ -331,6 +335,7 @@ pub struct EngineBuilder {
     policy: StalenessPolicy,
     backend: Backend,
     clock: Option<Arc<dyn Clock>>,
+    metrics: Option<MetricsHandle>,
 }
 
 impl EngineBuilder {
@@ -376,11 +381,22 @@ impl EngineBuilder {
         self
     }
 
+    /// The metrics handle the engine records into (default: a fresh
+    /// enabled [`MetricsHandle`]). Inject a shared handle to aggregate
+    /// several engines into one registry, or
+    /// [`MetricsHandle::disabled`] to skip recording entirely.
+    pub fn metrics(mut self, metrics: MetricsHandle) -> EngineBuilder {
+        self.metrics = Some(metrics);
+        self
+    }
+
     /// Assemble the engine.
     pub fn build(self) -> Result<Engine, EngineBuildError> {
         let dataset = self.dataset.ok_or(EngineBuildError::MissingDataset)?;
         let facet = self.facet.ok_or(EngineBuildError::MissingFacet)?;
         let clock = self.clock.unwrap_or_else(system_clock);
+        let metrics = self.metrics.unwrap_or_default();
+        let instruments = EngineInstruments::new(metrics.clone(), self.backend.name());
         let backend: Box<dyn ServingBackend> = match self.backend {
             Backend::Serial => Box::new(SerialBackend::new(
                 dataset,
@@ -388,6 +404,7 @@ impl EngineBuilder {
                 self.catalog,
                 self.policy,
                 clock,
+                instruments,
             )),
             Backend::Epoch { shards, threads } => Box::new(EpochBackend::new(
                 dataset,
@@ -397,9 +414,14 @@ impl EngineBuilder {
                 shards,
                 threads,
                 clock,
+                instruments,
             )),
         };
-        Ok(Engine { facet, backend })
+        Ok(Engine {
+            facet,
+            backend,
+            metrics,
+        })
     }
 }
 
@@ -420,6 +442,7 @@ impl EngineBuilder {
 pub struct Engine {
     facet: Facet,
     backend: Box<dyn ServingBackend>,
+    metrics: MetricsHandle,
 }
 
 impl Engine {
@@ -432,6 +455,7 @@ impl Engine {
             policy: StalenessPolicy::Eager,
             backend: Backend::Serial,
             clock: None,
+            metrics: None,
         }
     }
 
@@ -523,6 +547,21 @@ impl Engine {
     /// Two-phase pipeline telemetry (`None` on the serial backend).
     pub fn pipeline_telemetry(&self) -> Option<PipelineTelemetry> {
         self.backend.pipeline_telemetry()
+    }
+
+    /// The engine's metrics handle: serve-latency and freshness-lag
+    /// histograms, flush/epoch/maintenance counters, recent events —
+    /// everything the backends record while serving. Snapshot it at any
+    /// time ([`MetricsHandle::snapshot`]) and render to JSON or
+    /// Prometheus text.
+    pub fn metrics(&self) -> &MetricsHandle {
+        &self.metrics
+    }
+
+    /// The engine clock's current time (ms) — the injected
+    /// [`Clock`]'s reading, also used to timestamp telemetry events.
+    pub fn now_ms(&self) -> u64 {
+        self.backend.now_ms()
     }
 
     /// Short backend name (`"serial"` / `"epoch"`).

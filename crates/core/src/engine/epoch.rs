@@ -32,6 +32,7 @@
 //! cloning, or query evaluation.
 
 use super::{Route, ServingBackend, SessionAnswer, ViewChurn};
+use crate::metrics::EngineInstruments;
 use crate::policy::{Clock, FlushMeter, Freshness, PendingLog, ProfileWindows, StalenessPolicy};
 use crate::timing::measure_once;
 use sofos_cost::UpdateRates;
@@ -112,6 +113,9 @@ pub(crate) struct EpochBackend {
     clock: Arc<dyn Clock>,
     writer: Mutex<WriterSide>,
     serving: Mutex<ServingState>,
+    /// Pre-registered telemetry instruments (serve latency, freshness
+    /// lag, epoch lifecycle, pipeline phase timings).
+    metrics: EngineInstruments,
 }
 
 impl EpochBackend {
@@ -124,6 +128,7 @@ impl EpochBackend {
         shards: usize,
         writer_threads: usize,
         clock: Arc<dyn Clock>,
+        metrics: EngineInstruments,
     ) -> EpochBackend {
         EpochBackend {
             store: EpochStore::new(dataset, shards),
@@ -147,26 +152,52 @@ impl EpochBackend {
             policy,
             writer_threads: writer_threads.max(1),
             clock,
+            metrics,
         }
     }
 
+    /// Mirror one sharded apply's scan/pipeline split into the metric
+    /// instruments (alongside [`WriterSide::absorb_sharded`]'s report
+    /// totals).
+    fn record_sharded(&self, sharded: &sofos_maintain::ShardedApplyOutcome) {
+        self.metrics.record_shard_scans(&sharded.shard_costs);
+        self.metrics.record_pipeline(&PipelineTelemetry {
+            serial_us: sharded.serial_us,
+            parallel_work_us: sharded.scan_work_us(),
+            parallel_wall_us: sharded.scan_wall_us,
+        });
+    }
+
+    /// Refresh the epoch-lifecycle gauges from the store's accounting.
+    fn note_store(&self) {
+        self.metrics.record_epoch_lifecycle(
+            self.store.published_snapshots(),
+            self.store.retired_snapshots(),
+            self.store.live_snapshots(),
+        );
+    }
+
     /// The underlying epoch store (epoch numbers, retire accounting).
+    #[cfg(test)]
     pub(crate) fn store(&self) -> &EpochStore {
         &self.store
     }
 
     /// The facet.
+    #[cfg(test)]
     pub(crate) fn facet(&self) -> &Facet {
         &self.facet
     }
 
     /// Pin the current epoch (for validation and ad-hoc reads).
+    #[cfg(test)]
     pub(crate) fn pin(&self) -> PinnedSnapshot {
         self.store.pin()
     }
 
     /// Accumulated per-shard scan telemetry, folded across batches
     /// (sorted by shard).
+    #[cfg(test)]
     pub(crate) fn shard_scan_totals(&self) -> Vec<ShardScanCost> {
         let writer = self.writer.lock().expect("writer lock poisoned");
         let mut totals = writer.shard_scans.clone();
@@ -182,6 +213,12 @@ impl EpochBackend {
     /// batch becomes visible to readers atomically at publish; readers
     /// keep answering from the previous epoch until then.
     pub(crate) fn update(&self, delta: Delta) -> Result<(), SparqlError> {
+        let result = self.update_inner(delta);
+        self.note_store();
+        result
+    }
+
+    fn update_inner(&self, delta: Delta) -> Result<(), SparqlError> {
         let mut txn = self.store.begin();
         let router = *self.store.router();
         let mut writer = self.writer.lock().expect("writer lock poisoned");
@@ -219,6 +256,7 @@ impl EpochBackend {
                     self.writer_threads,
                 );
                 writer.absorb_sharded(&sharded);
+                self.record_sharded(&sharded);
                 // The catalog's masks cannot change concurrently — every
                 // view mutator holds the write transaction — so working on
                 // a clone and installing it back is race-free.
@@ -235,6 +273,7 @@ impl EpochBackend {
                 match result {
                     Ok(outcome) => {
                         writer.telemetry.merge(&outcome.telemetry);
+                        self.metrics.record_pipeline(&outcome.telemetry);
                         writer.log.absorb(outcome.report);
                         let prepared = txn.prepare();
                         let mut state = self.lock_serving();
@@ -260,6 +299,11 @@ impl EpochBackend {
                         state.views = views;
                         let epoch = prepared.publish();
                         state.pending.demand_refresh_all(&state.views, epoch);
+                        drop(guard);
+                        self.metrics.record_maintenance_error(
+                            self.clock.now_ms(),
+                            format!("eager maintenance failed at epoch {epoch}: {e}"),
+                        );
                         Err(e)
                     }
                 }
@@ -276,6 +320,7 @@ impl EpochBackend {
                     state.meter.enqueue(self.clock.now_ms());
                     state.meter.buffered()
                 };
+                self.metrics.record_buffered(buffered);
                 if buffered >= self.policy.flush_cadence().unwrap_or(1) {
                     // Scheduled cadence flush: drain the whole buffer into
                     // one batched epoch (the update path can afford it —
@@ -296,6 +341,7 @@ impl EpochBackend {
                     self.writer_threads,
                 );
                 writer.absorb_sharded(&sharded);
+                self.record_sharded(&sharded);
                 txn.touch_changes(&sharded.outcome.changes);
                 let prepared = txn.prepare();
                 let mut guard = self.lock_serving();
@@ -306,12 +352,14 @@ impl EpochBackend {
                     Some(rows) => {
                         state.windows.observe_churn(&rows);
                         state.pending.push(epoch, self.clock.now_ms(), rows);
-                        state.pending.enforce_cap(&state.views, epoch);
+                        let evicted = state.pending.enforce_cap(&state.views, epoch);
+                        self.metrics.record_pending(state.pending.len(), evicted);
                     }
                     None => {
                         // Non-star facet: buffered deltas cannot repair
                         // anything; every view needs a full refresh.
                         state.pending.demand_refresh_all(&state.views, epoch);
+                        self.metrics.record_pending(state.pending.len(), 0);
                     }
                 }
                 Ok(())
@@ -363,6 +411,7 @@ impl EpochBackend {
                 self.writer_threads,
             );
             writer.absorb_sharded(&sharded);
+            self.record_sharded(&sharded);
             batch.absorb(&sharded.outcome.changes);
             match sharded.outcome.rows {
                 Some(rows) => {
@@ -384,6 +433,7 @@ impl EpochBackend {
         match result {
             Ok(outcome) => {
                 writer.telemetry.merge(&outcome.telemetry);
+                self.metrics.record_pipeline(&outcome.telemetry);
                 writer.log.absorb(outcome.report);
                 let prepared = batch.prepare();
                 let mut state = self.lock_serving();
@@ -392,7 +442,17 @@ impl EpochBackend {
                 }
                 state.views = views;
                 state.meter.drain(take);
-                prepared.publish();
+                let buffered = state.meter.buffered();
+                let epoch = prepared.publish();
+                drop(state);
+                let now = self.clock.now_ms();
+                self.metrics.record_flush(
+                    take,
+                    now,
+                    format!("drained {take} batches -> epoch {epoch}"),
+                );
+                self.metrics.record_buffered(buffered);
+                self.metrics.record_epoch_publish(epoch, now);
                 Ok(())
             }
             Err(e) => {
@@ -405,6 +465,19 @@ impl EpochBackend {
                 let epoch = prepared.publish();
                 state.meter.drain(take);
                 state.pending.demand_refresh_all(&state.views, epoch);
+                let buffered = state.meter.buffered();
+                drop(guard);
+                let now = self.clock.now_ms();
+                self.metrics.record_flush(
+                    take,
+                    now,
+                    format!("drained {take} batches -> epoch {epoch}"),
+                );
+                self.metrics.record_buffered(buffered);
+                self.metrics.record_maintenance_error(
+                    now,
+                    format!("batched flush maintenance failed at epoch {epoch}: {e}"),
+                );
                 Err(e)
             }
         }
@@ -418,6 +491,25 @@ impl EpochBackend {
     /// flushed (one per check, so the work one read absorbs is bounded)
     /// before serving. The repair/flush cost is reported on the answer.
     pub(crate) fn query(&self, query: &Query) -> Result<SessionAnswer, SparqlError> {
+        let start = std::time::Instant::now();
+        let result = self.query_inner(query);
+        if let Ok(answer) = &result {
+            let route = match answer.route {
+                Route::View(view) => Some(view),
+                Route::BaseGraph => None,
+            };
+            self.metrics.record_serve(
+                route,
+                start.elapsed().as_micros() as u64,
+                &answer.freshness,
+                self.clock.now_ms(),
+            );
+        }
+        self.note_store();
+        result
+    }
+
+    fn query_inner(&self, query: &Query) -> Result<SessionAnswer, SparqlError> {
         let Ok(analysis) = analyze_query(&self.facet, query) else {
             let (snapshot, freshness, flush_us) = self.pin_within_bound()?;
             self.lock_serving().fallbacks += 1;
@@ -611,8 +703,15 @@ impl EpochBackend {
         state
             .pending
             .consume(view, epoch, result.is_ok(), &state.views);
+        self.metrics.record_pending(state.pending.len(), 0);
         let snapshot = self.store.pin();
         drop(guard);
+        if let Err(e) = &result {
+            self.metrics.record_maintenance_error(
+                self.clock.now_ms(),
+                format!("view {:#x} repair failed: {e}", view.0),
+            );
+        }
         let cost = result?;
         let us = cost.wall_us;
         writer.log.per_view.push(cost);
@@ -718,7 +817,9 @@ impl ServingBackend for EpochBackend {
     }
 
     fn swap_views(&self, target: &[ViewMask]) -> Result<ViewChurn, SparqlError> {
-        EpochBackend::swap_views(self, target)
+        let result = EpochBackend::swap_views(self, target);
+        self.note_store();
+        result
     }
 
     fn flush(&self) -> Result<u64, SparqlError> {
@@ -742,6 +843,7 @@ impl ServingBackend for EpochBackend {
             }
             Ok(())
         });
+        self.note_store();
         result.map(|()| us)
     }
 
@@ -806,6 +908,10 @@ impl ServingBackend for EpochBackend {
         Some(self.writer.lock().expect("writer lock poisoned").telemetry)
     }
 
+    fn now_ms(&self) -> u64 {
+        self.clock.now_ms()
+    }
+
     fn backend_name(&self) -> &'static str {
         "epoch"
     }
@@ -863,6 +969,7 @@ mod tests {
                 shards,
                 threads,
                 system_clock(),
+                EngineInstruments::new(sofos_telemetry::MetricsHandle::new(), "epoch"),
             ),
             workload,
         )

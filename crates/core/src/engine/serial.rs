@@ -7,11 +7,11 @@
 //! behaviour comes from [`crate::policy`]; the state stamp the pending
 //! log runs on is the applied-update-batch count.
 //!
-//! [`SerialState`] is the actual implementation (used mutably by the
-//! deprecated [`crate::online::Session`] shim); [`SerialBackend`] wraps
+//! [`SerialState`] is the actual implementation; [`SerialBackend`] wraps
 //! it in a mutex to provide the `&self` [`ServingBackend`] surface.
 
 use super::{Route, ServingBackend, SessionAnswer, ViewChurn};
+use crate::metrics::EngineInstruments;
 use crate::policy::{Clock, FlushMeter, Freshness, PendingLog, ProfileWindows, StalenessPolicy};
 use crate::timing::measure_once;
 use sofos_cost::UpdateRates;
@@ -46,6 +46,9 @@ pub(crate) struct SerialState {
     update_batches: usize,
     view_hits: usize,
     fallbacks: usize,
+    /// Pre-registered telemetry instruments (serve latency, freshness
+    /// lag, flush/pending accounting).
+    metrics: EngineInstruments,
 }
 
 impl SerialState {
@@ -55,6 +58,7 @@ impl SerialState {
         views: Vec<(ViewMask, usize)>,
         policy: StalenessPolicy,
         clock: Arc<dyn Clock>,
+        metrics: EngineInstruments,
     ) -> SerialState {
         SerialState {
             maintainer: Maintainer::new(&facet),
@@ -70,6 +74,7 @@ impl SerialState {
             update_batches: 0,
             view_hits: 0,
             fallbacks: 0,
+            metrics,
         }
     }
 
@@ -115,6 +120,10 @@ impl SerialState {
                         // backend's eager error path.
                         let stamp = self.stamp();
                         self.pending.demand_refresh_all(&self.views, stamp);
+                        self.metrics.record_maintenance_error(
+                            self.clock.now_ms(),
+                            format!("eager maintenance failed: {e}"),
+                        );
                         Err(e)
                     }
                 }
@@ -130,7 +139,8 @@ impl SerialState {
                 // batches cost one group-patching pass instead of N.
                 let outcome = self.maintainer.apply(&mut self.dataset, delta);
                 self.buffer_rows(outcome.rows);
-                self.meter.enqueue(self.clock.now_ms());
+                let buffered = self.meter.enqueue(self.clock.now_ms());
+                self.metrics.record_buffered(buffered);
                 if self.meter.cadence_due(self.policy) {
                     self.flush_views()?;
                 }
@@ -147,12 +157,14 @@ impl SerialState {
             Some(rows) => {
                 self.windows.observe_churn(&rows);
                 self.pending.push(stamp, self.clock.now_ms(), rows);
-                self.pending.enforce_cap(&self.views, stamp);
+                let evicted = self.pending.enforce_cap(&self.views, stamp);
+                self.metrics.record_pending(self.pending.len(), evicted);
             }
             None => {
                 // Unusable delta: every view must fully refresh; buffered
                 // rows are superseded.
                 self.pending.demand_refresh_all(&self.views, stamp);
+                self.metrics.record_pending(self.pending.len(), 0);
             }
         }
     }
@@ -161,12 +173,19 @@ impl SerialState {
     /// policy's flush; also callable directly to drain the backend).
     /// Returns the total maintenance time (µs).
     pub(crate) fn flush_views(&mut self) -> Result<u64, SparqlError> {
+        let batches = self.meter.buffered();
         let masks: Vec<ViewMask> = self.views.iter().map(|(m, _)| *m).collect();
         let mut total_us = 0;
         for mask in masks {
             total_us += self.sync_view(mask)?;
         }
         self.meter.clear();
+        self.metrics.record_flush(
+            batches,
+            self.clock.now_ms(),
+            format!("drained {batches} batches in {total_us} µs"),
+        );
+        self.metrics.record_pending(self.pending.len(), 0);
         Ok(total_us)
     }
 
@@ -182,6 +201,24 @@ impl SerialState {
     /// feed the sliding workload profile whether or not a view covers
     /// them.
     pub(crate) fn query(&mut self, query: &Query) -> Result<SessionAnswer, SparqlError> {
+        let start = std::time::Instant::now();
+        let result = self.query_inner(query);
+        if let Ok(answer) = &result {
+            let route = match answer.route {
+                Route::View(view) => Some(view),
+                Route::BaseGraph => None,
+            };
+            self.metrics.record_serve(
+                route,
+                start.elapsed().as_micros() as u64,
+                &answer.freshness,
+                self.clock.now_ms(),
+            );
+        }
+        result
+    }
+
+    fn query_inner(&mut self, query: &Query) -> Result<SessionAnswer, SparqlError> {
         let planned = match analyze_query(&self.facet, query) {
             Ok(analysis) => {
                 self.windows.observe_demand(analysis.required);
@@ -270,6 +307,12 @@ impl SerialState {
         // in an error-retry loop while the pending log grows.
         self.pending
             .consume(view, stamp, result.is_ok(), &self.views);
+        if let Err(e) = &result {
+            self.metrics.record_maintenance_error(
+                self.clock.now_ms(),
+                format!("view {:#x} repair failed: {e}", view.0),
+            );
+        }
         let cost = result?;
         let us = cost.wall_us;
         self.log.per_view.push(cost);
@@ -338,10 +381,6 @@ impl SerialState {
         &self.dataset
     }
 
-    pub(crate) fn facet(&self) -> &Facet {
-        &self.facet
-    }
-
     pub(crate) fn views(&self) -> &[(ViewMask, usize)] {
         &self.views
     }
@@ -394,9 +433,12 @@ impl SerialBackend {
         views: Vec<(ViewMask, usize)>,
         policy: StalenessPolicy,
         clock: Arc<dyn Clock>,
+        metrics: EngineInstruments,
     ) -> SerialBackend {
         SerialBackend {
-            state: Mutex::new(SerialState::new(dataset, facet, views, policy, clock)),
+            state: Mutex::new(SerialState::new(
+                dataset, facet, views, policy, clock, metrics,
+            )),
         }
     }
 
@@ -472,6 +514,10 @@ impl ServingBackend for SerialBackend {
 
     fn pipeline_telemetry(&self) -> Option<PipelineTelemetry> {
         None
+    }
+
+    fn now_ms(&self) -> u64 {
+        self.lock().clock.now_ms()
     }
 
     fn backend_name(&self) -> &'static str {

@@ -42,14 +42,37 @@
 //! println!("{}", report.to_table());
 //! ```
 //!
-//! The legacy session types ([`Session`], [`ConcurrentSession`]) are thin
-//! deprecated shims over the engine's backends, kept for one release.
+//! ## Observability
+//!
+//! Every engine carries a [`MetricsHandle`] — a lock-free recording
+//! surface for serve latency, freshness lag, maintenance pipeline
+//! timings, and epoch lifecycle. Pass one through
+//! [`EngineBuilder::metrics`] to share it with an exporter, or read the
+//! engine's own via [`Engine::metrics`]:
+//!
+//! ```
+//! use sofos_core::{Engine, MetricsHandle};
+//! # use sofos_workload::dbpedia;
+//! # let g = dbpedia::generate(&dbpedia::Config {
+//! #     countries: 4, years: 2, ..dbpedia::Config::default()
+//! # });
+//! let engine = Engine::builder()
+//!     .dataset(g.dataset)
+//!     .facet(g.facets[0].clone())
+//!     .metrics(MetricsHandle::new())
+//!     .build()
+//!     .unwrap();
+//! engine.query(&sofos_sparql::parse_query(
+//!     "SELECT (COUNT(*) AS ?n) WHERE { ?s ?p ?o }").unwrap()).unwrap();
+//! let snapshot = engine.metrics().snapshot();
+//! println!("{}", snapshot.to_prometheus_text());
+//! ```
 
 pub mod adaptive;
 pub mod compare;
-pub mod concurrent;
 pub mod config;
 pub mod engine;
+mod metrics;
 pub mod offline;
 pub mod online;
 pub mod policy;
@@ -59,19 +82,16 @@ pub mod validate;
 
 pub use adaptive::{DriftDetector, ReselectionReport, Reselector};
 pub use compare::compare_cost_models;
-#[allow(deprecated)]
-pub use concurrent::ConcurrentSession;
 pub use config::EngineConfig;
 pub use engine::{
     Backend, Engine, EngineBuildError, EngineBuilder, Route, ServingBackend, SessionAnswer,
     ViewChurn,
 };
 pub use offline::{build_model, run_offline, OfflineOutcome, SizedLattice};
-#[allow(deprecated)]
-pub use online::Session;
 pub use online::{run_online, OnlineOutcome, QueryRecord};
 pub use policy::{Clock, Freshness, ManualClock, StalenessPolicy, SystemClock};
 pub use report::{render_table, ComparisonReport, ModelRow};
+pub use sofos_telemetry::{Event, EventKind, MetricsHandle, MetricsSnapshot};
 pub use timing::{measure_median, measure_once, TimeSummary};
 pub use validate::results_equivalent;
 

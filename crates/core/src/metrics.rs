@@ -1,0 +1,371 @@
+//! The engine's metric instruments — the bridge between the serving
+//! backends and [`sofos_telemetry`].
+//!
+//! One [`EngineInstruments`] per backend, pre-registering every named
+//! instrument with its `backend` label at construction so the hot serve
+//! path records through cached `Arc`s (a few relaxed atomic ops) and
+//! never touches the registry lock. Per-view route counters are the one
+//! dynamic set: they are created on a view's first routing and cached in
+//! a small map behind a short mutex.
+//!
+//! Every recording method early-outs on a disabled
+//! [`MetricsHandle`] (see [`MetricsHandle::disabled`]), so an
+//! uninstrumented engine pays one branch per call site.
+//!
+//! Metric names (all `backend`-labelled):
+//!
+//! | name | kind | meaning |
+//! |------|------|---------|
+//! | `sofos_serve_latency_us{route}` | histogram | end-to-end query latency, split view-hit vs fallback |
+//! | `sofos_freshness_lag` | histogram | the [`Freshness::lag`] tag of every served answer |
+//! | `sofos_route_total{route,view}` | counter | per-view hits and base-graph fallbacks |
+//! | `sofos_pending_depth` | gauge | buffered row-delta batches in the [`crate::policy::PendingLog`] |
+//! | `sofos_pending_cap_evictions_total` | counter | pending-log entries dropped by cap enforcement |
+//! | `sofos_buffered_updates` | gauge | bounded-policy update batches awaiting flush |
+//! | `sofos_flushes_total` / `sofos_flushed_batches_total` | counter | flush passes / batches they drained |
+//! | `sofos_epochs_published` / `_retired` / `_live` | gauge | the epoch store's snapshot lifecycle |
+//! | `sofos_shard_scan_us{shard}` | histogram | per-shard delta-scan wall time |
+//! | `sofos_pipeline_{serial,parallel_work,parallel_wall}_us_total` | counter | two-phase pipeline split |
+//! | `sofos_maintenance_errors_total` | counter | failed maintenance / repair passes |
+//! | `sofos_reselections_total` | counter | adaptive catalog swaps (see [`crate::adaptive`]) |
+
+use crate::policy::Freshness;
+use sofos_cube::ViewMask;
+use sofos_maintain::{PipelineTelemetry, ShardScanCost};
+use sofos_rdf::FxHashMap;
+use sofos_telemetry::{Counter, EventKind, Gauge, Histogram, MetricsHandle};
+use std::sync::{Arc, Mutex};
+
+/// Pre-registered instruments for one serving backend (see module docs).
+pub(crate) struct EngineInstruments {
+    handle: MetricsHandle,
+    backend: &'static str,
+    serve_view_us: Arc<Histogram>,
+    serve_fallback_us: Arc<Histogram>,
+    freshness_lag: Arc<Histogram>,
+    route_fallback: Arc<Counter>,
+    route_views: Mutex<FxHashMap<u64, Arc<Counter>>>,
+    pending_depth: Arc<Gauge>,
+    pending_cap_evictions: Arc<Counter>,
+    buffered_updates: Arc<Gauge>,
+    flushes: Arc<Counter>,
+    flushed_batches: Arc<Counter>,
+    epochs_published: Arc<Gauge>,
+    epochs_retired: Arc<Gauge>,
+    epochs_live: Arc<Gauge>,
+    shard_scans: Mutex<FxHashMap<usize, Arc<Histogram>>>,
+    pipeline_serial_us: Arc<Counter>,
+    pipeline_parallel_work_us: Arc<Counter>,
+    pipeline_parallel_wall_us: Arc<Counter>,
+    maintenance_errors: Arc<Counter>,
+}
+
+impl EngineInstruments {
+    /// Register the backend's instrument set on `handle`.
+    pub(crate) fn new(handle: MetricsHandle, backend: &'static str) -> EngineInstruments {
+        let b = [("backend", backend)];
+        let serve_help = "End-to-end serve latency (µs)";
+        EngineInstruments {
+            serve_view_us: handle.histogram(
+                "sofos_serve_latency_us",
+                serve_help,
+                &[("backend", backend), ("route", "view")],
+            ),
+            serve_fallback_us: handle.histogram(
+                "sofos_serve_latency_us",
+                serve_help,
+                &[("backend", backend), ("route", "fallback")],
+            ),
+            freshness_lag: handle.histogram(
+                "sofos_freshness_lag",
+                "Freshness lag tag of served answers (buffered batches behind latest)",
+                &b,
+            ),
+            route_fallback: handle.counter(
+                "sofos_route_total",
+                "Queries routed per destination",
+                &[("backend", backend), ("route", "fallback")],
+            ),
+            route_views: Mutex::new(FxHashMap::default()),
+            pending_depth: handle.gauge(
+                "sofos_pending_depth",
+                "Buffered row-delta batches awaiting deferred maintenance",
+                &b,
+            ),
+            pending_cap_evictions: handle.counter(
+                "sofos_pending_cap_evictions_total",
+                "Pending-log entries dropped by cap enforcement",
+                &b,
+            ),
+            buffered_updates: handle.gauge(
+                "sofos_buffered_updates",
+                "Bounded-policy update batches buffered and not yet flushed",
+                &b,
+            ),
+            flushes: handle.counter("sofos_flushes_total", "Flush passes", &b),
+            flushed_batches: handle.counter(
+                "sofos_flushed_batches_total",
+                "Buffered update batches drained by flushes",
+                &b,
+            ),
+            epochs_published: handle.gauge(
+                "sofos_epochs_published",
+                "Epoch snapshots published since construction",
+                &b,
+            ),
+            epochs_retired: handle.gauge(
+                "sofos_epochs_retired",
+                "Epoch snapshots fully retired (no pins, superseded)",
+                &b,
+            ),
+            epochs_live: handle.gauge(
+                "sofos_epochs_live",
+                "Epoch snapshots currently retained (published - retired)",
+                &b,
+            ),
+            shard_scans: Mutex::new(FxHashMap::default()),
+            pipeline_serial_us: handle.counter(
+                "sofos_pipeline_serial_us_total",
+                "Two-phase pipeline: serial spine wall time (µs)",
+                &b,
+            ),
+            pipeline_parallel_work_us: handle.counter(
+                "sofos_pipeline_parallel_work_us_total",
+                "Two-phase pipeline: summed parallel work (µs)",
+                &b,
+            ),
+            pipeline_parallel_wall_us: handle.counter(
+                "sofos_pipeline_parallel_wall_us_total",
+                "Two-phase pipeline: parallel phase wall time (µs)",
+                &b,
+            ),
+            maintenance_errors: handle.counter(
+                "sofos_maintenance_errors_total",
+                "Failed maintenance or repair passes",
+                &b,
+            ),
+            backend,
+            handle,
+        }
+    }
+
+    /// One served answer: latency split by route, the freshness-lag tag,
+    /// per-view routing counts, and a slow-query event past the handle's
+    /// threshold.
+    pub(crate) fn record_serve(
+        &self,
+        route: Option<ViewMask>,
+        latency_us: u64,
+        freshness: &Freshness,
+        now_ms: u64,
+    ) {
+        if !self.handle.is_enabled() {
+            return;
+        }
+        match route {
+            Some(view) => {
+                self.serve_view_us.record(latency_us);
+                self.route_counter(view).inc();
+            }
+            None => {
+                self.serve_fallback_us.record(latency_us);
+                self.route_fallback.inc();
+            }
+        }
+        self.freshness_lag.record(freshness.lag);
+        if latency_us > self.handle.slow_query_threshold_us() {
+            let dest = match route {
+                Some(view) => format!("view {:#x}", view.0),
+                None => "base graph".to_string(),
+            };
+            self.handle.event(
+                now_ms,
+                EventKind::SlowQuery,
+                format!("{} µs via {dest} (lag {})", latency_us, freshness.lag),
+            );
+        }
+    }
+
+    fn route_counter(&self, view: ViewMask) -> Arc<Counter> {
+        let mut cached = self.route_views.lock().expect("route counters poisoned");
+        Arc::clone(cached.entry(view.0).or_insert_with(|| {
+            self.handle.counter(
+                "sofos_route_total",
+                "Queries routed per destination",
+                &[
+                    ("backend", self.backend),
+                    ("route", "view"),
+                    ("view", &format!("{:#x}", view.0)),
+                ],
+            )
+        }))
+    }
+
+    /// Pending-log movement: current depth plus entries evicted by cap
+    /// enforcement since the last call.
+    pub(crate) fn record_pending(&self, depth: usize, evicted: usize) {
+        if !self.handle.is_enabled() {
+            return;
+        }
+        self.pending_depth.set(depth as u64);
+        if evicted > 0 {
+            self.pending_cap_evictions.add(evicted as u64);
+        }
+    }
+
+    /// Bounded-policy buffer depth (batches awaiting the next flush).
+    pub(crate) fn record_buffered(&self, buffered: usize) {
+        if self.handle.is_enabled() {
+            self.buffered_updates.set(buffered as u64);
+        }
+    }
+
+    /// One flush pass that drained `batches` buffered batches.
+    pub(crate) fn record_flush(&self, batches: usize, now_ms: u64, detail: impl Into<String>) {
+        if !self.handle.is_enabled() {
+            return;
+        }
+        self.flushes.inc();
+        self.flushed_batches.add(batches as u64);
+        self.buffered_updates.set(0);
+        self.handle.event(now_ms, EventKind::Flush, detail);
+    }
+
+    /// The epoch store's snapshot lifecycle after a publish (or pin
+    /// drop): published / retired / live counts.
+    pub(crate) fn record_epoch_lifecycle(&self, published: u64, retired: u64, live: u64) {
+        if !self.handle.is_enabled() {
+            return;
+        }
+        self.epochs_published.set(published);
+        self.epochs_retired.set(retired);
+        self.epochs_live.set(live);
+    }
+
+    /// An epoch-publish event (the batched flush publishing `epoch`).
+    pub(crate) fn record_epoch_publish(&self, epoch: u64, now_ms: u64) {
+        self.handle.event(
+            now_ms,
+            EventKind::EpochPublish,
+            format!("epoch {epoch} published"),
+        );
+    }
+
+    /// Fold one pipeline split (sharded apply or pipelined maintenance)
+    /// into the phase-timing counters.
+    pub(crate) fn record_pipeline(&self, telemetry: &PipelineTelemetry) {
+        if !self.handle.is_enabled() {
+            return;
+        }
+        self.pipeline_serial_us.add(telemetry.serial_us);
+        self.pipeline_parallel_work_us
+            .add(telemetry.parallel_work_us);
+        self.pipeline_parallel_wall_us
+            .add(telemetry.parallel_wall_us);
+    }
+
+    /// Per-shard scan wall times from one sharded apply.
+    pub(crate) fn record_shard_scans(&self, costs: &[ShardScanCost]) {
+        if !self.handle.is_enabled() || costs.is_empty() {
+            return;
+        }
+        let mut cached = self.shard_scans.lock().expect("shard scans poisoned");
+        for cost in costs {
+            let hist = cached.entry(cost.shard).or_insert_with(|| {
+                self.handle.histogram(
+                    "sofos_shard_scan_us",
+                    "Per-shard delta-scan wall time (µs)",
+                    &[
+                        ("backend", self.backend),
+                        ("shard", &cost.shard.to_string()),
+                    ],
+                )
+            });
+            hist.record(cost.wall_us);
+        }
+    }
+
+    /// A failed maintenance or repair pass.
+    pub(crate) fn record_maintenance_error(&self, now_ms: u64, detail: impl Into<String>) {
+        if !self.handle.is_enabled() {
+            return;
+        }
+        self.maintenance_errors.inc();
+        self.handle
+            .event(now_ms, EventKind::MaintenanceError, detail);
+    }
+}
+
+/// Record one adaptive re-selection on `handle` (called by
+/// [`crate::adaptive::Reselector`], which works through the public
+/// [`crate::engine::Engine`] surface rather than a backend's
+/// instruments).
+pub(crate) fn record_reselection(handle: &MetricsHandle, now_ms: u64, detail: impl Into<String>) {
+    if !handle.is_enabled() {
+        return;
+    }
+    handle
+        .counter(
+            "sofos_reselections_total",
+            "Adaptive catalog re-selections applied",
+            &[],
+        )
+        .inc();
+    handle.event(now_ms, EventKind::Reselection, detail);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn instruments_register_and_record() {
+        let handle = MetricsHandle::new();
+        let m = EngineInstruments::new(handle.clone(), "serial");
+        m.record_serve(Some(ViewMask(3)), 120, &Freshness::fresh(1), 5);
+        m.record_serve(None, 40, &Freshness::fresh(1), 6);
+        m.record_pending(4, 2);
+        m.record_flush(3, 7, "drained 3");
+        let snap = handle.snapshot();
+        assert_eq!(
+            snap.counter_value(
+                "sofos_route_total",
+                &[("backend", "serial"), ("route", "fallback")]
+            ),
+            Some(1)
+        );
+        assert_eq!(
+            snap.counter_value(
+                "sofos_route_total",
+                &[("backend", "serial"), ("route", "view"), ("view", "0x3")]
+            ),
+            Some(1)
+        );
+        assert_eq!(
+            snap.gauge_value("sofos_pending_depth", &[("backend", "serial")]),
+            Some(4)
+        );
+        assert_eq!(
+            snap.counter_value(
+                "sofos_pending_cap_evictions_total",
+                &[("backend", "serial")]
+            ),
+            Some(2)
+        );
+        assert_eq!(snap.events.len(), 1, "flush event recorded");
+    }
+
+    #[test]
+    fn disabled_handle_records_nothing() {
+        let handle = MetricsHandle::disabled();
+        let m = EngineInstruments::new(handle.clone(), "epoch");
+        m.record_serve(Some(ViewMask(1)), 1_000_000, &Freshness::fresh(0), 1);
+        m.record_flush(5, 2, "ignored");
+        let snap = handle.snapshot();
+        assert_eq!(
+            snap.counter_value("sofos_flushes_total", &[("backend", "epoch")]),
+            Some(0)
+        );
+        assert!(snap.events.is_empty());
+    }
+}

@@ -1,5 +1,5 @@
 //! The online module: query routing, measurement, and validation
-//! (Figure 2 ②) — plus the deprecated serial [`Session`] shim.
+//! (Figure 2 ②).
 //!
 //! Each workload query is analyzed by the rewriter; if a materialized view
 //! covers it, the rewritten query runs against `G+`, otherwise the original
@@ -9,22 +9,15 @@
 //!
 //! [`run_online`] serves the frozen-graph experiments. The living-graph
 //! mode — update batches interleaving with queries under a
-//! [`StalenessPolicy`] — lives behind the one front door now:
-//! [`crate::engine::Engine`]. [`Session`] remains as a thin deprecated
-//! shim over the engine's serial backend for one release.
+//! [`StalenessPolicy`] — lives behind the one front door:
+//! [`crate::engine::Engine`].
 
-use crate::engine::SerialState;
-use crate::policy::system_clock;
 use crate::timing::{measure_median, TimeSummary};
 use crate::validate::results_equivalent;
-use sofos_cost::UpdateRates;
 use sofos_cube::{Facet, ViewMask};
-use sofos_maintain::MaintenanceReport;
-use sofos_rdf::FxHashMap;
 use sofos_rewrite::plan_rewrite;
-use sofos_select::WorkloadProfile;
-use sofos_sparql::{Evaluator, Query, SparqlError};
-use sofos_store::{ChangeSet, Dataset, Delta};
+use sofos_sparql::{Evaluator, SparqlError};
+use sofos_store::Dataset;
 use sofos_workload::GeneratedQuery;
 
 pub use crate::engine::{Route, SessionAnswer, ViewChurn};
@@ -136,125 +129,6 @@ pub fn run_online(
         fallbacks,
         all_valid,
     })
-}
-
-/// The legacy interleaved update/query mode over a living `G+` —
-/// a thin shim over the engine's serial backend.
-///
-/// Deprecated: build a [`crate::engine::Engine`] with
-/// [`crate::engine::Backend::Serial`] instead; the engine exposes the
-/// same surface (plus the epoch backend, wall-clock staleness bounds,
-/// and `&self` concurrency) through one API.
-#[deprecated(
-    since = "0.2.0",
-    note = "use sofos_core::Engine with Backend::Serial — one front door over both serving backends"
-)]
-pub struct Session {
-    state: SerialState,
-}
-
-#[allow(deprecated)]
-impl Session {
-    /// Open a session over an expanded dataset and its view catalog
-    /// (pairs of mask and row count, as produced by
-    /// [`crate::offline::OfflineOutcome::view_catalog`]).
-    pub fn new(
-        dataset: Dataset,
-        facet: Facet,
-        views: Vec<(ViewMask, usize)>,
-        policy: StalenessPolicy,
-    ) -> Session {
-        Session {
-            state: SerialState::new(dataset, facet, views, policy, system_clock()),
-        }
-    }
-
-    /// How many recent query demands the sliding workload profile keeps.
-    pub const DEMAND_WINDOW: usize = crate::policy::ProfileWindows::DEMAND_WINDOW;
-
-    /// How many recent update batches the rate estimate averages over.
-    pub const RATE_WINDOW: usize = crate::policy::ProfileWindows::RATE_WINDOW;
-
-    /// Apply an update batch under the session's staleness policy.
-    pub fn update(&mut self, delta: Delta) -> Result<ChangeSet, SparqlError> {
-        self.state.update(delta)
-    }
-
-    /// Answer one query, routing through the rewriter.
-    pub fn query(&mut self, query: &Query) -> Result<SessionAnswer, SparqlError> {
-        self.state.query(query)
-    }
-
-    /// Bring every view up to date in one batched pass; returns the
-    /// total maintenance time (µs).
-    pub fn flush_views(&mut self) -> Result<u64, SparqlError> {
-        self.state.flush_views()
-    }
-
-    /// Update batches buffered since the last bounded flush.
-    pub fn batches_since_flush(&self) -> usize {
-        self.state.batches_since_flush()
-    }
-
-    /// Replace the materialized set with `target`, transactionally.
-    pub fn swap_views(&mut self, target: &[ViewMask]) -> Result<ViewChurn, SparqlError> {
-        self.state.swap_views(target)
-    }
-
-    /// The sliding per-group churn distribution.
-    pub fn churn_profile(&self) -> FxHashMap<u64, f64> {
-        self.state.churn_profile()
-    }
-
-    /// The sliding workload profile.
-    pub fn window_profile(&self) -> WorkloadProfile {
-        self.state.window_profile()
-    }
-
-    /// Observed update pressure over the sliding batch window.
-    pub fn observed_rates(&self) -> UpdateRates {
-        self.state.observed_rates()
-    }
-
-    /// The (possibly expanded) dataset.
-    pub fn dataset(&self) -> &Dataset {
-        self.state.dataset()
-    }
-
-    /// The facet.
-    pub fn facet(&self) -> &Facet {
-        self.state.facet()
-    }
-
-    /// The live view catalog (empty after invalidation).
-    pub fn views(&self) -> &[(ViewMask, usize)] {
-        self.state.views()
-    }
-
-    /// The session's staleness policy.
-    pub fn policy(&self) -> StalenessPolicy {
-        self.state.policy()
-    }
-
-    /// Accumulated maintenance log across updates and lazy repairs.
-    pub fn maintenance(&self) -> &MaintenanceReport {
-        self.state.maintenance()
-    }
-
-    /// `(view hits, base-graph fallbacks)` so far.
-    pub fn routing_counts(&self) -> (usize, usize) {
-        self.state.routing_counts()
-    }
-
-    /// Update batches applied so far.
-    pub fn update_batches(&self) -> usize {
-        self.state.update_batches()
-    }
-
-    /// Views currently stale under deferred maintenance.
-    pub fn stale_views(&self) -> usize {
-        self.state.stale_views()
-    }
 }
 
 #[cfg(test)]
@@ -369,67 +243,5 @@ mod tests {
         .unwrap();
         assert_eq!(outcome.fallbacks, 0, "full lattice covers every query");
         assert!(outcome.all_valid);
-    }
-
-    /// The deprecated shim still serves: same answers, same policy
-    /// behaviour, delegating to the engine's serial backend.
-    #[test]
-    #[allow(deprecated)]
-    fn session_shim_still_serves() {
-        use sofos_workload::synthetic;
-        let g = synthetic::generate(&synthetic::Config {
-            observations: 90,
-            ..synthetic::Config::default()
-        });
-        let facet = g.facets[0].clone();
-        let mut ds = g.dataset;
-        let sized = SizedLattice::compute(&ds, &facet).unwrap();
-        let profile = WorkloadProfile::uniform(&sized.lattice);
-        let offline = run_offline(
-            &mut ds,
-            &sized,
-            &profile,
-            CostModelKind::AggValues,
-            &EngineConfig::default(),
-        )
-        .unwrap();
-        let workload = generate_workload(
-            &ds,
-            &facet,
-            &WorkloadConfig {
-                num_queries: 6,
-                ..Default::default()
-            },
-        );
-        let mut session = Session::new(ds, facet, offline.view_catalog(), StalenessPolicy::Eager);
-
-        let mut delta = Delta::new();
-        use sofos_workload::synthetic::NS;
-        let node = sofos_rdf::Term::blank("shim0");
-        for d in 0..3usize {
-            delta.insert(
-                node.clone(),
-                sofos_rdf::Term::iri(format!("{NS}dim{d}")),
-                sofos_rdf::Term::iri(format!("{NS}v{d}_0")),
-            );
-        }
-        delta.insert(
-            node,
-            sofos_rdf::Term::iri(format!("{NS}measure")),
-            sofos_rdf::Term::literal_int(41),
-        );
-        session.update(delta).unwrap();
-        assert_eq!(session.stale_views(), 0, "eager never goes stale");
-        assert_eq!(session.update_batches(), 1);
-        for q in &workload {
-            let answer = session.query(&q.query).unwrap();
-            let reference = Evaluator::new(session.dataset())
-                .evaluate(&q.query)
-                .unwrap();
-            assert!(results_equivalent(&answer.results, &reference));
-            assert!(answer.freshness.is_fresh());
-        }
-        let (hits, falls) = session.routing_counts();
-        assert_eq!(hits + falls, workload.len());
     }
 }

@@ -1,9 +1,8 @@
 //! The shared staleness-policy machinery — one implementation, every
 //! serving backend.
 //!
-//! Before the [`Engine`](crate::engine::Engine) redesign, the serial
-//! [`Session`](crate::online::Session) and the epoch-based
-//! [`ConcurrentSession`](crate::concurrent::ConcurrentSession) each carried
+//! Before the [`Engine`](crate::engine::Engine) redesign, the serial and
+//! epoch-based session types each carried
 //! their own copy of the policy state machines: the buffered-delta log with
 //! per-view cursors, the needs-refresh bookkeeping, compaction and cap
 //! enforcement, bounded-flush accounting, freshness computation, and the
@@ -488,8 +487,11 @@ impl PendingLog {
 
     /// Keep the log bounded (see [`PendingLog::CAP`]): past the cap, the
     /// laggiest views are downgraded to a full refresh as of
-    /// `current_stamp` so the oldest entries can drop.
-    pub fn enforce_cap(&mut self, views: &[(ViewMask, usize)], current_stamp: u64) {
+    /// `current_stamp` so the oldest entries can drop. Returns how many
+    /// entries the cap evicted (for telemetry; compaction of
+    /// fully-consumed entries is not counted).
+    pub fn enforce_cap(&mut self, views: &[(ViewMask, usize)], current_stamp: u64) -> usize {
+        let mut evicted = 0;
         while self.entries.len() > Self::CAP {
             let dropped = self
                 .entries
@@ -507,8 +509,10 @@ impl PendingLog {
             }
             self.entries.pop_front();
             self.floor = self.floor.max(dropped);
+            evicted += 1;
         }
         self.compact(views);
+        evicted
     }
 
     /// Views currently stale as of `stamp` (routing-time staleness count).

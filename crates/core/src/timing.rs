@@ -3,7 +3,15 @@
 //! Per the perf-book guidance, single wall-clock samples of sub-millisecond
 //! queries are noisy; every reported query time in SOFOS is the median of
 //! `reps` runs after one warmup run.
+//!
+//! Summary statistics ([`TimeSummary`]) are computed through the same
+//! [`sofos_telemetry::Histogram`] the engine's metrics layer records into,
+//! so a bench summary and a metrics-snapshot quantile agree on the same
+//! bucketing (exact below 32 µs, < 1/32 relative error above). Count, sum,
+//! mean, and max stay exact. Note the telemetry `noop` feature disables
+//! histogram recording entirely — benches must not enable it.
 
+use sofos_telemetry::Histogram;
 use std::time::Instant;
 
 /// Run `f` once for warmup, then `reps` timed runs; returns the median
@@ -45,26 +53,25 @@ pub struct TimeSummary {
 
 impl TimeSummary {
     /// Summarize a sample vector (empty ⇒ all zeros).
+    ///
+    /// Quantiles are nearest-rank over the telemetry histogram's buckets,
+    /// so they match what a [`sofos_telemetry::MetricsSnapshot`] reports
+    /// for the same samples.
     pub fn from_samples(samples: &[u64]) -> TimeSummary {
-        if samples.is_empty() {
-            return TimeSummary {
-                total_us: 0,
-                mean_us: 0.0,
-                median_us: 0,
-                p95_us: 0,
-                max_us: 0,
-            };
-        }
-        let mut sorted = samples.to_vec();
-        sorted.sort_unstable();
-        let total: u64 = sorted.iter().sum();
-        let p95_index = ((sorted.len() as f64) * 0.95).ceil() as usize;
+        let hist = Histogram::new();
+        hist.record_all(samples);
+        TimeSummary::from_histogram(&hist.snapshot())
+    }
+
+    /// Summarize an already-recorded histogram snapshot (e.g. the serve
+    /// latency histogram out of an engine's metrics snapshot).
+    pub fn from_histogram(snapshot: &sofos_telemetry::HistogramSnapshot) -> TimeSummary {
         TimeSummary {
-            total_us: total,
-            mean_us: total as f64 / sorted.len() as f64,
-            median_us: sorted[sorted.len() / 2],
-            p95_us: sorted[p95_index.saturating_sub(1).min(sorted.len() - 1)],
-            max_us: *sorted.last().expect("nonempty"),
+            total_us: snapshot.sum,
+            mean_us: snapshot.mean(),
+            median_us: snapshot.p50(),
+            p95_us: snapshot.p95(),
+            max_us: snapshot.max,
         }
     }
 }

@@ -1,0 +1,165 @@
+//! A fixed-capacity ring of recent engine events.
+//!
+//! Events are rare compared to metric recordings (a flush, an epoch
+//! publish, a slow query), so the ring trades lock-freedom for
+//! simplicity: one short mutex around a `VecDeque`. The hot serve path
+//! never touches it unless a query crosses the slow threshold.
+
+use std::collections::VecDeque;
+use std::sync::Mutex;
+
+/// What happened. Names double as the `kind` field in exports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventKind {
+    /// A serve-path query exceeded the slow-query threshold.
+    SlowQuery,
+    /// Buffered update batches were drained into the views.
+    Flush,
+    /// The epoch backend published a new snapshot epoch.
+    EpochPublish,
+    /// The adaptive layer swapped the materialized set.
+    Reselection,
+    /// A maintenance or repair step failed.
+    MaintenanceError,
+}
+
+impl EventKind {
+    /// Stable lowercase name used in JSON and Prometheus exports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            EventKind::SlowQuery => "slow_query",
+            EventKind::Flush => "flush",
+            EventKind::EpochPublish => "epoch_publish",
+            EventKind::Reselection => "reselection",
+            EventKind::MaintenanceError => "maintenance_error",
+        }
+    }
+}
+
+/// One recorded event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Event {
+    /// Monotonic sequence number (global per ring, never reused).
+    pub seq: u64,
+    /// Caller-supplied timestamp (ms, from the engine's injected clock).
+    pub at_ms: u64,
+    /// What happened.
+    pub kind: EventKind,
+    /// Free-form context (view mask, lag, error text, …).
+    pub detail: String,
+}
+
+/// Fixed-capacity concurrent ring buffer of recent [`Event`]s. When
+/// full, the oldest event is dropped (and counted).
+#[derive(Debug)]
+pub struct EventRing {
+    capacity: usize,
+    inner: Mutex<RingInner>,
+}
+
+#[derive(Debug, Default)]
+struct RingInner {
+    buf: VecDeque<Event>,
+    seq: u64,
+    dropped: u64,
+}
+
+impl EventRing {
+    /// A ring keeping the last `capacity` events (0 disables recording).
+    pub fn new(capacity: usize) -> EventRing {
+        EventRing {
+            capacity,
+            inner: Mutex::new(RingInner::default()),
+        }
+    }
+
+    /// Append an event, evicting the oldest past capacity.
+    pub fn push(&self, at_ms: u64, kind: EventKind, detail: String) {
+        if self.capacity == 0 {
+            return;
+        }
+        let mut inner = self.inner.lock().expect("event ring poisoned");
+        let seq = inner.seq;
+        inner.seq += 1;
+        if inner.buf.len() == self.capacity {
+            inner.buf.pop_front();
+            inner.dropped += 1;
+        }
+        inner.buf.push_back(Event {
+            seq,
+            at_ms,
+            kind,
+            detail,
+        });
+    }
+
+    /// The retained events, oldest first.
+    pub fn recent(&self) -> Vec<Event> {
+        let inner = self.inner.lock().expect("event ring poisoned");
+        inner.buf.iter().cloned().collect()
+    }
+
+    /// Events evicted because the ring was full.
+    pub fn dropped(&self) -> u64 {
+        self.inner.lock().expect("event ring poisoned").dropped
+    }
+
+    /// Maximum retained events.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_evicts_oldest_and_counts_drops() {
+        let ring = EventRing::new(3);
+        for i in 0..5u64 {
+            ring.push(i * 10, EventKind::Flush, format!("batch {i}"));
+        }
+        let recent = ring.recent();
+        assert_eq!(recent.len(), 3);
+        assert_eq!(recent[0].seq, 2);
+        assert_eq!(recent[2].seq, 4);
+        assert_eq!(recent[2].at_ms, 40);
+        assert_eq!(ring.dropped(), 2);
+    }
+
+    #[test]
+    fn zero_capacity_records_nothing() {
+        let ring = EventRing::new(0);
+        ring.push(1, EventKind::SlowQuery, "q".into());
+        assert!(ring.recent().is_empty());
+        assert_eq!(ring.dropped(), 0);
+    }
+
+    #[test]
+    fn kinds_have_stable_names() {
+        assert_eq!(EventKind::SlowQuery.name(), "slow_query");
+        assert_eq!(EventKind::EpochPublish.name(), "epoch_publish");
+        assert_eq!(EventKind::Reselection.name(), "reselection");
+        assert_eq!(EventKind::MaintenanceError.name(), "maintenance_error");
+        assert_eq!(EventKind::Flush.name(), "flush");
+    }
+
+    #[test]
+    fn concurrent_pushes_keep_sequence_dense() {
+        let ring = std::sync::Arc::new(EventRing::new(1024));
+        std::thread::scope(|s| {
+            for t in 0..4u64 {
+                let ring = std::sync::Arc::clone(&ring);
+                s.spawn(move || {
+                    for i in 0..100 {
+                        ring.push(t, EventKind::Flush, format!("{t}:{i}"));
+                    }
+                });
+            }
+        });
+        let mut seqs: Vec<u64> = ring.recent().iter().map(|e| e.seq).collect();
+        seqs.sort_unstable();
+        assert_eq!(seqs, (0..400).collect::<Vec<_>>());
+    }
+}

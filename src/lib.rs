@@ -55,9 +55,12 @@
 //!   the adaptive layer: sliding workload/update profiles,
 //!   [`core::DriftDetector`], and the [`core::Reselector`] that
 //!   re-selects and swaps the materialized set when the workload drifts —
-//!   identically over either backend. (The legacy `core::Session` /
-//!   `core::ConcurrentSession` remain as deprecated shims for one
-//!   release; see `crates/core/README.md` for the migration.)
+//!   identically over either backend. Every engine also carries a
+//!   lock-free telemetry layer ([`core::MetricsHandle`], from
+//!   `sofos-telemetry`): serve latency and freshness-lag histograms,
+//!   maintenance pipeline timings, epoch lifecycle gauges, and a bounded
+//!   event ring, exportable as JSON or Prometheus text via
+//!   `engine.metrics().snapshot()`.
 //!
 //! See the individual crates for the subsystem documentation.
 
