@@ -75,6 +75,28 @@ fn is_volatile_field(key: &str) -> bool {
         "wall_speedup",
         "serial_fraction",
         "mean_lag",
+        // E11 (serving): everything scheduling- or machine-derived — the
+        // calibrated capacity, the offered/achieved rates built from it,
+        // admission counts, and the latency percentiles of a live socket
+        // run. The gated verdicts are `overload_has_rejects`,
+        // `p99_within_bound`, and `meets_threshold`.
+        "effective_parallelism",
+        "lanes",
+        "service_us",
+        "capacity_rps",
+        "offered_rps",
+        "achieved_rps",
+        "admitted",
+        "rejected",
+        "transport_errors",
+        "p50_us",
+        "p95_us",
+        "p99_us",
+        "skew_p95_us",
+        "unsat_p99_us",
+        "overload_p99_us",
+        "overload_rejects",
+        "p99_ratio",
     ];
     VOLATILE.contains(&key) || key.starts_with("adaptive_beats_")
 }

@@ -16,6 +16,7 @@
 //! | E8 adaptive re-selection     | `e8_adaptive`     | — |
 //! | E9 concurrent serving        | `e9_concurrency`  | — |
 //! | E10 two-phase pipeline       | `e10_pipeline`    | — |
+//! | E11 network serving          | `e11_serving`     | — |
 //! | CI bench-regression gate     | `bench_diff`      | — |
 //! | substrate micro-benches      | —                 | `benches/store.rs`, `benches/sparql.rs` |
 //!

@@ -1,0 +1,218 @@
+//! `sofos-server`: boot a demo dataset, run offline view selection, and
+//! serve the resulting engine over HTTP until SIGTERM/SIGINT.
+//!
+//! ```text
+//! sofos-server [--host 127.0.0.1] [--port 7878] [--dataset synthetic|dbpedia|lubm|swdf]
+//!              [--backend serial|epoch] [--shards N] [--threads N]
+//!              [--staleness eager|lazy|invalidate|bounded=<batches>,<epochs>[,<ms>]]
+//!              [--workers N] [--max-inflight N] [--max-pending N] [--no-views]
+//! ```
+//!
+//! Prints one line per lifecycle step; exits 0 on a clean signal-driven
+//! shutdown (the `serve-smoke` CI job asserts exactly that).
+
+use sofos_core::{Backend, EngineConfig, Sofos, StalenessPolicy};
+use sofos_cost::CostModelKind;
+use sofos_server::{serve, ServerConfig};
+use sofos_workload::{dbpedia, lubm, swdf, synthetic, GeneratedDataset};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        print!("{}", HELP);
+        return;
+    }
+    match run(&args) {
+        Ok(()) => {}
+        Err(why) => {
+            eprintln!("sofos-server: {why}");
+            std::process::exit(1);
+        }
+    }
+}
+
+const HELP: &str = "\
+sofos-server: serve a SOFOS engine over HTTP/1.1
+
+  --host <addr>        bind host (default 127.0.0.1)
+  --port <port>        bind port (default 7878; 0 picks a free port)
+  --dataset <name>     synthetic | dbpedia | lubm | swdf (default synthetic)
+  --backend <name>     serial | epoch (default epoch)
+  --shards <n>         epoch backend shards (default 4)
+  --threads <n>        epoch backend planner threads (default 2)
+  --staleness <p>      eager | lazy | invalidate | bounded=<batches>,<epochs>[,<ms>]
+                       (default eager)
+  --workers <n>        HTTP worker threads (default 4)
+  --max-inflight <n>   connection admission cap (default 64)
+  --max-pending <n>    /update admission cap on buffered batches (default 64)
+  --no-views           skip offline view selection (serve the base graph)
+";
+
+fn flag_value<'a>(args: &'a [String], name: &str) -> Result<Option<&'a str>, String> {
+    match args.iter().position(|a| a == name) {
+        None => Ok(None),
+        Some(i) => args
+            .get(i + 1)
+            .map(|v| Some(v.as_str()))
+            .ok_or_else(|| format!("{name} needs a value")),
+    }
+}
+
+fn parsed_flag<T: std::str::FromStr>(args: &[String], name: &str, default: T) -> Result<T, String> {
+    match flag_value(args, name)? {
+        None => Ok(default),
+        Some(v) => v.parse().map_err(|_| format!("bad {name} value `{v}`")),
+    }
+}
+
+fn generate_dataset(name: &str) -> Result<GeneratedDataset, String> {
+    match name {
+        "synthetic" => Ok(synthetic::generate(&synthetic::Config::default())),
+        "dbpedia" => Ok(dbpedia::generate(&dbpedia::Config::default())),
+        "lubm" => Ok(lubm::generate(&lubm::Config::default())),
+        "swdf" => Ok(swdf::generate(&swdf::Config::default())),
+        _ => Err(format!("unknown dataset `{name}`")),
+    }
+}
+
+fn parse_staleness(text: &str) -> Result<StalenessPolicy, String> {
+    match text {
+        "eager" => return Ok(StalenessPolicy::Eager),
+        "lazy" => return Ok(StalenessPolicy::LazyOnHit),
+        "invalidate" => return Ok(StalenessPolicy::Invalidate),
+        _ => {}
+    }
+    let Some(spec) = text.strip_prefix("bounded=") else {
+        return Err(format!("unknown staleness policy `{text}`"));
+    };
+    let parts: Vec<&str> = spec.split(',').collect();
+    let num = |s: &str| {
+        s.trim()
+            .parse::<u64>()
+            .map_err(|_| format!("bad bounded component `{s}`"))
+    };
+    match parts.as_slice() {
+        [batches, epochs] => Ok(StalenessPolicy::bounded(
+            num(batches)? as usize,
+            num(epochs)?,
+        )),
+        [batches, epochs, ms] => Ok(StalenessPolicy::bounded_ms(
+            num(batches)? as usize,
+            num(epochs)?,
+            num(ms)?,
+        )),
+        _ => Err("bounded wants <batches>,<epochs>[,<ms>]".to_string()),
+    }
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    let host = flag_value(args, "--host")?.unwrap_or("127.0.0.1");
+    let port: u16 = parsed_flag(args, "--port", 7878)?;
+    let dataset_name = flag_value(args, "--dataset")?.unwrap_or("synthetic");
+    let backend_name = flag_value(args, "--backend")?.unwrap_or("epoch");
+    let shards: usize = parsed_flag(args, "--shards", 4)?;
+    let threads: usize = parsed_flag(args, "--threads", 2)?;
+    let staleness = parse_staleness(flag_value(args, "--staleness")?.unwrap_or("eager"))?;
+    let backend = match backend_name {
+        "serial" => Backend::Serial,
+        "epoch" => Backend::Epoch { shards, threads },
+        _ => return Err(format!("unknown backend `{backend_name}`")),
+    };
+
+    let generated = generate_dataset(dataset_name)?;
+    println!(
+        "dataset {}: {} triples",
+        generated.name,
+        generated.dataset.total_triples()
+    );
+
+    let mut sofos = Sofos::from_generated(&generated);
+    let catalog = if args.iter().any(|a| a == "--no-views") {
+        Vec::new()
+    } else {
+        let outcome = sofos
+            .offline(CostModelKind::AggValues, &EngineConfig::default())
+            .map_err(|e| format!("offline selection failed: {e}"))?;
+        let catalog = outcome.view_catalog();
+        println!(
+            "offline: selected {} views ({} → {} bytes)",
+            catalog.len(),
+            outcome.base_bytes,
+            outcome.expanded_bytes
+        );
+        catalog
+    };
+
+    let engine = sofos
+        .into_engine()
+        .catalog(catalog)
+        .staleness(staleness)
+        .backend(backend)
+        .build()
+        .map_err(|e| format!("engine build failed: {e}"))?;
+
+    let config = ServerConfig {
+        addr: format!("{host}:{port}"),
+        workers: parsed_flag(args, "--workers", 4)?,
+        max_inflight: parsed_flag(args, "--max-inflight", 64)?,
+        max_pending: parsed_flag(args, "--max-pending", ServerConfig::default().max_pending)?,
+        ..ServerConfig::default()
+    };
+    let handle = serve(Arc::new(engine), config).map_err(|e| format!("bind failed: {e}"))?;
+    println!("listening on http://{}", handle.addr());
+
+    signals::install();
+    while !signals::stop_requested() {
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    println!("signal received, draining");
+    let stats = handle.shutdown();
+    println!(
+        "shutdown clean: served={} rejected={} bad_requests={}",
+        stats.served, stats.rejected_connections, stats.bad_requests
+    );
+    Ok(())
+}
+
+#[cfg(unix)]
+mod signals {
+    //! SIGTERM/SIGINT without a libc dependency: declare the one libc
+    //! symbol we need and flip an atomic from the (signal-safe) handler.
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    static STOP: AtomicBool = AtomicBool::new(false);
+
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+
+    extern "C" {
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+    }
+
+    extern "C" fn on_signal(_signum: i32) {
+        STOP.store(true, Ordering::SeqCst);
+    }
+
+    pub fn install() {
+        unsafe {
+            signal(SIGTERM, on_signal);
+            signal(SIGINT, on_signal);
+        }
+    }
+
+    pub fn stop_requested() -> bool {
+        STOP.load(Ordering::SeqCst)
+    }
+}
+
+#[cfg(not(unix))]
+mod signals {
+    //! No signal story off unix: run until killed.
+    pub fn install() {}
+
+    pub fn stop_requested() -> bool {
+        false
+    }
+}

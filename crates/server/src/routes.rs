@@ -1,0 +1,226 @@
+//! Request dispatch: the four endpoints over one shared [`Engine`].
+//!
+//! Wire formats are JSON (via the shared [`sofos_telemetry::Json`] value)
+//! with RDF terms carried as their N-Triples renderings — `Term`'s
+//! `Display` *is* N-Triples, and `/update` bodies embed N-Triples
+//! documents that `sofos_rdf::parse_ntriples` reads back, so no second
+//! term serialization exists.
+//!
+//! [`Engine`]: sofos_core::Engine
+
+use crate::http::{Request, Response};
+use crate::Shared;
+use sofos_core::{Route, SessionAnswer};
+use sofos_rdf::parse_ntriples;
+use sofos_sparql::parse_query;
+use sofos_store::Delta;
+use sofos_telemetry::Json;
+
+/// Dispatch one parsed request, recording per-route instruments.
+pub(crate) fn handle(shared: &Shared, req: &Request) -> Response {
+    let start = std::time::Instant::now();
+    let (route_label, response) = match (req.method.as_str(), req.path()) {
+        ("POST", "/query") => ("query", query(shared, req)),
+        ("POST", "/update") => ("update", update(shared, req)),
+        ("GET", "/metrics") => ("metrics", metrics(shared)),
+        ("GET", "/healthz") => ("healthz", healthz(shared)),
+        ("GET", "/") => ("index", index()),
+        (_, "/query") | (_, "/update") | (_, "/metrics") | (_, "/healthz") | (_, "/") => {
+            ("other", error(405, "method not allowed for this path"))
+        }
+        _ => ("other", error(404, "no such endpoint (try GET /)")),
+    };
+    shared
+        .instruments
+        .observe(route_label, response.status, start.elapsed());
+    response
+}
+
+fn error(status: u16, message: &str) -> Response {
+    Response::json(
+        status,
+        Json::object([("error", Json::from(message))]).to_string(),
+    )
+}
+
+/// 503 with a `Retry-After` hint — the admission-control refusal shape
+/// shared by the accept loop and `/update`.
+pub(crate) fn overloaded(message: &str) -> Response {
+    error(503, message).with_header("Retry-After", "1")
+}
+
+fn parse_body(req: &Request) -> Result<Json, Response> {
+    let text = std::str::from_utf8(&req.body).map_err(|_| error(400, "body is not UTF-8"))?;
+    Json::parse(text).map_err(|why| error(400, &format!("body is not JSON: {why}")))
+}
+
+fn body_str<'a>(body: &'a Json, key: &str) -> Option<&'a str> {
+    body.get(key).and_then(Json::as_str)
+}
+
+fn query(shared: &Shared, req: &Request) -> Response {
+    let body = match parse_body(req) {
+        Ok(body) => body,
+        Err(resp) => return resp,
+    };
+    let Some(text) = body_str(&body, "query") else {
+        return error(400, r#"body must be {"query": "<sparql>"}"#);
+    };
+    let parsed = match parse_query(text) {
+        Ok(parsed) => parsed,
+        Err(e) => return error(400, &format!("query does not parse: {e}")),
+    };
+    match shared.engine.query(&parsed) {
+        Ok(answer) => Response::json(200, answer_json(&answer).to_string()),
+        Err(e) => error(400, &format!("query failed: {e}")),
+    }
+}
+
+/// `SessionAnswer` → the wire shape documented in the crate README.
+fn answer_json(answer: &SessionAnswer) -> Json {
+    let route = match &answer.route {
+        Route::View(mask) => Json::object([
+            ("kind", Json::from("view")),
+            ("view", Json::from(mask.to_string())),
+        ]),
+        Route::BaseGraph => Json::object([("kind", Json::from("base"))]),
+    };
+    let rows = answer
+        .results
+        .rows
+        .iter()
+        .map(|row| {
+            Json::Array(
+                row.iter()
+                    .map(|cell| match cell {
+                        Some(term) => Json::from(term.to_string()),
+                        None => Json::Null,
+                    })
+                    .collect(),
+            )
+        })
+        .collect();
+    Json::object([
+        ("route", route),
+        (
+            "freshness",
+            Json::object([
+                ("lag", Json::from(answer.freshness.lag)),
+                ("epoch", Json::from(answer.freshness.epoch)),
+                (
+                    "oldest_shard_epoch",
+                    Json::from(answer.freshness.oldest_shard_epoch),
+                ),
+            ]),
+        ),
+        ("maintenance_us", Json::from(answer.maintenance_us)),
+        (
+            "vars",
+            Json::Array(
+                answer
+                    .results
+                    .vars
+                    .iter()
+                    .map(|v| Json::from(v.as_str()))
+                    .collect(),
+            ),
+        ),
+        ("rows", Json::Array(rows)),
+    ])
+}
+
+fn update(shared: &Shared, req: &Request) -> Response {
+    // Admission control: refuse new write work while the maintenance
+    // path's buffered backlog is at the configured cap.
+    if shared.engine.buffered_updates() >= shared.config.max_pending {
+        shared.instruments.rejected_pending.inc();
+        return overloaded("pending update log at capacity; retry shortly");
+    }
+    let body = match parse_body(req) {
+        Ok(body) => body,
+        Err(resp) => return resp,
+    };
+    let mut delta = Delta::new();
+    for (key, insert) in [("insert", true), ("delete", false)] {
+        let Some(doc) = body_str(&body, key) else {
+            continue;
+        };
+        let graph = match parse_ntriples(doc) {
+            Ok(graph) => graph,
+            Err(e) => return error(400, &format!("`{key}` is not N-Triples: {e}")),
+        };
+        for triple in graph.iter() {
+            if insert {
+                delta.insert(
+                    triple.subject.clone(),
+                    triple.predicate.clone(),
+                    triple.object.clone(),
+                );
+            } else {
+                delta.delete(
+                    triple.subject.clone(),
+                    triple.predicate.clone(),
+                    triple.object.clone(),
+                );
+            }
+        }
+    }
+    if delta.is_empty() {
+        return error(
+            400,
+            r#"body must carry {"insert": "<n-triples>"} and/or {"delete": "<n-triples>"}"#,
+        );
+    }
+    let ops = delta.len();
+    match shared.engine.update(delta) {
+        Ok(()) => Response::json(
+            200,
+            Json::object([
+                ("applied_ops", Json::from(ops)),
+                ("epoch", Json::from(shared.engine.epoch())),
+                ("buffered", Json::from(shared.engine.buffered_updates())),
+            ])
+            .to_string(),
+        ),
+        Err(e) => error(500, &format!("update failed: {e}")),
+    }
+}
+
+fn metrics(shared: &Shared) -> Response {
+    let text = shared.engine.metrics().snapshot().to_prometheus_text();
+    Response {
+        status: 200,
+        headers: vec![(
+            "Content-Type",
+            "text/plain; version=0.0.4; charset=utf-8".to_string(),
+        )],
+        body: text.into_bytes(),
+    }
+}
+
+fn healthz(shared: &Shared) -> Response {
+    let engine = &shared.engine;
+    Response::json(
+        200,
+        Json::object([
+            ("status", Json::from("ok")),
+            ("backend", Json::from(engine.backend_name())),
+            ("policy", Json::from(format!("{:?}", engine.policy()))),
+            ("epoch", Json::from(engine.epoch())),
+            ("views", Json::from(engine.views().len())),
+            ("buffered_updates", Json::from(engine.buffered_updates())),
+        ])
+        .to_string(),
+    )
+}
+
+fn index() -> Response {
+    Response::text(
+        200,
+        "sofos-server\n\
+         POST /query    {\"query\": \"<sparql>\"}\n\
+         POST /update   {\"insert\": \"<n-triples>\", \"delete\": \"<n-triples>\"}\n\
+         GET  /metrics  Prometheus text\n\
+         GET  /healthz  liveness + engine summary\n",
+    )
+}

@@ -22,6 +22,9 @@
 //! - [`MetricsSnapshot`] — a point-in-time read of everything, rendered
 //!   to JSON ([`MetricsSnapshot::to_json`]) or the Prometheus text
 //!   exposition format ([`MetricsSnapshot::to_prometheus_text`]).
+//! - [`Json`] — a minimal hand-rolled JSON value (writer *and* parser),
+//!   hosted here because this is the one dependency-free crate that the
+//!   bench reports, the HTTP server, and the load harness can all share.
 //!
 //! The intended front door is [`MetricsHandle`]: one cloneable handle
 //! owning the registry and the event ring, shared between the engine,
@@ -34,11 +37,13 @@
 mod events;
 mod export;
 mod histogram;
+pub mod json;
 mod registry;
 
 pub use events::{Event, EventKind, EventRing};
 pub use export::{CounterSample, GaugeSample, HistogramSample, MetricsSnapshot};
 pub use histogram::{Histogram, HistogramSnapshot};
+pub use json::Json;
 pub use registry::Registry;
 
 use std::sync::atomic::{AtomicU64, Ordering::Relaxed};

@@ -10,12 +10,14 @@
 
 pub mod dbpedia;
 pub mod lubm;
+pub mod openloop;
 pub mod queries;
 pub mod swdf;
 pub mod synthetic;
 pub mod updates;
 pub mod zipf;
 
+pub use openloop::{LoadOutcome, OpenLoopConfig, PlannedKind, PlannedRequest};
 pub use queries::{
     derivable_aggs, dimension_values, generate_workload, GeneratedQuery, WorkloadConfig,
 };

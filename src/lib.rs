@@ -60,7 +60,20 @@
 //!   `sofos-telemetry`): serve latency and freshness-lag histograms,
 //!   maintenance pipeline timings, epoch lifecycle gauges, and a bounded
 //!   event ring, exportable as JSON or Prometheus text via
-//!   `engine.metrics().snapshot()`.
+//!   `engine.metrics().snapshot()`;
+//! * [`telemetry`] — the dependency-free metrics substrate the engine
+//!   embeds (counters, gauges, histograms, Prometheus rendering) plus the
+//!   hand-rolled [`telemetry::Json`] value shared by the bench reports
+//!   and the server's wire format;
+//! * [`server`] — the serving tier: a hand-rolled HTTP/1.1 front door
+//!   ([`server::serve`]) that shares one `Arc<Engine>` across a fixed
+//!   worker pool. `POST /query` answers with route, results, and
+//!   freshness tags; `POST /update` ingests N-Triples deltas;
+//!   `GET /metrics` renders Prometheus text; `GET /healthz` reports
+//!   engine state. Admission control refuses with `503 Retry-After`
+//!   beyond a configurable in-flight depth (and pending-log cap), so
+//!   overload degrades into fast rejections instead of unbounded
+//!   queueing; `ServerHandle::shutdown` drains gracefully.
 //!
 //! See the individual crates for the subsystem documentation.
 
@@ -72,6 +85,8 @@ pub use sofos_materialize as materialize;
 pub use sofos_rdf as rdf;
 pub use sofos_rewrite as rewrite;
 pub use sofos_select as select;
+pub use sofos_server as server;
 pub use sofos_sparql as sparql;
 pub use sofos_store as store;
+pub use sofos_telemetry as telemetry;
 pub use sofos_workload as workload;
