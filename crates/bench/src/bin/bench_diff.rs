@@ -97,6 +97,16 @@ fn is_volatile_field(key: &str) -> bool {
         "overload_p99_us",
         "overload_rejects",
         "p99_ratio",
+        // E12 (durability): ingest and recovery walls are machine-paced
+        // (fsync latency dominates the durable column), and the overhead
+        // ratio is their quotient. The gated verdicts are
+        // `overhead_gate_ok`, per-cell `recovered_epoch_ok`, and
+        // `meets_threshold`; `replayed_records` stays gated too — the
+        // publish count per tail is deterministic.
+        "memory_wall_us",
+        "durable_wall_us",
+        "overhead_ratio",
+        "recover_wall_us",
     ];
     VOLATILE.contains(&key) || key.starts_with("adaptive_beats_")
 }

@@ -53,10 +53,11 @@ use crate::policy::{system_clock, Clock, Freshness, StalenessPolicy};
 use sofos_cost::UpdateRates;
 use sofos_cube::{Facet, ViewMask};
 use sofos_maintain::{MaintenanceReport, PipelineTelemetry};
+use sofos_materialize::materialize_view;
 use sofos_rdf::FxHashMap;
 use sofos_select::WorkloadProfile;
 use sofos_sparql::{Query, QueryResults, SparqlError};
-use sofos_store::{Dataset, Delta};
+use sofos_store::{Dataset, Delta, DurabilityConfig, EpochStore, Persister};
 use sofos_telemetry::MetricsHandle;
 use std::sync::Arc;
 
@@ -308,6 +309,12 @@ pub enum EngineBuildError {
     MissingDataset,
     /// No facet was provided.
     MissingFacet,
+    /// [`EngineBuilder::durability`] was set on a backend that cannot
+    /// honor it (only [`Backend::Epoch`] has the publish protocol the
+    /// epoch log hooks into).
+    DurabilityUnsupported,
+    /// Opening, recovering, or baselining the durable store failed.
+    Persistence(String),
 }
 
 impl std::fmt::Display for EngineBuildError {
@@ -319,11 +326,36 @@ impl std::fmt::Display for EngineBuildError {
             EngineBuildError::MissingFacet => {
                 f.write_str("Engine::builder() needs a facet (EngineBuilder::facet)")
             }
+            EngineBuildError::DurabilityUnsupported => f.write_str(
+                "durability requires the epoch backend (EngineBuilder::backend(Backend::Epoch))",
+            ),
+            EngineBuildError::Persistence(detail) => {
+                write!(f, "durable store failed to open: {detail}")
+            }
         }
     }
 }
 
 impl std::error::Error for EngineBuildError {}
+
+/// What crash recovery did while building a durable engine — `None` on
+/// [`Engine::recovery`] means the data directory was fresh (or the
+/// engine is in-memory) and serving started from the builder's dataset.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// The epoch serving resumed at (the newest epoch the log covers).
+    pub epoch: u64,
+    /// The epoch of the snapshot recovery started from (0 = none).
+    pub snapshot_epoch: u64,
+    /// Log records replayed on top of the snapshot.
+    pub replayed_records: u64,
+    /// Bytes of torn log tail truncated (an interrupted final append).
+    pub truncated_bytes: u64,
+    /// Catalog views rebuilt from the recovered base graph (replaying a
+    /// log tail only restores base mutations; view graphs are exact in
+    /// snapshots, so a non-empty tail forces re-materialization).
+    pub rematerialized_views: usize,
+}
 
 /// Builder for [`Engine`] — dataset and facet are required, everything
 /// else has serving defaults (empty catalog, eager staleness, serial
@@ -336,6 +368,7 @@ pub struct EngineBuilder {
     backend: Backend,
     clock: Option<Arc<dyn Clock>>,
     metrics: Option<MetricsHandle>,
+    durability: Option<DurabilityConfig>,
 }
 
 impl EngineBuilder {
@@ -390,13 +423,32 @@ impl EngineBuilder {
         self
     }
 
+    /// Persist every published epoch under `config.dir` and recover from
+    /// it on the next build (default: in-memory only; see
+    /// `sofos_store::persist` for the log/snapshot format). Epoch backend
+    /// only — [`EngineBuilder::build`] rejects the combination with
+    /// [`Backend::Serial`], which has no publish protocol to hook.
+    ///
+    /// When the directory already holds state, the *recovered* dataset
+    /// and catalog replace whatever the builder was given, and
+    /// [`Engine::recovery`] reports what replaying the log did.
+    pub fn durability(mut self, config: DurabilityConfig) -> EngineBuilder {
+        self.durability = Some(config);
+        self
+    }
+
     /// Assemble the engine.
     pub fn build(self) -> Result<Engine, EngineBuildError> {
         let dataset = self.dataset.ok_or(EngineBuildError::MissingDataset)?;
         let facet = self.facet.ok_or(EngineBuildError::MissingFacet)?;
+        if self.durability.is_some() && self.backend == Backend::Serial {
+            return Err(EngineBuildError::DurabilityUnsupported);
+        }
         let clock = self.clock.unwrap_or_else(system_clock);
         let metrics = self.metrics.unwrap_or_default();
         let instruments = EngineInstruments::new(metrics.clone(), self.backend.name());
+        let durable = self.durability.is_some();
+        let mut recovery = None;
         let backend: Box<dyn ServingBackend> = match self.backend {
             Backend::Serial => Box::new(SerialBackend::new(
                 dataset,
@@ -406,22 +458,130 @@ impl EngineBuilder {
                 clock,
                 instruments,
             )),
-            Backend::Epoch { shards, threads } => Box::new(EpochBackend::new(
-                dataset,
-                facet.clone(),
-                self.catalog,
-                self.policy,
-                shards,
-                threads,
-                clock,
-                instruments,
-            )),
+            Backend::Epoch { shards, threads } => {
+                let (store, catalog) = match self.durability {
+                    None => (EpochStore::new(dataset, shards), self.catalog),
+                    Some(config) => {
+                        let (store, catalog, report) =
+                            open_durable(config, dataset, self.catalog, &facet, shards)?;
+                        recovery = report;
+                        (store, catalog)
+                    }
+                };
+                Box::new(EpochBackend::new(
+                    store,
+                    facet.clone(),
+                    catalog,
+                    self.policy,
+                    threads,
+                    clock,
+                    instruments,
+                ))
+            }
         };
         Ok(Engine {
             facet,
             backend,
             metrics,
+            durable,
+            recovery,
         })
+    }
+}
+
+/// Open the durable epoch store: recover the directory's state (newest
+/// snapshot + log-tail replay) or, on a fresh directory, anchor the log
+/// at the builder's dataset with a baseline snapshot.
+///
+/// Returns the store plus the catalog serving must start from — the
+/// recovered one when the directory held state, the builder's otherwise.
+type DurableOpen = (EpochStore, Vec<(ViewMask, usize)>, Option<RecoveryReport>);
+
+fn open_durable(
+    config: DurabilityConfig,
+    dataset: Dataset,
+    catalog: Vec<(ViewMask, usize)>,
+    facet: &Facet,
+    shards: usize,
+) -> Result<DurableOpen, EngineBuildError> {
+    let persist_err = |e: sofos_store::PersistError| EngineBuildError::Persistence(e.to_string());
+    let (persister, recovered) = Persister::open(config).map_err(persist_err)?;
+    let persister = Arc::new(persister);
+    match recovered {
+        None => {
+            // Fresh directory: the builder's dataset IS the initial
+            // state, and its terms (offline materialization included)
+            // were interned outside the logged path — a baseline
+            // snapshot re-anchors the log's dictionary coverage so the
+            // first record's dict tail starts where this dataset ends.
+            let pairs: Vec<(u64, u64)> = catalog
+                .iter()
+                .map(|&(mask, rows)| (mask.0, rows as u64))
+                .collect();
+            persister
+                .baseline(&dataset, 0, &pairs)
+                .map_err(persist_err)?;
+            Ok((
+                EpochStore::recovered(dataset, shards, 0, persister),
+                catalog,
+                None,
+            ))
+        }
+        Some(rec) => {
+            // Existing state: the directory's history wins over whatever
+            // the builder was given for a fresh boot.
+            let mut dataset = rec.dataset;
+            let mut catalog: Vec<(ViewMask, usize)> = rec
+                .catalog
+                .iter()
+                .map(|&(mask, rows)| (ViewMask(mask), rows as usize))
+                .collect();
+            let mut rematerialized = 0usize;
+            if rec.replayed_records > 0 {
+                // The log tail only covers base-graph mutations (and
+                // catalog identity); view graph *contents* are exact only
+                // in full snapshots. Drop every named graph the snapshot
+                // carried — including views the replayed tail retired —
+                // and rebuild the recovered catalog from the recovered
+                // base. Maintenance correctness makes this bit-equal to
+                // the views the crashed process served.
+                for name in dataset.graph_names() {
+                    dataset.drop_graph(name);
+                }
+                for entry in catalog.iter_mut() {
+                    let view = materialize_view(&mut dataset, facet, entry.0).map_err(|e| {
+                        EngineBuildError::Persistence(format!(
+                            "re-materializing view {:#x} after replay: {e}",
+                            entry.0 .0
+                        ))
+                    })?;
+                    entry.1 = view.stats.rows;
+                    rematerialized += 1;
+                }
+                // Re-materialization interned outside the log: re-anchor
+                // before the next publish or replay would hit dictionary
+                // gaps on the *next* recovery.
+                let pairs: Vec<(u64, u64)> = catalog
+                    .iter()
+                    .map(|&(mask, rows)| (mask.0, rows as u64))
+                    .collect();
+                persister
+                    .baseline(&dataset, rec.epoch, &pairs)
+                    .map_err(persist_err)?;
+            }
+            let report = RecoveryReport {
+                epoch: rec.epoch,
+                snapshot_epoch: rec.snapshot_epoch,
+                replayed_records: rec.replayed_records,
+                truncated_bytes: rec.truncated_bytes,
+                rematerialized_views: rematerialized,
+            };
+            Ok((
+                EpochStore::recovered(dataset, shards, rec.epoch, persister),
+                catalog,
+                Some(report),
+            ))
+        }
     }
 }
 
@@ -443,6 +603,8 @@ pub struct Engine {
     facet: Facet,
     backend: Box<dyn ServingBackend>,
     metrics: MetricsHandle,
+    durable: bool,
+    recovery: Option<RecoveryReport>,
 }
 
 impl Engine {
@@ -456,7 +618,20 @@ impl Engine {
             backend: Backend::Serial,
             clock: None,
             metrics: None,
+            durability: None,
         }
+    }
+
+    /// Whether this engine persists published epochs
+    /// ([`EngineBuilder::durability`]).
+    pub fn durability_enabled(&self) -> bool {
+        self.durable
+    }
+
+    /// What crash recovery did at build time: `Some` iff the engine is
+    /// durable *and* its data directory already held state.
+    pub fn recovery(&self) -> Option<&RecoveryReport> {
+        self.recovery.as_ref()
     }
 
     /// The facet.

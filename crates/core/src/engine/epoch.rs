@@ -119,19 +119,23 @@ pub(crate) struct EpochBackend {
 }
 
 impl EpochBackend {
+    /// Build over a ready [`EpochStore`] — plain in-memory
+    /// ([`EpochStore::new`]) or durable/recovered
+    /// ([`EpochStore::recovered`]); the backend is agnostic, every
+    /// publish path already routes its change sets through
+    /// `touch_changes`, which is all the durable store needs.
     #[allow(clippy::too_many_arguments)]
     pub(crate) fn new(
-        dataset: Dataset,
+        store: EpochStore,
         facet: Facet,
         views: Vec<(ViewMask, usize)>,
         policy: StalenessPolicy,
-        shards: usize,
         writer_threads: usize,
         clock: Arc<dyn Clock>,
         metrics: EngineInstruments,
     ) -> EpochBackend {
         EpochBackend {
-            store: EpochStore::new(dataset, shards),
+            store,
             writer: Mutex::new(WriterSide {
                 maintainer: Maintainer::new(&facet),
                 log: MaintenanceReport::default(),
@@ -168,13 +172,27 @@ impl EpochBackend {
         });
     }
 
-    /// Refresh the epoch-lifecycle gauges from the store's accounting.
+    /// Refresh the epoch-lifecycle gauges (and, on a durable store, the
+    /// persistence gauges) from the store's accounting.
     fn note_store(&self) {
         self.metrics.record_epoch_lifecycle(
             self.store.published_snapshots(),
             self.store.retired_snapshots(),
             self.store.live_snapshots(),
         );
+        if let Some(persister) = self.store.persister() {
+            self.metrics.record_persist(&persister.stats());
+        }
+    }
+
+    /// The catalog as `(mask bits, rows)` pairs for the epoch log.
+    /// `None` on an in-memory store, so `Durability::None` publishes pay
+    /// nothing — and log records only carry an explicit catalog when the
+    /// view set actually changed (other records carry it forward).
+    fn durable_catalog(&self, views: &[(ViewMask, usize)]) -> Option<Vec<(u64, u64)>> {
+        self.store
+            .persister()
+            .map(|_| views.iter().map(|&(m, rows)| (m.0, rows as u64)).collect())
     }
 
     /// The underlying epoch store (epoch numbers, retire accounting).
@@ -241,11 +259,12 @@ impl EpochBackend {
                 }
                 let changes = txn.dataset().apply(delta);
                 txn.touch_changes(&changes);
+                let catalog = self.durable_catalog(&[]);
                 let prepared = txn.prepare();
                 let mut state = self.lock_serving();
                 state.views.clear();
                 state.pending.clear();
-                prepared.publish();
+                prepared.publish_with_catalog(catalog.as_deref());
                 Ok(())
             }
             StalenessPolicy::Eager => {
@@ -275,13 +294,14 @@ impl EpochBackend {
                         writer.telemetry.merge(&outcome.telemetry);
                         self.metrics.record_pipeline(&outcome.telemetry);
                         writer.log.absorb(outcome.report);
+                        let catalog = self.durable_catalog(&views);
                         let prepared = txn.prepare();
                         let mut state = self.lock_serving();
                         if let Some(rows) = &sharded.outcome.rows {
                             state.windows.observe_churn(rows);
                         }
                         state.views = views;
-                        prepared.publish();
+                        prepared.publish_with_catalog(catalog.as_deref());
                         Ok(())
                     }
                     Err(e) => {
@@ -293,11 +313,12 @@ impl EpochBackend {
                         // full refresh of every (now stale) view —
                         // needs-refresh bars queries from routing to any
                         // of them before repair, under every policy.
+                        let catalog = self.durable_catalog(&views);
                         let prepared = txn.prepare();
                         let mut guard = self.lock_serving();
                         let state = &mut *guard;
                         state.views = views;
-                        let epoch = prepared.publish();
+                        let epoch = prepared.publish_with_catalog(catalog.as_deref());
                         state.pending.demand_refresh_all(&state.views, epoch);
                         drop(guard);
                         self.metrics.record_maintenance_error(
@@ -435,6 +456,7 @@ impl EpochBackend {
                 writer.telemetry.merge(&outcome.telemetry);
                 self.metrics.record_pipeline(&outcome.telemetry);
                 writer.log.absorb(outcome.report);
+                let catalog = self.durable_catalog(&views);
                 let prepared = batch.prepare();
                 let mut state = self.lock_serving();
                 if let Some(rows) = merged.as_ref().filter(|rows| !rows.is_empty()) {
@@ -443,7 +465,7 @@ impl EpochBackend {
                 state.views = views;
                 state.meter.drain(take);
                 let buffered = state.meter.buffered();
-                let epoch = prepared.publish();
+                let epoch = prepared.publish_with_catalog(catalog.as_deref());
                 drop(state);
                 let now = self.clock.now_ms();
                 self.metrics.record_flush(
@@ -789,7 +811,8 @@ impl EpochBackend {
             for &mask in &plan.retired {
                 state.pending.forget(mask);
             }
-            let epoch = prepared.publish();
+            let catalog = self.durable_catalog(&state.views);
+            let epoch = prepared.publish_with_catalog(catalog.as_deref());
             for &(mask, _) in &materialized {
                 // Materialized from the current master: nothing pending.
                 state.pending.mark_fresh(mask, epoch);
@@ -962,11 +985,10 @@ mod tests {
         );
         (
             EpochBackend::new(
-                ds,
+                EpochStore::new(ds, shards),
                 facet,
                 offline.view_catalog(),
                 policy,
-                shards,
                 threads,
                 system_clock(),
                 EngineInstruments::new(sofos_telemetry::MetricsHandle::new(), "epoch"),

@@ -84,13 +84,14 @@ pub use adaptive::{DriftDetector, ReselectionReport, Reselector};
 pub use compare::compare_cost_models;
 pub use config::EngineConfig;
 pub use engine::{
-    Backend, Engine, EngineBuildError, EngineBuilder, Route, ServingBackend, SessionAnswer,
-    ViewChurn,
+    Backend, Engine, EngineBuildError, EngineBuilder, RecoveryReport, Route, ServingBackend,
+    SessionAnswer, ViewChurn,
 };
 pub use offline::{build_model, run_offline, OfflineOutcome, SizedLattice};
 pub use online::{run_online, OnlineOutcome, QueryRecord};
 pub use policy::{Clock, Freshness, ManualClock, StalenessPolicy, SystemClock};
 pub use report::{render_table, ComparisonReport, ModelRow};
+pub use sofos_store::DurabilityConfig;
 pub use sofos_telemetry::{Event, EventKind, MetricsHandle, MetricsSnapshot};
 pub use timing::{measure_median, measure_once, TimeSummary};
 pub use validate::results_equivalent;

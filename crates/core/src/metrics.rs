@@ -28,11 +28,16 @@
 //! | `sofos_pipeline_{serial,parallel_work,parallel_wall}_us_total` | counter | two-phase pipeline split |
 //! | `sofos_maintenance_errors_total` | counter | failed maintenance / repair passes |
 //! | `sofos_reselections_total` | counter | adaptive catalog swaps (see [`crate::adaptive`]) |
+//! | `sofos_persisted_epoch` | gauge | newest epoch covered by the durable log |
+//! | `sofos_persist_log_bytes` | gauge | bytes appended to the epoch log since boot |
+//! | `sofos_persist_fsyncs` | gauge | fsync calls issued by the persistence layer |
+//! | `sofos_persist_snapshots` | gauge | full snapshots written since boot |
 
 use crate::policy::Freshness;
 use sofos_cube::ViewMask;
 use sofos_maintain::{PipelineTelemetry, ShardScanCost};
 use sofos_rdf::FxHashMap;
+use sofos_store::PersistStats;
 use sofos_telemetry::{Counter, EventKind, Gauge, Histogram, MetricsHandle};
 use std::sync::{Arc, Mutex};
 
@@ -58,6 +63,10 @@ pub(crate) struct EngineInstruments {
     pipeline_parallel_work_us: Arc<Counter>,
     pipeline_parallel_wall_us: Arc<Counter>,
     maintenance_errors: Arc<Counter>,
+    persisted_epoch: Arc<Gauge>,
+    persist_log_bytes: Arc<Gauge>,
+    persist_fsyncs: Arc<Gauge>,
+    persist_snapshots: Arc<Gauge>,
 }
 
 impl EngineInstruments {
@@ -142,6 +151,26 @@ impl EngineInstruments {
             maintenance_errors: handle.counter(
                 "sofos_maintenance_errors_total",
                 "Failed maintenance or repair passes",
+                &b,
+            ),
+            persisted_epoch: handle.gauge(
+                "sofos_persisted_epoch",
+                "Newest epoch covered by the durable log",
+                &b,
+            ),
+            persist_log_bytes: handle.gauge(
+                "sofos_persist_log_bytes",
+                "Bytes appended to the epoch log since boot",
+                &b,
+            ),
+            persist_fsyncs: handle.gauge(
+                "sofos_persist_fsyncs",
+                "Fsync calls issued by the persistence layer",
+                &b,
+            ),
+            persist_snapshots: handle.gauge(
+                "sofos_persist_snapshots",
+                "Full snapshots written since boot",
                 &b,
             ),
             backend,
@@ -283,6 +312,17 @@ impl EngineInstruments {
             });
             hist.record(cost.wall_us);
         }
+    }
+
+    /// The persistence layer's cumulative counters (durable engines only).
+    pub(crate) fn record_persist(&self, stats: &PersistStats) {
+        if !self.handle.is_enabled() {
+            return;
+        }
+        self.persisted_epoch.set(stats.persisted_epoch);
+        self.persist_log_bytes.set(stats.log_bytes);
+        self.persist_fsyncs.set(stats.fsyncs);
+        self.persist_snapshots.set(stats.snapshots);
     }
 
     /// A failed maintenance or repair pass.

@@ -6,15 +6,17 @@
 //!              [--backend serial|epoch] [--shards N] [--threads N]
 //!              [--staleness eager|lazy|invalidate|bounded=<batches>,<epochs>[,<ms>]]
 //!              [--workers N] [--max-inflight N] [--max-pending N] [--no-views]
+//!              [--data-dir PATH] [--snapshot-every N]
 //! ```
 //!
 //! Prints one line per lifecycle step; exits 0 on a clean signal-driven
 //! shutdown (the `serve-smoke` CI job asserts exactly that).
 
-use sofos_core::{Backend, EngineConfig, Sofos, StalenessPolicy};
+use sofos_core::{Backend, DurabilityConfig, EngineConfig, Sofos, StalenessPolicy};
 use sofos_cost::CostModelKind;
 use sofos_server::{serve, ServerConfig};
 use sofos_workload::{dbpedia, lubm, swdf, synthetic, GeneratedDataset};
+use std::path::Path;
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -48,6 +50,9 @@ sofos-server: serve a SOFOS engine over HTTP/1.1
   --max-inflight <n>   connection admission cap (default 64)
   --max-pending <n>    /update admission cap on buffered batches (default 64)
   --no-views           skip offline view selection (serve the base graph)
+  --data-dir <path>    persist published epochs under <path> and recover
+                       from it on restart (epoch backend only)
+  --snapshot-every <n> full-snapshot cadence in publishes (default 64)
 ";
 
 fn flag_value<'a>(args: &'a [String], name: &str) -> Result<Option<&'a str>, String> {
@@ -120,6 +125,15 @@ fn run(args: &[String]) -> Result<(), String> {
         "epoch" => Backend::Epoch { shards, threads },
         _ => return Err(format!("unknown backend `{backend_name}`")),
     };
+    let data_dir = flag_value(args, "--data-dir")?;
+    let snapshot_every: u64 = parsed_flag(args, "--snapshot-every", 64)?;
+    if data_dir.is_some() && backend == Backend::Serial {
+        return Err("--data-dir requires the epoch backend".to_string());
+    }
+    // An existing data dir wins over anything we generate below: the
+    // engine discards the boot dataset and catalog for the recovered
+    // ones, so skip the offline pass instead of throwing it away.
+    let resuming = data_dir.is_some_and(|d| sofos_store::persist::has_state(Path::new(d)));
 
     let generated = generate_dataset(dataset_name)?;
     println!(
@@ -129,7 +143,13 @@ fn run(args: &[String]) -> Result<(), String> {
     );
 
     let mut sofos = Sofos::from_generated(&generated);
-    let catalog = if args.iter().any(|a| a == "--no-views") {
+    let catalog = if args.iter().any(|a| a == "--no-views") || resuming {
+        if resuming {
+            println!(
+                "resuming from {}: skipping offline selection",
+                data_dir.unwrap_or_default()
+            );
+        }
         Vec::new()
     } else {
         let outcome = sofos
@@ -145,13 +165,32 @@ fn run(args: &[String]) -> Result<(), String> {
         catalog
     };
 
-    let engine = sofos
+    let mut builder = sofos
         .into_engine()
         .catalog(catalog)
         .staleness(staleness)
-        .backend(backend)
+        .backend(backend);
+    if let Some(dir) = data_dir {
+        builder = builder.durability(DurabilityConfig::new(dir).snapshot_every(snapshot_every));
+    }
+    let engine = builder
         .build()
         .map_err(|e| format!("engine build failed: {e}"))?;
+    if let Some(rec) = engine.recovery() {
+        println!(
+            "recovered: epoch {} (snapshot {}, {} records replayed, {} bytes truncated, {} views rebuilt)",
+            rec.epoch,
+            rec.snapshot_epoch,
+            rec.replayed_records,
+            rec.truncated_bytes,
+            rec.rematerialized_views
+        );
+    } else if engine.durability_enabled() {
+        println!(
+            "durability: fresh data dir {}",
+            data_dir.unwrap_or_default()
+        );
+    }
 
     let config = ServerConfig {
         addr: format!("{host}:{port}"),

@@ -200,6 +200,21 @@ fn metrics(shared: &Shared) -> Response {
 
 fn healthz(shared: &Shared) -> Response {
     let engine = &shared.engine;
+    let durability = match engine.recovery() {
+        Some(rec) => Json::object([
+            ("enabled", Json::from(true)),
+            ("recovered", Json::from(true)),
+            ("recovered_epoch", Json::from(rec.epoch)),
+            ("snapshot_epoch", Json::from(rec.snapshot_epoch)),
+            ("replayed_records", Json::from(rec.replayed_records)),
+            ("truncated_bytes", Json::from(rec.truncated_bytes)),
+            ("rematerialized_views", Json::from(rec.rematerialized_views)),
+        ]),
+        None => Json::object([
+            ("enabled", Json::from(engine.durability_enabled())),
+            ("recovered", Json::from(false)),
+        ]),
+    };
     Response::json(
         200,
         Json::object([
@@ -209,6 +224,7 @@ fn healthz(shared: &Shared) -> Response {
             ("epoch", Json::from(engine.epoch())),
             ("views", Json::from(engine.views().len())),
             ("buffered_updates", Json::from(engine.buffered_updates())),
+            ("durability", durability),
         ])
         .to_string(),
     )

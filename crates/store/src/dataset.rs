@@ -223,6 +223,36 @@ impl Dataset {
         }
     }
 
+    /// Load already-encoded triples into a graph — the bulk path snapshot
+    /// recovery uses. The ids must come from this dataset's dictionary
+    /// (recovery rebuilds the dictionary first, reproducing the ids the
+    /// snapshot was encoded under).
+    pub fn load_encoded(&mut self, graph: GraphName, encoded: Vec<EncodedTriple>) {
+        match graph {
+            None => {
+                if self.default_graph.is_empty() {
+                    self.default_graph.bulk_load(encoded);
+                    // Rebuild rather than track: bulk_load deduplicates.
+                    self.base_stats = StatsTracker::from_store(&self.default_graph);
+                } else {
+                    for t in encoded {
+                        self.insert_encoded(None, t);
+                    }
+                }
+            }
+            Some(name) => {
+                let store = self.named.entry_or_default(name);
+                if store.is_empty() {
+                    store.bulk_load(encoded);
+                } else {
+                    for t in encoded {
+                        store.insert(t);
+                    }
+                }
+            }
+        }
+    }
+
     /// The default graph (the paper's base knowledge graph `G`).
     pub fn default_graph(&self) -> &GraphStore {
         &self.default_graph

@@ -187,4 +187,24 @@ impl ChangeSet {
         }
         self.named.retain(|_, c| !c.is_empty());
     }
+
+    /// Fold another change set (from a *later* apply in the same batch)
+    /// into this one. Appending the raw vectors and re-coalescing nets
+    /// the two sequential change sets correctly, because coalescing is
+    /// multiplicity arithmetic over the concatenated op streams.
+    pub fn absorb(&mut self, other: &ChangeSet) {
+        self.default_graph
+            .inserted
+            .extend_from_slice(&other.default_graph.inserted);
+        self.default_graph
+            .removed
+            .extend_from_slice(&other.default_graph.removed);
+        for (name, changes) in &other.named {
+            let mine = self.graph_mut(Some(*name));
+            mine.inserted.extend_from_slice(&changes.inserted);
+            mine.removed.extend_from_slice(&changes.removed);
+        }
+        self.noops += other.noops;
+        self.coalesce();
+    }
 }

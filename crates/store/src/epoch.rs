@@ -34,6 +34,7 @@
 
 use crate::dataset::Dataset;
 use crate::delta::{ChangeSet, Delta};
+use crate::persist::Persister;
 use crate::shard::ShardRouter;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard, RwLock};
@@ -104,16 +105,43 @@ pub struct EpochStore {
     published: AtomicU64,
     /// Snapshots whose last reader has dropped.
     retired: Arc<AtomicU64>,
+    /// Durable side, when the store runs with a data directory. Publishes
+    /// append + fsync a log record *before* the pointer swap, so the log
+    /// always covers every state a reader could have observed.
+    persist: Option<Arc<Persister>>,
 }
 
 impl EpochStore {
     /// Wrap a dataset, publishing it as epoch 0 across `shards` shards.
     pub fn new(dataset: Dataset, shards: usize) -> EpochStore {
+        EpochStore::build(dataset, shards, 0, None)
+    }
+
+    /// Wrap a *recovered* dataset: the initial snapshot publishes at the
+    /// recovered epoch (not 0) and every subsequent publish is durably
+    /// logged through `persister`. The caller must already have written a
+    /// baseline snapshot covering `dataset`'s dictionary (see
+    /// [`Persister::baseline`]).
+    pub fn recovered(
+        dataset: Dataset,
+        shards: usize,
+        epoch: u64,
+        persister: Arc<Persister>,
+    ) -> EpochStore {
+        EpochStore::build(dataset, shards, epoch, Some(persister))
+    }
+
+    fn build(
+        dataset: Dataset,
+        shards: usize,
+        epoch: u64,
+        persist: Option<Arc<Persister>>,
+    ) -> EpochStore {
         let router = ShardRouter::new(shards);
         let retired = Arc::new(AtomicU64::new(0));
         let snapshot = Arc::new(Snapshot {
-            epoch: 0,
-            shard_epochs: vec![0; shards],
+            epoch,
+            shard_epochs: vec![epoch; shards],
             dataset: dataset.clone(),
             published: std::sync::atomic::AtomicBool::new(true),
             retired: Arc::clone(&retired),
@@ -122,10 +150,16 @@ impl EpochStore {
             router,
             current: RwLock::new(snapshot),
             master: Mutex::new(dataset),
-            epoch: AtomicU64::new(0),
+            epoch: AtomicU64::new(epoch),
             published: AtomicU64::new(1),
             retired,
+            persist,
         }
+    }
+
+    /// The durable side, when this store has one.
+    pub fn persister(&self) -> Option<&Arc<Persister>> {
+        self.persist.as_ref()
     }
 
     /// The shard router (shared with the maintenance engine so write
@@ -175,6 +209,9 @@ impl EpochStore {
             store: self,
             touched: vec![false; self.router.shards()],
             any_touch: false,
+            // Accumulate net changes only when a publish must log them —
+            // `Durability::None` pays nothing on the write path.
+            changes: self.persist.is_some().then(ChangeSet::default),
         }
     }
 
@@ -280,6 +317,10 @@ pub struct WriteTxn<'a> {
     store: &'a EpochStore,
     touched: Vec<bool>,
     any_touch: bool,
+    /// Net base changes accumulated for the epoch log; `Some` only when
+    /// the store is durable. Every caller routes its change sets through
+    /// [`WriteTxn::touch_changes`], which is what feeds this.
+    changes: Option<ChangeSet>,
 }
 
 impl<'a> WriteTxn<'a> {
@@ -310,7 +351,10 @@ impl<'a> WriteTxn<'a> {
         self.touch_shard(shard);
     }
 
-    /// Mark every shard a change set touched.
+    /// Mark every shard a change set touched. On a durable store this is
+    /// also what accumulates the changes the publish will log — the two
+    /// concerns share one call site because every correct caller must
+    /// already report its change sets here for shard stamping.
     pub fn touch_changes(&mut self, changes: &ChangeSet) {
         for (shard, touched) in self
             .store
@@ -322,6 +366,9 @@ impl<'a> WriteTxn<'a> {
             if touched {
                 self.touch_shard(shard);
             }
+        }
+        if let Some(accumulated) = &mut self.changes {
+            accumulated.absorb(changes);
         }
     }
 
@@ -382,6 +429,7 @@ impl<'a> WriteTxn<'a> {
             store: self.store,
             snapshot,
             epoch,
+            changes: self.changes,
         }
     }
 }
@@ -392,11 +440,12 @@ impl<'a> WriteTxn<'a> {
 pub struct PreparedTxn<'a> {
     /// Held (not read) until publish so the store stays single-writer
     /// across prepare → publish.
-    #[allow(dead_code)]
     guard: MutexGuard<'a, Dataset>,
     store: &'a EpochStore,
     snapshot: Arc<Snapshot>,
     epoch: u64,
+    /// Net base changes to log at publish (durable stores only).
+    changes: Option<ChangeSet>,
 }
 
 impl PreparedTxn<'_> {
@@ -407,14 +456,53 @@ impl PreparedTxn<'_> {
 
     /// Swap the prepared snapshot in (O(1); safe inside caller-held
     /// latency-sensitive critical sections).
+    ///
+    /// On a durable store the epoch-log record is appended and fsync'd
+    /// *before* the swap — the write-ahead half of the recovery
+    /// guarantee. A log I/O failure panics rather than publishing: the
+    /// caller is about to acknowledge this batch, and acknowledging a
+    /// write the log cannot cover would silently break the durability
+    /// contract.
     pub fn publish(self) -> u64 {
+        self.publish_with_catalog(None)
+    }
+
+    /// [`PreparedTxn::publish`], also recording a view-catalog change in
+    /// the same log record (`None` carries the previous catalog forward).
+    pub fn publish_with_catalog(self, catalog: Option<&[(u64, u64)]>) -> u64 {
+        let mut snapshot_due = false;
+        if let Some(persister) = &self.store.persist {
+            let changes = self.changes.clone().unwrap_or_default();
+            match persister.log_publish(self.epoch, self.guard.dict(), &changes, catalog) {
+                Ok(due) => snapshot_due = due,
+                Err(e) => panic!(
+                    "durability failure: epoch {} cannot be logged, refusing to publish: {e}",
+                    self.epoch
+                ),
+            }
+        }
+        let published = Arc::clone(&self.snapshot);
         self.snapshot
             .published
             .store(true, std::sync::atomic::Ordering::Release);
-        let mut current = self.store.current.write().expect("epoch lock poisoned");
-        *current = self.snapshot;
+        {
+            let mut current = self.store.current.write().expect("epoch lock poisoned");
+            *current = self.snapshot;
+        }
         self.store.epoch.store(self.epoch, Ordering::Release);
         self.store.published.fetch_add(1, Ordering::Relaxed);
+        if snapshot_due {
+            if let Some(persister) = &self.store.persist {
+                // Snapshot from the just-published immutable clone, still
+                // under the writer lock (`self.guard` lives to the end of
+                // this call) so no later batch can be half-visible in it.
+                // Failure is non-fatal: the log still covers everything,
+                // recovery just replays a longer tail.
+                if let Err(e) = persister.snapshot(published.dataset(), self.epoch) {
+                    eprintln!("sofos-store: snapshot at epoch {} failed: {e}", self.epoch);
+                }
+            }
+        }
         self.epoch
     }
 }

@@ -32,6 +32,7 @@ pub mod graphmap;
 pub mod index;
 pub mod inference;
 pub mod pattern;
+pub mod persist;
 pub mod shard;
 pub mod stats;
 
@@ -42,5 +43,6 @@ pub use graphmap::GraphMap;
 pub use index::{GraphStore, Perm};
 pub use inference::{materialize_rdfs, InferenceStats};
 pub use pattern::{EncodedTriple, IdPattern};
+pub use persist::{DurabilityConfig, PersistError, PersistStats, Persister, Recovered};
 pub use shard::ShardRouter;
 pub use stats::{GraphStats, PredicateStats, StatsTracker};

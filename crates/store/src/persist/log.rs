@@ -1,0 +1,347 @@
+//! The append-only epoch log: one framed record per published batch.
+//!
+//! Framing is `[payload_len: u32 LE][crc32(payload): u32 LE][payload]`.
+//! A record is only as durable as its frame: recovery scans frames from
+//! the front and stops at the first one that is short, fails its
+//! checksum, or does not decode — everything before that point is the
+//! valid prefix, everything after is a torn tail to truncate. Because
+//! the writer appends a whole frame and fsyncs before the epoch pointer
+//! swap, the valid prefix always covers every *acknowledged* publish
+//! (it may additionally contain the one final logged-but-unacknowledged
+//! batch; see the [`crate::persist`] module docs for why that is sound).
+//!
+//! Record payload layout (all varints unless noted):
+//!
+//! ```text
+//! epoch
+//! dict_start                  # dataset dictionary length before this batch
+//! dict_tail_len, term...      # terms interned by this batch, in id order
+//! catalog_flag: u8            # 0 = unchanged from previous record
+//!                             # 1 = explicit: len, (mask, rows)...
+//! graph_count
+//! per graph:
+//!   tag: u8                   # 0 = default graph, 1 = named (+ name id)
+//!   inserted_len, triple...   # triples are 3 dictionary-id varints
+//!   removed_len, triple...
+//! ```
+
+use super::encode::{crc32, put_term, put_triple, put_varint, DecodeError, Reader};
+use crate::dataset::GraphName;
+use crate::delta::ChangeSet;
+use crate::pattern::EncodedTriple;
+use sofos_rdf::{Dictionary, Term, TermId};
+
+/// Net changes to one graph, already coalesced.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct GraphOps {
+    /// `None` = default graph, `Some(id)` = named graph.
+    pub graph: GraphName,
+    /// Triples this batch added.
+    pub inserted: Vec<EncodedTriple>,
+    /// Triples this batch removed.
+    pub removed: Vec<EncodedTriple>,
+}
+
+/// One epoch-log record: everything needed to replay one published batch
+/// onto a dataset whose dictionary has exactly `dict_start` terms.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Record {
+    /// The epoch this batch published.
+    pub epoch: u64,
+    /// Dictionary length before this batch's terms were interned.
+    pub dict_start: u64,
+    /// Terms interned by this batch, in id order (`dict_start`,
+    /// `dict_start + 1`, ...). Replay re-interns them in order, which
+    /// reproduces identical ids because the dictionary is append-only.
+    pub dict_tail: Vec<Term>,
+    /// `Some` when this batch changed the view catalog; `None` carries
+    /// the previous record's catalog forward.
+    pub catalog: Option<Vec<(u64, u64)>>,
+    /// Per-graph net changes.
+    pub graphs: Vec<GraphOps>,
+}
+
+impl Record {
+    /// Build a record from a coalesced [`ChangeSet`] plus the dictionary
+    /// tail it interned. `persisted_terms` is the dictionary length the
+    /// log already covers; every term with id at or past it rides along.
+    pub fn from_changes(
+        epoch: u64,
+        dict: &Dictionary,
+        persisted_terms: usize,
+        changes: &ChangeSet,
+        catalog: Option<Vec<(u64, u64)>>,
+    ) -> Record {
+        let dict_tail = (persisted_terms..dict.len())
+            .map(|i| dict.term_unchecked(TermId(i as u32)).clone())
+            .collect();
+        let mut graphs = Vec::new();
+        if !changes.default_graph.is_empty() {
+            graphs.push(GraphOps {
+                graph: None,
+                inserted: changes.default_graph.inserted.clone(),
+                removed: changes.default_graph.removed.clone(),
+            });
+        }
+        // Named graphs in id order so identical batches encode identically.
+        let mut names: Vec<TermId> = changes.named.keys().copied().collect();
+        names.sort_unstable_by_key(|id| id.0);
+        for name in names {
+            let ops = &changes.named[&name];
+            if ops.is_empty() {
+                continue;
+            }
+            graphs.push(GraphOps {
+                graph: Some(name),
+                inserted: ops.inserted.clone(),
+                removed: ops.removed.clone(),
+            });
+        }
+        Record {
+            epoch,
+            dict_start: persisted_terms as u64,
+            dict_tail,
+            catalog,
+            graphs,
+        }
+    }
+
+    /// Encode the (unframed) payload.
+    pub fn encode_payload(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(64 + self.graphs.len() * 16);
+        put_varint(&mut out, self.epoch);
+        put_varint(&mut out, self.dict_start);
+        put_varint(&mut out, self.dict_tail.len() as u64);
+        for term in &self.dict_tail {
+            put_term(&mut out, term);
+        }
+        match &self.catalog {
+            None => out.push(0),
+            Some(entries) => {
+                out.push(1);
+                put_varint(&mut out, entries.len() as u64);
+                for &(mask, rows) in entries {
+                    put_varint(&mut out, mask);
+                    put_varint(&mut out, rows);
+                }
+            }
+        }
+        put_varint(&mut out, self.graphs.len() as u64);
+        for ops in &self.graphs {
+            match ops.graph {
+                None => out.push(0),
+                Some(id) => {
+                    out.push(1);
+                    put_varint(&mut out, id.0 as u64);
+                }
+            }
+            put_varint(&mut out, ops.inserted.len() as u64);
+            for triple in &ops.inserted {
+                put_triple(&mut out, triple);
+            }
+            put_varint(&mut out, ops.removed.len() as u64);
+            for triple in &ops.removed {
+                put_triple(&mut out, triple);
+            }
+        }
+        out
+    }
+
+    /// Decode one payload. Never panics on malformed input.
+    pub fn decode_payload(bytes: &[u8]) -> Result<Record, DecodeError> {
+        let mut r = Reader::new(bytes);
+        let epoch = r.varint()?;
+        let dict_start = r.varint()?;
+        let tail_len = r.count()?;
+        let mut dict_tail = Vec::with_capacity(tail_len.min(1024));
+        for _ in 0..tail_len {
+            dict_tail.push(r.term()?);
+        }
+        let catalog = match r.byte()? {
+            0 => None,
+            1 => {
+                let len = r.count()?;
+                let mut entries = Vec::with_capacity(len.min(1024));
+                for _ in 0..len {
+                    let mask = r.varint()?;
+                    let rows = r.varint()?;
+                    entries.push((mask, rows));
+                }
+                Some(entries)
+            }
+            tag => return Err(DecodeError::BadTag(tag)),
+        };
+        let graph_count = r.count()?;
+        let mut graphs = Vec::with_capacity(graph_count.min(1024));
+        for _ in 0..graph_count {
+            let graph = match r.byte()? {
+                0 => None,
+                1 => {
+                    let raw = r.varint()?;
+                    Some(TermId(
+                        u32::try_from(raw).map_err(|_| DecodeError::VarintOverflow)?,
+                    ))
+                }
+                tag => return Err(DecodeError::BadTag(tag)),
+            };
+            let inserted_len = r.count()?;
+            let mut inserted = Vec::with_capacity(inserted_len.min(4096));
+            for _ in 0..inserted_len {
+                inserted.push(r.triple()?);
+            }
+            let removed_len = r.count()?;
+            let mut removed = Vec::with_capacity(removed_len.min(4096));
+            for _ in 0..removed_len {
+                removed.push(r.triple()?);
+            }
+            graphs.push(GraphOps {
+                graph,
+                inserted,
+                removed,
+            });
+        }
+        if !r.is_empty() {
+            // Trailing garbage inside a checksummed frame is corruption,
+            // not a torn write — but either way the record is unusable.
+            return Err(DecodeError::Checksum);
+        }
+        Ok(Record {
+            epoch,
+            dict_start,
+            dict_tail,
+            catalog,
+            graphs,
+        })
+    }
+}
+
+/// Wrap a payload in the on-disk frame.
+pub fn frame(payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(8 + payload.len());
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(&crc32(payload).to_le_bytes());
+    out.extend_from_slice(payload);
+    out
+}
+
+/// The result of scanning a log's bytes.
+#[derive(Debug)]
+pub struct Scan {
+    /// Every record in the valid prefix, in append order.
+    pub records: Vec<Record>,
+    /// Length of the valid prefix in bytes; anything past it is torn.
+    pub valid_len: u64,
+}
+
+/// Scan log bytes from the front, stopping at the first short, corrupt,
+/// or undecodable frame. Infallible by design: a damaged tail shrinks
+/// the valid prefix rather than failing recovery.
+pub fn scan(bytes: &[u8]) -> Scan {
+    let mut records = Vec::new();
+    let mut pos = 0usize;
+    while let Some(header) = bytes.get(pos..pos + 8) {
+        let len = u32::from_le_bytes(header[0..4].try_into().unwrap()) as usize;
+        let crc = u32::from_le_bytes(header[4..8].try_into().unwrap());
+        let Some(payload) = bytes.get(pos + 8..pos + 8 + len) else {
+            break;
+        };
+        if crc32(payload) != crc {
+            break;
+        }
+        let Ok(record) = Record::decode_payload(payload) else {
+            break;
+        };
+        records.push(record);
+        pos += 8 + len;
+    }
+    Scan {
+        records,
+        valid_len: pos as u64,
+    }
+}
+
+/// Also used by snapshots: encode a full dictionary (all terms in id
+/// order) so a decoder can rebuild it by interning in sequence.
+pub(super) fn put_dictionary(out: &mut Vec<u8>, dict: &Dictionary) {
+    put_varint(out, dict.len() as u64);
+    for (_, term) in dict.iter() {
+        put_term(out, term);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sofos_rdf::Term;
+
+    fn sample_record() -> Record {
+        Record {
+            epoch: 7,
+            dict_start: 3,
+            dict_tail: vec![Term::iri("http://example.org/p"), Term::literal_int(9)],
+            catalog: Some(vec![(0b101, 42), (0b11, 7)]),
+            graphs: vec![
+                GraphOps {
+                    graph: None,
+                    inserted: vec![[TermId(0), TermId(3), TermId(4)]],
+                    removed: vec![],
+                },
+                GraphOps {
+                    graph: Some(TermId(2)),
+                    inserted: vec![],
+                    removed: vec![[TermId(1), TermId(3), TermId(0)]],
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn record_round_trips() {
+        let record = sample_record();
+        let payload = record.encode_payload();
+        assert_eq!(Record::decode_payload(&payload).unwrap(), record);
+    }
+
+    #[test]
+    fn scan_reads_sequential_frames() {
+        let mut record = sample_record();
+        let mut bytes = frame(&record.encode_payload());
+        record.epoch = 8;
+        record.catalog = None;
+        bytes.extend_from_slice(&frame(&record.encode_payload()));
+        let scan = scan(&bytes);
+        assert_eq!(scan.records.len(), 2);
+        assert_eq!(scan.valid_len, bytes.len() as u64);
+        assert_eq!(scan.records[1].epoch, 8);
+        assert_eq!(scan.records[1].catalog, None);
+    }
+
+    #[test]
+    fn scan_truncates_torn_tail_at_every_cut() {
+        let record = sample_record();
+        let first = frame(&record.encode_payload());
+        let second = frame(&record.encode_payload());
+        let mut bytes = first.clone();
+        bytes.extend_from_slice(&second);
+        // Any cut inside the second frame leaves exactly the first record.
+        for cut in first.len()..bytes.len() {
+            let scan = scan(&bytes[..cut]);
+            assert_eq!(scan.records.len(), 1, "cut at {cut}");
+            assert_eq!(scan.valid_len, first.len() as u64, "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn scan_stops_at_corrupt_frame() {
+        let record = sample_record();
+        let first = frame(&record.encode_payload());
+        let mut bytes = first.clone();
+        let mut second = frame(&record.encode_payload());
+        let flip = second.len() - 3;
+        second[flip] ^= 0xFF; // corrupt the payload; CRC now mismatches
+        bytes.extend_from_slice(&second);
+        let scan = scan(&bytes);
+        assert_eq!(scan.records.len(), 1);
+        assert_eq!(scan.valid_len, first.len() as u64);
+    }
+}

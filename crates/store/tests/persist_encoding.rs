@@ -1,0 +1,180 @@
+//! Property coverage for the persistence wire format: every value the
+//! epoch log and snapshot files can carry round-trips bit-exactly, and
+//! no corrupted or truncated input can panic a decoder — recovery reads
+//! whatever a crash left on disk, so the decoders' total-function
+//! contract is load-bearing, not cosmetic.
+
+use proptest::prelude::*;
+use sofos_rdf::{Iri, Literal, Term, TermId};
+use sofos_store::persist::encode::{put_term, put_triple, Reader};
+use sofos_store::persist::log::{frame, scan, GraphOps, Record};
+use sofos_store::persist::snapshot::decode_snapshot;
+use sofos_store::EncodedTriple;
+
+// ---------------------------------------------------------------------------
+// Strategies
+// ---------------------------------------------------------------------------
+
+/// Every term kind the dictionary can hold, including typed literals and
+/// blank labels — the full tag table of `persist::encode`.
+fn term_strategy() -> impl Strategy<Value = Term> {
+    prop_oneof![
+        "[a-z0-9/:#._-]{0,24}".prop_map(|s| Term::iri(format!("http://e/{s}"))),
+        "[A-Za-z0-9]{1,16}".prop_map(Term::blank),
+        "[ -~]{0,24}".prop_map(|s| Term::literal_str(&s)),
+        ("[ -~]{0,16}", "[a-z]{2,8}")
+            .prop_map(|(lex, lang)| Term::Literal(Literal::lang_string(lex, lang))),
+        ("[ -~]{0,16}", "[a-z/:#.]{1,16}").prop_map(|(lex, dt)| {
+            Term::Literal(Literal::typed(
+                lex,
+                Iri::new_unchecked(format!("http://t/{dt}")),
+            ))
+        }),
+        (-1_000_000i64..1_000_000).prop_map(Term::literal_int),
+    ]
+}
+
+fn triple_strategy() -> impl Strategy<Value = EncodedTriple> {
+    (0u32..5000, 0u32..5000, 0u32..5000).prop_map(|(s, p, o)| [TermId(s), TermId(p), TermId(o)])
+}
+
+fn graph_ops_strategy() -> impl Strategy<Value = GraphOps> {
+    (
+        proptest::option::of(0u32..64),
+        proptest::collection::vec(triple_strategy(), 0..12),
+        proptest::collection::vec(triple_strategy(), 0..12),
+    )
+        .prop_map(|(graph, inserted, removed)| GraphOps {
+            graph: graph.map(TermId),
+            inserted,
+            removed,
+        })
+}
+
+fn record_strategy() -> impl Strategy<Value = Record> {
+    (
+        0u64..1_000_000,
+        0u64..100_000,
+        proptest::collection::vec(term_strategy(), 0..10),
+        proptest::option::of(proptest::collection::vec((0u64..256, 0u64..100_000), 0..6)),
+        proptest::collection::vec(graph_ops_strategy(), 0..4),
+    )
+        .prop_map(|(epoch, dict_start, dict_tail, catalog, graphs)| Record {
+            epoch,
+            dict_start,
+            dict_tail,
+            catalog,
+            graphs,
+        })
+}
+
+// ---------------------------------------------------------------------------
+// Round trips
+// ---------------------------------------------------------------------------
+
+proptest! {
+    /// Terms of every kind survive encode → decode bit-exactly.
+    #[test]
+    fn terms_round_trip(terms in proptest::collection::vec(term_strategy(), 1..20)) {
+        let mut bytes = Vec::new();
+        for term in &terms {
+            put_term(&mut bytes, term);
+        }
+        let mut reader = Reader::new(&bytes);
+        for term in &terms {
+            prop_assert_eq!(&reader.term().expect("round trip decodes"), term);
+        }
+        prop_assert!(reader.is_empty());
+    }
+
+    /// Id-level triples round-trip through the varint encoding.
+    #[test]
+    fn triples_round_trip(triples in proptest::collection::vec(triple_strategy(), 1..30)) {
+        let mut bytes = Vec::new();
+        for triple in &triples {
+            put_triple(&mut bytes, triple);
+        }
+        let mut reader = Reader::new(&bytes);
+        for triple in &triples {
+            prop_assert_eq!(&reader.triple().expect("round trip decodes"), triple);
+        }
+        prop_assert!(reader.is_empty());
+    }
+
+    /// Whole log records — dict tails, catalogs, per-graph op sets —
+    /// round-trip through the framed payload codec.
+    #[test]
+    fn records_round_trip(record in record_strategy()) {
+        let decoded = Record::decode_payload(&record.encode_payload())
+            .expect("encoded record decodes");
+        prop_assert_eq!(decoded, record);
+    }
+
+    /// A framed record stream scans back to exactly the records written.
+    #[test]
+    fn framed_streams_scan_back(records in proptest::collection::vec(record_strategy(), 1..6)) {
+        let mut bytes = Vec::new();
+        for record in &records {
+            bytes.extend_from_slice(&frame(&record.encode_payload()));
+        }
+        let result = scan(&bytes);
+        prop_assert_eq!(result.valid_len, bytes.len() as u64);
+        prop_assert_eq!(&result.records, &records);
+    }
+
+    // -----------------------------------------------------------------------
+    // Hostile input: decoders error, never panic
+    // -----------------------------------------------------------------------
+
+    /// Truncating a record payload at any byte yields an error, not a
+    /// panic or a silently-wrong record.
+    #[test]
+    fn truncated_record_errors(record in record_strategy(), fraction in 0.0f64..1.0) {
+        let payload = record.encode_payload();
+        let cut = ((payload.len() as f64) * fraction) as usize;
+        if cut < payload.len() {
+            prop_assert!(Record::decode_payload(&payload[..cut]).is_err());
+        }
+    }
+
+    /// A single flipped byte anywhere in a framed stream never panics the
+    /// scanner, and everything before the damaged frame still decodes.
+    #[test]
+    fn corrupted_streams_scan_a_clean_prefix(
+        records in proptest::collection::vec(record_strategy(), 1..5),
+        flip_at in 0.0f64..1.0,
+        flip_bits in 1u8..=255,
+    ) {
+        let mut bytes = Vec::new();
+        let mut offsets = Vec::new();
+        for record in &records {
+            offsets.push(bytes.len());
+            bytes.extend_from_slice(&frame(&record.encode_payload()));
+        }
+        let pos = ((bytes.len() as f64) * flip_at) as usize;
+        let pos = pos.min(bytes.len() - 1);
+        bytes[pos] ^= flip_bits;
+        let result = scan(&bytes);
+        // The CRC stops the scan at (or before) the damaged frame; every
+        // decoded record is one of the originals, in order.
+        let damaged_frame = offsets.iter().filter(|&&o| o <= pos).count() - 1;
+        prop_assert!(result.records.len() <= records.len());
+        prop_assert!(
+            result.records.len() <= damaged_frame + 1,
+            "scan read past the damaged frame"
+        );
+        for (got, want) in result.records.iter().zip(&records) {
+            prop_assert_eq!(got, want);
+        }
+    }
+
+    /// Arbitrary byte soup never panics any decoder.
+    #[test]
+    fn random_bytes_never_panic(bytes in proptest::collection::vec(0u8..=255, 0..300)) {
+        let _ = scan(&bytes);
+        let _ = Record::decode_payload(&bytes);
+        let _ = decode_snapshot(&bytes);
+        let mut reader = Reader::new(&bytes);
+        while reader.term().is_ok() {}
+    }
+}
