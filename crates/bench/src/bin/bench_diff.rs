@@ -107,6 +107,19 @@ fn is_volatile_field(key: &str) -> bool {
         "durable_wall_us",
         "overhead_ratio",
         "recover_wall_us",
+        // E13 (bitmap scan): plan-phase walls are micro-scale and the
+        // speedups are their quotients; `cores` is whatever machine ran
+        // the report. The gated verdicts are `meets_threshold`,
+        // `split_gate_ok`, and the deterministic maintenance counts
+        // (`groups_patched`, `rows_inserted`, …), which stay exact.
+        "plan_wall_us",
+        "plan_speedup",
+        "sparse_runwalk_plan_us",
+        "sparse_bitmap_plan_us",
+        "split_split1_plan_us",
+        "split_deepest_plan_us",
+        "split_speedup",
+        "cores",
     ];
     VOLATILE.contains(&key) || key.starts_with("adaptive_beats_")
 }

@@ -1,0 +1,481 @@
+//! E13 — bitmap posting lists on the maintenance hot path: indexed vs
+//! run-walk planning, and within-view parallel planning.
+//!
+//! Three ingredients land together in PR 9 and this binary prices each:
+//!
+//! * **index mode** (`PlanIndexMode::Bitmap` vs `RunWalk`): the plan
+//!   phase locates each touched group's observation node. Run-walk
+//!   collects, sorts, and intersects subject lists from the permutation
+//!   indexes per dimension; bitmap mode ANDs pre-maintained
+//!   per-`(pred, value)` subject bitmaps. The sweep runs the *same*
+//!   pre-generated update stream through both modes and compares the
+//!   summed plan-phase walls (`PipelineTelemetry.parallel_wall_us`).
+//!   Sweep A plans with one thread on purpose: inline planning measures
+//!   pure plan work, no scoped-spawn noise in either mode's column.
+//! * **delta sparsity × group skew**: a sparse batch (4 ops) touches a
+//!   handful of groups of a ~thousand-group view — the regime where
+//!   per-group lookup cost dominates planning and the bitmap index pays;
+//!   a dense batch amortizes lookups over more per-key patch work.
+//!   `group_skew` (the workload crate's finest-group zipf knob)
+//!   concentrates ops on hot existing groups (pure patch path) vs
+//!   uniform per-dimension sampling (fresh groups, create path).
+//! * **within-view split** (`maintain_pipelined_split`): sweep B plans
+//!   a delete-heavy stream (retractions re-evaluate groups — real
+//!   per-key plan work) on 4 threads with every view's key range cut
+//!   into 1/2/4 chunks — a catalog dominated by one hot view can now
+//!   fill the pool instead of pinning the plan phase to one core.
+//!
+//! Correctness is asserted in-band: both modes (and every split) must
+//! report identical deterministic maintenance counts and identical final
+//! catalogs, and every final catalog must match a fresh re-evaluation
+//! (bit-equality itself is proptested in sofos-maintain).
+//!
+//! The summary gates: bitmap plan-phase speedup on the sparse hot cell
+//! ≥1.5× (full; ≥1.1× under `--smoke` so shared-runner noise cannot
+//! flake CI), and the within-view split benefit (split 4 vs 1) ≥1.05×
+//! on full runs on machines with enough cores to host the pool — smoke
+//! runs (and starved machines) report the ratio but gate trivially.
+//!
+//! Run with: `cargo run -p sofos-bench --release --bin e13_bitmap_scan [--smoke]`
+
+use sofos_bench::{finish_report, ms, print_table, ratio, sized, BenchReport, Json};
+use sofos_cube::{AggOp, Facet, ViewMask};
+use sofos_maintain::{Maintainer, PipelineTelemetry, PlanIndexMode};
+use sofos_materialize::{materialize_view, virtual_view_stats};
+use sofos_store::{Dataset, Delta, ShardRouter};
+use sofos_workload::{generate_update_stream, synthetic, UpdateStreamConfig};
+use std::time::Instant;
+
+/// Catalog: the finest view (the dominant planning load), two middles,
+/// and the apex.
+const MASKS: [ViewMask; 4] = [
+    ViewMask(0b111),
+    ViewMask(0b011),
+    ViewMask(0b110),
+    ViewMask::APEX,
+];
+
+const SHARDS: usize = 4;
+
+/// One sweep-A stream family: `((batch_size, batches), one pre-generated
+/// delta stream per skew level)`.
+type SkewStreams = ((usize, usize), Vec<Vec<Delta>>);
+
+/// One cell's measurements: the plan-phase wall (the gated quantity),
+/// the end-to-end maintenance wall, and the deterministic maintenance
+/// counts every variant of the same stream must reproduce exactly.
+struct Cell {
+    plan_wall_us: u64,
+    maint_wall_us: u64,
+    groups_patched: usize,
+    groups_reevaluated: usize,
+    rows_inserted: usize,
+    rows_retracted: usize,
+    final_rows: Vec<usize>,
+    all_valid: bool,
+}
+
+/// Replay `deltas` through a fresh clone of the seeded dataset under one
+/// (mode, split, threads) configuration.
+fn run_cell(
+    seeded: &Dataset,
+    facet: &Facet,
+    catalog: &[(ViewMask, usize)],
+    deltas: &[Delta],
+    mode: PlanIndexMode,
+    split: usize,
+    threads: usize,
+) -> Cell {
+    let mut ds = seeded.clone();
+    let mut views = catalog.to_vec();
+    let router = ShardRouter::new(SHARDS);
+    let mut maintainer = Maintainer::new(facet);
+    maintainer.set_index_mode(mode);
+    let mut plan = PipelineTelemetry::default();
+    let mut cell = Cell {
+        plan_wall_us: 0,
+        maint_wall_us: 0,
+        groups_patched: 0,
+        groups_reevaluated: 0,
+        rows_inserted: 0,
+        rows_retracted: 0,
+        final_rows: Vec::new(),
+        all_valid: false,
+    };
+    for delta in deltas {
+        let start = Instant::now();
+        let sharded = maintainer.apply_sharded(&mut ds, delta.clone(), &router, threads);
+        let rows = sharded.outcome.rows.expect("star facet");
+        let outcome = maintainer
+            .maintain_pipelined_split(&mut ds, Some(&rows), &mut views, threads, split)
+            .expect("pipelined maintenance succeeds");
+        cell.maint_wall_us += start.elapsed().as_micros() as u64;
+        // The pipelined pass's parallel wall IS the plan phase (the
+        // sharded scans report their own telemetry, not merged here).
+        plan.merge(&outcome.telemetry);
+        for cost in &outcome.report.per_view {
+            cell.groups_patched += cost.groups_patched;
+            cell.groups_reevaluated += cost.groups_reevaluated;
+            cell.rows_inserted += cost.rows_inserted;
+            cell.rows_retracted += cost.rows_retracted;
+        }
+    }
+    cell.plan_wall_us = plan.parallel_wall_us;
+    cell.all_valid = views.iter().all(|&(mask, rows)| {
+        virtual_view_stats(&ds, facet, mask)
+            .map(|stats| stats.rows == rows)
+            .unwrap_or(false)
+    });
+    cell.final_rows = views.iter().map(|&(_, rows)| rows).collect();
+    cell
+}
+
+fn mode_name(mode: PlanIndexMode) -> &'static str {
+    match mode {
+        PlanIndexMode::Bitmap => "bitmap",
+        PlanIndexMode::RunWalk => "run-walk",
+    }
+}
+
+fn main() {
+    // Large-ish views are the point: with ~2 subjects per thousand
+    // touched, group lookups dominate planning.
+    let observations = sized(6000, 1200);
+    let cardinalities = vec![24usize, 14, 8];
+    // (label, ops per batch, batches): a sparse stream touching a few
+    // groups per pass, and a dense one amortizing the per-pass overheads.
+    let sparsities: Vec<(&str, usize, usize)> = vec![
+        ("sparse", 4, sized(120, 40)),
+        ("dense", sized(256, 64), sized(8, 4)),
+    ];
+    // Finest-group zipf exponents: 0 = fresh-group heavy (uniform
+    // per-dimension sampling), 1.2 = hot existing groups.
+    let skews: Vec<f64> = sized(vec![0.0, 1.2], vec![1.2]);
+    let split_threads = 4usize;
+    let splits: Vec<usize> = sized(vec![1, 2, 4], vec![1, 4]);
+
+    let generated = synthetic::generate(&synthetic::Config {
+        observations,
+        cardinalities: cardinalities.clone(),
+        skew: 0.8,
+        agg: AggOp::Sum,
+        seed: 29,
+    });
+    let facet = generated.default_facet().clone();
+    let mut seeded = generated.dataset;
+    let mut catalog = Vec::new();
+    for &mask in &MASKS {
+        let v = materialize_view(&mut seeded, &facet, mask).expect("view materializes");
+        catalog.push((mask, v.stats.rows));
+    }
+    let finest_rows = catalog[0].1;
+
+    // Pre-generate one stream per (sparsity, skew) cell; every variant
+    // replays the identical deltas against its own clone of the store.
+    // Sweep A streams are pure inserts: deletes trigger per-group
+    // re-evaluations, a mode-independent cost that would drown the
+    // lookup signal the index sweep measures.
+    let streams: Vec<SkewStreams> = sparsities
+        .iter()
+        .map(|&(_, batch_size, batches)| {
+            let per_skew = skews
+                .iter()
+                .enumerate()
+                .map(|(i, &group_skew)| {
+                    generate_update_stream(
+                        &seeded,
+                        &facet,
+                        &UpdateStreamConfig {
+                            batches,
+                            batch_size,
+                            insert_ratio: 1.0,
+                            skew: 0.8,
+                            group_skew,
+                            seed: 47 + i as u64,
+                            ..UpdateStreamConfig::default()
+                        },
+                    )
+                })
+                .collect();
+            ((batch_size, batches), per_skew)
+        })
+        .collect();
+
+    let mut report = BenchReport::new(
+        "bitmap_scan",
+        format!(
+            "bitmap posting-list planning vs run-walk, and within-view split \
+             planning; {observations} observations, finest view {finest_rows} \
+             groups, delta sparsity x group skew x split factor"
+        ),
+    );
+    let headers = [
+        "sweep", "cell", "skew", "mode", "split", "thr", "batches", "ops/b", "plan ms", "maint ms",
+        "patched", "valid",
+    ];
+    let mut rows: Vec<Vec<String>> = Vec::new();
+    let push_cell = |rows: &mut Vec<Vec<String>>,
+                     report: &mut BenchReport,
+                     sweep: &str,
+                     label: &str,
+                     group_skew: f64,
+                     mode: PlanIndexMode,
+                     split: usize,
+                     threads: usize,
+                     batch_size: usize,
+                     batches: usize,
+                     cell: &Cell| {
+        assert!(cell.all_valid, "{sweep}/{label}/{:?}: stale catalog", mode);
+        rows.push(vec![
+            sweep.into(),
+            label.into(),
+            format!("{group_skew}"),
+            mode_name(mode).into(),
+            split.to_string(),
+            threads.to_string(),
+            batches.to_string(),
+            batch_size.to_string(),
+            ms(cell.plan_wall_us),
+            ms(cell.maint_wall_us),
+            cell.groups_patched.to_string(),
+            "yes".into(),
+        ]);
+        report.push(Json::object([
+            ("sweep", Json::from(sweep)),
+            ("cell", Json::from(label)),
+            ("group_skew", Json::from(group_skew)),
+            ("mode", Json::from(mode_name(mode))),
+            ("split", Json::from(split)),
+            ("threads", Json::from(threads)),
+            ("batches", Json::from(batches)),
+            ("batch_size", Json::from(batch_size)),
+            ("plan_wall_us", Json::from(cell.plan_wall_us)),
+            ("maintenance_wall_us", Json::from(cell.maint_wall_us)),
+            ("groups_patched", Json::from(cell.groups_patched)),
+            ("groups_reevaluated", Json::from(cell.groups_reevaluated)),
+            ("rows_inserted", Json::from(cell.rows_inserted)),
+            ("rows_retracted", Json::from(cell.rows_retracted)),
+            (
+                "final_rows",
+                Json::from(cell.final_rows.iter().sum::<usize>()),
+            ),
+            ("all_valid", Json::from(cell.all_valid)),
+        ]));
+    };
+
+    // ---- Sweep A: index mode x sparsity x skew (single-thread plans) ----
+    let mut sparse_hot: Option<(u64, u64)> = None; // (run-walk, bitmap)
+    for (s, &(label, batch_size, batches)) in sparsities.iter().enumerate() {
+        for (k, &group_skew) in skews.iter().enumerate() {
+            let deltas = &streams[s].1[k];
+            let walk = run_cell(
+                &seeded,
+                &facet,
+                &catalog,
+                deltas,
+                PlanIndexMode::RunWalk,
+                1,
+                1,
+            );
+            let bitmap = run_cell(
+                &seeded,
+                &facet,
+                &catalog,
+                deltas,
+                PlanIndexMode::Bitmap,
+                1,
+                1,
+            );
+            // Bit-equal planning: identical deterministic counts and
+            // identical final catalogs, whatever the index answered.
+            assert_eq!(
+                (
+                    walk.groups_patched,
+                    walk.groups_reevaluated,
+                    walk.rows_inserted,
+                    walk.rows_retracted,
+                    &walk.final_rows
+                ),
+                (
+                    bitmap.groups_patched,
+                    bitmap.groups_reevaluated,
+                    bitmap.rows_inserted,
+                    bitmap.rows_retracted,
+                    &bitmap.final_rows
+                ),
+                "{label} skew {group_skew}: modes diverged"
+            );
+            if label == "sparse" && group_skew > 0.0 {
+                sparse_hot = Some((walk.plan_wall_us, bitmap.plan_wall_us));
+            }
+            for (mode, cell) in [
+                (PlanIndexMode::RunWalk, &walk),
+                (PlanIndexMode::Bitmap, &bitmap),
+            ] {
+                push_cell(
+                    &mut rows,
+                    &mut report,
+                    "index-mode",
+                    label,
+                    group_skew,
+                    mode,
+                    1,
+                    1,
+                    batch_size,
+                    batches,
+                    cell,
+                );
+            }
+        }
+    }
+
+    // ---- Sweep B: within-view split on a re-eval-heavy stream ----------
+    // Delete-heavy on purpose: retractions make the plan phase do real
+    // per-group work (re-evaluation), which is exactly what splitting a
+    // dominant view's key range parallelizes. Pure-insert plans are too
+    // cheap per key for a wall-clock split signal.
+    let hot_skew = skews[skews.len() - 1];
+    let (dense_batch_size, dense_batches) = (sized(256, 64), sized(4, 2));
+    let dense_hot = &generate_update_stream(
+        &seeded,
+        &facet,
+        &UpdateStreamConfig {
+            batches: dense_batches,
+            batch_size: dense_batch_size,
+            insert_ratio: 0.6,
+            skew: 0.8,
+            group_skew: hot_skew,
+            seed: 53,
+            ..UpdateStreamConfig::default()
+        },
+    );
+    let mut split_walls: Vec<(usize, u64)> = Vec::new();
+    let mut split_reference: Option<Vec<usize>> = None;
+    for &split in &splits {
+        let cell = run_cell(
+            &seeded,
+            &facet,
+            &catalog,
+            dense_hot,
+            PlanIndexMode::Bitmap,
+            split,
+            split_threads,
+        );
+        match &split_reference {
+            None => split_reference = Some(cell.final_rows.clone()),
+            Some(reference) => assert_eq!(
+                reference, &cell.final_rows,
+                "split {split}: catalog diverged from split 1"
+            ),
+        }
+        split_walls.push((split, cell.plan_wall_us));
+        push_cell(
+            &mut rows,
+            &mut report,
+            "split",
+            "dense",
+            hot_skew,
+            PlanIndexMode::Bitmap,
+            split,
+            split_threads,
+            dense_batch_size,
+            dense_batches,
+            &cell,
+        );
+    }
+
+    // ---- Summary: the acceptance criteria ------------------------------
+    let plan_threshold = sized(1.5, 1.1);
+    let (walk_plan, bitmap_plan) = sparse_hot.expect("sweep includes the sparse hot cell");
+    let plan_speedup = walk_plan as f64 / bitmap_plan.max(1) as f64;
+    let meets_threshold = plan_speedup >= plan_threshold;
+
+    let split_threshold = 1.05;
+    let split1_plan = split_walls.first().expect("split 1 runs").1;
+    let split_max_plan = split_walls.last().expect("deepest split runs").1;
+    let split_speedup = split1_plan as f64 / split_max_plan.max(1) as f64;
+    // The split is a wall-clock effect: it needs real cores under the
+    // pool. Smoke cells (and starved machines) report the ratio but
+    // gate trivially; full runs on a machine that can host the pool
+    // must show the benefit.
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let split_gate_ok = sized(
+        cores < split_threads || split_speedup >= split_threshold,
+        true,
+    );
+
+    rows.push(vec![
+        "summary".into(),
+        "sparse".into(),
+        format!("{hot_skew}"),
+        "bitmap/walk".into(),
+        String::new(),
+        "1".into(),
+        String::new(),
+        String::new(),
+        String::new(),
+        String::new(),
+        ratio(plan_speedup),
+        if meets_threshold { "yes" } else { "NO" }.into(),
+    ]);
+    rows.push(vec![
+        "summary".into(),
+        "dense".into(),
+        format!("{hot_skew}"),
+        "split 4 vs 1".into(),
+        String::new(),
+        split_threads.to_string(),
+        String::new(),
+        String::new(),
+        String::new(),
+        String::new(),
+        ratio(split_speedup),
+        if split_gate_ok { "yes" } else { "NO" }.into(),
+    ]);
+    report.push(Json::object([
+        ("summary", Json::from(true)),
+        ("sparse_runwalk_plan_us", Json::from(walk_plan)),
+        ("sparse_bitmap_plan_us", Json::from(bitmap_plan)),
+        ("plan_speedup", Json::from(plan_speedup)),
+        ("plan_threshold", Json::from(plan_threshold)),
+        ("meets_threshold", Json::from(meets_threshold)),
+        ("split_split1_plan_us", Json::from(split1_plan)),
+        ("split_deepest_plan_us", Json::from(split_max_plan)),
+        ("split_speedup", Json::from(split_speedup)),
+        ("split_threshold", Json::from(split_threshold)),
+        ("cores", Json::from(cores)),
+        ("split_gate_ok", Json::from(split_gate_ok)),
+    ]));
+
+    print_table(
+        "E13 · bitmap posting-list planning vs run-walk + within-view split",
+        &headers,
+        &rows,
+    );
+    assert!(
+        meets_threshold,
+        "bitmap planning must beat run-walk by >={plan_threshold}x on the sparse hot \
+         cell (run-walk {walk_plan}us vs bitmap {bitmap_plan}us)"
+    );
+    assert!(
+        split_gate_ok,
+        "within-view split must cut the dense plan wall by >={split_threshold}x \
+         (split 1 {split1_plan}us vs deepest {split_max_plan}us)"
+    );
+    println!(
+        "Reading: 'index-mode' rows replay one pure-insert stream through both\n\
+         planners on a single thread (pure plan work, no spawn noise): run-walk\n\
+         locates each touched group by collecting and intersecting subject lists\n\
+         from the permutation indexes, bitmap mode ANDs maintained posting-list\n\
+         bitmaps. Counts ('patched' etc.) are asserted identical — the modes plan\n\
+         the same patches. 'split' rows plan a delete-heavy stream (retractions\n\
+         re-evaluate groups: real per-key plan work) on 4 threads with every\n\
+         view's key range cut into 1/2/4 chunks; the plan wall drops as the\n\
+         dominant view stops serializing the phase (gated only where the machine\n\
+         can actually host the pool). Walls are volatile (bench_diff reports,\n\
+         never gates them); the gated verdicts are the two summary booleans."
+    );
+    finish_report(&report);
+}

@@ -369,6 +369,7 @@ pub struct EngineBuilder {
     clock: Option<Arc<dyn Clock>>,
     metrics: Option<MetricsHandle>,
     durability: Option<DurabilityConfig>,
+    plan_split: usize,
 }
 
 impl EngineBuilder {
@@ -437,6 +438,17 @@ impl EngineBuilder {
         self
     }
 
+    /// Within-view plan parallelism for the epoch backend's pipelined
+    /// maintenance (default 1 = unsplit): each view's plan phase is
+    /// split into this many group-key chunks so a catalog dominated by
+    /// one hot view still fills the writer's thread pool (see
+    /// [`sofos_maintain::Maintainer::maintain_pipelined_split`]).
+    /// Ignored by [`Backend::Serial`].
+    pub fn plan_split(mut self, split: usize) -> EngineBuilder {
+        self.plan_split = split.max(1);
+        self
+    }
+
     /// Assemble the engine.
     pub fn build(self) -> Result<Engine, EngineBuildError> {
         let dataset = self.dataset.ok_or(EngineBuildError::MissingDataset)?;
@@ -474,6 +486,7 @@ impl EngineBuilder {
                     catalog,
                     self.policy,
                     threads,
+                    self.plan_split,
                     clock,
                     instruments,
                 ))
@@ -619,6 +632,7 @@ impl Engine {
             clock: None,
             metrics: None,
             durability: None,
+            plan_split: 1,
         }
     }
 

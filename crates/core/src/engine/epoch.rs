@@ -110,6 +110,10 @@ pub(crate) struct EpochBackend {
     facet: Facet,
     policy: StalenessPolicy,
     writer_threads: usize,
+    /// Within-view plan parallelism: each view's planning is split into
+    /// this many group-key chunks (see
+    /// [`Maintainer::maintain_pipelined_split`]). 1 = unsplit.
+    plan_split: usize,
     clock: Arc<dyn Clock>,
     writer: Mutex<WriterSide>,
     serving: Mutex<ServingState>,
@@ -131,6 +135,7 @@ impl EpochBackend {
         views: Vec<(ViewMask, usize)>,
         policy: StalenessPolicy,
         writer_threads: usize,
+        plan_split: usize,
         clock: Arc<dyn Clock>,
         metrics: EngineInstruments,
     ) -> EpochBackend {
@@ -155,6 +160,7 @@ impl EpochBackend {
             facet,
             policy,
             writer_threads: writer_threads.max(1),
+            plan_split: plan_split.max(1),
             clock,
             metrics,
         }
@@ -182,6 +188,14 @@ impl EpochBackend {
         );
         if let Some(persister) = self.store.persister() {
             self.metrics.record_persist(&persister.stats());
+        }
+        if self.metrics.enabled() {
+            // Pinning just to read footprint is fine here: the gauges are
+            // only refreshed when telemetry is on, and a pin is an Arc
+            // clone plus registry bookkeeping.
+            let snapshot = self.store.pin();
+            self.metrics
+                .record_index(&snapshot.dataset().posting_stats());
         }
     }
 
@@ -280,11 +294,12 @@ impl EpochBackend {
                 // view mutator holds the write transaction — so working on
                 // a clone and installing it back is race-free.
                 let mut views = self.lock_serving().views.clone();
-                let result = writer.maintainer.maintain_pipelined(
+                let result = writer.maintainer.maintain_pipelined_split(
                     txn.dataset(),
                     sharded.outcome.rows.as_ref(),
                     &mut views,
                     self.writer_threads,
+                    self.plan_split,
                 );
                 txn.touch_changes(&sharded.outcome.changes);
                 // Snapshot construction (the clone) happens before the
@@ -445,11 +460,12 @@ impl EpochBackend {
             }
         }
         let mut views = self.lock_serving().views.clone();
-        let result = writer.maintainer.maintain_pipelined(
+        let result = writer.maintainer.maintain_pipelined_split(
             batch.dataset(),
             merged.as_ref(),
             &mut views,
             self.writer_threads,
+            self.plan_split,
         );
         match result {
             Ok(outcome) => {
@@ -990,6 +1006,7 @@ mod tests {
                 offline.view_catalog(),
                 policy,
                 threads,
+                2, // exercise within-view split planning in backend tests
                 system_clock(),
                 EngineInstruments::new(sofos_telemetry::MetricsHandle::new(), "epoch"),
             ),

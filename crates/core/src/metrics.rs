@@ -28,6 +28,9 @@
 //! | `sofos_pipeline_{serial,parallel_work,parallel_wall}_us_total` | counter | two-phase pipeline split |
 //! | `sofos_maintenance_errors_total` | counter | failed maintenance / repair passes |
 //! | `sofos_reselections_total` | counter | adaptive catalog swaps (see [`crate::adaptive`]) |
+//! | `sofos_index_bytes` | gauge | estimated bytes held by bitmap posting lists across all graphs |
+//! | `sofos_index_posting_lists` | gauge | live posting lists (per-predicate + per-(predicate, value)) |
+//! | `sofos_index_updates_total` | counter | incremental posting-list maintenance operations |
 //! | `sofos_persisted_epoch` | gauge | newest epoch covered by the durable log |
 //! | `sofos_persist_log_bytes` | gauge | bytes appended to the epoch log since boot |
 //! | `sofos_persist_fsyncs` | gauge | fsync calls issued by the persistence layer |
@@ -37,8 +40,9 @@ use crate::policy::Freshness;
 use sofos_cube::ViewMask;
 use sofos_maintain::{PipelineTelemetry, ShardScanCost};
 use sofos_rdf::FxHashMap;
-use sofos_store::PersistStats;
+use sofos_store::{PersistStats, PostingStats};
 use sofos_telemetry::{Counter, EventKind, Gauge, Histogram, MetricsHandle};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
 /// Pre-registered instruments for one serving backend (see module docs).
@@ -63,6 +67,14 @@ pub(crate) struct EngineInstruments {
     pipeline_parallel_work_us: Arc<Counter>,
     pipeline_parallel_wall_us: Arc<Counter>,
     maintenance_errors: Arc<Counter>,
+    index_bytes: Arc<Gauge>,
+    index_posting_lists: Arc<Gauge>,
+    index_updates: Arc<Counter>,
+    /// Last posting-list update total pushed to `index_updates` — the
+    /// store-side totals sum per-graph counters that can shrink when a
+    /// graph is dropped or replaced, so the counter advances by the
+    /// saturating diff.
+    index_updates_reported: AtomicU64,
     persisted_epoch: Arc<Gauge>,
     persist_log_bytes: Arc<Gauge>,
     persist_fsyncs: Arc<Gauge>,
@@ -153,6 +165,22 @@ impl EngineInstruments {
                 "Failed maintenance or repair passes",
                 &b,
             ),
+            index_bytes: handle.gauge(
+                "sofos_index_bytes",
+                "Estimated bytes held by bitmap posting lists across all graphs",
+                &b,
+            ),
+            index_posting_lists: handle.gauge(
+                "sofos_index_posting_lists",
+                "Live posting lists (per-predicate plus per-(predicate, value))",
+                &b,
+            ),
+            index_updates: handle.counter(
+                "sofos_index_updates_total",
+                "Incremental posting-list maintenance operations",
+                &b,
+            ),
+            index_updates_reported: AtomicU64::new(0),
             persisted_epoch: handle.gauge(
                 "sofos_persisted_epoch",
                 "Newest epoch covered by the durable log",
@@ -323,6 +351,29 @@ impl EngineInstruments {
         self.persist_log_bytes.set(stats.log_bytes);
         self.persist_fsyncs.set(stats.fsyncs);
         self.persist_snapshots.set(stats.snapshots);
+    }
+
+    /// Whether the underlying handle records anything — callers gate
+    /// stat *computation* (not just recording) on this when gathering
+    /// the inputs has a cost of its own.
+    pub(crate) fn enabled(&self) -> bool {
+        self.handle.is_enabled()
+    }
+
+    /// The dataset's aggregated posting-list footprint. The update total
+    /// is pushed as a monotone counter via a saturating diff against the
+    /// last reported value (per-graph counters vanish with their graph,
+    /// so the raw sum is not monotone).
+    pub(crate) fn record_index(&self, stats: &PostingStats) {
+        if !self.handle.is_enabled() {
+            return;
+        }
+        self.index_bytes.set(stats.bytes as u64);
+        self.index_posting_lists.set(stats.posting_lists as u64);
+        let last = self
+            .index_updates_reported
+            .swap(stats.updates, Ordering::Relaxed);
+        self.index_updates.add(stats.updates.saturating_sub(last));
     }
 
     /// A failed maintenance or repair pass.

@@ -18,8 +18,24 @@ use sofos_materialize::{encode_view, evaluate_view};
 use sofos_rdf::vocab::{rdf, sofos};
 use sofos_rdf::{FxHashMap, Numeric, Term, TermId};
 use sofos_sparql::{CompareOp, Evaluator, Expr, PatternElement, SparqlError};
-use sofos_store::{ChangeSet, Dataset, Delta, IdPattern};
+use sofos_store::{Bitmap, ChangeSet, Dataset, Delta, GraphStore, IdPattern};
 use std::time::Instant;
+
+/// How the planner locates groups and pre-filters star-scan subjects.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PlanIndexMode {
+    /// Intersect bitmap posting lists ([`sofos_store::posting`]): group
+    /// location via per-(dimension, value) subject bitmaps, scan
+    /// candidates via per-predicate bitmaps. Sub-linear in view/dataset
+    /// size for sparse deltas. The default.
+    #[default]
+    Bitmap,
+    /// Walk permutation-index runs per pattern — the pre-bitmap planner,
+    /// kept as the comparison baseline for `e13_bitmap_scan` and the
+    /// bitmap≡run-walk equivalence proptest. Also skips posting-list
+    /// registration so the baseline pays no index upkeep it won't use.
+    RunWalk,
+}
 
 /// The net effect of a batch on the facet pattern's binding multiset:
 /// `(dimension values, measure) → net multiplicity` (positive = asserted,
@@ -116,6 +132,7 @@ pub struct Maintainer {
     facet: Facet,
     star: Option<StarPattern>,
     fresh: u64,
+    index_mode: PlanIndexMode,
 }
 
 impl Maintainer {
@@ -126,7 +143,20 @@ impl Maintainer {
             star: StarPattern::detect(facet),
             facet: facet.clone(),
             fresh: 0,
+            index_mode: PlanIndexMode::default(),
         }
+    }
+
+    /// Select how plans locate groups and filter scan candidates. Both
+    /// modes produce bit-equal view graphs; `RunWalk` exists for
+    /// benchmarking the bitmap path against its predecessor.
+    pub fn set_index_mode(&mut self, mode: PlanIndexMode) {
+        self.index_mode = mode;
+    }
+
+    /// The active [`PlanIndexMode`].
+    pub fn index_mode(&self) -> PlanIndexMode {
+        self.index_mode
     }
 
     /// Does this facet admit the counting algorithm?
@@ -165,15 +195,23 @@ impl Maintainer {
         let affected = star.affected_subjects(dataset, &delta);
         let leg_ids = star.leg_ids(dataset);
 
+        let candidates = scan_candidates(self.index_mode, dataset.default_graph(), &leg_ids);
         let mut pre: Vec<(Vec<TermId>, TermId, i64)> = Vec::new();
         for &subject in &affected {
+            if skip_subject(&candidates, subject) {
+                continue;
+            }
             star.subject_rows(dataset.default_graph(), &leg_ids, subject, &mut pre);
         }
         let changes = dataset.apply(delta);
         let mut rows = RowDelta::default();
         if !changes.default_graph.is_empty() {
+            let candidates = scan_candidates(self.index_mode, dataset.default_graph(), &leg_ids);
             let mut post: Vec<(Vec<TermId>, TermId, i64)> = Vec::new();
             for &subject in &affected {
+                if skip_subject(&candidates, subject) {
+                    continue;
+                }
                 star.subject_rows(dataset.default_graph(), &leg_ids, subject, &mut post);
             }
             for (dims, measure, mult) in post {
@@ -232,6 +270,9 @@ impl Maintainer {
     ) -> Result<MaintenanceCost, SparqlError> {
         let start = Instant::now();
         let ids = ViewIds::prepare(dataset, &self.facet, view.0);
+        if self.index_mode == PlanIndexMode::Bitmap {
+            ids.register_value_preds(dataset);
+        }
         let patch = self.plan_view(dataset, rows, *view, &ids, self.fresh)?;
         if patch.cost.strategy == MaintenanceStrategy::Noop {
             return Ok(patch.cost);
@@ -251,18 +292,42 @@ impl Maintainer {
         ids: &ViewIds,
         fresh_start: u64,
     ) -> Result<ViewPatch, SparqlError> {
+        self.plan_view_chunk(dataset, rows, view, ids, fresh_start, Chunking::whole())
+    }
+
+    /// [`Maintainer::plan_view`] restricted to one [`Chunking`] chunk:
+    /// the chunk's contiguous slice of the view's sorted group keys.
+    /// Non-chunkable strategies (refresh, noop) are planned whole by
+    /// the leader chunk while sibling chunks return no-ops; the decision
+    /// is deterministic across chunks because each one inspects the full
+    /// delta before slicing.
+    pub(crate) fn plan_view_chunk(
+        &self,
+        dataset: &Dataset,
+        rows: Option<&RowDelta>,
+        view: (ViewMask, usize),
+        ids: &ViewIds,
+        fresh_start: u64,
+        chunking: Chunking,
+    ) -> Result<ViewPatch, SparqlError> {
         let (mask, catalog_rows) = view;
         match rows {
-            None => self.plan_full_refresh(dataset, ids, catalog_rows, fresh_start),
+            None if chunking.leader() => {
+                self.plan_full_refresh(dataset, ids, catalog_rows, fresh_start)
+            }
+            None => Ok(ViewPatch::noop(mask, ids.graph, fresh_start, catalog_rows)),
             Some(rows) if rows.is_empty() => {
                 Ok(ViewPatch::noop(mask, ids.graph, fresh_start, catalog_rows))
             }
             Some(rows) => {
-                match self.plan_counting(dataset, rows, ids, catalog_rows, fresh_start)? {
+                match self.plan_counting(dataset, rows, ids, catalog_rows, fresh_start, chunking)? {
                     Some(patch) => Ok(patch),
                     // Counting declined (non-numeric measure in the delta,
                     // or the view graph is missing).
-                    None => self.plan_full_refresh(dataset, ids, catalog_rows, fresh_start),
+                    None if chunking.leader() => {
+                        self.plan_full_refresh(dataset, ids, catalog_rows, fresh_start)
+                    }
+                    None => Ok(ViewPatch::noop(mask, ids.graph, fresh_start, catalog_rows)),
                 }
             }
         }
@@ -348,9 +413,12 @@ impl Maintainer {
         })
     }
 
-    /// Plan the counting algorithm over one view. Returns `Ok(None)` when
-    /// the delta contains a non-numeric measure or the view graph is
-    /// absent (caller falls back to a refresh plan).
+    /// Plan the counting algorithm over one view — or, under a split
+    /// plan, over one [`Chunking`] chunk of the view's sorted group
+    /// keys. Returns `Ok(None)` when the delta contains a non-numeric
+    /// measure or the view graph is absent (caller falls back to a
+    /// refresh plan); both checks cover the *full* delta so every chunk
+    /// declines identically.
     fn plan_counting(
         &self,
         dataset: &Dataset,
@@ -358,6 +426,7 @@ impl Maintainer {
         ids: &ViewIds,
         catalog_rows: usize,
         fresh_start: u64,
+        chunking: Chunking,
     ) -> Result<Option<ViewPatch>, SparqlError> {
         if dataset.graph(Some(ids.graph)).is_none() {
             // Catalog view that was never (or no longer is) materialized:
@@ -386,13 +455,18 @@ impl Maintainer {
             }
         }
 
-        // 2. Plan each touched group's patch.
+        // 2. Plan this chunk's contiguous slice of the sorted group keys
+        // (the whole list when unsplit).
         let mut builder = PatchBuilder::new(ids.mask, fresh_start);
+        if chunking.split > 1 {
+            builder.label_tag = format!("s{}", chunking.chunk);
+        }
         let mut keys: Vec<Vec<TermId>> = groups.keys().cloned().collect();
         keys.sort_unstable(); // deterministic patch order
-        for key in keys {
-            let group = &groups[&key];
-            self.plan_group(dataset, ids, &key, group, &mut builder)?;
+        let (lo, hi) = chunk_range(keys.len(), chunking.chunk, chunking.split);
+        for key in &keys[lo..hi] {
+            let group = &groups[key];
+            self.plan_group(dataset, ids, key, group, &mut builder)?;
         }
         let new_rows =
             (catalog_rows + builder.cost.rows_inserted).saturating_sub(builder.cost.rows_retracted);
@@ -408,7 +482,7 @@ impl Maintainer {
         group: &GroupDelta,
         builder: &mut PatchBuilder,
     ) -> Result<(), SparqlError> {
-        let obs = find_obs(dataset, ids, key);
+        let obs = find_obs(dataset, ids, key, self.index_mode);
         let needs_reeval = match self.facet.agg.components() {
             // SUM-only views cannot witness group emptiness (no stored
             // count), and MIN/MAX are not invertible under deletes.
@@ -632,9 +706,15 @@ impl Maintainer {
         // `m`-prefixed labels cannot collide with the materializer's
         // row-indexed ones; the loop guards against label reuse across
         // maintainer instances on the same graph. Labels minted within
-        // this patch never collide either — the counter only advances.
+        // this patch never collide either — the counter only advances —
+        // and sibling chunks of a split plan mint in disjoint `s<chunk>`
+        // namespaces (the tag is empty unsplit, preserving the historical
+        // format).
         let label = loop {
-            let label = format!("v{}_{}_m{}", self.facet.id, ids.mask.0, builder.next_fresh);
+            let label = format!(
+                "v{}_{}_{}m{}",
+                self.facet.id, ids.mask.0, builder.label_tag, builder.next_fresh
+            );
             builder.next_fresh += 1;
             let in_use = dataset
                 .dict()
@@ -753,12 +833,38 @@ impl ViewIds {
             MaterialComponent::Max => self.max,
         }
     }
+
+    /// Register the group-location predicates — the dimension predicates
+    /// plus `rdf:type` (the apex lookup keys on `sofos:Observation`) — for
+    /// per-(predicate, value) bitmaps on the view graph. Idempotent;
+    /// re-run after every `Replace` commit because a rebuilt graph starts
+    /// with empty registrations. No-op while the graph does not exist.
+    pub(crate) fn register_value_preds(&self, dataset: &mut Dataset) {
+        let mut preds = self.dim_preds.clone();
+        preds.push(self.type_pred);
+        dataset.register_value_preds(Some(self.graph), &preds);
+    }
 }
 
 /// Find the observation node of a group in the view graph (read-only —
 /// the dimension predicates were interned by [`ViewIds::prepare`]).
-fn find_obs(dataset: &Dataset, ids: &ViewIds, key: &[TermId]) -> Option<TermId> {
+///
+/// In [`PlanIndexMode::Bitmap`] the lookup intersects the view graph's
+/// per-(dimension, value) subject bitmaps — O(intersection) instead of
+/// O(matching triples) per leg — falling back to the run walk when a
+/// predicate is not registered yet (first pass after recovery).
+fn find_obs(
+    dataset: &Dataset,
+    ids: &ViewIds,
+    key: &[TermId],
+    mode: PlanIndexMode,
+) -> Option<TermId> {
     let store = dataset.graph(Some(ids.graph))?;
+    if mode == PlanIndexMode::Bitmap {
+        if let Some(found) = find_obs_bitmap(store, ids, key) {
+            return found;
+        }
+    }
     if ids.mask_dims.is_empty() {
         // Apex: the (single) observation node.
         return store
@@ -790,6 +896,101 @@ fn find_obs(dataset: &Dataset, ids: &ViewIds, key: &[TermId]) -> Option<TermId> 
         }
     }
     candidates.and_then(|c| c.into_iter().min())
+}
+
+/// Bitmap-indexed group location. Outer `None` means the index cannot
+/// answer (a lookup predicate is unregistered on this graph) and the
+/// caller must run-walk; `Some(None)` is a definitive "no observation".
+fn find_obs_bitmap(store: &GraphStore, ids: &ViewIds, key: &[TermId]) -> Option<Option<TermId>> {
+    if ids.mask_dims.is_empty() {
+        if !store.has_value_pred(ids.type_pred) {
+            return None;
+        }
+        let min = store
+            .value_subjects(ids.type_pred, ids.observation)
+            .and_then(Bitmap::min);
+        return Some(min.map(TermId));
+    }
+    let mut acc: Option<Bitmap> = None;
+    for (&pred, &value) in ids.dim_preds.iter().zip(key) {
+        if !store.has_value_pred(pred) {
+            return None;
+        }
+        let Some(bm) = store.value_subjects(pred, value) else {
+            return Some(None);
+        };
+        let next = match acc {
+            None => bm.clone(),
+            Some(prev) => prev.and(bm),
+        };
+        if next.is_empty() {
+            return Some(None);
+        }
+        acc = Some(next);
+    }
+    Some(acc.and_then(|bm| bm.min()).map(TermId))
+}
+
+/// Intersection of the star legs' per-predicate subject bitmaps on the
+/// base graph: the subjects that can possibly bind a complete star row
+/// (every leg present at least once). `None` disables filtering
+/// ([`PlanIndexMode::RunWalk`]); an empty bitmap rules out every subject.
+pub(crate) fn scan_candidates(
+    mode: PlanIndexMode,
+    base: &GraphStore,
+    leg_ids: &[TermId],
+) -> Option<Bitmap> {
+    if mode == PlanIndexMode::RunWalk {
+        return None;
+    }
+    let mut acc: Option<Bitmap> = None;
+    for &pred in leg_ids {
+        let bm = base.pred_subjects(pred).cloned().unwrap_or_default();
+        let next = match acc {
+            None => bm,
+            Some(prev) => prev.and(&bm),
+        };
+        if next.is_empty() {
+            return Some(next);
+        }
+        acc = Some(next);
+    }
+    Some(acc.unwrap_or_default())
+}
+
+/// Should this subject be skipped by the candidate pre-filter?
+/// Equivalent to `StarPattern::subject_rows`' empty-leg early return —
+/// the filter only rules out subjects that would bind no row anyway.
+pub(crate) fn skip_subject(candidates: &Option<Bitmap>, subject: TermId) -> bool {
+    candidates.as_ref().is_some_and(|c| !c.contains(subject.0))
+}
+
+/// One slice of a `split`-way within-view plan: chunk `chunk` of the
+/// view's sorted group keys. [`Chunking::whole`] is the unsplit case;
+/// the [`Chunking::leader`] chunk owns non-chunkable strategies
+/// (refresh, noop) while its siblings plan no-ops.
+#[derive(Clone, Copy)]
+pub(crate) struct Chunking {
+    pub(crate) chunk: usize,
+    pub(crate) split: usize,
+}
+
+impl Chunking {
+    /// The unsplit plan: one chunk covering every group key.
+    pub(crate) fn whole() -> Self {
+        Chunking { chunk: 0, split: 1 }
+    }
+
+    /// Whether this chunk plans whole-view (non-chunkable) strategies.
+    fn leader(self) -> bool {
+        self.chunk == 0
+    }
+}
+
+/// Chunk `chunk` of `split`'s half-open slice of `len` sorted keys —
+/// balanced contiguous ranges that partition `0..len`.
+fn chunk_range(len: usize, chunk: usize, split: usize) -> (usize, usize) {
+    (chunk * len / split, (chunk + 1) * len / split)
 }
 
 /// Read a component value of an observation.

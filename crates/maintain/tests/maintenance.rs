@@ -565,6 +565,105 @@ proptest! {
         prop_assert_eq!(serial_catalog, piped_catalog);
     }
 
+    /// The bitmap-indexed planner (posting-list group location + scan
+    /// candidate pre-filter + within-view split planning) is bit-equal to
+    /// the run-walking planner it replaced: across shard × thread ×
+    /// split × delta-mix grids, two datasets maintained through the two
+    /// [`sofos_maintain::PlanIndexMode`]s end up with identical view
+    /// graphs and catalogs at every batch boundary.
+    #[test]
+    fn bitmap_planning_equals_run_walk(
+        batches in proptest::collection::vec(
+            proptest::collection::vec(
+                (proptest::bool::weighted(0.7), proptest::collection::vec(0u8..4, 3), -20i64..20),
+                1..8,
+            ),
+            1..6,
+        ),
+        batch_size in 1usize..5,
+        shards in 1usize..6,
+        threads in 1usize..4,
+        split in 1usize..5,
+    ) {
+        use sofos_maintain::{PlanIndexMode, RowDelta};
+        use sofos_store::ShardRouter;
+        let agg = AggOp::Avg; // SUM+COUNT components exercise both patch paths
+        let facet = facet(3, agg);
+        let masks = [ViewMask(0b111), ViewMask(0b010), ViewMask::APEX];
+        let router = ShardRouter::new(shards);
+
+        let mut walk_ds = Dataset::new();
+        let mut bitmap_ds = Dataset::new();
+        let mut walk_catalog = Vec::new();
+        let mut bitmap_catalog = Vec::new();
+        for &mask in &masks {
+            let v = materialize_view(&mut walk_ds, &facet, mask).unwrap();
+            walk_catalog.push((mask, v.stats.rows));
+            let v = materialize_view(&mut bitmap_ds, &facet, mask).unwrap();
+            bitmap_catalog.push((mask, v.stats.rows));
+        }
+        let mut walk = Maintainer::new(&facet);
+        walk.set_index_mode(PlanIndexMode::RunWalk);
+        let mut bitmap = Maintainer::new(&facet);
+        assert_eq!(bitmap.index_mode(), PlanIndexMode::Bitmap, "bitmap is the default");
+
+        // Deltas are rebuilt per dataset so both intern identically.
+        let build_delta = |ops: &[(bool, Vec<u8>, i64)], next: &mut usize, live: &mut Vec<Option<(Vec<u8>, i64)>>| {
+            let mut delta = Delta::new();
+            for (insert, dims, measure) in ops {
+                if *insert {
+                    let label = format!("p{next}");
+                    obs_delta(&mut delta, &label, dims, *measure);
+                    live.push(Some((dims.clone(), *measure)));
+                    *next += 1;
+                } else if !live.is_empty() {
+                    let slot = (*measure).unsigned_abs() as usize % live.len();
+                    if let Some((dims, measure)) = live[slot].take() {
+                        obs_delete(&mut delta, &format!("p{slot}"), &dims, measure);
+                    }
+                }
+            }
+            delta
+        };
+
+        let (mut next_a, mut live_a) = (0usize, Vec::new());
+        let (mut next_b, mut live_b) = (0usize, Vec::new());
+        for chunk in batches.chunks(batch_size) {
+            // Both sides coalesce the chunk and run one pipelined pass;
+            // only the index mode (and the bitmap side's split) differ.
+            let mut merged_a = RowDelta::default();
+            for ops in chunk {
+                let delta = build_delta(ops, &mut next_a, &mut live_a);
+                let outcome = walk.apply_sharded(&mut walk_ds, delta, &router, threads);
+                merged_a.merge(outcome.outcome.rows.as_ref().expect("star facet"));
+            }
+            walk.maintain_pipelined(&mut walk_ds, Some(&merged_a), &mut walk_catalog, threads)
+                .expect("run-walk maintenance succeeds");
+
+            let mut merged_b = RowDelta::default();
+            for ops in chunk {
+                let delta = build_delta(ops, &mut next_b, &mut live_b);
+                let outcome = bitmap.apply_sharded(&mut bitmap_ds, delta, &router, threads);
+                merged_b.merge(outcome.outcome.rows.as_ref().expect("star facet"));
+            }
+            bitmap
+                .maintain_pipelined_split(
+                    &mut bitmap_ds, Some(&merged_b), &mut bitmap_catalog, threads, split,
+                )
+                .expect("bitmap maintenance succeeds");
+
+            for &mask in &masks {
+                prop_assert_eq!(
+                    view_signature(&walk_ds, &facet, mask),
+                    view_signature(&bitmap_ds, &facet, mask),
+                    "shards={} threads={} split={} view {} diverged",
+                    shards, threads, split, mask
+                );
+            }
+        }
+        prop_assert_eq!(walk_catalog, bitmap_catalog);
+    }
+
     /// The acceptance property: for random update batches, incrementally
     /// maintained view graphs equal views re-materialized from scratch —
     /// for all five aggregation operators.

@@ -224,6 +224,18 @@ fn end_to_end_read_your_write_over_keep_alive() {
         body.contains("sofos_http_requests_total"),
         "server metrics exported"
     );
+    assert!(
+        body.contains("sofos_index_bytes"),
+        "posting-list index footprint exported: {body}"
+    );
+    assert!(
+        body.contains("sofos_index_posting_lists"),
+        "posting-list count exported: {body}"
+    );
+    assert!(
+        body.contains("sofos_index_updates_total"),
+        "index update counter exported: {body}"
+    );
 
     // Unknown endpoints and bad bodies answer without closing the server.
     let (status, _) = roundtrip(&mut stream, "GET", "/nope", "", true);

@@ -304,6 +304,29 @@ impl Dataset {
                 .sum::<usize>()
     }
 
+    /// Register predicates for per-(predicate, value) posting lists on
+    /// one graph (see [`crate::posting`]). No-op when the graph does not
+    /// exist; idempotent when it does.
+    pub fn register_value_preds(&mut self, graph: GraphName, preds: &[TermId]) {
+        let store = match graph {
+            None => Some(&mut self.default_graph),
+            Some(name) => self.named.get_mut(name),
+        };
+        if let Some(store) = store {
+            store.register_value_preds(preds);
+        }
+    }
+
+    /// Posting-list observability figures summed across the default and
+    /// all named graphs (the `sofos_index_*` gauges read this).
+    pub fn posting_stats(&self) -> crate::posting::PostingStats {
+        let mut total = self.default_graph.posting_stats();
+        for store in self.named.values() {
+            total.merge(store.posting_stats());
+        }
+        total
+    }
+
     /// Force-merge all graphs' index deltas.
     pub fn optimize(&mut self) {
         self.default_graph.optimize();
@@ -412,6 +435,28 @@ mod tests {
         let before = ds.estimated_bytes();
         ds.insert(None, &term("subject"), &term("predicate"), &term("object"));
         assert!(ds.estimated_bytes() > before);
+    }
+
+    #[test]
+    fn posting_stats_aggregate_across_graphs() {
+        let mut ds = Dataset::new();
+        ds.insert(None, &term("s"), &term("p"), &term("o"));
+        let g1 = ds.intern_iri("http://e/g1");
+        ds.insert(Some(g1), &term("s2"), &term("p"), &term("o"));
+        let base_only = ds.posting_stats();
+        assert_eq!(base_only.posting_lists, 2, "one pred list per graph");
+        assert!(base_only.updates >= 2);
+
+        let p = ds.dict().get_id(&term("p")).unwrap();
+        ds.register_value_preds(Some(g1), &[p]);
+        let with_values = ds.posting_stats();
+        assert_eq!(with_values.posting_lists, 3, "plus one value list");
+        assert!(with_values.bytes > 0);
+
+        // Registering on a missing graph is a quiet no-op.
+        let ghost = ds.intern_iri("http://e/ghost");
+        ds.register_value_preds(Some(ghost), &[p]);
+        assert_eq!(ds.posting_stats().posting_lists, 3);
     }
 
     #[test]

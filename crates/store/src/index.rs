@@ -20,7 +20,9 @@
 //! | s ? o      | OSP   | `[o, s]`    |
 //! | ? ? ?      | SPO   | `[]`        |
 
+use crate::bitmap::Bitmap;
 use crate::pattern::{EncodedTriple, IdPattern};
+use crate::posting::{PostingLists, PostingStats};
 use sofos_rdf::TermId;
 use std::collections::BTreeSet;
 use std::sync::Arc;
@@ -265,12 +267,17 @@ impl<'a> Iterator for PrefixScan<'a> {
     }
 }
 
-/// One RDF graph: three permutation indexes plus a triple count.
+/// One RDF graph: three permutation indexes, posting lists, and a triple
+/// count.
 #[derive(Debug, Clone)]
 pub struct GraphStore {
     spo: PermIndex,
     pos: PermIndex,
     osp: PermIndex,
+    /// Bitmap posting lists (per-predicate subjects, registered
+    /// per-value subjects), maintained by every mutation below — see
+    /// [`crate::posting`].
+    posting: PostingLists,
     len: usize,
 }
 
@@ -287,6 +294,7 @@ impl GraphStore {
             spo: PermIndex::new(Perm::Spo),
             pos: PermIndex::new(Perm::Pos),
             osp: PermIndex::new(Perm::Osp),
+            posting: PostingLists::default(),
             len: 0,
         }
     }
@@ -299,6 +307,7 @@ impl GraphStore {
         self.spo.insert(triple);
         self.pos.insert(triple);
         self.osp.insert(triple);
+        self.posting.note_insert(&triple);
         self.len += 1;
         true
     }
@@ -311,6 +320,10 @@ impl GraphStore {
         self.spo.remove(triple);
         self.pos.remove(triple);
         self.osp.remove(triple);
+        // The subject leaves the predicate's posting bitmap only when no
+        // (s, p, *) triple survives — multi-valued predicates keep it.
+        let last = self.spo.count_prefix(&triple[..2]) == 0;
+        self.posting.note_remove(triple, last);
         self.len -= 1;
         true
     }
@@ -323,6 +336,7 @@ impl GraphStore {
         self.spo.bulk_load(&triples);
         self.pos.bulk_load(&triples);
         self.osp.bulk_load(&triples);
+        self.posting.rebuild(&triples);
     }
 
     /// Membership test.
@@ -363,15 +377,28 @@ impl GraphStore {
     }
 
     /// Exact number of matches for a pattern, computed from index ranges
-    /// without materializing results.
+    /// without materializing results. Pure-predicate shapes short-circuit
+    /// through the posting lists: `(?, p, ?)` reads the maintained triple
+    /// count and `(?, p, o)` on a registered predicate reads a bitmap
+    /// cardinality — both O(1) after the hash lookup, no range scan.
     pub fn count(&self, pattern: IdPattern) -> usize {
         match (pattern.s, pattern.p, pattern.o) {
             (Some(s), Some(p), Some(o)) => self.spo.count_prefix(&[s, p, o]),
             (Some(s), Some(p), None) => self.spo.count_prefix(&[s, p]),
             (Some(s), None, Some(o)) => self.osp.count_prefix(&[o, s]),
             (Some(s), None, None) => self.spo.count_prefix(&[s]),
-            (None, Some(p), Some(o)) => self.pos.count_prefix(&[p, o]),
-            (None, Some(p), None) => self.pos.count_prefix(&[p]),
+            (None, Some(p), Some(o)) => {
+                if self.posting.is_registered(p) {
+                    // (s, p, o) is unique, so the subjects-with-value
+                    // bitmap's cardinality IS the triple count.
+                    self.posting
+                        .value_subjects(p, o)
+                        .map_or(0, |bm| bm.cardinality() as usize)
+                } else {
+                    self.pos.count_prefix(&[p, o])
+                }
+            }
+            (None, Some(p), None) => self.posting.triples_for(p) as usize,
             (None, None, Some(o)) => self.osp.count_prefix(&[o]),
             (None, None, None) => self.len,
         }
@@ -382,10 +409,51 @@ impl GraphStore {
         self.scan(IdPattern::ANY)
     }
 
-    /// Heap footprint estimate across the three indexes (index side of the
-    /// storage-amplification accounting).
+    /// Heap footprint estimate across the three indexes plus the posting
+    /// lists (index side of the storage-amplification accounting).
     pub fn estimated_bytes(&self) -> usize {
-        self.spo.estimated_bytes() + self.pos.estimated_bytes() + self.osp.estimated_bytes()
+        self.spo.estimated_bytes()
+            + self.pos.estimated_bytes()
+            + self.osp.estimated_bytes()
+            + self.posting.stats().bytes
+    }
+
+    // --- posting-list surface -------------------------------------------
+
+    /// Register predicates for per-(predicate, value) posting lists,
+    /// backfilling from existing triples. Idempotent; already-registered
+    /// predicates cost one hash probe.
+    pub fn register_value_preds(&mut self, preds: &[TermId]) {
+        for pred in self.posting.register(preds) {
+            let pairs: Vec<(TermId, TermId)> = self
+                .pos
+                .scan_prefix(&[pred])
+                .map(|[s, _, o]| (s, o))
+                .collect();
+            self.posting.backfill(pred, pairs.into_iter());
+        }
+    }
+
+    /// Whether `pred` is registered for per-value posting lists.
+    pub fn has_value_pred(&self, pred: TermId) -> bool {
+        self.posting.is_registered(pred)
+    }
+
+    /// Subjects with at least one triple under `pred` (always maintained).
+    pub fn pred_subjects(&self, pred: TermId) -> Option<&Bitmap> {
+        self.posting.subjects(pred)
+    }
+
+    /// Subjects holding object `value` under *registered* `pred` —
+    /// `None` means no subject does (or the predicate is unregistered;
+    /// check [`GraphStore::has_value_pred`] first).
+    pub fn value_subjects(&self, pred: TermId, value: TermId) -> Option<&Bitmap> {
+        self.posting.value_subjects(pred, value)
+    }
+
+    /// Posting-list observability figures for this graph.
+    pub fn posting_stats(&self) -> PostingStats {
+        self.posting.stats()
     }
 }
 
@@ -570,6 +638,84 @@ mod tests {
         }
         assert!(g.estimated_bytes() > empty);
     }
+
+    #[test]
+    fn posting_lists_track_subjects_per_predicate() {
+        let mut g = GraphStore::new();
+        g.insert(t(1, 10, 100));
+        g.insert(t(1, 10, 101)); // multi-valued leg
+        g.insert(t(2, 10, 100));
+        g.insert(t(3, 11, 100));
+
+        let subjects = g.pred_subjects(TermId(10)).unwrap();
+        assert_eq!(subjects.cardinality(), 2);
+        assert!(subjects.contains(1) && subjects.contains(2));
+        assert!(g.pred_subjects(TermId(12)).is_none());
+
+        // Removing one of subject 1's two values keeps it listed; removing
+        // the last drops it.
+        g.remove(&t(1, 10, 100));
+        assert!(g.pred_subjects(TermId(10)).unwrap().contains(1));
+        g.remove(&t(1, 10, 101));
+        assert!(!g.pred_subjects(TermId(10)).unwrap().contains(1));
+    }
+
+    #[test]
+    fn value_pred_registration_backfills_and_tracks() {
+        let mut g = GraphStore::new();
+        g.insert(t(1, 10, 100));
+        g.insert(t(2, 10, 100));
+        assert!(!g.has_value_pred(TermId(10)));
+        assert!(g.value_subjects(TermId(10), TermId(100)).is_none());
+
+        g.register_value_preds(&[TermId(10)]);
+        assert!(g.has_value_pred(TermId(10)));
+        let bm = g.value_subjects(TermId(10), TermId(100)).unwrap();
+        assert!(
+            bm.contains(1) && bm.contains(2),
+            "backfill covers old triples"
+        );
+
+        g.insert(t(3, 10, 100));
+        g.remove(&t(1, 10, 100));
+        let bm = g.value_subjects(TermId(10), TermId(100)).unwrap();
+        assert!(!bm.contains(1) && bm.contains(3), "incremental upkeep");
+
+        // The registered count fast path stays exact.
+        let pat = IdPattern::new(None, Some(TermId(10)), Some(TermId(100)));
+        assert_eq!(g.count(pat), g.scan(pat).count());
+    }
+
+    #[test]
+    fn posting_bytes_are_included_in_estimate() {
+        let mut g = GraphStore::new();
+        for i in 0..100u32 {
+            g.insert(t(i, 1, i % 5));
+        }
+        let without_values = g.estimated_bytes();
+        g.register_value_preds(&[TermId(1)]);
+        assert!(g.posting_stats().posting_lists > 1);
+        assert!(
+            g.estimated_bytes() > without_values,
+            "value posting lists show up in the memory estimate"
+        );
+    }
+
+    #[test]
+    fn bulk_load_rebuilds_posting_lists() {
+        let mut g = GraphStore::new();
+        g.register_value_preds(&[TermId(10)]);
+        g.insert(t(9, 9, 9));
+        g.bulk_load(vec![t(1, 10, 100), t(2, 10, 101)]);
+        assert!(g.pred_subjects(TermId(9)).is_none(), "old lists are gone");
+        assert_eq!(g.pred_subjects(TermId(10)).unwrap().cardinality(), 2);
+        assert!(
+            g.value_subjects(TermId(10), TermId(101))
+                .unwrap()
+                .contains(2),
+            "registration survives the bulk load"
+        );
+    }
 }
 
 #[cfg(test)]
@@ -629,6 +775,11 @@ mod proptests {
             pattern in arb_pattern(),
         ) {
             let mut g = GraphStore::new();
+            // Register every predicate the generator can mint so the
+            // per-value posting lists (and their count fast path) are
+            // exercised across the whole mutation sequence.
+            let preds: Vec<TermId> = (0u32..6).map(TermId).collect();
+            g.register_value_preds(&preds);
             let mut model: std::collections::BTreeSet<EncodedTriple> =
                 std::collections::BTreeSet::new();
             for (is_insert, triple, merge_after) in ops {
@@ -650,6 +801,21 @@ mod proptests {
             actual.sort_unstable();
             prop_assert_eq!(&actual, &expected);
             prop_assert_eq!(g.count(pattern), expected.len());
+
+            // The posting lists stayed consistent with the model: exact
+            // per-predicate triple counts and subject bitmaps.
+            for &p in &preds {
+                let triples: Vec<&EncodedTriple> =
+                    model.iter().filter(|t| t[1] == p).collect();
+                prop_assert_eq!(g.count(IdPattern::new(None, Some(p), None)), triples.len());
+                let subjects: std::collections::BTreeSet<u32> =
+                    triples.iter().map(|t| t[0].0).collect();
+                let bitmap: std::collections::BTreeSet<u32> = g
+                    .pred_subjects(p)
+                    .map(|bm| bm.iter().collect())
+                    .unwrap_or_default();
+                prop_assert_eq!(bitmap, subjects);
+            }
         }
 
         /// Bulk load and incremental insert build identical stores.

@@ -9,6 +9,11 @@
 //!   pair of a sorted run plus a B-tree delta, merged when the delta grows.
 //!   Together they answer all eight triple-pattern binding shapes with
 //!   prefix range scans (see [`pattern`]);
+//! * [`bitmap::Bitmap`] is a vendored roaring-style compressed bitmap;
+//!   [`posting::PostingLists`] builds per-predicate and per-(predicate,
+//!   value) subject bitmaps on it inside every [`GraphStore`], maintained
+//!   incrementally by the store's own mutation paths and never persisted
+//!   (derived state, rebuilt from triples on recovery);
 //! * a [`Dataset`] is the paper's expanded graph `G+`: the base graph plus
 //!   one named graph per materialized view, all sharing one dictionary;
 //! * [`stats::GraphStats`] aggregates per-predicate cardinalities used by
@@ -25,6 +30,7 @@
 //!   partitioned across subject-hash [`shard::ShardRouter`] shards (see
 //!   `crates/store/README.md` for the pin → publish → retire lifecycle).
 
+pub mod bitmap;
 pub mod dataset;
 pub mod delta;
 pub mod epoch;
@@ -33,9 +39,11 @@ pub mod index;
 pub mod inference;
 pub mod pattern;
 pub mod persist;
+pub mod posting;
 pub mod shard;
 pub mod stats;
 
+pub use bitmap::Bitmap;
 pub use dataset::{Dataset, GraphName};
 pub use delta::{ChangeSet, Delta, DeltaOp, GraphChanges, OpKind};
 pub use epoch::{BatchWriteTxn, EpochStore, PinnedSnapshot, PreparedTxn, Snapshot, WriteTxn};
@@ -44,5 +52,6 @@ pub use index::{GraphStore, Perm};
 pub use inference::{materialize_rdfs, InferenceStats};
 pub use pattern::{EncodedTriple, IdPattern};
 pub use persist::{DurabilityConfig, PersistError, PersistStats, Persister, Recovered};
+pub use posting::{PostingLists, PostingStats};
 pub use shard::ShardRouter;
 pub use stats::{GraphStats, PredicateStats, StatsTracker};

@@ -30,6 +30,13 @@ pub struct UpdateStreamConfig {
     /// Zipf exponent over each dimension's existing values (inserts) and
     /// over deletion targets; `0` is uniform.
     pub skew: f64,
+    /// Zipf exponent over *finest-group keys* (full dimension-value
+    /// tuples observed in the live data). When `> 0`, inserts sample a
+    /// whole existing group and reuse its dimension tuple, concentrating
+    /// churn on hot groups; `0` keeps the per-dimension sampling above.
+    /// Falls back to per-dimension sampling when no complete group has
+    /// been observed yet.
+    pub group_skew: f64,
     /// Measure values are drawn uniformly from this range.
     pub measure_range: std::ops::Range<i64>,
     /// RNG seed.
@@ -43,6 +50,7 @@ impl Default for UpdateStreamConfig {
             batch_size: 8,
             insert_ratio: 0.6,
             skew: 0.8,
+            group_skew: 0.0,
             measure_range: 1..1000,
             seed: 23,
         }
@@ -113,6 +121,14 @@ pub fn generate_update_stream(
     // snapshot, then simulated forward as the stream is generated.
     let mut live: Vec<(Term, Vec<(Term, Term)>)> = live_observations(dataset, &preds);
 
+    // Finest-group keys — complete dimension-value tuples observed in the
+    // live data, in (deterministic) discovery order. Under `group_skew`
+    // inserts reuse a zipf-chosen tuple wholesale, so churn concentrates
+    // on hot groups rather than hot per-dimension values.
+    let group_keys: Vec<Vec<Term>> = finest_groups(&live, &preds);
+    let group_sampler: Option<Zipf> = (config.group_skew > 0.0 && !group_keys.is_empty())
+        .then(|| Zipf::new(group_keys.len(), config.group_skew));
+
     let mut out = Vec::with_capacity(config.batches);
     let mut fresh = 0usize;
     for _ in 0..config.batches {
@@ -126,13 +142,22 @@ pub fn generate_update_stream(
                 let node = Term::blank(format!("upd{}_{}", config.seed, fresh));
                 fresh += 1;
                 let mut triples: Vec<(Term, Term)> = Vec::with_capacity(preds.dims.len() + 1);
-                for (d, pred) in preds.dims.iter().enumerate() {
-                    let value = match (&dim_samplers[d], values[d].as_slice()) {
-                        (Some(zipf), pool) => pool[zipf.sample(&mut rng)].clone(),
-                        // A dimension with no observed values yet: mint one.
-                        (None, _) => Term::iri(format!("http://sofos.example/update-value/d{d}")),
-                    };
-                    triples.push((pred.clone(), value));
+                if let Some(zipf) = &group_sampler {
+                    let key = &group_keys[zipf.sample(&mut rng)];
+                    for (pred, value) in preds.dims.iter().zip(key) {
+                        triples.push((pred.clone(), value.clone()));
+                    }
+                } else {
+                    for (d, pred) in preds.dims.iter().enumerate() {
+                        let value = match (&dim_samplers[d], values[d].as_slice()) {
+                            (Some(zipf), pool) => pool[zipf.sample(&mut rng)].clone(),
+                            // A dimension with no observed values yet: mint one.
+                            (None, _) => {
+                                Term::iri(format!("http://sofos.example/update-value/d{d}"))
+                            }
+                        };
+                        triples.push((pred.clone(), value));
+                    }
                 }
                 let measure = rng.gen_range(config.measure_range.clone());
                 triples.push((preds.measure.clone(), Term::literal_int(measure)));
@@ -155,6 +180,27 @@ pub fn generate_update_stream(
         out.push(delta);
     }
     out
+}
+
+/// Distinct complete dimension-value tuples among the live observations,
+/// in discovery order (live observations are subject-sorted, so the order
+/// is deterministic). Observations missing a dimension are skipped.
+fn finest_groups(live: &[(Term, Vec<(Term, Term)>)], preds: &FacetPreds) -> Vec<Vec<Term>> {
+    let mut seen: FxHashMap<Vec<Term>, ()> = FxHashMap::default();
+    let mut keys = Vec::new();
+    'obs: for (_, triples) in live {
+        let mut key = Vec::with_capacity(preds.dims.len());
+        for pred in &preds.dims {
+            match triples.iter().find(|(p, _)| p == pred) {
+                Some((_, value)) => key.push(value.clone()),
+                None => continue 'obs,
+            }
+        }
+        if seen.insert(key.clone(), ()).is_none() {
+            keys.push(key);
+        }
+    }
+    keys
 }
 
 /// All current observations with their facet triples.
@@ -310,6 +356,64 @@ mod tests {
         );
         let r = sofos_sparql::Evaluator::new(&ds).evaluate(&q).unwrap();
         assert_eq!(r.len(), 1);
+    }
+
+    #[test]
+    fn group_skew_reuses_whole_existing_tuples() {
+        let (ds, facet) = setup();
+        let preds = facet_preds(&facet).expect("constant predicates");
+        let existing = finest_groups(&live_observations(&ds, &preds), &preds);
+        assert!(!existing.is_empty(), "seed data has complete groups");
+
+        let stream = generate_update_stream(
+            &ds,
+            &facet,
+            &UpdateStreamConfig {
+                batches: 30,
+                batch_size: 10,
+                insert_ratio: 1.0,
+                group_skew: 1.4,
+                ..Default::default()
+            },
+        );
+        // Reassemble each inserted observation's dimension tuple.
+        let mut tuples: std::collections::HashMap<String, Vec<(Term, Term)>> = Default::default();
+        for delta in &stream {
+            for op in delta.ops() {
+                let [s, p, o] = &op.triple;
+                if preds.dims.contains(p) {
+                    tuples
+                        .entry(format!("{s:?}"))
+                        .or_default()
+                        .push((p.clone(), o.clone()));
+                }
+            }
+        }
+        let mut counts: std::collections::HashMap<Vec<Term>, usize> = Default::default();
+        for pairs in tuples.values() {
+            let key: Vec<Term> = preds
+                .dims
+                .iter()
+                .map(|pred| {
+                    pairs
+                        .iter()
+                        .find(|(p, _)| p == pred)
+                        .map(|(_, o)| o.clone())
+                        .expect("complete star")
+                })
+                .collect();
+            assert!(
+                existing.contains(&key),
+                "group-skewed inserts reuse an observed tuple: {key:?}"
+            );
+            *counts.entry(key).or_default() += 1;
+        }
+        let total: usize = counts.values().sum();
+        let max = counts.values().copied().max().unwrap_or(0);
+        assert!(
+            max * 3 > total,
+            "hot group should dominate under group_skew 1.4"
+        );
     }
 
     #[test]
