@@ -120,6 +120,19 @@ fn is_volatile_field(key: &str) -> bool {
         "split_deepest_plan_us",
         "split_speedup",
         "cores",
+        // E14 (selection at scale): selector walls and their quotient are
+        // machine-paced, and the anytime search's move/restart/pricing
+        // counters shift whenever the search internals are tuned — the
+        // deterministic costs (`greedy_cost`, `local_cost`), the
+        // `quality_ratio`, and the verdict booleans (`quality_ok`,
+        // `wall_ok`, `budget_exhausted`, `converged`) carry the gate.
+        "greedy_wall_us",
+        "local_wall_us",
+        "wall_ratio",
+        "moves_tried",
+        "moves_accepted",
+        "restarts",
+        "views_priced",
     ];
     VOLATILE.contains(&key) || key.starts_with("adaptive_beats_")
 }

@@ -45,7 +45,8 @@ fn main() {
         let mut rows = Vec::new();
         for k in 1..=max_k {
             let oracle =
-                exhaustive_select(&ctx, &sized_lattice.lattice, &judge, &profile, k, 1_000_000);
+                exhaustive_select(&ctx, &sized_lattice.lattice, &judge, &profile, k, 1_000_000)
+                    .expect("challenge lattices stay under the exhaustive caps");
             let mut row = vec![k.to_string()];
             for kind in CostModelKind::ALL {
                 let (model, _, _) = build_model(kind, &sized_lattice, &config);

@@ -17,6 +17,9 @@
 //! | E9 concurrent serving        | `e9_concurrency`  | — |
 //! | E10 two-phase pipeline       | `e10_pipeline`    | — |
 //! | E11 network serving          | `e11_serving`     | — |
+//! | E12 durability               | `e12_durability`  | — |
+//! | E13 bitmap scan planning     | `e13_bitmap_scan` | — |
+//! | E14 selection at scale       | `e14_select_scale`| — |
 //! | CI bench-regression gate     | `bench_diff`      | — |
 //! | substrate micro-benches      | —                 | `benches/store.rs`, `benches/sparql.rs` |
 //!

@@ -21,8 +21,12 @@ use crate::policy::total_variation;
 use crate::timing::measure_once;
 use sofos_cost::{CalibratedMaintenance, CostModelKind};
 use sofos_rdf::FxHashMap;
-use sofos_select::{greedy_select_with, Objective, SelectionOutcome, WorkloadProfile};
+use sofos_select::{
+    greedy_select_with, local_search_select_with, LocalSearchConfig, Objective, SearchBudget,
+    SearchReport, SelectionOutcome, WorkloadProfile,
+};
 use sofos_sparql::SparqlError;
+use std::sync::Arc;
 
 /// Measures how far the live workload has drifted from the profile the
 /// current selection was optimized for.
@@ -167,6 +171,9 @@ pub struct ReselectionReport {
     pub sizing_refreshed: bool,
     /// Wall time of the selection algorithm (µs).
     pub selection_us: u64,
+    /// What the anytime local search did, when the pass ran under a
+    /// [`Reselector::with_anytime_budget`]; `None` for greedy passes.
+    pub search: Option<SearchReport>,
 }
 
 impl ReselectionReport {
@@ -185,10 +192,17 @@ impl ReselectionReport {
             .iter()
             .map(|m| m.0.to_string())
             .collect();
+        let search = match &self.search {
+            None => String::new(),
+            Some(s) => format!(
+                ",\"moves_tried\":{},\"moves_accepted\":{},\"restarts\":{},\"converged\":{}",
+                s.moves_tried, s.moves_accepted, s.restarts, s.converged
+            ),
+        };
         format!(
             "{{\"drift\":{},\"locality_drift\":{},\"selected\":[{}],\"added\":{},\
              \"retired\":{},\"kept\":{},\"sizing_us\":{},\"sizing_refreshed\":{},\
-             \"selection_us\":{},\"materialize_us\":{},\"drop_us\":{},\"overhead_us\":{}}}",
+             \"selection_us\":{},\"materialize_us\":{},\"drop_us\":{},\"overhead_us\":{}{}}}",
             self.drift,
             self.locality_drift,
             masks.join(","),
@@ -200,7 +214,8 @@ impl ReselectionReport {
             self.selection_us,
             self.churn.materialize_us,
             self.churn.drop_us,
-            self.overhead_us()
+            self.overhead_us(),
+            search
         )
     }
 }
@@ -217,7 +232,52 @@ impl std::fmt::Display for ReselectionReport {
             self.churn.retired.len(),
             self.churn.kept.len(),
             self.overhead_us()
-        )
+        )?;
+        if let Some(s) = &self.search {
+            write!(
+                f,
+                " [anytime: {} moves, {} accepted, {} restarts, {}]",
+                s.moves_tried,
+                s.moves_accepted,
+                s.restarts,
+                if s.converged {
+                    "converged"
+                } else {
+                    "truncated"
+                }
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// Budget for anytime re-selection passes ([`Reselector::with_anytime_budget`]):
+/// a move cap and/or a wall deadline. The deadline is measured from pass
+/// start on the engine's injected [`crate::policy::Clock`], so serving
+/// budgets hold and `ManualClock` tests stay deterministic.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AnytimeBudget {
+    /// Cap on local-search moves per pass (`None` = uncapped).
+    pub max_moves: Option<u64>,
+    /// Wall budget per pass in clock milliseconds (`None` = no deadline).
+    pub deadline_ms: Option<u64>,
+}
+
+impl AnytimeBudget {
+    /// A move-capped budget.
+    pub fn moves(max_moves: u64) -> AnytimeBudget {
+        AnytimeBudget {
+            max_moves: Some(max_moves),
+            deadline_ms: None,
+        }
+    }
+
+    /// A wall-deadline budget (milliseconds from pass start).
+    pub fn deadline_ms(deadline_ms: u64) -> AnytimeBudget {
+        AnytimeBudget {
+            max_moves: None,
+            deadline_ms: Some(deadline_ms),
+        }
     }
 }
 
@@ -242,6 +302,7 @@ pub struct Reselector {
     calibrated: bool,
     locality: bool,
     sizing_cache: Option<crate::offline::SizedLattice>,
+    anytime: Option<AnytimeBudget>,
     reselections: usize,
 }
 
@@ -267,8 +328,23 @@ impl Reselector {
             calibrated: false,
             locality: false,
             sizing_cache: None,
+            anytime: None,
             reselections: 0,
         }
+    }
+
+    /// Re-select with the anytime local search
+    /// ([`sofos_select::local_search_select_with`]) instead of the full
+    /// greedy: seeded from the engine's *current catalog*, improving
+    /// within `budget` — so adaptive re-selection fits inside a serving
+    /// deadline even at lattice scales where a greedy pass would blow it.
+    /// The resulting [`SearchReport`] lands on
+    /// [`ReselectionReport::search`] and the
+    /// `sofos_select_moves_total` / `sofos_select_restarts_total`
+    /// counters.
+    pub fn with_anytime_budget(mut self, budget: AnytimeBudget) -> Reselector {
+        self.anytime = Some(budget);
+        self
     }
 
     /// Also fire on update-*locality* drift: when the per-group churn
@@ -421,14 +497,43 @@ impl Reselector {
         } else {
             Objective::query_only(query_model.as_ref())
         };
-        let (selection_us, selection) = measure_once(|| {
-            greedy_select_with(
-                &ctx,
-                &sized.lattice,
-                &objective,
-                &profile,
-                self.config.budget,
-            )
+        let (selection_us, (selection, search)) = measure_once(|| match self.anytime {
+            None => (
+                greedy_select_with(
+                    &ctx,
+                    &sized.lattice,
+                    &objective,
+                    &profile,
+                    self.config.budget,
+                ),
+                None,
+            ),
+            Some(budget) => {
+                let mut search = SearchBudget::unlimited();
+                if let Some(max_moves) = budget.max_moves {
+                    search = search.with_moves(max_moves);
+                }
+                if let Some(deadline_ms) = budget.deadline_ms {
+                    let clock = engine.clock();
+                    let deadline = clock.now_ms().saturating_add(deadline_ms);
+                    search = search.with_deadline(Arc::new(move || clock.now_ms()), deadline);
+                }
+                let config = LocalSearchConfig {
+                    rng_seed: self.config.seed,
+                    initial: Some(engine.views().iter().map(|&(mask, _)| mask).collect()),
+                    ..LocalSearchConfig::default()
+                };
+                let (outcome, report) = local_search_select_with(
+                    &ctx,
+                    &sized.lattice,
+                    &objective,
+                    &profile,
+                    self.config.budget,
+                    &config,
+                    &search,
+                );
+                (outcome, Some(report))
+            }
         });
 
         let churn = engine.swap_views(&selection.selected)?;
@@ -450,8 +555,20 @@ impl Reselector {
             sizing_us,
             sizing_refreshed,
             selection_us,
+            search,
         };
-        crate::metrics::record_reselection(engine.metrics(), engine.now_ms(), report.to_string());
+        let (moves, restarts) = report
+            .search
+            .as_ref()
+            .map_or((0, 0), |s| (s.moves_tried, s.restarts));
+        crate::metrics::record_reselection(
+            engine.metrics(),
+            engine.now_ms(),
+            report.overhead_us(),
+            moves,
+            restarts,
+            report.to_string(),
+        );
         Ok(report)
     }
 }
@@ -773,6 +890,126 @@ mod tests {
         assert_eq!(reselector.reselections(), 1);
         // Re-anchored: the same hotspot no longer reads as drift.
         assert!(reselector.check(&engine).unwrap().is_none());
+    }
+
+    #[test]
+    fn anytime_reselection_improves_within_a_move_budget_on_both_backends() {
+        for backend in [
+            Backend::Serial,
+            Backend::Epoch {
+                shards: 2,
+                threads: 2,
+            },
+        ] {
+            let engine = engine_setup(StalenessPolicy::Eager, backend);
+            engine.swap_views(&[ViewMask::APEX]).unwrap();
+            let apex_profile = WorkloadProfile::from_masks([ViewMask::APEX]);
+            let mut reselector = Reselector::new(
+                CostModelKind::AggValues,
+                EngineConfig::default(),
+                0.0,
+                &apex_profile,
+                0.5,
+            )
+            .with_anytime_budget(AnytimeBudget::moves(2_000));
+
+            let base_mask = ViewMask::full(engine.facet().dim_count());
+            let q = facet_query(engine.facet(), base_mask, AggOp::Sum, vec![]);
+            for _ in 0..6 {
+                engine.query(&q).unwrap();
+            }
+            let report = reselector
+                .check(&engine)
+                .unwrap()
+                .expect("disjoint demand triggers re-selection");
+            let search = report.search.as_ref().expect("anytime pass reports search");
+            assert!(search.moves_tried <= 2_000, "{backend}");
+            assert!(
+                search.final_cost <= search.seed_cost,
+                "{backend}: never worse than the catalog seed"
+            );
+            assert!(
+                report
+                    .selection
+                    .selected
+                    .iter()
+                    .any(|v| v.covers(base_mask)),
+                "{backend}: local search finds the hot demand: {:?}",
+                report.selection.selected
+            );
+            let line = report.to_string();
+            assert!(line.contains("anytime:"), "{line}");
+            assert!(report.to_json_string().contains("\"moves_tried\":"));
+
+            // The pass lands on the adaptive instruments.
+            let snap = engine.metrics().snapshot();
+            assert_eq!(snap.counter_value("sofos_reselections_total", &[]), Some(1));
+            assert!(
+                snap.counter_value("sofos_select_moves_total", &[]).unwrap() > 0,
+                "{backend}"
+            );
+        }
+    }
+
+    #[test]
+    fn anytime_deadline_on_a_frozen_clock_returns_the_catalog_seed() {
+        use crate::policy::{Clock, ManualClock};
+        use std::sync::Arc;
+
+        let g = synthetic::generate(&synthetic::Config {
+            observations: 120,
+            agg: AggOp::Avg,
+            ..synthetic::Config::default()
+        });
+        let facet = g.facets[0].clone();
+        let mut ds = g.dataset;
+        let sized = SizedLattice::compute(&ds, &facet).unwrap();
+        let profile = WorkloadProfile::uniform(&sized.lattice);
+        let offline = run_offline(
+            &mut ds,
+            &sized,
+            &profile,
+            CostModelKind::AggValues,
+            &EngineConfig::default(),
+        )
+        .unwrap();
+        let clock = ManualClock::shared(0);
+        let engine = Engine::builder()
+            .dataset(ds)
+            .facet(facet)
+            .catalog(offline.view_catalog())
+            .clock(clock.clone() as Arc<dyn Clock>)
+            .build()
+            .unwrap();
+        engine.swap_views(&[ViewMask::APEX]).unwrap();
+
+        // A zero-ms deadline off a frozen clock expires before the first
+        // proposal: the pass must come back with the (valid) catalog seed
+        // — the interrupt-at-deadline contract, deterministic under
+        // ManualClock.
+        let apex_profile = WorkloadProfile::from_masks([ViewMask::APEX]);
+        let mut reselector = Reselector::new(
+            CostModelKind::AggValues,
+            EngineConfig::default(),
+            0.0,
+            &apex_profile,
+            0.5,
+        )
+        .with_anytime_budget(AnytimeBudget::deadline_ms(0));
+        let base_mask = ViewMask::full(engine.facet().dim_count());
+        let q = facet_query(engine.facet(), base_mask, AggOp::Sum, vec![]);
+        for _ in 0..4 {
+            engine.query(&q).unwrap();
+        }
+        let report = reselector.reselect(&engine).unwrap();
+        let search = report.search.expect("anytime pass reports search");
+        assert!(search.budget_exhausted);
+        assert_eq!(search.moves_tried, 0);
+        assert_eq!(
+            report.selection.selected,
+            vec![ViewMask::APEX],
+            "seed catalog survives the interrupt"
+        );
     }
 
     #[test]

@@ -457,6 +457,10 @@ impl EngineBuilder {
             return Err(EngineBuildError::DurabilityUnsupported);
         }
         let clock = self.clock.unwrap_or_else(system_clock);
+        // The engine keeps its own handle on the clock (the backend gets a
+        // clone) so deadline-driven work — anytime re-selection — can be
+        // driven off the same injected time source.
+        let engine_clock = clock.clone();
         let metrics = self.metrics.unwrap_or_default();
         let instruments = EngineInstruments::new(metrics.clone(), self.backend.name());
         let durable = self.durability.is_some();
@@ -496,6 +500,7 @@ impl EngineBuilder {
             facet,
             backend,
             metrics,
+            clock: engine_clock,
             durable,
             recovery,
         })
@@ -616,6 +621,7 @@ pub struct Engine {
     facet: Facet,
     backend: Box<dyn ServingBackend>,
     metrics: MetricsHandle,
+    clock: Arc<dyn Clock>,
     durable: bool,
     recovery: Option<RecoveryReport>,
 }
@@ -751,6 +757,13 @@ impl Engine {
     /// [`Clock`]'s reading, also used to timestamp telemetry events.
     pub fn now_ms(&self) -> u64 {
         self.backend.now_ms()
+    }
+
+    /// A handle on the injected [`Clock`] — the time source deadline-
+    /// driven work (e.g. anytime re-selection budgets) must run against
+    /// so `ManualClock` tests stay deterministic.
+    pub fn clock(&self) -> Arc<dyn Clock> {
+        self.clock.clone()
     }
 
     /// Short backend name (`"serial"` / `"epoch"`).

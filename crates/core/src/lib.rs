@@ -80,7 +80,7 @@ pub mod report;
 pub mod timing;
 pub mod validate;
 
-pub use adaptive::{DriftDetector, ReselectionReport, Reselector};
+pub use adaptive::{AnytimeBudget, DriftDetector, ReselectionReport, Reselector};
 pub use compare::compare_cost_models;
 pub use config::EngineConfig;
 pub use engine::{

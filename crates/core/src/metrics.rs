@@ -28,6 +28,9 @@
 //! | `sofos_pipeline_{serial,parallel_work,parallel_wall}_us_total` | counter | two-phase pipeline split |
 //! | `sofos_maintenance_errors_total` | counter | failed maintenance / repair passes |
 //! | `sofos_reselections_total` | counter | adaptive catalog swaps (see [`crate::adaptive`]) |
+//! | `sofos_reselect_duration_us` | histogram | end-to-end re-selection pass overhead (sizing + selection + swap) |
+//! | `sofos_select_moves_total` | counter | local-search moves tried by anytime re-selection passes |
+//! | `sofos_select_restarts_total` | counter | local-search restarts performed by anytime re-selection passes |
 //! | `sofos_index_bytes` | gauge | estimated bytes held by bitmap posting lists across all graphs |
 //! | `sofos_index_posting_lists` | gauge | live posting lists (per-predicate + per-(predicate, value)) |
 //! | `sofos_index_updates_total` | counter | incremental posting-list maintenance operations |
@@ -84,6 +87,11 @@ pub(crate) struct EngineInstruments {
 impl EngineInstruments {
     /// Register the backend's instrument set on `handle`.
     pub(crate) fn new(handle: MetricsHandle, backend: &'static str) -> EngineInstruments {
+        // The adaptive layer's instruments are unlabelled (the Reselector
+        // works through the public Engine surface, not a backend), but
+        // they are pre-registered here so a `/metrics` scrape exposes
+        // them before the first re-selection ever runs.
+        register_reselection_instruments(&handle);
         let b = [("backend", backend)];
         let serve_help = "End-to-end serve latency (µs)";
         EngineInstruments {
@@ -387,21 +395,59 @@ impl EngineInstruments {
     }
 }
 
-/// Record one adaptive re-selection on `handle` (called by
-/// [`crate::adaptive::Reselector`], which works through the public
-/// [`crate::engine::Engine`] surface rather than a backend's
-/// instruments).
-pub(crate) fn record_reselection(handle: &MetricsHandle, now_ms: u64, detail: impl Into<String>) {
-    if !handle.is_enabled() {
-        return;
-    }
-    handle
-        .counter(
+/// The adaptive layer's instrument set: `(reselections, duration
+/// histogram, moves, restarts)`. Get-or-create by (name, labels), so the
+/// pre-registration in [`EngineInstruments::new`] and the record path in
+/// [`record_reselection`] resolve to the same instruments.
+type ReselectionInstruments = (Arc<Counter>, Arc<Histogram>, Arc<Counter>, Arc<Counter>);
+
+fn register_reselection_instruments(handle: &MetricsHandle) -> ReselectionInstruments {
+    (
+        handle.counter(
             "sofos_reselections_total",
             "Adaptive catalog re-selections applied",
             &[],
-        )
-        .inc();
+        ),
+        handle.histogram(
+            "sofos_reselect_duration_us",
+            "Re-selection pass overhead (sizing + selection + swap, µs)",
+            &[],
+        ),
+        handle.counter(
+            "sofos_select_moves_total",
+            "Local-search moves tried by anytime re-selection passes",
+            &[],
+        ),
+        handle.counter(
+            "sofos_select_restarts_total",
+            "Local-search restarts performed by anytime re-selection passes",
+            &[],
+        ),
+    )
+}
+
+/// Record one adaptive re-selection on `handle` (called by
+/// [`crate::adaptive::Reselector`], which works through the public
+/// [`crate::engine::Engine`] surface rather than a backend's
+/// instruments). `moves` / `restarts` are zero for greedy passes and the
+/// [`sofos_select::SearchReport`] counts for anytime passes.
+pub(crate) fn record_reselection(
+    handle: &MetricsHandle,
+    now_ms: u64,
+    duration_us: u64,
+    moves: u64,
+    restarts: u64,
+    detail: impl Into<String>,
+) {
+    if !handle.is_enabled() {
+        return;
+    }
+    let (reselections, duration, select_moves, select_restarts) =
+        register_reselection_instruments(handle);
+    reselections.inc();
+    duration.record(duration_us);
+    select_moves.add(moves);
+    select_restarts.add(restarts);
     handle.event(now_ms, EventKind::Reselection, detail);
 }
 

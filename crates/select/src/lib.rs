@@ -37,6 +37,13 @@ use sofos_cost::{CostContext, CostModel, MaintenanceCostModel, UpdateRates};
 use sofos_cube::{Lattice, ViewMask};
 use sofos_rdf::FxHashSet;
 
+pub mod anytime;
+
+pub use anytime::{
+    local_search_select, local_search_select_with, ClockFn, LocalSearchConfig, SearchBudget,
+    SearchReport,
+};
+
 /// How much may be materialized.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Budget {
@@ -344,6 +351,20 @@ pub fn greedy_select_with(
     profile: &WorkloadProfile,
     budget: Budget,
 ) -> SelectionOutcome {
+    greedy_over_candidates(ctx, objective, profile, budget, lattice.views().collect())
+}
+
+/// The greedy core, parameterized by an explicit candidate set. Shared by
+/// [`greedy_select_with`] (candidates = the whole lattice) and the anytime
+/// selector's greedy-on-a-sample seeding (candidates = a pool), so both
+/// inherit identical tie-breaking and budget semantics.
+pub(crate) fn greedy_over_candidates(
+    ctx: &CostContext<'_>,
+    objective: &Objective<'_>,
+    profile: &WorkloadProfile,
+    budget: Budget,
+    candidates: Vec<ViewMask>,
+) -> SelectionOutcome {
     let model = objective.query_model();
     let active = objective.is_active();
     let base_cost = base_graph_cost(ctx, model);
@@ -352,7 +373,7 @@ pub fn greedy_select_with(
     // Current best cost per demand.
     let mut current: Vec<f64> = vec![base_cost; profile.demands.len()];
     let mut selected: Vec<ViewMask> = Vec::new();
-    let mut remaining: Vec<ViewMask> = lattice.views().collect();
+    let mut remaining: Vec<ViewMask> = candidates;
     let mut bytes_left = match budget {
         Budget::Bytes(b) => b as isize,
         Budget::Views(_) => isize::MAX,
@@ -454,6 +475,41 @@ pub fn lambda_sweep(
         .collect()
 }
 
+/// Hard cap on the candidate-view count [`exhaustive_select_with`] will
+/// enumerate over, regardless of the combination `limit`. 20 views is a
+/// 4-dimension lattice plus change — beyond that, brute force is the wrong
+/// tool even when C(n, k) squeaks under the limit; use
+/// [`local_search_select_with`] instead.
+pub const MAX_EXHAUSTIVE_VIEWS: usize = 20;
+
+/// Exhaustive enumeration refused: the lattice (or the subset count it
+/// implies) is beyond what brute force can visit. Carries the numbers so
+/// callers can report or fall back to [`local_search_select_with`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LatticeTooLarge {
+    /// Candidate views in the lattice.
+    pub candidate_views: usize,
+    /// The requested subset size.
+    pub k: usize,
+    /// Subsets the enumeration would have visited (saturating).
+    pub search_space: u64,
+    /// The caller-provided combination limit.
+    pub limit: u64,
+}
+
+impl std::fmt::Display for LatticeTooLarge {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "exhaustive search over {} subsets of {} views (k = {}) exceeds limit {} \
+             (hard cap: {MAX_EXHAUSTIVE_VIEWS} views)",
+            self.search_space, self.candidate_views, self.k, self.limit
+        )
+    }
+}
+
+impl std::error::Error for LatticeTooLarge {}
+
 /// Optimal `k`-subset by exhaustive enumeration (frozen-graph objective).
 /// Equivalent to [`exhaustive_select_with`] over [`Objective::query_only`].
 pub fn exhaustive_select(
@@ -463,7 +519,7 @@ pub fn exhaustive_select(
     profile: &WorkloadProfile,
     k: usize,
     limit: u64,
-) -> SelectionOutcome {
+) -> Result<SelectionOutcome, LatticeTooLarge> {
     exhaustive_select_with(
         ctx,
         lattice,
@@ -481,9 +537,12 @@ pub fn exhaustive_select(
 /// monotone, so padding never hurts). With an active maintenance term
 /// every view has a price, so the search covers all sizes `0..=k` and
 /// minimizes the combined total; ties break toward the smaller,
-/// lexicographically earlier subset. Panics if the enumeration would
-/// exceed `limit` combinations (caller guards; the E6 oracle uses small
-/// lattices).
+/// lexicographically earlier subset.
+///
+/// Returns [`LatticeTooLarge`] — instead of hanging — when the lattice has
+/// more than [`MAX_EXHAUSTIVE_VIEWS`] candidate views or the enumeration
+/// would exceed `limit` combinations. At that scale use
+/// [`local_search_select_with`].
 pub fn exhaustive_select_with(
     ctx: &CostContext<'_>,
     lattice: &Lattice,
@@ -491,7 +550,7 @@ pub fn exhaustive_select_with(
     profile: &WorkloadProfile,
     k: usize,
     limit: u64,
-) -> SelectionOutcome {
+) -> Result<SelectionOutcome, LatticeTooLarge> {
     let model = objective.query_model();
     let views: Vec<ViewMask> = lattice.views().collect();
     let k = k.min(views.len());
@@ -505,11 +564,14 @@ pub fn exhaustive_select_with(
     } else {
         combinations(views.len() as u64, k as u64)
     };
-    assert!(
-        search_space <= limit,
-        "exhaustive search over {search_space} subsets of {} views (k = {k}) exceeds limit {limit}",
-        views.len()
-    );
+    if views.len() > MAX_EXHAUSTIVE_VIEWS || search_space > limit {
+        return Err(LatticeTooLarge {
+            candidate_views: views.len(),
+            k,
+            search_space,
+            limit,
+        });
+    }
     let baseline_cost = workload_cost(ctx, model, profile, &[]);
 
     let mut best_subset: Vec<ViewMask> = Vec::new();
@@ -536,12 +598,12 @@ pub fn exhaustive_select_with(
 
     let estimated_cost = workload_cost(ctx, model, profile, &best_subset);
     let upkeep_cost = selection_upkeep(ctx, objective, &best_subset);
-    SelectionOutcome {
+    Ok(SelectionOutcome {
         selected: best_subset,
         estimated_cost,
         baseline_cost,
         upkeep_cost,
-    }
+    })
 }
 
 /// Visit every `k`-combination of `0..n` in lexicographic order.
@@ -649,7 +711,7 @@ mod tests {
     use sofos_sparql::{GroupPattern, PatternTerm, TriplePattern};
     use sofos_store::{Dataset, GraphStats};
 
-    fn setup(dims: usize, rows: usize) -> (Dataset, Facet) {
+    pub(crate) fn setup(dims: usize, rows: usize) -> (Dataset, Facet) {
         let mut ds = Dataset::new();
         let m = Term::iri("http://e/m");
         for i in 0..rows {
@@ -690,7 +752,11 @@ mod tests {
         (ds, facet)
     }
 
-    fn with_ctx<R>(dims: usize, rows: usize, f: impl FnOnce(&CostContext<'_>, &Lattice) -> R) -> R {
+    pub(crate) fn with_ctx<R>(
+        dims: usize,
+        rows: usize,
+        f: impl FnOnce(&CostContext<'_>, &Lattice) -> R,
+    ) -> R {
         let (ds, facet) = setup(dims, rows);
         let lattice = Lattice::new(facet.clone());
         let sized = size_lattice(&ds, &lattice).unwrap();
@@ -772,7 +838,8 @@ mod tests {
                 let greedy =
                     greedy_select(ctx, lattice, &AggValuesCost, &profile, Budget::Views(k));
                 let optimal =
-                    exhaustive_select(ctx, lattice, &AggValuesCost, &profile, k, 1_000_000);
+                    exhaustive_select(ctx, lattice, &AggValuesCost, &profile, k, 1_000_000)
+                        .expect("small lattice fits the exhaustive caps");
                 assert!(
                     optimal.estimated_cost <= greedy.estimated_cost + 1e-9,
                     "k={k}: optimal {} > greedy {}",
@@ -797,7 +864,7 @@ mod tests {
             let profile = WorkloadProfile::uniform(lattice);
             let greedy = greedy_select(ctx, lattice, &model, &profile, Budget::Views(1));
             assert_eq!(greedy.selected, vec![lattice.base()]);
-            let oracle = exhaustive_select(ctx, lattice, &model, &profile, 1, 10_000);
+            let oracle = exhaustive_select(ctx, lattice, &model, &profile, 1, 10_000).unwrap();
             assert_eq!(oracle.selected, vec![lattice.base()]);
         });
     }
@@ -1013,7 +1080,8 @@ mod tests {
                 let greedy =
                     greedy_select_with(ctx, lattice, &objective, &profile, Budget::Views(3));
                 let oracle =
-                    exhaustive_select_with(ctx, lattice, &objective, &profile, 3, 1_000_000);
+                    exhaustive_select_with(ctx, lattice, &objective, &profile, 3, 1_000_000)
+                        .expect("small lattice fits the exhaustive caps");
                 assert!(
                     oracle.total_cost() <= greedy.total_cost() + 1e-9,
                     "lambda={lambda}: oracle {} > greedy {}",
@@ -1033,11 +1101,31 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "exceeds limit")]
     fn exhaustive_guards_explosion() {
         with_ctx(3, 8, |ctx, lattice| {
             let profile = WorkloadProfile::uniform(lattice);
-            let _ = exhaustive_select(ctx, lattice, &TriplesCost, &profile, 4, 2);
+            let err = exhaustive_select(ctx, lattice, &TriplesCost, &profile, 4, 2)
+                .expect_err("C(8, 4) = 70 subsets must exceed a limit of 2");
+            assert_eq!(err.candidate_views, 8);
+            assert_eq!(err.k, 4);
+            assert_eq!(err.search_space, 70);
+            assert_eq!(err.limit, 2);
+            assert!(err.to_string().contains("exceeds limit"));
+        });
+    }
+
+    #[test]
+    fn exhaustive_rejects_wide_lattices_regardless_of_limit() {
+        // 5 dimensions ⇒ 32 candidate views > MAX_EXHAUSTIVE_VIEWS: the
+        // typed error comes back fast even with an absurd combination
+        // limit, instead of the old behaviour of grinding through the
+        // enumeration (or panicking).
+        with_ctx(5, 8, |ctx, lattice| {
+            let profile = WorkloadProfile::uniform(lattice);
+            let err = exhaustive_select(ctx, lattice, &TriplesCost, &profile, 2, u64::MAX)
+                .expect_err("32 views exceeds the hard cap");
+            assert_eq!(err.candidate_views, 32);
+            assert!(err.candidate_views > MAX_EXHAUSTIVE_VIEWS);
         });
     }
 }

@@ -94,10 +94,11 @@ proptest! {
             greedy_select_with(&ctx, &lattice, &objective, &profile, Budget::Views(k));
         prop_assert_eq!(&frozen, &combined);
 
-        let frozen_oracle =
-            exhaustive_select(&ctx, &lattice, query, &profile, k, 1_000_000);
+        let frozen_oracle = exhaustive_select(&ctx, &lattice, query, &profile, k, 1_000_000)
+            .expect("small lattice fits the exhaustive caps");
         let combined_oracle =
-            exhaustive_select_with(&ctx, &lattice, &objective, &profile, k, 1_000_000);
+            exhaustive_select_with(&ctx, &lattice, &objective, &profile, k, 1_000_000)
+                .expect("small lattice fits the exhaustive caps");
         prop_assert_eq!(&frozen_oracle, &combined_oracle);
     }
 }

@@ -236,6 +236,20 @@ fn end_to_end_read_your_write_over_keep_alive() {
         body.contains("sofos_index_updates_total"),
         "index update counter exported: {body}"
     );
+    // The adaptive-selection instruments are pre-registered at engine
+    // construction, so they scrape even before any re-selection runs.
+    assert!(
+        body.contains("sofos_reselect_duration_us"),
+        "re-selection duration histogram exported: {body}"
+    );
+    assert!(
+        body.contains("sofos_select_moves_total"),
+        "local-search move counter exported: {body}"
+    );
+    assert!(
+        body.contains("sofos_select_restarts_total"),
+        "local-search restart counter exported: {body}"
+    );
 
     // Unknown endpoints and bad bodies answer without closing the server.
     let (status, _) = roundtrip(&mut stream, "GET", "/nope", "", true);

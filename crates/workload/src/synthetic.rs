@@ -55,6 +55,24 @@ impl Config {
             ..Config::default()
         }
     }
+
+    /// A cube whose lattice holds at least `views` candidate views: the
+    /// dimension count is the smallest `d` with `2^d ≥ views` (capped at
+    /// [`Facet::MAX_DIMENSIONS`]), so selection-at-scale experiments and
+    /// tests can request "a lattice of ~N views" deterministically
+    /// instead of reasoning in dimension counts.
+    pub fn with_view_target(views: usize, observations: usize) -> Config {
+        let mut dims = 1usize;
+        while (1u128 << dims) < views as u128 && dims < Facet::MAX_DIMENSIONS {
+            dims += 1;
+        }
+        Config::with_dims(dims, observations)
+    }
+
+    /// Candidate views of the lattice this config generates (`2^dims`).
+    pub fn lattice_views(&self) -> u64 {
+        1u64 << self.cardinalities.len()
+    }
 }
 
 fn iri(local: impl std::fmt::Display) -> Term {
@@ -141,6 +159,20 @@ mod tests {
             g.dataset.default_graph().len(),
             50 * 6, // 5 dims + 1 measure per observation
         );
+    }
+
+    #[test]
+    fn view_target_picks_the_smallest_covering_dimension_count() {
+        assert_eq!(Config::with_view_target(2, 10).lattice_views(), 2);
+        assert_eq!(Config::with_view_target(256, 10).lattice_views(), 256);
+        assert_eq!(Config::with_view_target(300, 10).lattice_views(), 512);
+        assert_eq!(Config::with_view_target(8192, 10).lattice_views(), 8192);
+        // The cap: no config can exceed MAX_DIMENSIONS dims.
+        let capped = Config::with_view_target(usize::MAX, 10);
+        assert_eq!(capped.cardinalities.len(), Facet::MAX_DIMENSIONS);
+        // And the generated facet matches the request deterministically.
+        let g = generate(&Config::with_view_target(64, 40));
+        assert_eq!(g.default_facet().dim_count(), 6);
     }
 
     #[test]

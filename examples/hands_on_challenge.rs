@@ -71,7 +71,8 @@ fn main() {
     }
 
     // --- The oracle. --------------------------------------------------------
-    let oracle = exhaustive_select(&ctx, &sized.lattice, &scorer, &profile, k, 1_000_000);
+    let oracle = exhaustive_select(&ctx, &sized.lattice, &scorer, &profile, k, 1_000_000)
+        .expect("challenge lattices stay under the exhaustive caps");
     let oracle_score = oracle.estimated_cost;
 
     println!(

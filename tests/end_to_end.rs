@@ -261,7 +261,8 @@ fn oracle_versus_greedy_on_real_data() {
             sofos::select::Budget::Views(k),
         );
         let oracle =
-            sofos::select::exhaustive_select(&ctx, &sized.lattice, &model, &profile, k, 1_000_000);
+            sofos::select::exhaustive_select(&ctx, &sized.lattice, &model, &profile, k, 1_000_000)
+                .expect("small lattice fits the exhaustive caps");
         assert!(
             oracle.estimated_cost <= greedy.estimated_cost + 1e-9,
             "k={k}"
